@@ -1,0 +1,29 @@
+.PHONY: all build test bench bench-full examples demo clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+bench-full:
+	dune exec bench/main.exe -- --full --bechamel
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/team_formation.exe
+	dune exec examples/twitter_influencers.exe
+	dune exec examples/dynamic_collaboration.exe
+	dune exec examples/compression_pipeline.exe
+	dune exec examples/movie_recommendation.exe
+
+demo:
+	dune exec bin/expfinder.exe -- demo
+
+clean:
+	dune clean
