@@ -1,0 +1,819 @@
+(* ExpFinder experiment harness.
+
+   One experiment per table/figure/quantitative claim of the ICDE 2013
+   demo paper (see DESIGN.md for the index and EXPERIMENTS.md for
+   paper-vs-measured).  Each experiment prints its rows; `--full` runs
+   the larger sweeps, `--bechamel` additionally runs one Bechamel
+   micro-benchmark per experiment, `--only STR` filters experiments by
+   substring. *)
+
+open Expfinder_graph
+open Expfinder_pattern
+open Expfinder_core
+open Expfinder_incremental
+open Expfinder_compression
+open Expfinder_engine
+module Collab = Expfinder_workload.Collab
+module Synthetic = Expfinder_workload.Synthetic
+module Twitter = Expfinder_workload.Twitter
+module Queries = Expfinder_workload.Queries
+
+(* ------------------------------------------------------------------ *)
+(* Timing                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let time_once f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, 1000.0 *. (Unix.gettimeofday () -. t0))
+
+(* Median of [reps] runs; [prepare] builds a fresh input for each run so
+   mutation-heavy benchmarks stay honest. *)
+let time_median ?(reps = 3) ~prepare f =
+  let samples =
+    List.init reps (fun _ ->
+        let input = prepare () in
+        snd (time_once (fun () -> f input)))
+  in
+  match List.sort compare samples with
+  | [] -> 0.0
+  | sorted -> List.nth sorted (List.length sorted / 2)
+
+let header title = Printf.printf "\n=== %s ===\n" title
+
+let check label ok =
+  Printf.printf "  [%s] %s\n" (if ok then "ok" else "FAILED") label;
+  if not ok then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Shared workloads                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let flat_graph ~n = Synthetic.flat (Prng.create (1000 + n)) ~n ~avg_degree:4
+
+(* A fixed bounded-simulation query over the synthetic label alphabet:
+   an experienced SA exchanging work with an SD (2 hops each way), the
+   SD near a QA, and the SA supervising a BA within 3 hops. *)
+let bench_query () =
+  let spec name label k =
+    { Pattern.name; label = Some (Label.of_string label); pred = Predicate.ge_int "exp" k }
+  in
+  Pattern.make_exn
+    ~nodes:[| spec "SA" "SA" 5; spec "SD" "SD" 2; spec "QA" "QA" 0; spec "BA" "BA" 3 |]
+    ~edges:
+      [
+        (0, 1, Pattern.Bounded 2);
+        (1, 2, Pattern.Bounded 2);
+        (0, 3, Pattern.Bounded 3);
+        (1, 0, Pattern.Bounded 2);
+      ]
+    ~output:0
+
+let bench_query_sim () = Pattern.to_simulation (bench_query ())
+
+(* ------------------------------------------------------------------ *)
+(* EXP-F1 .. EXP-F4: Fig. 1 / Examples 1-3 / Fig. 5                     *)
+(* ------------------------------------------------------------------ *)
+
+let exp_fig1 ~full:_ =
+  header "EXP-F1 (Example 1): match set on the Fig. 1 network";
+  let g = Csr.of_digraph (Collab.graph ()) in
+  let q = Collab.query () in
+  let m = Bounded_sim.run q g in
+  let expected =
+    [ (0, Collab.walt); (0, Collab.bob); (1, Collab.dan); (1, Collab.mat); (1, Collab.pat);
+      (2, Collab.jean); (3, Collab.eva) ]
+  in
+  check "M(Q,G) has exactly the paper's 7 pairs"
+    (List.sort compare (Match_relation.pairs m) = List.sort compare expected);
+  Printf.printf "  paper: {(SA,Bob),(SA,Walt),(SD,Mat),(SD,Dan),(SD,Pat),(BA,Jean),(ST,Eva)}\n";
+  Printf.printf "  ours : %s\n"
+    (String.concat ", "
+       (List.map
+          (fun (u, v) -> Printf.sprintf "(%s,%s)" (Pattern.name q u) (Collab.name_of v))
+          (Match_relation.pairs m)))
+
+let exp_example2 ~full:_ =
+  header "EXP-F2 (Example 2): social-impact ranks";
+  let g = Csr.of_digraph (Collab.graph ()) in
+  let q = Collab.query () in
+  let m = Bounded_sim.run q g in
+  let gr = Result_graph.build q g m in
+  let rb = Ranking.rank_of gr Collab.bob and rw = Ranking.rank_of gr Collab.walt in
+  Printf.printf "  paper: f(SA,Bob) = 9/5,  f(SA,Walt) = 7/3, Bob is top-1\n";
+  Printf.printf "  ours : f(SA,Bob) = %d/%d, f(SA,Walt) = %d/%d\n" rb.Ranking.num rb.Ranking.den
+    rw.Ranking.num rw.Ranking.den;
+  check "f(SA,Bob) = 9/5" (rb.Ranking.num = 9 && rb.Ranking.den = 5);
+  check "f(SA,Walt) = 7/3" (rw.Ranking.num = 7 && rw.Ranking.den = 3);
+  let top = Ranking.top_k gr ~output_matches:(Match_relation.matches m 0) ~k:1 in
+  check "top-1 is Bob" (match top with [ (v, _) ] -> v = Collab.bob | _ -> false)
+
+let exp_example3 ~full:_ =
+  header "EXP-F3 (Example 3): incremental update e1";
+  let g = Collab.graph () in
+  let inc = Incremental.create (Collab.query ()) g in
+  let src, dst = Collab.e1 in
+  let report = Incremental.apply_updates inc g [ Update.Insert_edge (src, dst) ] in
+  Printf.printf "  paper: DeltaM = {(SD,Fred)}, computed without touching the rest of G\n";
+  Printf.printf "  ours : added %s, removed %d pairs, affected area %d node(s)\n"
+    (String.concat ", "
+       (List.map
+          (fun (_, v) -> Printf.sprintf "(SD,%s)" (Collab.name_of v))
+          report.Incremental.added))
+    (List.length report.Incremental.removed)
+    report.Incremental.area;
+  check "delta = {(SD,Fred)}"
+    (report.Incremental.added = [ (1, Collab.fred) ] && report.Incremental.removed = []);
+  check "area is Fred's neighbourhood, not the graph" (report.Incremental.area <= 5)
+
+let exp_fig5 ~full:_ =
+  header "EXP-F4 (Fig. 4/5): queries Q1-Q3 and their top-1 experts";
+  let engine = Engine.create (Collab.graph ()) in
+  List.iter
+    (fun (name, q) ->
+      match Engine.top_k engine q ~k:1 with
+      | [ { Engine.name = Some who; rank; _ } ] ->
+        Printf.printf "  %s: top-1 = %s (rank %s)\n" name who
+          (Format.asprintf "%a" Ranking.pp_rank rank)
+      | _ -> check (name ^ " has a top-1") false)
+    [ ("Q1", Collab.q1 ()); ("Q2", Collab.q2 ()); ("Q3", Collab.q3 ()) ];
+  check "all three queries answered" true
+
+(* ------------------------------------------------------------------ *)
+(* EXP-B1: semantics comparison against the §I baselines                *)
+(* ------------------------------------------------------------------ *)
+
+let exp_semantics ~full:_ =
+  header "EXP-B1 (§I): subgraph isomorphism vs simulation vs bounded simulation";
+  let g = Csr.of_digraph (Collab.graph ()) in
+  let q = Collab.query () in
+  Printf.printf "  on the Fig. 1 network with query Q:\n";
+  Printf.printf "  %-22s %-10s %s\n" "semantics" "matches" "note";
+  let iso = Subiso.exists q g in
+  Printf.printf "  %-22s %-10s %s\n" "subgraph isomorphism"
+    (if iso then "yes" else "none")
+    "needs a direct SA->BA edge and a bijection";
+  let sim = Simulation.run (Pattern.to_simulation q) g in
+  Printf.printf "  %-22s %-10s %s\n" "graph simulation"
+    (if Match_relation.is_total sim then "yes" else "none")
+    "edge-to-edge only; the SA->BA path is invisible";
+  let bsim = Bounded_sim.run q g in
+  Printf.printf "  %-22s %-10d %s\n" "bounded simulation" (Match_relation.total bsim)
+    "maps SD to Mat, Dan and Pat; SA->BA over a path";
+  check "only bounded simulation finds the experts"
+    ((not iso)
+    && (not (Match_relation.is_total sim))
+    && Match_relation.is_total bsim);
+  (* Runtime contrast on a permissive query where isomorphism does match:
+     enumeration is exponential in the embedding count, so it is capped. *)
+  let syn = Csr.of_digraph (flat_graph ~n:2_000) in
+  let spec name label = { Pattern.name; label = Some (Label.of_string label); pred = Predicate.always } in
+  let permissive =
+    Pattern.make_exn
+      ~nodes:[| spec "SA" "SA"; spec "SD" "SD" |]
+      ~edges:[ (0, 1, Pattern.Bounded 1) ]
+      ~output:0
+  in
+  let pairs, t_iso =
+    time_once (fun () -> Subiso.matched_pairs ~max_embeddings:10_000 permissive syn)
+  in
+  let kernel, t_bsim = time_once (fun () -> Bounded_sim.run permissive syn) in
+  Printf.printf "  synthetic (|V|=2000), 2-node query: iso %d pairs in %.1f ms (capped), bsim %d pairs in %.1f ms\n"
+    (List.length pairs) t_iso (Match_relation.total kernel) t_bsim
+
+(* ------------------------------------------------------------------ *)
+(* EXP-Q1: query evaluation scaling                                     *)
+(* ------------------------------------------------------------------ *)
+
+let exp_query_scaling ~full =
+  header "EXP-Q1: evaluation time vs |G| (simulation vs bounded simulation)";
+  Printf.printf "  %8s %9s %12s %12s %9s %9s\n" "|V|" "|E|" "t_sim ms" "t_bsim ms" "|M_sim|"
+    "|M_bsim|";
+  let sizes =
+    if full then [ 2_000; 4_000; 8_000; 16_000; 32_000; 64_000 ]
+    else [ 2_000; 4_000; 8_000; 16_000 ]
+  in
+  List.iter
+    (fun n ->
+      let g = Csr.of_digraph (flat_graph ~n) in
+      let qs = bench_query_sim () and qb = bench_query () in
+      let t_sim = time_median ~prepare:(fun () -> ()) (fun () -> ignore (Simulation.run qs g)) in
+      let t_bsim =
+        time_median ~prepare:(fun () -> ()) (fun () -> ignore (Bounded_sim.run qb g))
+      in
+      let m_sim = Match_relation.total (Simulation.run qs g) in
+      let m_bsim = Match_relation.total (Bounded_sim.run qb g) in
+      Printf.printf "  %8d %9d %12.2f %12.2f %9d %9d\n" n (Csr.edge_count g) t_sim t_bsim m_sim
+        m_bsim)
+    sizes;
+  print_endline "  shape check: both polynomial; bounded simulation costlier than simulation"
+
+(* ------------------------------------------------------------------ *)
+(* EXP-Q2: top-K selection                                              *)
+(* ------------------------------------------------------------------ *)
+
+let exp_topk_scaling ~full =
+  header "EXP-Q2: top-K selection on the Twitter-like graph";
+  let n = if full then 30_000 else 10_000 in
+  let g = Twitter.generate (Prng.create 42) ~n in
+  let csr = Csr.of_digraph g in
+  let q =
+    Pattern.make_exn
+      ~nodes:
+        [|
+          { Pattern.name = "DB"; label = Some (Label.of_string "DB"); pred = Predicate.ge_int "exp" 6 };
+          { Pattern.name = "ML"; label = Some (Label.of_string "ML"); pred = Predicate.always };
+          { Pattern.name = "Sec"; label = Some (Label.of_string "Sec"); pred = Predicate.ge_int "exp" 4 };
+        |]
+      ~edges:[ (1, 0, Pattern.Bounded 2); (0, 2, Pattern.Bounded 3) ]
+      ~output:0
+  in
+  let m, t_eval = time_once (fun () -> Bounded_sim.run q csr) in
+  let gr, t_build = time_once (fun () -> Result_graph.build q csr m) in
+  let matches = Match_relation.matches m (Pattern.output q) in
+  Printf.printf "  |V| = %d, output matches = %d, eval %.1f ms, result graph %.1f ms\n" n
+    (List.length matches) t_eval t_build;
+  Printf.printf "  %6s %12s %20s\n" "K" "t_topk ms" "best rank";
+  List.iter
+    (fun k ->
+      let top, t = time_once (fun () -> Ranking.top_k gr ~output_matches:matches ~k) in
+      let best =
+        match top with (_, r) :: _ -> Format.asprintf "%a" Ranking.pp_rank r | [] -> "-"
+      in
+      Printf.printf "  %6d %12.2f %20s\n" k t best)
+    [ 1; 5; 10; 25; 50 ];
+  print_endline "  note: ranking cost is dominated by |M| Dijkstra runs; K only selects"
+
+(* ------------------------------------------------------------------ *)
+(* EXP-I1: incremental vs batch, unit updates                           *)
+(* ------------------------------------------------------------------ *)
+
+let unit_update_times pattern n =
+  let g = flat_graph ~n in
+  let rng = Prng.create (77 + n) in
+  let inc = Incremental.create pattern g in
+  (* Alternate insert/delete of fresh random edges through the tracker;
+     median over the individual maintenance calls. *)
+  let samples = ref [] in
+  for _ = 1 to 5 do
+    match Update.random_insertions rng g 1 with
+    | [ Update.Insert_edge (a, b) ] ->
+      let _, t_ins =
+        time_once (fun () -> Incremental.apply_updates inc g [ Update.Insert_edge (a, b) ])
+      in
+      let _, t_del =
+        time_once (fun () -> Incremental.apply_updates inc g [ Update.Delete_edge (a, b) ])
+      in
+      samples := t_ins :: t_del :: !samples
+    | _ -> ()
+  done;
+  let sorted = List.sort compare !samples in
+  let t_inc = List.nth sorted (List.length sorted / 2) in
+  let t_batch =
+    time_median ~prepare:(fun () -> ()) (fun () ->
+        let csr = Csr.of_digraph g in
+        if Pattern.is_simulation_pattern pattern then ignore (Simulation.run pattern csr)
+        else ignore (Bounded_sim.run pattern csr))
+  in
+  (t_inc, t_batch)
+
+let exp_incremental_unit ~full =
+  header "EXP-I1: incremental vs batch, unit updates (single edge)";
+  let sizes =
+    if full then [ 2_000; 4_000; 8_000; 16_000; 32_000 ] else [ 2_000; 4_000; 8_000; 16_000 ]
+  in
+  Printf.printf "  %-6s %8s %12s %12s %9s\n" "query" "|V|" "t_inc ms" "t_batch ms" "speedup";
+  List.iter
+    (fun (name, pattern) ->
+      List.iter
+        (fun n ->
+          let t_inc, t_batch = unit_update_times pattern n in
+          Printf.printf "  %-6s %8d %12.3f %12.3f %8.1fx\n" name n t_inc t_batch
+            (t_batch /. max t_inc 0.001))
+        sizes)
+    [ ("sim", bench_query_sim ()); ("bsim", bench_query ()) ];
+  print_endline "  shape check: speedup grows with |G| (unit-update cost is local)"
+
+(* ------------------------------------------------------------------ *)
+(* EXP-I2: incremental vs batch, batch updates (the 30% / 10% claims)   *)
+(* ------------------------------------------------------------------ *)
+
+let batch_sweep pattern percentages base =
+  let m = Digraph.edge_count base in
+  Printf.printf "  %7s %9s %12s %12s %10s\n" "|dG|/|E|" "|dG|" "t_inc ms" "t_batch ms" "winner";
+  let crossover = ref None in
+  List.iter
+    (fun pct ->
+      let count = max 1 (m * pct / 100) in
+      let t_inc =
+        time_median ~reps:3
+          ~prepare:(fun () ->
+            let g = Digraph.copy base in
+            let rng = Prng.create (pct * 131) in
+            let updates = Update.random_mixed rng g count in
+            let inc = Incremental.create pattern g in
+            (g, inc, updates))
+          (fun (g, inc, updates) -> ignore (Incremental.apply_updates inc g updates))
+      in
+      let t_batch =
+        time_median ~reps:3
+          ~prepare:(fun () ->
+            let g = Digraph.copy base in
+            let rng = Prng.create (pct * 131) in
+            let updates = Update.random_mixed rng g count in
+            (g, updates))
+          (fun (g, updates) ->
+            ignore (Update.apply_batch g updates);
+            let csr = Csr.of_digraph g in
+            if Pattern.is_simulation_pattern pattern then ignore (Simulation.run pattern csr)
+            else ignore (Bounded_sim.run pattern csr))
+      in
+      let winner = if t_inc <= t_batch then "inc" else "batch" in
+      if t_inc > t_batch && !crossover = None then crossover := Some pct;
+      Printf.printf "  %6d%% %9d %12.2f %12.2f %10s\n" pct count t_inc t_batch winner)
+    percentages;
+  match !crossover with
+  | Some pct -> Printf.printf "  crossover: batch wins from ~%d%% of |E| changed\n" pct
+  | None -> Printf.printf "  crossover: not reached in this sweep (incremental wins throughout)\n"
+
+(* A sparse collaboration graph and a bounds<=2 pattern: the regime the
+   SIGMOD'11 experiments report (social graphs are sparse; expert queries
+   use small bounds). *)
+let sparse_batch_query () =
+  let spec name label k =
+    { Pattern.name; label = Some (Label.of_string label); pred = Predicate.ge_int "exp" k }
+  in
+  Pattern.make_exn
+    ~nodes:[| spec "SA" "SA" 5; spec "SD" "SD" 2; spec "QA" "QA" 0; spec "BA" "BA" 3 |]
+    ~edges:
+      [
+        (0, 1, Pattern.Bounded 2);
+        (1, 2, Pattern.Bounded 2);
+        (0, 3, Pattern.Bounded 2);
+        (1, 0, Pattern.Bounded 2);
+      ]
+    ~output:0
+
+let exp_incremental_batch ~full =
+  header "EXP-I2: incremental vs batch, batch updates";
+  let n = if full then 16_000 else 8_000 in
+  let base = Synthetic.flat (Prng.create 701) ~n ~avg_degree:2 in
+  Printf.printf "  graph: %d nodes, %d edges (sparse collaboration network)\n"
+    (Digraph.node_count base) (Digraph.edge_count base);
+  Printf.printf "  -- simulation (paper: incremental wins up to ~30%% changes) --\n";
+  batch_sweep (Pattern.to_simulation (sparse_batch_query ())) [ 2; 5; 10; 20; 30; 50 ] base;
+  Printf.printf "  -- bounded simulation (paper: incremental wins up to ~10%% changes) --\n";
+  batch_sweep (sparse_batch_query ()) [ 1; 2; 5; 10; 20 ] base
+
+(* ------------------------------------------------------------------ *)
+(* EXP-C1: compression ratio (the 57% claim)                            *)
+(* ------------------------------------------------------------------ *)
+
+let compression_datasets ~full =
+  let rng = Prng.create 5 in
+  [
+    ("org-2k", Synthetic.org rng ~teams:200 ~team_size:9);
+    ("org-8k", Synthetic.org rng ~teams:800 ~team_size:9);
+    ("twitter-5k", Twitter.generate rng ~n:5_000);
+    ("twitter-20k", Twitter.generate rng ~n:20_000);
+  ]
+  @ if full then [ ("org-30k", Synthetic.org rng ~teams:3_000 ~team_size:9) ] else []
+
+let exp_compression_ratio ~full =
+  header "EXP-C1: compression ratio (paper: graphs reduced by 57% on average)";
+  Printf.printf "  %-12s %9s %9s %9s %9s %8s %8s %10s\n" "dataset" "|V|" "|E|" "|Vc|" "|Ec|"
+    "nodes%" "edges%" "t_comp ms";
+  let ratios = ref [] in
+  let run ?(count = true) (name, g) =
+    let csr = Csr.of_digraph g in
+    let compressed, t =
+      time_once (fun () -> Compress.compress ~atoms:Queries.atom_universe csr)
+    in
+    let gc = Compress.compressed compressed in
+    let nr = Compress.node_ratio compressed and er = Compress.edge_ratio compressed in
+    if count then ratios := nr :: !ratios;
+    Printf.printf "  %-12s %9d %9d %9d %9d %7.1f%% %7.1f%% %10.1f\n" name (Csr.node_count csr)
+      (Csr.edge_count csr) (Csr.node_count gc) (Csr.edge_count gc) (100.0 *. nr)
+      (100.0 *. er) t
+  in
+  List.iter run (compression_datasets ~full);
+  let avg = List.fold_left ( +. ) 0.0 !ratios /. float_of_int (List.length !ratios) in
+  Printf.printf "  average node reduction: %.1f%% (paper: 57%%)\n" (100.0 *. avg);
+  (* Uniform-random graphs carry almost no behavioural redundancy; shown
+     for contrast, excluded from the average (the paper's datasets are
+     social graphs). *)
+  run ~count:false ("flat-8k", flat_graph ~n:8_000)
+
+(* ------------------------------------------------------------------ *)
+(* EXP-C2: querying compressed graphs (the 70% claim)                   *)
+(* ------------------------------------------------------------------ *)
+
+let exp_compressed_query ~full:_ =
+  header "EXP-C2: query time, original vs compressed (paper: ~70% faster)";
+  Printf.printf "  %-12s %10s %12s %12s %10s\n" "dataset" "queries" "t(G) ms" "t(Gc) ms" "saved";
+  let rng = Prng.create 17 in
+  let datasets =
+    [
+      ("org-2k", Synthetic.org rng ~teams:200 ~team_size:9);
+      ("org-8k", Synthetic.org rng ~teams:800 ~team_size:9);
+      ("org-20k", Synthetic.org rng ~teams:2_000 ~team_size:9);
+    ]
+  in
+  List.iter
+    (fun (name, g) ->
+      let csr = Csr.of_digraph g in
+      let compressed = Compress.compress ~atoms:Queries.atom_universe csr in
+      let queries = Queries.workload rng ~count:10 ~simulation:false g in
+      (* Exactness first. *)
+      List.iter
+        (fun q ->
+          assert (
+            Match_relation.equal (Bounded_sim.run q csr) (Compress.evaluate compressed q)))
+        queries;
+      let t_direct =
+        time_median ~prepare:(fun () -> ()) (fun () ->
+            List.iter (fun q -> ignore (Bounded_sim.run q csr)) queries)
+      in
+      let t_gc =
+        time_median ~prepare:(fun () -> ()) (fun () ->
+            List.iter (fun q -> ignore (Compress.evaluate compressed q)) queries)
+      in
+      Printf.printf "  %-12s %10d %12.1f %12.1f %9.1f%%\n" name (List.length queries) t_direct
+        t_gc
+        (100.0 *. (1.0 -. (t_gc /. t_direct))))
+    datasets;
+  print_endline "  (answers on Gc verified identical to direct evaluation before timing)"
+
+(* ------------------------------------------------------------------ *)
+(* EXP-C3: maintaining compressed graphs                                *)
+(* ------------------------------------------------------------------ *)
+
+let exp_compression_maintain ~full =
+  header "EXP-C3: compressed-graph maintenance vs recompression";
+  let teams = if full then 2_000 else 800 in
+  let base = Synthetic.org (Prng.create 23) ~teams ~team_size:9 in
+  Printf.printf "  base: %d nodes, %d edges\n" (Digraph.node_count base) (Digraph.edge_count base);
+  Printf.printf "  %8s %12s %14s %10s %10s %8s\n" "|dG|" "t_maint ms" "t_rebuild ms" "blocks"
+    "fresh" "drift";
+  List.iter
+    (fun count ->
+      let g = Digraph.copy base in
+      let inc = Inc_compress.create ~atoms:Queries.atom_universe g in
+      let rng = Prng.create (count * 7) in
+      let updates = Update.random_mixed rng g count in
+      let report, t_maint = time_once (fun () -> Inc_compress.apply_updates inc g updates) in
+      let fresh = Inc_compress.fresh_block_count inc in
+      let _, t_rebuild = time_once (fun () -> Inc_compress.rebuild inc g) in
+      Printf.printf "  %8d %12.1f %14.1f %10d %10d %7.1f%%\n" count t_maint t_rebuild
+        report.Inc_compress.blocks_after fresh
+        (100.0
+        *. float_of_int (report.Inc_compress.blocks_after - fresh)
+        /. float_of_int (max fresh 1)))
+    [ 1; 10; 50; 200; 1_000 ];
+  print_endline "  drift = extra blocks kept by local maintenance vs the coarsest partition"
+
+(* ------------------------------------------------------------------ *)
+(* EXP-K1: result caching                                               *)
+(* ------------------------------------------------------------------ *)
+
+let exp_cache ~full:_ =
+  header "EXP-K1: cached query results";
+  let g = Twitter.generate (Prng.create 31) ~n:5_000 in
+  let engine = Engine.create g in
+  let rng = Prng.create 57 in
+  let queries = Queries.workload rng ~count:10 ~simulation:false g in
+  let (), t_cold =
+    time_once (fun () -> List.iter (fun q -> ignore (Engine.evaluate engine q)) queries)
+  in
+  let (), t_warm =
+    time_once (fun () -> List.iter (fun q -> ignore (Engine.evaluate engine q)) queries)
+  in
+  let hits, misses = Engine.cache_stats engine in
+  Printf.printf "  10 queries cold: %8.1f ms\n" t_cold;
+  Printf.printf "  10 queries warm: %8.2f ms (cache hits)\n" t_warm;
+  Printf.printf "  cache stats: %d hits, %d misses\n" hits misses;
+  check "all warm answers were hits" (hits = 10)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let exp_ablation_bsim_strategy ~full =
+  header "EXP-A1 (ablation): bounded-simulation refinement strategy";
+  Printf.printf "  %8s %14s %14s\n" "|V|" "counters ms" "naive ms";
+  let sizes = if full then [ 2_000; 8_000; 32_000 ] else [ 2_000; 8_000 ] in
+  List.iter
+    (fun n ->
+      let g = Csr.of_digraph (flat_graph ~n) in
+      let q = bench_query () in
+      let t_counters =
+        time_median ~prepare:(fun () -> ()) (fun () ->
+            ignore (Bounded_sim.run ~strategy:Bounded_sim.Counters q g))
+      in
+      let t_naive =
+        time_median ~prepare:(fun () -> ()) (fun () ->
+            ignore (Bounded_sim.run ~strategy:Bounded_sim.Naive q g))
+      in
+      Printf.printf "  %8d %14.2f %14.2f\n" n t_counters t_naive)
+    sizes
+
+let exp_ablation_equivalence ~full:_ =
+  header "EXP-A2 (ablation): bisimulation vs simulation-equivalence merging";
+  Printf.printf "  %-10s %7s %12s %12s %14s %14s\n" "dataset" "|V|" "bisim |Vc|" "simeq |Vc|"
+    "t_bisim ms" "t_simeq ms";
+  let rng = Prng.create 3 in
+  let datasets =
+    [
+      ("org", Synthetic.org rng ~teams:60 ~team_size:7);
+      ("flat", Synthetic.flat rng ~n:600 ~avg_degree:3);
+      ("twitter", Twitter.generate rng ~n:600);
+    ]
+  in
+  List.iter
+    (fun (name, g) ->
+      let csr = Csr.of_digraph g in
+      let key v = Label.to_int (Csr.label csr v) in
+      let bisim, t_b = time_once (fun () -> Bisimulation.compute csr ~key) in
+      let simeq, t_s = time_once (fun () -> Sim_equivalence.compute csr ~key) in
+      Printf.printf "  %-10s %7d %12d %12d %14.1f %14.1f\n" name (Csr.node_count csr)
+        (Bisimulation.block_count bisim) (Bisimulation.block_count simeq) t_b t_s)
+    datasets;
+  print_endline "  simeq merges at least as much but only preserves plain-simulation queries"
+
+let exp_ablation_area ~full =
+  header "EXP-A3 (ablation): incremental affected-area strategy";
+  let n = if full then 16_000 else 8_000 in
+  let base = flat_graph ~n in
+  Printf.printf "  base: %d nodes, %d edges; 8 unit updates per strategy\n"
+    (Digraph.node_count base) (Digraph.edge_count base);
+  Printf.printf "  %-14s %12s %12s %12s %12s\n" "strategy" "min area" "median area" "max area"
+    "median ms";
+  List.iter
+    (fun (name, strategy) ->
+      let areas = ref [] and times = ref [] in
+      for seed = 1 to 8 do
+        let g = Digraph.copy base in
+        let inc = Incremental.create ~area_strategy:strategy (bench_query ()) g in
+        let updates = Update.random_mixed (Prng.create seed) g 1 in
+        let report, t = time_once (fun () -> Incremental.apply_updates inc g updates) in
+        areas := report.Incremental.area :: !areas;
+        times := t :: !times
+      done;
+      let areas = List.sort compare !areas and times = List.sort compare !times in
+      Printf.printf "  %-14s %12d %12d %12d %12.2f\n" name (List.nth areas 0)
+        (List.nth areas 4) (List.nth areas 7) (List.nth times 4))
+    [ ("ball-closure", Incremental.Ball_closure); ("ancestors", Incremental.Ancestors) ];
+  print_endline
+    "  ball-closure stays tiny unless the update can enable a group of new matches;\n\
+    \  a group search past |V|/3 bails out to one dense batch run (area = |V|).\n\
+    \  ancestors always floods the reverse-reachable set and refines all of it"
+
+let exp_ablation_ball_index ~full =
+  header "EXP-A4 (ablation): precomputed distance index for query workloads";
+  let n = if full then 32_000 else 8_000 in
+  let g = Csr.of_digraph (flat_graph ~n) in
+  let rng = Prng.create 43 in
+  let queries =
+    Queries.workload rng ~count:10 ~simulation:false (Csr.to_digraph g)
+  in
+  (* The workload's graph copy shares structure; evaluate on [g]. *)
+  let idx, t_build = time_once (fun () -> Ball_index.build g ~radius:3) in
+  List.iter
+    (fun q -> assert (Match_relation.equal (Ball_index.evaluate idx q g) (Bounded_sim.run q g)))
+    queries;
+  let t_direct =
+    time_median ~prepare:(fun () -> ()) (fun () ->
+        List.iter (fun q -> ignore (Bounded_sim.run q g : Match_relation.t)) queries)
+  in
+  let t_indexed =
+    time_median ~prepare:(fun () -> ()) (fun () ->
+        List.iter (fun q -> ignore (Ball_index.evaluate idx q g : Match_relation.t)) queries)
+  in
+  Printf.printf "  |V| = %d; index: %d entries, built in %.1f ms\n" n
+    (Ball_index.memory_entries idx) t_build;
+  Printf.printf "  10-query workload: direct %.1f ms, indexed %.1f ms (%.1fx)\n" t_direct
+    t_indexed
+    (t_direct /. max t_indexed 0.001);
+  Printf.printf "  break-even after ~%.0f workloads of this size\n"
+    (t_build /. max (t_direct -. t_indexed) 0.001)
+
+let exp_ablation_minimise ~full:_ =
+  header "EXP-A5 (ablation): pattern-query minimisation";
+  let g = Csr.of_digraph (flat_graph ~n:8_000) in
+  (* A team query with redundant duplicate members, as a user might
+     draw it: one SA leading three interchangeable SDs. *)
+  let spec name label k =
+    { Pattern.name; label = Some (Label.of_string label); pred = Predicate.ge_int "exp" k }
+  in
+  let redundant =
+    Pattern.make_exn
+      ~nodes:[| spec "SA" "SA" 5; spec "SD1" "SD" 2; spec "SD2" "SD" 2; spec "SD3" "SD" 2; spec "QA" "QA" 0 |]
+      ~edges:
+        [
+          (0, 1, Pattern.Bounded 2);
+          (0, 2, Pattern.Bounded 2);
+          (0, 3, Pattern.Bounded 3);
+          (1, 4, Pattern.Bounded 2);
+          (2, 4, Pattern.Bounded 2);
+          (3, 4, Pattern.Bounded 2);
+        ]
+      ~output:0
+  in
+  let minimised, renaming = Pattern_opt.minimise redundant in
+  let m_full = Bounded_sim.run redundant g in
+  let m_min = Bounded_sim.run minimised g in
+  assert (
+    Match_relation.matches m_full 0 = Match_relation.matches m_min renaming.(0));
+  let t_full =
+    time_median ~prepare:(fun () -> ()) (fun () -> ignore (Bounded_sim.run redundant g))
+  in
+  let t_min =
+    time_median ~prepare:(fun () -> ()) (fun () -> ignore (Bounded_sim.run minimised g))
+  in
+  Printf.printf "  query: %d nodes/%d edges -> minimised %d nodes/%d edges\n"
+    (Pattern.size redundant) (Pattern.edge_count redundant) (Pattern.size minimised)
+    (Pattern.edge_count minimised);
+  Printf.printf "  evaluation: %.2f ms -> %.2f ms (%.1fx), same output matches\n" t_full t_min
+    (t_full /. max t_min 0.001)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per experiment              *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let collab = Csr.of_digraph (Collab.graph ()) in
+  let q = Collab.query () in
+  let flat1k = Csr.of_digraph (flat_graph ~n:1_000) in
+  let qb = bench_query () and qs = bench_query_sim () in
+  let twitter1k = Csr.of_digraph (Twitter.generate (Prng.create 9) ~n:1_000) in
+  let tw_query =
+    Pattern.make_exn
+      ~nodes:
+        [|
+          { Pattern.name = "DB"; label = Some (Label.of_string "DB"); pred = Predicate.always };
+          { Pattern.name = "ML"; label = Some (Label.of_string "ML"); pred = Predicate.always };
+        |]
+      ~edges:[ (1, 0, Pattern.Bounded 2) ]
+      ~output:0
+  in
+  let m_tw = Bounded_sim.run tw_query twitter1k in
+  let gr_tw = Result_graph.build tw_query twitter1k m_tw in
+  let tw_matches = Match_relation.matches m_tw 0 in
+  (* Incremental unit update on a persistent tracker: insert then delete
+     restores the state, so the function is idempotent across runs. *)
+  let inc_g = flat_graph ~n:1_000 in
+  let inc = Incremental.create qb inc_g in
+  let a, b =
+    match Update.random_insertions (Prng.create 3) inc_g 1 with
+    | [ Update.Insert_edge (a, b) ] -> (a, b)
+    | _ -> (0, 1)
+  in
+  let org = Synthetic.org (Prng.create 8) ~teams:60 ~team_size:7 in
+  let org_csr = Csr.of_digraph org in
+  let compressed = Compress.compress ~atoms:Queries.atom_universe org_csr in
+  let org_query =
+    match Queries.workload (Prng.create 12) ~count:1 ~simulation:false org with
+    | [ q ] -> q
+    | _ -> qb
+  in
+  let inc_c_g = Digraph.copy org in
+  let inc_c = Inc_compress.create ~atoms:Queries.atom_universe inc_c_g in
+  let ca, cb =
+    match Update.random_insertions (Prng.create 4) inc_c_g 1 with
+    | [ Update.Insert_edge (a, b) ] -> (a, b)
+    | _ -> (0, 1)
+  in
+  let engine = Engine.create (Digraph.copy org) in
+  let (_ : Engine.answer) = Engine.evaluate engine org_query in
+  Test.make_grouped ~name:"expfinder"
+    [
+      Test.make ~name:"F1-example1-bsim-collab"
+        (Staged.stage (fun () -> ignore (Bounded_sim.run q collab : Match_relation.t)));
+      Test.make ~name:"F2-ranking-collab"
+        (Staged.stage (fun () ->
+             let m = Bounded_sim.run q collab in
+             let gr = Result_graph.build q collab m in
+             ignore
+               (Ranking.top_k gr ~output_matches:(Match_relation.matches m 0) ~k:1
+                 : (int * Ranking.rank) list)));
+      Test.make ~name:"Q1-sim-flat1k"
+        (Staged.stage (fun () -> ignore (Simulation.run qs flat1k : Match_relation.t)));
+      Test.make ~name:"Q1-bsim-flat1k"
+        (Staged.stage (fun () -> ignore (Bounded_sim.run qb flat1k : Match_relation.t)));
+      Test.make ~name:"Q2-topk-twitter1k"
+        (Staged.stage (fun () ->
+             ignore
+               (Ranking.top_k gr_tw ~output_matches:tw_matches ~k:10
+                 : (int * Ranking.rank) list)));
+      Test.make ~name:"I1-unit-update-flat1k"
+        (Staged.stage (fun () ->
+             ignore
+               (Incremental.apply_updates inc inc_g [ Update.Insert_edge (a, b) ]
+                 : Incremental.report);
+             ignore
+               (Incremental.apply_updates inc inc_g [ Update.Delete_edge (a, b) ]
+                 : Incremental.report)));
+      Test.make ~name:"C1-compress-org500"
+        (Staged.stage (fun () ->
+             ignore (Compress.compress ~atoms:Queries.atom_universe org_csr : Compress.t)));
+      Test.make ~name:"C2-query-compressed-org500"
+        (Staged.stage (fun () ->
+             ignore (Compress.evaluate compressed org_query : Match_relation.t)));
+      Test.make ~name:"C3-maintain-gc-org500"
+        (Staged.stage (fun () ->
+             ignore
+               (Inc_compress.apply_updates inc_c inc_c_g [ Update.Insert_edge (ca, cb) ]
+                 : Inc_compress.report);
+             ignore
+               (Inc_compress.apply_updates inc_c inc_c_g [ Update.Delete_edge (ca, cb) ]
+                 : Inc_compress.report)));
+      Test.make ~name:"K1-cache-hit"
+        (Staged.stage (fun () -> ignore (Engine.evaluate engine org_query : Engine.answer)));
+      Test.make ~name:"A1-bsim-naive-flat1k"
+        (Staged.stage (fun () ->
+             ignore (Bounded_sim.run ~strategy:Bounded_sim.Naive qb flat1k : Match_relation.t)));
+      Test.make ~name:"A2-simeq-org500"
+        (Staged.stage (fun () ->
+             ignore
+               (Sim_equivalence.compute org_csr ~key:(fun v ->
+                    Label.to_int (Csr.label org_csr v))
+                 : int array)));
+    ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  header "Bechamel micro-benchmarks (OLS fit per run)";
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg instances (bechamel_tests ()) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols_result acc ->
+        let ns =
+          match Analyze.OLS.estimates ols_result with Some (t :: _) -> t | _ -> nan
+        in
+        (name, ns) :: acc)
+      results []
+  in
+  List.iter
+    (fun (name, ns) ->
+      if ns >= 1_000_000.0 then Printf.printf "  %-46s %12.3f ms/run\n" name (ns /. 1_000_000.0)
+      else if ns >= 1_000.0 then Printf.printf "  %-46s %12.3f us/run\n" name (ns /. 1_000.0)
+      else Printf.printf "  %-46s %12.1f ns/run\n" name ns)
+    (List.sort compare rows)
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("EXP-F1", exp_fig1);
+    ("EXP-F2", exp_example2);
+    ("EXP-F3", exp_example3);
+    ("EXP-F4", exp_fig5);
+    ("EXP-B1", exp_semantics);
+    ("EXP-Q1", exp_query_scaling);
+    ("EXP-Q2", exp_topk_scaling);
+    ("EXP-I1", exp_incremental_unit);
+    ("EXP-I2", exp_incremental_batch);
+    ("EXP-C1", exp_compression_ratio);
+    ("EXP-C2", exp_compressed_query);
+    ("EXP-C3", exp_compression_maintain);
+    ("EXP-K1", exp_cache);
+    ("EXP-A1", exp_ablation_bsim_strategy);
+    ("EXP-A2", exp_ablation_equivalence);
+    ("EXP-A3", exp_ablation_area);
+    ("EXP-A4", exp_ablation_ball_index);
+    ("EXP-A5", exp_ablation_minimise);
+  ]
+
+let contains_substring haystack needle =
+  let n = String.length haystack and k = String.length needle in
+  let rec scan i = i + k <= n && (String.sub haystack i k = needle || scan (i + 1)) in
+  scan 0
+
+let () =
+  let full = Array.exists (( = ) "--full") Sys.argv in
+  let bechamel = Array.exists (( = ) "--bechamel") Sys.argv in
+  let only =
+    let rec collect i acc =
+      if i >= Array.length Sys.argv then acc
+      else if Sys.argv.(i) = "--only" && i + 1 < Array.length Sys.argv then
+        collect (i + 2) (Sys.argv.(i + 1) :: acc)
+      else collect (i + 1) acc
+    in
+    collect 1 []
+  in
+  let selected name =
+    only = [] || List.exists (fun pat -> contains_substring name pat) only
+  in
+  Printf.printf "ExpFinder experiment harness (%s mode)\n" (if full then "full" else "quick");
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun (name, f) -> if selected name then f ~full) experiments;
+  if bechamel then run_bechamel ();
+  Printf.printf "\ntotal harness time: %.1f s\n" (Unix.gettimeofday () -. t0)

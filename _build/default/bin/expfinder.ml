@@ -1,0 +1,399 @@
+(* ExpFinder command-line front-end.
+
+   The demo paper drives everything through a GUI; this CLI exposes the
+   same actions as subcommands: generate/manage data graphs, run pattern
+   queries, select top-K experts, compress graphs, apply updates, and
+   walk through the paper's Fig. 1 example.  DOT output substitutes the
+   result-graph visualisation. *)
+
+open Expfinder_graph
+open Expfinder_pattern
+open Expfinder_core
+open Expfinder_incremental
+open Expfinder_compression
+open Expfinder_engine
+module Collab = Expfinder_workload.Collab
+module Synthetic = Expfinder_workload.Synthetic
+module Twitter = Expfinder_workload.Twitter
+module Queries = Expfinder_workload.Queries
+
+let ( let* ) = Result.bind
+
+let err fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+(* --- shared loading helpers --------------------------------------------- *)
+
+let load_graph path =
+  match Graph_io.load path with
+  | Ok g -> Ok g
+  | Error e -> err "cannot load graph %s: %s" path e
+
+let load_pattern path =
+  match Pattern_io.load path with
+  | Ok p -> Ok p
+  | Error e -> err "cannot load pattern %s: %s" path e
+
+let parse_atom_list text =
+  if text = "" then Ok []
+  else
+    let rec loop acc = function
+      | [] -> Ok (List.rev acc)
+      | token :: rest -> (
+        (* Reuse the pattern-file condition syntax, e.g. exp>=5. *)
+        match Pattern_io.of_string
+                (Printf.sprintf "expfinder-pattern 1\nnode 0 x * %s\noutput 0\n" token)
+        with
+        | Ok p -> (
+          match Predicate.atoms (Pattern.node_spec p 0).Pattern.pred with
+          | [ atom ] -> loop (atom :: acc) rest
+          | _ -> err "bad condition %S" token)
+        | Error e -> err "bad condition %S: %s" token e)
+    in
+    loop [] (String.split_on_char ',' text)
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc contents)
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let or_die = function
+  | Ok () -> 0
+  | Error e ->
+    Printf.eprintf "expfinder: %s\n" e;
+    1
+
+(* --- gen ------------------------------------------------------------------ *)
+
+let gen verbose kind n avg_degree teams team_size seed output =
+  setup_logs verbose;
+  or_die
+    (let rng = Prng.create seed in
+     let* g =
+       match kind with
+       | "flat" -> Ok (Synthetic.flat rng ~n ~avg_degree)
+       | "org" -> Ok (Synthetic.org rng ~teams ~team_size)
+       | "twitter" -> Ok (Twitter.generate rng ~n)
+       | "collab" -> Ok (Collab.graph ())
+       | other -> err "unknown dataset kind %S (flat|org|twitter|collab)" other
+     in
+     Graph_io.save g output;
+     Printf.printf "wrote %s: %d nodes, %d edges\n" output (Digraph.node_count g)
+       (Digraph.edge_count g);
+     Ok ())
+
+(* --- import ------------------------------------------------------------------ *)
+
+let import verbose edges_file label exp_max seed output =
+  setup_logs verbose;
+  or_die
+    (let rng = Prng.create seed in
+     let node_label = Label.of_string label in
+     let node_init _ =
+       ( node_label,
+         if exp_max > 0 then Attrs.of_list [ Attrs.int "exp" (Prng.int rng (exp_max + 1)) ]
+         else Attrs.empty )
+     in
+     let* g =
+       match Graph_io.load_edge_list ~node_init edges_file with
+       | Ok g -> Ok g
+       | Error e -> err "cannot import %s: %s" edges_file e
+     in
+     Graph_io.save g output;
+     Printf.printf "imported %s: %d nodes, %d edges -> %s\n" edges_file
+       (Digraph.node_count g) (Digraph.edge_count g) output;
+     Ok ())
+
+(* --- stats ------------------------------------------------------------------ *)
+
+let stats verbose graph_file =
+  setup_logs verbose;
+  or_die
+    (let* g = load_graph graph_file in
+     let csr = Csr.of_digraph g in
+     Printf.printf "nodes: %d\nedges: %d\n" (Digraph.node_count g) (Digraph.edge_count g);
+     let labels = Queries.distinct_labels g in
+     Printf.printf "labels: %s\n"
+       (String.concat ", "
+          (Array.to_list (Array.map (fun l -> Label.to_string l) labels)));
+     Printf.printf "max out-degree: %d\n" (Csr.max_out_degree csr);
+     let scc = Scc.compute csr in
+     Printf.printf "strongly connected components: %d\n" (Scc.count scc);
+     Ok ())
+
+(* --- query ------------------------------------------------------------------ *)
+
+let print_matches q m =
+  if not (Match_relation.is_total m) then print_endline "no match (M(Q,G) is empty)"
+  else
+    for u = 0 to Pattern.size q - 1 do
+      Printf.printf "%s -> [%s]\n" (Pattern.name q u)
+        (String.concat "; " (List.map string_of_int (Match_relation.matches m u)))
+    done
+
+let query verbose graph_file pattern_file dot_output summary drill explain =
+  setup_logs verbose;
+  or_die
+    (let* g = load_graph graph_file in
+     let* q = load_pattern pattern_file in
+     let engine = Engine.create g in
+     if explain then print_string (Engine.explain engine q);
+     let answer = Engine.evaluate engine q in
+     print_matches q answer.Engine.relation;
+     let result_graph = lazy (Engine.result_graph engine q) in
+     if summary then begin
+       (* Roll-up: the global structure of the result graph. *)
+       let gr = Lazy.force result_graph in
+       Format.printf "%a@." (Result_graph.pp_summary q) (Result_graph.roll_up q gr)
+     end;
+     let* () =
+       match drill with
+       | None -> Ok ()
+       | Some name -> (
+         (* Drill-down: per-match detail for one pattern node. *)
+         match Pattern.pnode_of_name q name with
+         | None -> err "no pattern node named %S" name
+         | Some u ->
+           let gr = Lazy.force result_graph in
+           List.iter
+             (fun d -> Format.printf "%a@." Result_graph.pp_detail d)
+             (Result_graph.drill_down q (Engine.snapshot engine) gr u);
+           Ok ())
+     in
+     (match dot_output with
+     | None -> ()
+     | Some path ->
+       let gr = Lazy.force result_graph in
+       write_file path (Result_graph.to_dot q (Engine.snapshot engine) gr);
+       Printf.printf "result graph written to %s\n" path);
+     Ok ())
+
+(* --- topk ------------------------------------------------------------------ *)
+
+let topk verbose graph_file pattern_file k dot_output =
+  setup_logs verbose;
+  or_die
+    (let* g = load_graph graph_file in
+     let* q = load_pattern pattern_file in
+     let engine = Engine.create g in
+     let experts = Engine.top_k engine q ~k in
+     if experts = [] then print_endline "no experts found"
+     else
+       List.iteri
+         (fun i { Engine.node; name; rank } ->
+           Printf.printf "#%d: node %d%s  rank %s\n" (i + 1) node
+             (match name with Some n -> Printf.sprintf " (%s)" n | None -> "")
+             (Format.asprintf "%a" Ranking.pp_rank rank))
+         experts;
+     (match (dot_output, experts) with
+     | Some path, { Engine.node = best; _ } :: _ ->
+       let gr = Engine.result_graph engine q in
+       write_file path (Result_graph.to_dot ~highlight:[ best ] q (Engine.snapshot engine) gr);
+       Printf.printf "result graph (top-1 highlighted) written to %s\n" path
+     | Some path, [] ->
+       let gr = Engine.result_graph engine q in
+       write_file path (Result_graph.to_dot q (Engine.snapshot engine) gr)
+     | None, _ -> ());
+     Ok ())
+
+(* --- compress ------------------------------------------------------------- *)
+
+let compress_cmd verbose graph_file atoms_text output partition_output =
+  setup_logs verbose;
+  or_die
+    (let* g = load_graph graph_file in
+     let* atoms = parse_atom_list atoms_text in
+     let csr = Csr.of_digraph g in
+     let compressed = Compress.compress ~atoms csr in
+     Printf.printf "original:   %d nodes, %d edges\n" (Csr.node_count csr) (Csr.edge_count csr);
+     Printf.printf "compressed: %d nodes, %d edges\n"
+       (Csr.node_count (Compress.compressed compressed))
+       (Csr.edge_count (Compress.compressed compressed));
+     Printf.printf "reduction:  %.1f%% nodes, %.1f%% edges\n"
+       (100.0 *. Compress.node_ratio compressed)
+       (100.0 *. Compress.edge_ratio compressed);
+     (match output with
+     | None -> ()
+     | Some path ->
+       Graph_io.save (Csr.to_digraph (Compress.compressed compressed)) path;
+       Printf.printf "compressed graph written to %s\n" path);
+     (match partition_output with
+     | None -> ()
+     | Some path ->
+       Compress_io.save compressed path;
+       Printf.printf "partition written to %s (load against the original graph)\n" path);
+     Ok ())
+
+(* --- update ----------------------------------------------------------------- *)
+
+let parse_edge text =
+  match String.split_on_char ',' text with
+  | [ u; v ] -> (
+    match (int_of_string_opt u, int_of_string_opt v) with
+    | Some u, Some v -> Ok (u, v)
+    | _ -> err "bad edge %S (expected u,v)" text)
+  | _ -> err "bad edge %S (expected u,v)" text
+
+let update verbose graph_file inserts deletes pattern_file output =
+  setup_logs verbose;
+  or_die
+    (let* g = load_graph graph_file in
+     let* ins =
+       List.fold_left
+         (fun acc t -> Result.bind acc (fun l -> Result.map (fun e -> e :: l) (parse_edge t)))
+         (Ok []) inserts
+     in
+     let* del =
+       List.fold_left
+         (fun acc t -> Result.bind acc (fun l -> Result.map (fun e -> e :: l) (parse_edge t)))
+         (Ok []) deletes
+     in
+     let updates =
+       List.map (fun (u, v) -> Update.Delete_edge (u, v)) (List.rev del)
+       @ List.map (fun (u, v) -> Update.Insert_edge (u, v)) (List.rev ins)
+     in
+     let* () =
+       match pattern_file with
+       | None ->
+         let effective = Update.apply_batch g updates in
+         Printf.printf "applied %d/%d updates\n" effective (List.length updates);
+         Ok ()
+       | Some pf ->
+         let* q = load_pattern pf in
+         let inc = Incremental.create q g in
+         let report = Incremental.apply_updates inc g updates in
+         Printf.printf "applied %d/%d updates; affected area: %d nodes\n"
+           report.Incremental.effective (List.length updates) report.Incremental.area;
+         let show tag pairs =
+           List.iter
+             (fun (u, v) -> Printf.printf "%s (%s, %d)\n" tag (Pattern.name q u) v)
+             pairs
+         in
+         show "+" report.Incremental.added;
+         show "-" report.Incremental.removed;
+         Ok ()
+     in
+     (match output with
+     | None -> ()
+     | Some path ->
+       Graph_io.save g path;
+       Printf.printf "updated graph written to %s\n" path);
+     Ok ())
+
+(* --- demo -------------------------------------------------------------------- *)
+
+let demo verbose () =
+  setup_logs verbose;
+  let g = Collab.graph () in
+  let q = Collab.query () in
+  let engine = Engine.create g in
+  print_endline "== ExpFinder demo: the paper's Fig. 1 example ==";
+  Printf.printf "collaboration network: %d people, %d edges\n" (Digraph.node_count g)
+    (Digraph.edge_count g);
+  print_endline "\n-- Example 1: M(Q,G) --";
+  let answer = Engine.evaluate engine q in
+  for u = 0 to Pattern.size q - 1 do
+    Printf.printf "%s -> %s\n" (Pattern.name q u)
+      (String.concat ", " (List.map Collab.name_of (Match_relation.matches answer.Engine.relation u)))
+  done;
+  print_endline "\n-- Example 2: top-K ranking --";
+  List.iteri
+    (fun i { Engine.name; rank; _ } ->
+      Printf.printf "#%d %s  f = %s\n" (i + 1)
+        (Option.value ~default:"?" name)
+        (Format.asprintf "%a" Ranking.pp_rank rank))
+    (Engine.top_k engine q ~k:2);
+  print_endline "\n-- Example 3: incremental update (insert e1) --";
+  Engine.register engine q;
+  let src, dst = Collab.e1 in
+  (match Engine.apply_updates engine [ Update.Insert_edge (src, dst) ] with
+  | [ report ] ->
+    Printf.printf "inserted (%s, %s); affected area: %d node(s)\n" (Collab.name_of src)
+      (Collab.name_of dst) report.Incremental.area;
+    List.iter
+      (fun (u, v) -> Printf.printf "new match: (%s, %s)\n" (Pattern.name q u) (Collab.name_of v))
+      report.Incremental.added
+  | _ -> ());
+  0
+
+(* --- cmdliner plumbing -------------------------------------------------------- *)
+
+open Cmdliner
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
+
+let graph_arg =
+  Arg.(required & opt (some file) None & info [ "g"; "graph" ] ~docv:"FILE" ~doc:"Data graph file.")
+
+let pattern_arg =
+  Arg.(
+    required & opt (some file) None & info [ "q"; "query" ] ~docv:"FILE" ~doc:"Pattern query file.")
+
+let dot_arg =
+  Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc:"Write the result graph in DOT format.")
+
+let gen_cmd =
+  let kind = Arg.(value & opt string "flat" & info [ "kind" ] ~docv:"KIND" ~doc:"flat|org|twitter|collab") in
+  let n = Arg.(value & opt int 1000 & info [ "n" ] ~doc:"Node count (flat/twitter).") in
+  let deg = Arg.(value & opt int 4 & info [ "avg-degree" ] ~doc:"Average out-degree (flat).") in
+  let teams = Arg.(value & opt int 50 & info [ "teams" ] ~doc:"Team count (org).") in
+  let tsize = Arg.(value & opt int 8 & info [ "team-size" ] ~doc:"Team size (org).") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let out = Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.") in
+  Cmd.v (Cmd.info "gen" ~doc:"Generate a data graph")
+    Term.(const gen $ verbose_arg $ kind $ n $ deg $ teams $ tsize $ seed $ out)
+
+let import_cmd =
+  let edges = Arg.(required & opt (some file) None & info [ "edges" ] ~docv:"FILE" ~doc:"SNAP-style edge list (src dst per line, # comments).") in
+  let label = Arg.(value & opt string "node" & info [ "label" ] ~doc:"Label for all imported nodes.") in
+  let exp_max = Arg.(value & opt int 0 & info [ "random-exp" ] ~docv:"MAX" ~doc:"Assign random exp attributes in [0..MAX] (0 = none).") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed for random attributes.") in
+  let out = Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output graph file.") in
+  Cmd.v (Cmd.info "import" ~doc:"Import a real-world edge list as a data graph")
+    Term.(const import $ verbose_arg $ edges $ label $ exp_max $ seed $ out)
+
+let stats_cmd =
+  Cmd.v (Cmd.info "stats" ~doc:"Print statistics of a data graph") Term.(const stats $ verbose_arg $ graph_arg)
+
+let query_cmd =
+  let summary = Arg.(value & flag & info [ "summary" ] ~doc:"Roll-up view of the result graph.") in
+  let drill =
+    Arg.(value & opt (some string) None & info [ "drill" ] ~docv:"NODE" ~doc:"Drill down into the matches of this pattern node.")
+  in
+  let explain = Arg.(value & flag & info [ "explain" ] ~doc:"Print the query plan.") in
+  Cmd.v (Cmd.info "query" ~doc:"Evaluate a pattern query (bounded simulation)")
+    Term.(const query $ verbose_arg $ graph_arg $ pattern_arg $ dot_arg $ summary $ drill $ explain)
+
+let topk_cmd =
+  let k = Arg.(value & opt int 3 & info [ "k" ] ~doc:"Number of experts.") in
+  Cmd.v (Cmd.info "topk" ~doc:"Rank matches of the output node and select top-K experts")
+    Term.(const topk $ verbose_arg $ graph_arg $ pattern_arg $ k $ dot_arg)
+
+let compress_cmd_t =
+  let atoms =
+    Arg.(value & opt string "" & info [ "atoms" ] ~docv:"CONDS" ~doc:"Comma-separated predicate atoms the compression must preserve, e.g. exp>=2,exp>=5.")
+  in
+  let out = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the compressed graph.") in
+  let part = Arg.(value & opt (some string) None & info [ "save-partition" ] ~docv:"FILE" ~doc:"Persist the partition for later reuse.") in
+  Cmd.v (Cmd.info "compress" ~doc:"Compress a graph (query-preserving bisimulation)")
+    Term.(const compress_cmd $ verbose_arg $ graph_arg $ atoms $ out $ part)
+
+let update_cmd =
+  let ins = Arg.(value & opt_all string [] & info [ "insert" ] ~docv:"U,V" ~doc:"Insert edge (repeatable).") in
+  let del = Arg.(value & opt_all string [] & info [ "delete" ] ~docv:"U,V" ~doc:"Delete edge (repeatable).") in
+  let q = Arg.(value & opt (some file) None & info [ "q"; "query" ] ~docv:"FILE" ~doc:"Maintain this query incrementally and show the delta.") in
+  let out = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the updated graph.") in
+  Cmd.v (Cmd.info "update" ~doc:"Apply edge updates, optionally maintaining a query incrementally")
+    Term.(const update $ verbose_arg $ graph_arg $ ins $ del $ q $ out)
+
+let demo_cmd = Cmd.v (Cmd.info "demo" ~doc:"Walk through the paper's Fig. 1 example") Term.(const demo $ verbose_arg $ const ())
+
+let main_cmd =
+  let doc = "finding experts in social networks by graph pattern matching" in
+  Cmd.group (Cmd.info "expfinder" ~version:"1.0.0" ~doc)
+    [ gen_cmd; import_cmd; stats_cmd; query_cmd; topk_cmd; compress_cmd_t; update_cmd; demo_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

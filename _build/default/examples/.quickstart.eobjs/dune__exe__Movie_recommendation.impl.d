@@ -1,0 +1,1 @@
+examples/movie_recommendation.ml: Array Attrs Digraph Engine Expfinder_core Expfinder_engine Expfinder_graph Expfinder_pattern Label List Option Pattern Predicate Printf Prng

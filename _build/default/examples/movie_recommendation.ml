@@ -1,0 +1,109 @@
+(* Beyond expert search: the paper closes by noting the same machinery
+   recommends movies, finds jobs, plans travel.  This example recommends
+   movies with graph pattern matching: the data graph links users and
+   the movies they liked (both directions — a like is a collaboration),
+   and the query asks for highly rated sci-fi movies liked by someone
+   who also liked the seed movie.  Social-impact ranking then surfaces
+   the recommendations most central to that taste community.
+
+   Run with: dune exec examples/movie_recommendation.exe *)
+
+open Expfinder_graph
+open Expfinder_pattern
+open Expfinder_engine
+
+let genres = [| "scifi"; "drama"; "comedy"; "noir"; "action" |]
+
+(* A small deterministic movie/user graph: users have a favourite genre
+   and like mostly within it, so genre communities emerge. *)
+let build rng ~movies ~users =
+  let g = Digraph.create () in
+  let movie_label = Label.of_string "Movie" and user_label = Label.of_string "User" in
+  let movie_ids =
+    Array.init movies (fun i ->
+        let genre = genres.(i mod Array.length genres) in
+        Digraph.add_node g
+          ~attrs:
+            (Attrs.of_list
+               [
+                 Attrs.str "name" (Printf.sprintf "%s-movie-%d" genre i);
+                 Attrs.str "genre" genre;
+                 Attrs.int "rating" (4 + Prng.int rng 7);
+               ])
+          movie_label)
+  in
+  let seed = movie_ids.(0) in
+  Digraph.set_attrs g seed
+    (Attrs.of_list
+       [ Attrs.str "name" "The Seed Film"; Attrs.str "genre" "scifi"; Attrs.int "rating" 9 ]);
+  for _ = 1 to users do
+    let favourite = Prng.int rng (Array.length genres) in
+    let u =
+      Digraph.add_node g
+        ~attrs:(Attrs.of_list [ Attrs.str "taste" genres.(favourite) ])
+        user_label
+    in
+    for _ = 1 to 3 + Prng.int rng 5 do
+      (* 70% within the favourite genre *)
+      let pick =
+        if Prng.float rng 1.0 < 0.7 then begin
+          let offset = Prng.int rng (movies / Array.length genres) in
+          movie_ids.((offset * Array.length genres) + favourite mod Array.length genres)
+        end
+        else movie_ids.(Prng.int rng movies)
+      in
+      ignore (Digraph.add_edge g u pick : bool);
+      ignore (Digraph.add_edge g pick u : bool)
+    done
+  done;
+  (g, seed)
+
+let () =
+  let rng = Prng.create 77 in
+  let g, seed = build rng ~movies:200 ~users:2_000 in
+  Printf.printf "catalogue graph: %d nodes, %d like-edges\n" (Digraph.node_count g)
+    (Digraph.edge_count g);
+
+  (* "Recommend a well-rated sci-fi movie (*) liked by a viewer who also
+     liked The Seed Film." *)
+  let query =
+    Pattern.make_exn
+      ~nodes:
+        [|
+          {
+            Pattern.name = "rec";
+            label = Some (Label.of_string "Movie");
+            pred =
+              Predicate.conj (Predicate.eq_str "genre" "scifi") (Predicate.ge_int "rating" 7);
+          };
+          { Pattern.name = "fan"; label = Some (Label.of_string "User"); pred = Predicate.always };
+          {
+            Pattern.name = "seed";
+            label = Some (Label.of_string "Movie");
+            pred = Predicate.eq_str "name" "The Seed Film";
+          };
+        |]
+      ~edges:[ (0, 1, Pattern.Bounded 1); (1, 2, Pattern.Bounded 1) ]
+      ~output:0
+  in
+
+  let engine = Engine.create g in
+  let recommendations = Engine.top_k engine query ~k:5 in
+  if recommendations = [] then print_endline "no recommendation matches the constraints"
+  else begin
+    print_endline "\nrecommended (most central to the seed film's audience first):";
+    List.iteri
+      (fun i { Engine.node; name; rank } ->
+        ignore node;
+        Printf.printf "  #%d %s (impact %.2f)\n" (i + 1)
+          (Option.value ~default:"?" name)
+          (Expfinder_core.Ranking.rank_to_float rank))
+      recommendations
+  end;
+
+  (* The seed film itself scores too — but recommending it back is no
+     use; a real system would filter it.  Show that it matched. *)
+  let answer = Engine.evaluate engine query in
+  Printf.printf "\n(matching movies: %d, including the seed itself: %b)\n"
+    (Expfinder_core.Match_relation.count answer.Engine.relation 0)
+    (Expfinder_core.Match_relation.mem answer.Engine.relation 0 seed)

@@ -1,0 +1,59 @@
+(* Expert finding on a social-media graph (the paper's Twitter workload).
+
+   Find database experts on a follower network: a DB account with strong
+   experience, followed (within 2 hops) by an ML practitioner and a
+   systems person, and itself following a security account within 3 hops.
+   The '*' output node is the DB expert.
+
+   Run with: dune exec examples/twitter_influencers.exe *)
+
+open Expfinder_graph
+open Expfinder_pattern
+open Expfinder_core
+open Expfinder_engine
+module Twitter = Expfinder_workload.Twitter
+
+let () =
+  let rng = Prng.create 7 in
+  let network = Twitter.generate rng ~n:20_000 in
+  Printf.printf "follower network: %d users, %d follow edges\n" (Digraph.node_count network)
+    (Digraph.edge_count network);
+
+  let query =
+    Pattern.make_exn
+      ~nodes:
+        [|
+          { Pattern.name = "db_expert"; label = Some (Label.of_string "DB"); pred = Predicate.ge_int "exp" 6 };
+          { Pattern.name = "ml_fan"; label = Some (Label.of_string "ML"); pred = Predicate.always };
+          { Pattern.name = "sys_fan"; label = Some (Label.of_string "Sys"); pred = Predicate.always };
+          { Pattern.name = "sec_source"; label = Some (Label.of_string "Sec"); pred = Predicate.ge_int "exp" 4 };
+        |]
+      ~edges:
+        [
+          (* followers reach the expert (follow edges point outward) *)
+          (1, 0, Pattern.Bounded 2);
+          (2, 0, Pattern.Bounded 2);
+          (* the expert follows a security source *)
+          (0, 3, Pattern.Bounded 3);
+        ]
+      ~output:0
+  in
+
+  let engine = Engine.create network in
+  let answer = Engine.evaluate engine query in
+  Printf.printf "DB experts matching the pattern: %d\n"
+    (Match_relation.count answer.Engine.relation 0);
+
+  print_endline "\ntop 10 by social impact:";
+  List.iteri
+    (fun i { Engine.node; name; rank } ->
+      let followers =
+        match Attrs.find (Csr.attrs (Engine.snapshot engine) node) "followers" with
+        | Some (Attr.Int f) -> f
+        | _ -> 0
+      in
+      Printf.printf "  #%d %s  rank %s  (%d followers)\n" (i + 1)
+        (Option.value ~default:(string_of_int node) name)
+        (Format.asprintf "%a" Ranking.pp_rank rank)
+        followers)
+    (Engine.top_k engine query ~k:10)

@@ -1,0 +1,1 @@
+lib/compression/bisimulation.ml: Array Bitset Csr Expfinder_graph Hashtbl Int List

@@ -1,0 +1,1 @@
+lib/compression/bisimulation.mli: Bitset Csr Expfinder_graph

@@ -1,0 +1,1 @@
+lib/compression/compress.ml: Array Attr Bisimulation Bounded_sim Csr Digraph Expfinder_core Expfinder_graph Expfinder_pattern Label List Match_relation Pattern Predicate Simulation String

@@ -1,0 +1,1 @@
+lib/compression/compress.mli: Csr Expfinder_core Expfinder_graph Expfinder_pattern Match_relation Pattern Predicate

@@ -1,0 +1,1 @@
+lib/compression/compress_io.ml: Array Bisimulation Buffer Compress Csr Expfinder_graph Expfinder_pattern Fun In_channel List Pattern_io Printf String

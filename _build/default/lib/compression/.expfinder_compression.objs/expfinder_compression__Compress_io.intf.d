@@ -1,0 +1,1 @@
+lib/compression/compress_io.mli: Compress Csr Expfinder_graph

@@ -1,0 +1,1 @@
+lib/compression/inc_compress.ml: Bisimulation Bitset Compress Csr Digraph Expfinder_graph Expfinder_incremental Expfinder_pattern List Predicate Traversal Update

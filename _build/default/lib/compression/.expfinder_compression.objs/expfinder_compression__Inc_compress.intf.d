@@ -1,0 +1,1 @@
+lib/compression/inc_compress.mli: Compress Csr Digraph Expfinder_graph Expfinder_incremental Expfinder_pattern Predicate Update

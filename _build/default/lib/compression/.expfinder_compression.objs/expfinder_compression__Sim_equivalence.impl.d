@@ -1,0 +1,1 @@
+lib/compression/sim_equivalence.ml: Array Bitset Csr Expfinder_graph List

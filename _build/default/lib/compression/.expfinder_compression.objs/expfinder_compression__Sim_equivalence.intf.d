@@ -1,0 +1,1 @@
+lib/compression/sim_equivalence.mli: Bitset Csr Expfinder_graph

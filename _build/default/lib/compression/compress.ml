@@ -1,0 +1,116 @@
+open Expfinder_graph
+open Expfinder_pattern
+open Expfinder_core
+
+type t = {
+  atoms : Predicate.atom list;
+  original : Csr.t;
+  compressed : Csr.t;
+  block_of : int array;
+  members : int list array;
+}
+
+(* Signature of a node w.r.t. the atom universe: label + one bit per
+   atom.  Nodes merged by the bisimulation agree on all of it. *)
+let signature_key atoms g v =
+  let label = Label.to_int (Csr.label g v) in
+  let attrs = Csr.attrs g v in
+  let bits =
+    List.fold_left
+      (fun acc atom ->
+        (2 * acc) + if Predicate.eval (Predicate.of_atoms [ atom ]) attrs then 1 else 0)
+      0 atoms
+  in
+  (label * 1048576) + bits
+
+let of_partition ?(atoms = []) g block_of =
+  let nblocks = Bisimulation.block_count block_of in
+  let members = Array.make (max nblocks 1) [] in
+  for v = Csr.node_count g - 1 downto 0 do
+    members.(block_of.(v)) <- v :: members.(block_of.(v))
+  done;
+  let gc = Digraph.create ~capacity:nblocks () in
+  for b = 0 to nblocks - 1 do
+    (* All members share label and atom signature; use the first as the
+       representative for candidate evaluation. *)
+    match members.(b) with
+    | [] -> ignore (Digraph.add_node gc (Label.of_string "") : int)
+    | rep :: _ -> ignore (Digraph.add_node gc ~attrs:(Csr.attrs g rep) (Csr.label g rep) : int)
+  done;
+  (* Within-block edges become self-loops: by stability every member of
+     such a block can step to another member of the same class. *)
+  Csr.iter_edges g (fun u v ->
+      ignore (Digraph.add_edge gc block_of.(u) block_of.(v) : bool));
+  { atoms; original = g; compressed = Csr.of_digraph gc; block_of; members }
+
+let compress ?(atoms = []) g =
+  let key = signature_key atoms g in
+  let block_of = Bisimulation.compute g ~key in
+  of_partition ~atoms g block_of
+
+let atoms t = t.atoms
+
+let original t = t.original
+
+let compressed t = t.compressed
+
+let block_count t = Array.length t.members
+
+let block_of t v =
+  if v < 0 || v >= Csr.node_count t.original then invalid_arg "Compress.block_of";
+  t.block_of.(v)
+
+let partition t = Array.copy t.block_of
+
+let members t b =
+  if b < 0 || b >= block_count t then invalid_arg "Compress.members";
+  t.members.(b)
+
+let node_ratio t =
+  let n = Csr.node_count t.original in
+  if n = 0 then 0.0 else 1.0 -. (float_of_int (block_count t) /. float_of_int n)
+
+let edge_ratio t =
+  let m = Csr.edge_count t.original in
+  if m = 0 then 0.0
+  else 1.0 -. (float_of_int (Csr.edge_count t.compressed) /. float_of_int m)
+
+let supports t pattern =
+  let universe = t.atoms in
+  let atom_in_universe a =
+    List.exists
+      (fun a' ->
+        String.equal a.Predicate.attr a'.Predicate.attr
+        && a.Predicate.op = a'.Predicate.op
+        && Attr.equal a.Predicate.value a'.Predicate.value)
+      universe
+  in
+  let ok = ref true in
+  for u = 0 to Pattern.size pattern - 1 do
+    let spec = Pattern.node_spec pattern u in
+    List.iter
+      (fun a -> if not (atom_in_universe a) then ok := false)
+      (Predicate.atoms spec.Pattern.pred)
+  done;
+  !ok
+
+let evaluate_compressed t pattern =
+  if not (supports t pattern) then
+    invalid_arg "Compress.evaluate_compressed: pattern conditions outside the atom universe";
+  if Pattern.is_simulation_pattern pattern then Simulation.run pattern t.compressed
+  else Bounded_sim.run pattern t.compressed
+
+let expand t mc =
+  let m =
+    Match_relation.create
+      ~pattern_size:(Match_relation.pattern_size mc)
+      ~graph_size:(Csr.node_count t.original)
+  in
+  for u = 0 to Match_relation.pattern_size mc - 1 do
+    List.iter
+      (fun b -> List.iter (fun v -> Match_relation.add m u v) t.members.(b))
+      (Match_relation.matches mc u)
+  done;
+  m
+
+let evaluate t pattern = expand t (evaluate_compressed t pattern)

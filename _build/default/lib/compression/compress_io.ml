@@ -1,0 +1,99 @@
+open Expfinder_graph
+open Expfinder_pattern
+
+let header = "expfinder-compressed 1"
+
+let to_string compressed =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  let partition = Compress.partition compressed in
+  Buffer.add_string buf (Printf.sprintf "nodes %d\n" (Array.length partition));
+  List.iter
+    (fun atom ->
+      Buffer.add_string buf (Printf.sprintf "atom %s\n" (Pattern_io.condition_to_string atom)))
+    (Compress.atoms compressed);
+  Array.iteri
+    (fun i b ->
+      if i mod 64 = 0 then
+        Buffer.add_string buf (if i = 0 then "blocks" else "\nblocks");
+      Buffer.add_string buf (" " ^ string_of_int b))
+    partition;
+  if Array.length partition > 0 then Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let save compressed path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string compressed))
+
+let of_string g text =
+  let lines = String.split_on_char '\n' text in
+  let err lineno msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+  let expected = ref (-1) in
+  let atoms = ref [] in
+  let blocks = ref [] in
+  let count = ref 0 in
+  let rec loop lineno seen_header = function
+    | [] ->
+      if not seen_header then Error "empty input"
+      else if !expected < 0 then Error "missing nodes declaration"
+      else if !count <> !expected then
+        Error (Printf.sprintf "expected %d blocks, got %d" !expected !count)
+      else if !expected <> Csr.node_count g then
+        Error
+          (Printf.sprintf "compressed file is for a %d-node graph, snapshot has %d" !expected
+             (Csr.node_count g))
+      else begin
+        let partition = Array.make (max !expected 1) 0 in
+        List.iteri (fun i b -> partition.(!expected - 1 - i) <- b) !blocks;
+        let atoms = List.rev !atoms in
+        (* Query preservation needs a stable, key-respecting partition;
+           never trust a file. *)
+        if not (Bisimulation.is_stable g ~key:(Compress.signature_key atoms g) partition)
+        then Error "stored partition is not a bisimulation of this graph"
+        else Ok (Compress.of_partition ~atoms g partition)
+      end
+    | line :: rest -> (
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then loop (lineno + 1) seen_header rest
+      else if not seen_header then
+        if line = header then loop (lineno + 1) true rest
+        else err lineno (Printf.sprintf "expected header %S" header)
+      else
+        match String.split_on_char ' ' line with
+        | [ "nodes"; n ] -> (
+          match int_of_string_opt n with
+          | Some n when n >= 0 ->
+            expected := n;
+            loop (lineno + 1) seen_header rest
+          | _ -> err lineno (Printf.sprintf "bad node count %S" n))
+        | [ "atom"; token ] -> (
+          match Pattern_io.condition_of_string token with
+          | Ok atom ->
+            atoms := atom :: !atoms;
+            loop (lineno + 1) seen_header rest
+          | Error e -> err lineno e)
+        | "blocks" :: values -> (
+          let rec push = function
+            | [] -> loop (lineno + 1) seen_header rest
+            | "" :: more -> push more
+            | v :: more -> (
+              match int_of_string_opt v with
+              | Some b when b >= 0 ->
+                blocks := b :: !blocks;
+                incr count;
+                push more
+              | _ -> err lineno (Printf.sprintf "bad block id %S" v))
+          in
+          push values)
+        | keyword :: _ -> err lineno (Printf.sprintf "unknown record %S" keyword)
+        | [] -> loop (lineno + 1) seen_header rest)
+  in
+  loop 1 false lines
+
+let load g path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_string g text
+  | exception Sys_error e -> Error e

@@ -1,0 +1,25 @@
+open Expfinder_graph
+
+(** Persistence of compressed graphs (§II: compressed graphs are part of
+    the system's file-backed graph storage).
+
+    A compressed graph is determined by its original graph, its node
+    partition and its atom universe; the file stores the latter two (the
+    original graph travels separately in the {!Graph_io} format):
+
+    {v
+    expfinder-compressed 1
+    nodes <n>
+    atom <condition>           (zero or more, pattern-file syntax)
+    blocks <b0> <b1> ...       (node blocks in id order, 64 per line)
+    v} *)
+
+val to_string : Compress.t -> string
+
+val save : Compress.t -> string -> unit
+
+val of_string : Csr.t -> string -> (Compress.t, string) result
+(** Rebuild against the original snapshot; fails when the stored node
+    count does not match. *)
+
+val load : Csr.t -> string -> (Compress.t, string) result

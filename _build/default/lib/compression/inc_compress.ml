@@ -1,0 +1,79 @@
+open Expfinder_graph
+open Expfinder_pattern
+open Expfinder_incremental
+
+type t = {
+  atoms : Predicate.atom list;
+  mutable csr : Csr.t;
+  mutable partition : int array;
+  mutable compress : Compress.t;
+}
+
+type report = {
+  effective : int;
+  area : int;
+  blocks_before : int;
+  blocks_after : int;
+}
+
+let key_of = Compress.signature_key
+
+let create ?(atoms = []) g =
+  let csr = Csr.of_digraph g in
+  let partition = Bisimulation.compute csr ~key:(key_of atoms csr) in
+  { atoms; csr; partition; compress = Compress.of_partition ~atoms csr partition }
+
+let current t = t.compress
+
+let snapshot t = t.csr
+
+let rebuild t g =
+  t.csr <- Csr.of_digraph g;
+  t.partition <- Bisimulation.compute t.csr ~key:(key_of t.atoms t.csr);
+  t.compress <- Compress.of_partition ~atoms:t.atoms t.csr t.partition
+
+let sync t ~new_csr ~effective updates =
+  let old_csr = t.csr in
+  let old_n = Csr.node_count old_csr in
+  let blocks_before = Bisimulation.block_count t.partition in
+  let new_n = Csr.node_count new_csr in
+  let seeds = Update.touched_sources updates in
+  let area = Bitset.create new_n in
+  let old_seeds = List.filter (fun v -> v < old_n) seeds in
+  if old_seeds <> [] then
+    Traversal.bfs_rev old_csr old_seeds (fun v _ -> Bitset.add area v);
+  let new_seeds = List.filter (fun v -> v < new_n) seeds in
+  if new_seeds <> [] then
+    Traversal.bfs_rev new_csr new_seeds (fun v _ -> Bitset.add area v);
+  for v = old_n to new_n - 1 do
+    Bitset.add area v
+  done;
+  (* Local re-refinement pays off while the affected area is a minority
+     of the graph; beyond that a fresh coarsest partition is both faster
+     and optimal, so fall back (this also resets any accumulated
+     drift). *)
+  let partition =
+    if 2 * Bitset.cardinal area > new_n then
+      Bisimulation.compute new_csr ~key:(key_of t.atoms new_csr)
+    else
+      Bisimulation.refine_local new_csr ~key:(key_of t.atoms new_csr) ~prev:t.partition
+        ~area
+  in
+  t.csr <- new_csr;
+  t.partition <- partition;
+  t.compress <- Compress.of_partition ~atoms:t.atoms new_csr partition;
+  {
+    effective;
+    area = Bitset.cardinal area;
+    blocks_before;
+    blocks_after = Bisimulation.block_count partition;
+  }
+
+let apply_updates t g updates =
+  if Digraph.version g <> Csr.source_version t.csr then
+    invalid_arg "Inc_compress.apply_updates: digraph out of sync with tracked snapshot";
+  let effective = Update.apply_batch g updates in
+  sync t ~new_csr:(Csr.of_digraph g) ~effective updates
+
+let fresh_block_count t =
+  Bisimulation.block_count (Bisimulation.compute t.csr ~key:(key_of t.atoms t.csr))

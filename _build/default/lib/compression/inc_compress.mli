@@ -1,0 +1,51 @@
+open Expfinder_graph
+open Expfinder_pattern
+open Expfinder_incremental
+
+(** Incremental maintenance of the compressed graph.
+
+    On ΔG, only the ancestors of the touched edge sources can change
+    equivalence class (bisimilarity, like simulation membership, is a
+    property of a node's descendant subgraph).  The maintained partition
+    re-keys and re-refines just that affected area against the frozen
+    remainder ({!Bisimulation.refine_local}), then rebuilds Gc from the
+    partition.
+
+    The maintained partition is always a valid bisimulation — hence Gc
+    stays query-preserving — but may be finer than the coarsest one
+    (area nodes are not re-merged into frozen blocks), so compression
+    quality can drift below the from-scratch optimum; {!fresh_block_count}
+    measures the gap, and experiment EXP-C3 tracks it. *)
+
+type t
+
+type report = {
+  effective : int;  (** updates that changed the graph *)
+  area : int;  (** affected-area size *)
+  blocks_before : int;
+  blocks_after : int;
+}
+
+val create : ?atoms:Predicate.atom list -> Digraph.t -> t
+(** Compress from scratch and start tracking. *)
+
+val current : t -> Compress.t
+(** The maintained compressed graph. *)
+
+val snapshot : t -> Csr.t
+
+val apply_updates : t -> Digraph.t -> Update.t list -> report
+(** Apply ΔG and maintain.  @raise Invalid_argument when the digraph was
+    mutated behind the module's back. *)
+
+val sync : t -> new_csr:Csr.t -> effective:int -> Update.t list -> report
+(** Maintenance against an externally applied ΔG (see
+    {!Expfinder_incremental.Incremental.sync}). *)
+
+val rebuild : t -> Digraph.t -> unit
+(** From-scratch recompression (the baseline, also restores coarsest-
+    partition optimality). *)
+
+val fresh_block_count : t -> int
+(** Blocks of a from-scratch compression of the current graph (for
+    measuring maintenance-quality drift; costs a full recompute). *)

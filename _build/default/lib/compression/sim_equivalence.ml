@@ -1,0 +1,53 @@
+open Expfinder_graph
+
+(* sim.(u) = { v | v simulates u }: greatest relation with
+   key(u) = key(v) and every successor of u simulated by a successor of
+   v.  Computed by sweep-to-fixpoint; fine for the mid-sized graphs the
+   ablation uses. *)
+let preorder g ~key =
+  let n = Csr.node_count g in
+  let sim = Array.init (max n 1) (fun _ -> Bitset.create n) in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if key u = key v then Bitset.add sim.(u) v
+    done
+  done;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for u = 0 to n - 1 do
+      let victims = ref [] in
+      Bitset.iter
+        (fun v ->
+          let ok =
+            not
+              (Csr.exists_succ g u (fun u' ->
+                   not (Csr.exists_succ g v (fun v' -> Bitset.mem sim.(u') v'))))
+          in
+          if not ok then victims := v :: !victims)
+        sim.(u);
+      if !victims <> [] then begin
+        changed := true;
+        List.iter (fun v -> Bitset.remove sim.(u) v) !victims
+      end
+    done
+  done;
+  sim
+
+let compute g ~key =
+  let n = Csr.node_count g in
+  let sim = preorder g ~key in
+  let block_of = Array.make (max n 1) (-1) in
+  let count = ref 0 in
+  for u = 0 to n - 1 do
+    if block_of.(u) < 0 then begin
+      block_of.(u) <- !count;
+      (* Mutual simulation is an equivalence: group u with every v that
+         simulates it and is simulated by it. *)
+      Bitset.iter
+        (fun v -> if v > u && Bitset.mem sim.(v) u && block_of.(v) < 0 then block_of.(v) <- !count)
+        sim.(u);
+      incr count
+    end
+  done;
+  block_of

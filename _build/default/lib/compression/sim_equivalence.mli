@@ -1,0 +1,23 @@
+open Expfinder_graph
+
+(** Simulation-equivalence partitioning (the more aggressive merging of
+    the SIGMOD 2012 paper, ablation EXP-A2).
+
+    Two nodes are merged when they simulate {e each other} (w.r.t. label
+    and atom-signature keys).  This is coarser than bisimulation —
+    simulation equivalence ignores branching structure — so it
+    compresses more, but it only preserves {e plain simulation} queries:
+    bounded queries need exact path lengths, which simulation-equivalent
+    merging does not maintain.
+
+    The preorder is computed with the HHK refinement applied to G
+    against itself; the O(n²)-bit similarity matrix confines this scheme
+    to mid-sized graphs, which is also how the ablation uses it. *)
+
+val compute : Csr.t -> key:(int -> int) -> int array
+(** Partition of the nodes into mutual-simulation classes (dense block
+    ids).  Nodes with different keys are never merged. *)
+
+val preorder : Csr.t -> key:(int -> int) -> Bitset.t array
+(** The full similarity relation: [(preorder g).(u)] is the set of nodes
+    that simulate [u].  Exposed for tests. *)

@@ -1,0 +1,1 @@
+lib/core/ball_index.ml: Array Bitset Candidates Csr Distance Expfinder_graph Expfinder_pattern List Match_relation Pattern Vec

@@ -1,0 +1,1 @@
+lib/core/ball_index.mli: Csr Expfinder_graph Expfinder_pattern Match_relation Pattern

@@ -1,0 +1,1 @@
+lib/core/bounded_sim.ml: Array Bitset Candidates Csr Distance Expfinder_graph Expfinder_pattern List Match_relation Pattern Reach Vec

@@ -1,0 +1,1 @@
+lib/core/bounded_sim.mli: Bitset Csr Expfinder_graph Expfinder_pattern Match_relation Pattern

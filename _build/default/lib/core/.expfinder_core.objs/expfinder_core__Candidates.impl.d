@@ -1,0 +1,1 @@
+lib/core/candidates.ml: Bitset Csr Expfinder_graph Expfinder_pattern List Match_relation Pattern Predicate

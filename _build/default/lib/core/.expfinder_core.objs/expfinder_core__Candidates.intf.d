@@ -1,0 +1,1 @@
+lib/core/candidates.mli: Bitset Csr Expfinder_graph Expfinder_pattern Match_relation Pattern

@@ -1,0 +1,1 @@
+lib/core/match_relation.ml: Array Bitset Expfinder_graph Expfinder_pattern Format List Pattern

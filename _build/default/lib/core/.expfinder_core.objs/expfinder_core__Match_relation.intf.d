@@ -1,0 +1,1 @@
+lib/core/match_relation.mli: Bitset Expfinder_graph Expfinder_pattern Format Pattern

@@ -1,0 +1,1 @@
+lib/core/planner.ml: Array Bounded_sim Buffer Csr Expfinder_graph Expfinder_pattern Fun List Match_relation Pattern Predicate Printf Simulation

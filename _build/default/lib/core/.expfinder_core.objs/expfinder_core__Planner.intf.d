@@ -1,0 +1,1 @@
+lib/core/planner.mli: Bounded_sim Csr Expfinder_graph Expfinder_pattern Match_relation Pattern

@@ -1,0 +1,1 @@
+lib/core/ranking.ml: Array Expfinder_graph Format List Result_graph Wgraph

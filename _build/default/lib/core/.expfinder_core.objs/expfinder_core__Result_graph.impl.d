@@ -1,0 +1,1 @@
+lib/core/result_graph.ml: Array Attr Attrs Bitset Buffer Csr Distance Expfinder_graph Expfinder_pattern Format Hashtbl Label List Match_relation Pattern Printf String Vec Wgraph

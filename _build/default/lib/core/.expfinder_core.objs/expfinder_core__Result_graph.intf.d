@@ -1,0 +1,1 @@
+lib/core/result_graph.mli: Csr Expfinder_graph Expfinder_pattern Format Match_relation Pattern Wgraph

@@ -1,0 +1,1 @@
+lib/core/simulation.ml: Array Bitset Candidates Csr Expfinder_graph Expfinder_pattern List Match_relation Pattern Sparse_refine Vec

@@ -1,0 +1,1 @@
+lib/core/sparse_refine.ml: Array Bitset Distance Expfinder_graph Expfinder_pattern Graph_intf Hashtbl List Match_relation Option Pattern Vec

@@ -1,0 +1,1 @@
+lib/core/sparse_refine.mli: Bitset Expfinder_graph Expfinder_pattern Graph_intf Match_relation Pattern

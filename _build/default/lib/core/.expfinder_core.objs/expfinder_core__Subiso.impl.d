@@ -1,0 +1,1 @@
+lib/core/subiso.ml: Array Csr Expfinder_graph Expfinder_pattern Fun Hashtbl List Pattern Predicate

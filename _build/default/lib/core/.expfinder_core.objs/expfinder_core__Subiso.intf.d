@@ -1,0 +1,1 @@
+lib/core/subiso.mli: Csr Expfinder_graph Expfinder_pattern Pattern

@@ -1,0 +1,89 @@
+open Expfinder_graph
+open Expfinder_pattern
+
+type t = {
+  radius : int;
+  source_version : int;
+  offsets : int array; (* length n+1 *)
+  members : int array;
+  dists : int array;
+}
+
+let build g ~radius =
+  if radius < 1 then invalid_arg "Ball_index.build";
+  let n = Csr.node_count g in
+  let scratch = Distance.make_scratch g in
+  let members = Vec.create ~capacity:(4 * n) ~dummy:0 () in
+  let dists = Vec.create ~capacity:(4 * n) ~dummy:0 () in
+  let offsets = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    (* BFS visits in nondecreasing distance order, so each slice is
+       sorted by distance. *)
+    Distance.ball scratch g v radius (fun w d ->
+        Vec.push members w;
+        Vec.push dists d);
+    offsets.(v + 1) <- Vec.length members
+  done;
+  {
+    radius;
+    source_version = Csr.source_version g;
+    offsets;
+    members = Vec.to_array members;
+    dists = Vec.to_array dists;
+  }
+
+let radius t = t.radius
+
+let source_version t = t.source_version
+
+let memory_entries t = Array.length t.members
+
+let iter_ball t v f =
+  if v < 0 || v + 1 >= Array.length t.offsets then invalid_arg "Ball_index.iter_ball";
+  for i = t.offsets.(v) to t.offsets.(v + 1) - 1 do
+    f t.members.(i) t.dists.(i)
+  done
+
+let supports t pattern =
+  (not (Pattern.has_unbounded_edge pattern))
+  && match Pattern.max_bound pattern with Some k -> k <= t.radius | None -> true
+
+(* The ball slice is distance-sorted, so a bound-k scan can stop at the
+   first entry beyond k. *)
+let exists_within t v k p =
+  let lo = t.offsets.(v) and hi = t.offsets.(v + 1) in
+  let rec scan i =
+    i < hi && t.dists.(i) <= k && (p t.members.(i) || scan (i + 1))
+  in
+  scan lo
+
+let evaluate t pattern g =
+  if not (supports t pattern) then
+    invalid_arg "Ball_index.evaluate: pattern bounds exceed the index radius";
+  if Csr.source_version g <> t.source_version then
+    invalid_arg "Ball_index.evaluate: snapshot differs from the indexed one";
+  let sim = Candidates.compute pattern g in
+  let satisfies u v =
+    List.for_all
+      (fun (u', b) ->
+        let targets = Match_relation.matches_set sim u' in
+        match b with
+        | Pattern.Unbounded -> assert false
+        | Pattern.Bounded k -> exists_within t v k (fun w -> Bitset.mem targets w))
+      (Pattern.out_edges pattern u)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for u = 0 to Pattern.size pattern - 1 do
+      let victims = ref [] in
+      Bitset.iter
+        (fun v -> if not (satisfies u v) then victims := v :: !victims)
+        (Match_relation.matches_set sim u);
+      if !victims <> [] then begin
+        changed := true;
+        List.iter (fun v -> Match_relation.remove sim u v) !victims
+      end
+    done
+  done;
+  sim

@@ -1,0 +1,39 @@
+open Expfinder_graph
+open Expfinder_pattern
+
+(** Precomputed bounded-distance index (the "distance matrix" of the
+    PVLDB 2010 algorithm, restricted to a radius).
+
+    For a query workload against a static snapshot, the bounded-BFS
+    balls that dominate bounded-simulation checks can be computed once:
+    [build g ~radius] stores, per node, the nodes within [radius]
+    nonempty-path hops together with their distances (CSR-style flat
+    arrays).  {!evaluate} then runs bounded simulation with indexed ball
+    scans instead of BFS.  Memory is Σ|ball(v, radius)| entries, which
+    is why this is an opt-in for radius ≤ 3-ish on sparse graphs. *)
+
+type t
+
+val build : Csr.t -> radius:int -> t
+(** @raise Invalid_argument when [radius < 1]. *)
+
+val radius : t -> int
+
+val source_version : t -> int
+(** The snapshot version the index was built from. *)
+
+val memory_entries : t -> int
+(** Total stored (node, distance) pairs — the index's footprint. *)
+
+val iter_ball : t -> int -> (int -> int -> unit) -> unit
+(** [iter_ball idx v f] calls [f w d] for each [w] with
+    [0 < dist(v,w) <= radius], ascending in [d]. *)
+
+val supports : t -> Pattern.t -> bool
+(** All edge bounds finite and within the index radius. *)
+
+val evaluate : t -> Pattern.t -> Csr.t -> Match_relation.t
+(** Bounded-simulation kernel via indexed checks.  The snapshot must be
+    the one the index was built from.
+    @raise Invalid_argument when the pattern is not {!supports}-ed or
+    the snapshot version differs. *)

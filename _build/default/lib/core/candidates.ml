@@ -1,0 +1,32 @@
+open Expfinder_graph
+open Expfinder_pattern
+
+let compute pattern g =
+  let m =
+    Match_relation.create ~pattern_size:(Pattern.size pattern)
+      ~graph_size:(Csr.node_count g)
+  in
+  for u = 0 to Pattern.size pattern - 1 do
+    let spec = Pattern.node_spec pattern u in
+    let consider v =
+      if Predicate.eval spec.Pattern.pred (Csr.attrs g v) then Match_relation.add m u v
+    in
+    match spec.Pattern.label with
+    | Some l -> List.iter consider (Csr.nodes_with_label g l)
+    | None -> Csr.iter_nodes g consider
+  done;
+  m
+
+let compute_for_nodes pattern g area =
+  let m =
+    Match_relation.create ~pattern_size:(Pattern.size pattern)
+      ~graph_size:(Csr.node_count g)
+  in
+  for u = 0 to Pattern.size pattern - 1 do
+    Bitset.iter
+      (fun v ->
+        if Pattern.matches_node pattern u (Csr.label g v) (Csr.attrs g v) then
+          Match_relation.add m u v)
+      area
+  done;
+  m

@@ -1,0 +1,18 @@
+open Expfinder_graph
+open Expfinder_pattern
+
+(** Candidate-set construction.
+
+    The starting point of every matching algorithm: for each pattern node
+    [u], the set of data nodes whose label and attributes satisfy [u]'s
+    search conditions (condition (2)(a) of the bounded-simulation
+    definition).  Uses the snapshot's label index when the pattern node
+    has a concrete label. *)
+
+val compute : Pattern.t -> Csr.t -> Match_relation.t
+(** The full candidate relation (not yet refined by edge constraints). *)
+
+val compute_for_nodes : Pattern.t -> Csr.t -> Bitset.t -> Match_relation.t
+(** Candidates restricted to data nodes in the given set; other nodes are
+    left out regardless of their labels (used by incremental matching to
+    limit recomputation to an affected area). *)

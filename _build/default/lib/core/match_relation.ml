@@ -1,0 +1,74 @@
+open Expfinder_graph
+open Expfinder_pattern
+
+type t = { sets : Bitset.t array; graph_size : int }
+
+let create ~pattern_size ~graph_size =
+  if pattern_size < 1 then invalid_arg "Match_relation.create";
+  { sets = Array.init pattern_size (fun _ -> Bitset.create graph_size); graph_size }
+
+let pattern_size t = Array.length t.sets
+
+let graph_size t = t.graph_size
+
+let check t u = if u < 0 || u >= pattern_size t then invalid_arg "Match_relation: bad pattern node"
+
+let mem t u v =
+  check t u;
+  Bitset.mem t.sets.(u) v
+
+let add t u v =
+  check t u;
+  Bitset.add t.sets.(u) v
+
+let remove t u v =
+  check t u;
+  Bitset.remove t.sets.(u) v
+
+let matches t u =
+  check t u;
+  Bitset.to_list t.sets.(u)
+
+let matches_set t u =
+  check t u;
+  t.sets.(u)
+
+let count t u =
+  check t u;
+  Bitset.cardinal t.sets.(u)
+
+let total t = Array.fold_left (fun acc s -> acc + Bitset.cardinal s) 0 t.sets
+
+let is_total t = Array.for_all (fun s -> not (Bitset.is_empty s)) t.sets
+
+let clear t = Array.iter Bitset.clear t.sets
+
+let pairs t =
+  let out = ref [] in
+  for u = 0 to pattern_size t - 1 do
+    List.iter (fun v -> out := (u, v) :: !out) (matches t u)
+  done;
+  List.rev !out
+
+let of_pairs ~pattern_size ~graph_size pair_list =
+  let t = create ~pattern_size ~graph_size in
+  List.iter (fun (u, v) -> add t u v) pair_list;
+  t
+
+let copy t = { sets = Array.map Bitset.copy t.sets; graph_size = t.graph_size }
+
+let equal a b =
+  pattern_size a = pattern_size b
+  && Array.for_all2 Bitset.equal a.sets b.sets
+
+let pp pattern ppf t =
+  Format.fprintf ppf "{@[<hv>";
+  for u = 0 to pattern_size t - 1 do
+    if u > 0 then Format.fprintf ppf ";@ ";
+    Format.fprintf ppf "%s -> [%a]" (Pattern.name pattern u)
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+         Format.pp_print_int)
+      (matches t u)
+  done;
+  Format.fprintf ppf "@]}"

@@ -1,0 +1,119 @@
+open Expfinder_graph
+open Expfinder_pattern
+
+type strategy_choice = Use_simulation | Use_bounded of Bounded_sim.strategy
+
+type t = {
+  candidate_order : int array;
+  estimates : float array;
+  strategy : strategy_choice;
+  prunable : bool array;
+}
+
+(* Estimated candidate count of a pattern node: population under its
+   label requirement, scaled by the predicate selectivity measured on a
+   bounded, evenly spread sample of that population. *)
+let estimate_candidates ~sample pattern g u =
+  let spec = Pattern.node_spec pattern u in
+  let population =
+    match spec.Pattern.label with
+    | Some l -> Csr.nodes_with_label g l
+    | None -> List.init (Csr.node_count g) Fun.id
+  in
+  let size = List.length population in
+  if size = 0 then 0.0
+  else if Predicate.is_always spec.Pattern.pred then float_of_int size
+  else begin
+    let stride = max 1 (size / sample) in
+    let probed = ref 0 and satisfied = ref 0 in
+    List.iteri
+      (fun i v ->
+        if i mod stride = 0 && !probed < sample then begin
+          incr probed;
+          if Predicate.eval spec.Pattern.pred (Csr.attrs g v) then incr satisfied
+        end)
+      population;
+    if !probed = 0 then float_of_int size
+    else float_of_int size *. (float_of_int !satisfied /. float_of_int !probed)
+  end
+
+let plan ?(sample = 64) pattern g =
+  let psize = Pattern.size pattern in
+  let estimates = Array.init psize (estimate_candidates ~sample pattern g) in
+  let candidate_order = Array.init psize Fun.id in
+  Array.sort (fun a b -> compare estimates.(a) estimates.(b)) candidate_order;
+  (* A candidate with no outgoing data edge cannot satisfy any outgoing
+     pattern edge (bounds are >= 1, paths are nonempty). *)
+  let prunable = Array.init psize (fun u -> Pattern.out_edges pattern u <> []) in
+  let strategy =
+    if Pattern.is_simulation_pattern pattern then Use_simulation
+    else begin
+      (* Few candidates -> the naive engine's per-candidate balls beat
+         the counter engine's global reverse-ball initialisation. *)
+      let total = Array.fold_left ( +. ) 0.0 estimates in
+      let threshold = float_of_int (Csr.node_count g) /. 50.0 in
+      if total < threshold then Use_bounded Bounded_sim.Naive
+      else Use_bounded Bounded_sim.Counters
+    end
+  in
+  { candidate_order; estimates; strategy; prunable }
+
+let materialise_candidates plan pattern g =
+  let m =
+    Match_relation.create ~pattern_size:(Pattern.size pattern)
+      ~graph_size:(Csr.node_count g)
+  in
+  let ok = ref true in
+  Array.iter
+    (fun u ->
+      if !ok then begin
+        let spec = Pattern.node_spec pattern u in
+        let keep = ref false in
+        let consider v =
+          if
+            Predicate.eval spec.Pattern.pred (Csr.attrs g v)
+            && ((not plan.prunable.(u)) || Csr.out_degree g v > 0)
+          then begin
+            Match_relation.add m u v;
+            keep := true
+          end
+        in
+        (match spec.Pattern.label with
+        | Some l -> List.iter consider (Csr.nodes_with_label g l)
+        | None -> Csr.iter_nodes g consider);
+        (* Early exit: an empty candidate set empties the whole kernel. *)
+        if not !keep then ok := false
+      end)
+    plan.candidate_order;
+  if !ok then Some m else None
+
+let execute plan pattern g =
+  match materialise_candidates plan pattern g with
+  | None ->
+    Match_relation.create ~pattern_size:(Pattern.size pattern)
+      ~graph_size:(Csr.node_count g)
+  | Some initial -> (
+    match plan.strategy with
+    | Use_simulation -> Simulation.run_constrained pattern g ~initial ~mutable_set:None
+    | Use_bounded strategy ->
+      Bounded_sim.run_constrained ~strategy pattern g ~initial ~mutable_set:None)
+
+let run ?sample pattern g = execute (plan ?sample pattern g) pattern g
+
+let explain pattern plan =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "plan:\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  strategy: %s\n"
+       (match plan.strategy with
+       | Use_simulation -> "graph simulation (all bounds = 1)"
+       | Use_bounded s -> "bounded simulation, " ^ Bounded_sim.strategy_name s));
+  Buffer.add_string buf "  candidate order (cheapest first):\n";
+  Array.iter
+    (fun u ->
+      Buffer.add_string buf
+        (Printf.sprintf "    %-12s ~%.0f candidates%s\n" (Pattern.name pattern u)
+           plan.estimates.(u)
+           (if plan.prunable.(u) then ", sinks pruned" else "")))
+    plan.candidate_order;
+  Buffer.contents buf

@@ -1,0 +1,46 @@
+open Expfinder_graph
+open Expfinder_pattern
+
+(** Query planning (§III: "how (bounded) simulation queries are processed
+    on large graphs by generating optimized query plans").
+
+    A plan fixes, before evaluation:
+
+    - the {e candidate order}: pattern nodes sorted by estimated
+      candidate count (label frequency × sampled predicate selectivity).
+      Candidate sets are materialised in that order, so queries that
+      cannot match (some pattern node has no candidate) exit before any
+      refinement work — the common case for selective expert queries;
+    - {e degree pruning}: a candidate of a pattern node with outgoing
+      edges needs at least one outgoing data edge, so sinks are pruned
+      from its candidate set up front;
+    - the {e refinement strategy}: plain simulation for bound-1 patterns;
+      for bounded patterns, the naive engine when the candidate sets are
+      tiny (few balls beat a global counter initialisation) and the
+      counter engine otherwise.
+
+    Executing a plan returns exactly the kernel the unplanned engines
+    produce; planning only changes the work spent getting there. *)
+
+type strategy_choice = Use_simulation | Use_bounded of Bounded_sim.strategy
+
+type t = {
+  candidate_order : int array;  (** pattern nodes, cheapest first *)
+  estimates : float array;  (** estimated candidate count per pattern node *)
+  strategy : strategy_choice;
+  prunable : bool array;  (** pattern nodes whose sink candidates are pruned *)
+}
+
+val plan : ?sample:int -> Pattern.t -> Csr.t -> t
+(** Build a plan from snapshot statistics.  [sample] (default 64) bounds
+    the nodes probed per pattern node for predicate selectivity. *)
+
+val execute : t -> Pattern.t -> Csr.t -> Match_relation.t
+(** Evaluate the query according to the plan (kernel semantics, like
+    {!Simulation.run} / {!Bounded_sim.run}). *)
+
+val run : ?sample:int -> Pattern.t -> Csr.t -> Match_relation.t
+(** [execute (plan p g) p g]. *)
+
+val explain : Pattern.t -> t -> string
+(** Human-readable plan description (the CLI's query-plan display). *)

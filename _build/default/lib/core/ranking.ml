@@ -1,0 +1,53 @@
+open Expfinder_graph
+
+type rank = { num : int; den : int }
+
+let rank_to_float r = if r.den = 0 then infinity else float_of_int r.num /. float_of_int r.den
+
+let compare_rank a b =
+  match (a.den, b.den) with
+  | 0, 0 -> 0
+  | 0, _ -> 1
+  | _, 0 -> -1
+  | _ -> compare (a.num * b.den) (b.num * a.den)
+
+let pp_rank ppf r =
+  if r.den = 0 then Format.pp_print_string ppf "inf"
+  else Format.fprintf ppf "%d/%d (%.2f)" r.num r.den (rank_to_float r)
+
+let rank_of gr v =
+  match Result_graph.index_of gr v with
+  | None -> invalid_arg "Ranking.rank_of: node not in result graph"
+  | Some i ->
+    let wg = Result_graph.wgraph gr in
+    let from_v = Wgraph.dijkstra wg i in
+    let to_v = Wgraph.dijkstra_rev wg i in
+    (* The denominator counts a node once per direction of connectivity:
+       the paper's own worked values (f(SA,Bob) = (1+1+2+3+2)/5 with only
+       four distinct neighbours) force this reading of |V'_r|. *)
+    let num = ref 0 and connected = ref 0 in
+    for j = 0 to Result_graph.node_count gr - 1 do
+      if j <> i then begin
+        if to_v.(j) >= 0 then begin
+          num := !num + to_v.(j);
+          incr connected
+        end;
+        if from_v.(j) >= 0 then begin
+          num := !num + from_v.(j);
+          incr connected
+        end
+      end
+    done;
+    { num = !num; den = !connected }
+
+let top_k gr ~output_matches ~k =
+  if k < 0 then invalid_arg "Ranking.top_k";
+  let ranked = List.map (fun v -> (v, rank_of gr v)) output_matches in
+  let sorted =
+    List.sort
+      (fun (v1, r1) (v2, r2) ->
+        let c = compare_rank r1 r2 in
+        if c <> 0 then c else compare v1 v2)
+      ranked
+  in
+  List.filteri (fun i _ -> i < k) sorted

@@ -1,0 +1,176 @@
+open Expfinder_graph
+open Expfinder_pattern
+open Expfinder_core
+open Expfinder_incremental
+open Expfinder_compression
+open Expfinder_storage
+
+let src = Logs.Src.create "expfinder.engine" ~doc:"ExpFinder query engine"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type provenance = From_cache | From_compressed | From_index | Direct
+
+let provenance_name = function
+  | From_cache -> "cache"
+  | From_compressed -> "compressed"
+  | From_index -> "ball-index"
+  | Direct -> "direct"
+
+type answer = {
+  relation : Match_relation.t;
+  total : bool;
+  provenance : provenance;
+}
+
+type expert = { node : int; name : string option; rank : Ranking.rank }
+
+type t = {
+  g : Digraph.t;
+  mutable csr : Csr.t;
+  cache : Cache.t;
+  mutable compressed : Inc_compress.t option;
+  mutable ball_index : Ball_index.t option;
+  mutable ball_radius : int;
+  mutable registered : (string * Incremental.t) list; (* fingerprint-keyed, in order *)
+}
+
+let create ?cache_capacity g =
+  {
+    g;
+    csr = Csr.of_digraph g;
+    cache = Cache.create ?capacity:cache_capacity ();
+    compressed = None;
+    ball_index = None;
+    ball_radius = 0;
+    registered = [];
+  }
+
+let graph t = t.g
+
+let snapshot t =
+  if Csr.source_version t.csr <> Digraph.version t.g then t.csr <- Csr.of_digraph t.g;
+  t.csr
+
+(* Direct evaluation goes through the planner: candidate ordering with
+   early exit, sink pruning, and strategy selection (§III "optimized
+   query plans"). *)
+let run_direct pattern csr = Planner.run pattern csr
+
+let evaluate t pattern =
+  let version = Digraph.version t.g in
+  match Cache.find t.cache pattern ~graph_version:version with
+  | Some relation -> { relation; total = Match_relation.is_total relation; provenance = From_cache }
+  | None ->
+    let registered_kernel =
+      match List.assoc_opt (Pattern.fingerprint pattern) t.registered with
+      | Some inc when Incremental.version inc = version ->
+        Some (Match_relation.copy (Incremental.kernel inc))
+      | _ -> None
+    in
+    let relation, provenance =
+      match registered_kernel with
+      | Some relation -> (relation, Direct)
+      | None -> (
+        let compressed_answer =
+          match t.compressed with
+          | Some inc
+            when Csr.source_version (Inc_compress.snapshot inc) = version
+                 && Compress.supports (Inc_compress.current inc) pattern ->
+            Some (Compress.evaluate (Inc_compress.current inc) pattern)
+          | _ -> None
+        in
+        match compressed_answer with
+        | Some relation -> (relation, From_compressed)
+        | None -> (
+          let csr = snapshot t in
+          (* Rebuild the opt-in ball index lazily after updates. *)
+          (match t.ball_index with
+          | Some idx
+            when Ball_index.source_version idx <> Csr.source_version csr ->
+            t.ball_index <- Some (Ball_index.build csr ~radius:t.ball_radius)
+          | _ -> ());
+          match t.ball_index with
+          | Some idx when Ball_index.supports idx pattern ->
+            (Ball_index.evaluate idx pattern csr, From_index)
+          | _ -> (run_direct pattern csr, Direct)))
+    in
+    Cache.store t.cache pattern ~graph_version:version relation;
+    Log.debug (fun m ->
+        m "evaluate %s: %d pairs via %s" (Pattern.fingerprint pattern)
+          (Match_relation.total relation) (provenance_name provenance));
+    { relation; total = Match_relation.is_total relation; provenance }
+
+let result_graph t pattern =
+  let answer = evaluate t pattern in
+  let relation =
+    if answer.total then answer.relation
+    else
+      Match_relation.create ~pattern_size:(Pattern.size pattern)
+        ~graph_size:(Digraph.node_count t.g)
+  in
+  Result_graph.build pattern (snapshot t) relation
+
+let top_k t pattern ~k =
+  let answer = evaluate t pattern in
+  if not answer.total then []
+  else begin
+    let csr = snapshot t in
+    let gr = Result_graph.build pattern csr answer.relation in
+    let output_matches = Match_relation.matches answer.relation (Pattern.output pattern) in
+    Ranking.top_k gr ~output_matches ~k
+    |> List.map (fun (node, rank) ->
+           let name =
+             match Attrs.find (Csr.attrs csr node) "name" with
+             | Some (Attr.String s) -> Some s
+             | Some _ | None -> None
+           in
+           { node; name; rank })
+  end
+
+let enable_ball_index ?(radius = 3) t =
+  t.ball_radius <- radius;
+  t.ball_index <- Some (Ball_index.build (snapshot t) ~radius)
+
+let disable_ball_index t = t.ball_index <- None
+
+let enable_compression ?atoms t =
+  t.compressed <- Some (Inc_compress.create ?atoms t.g)
+
+let disable_compression t = t.compressed <- None
+
+let compression t = Option.map Inc_compress.current t.compressed
+
+let register t pattern =
+  let fp = Pattern.fingerprint pattern in
+  if not (List.mem_assoc fp t.registered) then
+    t.registered <- t.registered @ [ (fp, Incremental.create pattern t.g) ]
+
+let unregister t pattern =
+  let fp = Pattern.fingerprint pattern in
+  t.registered <- List.filter (fun (fp', _) -> fp' <> fp) t.registered
+
+let registered t = List.map (fun (_, inc) -> Incremental.pattern inc) t.registered
+
+let apply_updates t updates =
+  let effective = Update.apply_batch_filtered t.g updates in
+  let new_csr = Csr.of_digraph t.g in
+  t.csr <- new_csr;
+  (* Results for old versions are unreachable (keys include the version),
+     but drop them eagerly to keep the cache useful. *)
+  Cache.clear t.cache;
+  Option.iter
+    (fun inc ->
+      ignore
+        (Inc_compress.sync inc ~new_csr ~effective:(List.length effective) effective
+          : Inc_compress.report))
+    t.compressed;
+  Log.debug (fun m ->
+      m "apply_updates: %d effective, %d registered queries, compression %s"
+        (List.length effective) (List.length t.registered)
+        (if t.compressed = None then "off" else "maintained"));
+  List.map (fun (_, inc) -> Incremental.sync_applied inc ~effective) t.registered
+
+let cache_stats t = (Cache.hits t.cache, Cache.misses t.cache)
+
+let explain t pattern = Planner.explain pattern (Planner.plan pattern (snapshot t))

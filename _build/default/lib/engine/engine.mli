@@ -1,0 +1,93 @@
+open Expfinder_graph
+open Expfinder_pattern
+open Expfinder_core
+open Expfinder_incremental
+open Expfinder_compression
+
+(** The ExpFinder query engine (§II, Fig. 2).
+
+    One engine owns one data graph and coordinates the four modules:
+
+    + on a query, return the cached M(Q,G) when fresh;
+    + otherwise evaluate on the maintained compressed graph when one is
+      enabled and supports the query (expanding the result);
+    + otherwise evaluate directly (simulation engine for bound-1
+      patterns, bounded simulation otherwise);
+    + rank the output node's matches and select top-K experts;
+    + registered queries are maintained incrementally as updates arrive,
+      and the compressed graph is maintained alongside.
+
+    All updates must flow through {!apply_updates} so that the cache,
+    the compressed graph and the registered queries stay consistent. *)
+
+type t
+
+(** Where an answer came from (exposed for tests and experiments). *)
+type provenance = From_cache | From_compressed | From_index | Direct
+
+type answer = {
+  relation : Match_relation.t;  (** the kernel relation *)
+  total : bool;  (** whether M(Q,G) is nonempty (kernel is total) *)
+  provenance : provenance;
+}
+
+type expert = {
+  node : int;
+  name : string option;  (** the node's ["name"] attribute, if any *)
+  rank : Ranking.rank;
+}
+
+val create : ?cache_capacity:int -> Digraph.t -> t
+(** The engine snapshots the graph; mutate it only via
+    {!apply_updates}. *)
+
+val graph : t -> Digraph.t
+
+val snapshot : t -> Csr.t
+
+val evaluate : t -> Pattern.t -> answer
+(** Cache → compressed → direct, caching the result. *)
+
+val top_k : t -> Pattern.t -> k:int -> expert list
+(** Evaluate, build the result graph and rank the output node's matches
+    (§II Results Ranking).  Empty when M(Q,G) is empty. *)
+
+val result_graph : t -> Pattern.t -> Result_graph.t
+(** The result graph of the query (for display / export). *)
+
+val enable_ball_index : ?radius:int -> t -> unit
+(** Opt into the precomputed distance index (default radius 3): bounded
+    queries whose bounds fit the radius are answered with indexed ball
+    scans instead of BFS.  The index is rebuilt lazily after updates. *)
+
+val disable_ball_index : t -> unit
+
+val enable_compression : ?atoms:Predicate.atom list -> t -> unit
+(** Build and maintain a compressed graph with the given atom universe
+    (replacing any previous one). *)
+
+val disable_compression : t -> unit
+
+val compression : t -> Compress.t option
+(** The current compressed graph, when enabled. *)
+
+val register : t -> Pattern.t -> unit
+(** Mark a query as frequently issued: its result is kept incrementally
+    maintained across updates (§II Incremental Computation Module). *)
+
+val unregister : t -> Pattern.t -> unit
+
+val registered : t -> Pattern.t list
+
+val apply_updates : t -> Update.t list -> Incremental.report list
+(** Apply ΔG: updates the graph, invalidates the cache, maintains the
+    compressed graph and every registered query; returns one maintenance
+    report per registered query (in registration order). *)
+
+val cache_stats : t -> int * int
+(** (hits, misses). *)
+
+val explain : t -> Pattern.t -> string
+(** The query plan direct evaluation would use (§III "optimized query
+    plans"): candidate order with selectivity estimates, pruning, and
+    the chosen refinement strategy. *)

@@ -1,0 +1,1 @@
+lib/graph/attr.ml: Bool Float Format Int List Printf String

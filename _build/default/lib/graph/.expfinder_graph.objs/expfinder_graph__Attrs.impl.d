@@ -1,0 +1,1 @@
+lib/graph/attrs.ml: Attr Format List Option String

@@ -1,0 +1,1 @@
+lib/graph/attrs.mli: Attr Format

@@ -1,0 +1,1 @@
+lib/graph/csr.ml: Array Attrs Digraph Hashtbl Int Label Option

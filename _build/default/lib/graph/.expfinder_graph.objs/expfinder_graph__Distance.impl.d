@@ -1,0 +1,1 @@
+lib/graph/distance.ml: Array Csr Graph_intf Queue Vec

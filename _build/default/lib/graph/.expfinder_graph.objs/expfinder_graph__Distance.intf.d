@@ -1,0 +1,1 @@
+lib/graph/distance.mli: Csr Graph_intf

@@ -1,0 +1,1 @@
+lib/graph/generators.ml: Array Attrs Digraph Label Prng Vec

@@ -1,0 +1,1 @@
+lib/graph/graph_intf.ml: Attrs Label

@@ -1,0 +1,1 @@
+lib/graph/graph_io.ml: Attr Attrs Buffer Char Digraph Format Fun Hashtbl In_channel Label List Option Printf Result String

@@ -1,0 +1,1 @@
+lib/graph/traversal.ml: Array Bitset Csr List Option Queue Vec

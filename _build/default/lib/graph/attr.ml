@@ -1,0 +1,72 @@
+type t =
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | String of string
+
+let equal a b =
+  match (a, b) with
+  | Int x, Int y -> Int.equal x y
+  | Float x, Float y -> Float.equal x y
+  | Bool x, Bool y -> Bool.equal x y
+  | String x, String y -> String.equal x y
+  | (Int _ | Float _ | Bool _ | String _), _ -> false
+
+let compare_values a b =
+  match (a, b) with
+  | Int x, Int y -> Some (Int.compare x y)
+  | Float x, Float y -> Some (Float.compare x y)
+  | Bool x, Bool y -> Some (Bool.compare x y)
+  | String x, String y -> Some (String.compare x y)
+  | (Int _ | Float _ | Bool _ | String _), _ -> None
+
+let type_name = function
+  | Int _ -> "int"
+  | Float _ -> "float"
+  | Bool _ -> "bool"
+  | String _ -> "string"
+
+let to_string = function
+  | Int i -> "int:" ^ string_of_int i
+  | Float f -> "float:" ^ string_of_float f
+  | Bool b -> "bool:" ^ string_of_bool b
+  | String s -> "str:" ^ s
+
+let of_string s =
+  let tagged prefix body =
+    match prefix with
+    | "int" -> (
+      match int_of_string_opt body with
+      | Some i -> Ok (Int i)
+      | None -> Error (Printf.sprintf "invalid int attribute %S" body))
+    | "float" -> (
+      match float_of_string_opt body with
+      | Some f -> Ok (Float f)
+      | None -> Error (Printf.sprintf "invalid float attribute %S" body))
+    | "bool" -> (
+      match bool_of_string_opt body with
+      | Some b -> Ok (Bool b)
+      | None -> Error (Printf.sprintf "invalid bool attribute %S" body))
+    | "str" -> Ok (String body)
+    | _ -> Error (Printf.sprintf "unknown attribute tag %S" prefix)
+  in
+  match String.index_opt s ':' with
+  | Some i when List.mem (String.sub s 0 i) [ "int"; "float"; "bool"; "str" ] ->
+    tagged (String.sub s 0 i) (String.sub s (i + 1) (String.length s - i - 1))
+  | _ -> (
+    (* Untagged: best-effort inference. *)
+    match int_of_string_opt s with
+    | Some i -> Ok (Int i)
+    | None -> (
+      match float_of_string_opt s with
+      | Some f -> Ok (Float f)
+      | None -> (
+        match bool_of_string_opt s with
+        | Some b -> Ok (Bool b)
+        | None -> Ok (String s))))
+
+let pp ppf = function
+  | Int i -> Format.pp_print_int ppf i
+  | Float f -> Format.pp_print_float ppf f
+  | Bool b -> Format.pp_print_bool ppf b
+  | String s -> Format.pp_print_string ppf s

@@ -1,0 +1,33 @@
+(** Attribute values.
+
+    Nodes carry a small record of named attributes (name, specialty,
+    experience, ...).  Values are dynamically typed; comparisons between
+    values of different types are [None] rather than an error, so that a
+    predicate on a missing/mistyped attribute simply fails to hold. *)
+
+type t =
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | String of string
+
+val equal : t -> t -> bool
+(** Structural equality; [Int] and [Float] never compare equal. *)
+
+val compare_values : t -> t -> int option
+(** Total order within a type: [Some c] when both values have the same
+    constructor ([Int]/[Int], [Float]/[Float], ...), [None] otherwise.
+    Strings compare lexicographically, booleans with [false < true]. *)
+
+val type_name : t -> string
+(** ["int"], ["float"], ["bool"] or ["string"]. *)
+
+val to_string : t -> string
+(** Render the value in the graph file syntax ([int:5], [str:DBA], ...). *)
+
+val of_string : string -> (t, string) result
+(** Parse the [to_string] syntax back.  Untagged input is parsed with
+    best-effort inference (int, then float, then bool, then string). *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable rendering (no type tag). *)

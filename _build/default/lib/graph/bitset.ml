@@ -1,0 +1,84 @@
+type t = { words : int array; capacity : int }
+
+let bits_per_word = 63
+(* OCaml ints are 63-bit on 64-bit platforms; using 63 bits per word keeps
+   the implementation portable without Int64 boxing. *)
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create";
+  { words = Array.make ((n / bits_per_word) + 1) 0; capacity = n }
+
+let capacity t = t.capacity
+
+let check t i = if i < 0 || i >= t.capacity then invalid_arg "Bitset: out of bounds"
+
+let mem t i =
+  check t i;
+  t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let add t i =
+  check t i;
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl (i mod bits_per_word))
+
+let remove t i =
+  check t i;
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl (i mod bits_per_word))
+
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+(* Kernighan's trick: one iteration per set bit. *)
+let popcount x =
+  let rec kern x acc = if x = 0 then acc else kern (x land (x - 1)) (acc + 1) in
+  kern x 0
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let iter f t =
+  for w = 0 to Array.length t.words - 1 do
+    let word = ref t.words.(w) in
+    while !word <> 0 do
+      let bit = !word land - !word in
+      (* index of lowest set bit *)
+      let rec log2 b acc = if b = 1 then acc else log2 (b lsr 1) (acc + 1) in
+      f ((w * bits_per_word) + log2 bit 0);
+      word := !word land lnot bit
+    done
+  done
+
+let fold f t acc =
+  let acc = ref acc in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let to_list t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let copy t = { words = Array.copy t.words; capacity = t.capacity }
+
+let same_capacity a b =
+  if a.capacity <> b.capacity then invalid_arg "Bitset: capacity mismatch"
+
+let union_into dst src =
+  same_capacity dst src;
+  for w = 0 to Array.length dst.words - 1 do
+    dst.words.(w) <- dst.words.(w) lor src.words.(w)
+  done
+
+let inter_into dst src =
+  same_capacity dst src;
+  for w = 0 to Array.length dst.words - 1 do
+    dst.words.(w) <- dst.words.(w) land src.words.(w)
+  done
+
+let equal a b = a.capacity = b.capacity && Array.for_all2 ( = ) a.words b.words
+
+let subset a b =
+  same_capacity a b;
+  let ok = ref true in
+  for w = 0 to Array.length a.words - 1 do
+    if a.words.(w) land lnot b.words.(w) <> 0 then ok := false
+  done;
+  !ok

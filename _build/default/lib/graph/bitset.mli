@@ -1,0 +1,46 @@
+(** Dense fixed-capacity bitsets over integers [0 .. capacity-1].
+
+    Used for match-relation membership, reachability sets and visited
+    marks; all operations are O(1) or O(capacity/64). *)
+
+type t
+
+val create : int -> t
+(** [create n] is an empty set with capacity [n] (all bits clear). *)
+
+val capacity : t -> int
+
+val mem : t -> int -> bool
+
+val add : t -> int -> unit
+
+val remove : t -> int -> unit
+
+val clear : t -> unit
+(** Clear all bits. *)
+
+val cardinal : t -> int
+(** Number of set bits (popcount over the backing words). *)
+
+val is_empty : t -> bool
+
+val iter : (int -> unit) -> t -> unit
+(** Iterate set bits in increasing order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val to_list : t -> int list
+(** Set bits in increasing order. *)
+
+val copy : t -> t
+
+val union_into : t -> t -> unit
+(** [union_into dst src] sets [dst := dst ∪ src].  Capacities must match. *)
+
+val inter_into : t -> t -> unit
+(** [inter_into dst src] sets [dst := dst ∩ src].  Capacities must match. *)
+
+val equal : t -> t -> bool
+
+val subset : t -> t -> bool
+(** [subset a b] is [true] when every element of [a] is in [b]. *)

@@ -1,0 +1,149 @@
+type node = int
+
+type t = {
+  n : int;
+  m : int;
+  fwd_offsets : int array; (* length n+1 *)
+  fwd_targets : int array; (* length m *)
+  rev_offsets : int array;
+  rev_sources : int array;
+  labels : Label.t array;
+  attr_table : Attrs.t array;
+  source_version : int;
+  mutable by_label : (Label.t, node list) Hashtbl.t option;
+}
+
+let of_digraph g =
+  let n = Digraph.node_count g in
+  let fwd_offsets = Array.make (n + 1) 0 in
+  let rev_offsets = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    fwd_offsets.(v + 1) <- fwd_offsets.(v) + Digraph.out_degree g v;
+    rev_offsets.(v + 1) <- rev_offsets.(v) + Digraph.in_degree g v
+  done;
+  let m = Digraph.edge_count g in
+  let fwd_targets = Array.make (max m 1) 0 in
+  let rev_sources = Array.make (max m 1) 0 in
+  let fwd_pos = Array.copy fwd_offsets in
+  let rev_pos = Array.copy rev_offsets in
+  Digraph.iter_edges g (fun u v ->
+      fwd_targets.(fwd_pos.(u)) <- v;
+      fwd_pos.(u) <- fwd_pos.(u) + 1;
+      rev_sources.(rev_pos.(v)) <- u;
+      rev_pos.(v) <- rev_pos.(v) + 1);
+  let labels = Array.init n (Digraph.label g) in
+  let attr_table = Array.init n (Digraph.attrs g) in
+  {
+    n;
+    m;
+    fwd_offsets;
+    fwd_targets;
+    rev_offsets;
+    rev_sources;
+    labels;
+    attr_table;
+    source_version = Digraph.version g;
+    by_label = None;
+  }
+
+let node_count t = t.n
+
+let edge_count t = t.m
+
+let source_version t = t.source_version
+
+let check t v = if v < 0 || v >= t.n then invalid_arg "Csr: unknown node"
+
+let label t v =
+  check t v;
+  t.labels.(v)
+
+let attrs t v =
+  check t v;
+  t.attr_table.(v)
+
+let out_degree t v =
+  check t v;
+  t.fwd_offsets.(v + 1) - t.fwd_offsets.(v)
+
+let in_degree t v =
+  check t v;
+  t.rev_offsets.(v + 1) - t.rev_offsets.(v)
+
+let iter_succ t v f =
+  check t v;
+  for i = t.fwd_offsets.(v) to t.fwd_offsets.(v + 1) - 1 do
+    f t.fwd_targets.(i)
+  done
+
+let iter_pred t v f =
+  check t v;
+  for i = t.rev_offsets.(v) to t.rev_offsets.(v + 1) - 1 do
+    f t.rev_sources.(i)
+  done
+
+let succ_array t v =
+  check t v;
+  Array.sub t.fwd_targets t.fwd_offsets.(v) (out_degree t v)
+
+let fold_succ t v f acc =
+  check t v;
+  let acc = ref acc in
+  for i = t.fwd_offsets.(v) to t.fwd_offsets.(v + 1) - 1 do
+    acc := f !acc t.fwd_targets.(i)
+  done;
+  !acc
+
+let fold_pred t v f acc =
+  check t v;
+  let acc = ref acc in
+  for i = t.rev_offsets.(v) to t.rev_offsets.(v + 1) - 1 do
+    acc := f !acc t.rev_sources.(i)
+  done;
+  !acc
+
+let exists_succ t v p =
+  check t v;
+  let rec loop i = i < t.fwd_offsets.(v + 1) && (p t.fwd_targets.(i) || loop (i + 1)) in
+  loop t.fwd_offsets.(v)
+
+let has_edge t u v = exists_succ t u (Int.equal v)
+
+let iter_nodes t f =
+  for v = 0 to t.n - 1 do
+    f v
+  done
+
+let iter_edges t f = iter_nodes t (fun u -> iter_succ t u (fun v -> f u v))
+
+let nodes_with_label t l =
+  let table =
+    match t.by_label with
+    | Some table -> table
+    | None ->
+      let table = Hashtbl.create 16 in
+      (* Build in reverse so each bucket ends up in increasing node order. *)
+      for v = t.n - 1 downto 0 do
+        let l = t.labels.(v) in
+        let bucket = Option.value ~default:[] (Hashtbl.find_opt table l) in
+        Hashtbl.replace table l (v :: bucket)
+      done;
+      t.by_label <- Some table;
+      table
+  in
+  Option.value ~default:[] (Hashtbl.find_opt table l)
+
+let max_out_degree t =
+  let best = ref 0 in
+  for v = 0 to t.n - 1 do
+    best := max !best (out_degree t v)
+  done;
+  !best
+
+let to_digraph t =
+  let g = Digraph.create ~capacity:t.n () in
+  for v = 0 to t.n - 1 do
+    ignore (Digraph.add_node g ~attrs:t.attr_table.(v) t.labels.(v) : int)
+  done;
+  iter_edges t (fun u v -> ignore (Digraph.add_edge g u v : bool));
+  g

@@ -1,0 +1,56 @@
+(** Immutable compressed-sparse-row snapshot of a {!Digraph.t}.
+
+    All matching algorithms, traversals and partition refinement run on
+    CSR snapshots: contiguous successor/predecessor slices make bounded
+    BFS and counter refinement cache-friendly, and immutability makes it
+    safe to share one snapshot across algorithms.  A snapshot remembers
+    the [source_version] of the digraph it was taken from. *)
+
+type t
+
+type node = int
+
+val of_digraph : Digraph.t -> t
+
+val node_count : t -> int
+
+val edge_count : t -> int
+
+val source_version : t -> int
+
+val label : t -> node -> Label.t
+
+val attrs : t -> node -> Attrs.t
+
+val out_degree : t -> node -> int
+
+val in_degree : t -> node -> int
+
+val iter_succ : t -> node -> (node -> unit) -> unit
+
+val iter_pred : t -> node -> (node -> unit) -> unit
+
+val succ_array : t -> node -> int array
+(** Fresh array of successors (for tests and pretty-printing). *)
+
+val fold_succ : t -> node -> ('a -> node -> 'a) -> 'a -> 'a
+
+val fold_pred : t -> node -> ('a -> node -> 'a) -> 'a -> 'a
+
+val exists_succ : t -> node -> (node -> bool) -> bool
+
+val has_edge : t -> node -> node -> bool
+(** O(out-degree). *)
+
+val iter_nodes : t -> (node -> unit) -> unit
+
+val iter_edges : t -> (node -> node -> unit) -> unit
+
+val nodes_with_label : t -> Label.t -> node list
+(** All nodes carrying the given label (computed once per snapshot and
+    memoised; the common entry point for candidate-set construction). *)
+
+val max_out_degree : t -> int
+
+val to_digraph : t -> Digraph.t
+(** Rebuild a mutable graph with identical structure. *)

@@ -1,0 +1,21 @@
+(** Minimal read interface shared by {!Csr} (immutable snapshots, used by
+    batch evaluation) and {!Digraph} (live graphs, used by incremental
+    maintenance so that small updates do not pay a full snapshot
+    rebuild).  Algorithms that must run on either are functorised over
+    this signature. *)
+
+module type GRAPH = sig
+  type t
+
+  val node_count : t -> int
+
+  val label : t -> int -> Label.t
+
+  val attrs : t -> int -> Attrs.t
+
+  val iter_succ : t -> int -> (int -> unit) -> unit
+
+  val iter_pred : t -> int -> (int -> unit) -> unit
+
+  val fold_succ : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+end

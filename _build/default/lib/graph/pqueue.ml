@@ -1,0 +1,63 @@
+type 'a entry = { prio : int; payload : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let length h = h.len
+
+let is_empty h = h.len = 0
+
+let swap h i j =
+  let tmp = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- tmp
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.data.(i).prio < h.data.(parent).prio then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.len && h.data.(l).prio < h.data.(!smallest).prio then smallest := l;
+  if r < h.len && h.data.(r).prio < h.data.(!smallest).prio then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h prio payload =
+  let entry = { prio; payload } in
+  if h.len = Array.length h.data then begin
+    let cap = max 8 (2 * Array.length h.data) in
+    let data = Array.make cap entry in
+    Array.blit h.data 0 data 0 h.len;
+    h.data <- data
+  end;
+  h.data.(h.len) <- entry;
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1)
+
+let pop_min h =
+  if h.len = 0 then None
+  else begin
+    let { prio; payload } = h.data.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.data.(0) <- h.data.(h.len);
+      sift_down h 0
+    end;
+    Some (prio, payload)
+  end
+
+let peek_min h = if h.len = 0 then None else Some (h.data.(0).prio, h.data.(0).payload)
+
+let clear h =
+  h.data <- [||];
+  h.len <- 0

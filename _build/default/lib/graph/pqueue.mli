@@ -1,0 +1,23 @@
+(** Binary min-heap keyed by integer priorities.
+
+    Used by Dijkstra over result graphs and by top-K selection.  The heap
+    stores [(priority, payload)] pairs; duplicates are allowed (lazy
+    deletion is the caller's concern, as usual for Dijkstra). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> int -> 'a -> unit
+(** [push h prio x] inserts [x] with priority [prio]. *)
+
+val pop_min : 'a t -> (int * 'a) option
+(** Remove and return the pair with the smallest priority. *)
+
+val peek_min : 'a t -> (int * 'a) option
+
+val clear : 'a t -> unit

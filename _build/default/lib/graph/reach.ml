@@ -1,0 +1,52 @@
+type node = int
+
+type t = {
+  scc : Scc.t;
+  desc : Bitset.t array; (* component -> strictly-below descendant components *)
+  cyclic : bool array; (* component -> lies on a cycle *)
+}
+
+let compute g =
+  let scc = Scc.compute g in
+  let c = Scc.count scc in
+  let adj = Scc.condensation scc g in
+  (* Process components in topological order of the condensation so each
+     descendant set is final before its predecessors consume it. *)
+  let indeg = Array.make (max c 1) 0 in
+  Array.iter (fun succs -> List.iter (fun s -> indeg.(s) <- indeg.(s) + 1) succs) adj;
+  let order = Array.make (max c 1) 0 in
+  let queue = Queue.create () in
+  for i = 0 to c - 1 do
+    if indeg.(i) = 0 then Queue.add i queue
+  done;
+  let filled = ref 0 in
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    order.(!filled) <- i;
+    incr filled;
+    List.iter
+      (fun s ->
+        indeg.(s) <- indeg.(s) - 1;
+        if indeg.(s) = 0 then Queue.add s queue)
+      adj.(i)
+  done;
+  assert (!filled = c);
+  let desc = Array.init (max c 1) (fun _ -> Bitset.create c) in
+  for idx = c - 1 downto 0 do
+    let i = order.(idx) in
+    List.iter
+      (fun s ->
+        Bitset.add desc.(i) s;
+        Bitset.union_into desc.(i) desc.(s))
+      adj.(i)
+  done;
+  let cyclic = Array.init (max c 1) (fun i -> c > 0 && not (Scc.is_trivial scc g i)) in
+  { scc; desc; cyclic }
+
+let reaches t u v =
+  let cu = Scc.component t.scc u and cv = Scc.component t.scc v in
+  if cu = cv then t.cyclic.(cu) else Bitset.mem t.desc.(cu) cv
+
+let on_cycle t v = t.cyclic.(Scc.component t.scc v)
+
+let component_count t = Scc.count t.scc

@@ -1,0 +1,19 @@
+(** Full transitive reachability via SCC condensation.
+
+    Supports pattern edges with no length bound ("*" edges): after one
+    O(|G| + c²/64) precomputation (c = number of SCCs), [reaches] answers
+    "is there a nonempty path u ->+ v" in O(1). *)
+
+type t
+
+type node = int
+
+val compute : Csr.t -> t
+
+val reaches : t -> node -> node -> bool
+(** [reaches t u v] iff there is a path of length >= 1 from [u] to [v].
+    [reaches t v v] holds iff [v] lies on a cycle. *)
+
+val on_cycle : t -> node -> bool
+
+val component_count : t -> int

@@ -1,0 +1,87 @@
+type node = int
+
+type t = {
+  out_adj : (node * int) Vec.t array;
+  in_adj : (node * int) Vec.t array;
+  mutable edges : int;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Wgraph.create";
+  {
+    out_adj = Array.init (max n 1) (fun _ -> Vec.create ~capacity:2 ~dummy:(-1, 0) ());
+    in_adj = Array.init (max n 1) (fun _ -> Vec.create ~capacity:2 ~dummy:(-1, 0) ());
+    edges = 0;
+  }
+
+let node_count g = Array.length g.out_adj
+
+let edge_count g = g.edges
+
+let check g v = if v < 0 || v >= node_count g then invalid_arg "Wgraph: unknown node"
+
+let find_slot adj v = Vec.find_index (fun (w, _) -> w = v) adj
+
+let add_edge g u v w =
+  check g u;
+  check g v;
+  if w < 0 then invalid_arg "Wgraph.add_edge: negative weight";
+  match find_slot g.out_adj.(u) v with
+  | Some i ->
+    let _, old = Vec.get g.out_adj.(u) i in
+    if w < old then begin
+      Vec.set g.out_adj.(u) i (v, w);
+      match find_slot g.in_adj.(v) u with
+      | Some j -> Vec.set g.in_adj.(v) j (u, w)
+      | None -> assert false
+    end
+  | None ->
+    Vec.push g.out_adj.(u) (v, w);
+    Vec.push g.in_adj.(v) (u, w);
+    g.edges <- g.edges + 1
+
+let weight g u v =
+  check g u;
+  check g v;
+  Option.map (fun i -> snd (Vec.get g.out_adj.(u) i)) (find_slot g.out_adj.(u) v)
+
+let iter_succ g v f =
+  check g v;
+  Vec.iter (fun (w, d) -> f w d) g.out_adj.(v)
+
+let iter_pred g v f =
+  check g v;
+  Vec.iter (fun (w, d) -> f w d) g.in_adj.(v)
+
+let iter_edges g f =
+  Array.iteri (fun u adj -> Vec.iter (fun (v, w) -> f u v w) adj) g.out_adj
+
+let dijkstra_generic ~iter_next g src =
+  check g src;
+  let n = node_count g in
+  let dist = Array.make n (-1) in
+  let heap = Pqueue.create () in
+  Pqueue.push heap 0 src;
+  let finished = Array.make n false in
+  let continue = ref true in
+  while !continue do
+    match Pqueue.pop_min heap with
+    | None -> continue := false
+    | Some (d, v) ->
+      if not finished.(v) then begin
+        finished.(v) <- true;
+        dist.(v) <- d;
+        iter_next g v (fun w dw ->
+            if not finished.(w) then Pqueue.push heap (d + dw) w)
+      end
+  done;
+  dist
+
+let dijkstra g src = dijkstra_generic ~iter_next:iter_succ g src
+
+let dijkstra_rev g src = dijkstra_generic ~iter_next:iter_pred g src
+
+let transpose g =
+  let t = create (node_count g) in
+  iter_edges g (fun u v w -> add_edge t v u w);
+  t

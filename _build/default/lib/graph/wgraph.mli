@@ -1,0 +1,38 @@
+(** Small weighted directed graphs with integer edge weights.
+
+    Result graphs mark each edge with the length of the shortest witness
+    path, and the social-impact ranking needs weighted shortest distances
+    over them; this module provides exactly that (adjacency lists +
+    Dijkstra).  Nodes are dense integers chosen by the caller. *)
+
+type t
+
+type node = int
+
+val create : int -> t
+(** [create n] is an edgeless weighted graph on nodes [0 .. n-1]. *)
+
+val node_count : t -> int
+
+val edge_count : t -> int
+
+val add_edge : t -> node -> node -> int -> unit
+(** [add_edge g u v w] adds [u -> v] with weight [w >= 0].  When the edge
+    already exists the minimum of the old and new weight is kept. *)
+
+val weight : t -> node -> node -> int option
+
+val iter_succ : t -> node -> (node -> int -> unit) -> unit
+
+val iter_pred : t -> node -> (node -> int -> unit) -> unit
+
+val iter_edges : t -> (node -> node -> int -> unit) -> unit
+
+val dijkstra : t -> node -> int array
+(** Shortest weighted distances from the source; [-1] when unreachable;
+    [0] for the source itself. *)
+
+val dijkstra_rev : t -> node -> int array
+(** Shortest weighted distances *to* the source (over reversed edges). *)
+
+val transpose : t -> t

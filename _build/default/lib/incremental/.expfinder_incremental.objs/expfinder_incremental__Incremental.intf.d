@@ -1,0 +1,1 @@
+lib/incremental/incremental.mli: Csr Digraph Expfinder_core Expfinder_graph Expfinder_pattern Match_relation Pattern Update

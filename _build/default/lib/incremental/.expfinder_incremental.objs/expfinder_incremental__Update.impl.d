@@ -1,0 +1,1 @@
+lib/incremental/update.ml: Array Attrs Digraph Expfinder_graph Format Hashtbl Label List Option Prng

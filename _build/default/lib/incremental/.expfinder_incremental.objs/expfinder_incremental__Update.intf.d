@@ -1,0 +1,1 @@
+lib/incremental/update.mli: Attrs Digraph Expfinder_graph Format Label Prng

@@ -1,0 +1,410 @@
+open Expfinder_graph
+open Expfinder_pattern
+open Expfinder_core
+
+let src = Logs.Src.create "expfinder.incremental" ~doc:"incremental match maintenance"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+module DDist = Distance.Make (Digraph)
+module DRefine = Sparse_refine.Make (Digraph)
+
+type area_strategy = Ball_closure | Ancestors
+
+type t = {
+  pattern : Pattern.t;
+  strategy : area_strategy;
+  g : Digraph.t;
+  mutable expected_version : int;
+  mutable kernel : Match_relation.t;
+  mutable scratch : DDist.scratch;
+  mutable scratch_n : int;
+}
+
+type report = {
+  effective : int;
+  area : int;
+  iterations : int;
+  added : (int * int) list;
+  removed : (int * int) list;
+}
+
+let evaluate pattern csr =
+  if Pattern.is_simulation_pattern pattern then Simulation.run pattern csr
+  else Bounded_sim.run pattern csr
+
+let create ?(area_strategy = Ball_closure) pattern g =
+  let kernel = evaluate pattern (Csr.of_digraph g) in
+  {
+    pattern;
+    strategy = area_strategy;
+    g;
+    expected_version = Digraph.version g;
+    kernel;
+    scratch = DDist.make_scratch g;
+    scratch_n = Digraph.node_count g;
+  }
+
+let pattern t = t.pattern
+
+let kernel t = t.kernel
+
+let result_pairs t =
+  if Match_relation.is_total t.kernel then Match_relation.pairs t.kernel else []
+
+let digraph t = t.g
+
+let version t = t.expected_version
+
+let snapshot t = Csr.of_digraph t.g
+
+let refresh_scratch t =
+  if Digraph.node_count t.g > t.scratch_n then begin
+    t.scratch <- DDist.make_scratch t.g;
+    t.scratch_n <- Digraph.node_count t.g
+  end
+
+let recompute t =
+  t.kernel <- evaluate t.pattern (Csr.of_digraph t.g);
+  t.expected_version <- Digraph.version t.g;
+  refresh_scratch t
+
+let resize_kernel kernel ~pattern_size ~new_n =
+  if Match_relation.graph_size kernel = new_n then Match_relation.copy kernel
+  else
+    Match_relation.of_pairs ~pattern_size ~graph_size:new_n (Match_relation.pairs kernel)
+
+let diff_relations before after =
+  let added = ref [] and removed = ref [] in
+  let psize = Match_relation.pattern_size after in
+  for u = psize - 1 downto 0 do
+    List.iter
+      (fun v -> if not (Match_relation.mem before u v) then added := (u, v) :: !added)
+      (List.rev (Match_relation.matches after u));
+    List.iter
+      (fun v -> if not (Match_relation.mem after u v) then removed := (u, v) :: !removed)
+      (List.rev (Match_relation.matches before u))
+  done;
+  (!added, !removed)
+
+let is_candidate pattern g v =
+  let label = Digraph.label g v and attrs = Digraph.attrs g v in
+  let rec loop u =
+    u < Pattern.size pattern && (Pattern.matches_node pattern u label attrs || loop (u + 1))
+  in
+  loop 0
+
+(* ------------------------------------------------------------------ *)
+(* Old-graph traversal without an old-graph snapshot: the pre-batch     *)
+(* graph is the live graph minus the net-inserted edges plus the        *)
+(* net-deleted ones, so a reverse walk can patch predecessor lists on   *)
+(* the fly.                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type patch = {
+  net_inserted : (int * int, unit) Hashtbl.t;
+  deleted_into : (int, int) Hashtbl.t; (* target -> each net-deleted source *)
+}
+
+let make_patch g effective =
+  let inserted, deleted = Update.net_edge_changes g effective in
+  let net_inserted = Hashtbl.create 16 in
+  List.iter (fun (a, b) -> Hashtbl.replace net_inserted (a, b) ()) inserted;
+  let deleted_into = Hashtbl.create 16 in
+  List.iter (fun (a, b) -> Hashtbl.add deleted_into b a) deleted;
+  ({ net_inserted; deleted_into }, inserted, deleted)
+
+let iter_pred_old g patch x f =
+  Digraph.iter_pred g x (fun p -> if not (Hashtbl.mem patch.net_inserted (p, x)) then f p);
+  List.iter f (Hashtbl.find_all patch.deleted_into x)
+
+(* Bounded reverse BFS on the patched old graph.  Areas are small, so a
+   hashtable-based visited set is fine. *)
+let old_reverse_ball g patch src k f =
+  if k > 0 then begin
+    let dist = Hashtbl.create 64 in
+    let queue = Queue.create () in
+    let push w d =
+      if not (Hashtbl.mem dist w) then begin
+        Hashtbl.replace dist w d;
+        Queue.add w queue
+      end
+    in
+    iter_pred_old g patch src (fun p -> push p 1);
+    while not (Queue.is_empty queue) do
+      let w = Queue.pop queue in
+      let d = Hashtbl.find dist w in
+      f w d;
+      if d < k then iter_pred_old g patch w (fun p -> push p (d + 1))
+    done
+  end
+
+let old_ancestors g patch srcs f =
+  let seen = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let push w =
+    if not (Hashtbl.mem seen w) then begin
+      Hashtbl.replace seen w ();
+      Queue.add w queue
+    end
+  in
+  List.iter push srcs;
+  while not (Queue.is_empty queue) do
+    let w = Queue.pop queue in
+    f w;
+    iter_pred_old g patch w push
+  done
+
+let new_ancestors g srcs f =
+  let n = Digraph.node_count g in
+  let seen = Bitset.create n in
+  let queue = Queue.create () in
+  let push w =
+    if not (Bitset.mem seen w) then begin
+      Bitset.add seen w;
+      Queue.add w queue
+    end
+  in
+  List.iter push srcs;
+  while not (Queue.is_empty queue) do
+    let w = Queue.pop queue in
+    f w;
+    Digraph.iter_pred g w push
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Maintenance                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let refine_over_area pattern g old_kernel area =
+  let psize = Pattern.size pattern in
+  let initial = Match_relation.copy old_kernel in
+  Bitset.iter
+    (fun v ->
+      for u = 0 to psize - 1 do
+        if Pattern.matches_node pattern u (Digraph.label g v) (Digraph.attrs g v) then
+          Match_relation.add initial u v
+        else Match_relation.remove initial u v
+      done)
+    area;
+  if Pattern.is_simulation_pattern pattern then
+    DRefine.simulation pattern g ~initial ~area
+  else DRefine.bounded pattern g ~initial ~area
+
+(* Change-driven maintenance (the shape of the SIGMOD'11 algorithms):
+
+   1. seed the area with the candidates whose dependency ball could have
+      changed — within [kmax - 1] hops upstream of a net-inserted edge's
+      source in the new graph, or of a net-deleted edge's source in the
+      (patched) old graph;
+   2. refine over the area with the rest frozen;
+   3. a node whose membership actually changed can influence candidates
+      within [kmax] upstream of it — in the new graph for additions, in
+      the old graph for removals; pull those in and repeat until no
+      membership change escapes the area.
+
+   At the fixpoint every frozen pair is justified, so the result is
+   exactly M(Q, G ⊕ ΔG). *)
+exception Flood
+
+let sync_ball_closure t ~old_kernel ~old_n ~effective_count ~patch ~inserted ~deleted =
+  let g = t.g in
+  let pattern = t.pattern in
+  let psize = Pattern.size pattern in
+  let new_n = Digraph.node_count g in
+  let kmax = Option.value ~default:1 (Pattern.max_bound pattern) in
+  let area = Bitset.create new_n in
+  (* Incremental (bounded) simulation is unbounded in the worst case
+     (SIGMOD'11): the group search can flood a large unmatched-candidate
+     region, where the sparse engines cost more than one dense batch
+     run.  Cap the area and fall back to recomputation beyond it. *)
+  let flood_budget = max 64 (new_n / 3) in
+  let area_size = ref 0 in
+  let grow v =
+    Bitset.add area v;
+    incr area_size;
+    if !area_size > flood_budget then raise Flood
+  in
+  (* A node is "uncertain" when it could still join the kernel: it
+     qualifies for some pattern node it does not yet match.  Uncertain
+     area nodes pull their potential witnesses (forward ball) into the
+     area as well — without this, a mutually supporting group of new
+     matches (e.g. an inserted edge closing a cycle) is never
+     discovered, since no member can join while the others are frozen
+     out. *)
+  let uncertain v =
+    let label = Digraph.label g v and attrs = Digraph.attrs g v in
+    let rec loop u =
+      u < psize
+      && ((Pattern.matches_node pattern u label attrs
+          && not (Match_relation.mem old_kernel u v))
+         || loop (u + 1))
+    in
+    loop 0
+  in
+  (* Plain inclusion: the node's membership will be re-derived, but no
+     group search starts from it. *)
+  let consider v =
+    if (not (Bitset.mem area v)) && is_candidate pattern g v then grow v
+  in
+  (* Inclusion with forward expansion: an uncertain node here may belong
+     to an insertion-enabled mutual group, whose other members lie in its
+     forward dependency balls. *)
+  let pending = Queue.create () in
+  let consider_expanding v =
+    if is_candidate pattern g v && not (Bitset.mem area v) then begin
+      grow v;
+      Queue.add v pending
+    end
+  in
+  let drain_forward () =
+    while not (Queue.is_empty pending) do
+      let v = Queue.pop pending in
+      if uncertain v then DDist.ball t.scratch g v kmax (fun w _ -> consider_expanding w)
+    done
+  in
+  (* Seeds: dependency balls that can contain a changed edge.  Insertions
+     can create matches — including mutually supporting groups, which
+     must contain either a seed (the inserted edge lies in its ball) or a
+     node downstream of the edge's target — so insertion seeds expand
+     forward.  Deletions only remove matches; removal cascades are
+     well-founded and handled by the backward growth alone. *)
+  List.iter
+    (fun (a, b) ->
+      consider_expanding a;
+      consider_expanding b;
+      if kmax > 1 then
+        DDist.reverse_ball t.scratch g a (kmax - 1) (fun v _ -> consider_expanding v))
+    inserted;
+  List.iter
+    (fun (a, _) ->
+      consider a;
+      if kmax > 1 then old_reverse_ball g patch a (kmax - 1) (fun v _ -> consider v))
+    deleted;
+  for v = old_n to new_n - 1 do
+    consider_expanding v
+  done;
+  drain_forward ();
+  let iterations = ref 0 in
+  let result = ref old_kernel in
+  let continue = ref true in
+  while !continue do
+    incr iterations;
+    let refined = refine_over_area pattern g old_kernel area in
+    result := refined;
+    let before = Bitset.cardinal area in
+    (* Constraints are checked on the new graph, so a changed membership
+       (either direction) can only influence the candidates within kmax
+       hops upstream in the new graph: a lost witness matters to v only
+       while it still lies in v's current ball, and a gained witness only
+       through a current path. *)
+    let changed = Hashtbl.create 16 in
+    for u = 0 to psize - 1 do
+      List.iter
+        (fun v ->
+          if not (Match_relation.mem old_kernel u v) then Hashtbl.replace changed v ())
+        (Match_relation.matches refined u);
+      List.iter
+        (fun v -> if not (Match_relation.mem refined u v) then Hashtbl.replace changed v ())
+        (Match_relation.matches old_kernel u)
+    done;
+    (* Backward-pulled nodes are re-derived but need no group search: any
+       undiscovered group has its own seed or edge-target entry point. *)
+    Hashtbl.iter
+      (fun w () -> DDist.reverse_ball t.scratch g w kmax (fun p _ -> consider p))
+      changed;
+    continue := Bitset.cardinal area <> before
+  done;
+  let kernel = !result in
+  let added, removed = diff_relations old_kernel kernel in
+  t.kernel <- kernel;
+  t.expected_version <- Digraph.version g;
+  Log.debug (fun m ->
+      m "ball-closure sync: %d updates, area %d/%d, %d rounds, +%d/-%d pairs"
+        effective_count (Bitset.cardinal area) new_n !iterations (List.length added)
+        (List.length removed));
+  {
+    effective = effective_count;
+    area = Bitset.cardinal area;
+    iterations = !iterations;
+    added;
+    removed;
+  }
+
+(* Conservative baseline (ablation EXP-A3): the affected area is the full
+   ancestor set of every touched source, in the old and new graphs. *)
+let sync_ancestors t ~old_kernel ~old_n ~effective_count ~patch ~inserted ~deleted =
+  let g = t.g in
+  let new_n = Digraph.node_count g in
+  let area = Bitset.create new_n in
+  let sources = List.map fst (inserted @ deleted) in
+  new_ancestors g sources (fun v -> Bitset.add area v);
+  old_ancestors g patch (List.map fst deleted) (fun v -> Bitset.add area v);
+  for v = old_n to new_n - 1 do
+    Bitset.add area v
+  done;
+  let kernel = refine_over_area t.pattern g old_kernel area in
+  let added, removed = diff_relations old_kernel kernel in
+  t.kernel <- kernel;
+  t.expected_version <- Digraph.version g;
+  {
+    effective = effective_count;
+    area = Bitset.cardinal area;
+    iterations = 1;
+    added;
+    removed;
+  }
+
+(* Maintenance after [effective] was already applied to the tracked
+   digraph. *)
+let sync_applied t ~effective =
+  let old_n = t.scratch_n in
+  refresh_scratch t;
+  let psize = Pattern.size t.pattern in
+  let old_kernel =
+    resize_kernel t.kernel ~pattern_size:psize ~new_n:(Digraph.node_count t.g)
+  in
+  if Pattern.has_unbounded_edge t.pattern then begin
+    (* Unbounded edges have no dependency radius; maintain those queries
+       by recomputation. *)
+    recompute t;
+    let added, removed = diff_relations old_kernel t.kernel in
+    {
+      effective = List.length effective;
+      area = Digraph.node_count t.g;
+      iterations = 1;
+      added;
+      removed;
+    }
+  end
+  else begin
+    let patch, inserted, deleted = make_patch t.g effective in
+    let effective_count = List.length effective in
+    match t.strategy with
+    | Ball_closure -> (
+      try sync_ball_closure t ~old_kernel ~old_n ~effective_count ~patch ~inserted ~deleted
+      with Flood ->
+        (* The affected area exceeded its budget; a dense batch run is
+           cheaper than sparse refinement at that size. *)
+        recompute t;
+        let added, removed = diff_relations old_kernel t.kernel in
+        Log.debug (fun m ->
+            m "ball-closure flood: fell back to recomputation (%d updates)" effective_count);
+        {
+          effective = effective_count;
+          area = Digraph.node_count t.g;
+          iterations = 0;
+          added;
+          removed;
+        })
+    | Ancestors ->
+      sync_ancestors t ~old_kernel ~old_n ~effective_count ~patch ~inserted ~deleted
+  end
+
+let apply_updates t g updates =
+  if not (g == t.g) then
+    invalid_arg "Incremental.apply_updates: different digraph than the tracked one";
+  if Digraph.version g <> t.expected_version then
+    invalid_arg "Incremental.apply_updates: digraph out of sync with tracked snapshot";
+  let effective = Update.apply_batch_filtered g updates in
+  sync_applied t ~effective

@@ -1,0 +1,107 @@
+open Expfinder_graph
+
+type t =
+  | Insert_edge of int * int
+  | Delete_edge of int * int
+  | Insert_node of Label.t * Attrs.t
+
+let apply g = function
+  | Insert_edge (u, v) -> Digraph.add_edge g u v
+  | Delete_edge (u, v) -> Digraph.remove_edge g u v
+  | Insert_node (label, attrs) ->
+    ignore (Digraph.add_node g ~attrs label : int);
+    true
+
+let apply_batch g updates =
+  List.fold_left (fun acc u -> if apply g u then acc + 1 else acc) 0 updates
+
+let apply_batch_filtered g updates = List.filter (apply g) updates
+
+let net_edge_changes g effective =
+  (* Parity per ordered pair: an edge toggled an even number of times is
+     back to its pre-batch state; odd means the final graph decides the
+     direction of the net change. *)
+  let parity = Hashtbl.create 16 in
+  List.iter
+    (fun u ->
+      match u with
+      | Insert_edge (a, b) | Delete_edge (a, b) ->
+        let count = Option.value ~default:0 (Hashtbl.find_opt parity (a, b)) in
+        Hashtbl.replace parity (a, b) (count + 1)
+      | Insert_node _ -> ())
+    effective;
+  Hashtbl.fold
+    (fun (a, b) count (ins, del) ->
+      if count mod 2 = 0 then (ins, del)
+      else if Digraph.has_edge g a b then ((a, b) :: ins, del)
+      else (ins, (a, b) :: del))
+    parity ([], [])
+
+let invert = function
+  | Insert_edge (u, v) -> Some (Delete_edge (u, v))
+  | Delete_edge (u, v) -> Some (Insert_edge (u, v))
+  | Insert_node _ -> None
+
+let touched_sources updates =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun u ->
+      match u with
+      | Insert_edge (a, _) | Delete_edge (a, _) ->
+        if Hashtbl.mem seen a then None
+        else begin
+          Hashtbl.add seen a ();
+          Some a
+        end
+      | Insert_node _ -> None)
+    updates
+
+let pp ppf = function
+  | Insert_edge (u, v) -> Format.fprintf ppf "+(%d,%d)" u v
+  | Delete_edge (u, v) -> Format.fprintf ppf "-(%d,%d)" u v
+  | Insert_node (l, _) -> Format.fprintf ppf "+node(%a)" Label.pp l
+
+let random_insertions rng g k =
+  let n = Digraph.node_count g in
+  if n < 2 then []
+  else begin
+    let chosen = Hashtbl.create (2 * k) in
+    let out = ref [] in
+    let placed = ref 0 and attempts = ref 0 in
+    while !placed < k && !attempts < 100 * (k + 1) do
+      incr attempts;
+      let u = Prng.int rng n and v = Prng.int rng n in
+      if u <> v && (not (Digraph.has_edge g u v)) && not (Hashtbl.mem chosen (u, v)) then begin
+        Hashtbl.add chosen (u, v) ();
+        out := Insert_edge (u, v) :: !out;
+        incr placed
+      end
+    done;
+    List.rev !out
+  end
+
+let random_deletions rng g k =
+  let m = Digraph.edge_count g in
+  let k = min k m in
+  if k = 0 then []
+  else begin
+    (* Materialise the edge list once, then sample k distinct indices. *)
+    let edges = Array.make m (0, 0) in
+    let i = ref 0 in
+    Digraph.iter_edges g (fun u v ->
+        edges.(!i) <- (u, v);
+        incr i);
+    let picks = Prng.sample_without_replacement rng k m in
+    Array.to_list (Array.map (fun i -> let u, v = edges.(i) in Delete_edge (u, v)) picks)
+  end
+
+let random_mixed rng g k =
+  let dels = random_deletions rng g (k / 2) in
+  let inss = random_insertions rng g (k - List.length dels) in
+  (* Interleave so deletions and insertions alternate. *)
+  let rec weave a b acc =
+    match (a, b) with
+    | [], rest | rest, [] -> List.rev_append acc rest
+    | x :: a, y :: b -> weave a b (y :: x :: acc)
+  in
+  weave dels inss []

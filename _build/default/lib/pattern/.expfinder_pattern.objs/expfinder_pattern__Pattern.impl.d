@@ -1,0 +1,1 @@
+lib/pattern/pattern.ml: Array Buffer Char Expfinder_graph Format Hashtbl Int64 Label List Option Predicate Printf String

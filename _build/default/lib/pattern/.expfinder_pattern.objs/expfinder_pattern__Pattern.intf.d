@@ -1,0 +1,1 @@
+lib/pattern/pattern.mli: Attrs Expfinder_graph Format Label Predicate

@@ -1,0 +1,1 @@
+lib/pattern/pattern_gen.ml: Array Expfinder_graph Hashtbl Label List Pattern Predicate Printf Prng

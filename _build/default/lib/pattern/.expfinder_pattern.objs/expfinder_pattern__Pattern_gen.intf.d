@@ -1,0 +1,1 @@
+lib/pattern/pattern_gen.mli: Expfinder_graph Label Pattern Prng

@@ -1,0 +1,1 @@
+lib/pattern/pattern_io.ml: Array Attr Buffer Expfinder_graph Format Fun Graph_io In_channel Label List Pattern Predicate Printf String

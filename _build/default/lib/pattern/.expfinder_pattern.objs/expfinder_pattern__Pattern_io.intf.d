@@ -1,0 +1,1 @@
+lib/pattern/pattern_io.mli: Pattern Predicate

@@ -1,0 +1,1 @@
+lib/pattern/pattern_opt.ml: Array Attr Expfinder_graph Fun Hashtbl Label List Option Pattern Predicate

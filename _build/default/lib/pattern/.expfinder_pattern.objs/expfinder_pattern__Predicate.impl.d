@@ -1,0 +1,1 @@
+lib/pattern/predicate.ml: Attr Attrs Expfinder_graph Format List String

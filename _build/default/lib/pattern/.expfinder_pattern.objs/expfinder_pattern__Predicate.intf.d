@@ -1,0 +1,1 @@
+lib/pattern/predicate.mli: Attr Attrs Expfinder_graph Format

@@ -1,0 +1,71 @@
+open Expfinder_graph
+
+type config = {
+  nodes : int;
+  extra_edges : int;
+  max_bound : int;
+  unbounded_prob : float;
+  condition_prob : float;
+  condition_attr : string;
+  condition_range : int * int;
+}
+
+let default =
+  {
+    nodes = 4;
+    extra_edges = 1;
+    max_bound = 3;
+    unbounded_prob = 0.0;
+    condition_prob = 0.5;
+    condition_attr = "exp";
+    condition_range = (0, 5);
+  }
+
+let simulation_config c = { c with max_bound = 1; unbounded_prob = 0.0 }
+
+let random_bound rng c =
+  if c.unbounded_prob > 0.0 && Prng.float rng 1.0 < c.unbounded_prob then
+    Pattern.Unbounded
+  else Pattern.Bounded (Prng.int_in rng 1 c.max_bound)
+
+let generate rng c ~labels =
+  if Array.length labels = 0 then invalid_arg "Pattern_gen.generate: no labels";
+  if c.nodes < 1 || c.max_bound < 1 then invalid_arg "Pattern_gen.generate: bad config";
+  let lo, hi = c.condition_range in
+  let node u =
+    let label = Prng.choose rng labels in
+    let pred =
+      if Prng.float rng 1.0 < c.condition_prob then
+        Predicate.ge_int c.condition_attr (Prng.int_in rng lo hi)
+      else Predicate.always
+    in
+    { Pattern.name = Printf.sprintf "%s%d" (Label.to_string label) u; label = Some label; pred }
+  in
+  let nodes = Array.init c.nodes node in
+  (* Spanning arborescence from node 0: node u > 0 gets one incoming edge
+     from a random earlier node, so the output node reaches everyone. *)
+  let edge_set = Hashtbl.create 16 in
+  let edges = ref [] in
+  let add u v =
+    if u <> v && not (Hashtbl.mem edge_set (u, v)) then begin
+      Hashtbl.add edge_set (u, v) ();
+      edges := (u, v, random_bound rng c) :: !edges;
+      true
+    end
+    else false
+  in
+  for u = 1 to c.nodes - 1 do
+    ignore (add (Prng.int rng u) u : bool)
+  done;
+  let placed = ref 0 in
+  let attempts = ref 0 in
+  let max_extra = (c.nodes * (c.nodes - 1)) - (c.nodes - 1) in
+  let wanted = min c.extra_edges max_extra in
+  while !placed < wanted && !attempts < 100 * (wanted + 1) do
+    incr attempts;
+    let u = Prng.int rng c.nodes and v = Prng.int rng c.nodes in
+    if add u v then incr placed
+  done;
+  Pattern.make_exn ~nodes ~edges:!edges ~output:0
+
+let generate_many rng c ~labels count = List.init count (fun _ -> generate rng c ~labels)

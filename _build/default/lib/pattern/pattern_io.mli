@@ -1,0 +1,44 @@
+(** Text serialisation of pattern queries, and DOT export.
+
+    Format (['#'] comments allowed):
+
+    {v
+    expfinder-pattern 1
+    node <id> <name> <label|*> [attr<op>typed-value ...]
+    edge <src> <dst> <bound|*>
+    output <id>
+    v}
+
+    e.g. the paper's query Q:
+
+    {v
+    expfinder-pattern 1
+    node 0 SA SA exp>=int:5
+    node 1 SD SD exp>=int:2
+    node 2 BA BA exp>=int:3
+    node 3 ST ST exp>=int:2
+    edge 0 1 2
+    edge 1 0 2
+    edge 0 2 3
+    edge 1 3 2
+    edge 3 2 1
+    output 0
+    v} *)
+
+val to_string : Pattern.t -> string
+
+val of_string : string -> (Pattern.t, string) result
+
+val save : Pattern.t -> string -> unit
+
+val load : string -> (Pattern.t, string) result
+
+val to_dot : ?name:string -> Pattern.t -> string
+(** GraphViz rendering; edges are annotated with their bounds and the
+    output node is double-circled (mirrors the Pattern Builder display). *)
+
+val condition_to_string : Predicate.atom -> string
+(** One search condition in the file syntax, e.g. [exp>=int:5] (also used
+    by compressed-graph persistence to record atom universes). *)
+
+val condition_of_string : string -> (Predicate.atom, string) result

@@ -1,0 +1,1 @@
+lib/storage/cache.ml: Expfinder_core Expfinder_pattern Hashtbl List Match_relation Pattern

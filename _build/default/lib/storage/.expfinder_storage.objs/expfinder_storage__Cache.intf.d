@@ -1,0 +1,1 @@
+lib/storage/cache.mli: Expfinder_core Expfinder_pattern Match_relation Pattern

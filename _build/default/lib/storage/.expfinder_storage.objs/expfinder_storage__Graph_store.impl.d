@@ -1,0 +1,1 @@
+lib/storage/graph_store.ml: Array Expfinder_graph Expfinder_pattern Filename Fun Graph_io In_channel List Pattern_io Printf String Sys

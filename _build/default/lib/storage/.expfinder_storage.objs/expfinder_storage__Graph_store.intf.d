@@ -1,0 +1,1 @@
+lib/storage/graph_store.mli: Digraph Expfinder_graph Expfinder_pattern Pattern

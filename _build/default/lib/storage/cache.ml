@@ -1,0 +1,73 @@
+open Expfinder_pattern
+open Expfinder_core
+
+type entry = {
+  key : string * int;
+  relation : Match_relation.t;
+  mutable stamp : int;
+}
+
+type t = {
+  capacity : int;
+  table : (string * int, entry) Hashtbl.t;
+  mutable clock : int;
+  mutable hit_count : int;
+  mutable miss_count : int;
+}
+
+let create ?(capacity = 64) () =
+  if capacity < 1 then invalid_arg "Cache.create";
+  { capacity; table = Hashtbl.create capacity; clock = 0; hit_count = 0; miss_count = 0 }
+
+let capacity t = t.capacity
+
+let length t = Hashtbl.length t.table
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let key_of pattern version = (Pattern.fingerprint pattern, version)
+
+let find t pattern ~graph_version =
+  match Hashtbl.find_opt t.table (key_of pattern graph_version) with
+  | Some entry ->
+    entry.stamp <- tick t;
+    t.hit_count <- t.hit_count + 1;
+    Some (Match_relation.copy entry.relation)
+  | None ->
+    t.miss_count <- t.miss_count + 1;
+    None
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun _ entry acc ->
+        match acc with
+        | Some best when best.stamp <= entry.stamp -> acc
+        | _ -> Some entry)
+      t.table None
+  in
+  match victim with None -> () | Some entry -> Hashtbl.remove t.table entry.key
+
+let store t pattern ~graph_version relation =
+  let key = key_of pattern graph_version in
+  if not (Hashtbl.mem t.table key) && Hashtbl.length t.table >= t.capacity then
+    evict_lru t;
+  Hashtbl.replace t.table key
+    { key; relation = Match_relation.copy relation; stamp = tick t }
+
+let invalidate_version t version =
+  let victims =
+    Hashtbl.fold (fun key _ acc -> if snd key = version then key :: acc else acc) t.table []
+  in
+  List.iter (Hashtbl.remove t.table) victims
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.hit_count <- 0;
+  t.miss_count <- 0
+
+let hits t = t.hit_count
+
+let misses t = t.miss_count

@@ -1,0 +1,35 @@
+open Expfinder_pattern
+open Expfinder_core
+
+(** Query-result cache (§II: "the query engine directly returns M(Q,G)
+    if it is already cached").
+
+    Results are keyed by (pattern fingerprint, graph version); a bumped
+    graph version invalidates every entry for that graph, so the cache
+    can never serve a stale relation.  Eviction is LRU with a bounded
+    entry count. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity: 64 entries. *)
+
+val capacity : t -> int
+
+val length : t -> int
+
+val find : t -> Pattern.t -> graph_version:int -> Match_relation.t option
+(** A hit returns a defensive copy and refreshes recency. *)
+
+val store : t -> Pattern.t -> graph_version:int -> Match_relation.t -> unit
+(** Insert (copying the relation), evicting the least recently used
+    entry when full. *)
+
+val invalidate_version : t -> int -> unit
+(** Drop every entry recorded under the given graph version. *)
+
+val clear : t -> unit
+
+val hits : t -> int
+
+val misses : t -> int

@@ -1,0 +1,96 @@
+open Expfinder_graph
+open Expfinder_pattern
+
+type t = { root : string }
+
+let open_dir root =
+  if not (Sys.file_exists root) then Sys.mkdir root 0o755
+  else if not (Sys.is_directory root) then
+    invalid_arg (Printf.sprintf "Graph_store.open_dir: %S is not a directory" root);
+  { root }
+
+let root t = t.root
+
+let path t name ext = Filename.concat t.root (name ^ ext)
+
+let check_name name =
+  if
+    name = ""
+    || String.exists (fun c -> c = '/' || c = '\\' || c = '\000') name
+    || name.[0] = '.'
+  then invalid_arg (Printf.sprintf "Graph_store: invalid artifact name %S" name)
+
+let list_ext t ext =
+  if not (Sys.file_exists t.root) then []
+  else
+    Sys.readdir t.root |> Array.to_list
+    |> List.filter_map (fun f -> Filename.chop_suffix_opt ~suffix:ext f)
+    |> List.sort compare
+
+let list_graphs t = list_ext t ".graph"
+
+let save_graph t name g =
+  check_name name;
+  Graph_io.save g (path t name ".graph")
+
+let load_graph t name =
+  check_name name;
+  let file = path t name ".graph" in
+  if Sys.file_exists file then Graph_io.load file
+  else Error (Printf.sprintf "no graph named %S in %s" name t.root)
+
+let list_patterns t = list_ext t ".pattern"
+
+let save_pattern t name p =
+  check_name name;
+  Pattern_io.save p (path t name ".pattern")
+
+let load_pattern t name =
+  check_name name;
+  let file = path t name ".pattern" in
+  if Sys.file_exists file then Pattern_io.load file
+  else Error (Printf.sprintf "no pattern named %S in %s" name t.root)
+
+let save_result t name pairs =
+  check_name name;
+  let oc = open_out (path t name ".result") in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc "expfinder-result 1\n";
+      List.iter (fun (u, v) -> Printf.fprintf oc "pair %d %d\n" u v) pairs)
+
+let load_result t name =
+  check_name name;
+  let file = path t name ".result" in
+  if not (Sys.file_exists file) then
+    Error (Printf.sprintf "no result named %S in %s" name t.root)
+  else begin
+    let text = In_channel.with_open_text file In_channel.input_all in
+    let lines = String.split_on_char '\n' text in
+    let rec loop lineno seen_header acc = function
+      | [] -> if seen_header then Ok (List.rev acc) else Error "empty result file"
+      | line :: rest -> (
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then loop (lineno + 1) seen_header acc rest
+        else if not seen_header then
+          if line = "expfinder-result 1" then loop (lineno + 1) true acc rest
+          else Error (Printf.sprintf "line %d: bad header" lineno)
+        else
+          match String.split_on_char ' ' line with
+          | [ "pair"; u; v ] -> (
+            match (int_of_string_opt u, int_of_string_opt v) with
+            | Some u, Some v -> loop (lineno + 1) seen_header ((u, v) :: acc) rest
+            | _ -> Error (Printf.sprintf "line %d: bad pair" lineno))
+          | _ -> Error (Printf.sprintf "line %d: unknown record" lineno))
+    in
+    loop 1 false [] lines
+  end
+
+let remove t name =
+  check_name name;
+  List.iter
+    (fun ext ->
+      let file = path t name ext in
+      if Sys.file_exists file then Sys.remove file)
+    [ ".graph"; ".pattern"; ".result" ]

@@ -1,0 +1,38 @@
+open Expfinder_graph
+open Expfinder_pattern
+
+(** File-backed storage (§II: "all the graphs and query results are
+    stored and managed as files").
+
+    A store is a directory with one [.graph] file per data graph, one
+    [.pattern] file per saved query and one [.result] file per persisted
+    match relation, all in the textual formats of {!Graph_io} /
+    {!Pattern_io}. *)
+
+type t
+
+val open_dir : string -> t
+(** Create the directory when missing. *)
+
+val root : t -> string
+
+val list_graphs : t -> string list
+(** Saved graph names, sorted. *)
+
+val save_graph : t -> string -> Digraph.t -> unit
+
+val load_graph : t -> string -> (Digraph.t, string) result
+
+val list_patterns : t -> string list
+
+val save_pattern : t -> string -> Pattern.t -> unit
+
+val load_pattern : t -> string -> (Pattern.t, string) result
+
+val save_result : t -> string -> (int * int) list -> unit
+(** Persist match pairs under a name. *)
+
+val load_result : t -> string -> ((int * int) list, string) result
+
+val remove : t -> string -> unit
+(** Remove every artifact saved under the name. *)

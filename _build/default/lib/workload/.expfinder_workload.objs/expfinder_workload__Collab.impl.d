@@ -1,0 +1,1 @@
+lib/workload/collab.ml: Array Attrs Digraph Expfinder_graph Expfinder_pattern Label List Pattern Predicate

@@ -1,0 +1,1 @@
+lib/workload/collab.mli: Digraph Expfinder_graph Expfinder_pattern Pattern

@@ -1,0 +1,1 @@
+lib/workload/queries.ml: Array Attr Digraph Expfinder_graph Expfinder_pattern Hashtbl Label List Pattern Pattern_gen Predicate

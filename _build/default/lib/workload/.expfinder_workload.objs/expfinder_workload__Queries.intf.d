@@ -1,0 +1,1 @@
+lib/workload/queries.mli: Digraph Expfinder_graph Expfinder_pattern Label Pattern Predicate Prng

@@ -1,0 +1,1 @@
+lib/workload/synthetic.ml: Array Attr Attrs Digraph Expfinder_graph Generators Label Printf Prng Vec

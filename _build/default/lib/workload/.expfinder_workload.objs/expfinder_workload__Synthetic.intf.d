@@ -1,0 +1,1 @@
+lib/workload/synthetic.mli: Digraph Expfinder_graph Label Prng

@@ -1,0 +1,1 @@
+lib/workload/twitter.ml: Array Attrs Digraph Expfinder_graph Label Printf Prng Synthetic Vec

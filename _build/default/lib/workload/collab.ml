@@ -1,0 +1,133 @@
+open Expfinder_graph
+open Expfinder_pattern
+
+let walt = 0
+let bob = 1
+let bill = 2
+let jean = 3
+let dan = 4
+let mat = 5
+let pat = 6
+let fred = 7
+let eva = 8
+
+let names = [| "Walt"; "Bob"; "Bill"; "Jean"; "Dan"; "Mat"; "Pat"; "Fred"; "Eva" |]
+
+let name_of v =
+  if v < 0 || v >= Array.length names then invalid_arg "Collab.name_of";
+  names.(v)
+
+let person name label specialty exp =
+  ( Label.of_string label,
+    Attrs.of_list [ Attrs.str "name" name; Attrs.str "specialty" specialty; Attrs.int "exp" exp ]
+  )
+
+let node_table =
+  [|
+    person "Walt" "SA" "System Architect" 5;
+    person "Bob" "SA" "System Architect" 7;
+    person "Bill" "GD" "Graphic Designer" 2;
+    person "Jean" "BA" "Business Analyst" 3;
+    person "Dan" "SD" "Programmer" 3;
+    person "Mat" "SD" "Programmer" 4;
+    person "Pat" "SD" "DBA" 3;
+    person "Fred" "SD" "DBA" 2;
+    person "Eva" "ST" "Tester" 2;
+  |]
+
+(* Collaboration edges (excluding e1), engineered so that:
+   Bob's 2-ball holds SDs {Dan, Pat}, his shortest path to Jean is
+   Bob->Dan->Pat->Jean (length 3); Walt's SD witness is Mat at distance 2
+   via Bill both ways; Fred reaches ST and BA people but no SA. *)
+let edge_table =
+  [
+    (bob, dan);
+    (dan, bob);
+    (dan, pat);
+    (pat, dan);
+    (pat, jean);
+    (pat, eva);
+    (walt, bill);
+    (bill, walt);
+    (bill, mat);
+    (mat, bill);
+    (mat, jean);
+    (eva, jean);
+    (fred, eva);
+    (fred, jean);
+  ]
+
+let e1 = (fred, bill)
+
+let graph () =
+  let g = Digraph.create ~capacity:(Array.length node_table) () in
+  Array.iter (fun (label, attrs) -> ignore (Digraph.add_node g ~attrs label : int)) node_table;
+  List.iter (fun (u, v) -> ignore (Digraph.add_edge g u v : bool)) edge_table;
+  g
+
+let spec name label pred =
+  { Pattern.name; label = Some (Label.of_string label); pred }
+
+let query () =
+  Pattern.make_exn
+    ~nodes:
+      [|
+        spec "SA" "SA" (Predicate.ge_int "exp" 5);
+        spec "SD" "SD" (Predicate.ge_int "exp" 2);
+        spec "BA" "BA" (Predicate.ge_int "exp" 3);
+        spec "ST" "ST" (Predicate.ge_int "exp" 2);
+      |]
+    ~edges:
+      [
+        (0, 1, Pattern.Bounded 2);
+        (1, 0, Pattern.Bounded 2);
+        (0, 2, Pattern.Bounded 3);
+        (3, 2, Pattern.Bounded 1);
+      ]
+    ~output:0
+
+let q1 () =
+  (* Plain simulation: direct collaborations only. *)
+  Pattern.make_exn
+    ~nodes:
+      [|
+        spec "SA" "SA" (Predicate.ge_int "exp" 5);
+        spec "SD" "SD" (Predicate.ge_int "exp" 2);
+      |]
+    ~edges:[ (0, 1, Pattern.Bounded 1); (1, 0, Pattern.Bounded 1) ]
+    ~output:0
+
+let q2 () =
+  (* SA leading both an SD and a tester vetted by a business analyst. *)
+  Pattern.make_exn
+    ~nodes:
+      [|
+        spec "SA" "SA" (Predicate.ge_int "exp" 5);
+        spec "SD" "SD" (Predicate.ge_int "exp" 3);
+        spec "ST" "ST" Predicate.always;
+        spec "BA" "BA" Predicate.always;
+      |]
+    ~edges:
+      [
+        (0, 1, Pattern.Bounded 2);
+        (0, 2, Pattern.Bounded 3);
+        (2, 3, Pattern.Bounded 1);
+      ]
+    ~output:0
+
+let q3 () =
+  (* Unbounded collaboration chains. *)
+  Pattern.make_exn
+    ~nodes:
+      [|
+        spec "SA" "SA" (Predicate.ge_int "exp" 5);
+        spec "SD" "SD" (Predicate.ge_int "exp" 2);
+        spec "BA" "BA" Predicate.always;
+      |]
+    ~edges:
+      [
+        (0, 1, Pattern.Bounded 2);
+        (1, 0, Pattern.Unbounded);
+        (0, 2, Pattern.Unbounded);
+      ]
+    ~output:0

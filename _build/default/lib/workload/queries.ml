@@ -1,0 +1,56 @@
+open Expfinder_graph
+open Expfinder_pattern
+
+let distinct_labels g =
+  let seen = Hashtbl.create 16 in
+  Digraph.iter_nodes g (fun v -> Hashtbl.replace seen (Digraph.label g v) ());
+  let labels = Hashtbl.fold (fun l () acc -> l :: acc) seen [] in
+  Array.of_list (List.sort Label.compare labels)
+
+let thresholds = [ 2; 3; 5 ]
+
+let atom_universe =
+  List.map
+    (fun k -> { Predicate.attr = "exp"; op = Predicate.Ge; value = Attr.Int k })
+    thresholds
+
+let workload rng ?(nodes = 4) ?(max_bound = 3) ?(count = 10) ~simulation g =
+  let labels = distinct_labels g in
+  let config =
+    {
+      Pattern_gen.default with
+      nodes;
+      extra_edges = 1;
+      max_bound;
+      condition_prob = 0.6;
+      condition_attr = "exp";
+      condition_range = (2, 5);
+    }
+  in
+  let config = if simulation then Pattern_gen.simulation_config config else config in
+  (* Clamp generated thresholds onto the declared universe so compressed
+     evaluation supports every query. *)
+  let clamp p =
+    let nodes =
+      Array.init (Pattern.size p) (fun u ->
+          let spec = Pattern.node_spec p u in
+          let pred =
+            Predicate.of_atoms
+              (List.map
+                 (fun a ->
+                   match a.Predicate.value with
+                   | Attr.Int k ->
+                     let k' =
+                       List.fold_left
+                         (fun best t -> if t <= k then t else best)
+                         (List.hd thresholds) thresholds
+                     in
+                     { a with Predicate.value = Attr.Int k' }
+                   | _ -> a)
+                 (Predicate.atoms spec.Pattern.pred))
+          in
+          { spec with Pattern.pred })
+    in
+    Pattern.make_exn ~nodes ~edges:(Pattern.edges p) ~output:(Pattern.output p)
+  in
+  List.map clamp (Pattern_gen.generate_many rng config ~labels count)

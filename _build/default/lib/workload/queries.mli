@@ -1,0 +1,18 @@
+open Expfinder_graph
+open Expfinder_pattern
+
+(** Query workloads over generated graphs. *)
+
+val distinct_labels : Digraph.t -> Label.t array
+(** The label universe actually present in a graph (sorted by symbol). *)
+
+val atom_universe : Predicate.atom list
+(** The predicate atoms used by generated workloads ([exp >= 2/3/5]) —
+    pass this to the compression module so generated queries stay inside
+    the preserved class. *)
+
+val workload :
+  Prng.t -> ?nodes:int -> ?max_bound:int -> ?count:int -> simulation:bool -> Digraph.t -> Pattern.t list
+(** [count] (default 10) patterns over the graph's own labels, with
+    conditions drawn from {!atom_universe}'s thresholds; [simulation]
+    forces all bounds to 1. *)

@@ -1,0 +1,69 @@
+open Expfinder_graph
+
+let interests = [| "ML"; "DB"; "Sys"; "Sec"; "UX"; "PL" |]
+
+let interest_labels () = Array.map Label.of_string interests
+
+(* Preferential attachment with two behaviours: "active" accounts follow
+   ~4 earlier accounts; "lurkers" (about half of the population) follow a
+   single popular account.  The lurker fringe is what makes real follower
+   graphs compressible — lurkers of the same interest, seniority bucket
+   and hub are indistinguishable. *)
+let generate rng ~n =
+  let labels = interest_labels () in
+  let g = Digraph.create ~capacity:n () in
+  for i = 0 to n - 1 do
+    ignore
+      (Digraph.add_node g
+         ~attrs:
+           (Attrs.of_list
+              [ Attrs.int "exp" (Prng.int rng 8); Attrs.str "name" (Printf.sprintf "user%d" i) ])
+         (Prng.choose rng labels)
+        : int)
+  done;
+  (* Repeated-endpoint list: picking a uniform element is picking
+     proportional to (in-degree + 1).  Lurkers (55% of accounts) follow a
+     single early celebrity and are never followed back, so lurkers of
+     the same interest, seniority and celebrity are indistinguishable. *)
+  let targets = Vec.create ~capacity:(2 * n) ~dummy:(-1) () in
+  let celebrity_count = max 8 (n / 250) in
+  for v = 0 to n - 1 do
+    let lurker = v > celebrity_count && Prng.float rng 1.0 < 0.55 in
+    if lurker then begin
+      (* Preferential choice among the celebrities: rejection-sample the
+         endpoint list for an early account. *)
+      let placed = ref false and attempts = ref 0 in
+      while (not !placed) && !attempts < 50 do
+        incr attempts;
+        let t = Vec.get targets (Prng.int rng (Vec.length targets)) in
+        if t < celebrity_count && Digraph.add_edge g v t then placed := true
+      done;
+      if not !placed then
+        ignore (Digraph.add_edge g v (Prng.int rng celebrity_count) : bool)
+    end
+    else begin
+      if v > 0 then begin
+        let wanted = min 4 v in
+        let placed = ref 0 and attempts = ref 0 in
+        while !placed < wanted && !attempts < 20 * wanted do
+          incr attempts;
+          let t = Vec.get targets (Prng.int rng (Vec.length targets)) in
+          if Digraph.add_edge g v t then begin
+            incr placed;
+            Vec.push targets t
+          end
+        done
+      end;
+      Vec.push targets v
+    end
+  done;
+  (* Popularity-correlated attributes: popular accounts get an experience
+     boost and their follower count recorded. *)
+  Digraph.iter_nodes g (fun v ->
+      let followers = Digraph.in_degree g v in
+      let exp = Synthetic.exp_of g v in
+      let boosted = min 10 (exp + if followers > 20 then 3 else 0) in
+      Digraph.set_attrs g v
+        (Attrs.union (Digraph.attrs g v)
+           (Attrs.of_list [ Attrs.int "followers" followers; Attrs.int "exp" boosted ])));
+  g

@@ -1,0 +1,1 @@
+test/test_inc_compress.mli:

@@ -1,0 +1,1 @@
+test/test_pattern.ml: Alcotest Array Attr Attrs Expfinder_graph Expfinder_pattern Expfinder_workload Fun Label List Pattern Pattern_gen Pattern_io Predicate Prng QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Cache Digraph Expfinder_core Expfinder_graph Expfinder_pattern Expfinder_storage Expfinder_workload Filename Fun Graph_store List Match_relation Pattern Sys

@@ -1,0 +1,132 @@
+(* End-to-end CLI tests: drive bin/expfinder.exe as a subprocess through
+   the full file-based workflow (gen -> stats -> query -> topk ->
+   compress -> update), checking outputs and exit codes. *)
+
+let exe =
+  (* dune places the test binary in _build/default/test/; the CLI lives
+     next door in bin/. *)
+  let candidates =
+    [
+      Filename.concat (Filename.dirname Sys.executable_name) "../bin/expfinder.exe";
+      "_build/default/bin/expfinder.exe";
+      "../bin/expfinder.exe";
+    ]
+  in
+  List.find_opt Sys.file_exists candidates
+
+let with_tmpdir f =
+  let dir = Filename.temp_file "expfinder-cli" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun file -> Sys.remove (Filename.concat dir file)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () -> f dir)
+
+let run exe args =
+  let cmd =
+    Filename.quote_command exe args ^ " 2>/dev/null"
+  in
+  let ic = Unix.open_process_in cmd in
+  let buf = Buffer.create 1024 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  let status = Unix.close_process_in ic in
+  let code = match status with Unix.WEXITED c -> c | _ -> -1 in
+  (code, Buffer.contents buf)
+
+let contains haystack needle =
+  let n = String.length haystack and k = String.length needle in
+  let rec scan i = i + k <= n && (String.sub haystack i k = needle || scan (i + 1)) in
+  scan 0
+
+let paper_query =
+  "expfinder-pattern 1\n\
+   node 0 SA SA exp>=int:5\n\
+   node 1 SD SD exp>=int:2\n\
+   node 2 BA BA exp>=int:3\n\
+   node 3 ST ST exp>=int:2\n\
+   edge 0 1 2\n\
+   edge 1 0 2\n\
+   edge 0 2 3\n\
+   edge 3 2 1\n\
+   output 0\n"
+
+let write path text =
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc
+
+let cli_workflow exe () =
+  with_tmpdir (fun dir ->
+      let graph = Filename.concat dir "collab.graph" in
+      let query = Filename.concat dir "q.pattern" in
+      write query paper_query;
+      (* gen *)
+      let code, out = run exe [ "gen"; "--kind"; "collab"; "-o"; graph ] in
+      Alcotest.(check int) "gen exits 0" 0 code;
+      Alcotest.(check bool) "gen reports size" true (contains out "9 nodes");
+      (* stats *)
+      let code, out = run exe [ "stats"; "-g"; graph ] in
+      Alcotest.(check int) "stats exits 0" 0 code;
+      Alcotest.(check bool) "stats nodes" true (contains out "nodes: 9");
+      (* query with summary *)
+      let code, out = run exe [ "query"; "-g"; graph; "-q"; query; "--summary" ] in
+      Alcotest.(check int) "query exits 0" 0 code;
+      Alcotest.(check bool) "SA matches" true (contains out "SA -> [0; 1]");
+      Alcotest.(check bool) "summary rendered" true (contains out "witness edges");
+      (* topk with dot *)
+      let dot = Filename.concat dir "gr.dot" in
+      let code, out = run exe [ "topk"; "-g"; graph; "-q"; query; "-k"; "2"; "--dot"; dot ] in
+      Alcotest.(check int) "topk exits 0" 0 code;
+      Alcotest.(check bool) "Bob first" true (contains out "#1: node 1 (Bob)");
+      Alcotest.(check bool) "exact rank" true (contains out "9/5");
+      Alcotest.(check bool) "dot written" true (Sys.file_exists dot);
+      (* update with incremental delta *)
+      let code, out =
+        run exe [ "update"; "-g"; graph; "--insert"; "7,2"; "-q"; query ]
+      in
+      Alcotest.(check int) "update exits 0" 0 code;
+      Alcotest.(check bool) "delta reported" true (contains out "+ (SD, 7)");
+      (* compress *)
+      let code, out =
+        run exe [ "compress"; "-g"; graph; "--atoms"; "exp>=2,exp>=3,exp>=5" ]
+      in
+      Alcotest.(check int) "compress exits 0" 0 code;
+      Alcotest.(check bool) "reduction reported" true (contains out "reduction:");
+      (* demo reproduces the paper *)
+      let code, out = run exe [ "demo" ] in
+      Alcotest.(check int) "demo exits 0" 0 code;
+      Alcotest.(check bool) "demo rank" true (contains out "9/5");
+      Alcotest.(check bool) "demo delta" true (contains out "(SD, Fred)"))
+
+let cli_errors exe () =
+  with_tmpdir (fun dir ->
+      let missing = Filename.concat dir "missing.graph" in
+      let code, _ = run exe [ "stats"; "-g"; missing ] in
+      Alcotest.(check bool) "missing file fails" true (code <> 0);
+      let bad = Filename.concat dir "bad.graph" in
+      write bad "not a graph\n";
+      let code, _ = run exe [ "stats"; "-g"; bad ] in
+      Alcotest.(check int) "bad graph rejected" 1 code;
+      let code, _ = run exe [ "gen"; "--kind"; "nonsense"; "-o"; Filename.concat dir "x" ] in
+      Alcotest.(check int) "unknown kind rejected" 1 code)
+
+let () =
+  match exe with
+  | None ->
+    (* Binary not built (e.g. running a partial build); nothing to test. *)
+    Alcotest.run "cli" [ ("skipped", [] ) ]
+  | Some exe ->
+    Alcotest.run "cli"
+      [
+        ( "workflow",
+          [
+            Alcotest.test_case "full file workflow" `Quick (cli_workflow exe);
+            Alcotest.test_case "error handling" `Quick (cli_errors exe);
+          ] );
+      ]

@@ -1,0 +1,282 @@
+(* Deeper substrate coverage: reference-based properties for SCC,
+   shortest paths, traversal orders, and the small utility modules. *)
+
+open Expfinder_graph
+
+let label_a = Label.of_string "A"
+
+let random_csr ?(max_n = 25) ?(density = 3) rng =
+  let n = 1 + Prng.int rng max_n in
+  Csr.of_digraph
+    (Generators.erdos_renyi rng ~n ~m:(Prng.int rng (density * n)) (fun _ ->
+         (label_a, Attrs.empty)))
+
+(* --- SCC vs mutual-reachability reference ------------------------------ *)
+
+let prop_scc_reference seed =
+  let rng = Prng.create seed in
+  let g = random_csr rng in
+  let n = Csr.node_count g in
+  let scc = Scc.compute g in
+  let reachable = Array.init n (fun v -> Traversal.reachable_from g [ v ]) in
+  let ok = ref true in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      let mutual = Bitset.mem reachable.(u) v && Bitset.mem reachable.(v) u in
+      if Scc.component scc u = Scc.component scc v <> mutual then ok := false
+    done
+  done;
+  !ok
+
+let prop_scc_members_partition seed =
+  let rng = Prng.create seed in
+  let g = random_csr rng in
+  let scc = Scc.compute g in
+  let total =
+    List.init (Scc.count scc) (Scc.component_size scc) |> List.fold_left ( + ) 0
+  in
+  total = Csr.node_count g
+
+let prop_condensation_acyclic seed =
+  let rng = Prng.create seed in
+  let g = random_csr rng in
+  let scc = Scc.compute g in
+  let adj = Scc.condensation scc g in
+  (* Build the condensation as a digraph and check it is a DAG. *)
+  let labels = Array.make (max (Scc.count scc) 1) label_a in
+  let edges = ref [] in
+  Array.iteri (fun c succs -> List.iter (fun s -> edges := (c, s) :: !edges) succs) adj;
+  Scc.count scc = 0 || Traversal.is_dag (Csr.of_digraph (Digraph.of_edges ~labels !edges))
+
+(* --- traversal orders ---------------------------------------------------- *)
+
+let prop_postorder_visits_once seed =
+  let rng = Prng.create seed in
+  let g = random_csr rng in
+  let seen = Hashtbl.create 16 in
+  Traversal.dfs_postorder g (fun v ->
+      if Hashtbl.mem seen v then failwith "revisit";
+      Hashtbl.replace seen v ());
+  Hashtbl.length seen = Csr.node_count g
+
+let prop_topological_respects_edges seed =
+  let rng = Prng.create seed in
+  let n = 2 + Prng.int rng 25 in
+  let g =
+    Csr.of_digraph
+      (Generators.random_dag rng ~n ~m:(Prng.int rng (3 * n)) (fun _ -> (label_a, Attrs.empty)))
+  in
+  match Traversal.topological_order g with
+  | None -> false
+  | Some order ->
+    let position = Array.make n 0 in
+    Array.iteri (fun i v -> position.(v) <- i) order;
+    let ok = ref true in
+    Csr.iter_edges g (fun u v -> if position.(u) >= position.(v) then ok := false);
+    !ok
+
+let prop_bfs_layers_monotone seed =
+  let rng = Prng.create seed in
+  let g = random_csr rng in
+  let order = ref [] in
+  Traversal.bfs g [ 0 ] (fun _ d -> order := d :: !order);
+  let rec non_decreasing = function
+    | a :: b :: rest -> b <= a && non_decreasing (b :: rest)
+    | _ -> true
+  in
+  (* order is reversed, so distances must be non-increasing *)
+  non_decreasing !order
+
+(* --- shortest paths ------------------------------------------------------ *)
+
+(* Bellman-Ford reference for Wgraph.dijkstra. *)
+let bellman_ford w src =
+  let n = Wgraph.node_count w in
+  let dist = Array.make n max_int in
+  dist.(src) <- 0;
+  for _ = 1 to n do
+    Wgraph.iter_edges w (fun u v weight ->
+        if dist.(u) < max_int && dist.(u) + weight < dist.(v) then
+          dist.(v) <- dist.(u) + weight)
+  done;
+  Array.map (fun d -> if d = max_int then -1 else d) dist
+
+let random_wgraph rng =
+  let n = 1 + Prng.int rng 20 in
+  let w = Wgraph.create n in
+  for _ = 1 to Prng.int rng (3 * n) do
+    let u = Prng.int rng n and v = Prng.int rng n in
+    if u <> v then Wgraph.add_edge w u v (1 + Prng.int rng 9)
+  done;
+  w
+
+let prop_dijkstra_reference seed =
+  let rng = Prng.create seed in
+  let w = random_wgraph rng in
+  let src = Prng.int rng (Wgraph.node_count w) in
+  Wgraph.dijkstra w src = bellman_ford w src
+
+let prop_dijkstra_rev_is_transpose seed =
+  let rng = Prng.create seed in
+  let w = random_wgraph rng in
+  let src = Prng.int rng (Wgraph.node_count w) in
+  Wgraph.dijkstra_rev w src = Wgraph.dijkstra (Wgraph.transpose w) src
+
+let test_transpose_involution () =
+  let rng = Prng.create 3 in
+  let w = random_wgraph rng in
+  let t2 = Wgraph.transpose (Wgraph.transpose w) in
+  Alcotest.(check int) "edge count" (Wgraph.edge_count w) (Wgraph.edge_count t2);
+  Wgraph.iter_edges w (fun u v d ->
+      Alcotest.(check (option int)) "weight preserved" (Some d) (Wgraph.weight t2 u v))
+
+(* --- Distance vs reference ----------------------------------------------- *)
+
+let prop_distances_from_reference seed =
+  let rng = Prng.create seed in
+  let g = random_csr rng in
+  let src = Prng.int rng (Csr.node_count g) in
+  let expected = Array.make (Csr.node_count g) (-1) in
+  Traversal.bfs g [ src ] (fun v d -> expected.(v) <- d);
+  Distance.distances_from g src = expected
+
+let prop_digraph_distance_instance_agrees seed =
+  (* The functor instance over Digraph must agree with the Csr one. *)
+  let rng = Prng.create seed in
+  let n = 1 + Prng.int rng 20 in
+  let dg =
+    Generators.erdos_renyi rng ~n ~m:(Prng.int rng (3 * n)) (fun _ -> (label_a, Attrs.empty))
+  in
+  let csr = Csr.of_digraph dg in
+  let module DD = Distance.Make (Digraph) in
+  let s_csr = Distance.make_scratch csr in
+  let s_dg = DD.make_scratch dg in
+  let ok = ref true in
+  for v = 0 to n - 1 do
+    for k = 1 to 3 do
+      let a = Hashtbl.create 8 and b = Hashtbl.create 8 in
+      Distance.ball s_csr csr v k (fun w d -> Hashtbl.replace a w d);
+      DD.ball s_dg dg v k (fun w d -> Hashtbl.replace b w d);
+      if Hashtbl.length a <> Hashtbl.length b then ok := false;
+      Hashtbl.iter (fun w d -> if Hashtbl.find_opt b w <> Some d then ok := false) a
+    done
+  done;
+  !ok
+
+(* --- utility modules ------------------------------------------------------ *)
+
+let test_vec_roundtrip_and_blit () =
+  let xs = [ 5; 4; 3; 2; 1 ] in
+  let v = Vec.of_list ~dummy:0 xs in
+  Alcotest.(check (list int)) "roundtrip" xs (Vec.to_list v);
+  let arr = Array.make 7 9 in
+  Vec.blit_into_array v arr 1;
+  Alcotest.(check (list int)) "blit" [ 9; 5; 4; 3; 2; 1; 9 ] (Array.to_list arr);
+  let c = Vec.copy v in
+  Vec.set c 0 42;
+  Alcotest.(check int) "copy independent" 5 (Vec.get v 0);
+  Alcotest.(check (list int)) "to_array" xs (Array.to_list (Vec.to_array v))
+
+let test_prng_split_independence () =
+  let a = Prng.create 1 in
+  let b = Prng.split a in
+  let xs = List.init 10 (fun _ -> Prng.int a 1_000_000) in
+  let ys = List.init 10 (fun _ -> Prng.int b 1_000_000) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys);
+  let c = Prng.copy a in
+  Alcotest.(check int) "copy continues identically" (Prng.int a 1000) (Prng.int c 1000)
+
+let test_prng_shuffle_is_permutation () =
+  let rng = Prng.create 4 in
+  let arr = Array.init 50 Fun.id in
+  Prng.shuffle rng arr;
+  Alcotest.(check (list int)) "permutation" (List.init 50 Fun.id)
+    (List.sort compare (Array.to_list arr))
+
+let test_attrs_union_bias () =
+  let a = Attrs.of_list [ Attrs.int "x" 1; Attrs.int "y" 2 ] in
+  let b = Attrs.of_list [ Attrs.int "y" 9; Attrs.str "z" "s" ] in
+  let u = Attrs.union a b in
+  Alcotest.(check bool) "b wins" true (Attrs.find u "y" = Some (Attr.Int 9));
+  Alcotest.(check bool) "a kept" true (Attrs.find u "x" = Some (Attr.Int 1));
+  Alcotest.(check int) "merged size" 3 (Attrs.cardinal u);
+  let rendered = Format.asprintf "%a" Attrs.pp u in
+  Alcotest.(check bool) "pp renders" true (String.length rendered > 5)
+
+let test_label_index_complete () =
+  let rng = Prng.create 5 in
+  let labels = Array.map Label.of_string [| "A"; "B" |] in
+  let g =
+    Csr.of_digraph
+      (Generators.erdos_renyi rng ~n:40 ~m:60 (fun _ -> (Prng.choose rng labels, Attrs.empty)))
+  in
+  let indexed =
+    List.length (Csr.nodes_with_label g labels.(0))
+    + List.length (Csr.nodes_with_label g labels.(1))
+  in
+  Alcotest.(check int) "index covers all nodes" 40 indexed;
+  Alcotest.(check (list int)) "missing label" []
+    (Csr.nodes_with_label g (Label.of_string "no-such-label-anywhere"))
+
+let test_csr_source_version () =
+  let g = Expfinder_workload.Collab.graph () in
+  let c1 = Csr.of_digraph g in
+  ignore (Digraph.add_edge g 0 3 : bool);
+  let c2 = Csr.of_digraph g in
+  Alcotest.(check bool) "version advanced" true
+    (Csr.source_version c2 > Csr.source_version c1)
+
+let test_self_loop_semantics () =
+  let g = Digraph.of_edges ~labels:[| label_a |] [ (0, 0) ] in
+  let c = Csr.of_digraph g in
+  Alcotest.(check int) "self loop kept" 1 (Csr.edge_count c);
+  let scratch = Distance.make_scratch c in
+  let found = ref None in
+  Distance.ball scratch c 0 1 (fun w d -> if w = 0 then found := Some d);
+  Alcotest.(check (option int)) "self at distance 1" (Some 1) !found;
+  let r = Reach.compute c in
+  Alcotest.(check bool) "on cycle" true (Reach.on_cycle r 0)
+
+let qcheck_cases =
+  [
+    QCheck.Test.make ~count:40 ~name:"scc = mutual reachability" QCheck.small_int (fun s ->
+        prop_scc_reference (s + 1));
+    QCheck.Test.make ~count:60 ~name:"scc members partition" QCheck.small_int (fun s ->
+        prop_scc_members_partition (s + 1));
+    QCheck.Test.make ~count:40 ~name:"condensation acyclic" QCheck.small_int (fun s ->
+        prop_condensation_acyclic (s + 1));
+    QCheck.Test.make ~count:60 ~name:"postorder visits once" QCheck.small_int (fun s ->
+        prop_postorder_visits_once (s + 1));
+    QCheck.Test.make ~count:60 ~name:"topological respects edges" QCheck.small_int (fun s ->
+        prop_topological_respects_edges (s + 1));
+    QCheck.Test.make ~count:60 ~name:"bfs layers monotone" QCheck.small_int (fun s ->
+        prop_bfs_layers_monotone (s + 1));
+    QCheck.Test.make ~count:60 ~name:"dijkstra = bellman-ford" QCheck.small_int (fun s ->
+        prop_dijkstra_reference (s + 1));
+    QCheck.Test.make ~count:60 ~name:"dijkstra_rev = transpose" QCheck.small_int (fun s ->
+        prop_dijkstra_rev_is_transpose (s + 1));
+    QCheck.Test.make ~count:60 ~name:"distances_from = bfs" QCheck.small_int (fun s ->
+        prop_distances_from_reference (s + 1));
+    QCheck.Test.make ~count:30 ~name:"Digraph distance instance = Csr instance"
+      QCheck.small_int (fun s -> prop_digraph_distance_instance_agrees (s + 1));
+  ]
+
+let () =
+  Alcotest.run "graph_extra"
+    [
+      ( "utilities",
+        [
+          Alcotest.test_case "vec roundtrip/blit" `Quick test_vec_roundtrip_and_blit;
+          Alcotest.test_case "prng split" `Quick test_prng_split_independence;
+          Alcotest.test_case "prng shuffle" `Quick test_prng_shuffle_is_permutation;
+          Alcotest.test_case "attrs union" `Quick test_attrs_union_bias;
+          Alcotest.test_case "wgraph transpose" `Quick test_transpose_involution;
+        ] );
+      ( "csr",
+        [
+          Alcotest.test_case "label index" `Quick test_label_index_complete;
+          Alcotest.test_case "source version" `Quick test_csr_source_version;
+          Alcotest.test_case "self loops" `Quick test_self_loop_semantics;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_cases);
+    ]

@@ -1,0 +1,216 @@
+(* Incremental maintenance: correctness against batch recomputation, on
+   the paper's Example 3 and on randomised graph/pattern/update streams. *)
+
+open Expfinder_graph
+open Expfinder_pattern
+open Expfinder_core
+open Expfinder_incremental
+module Collab = Expfinder_workload.Collab
+
+(* --- Example 3 through the incremental engine ---------------------- *)
+
+let test_example3_incremental () =
+  let g = Collab.graph () in
+  let inc = Incremental.create (Collab.query ()) g in
+  let src, dst = Collab.e1 in
+  let report = Incremental.apply_updates inc g [ Update.Insert_edge (src, dst) ] in
+  Alcotest.(check int) "one effective update" 1 report.effective;
+  Alcotest.(check (list (pair int int)))
+    "delta = {(SD,Fred)}"
+    [ (1, Collab.fred) ]
+    report.added;
+  Alcotest.(check (list (pair int int))) "nothing removed" [] report.removed;
+  (* Nobody points to Fred, so the area is Fred plus the potential
+     witnesses in his dependency ball (Eva, Jean, Walt, Mat) — 5 of the 9
+     people, never the whole graph. *)
+  Alcotest.(check int) "area = Fred + his ball" 5 report.area
+
+let test_example3_then_delete () =
+  let g = Collab.graph () in
+  let inc = Incremental.create (Collab.query ()) g in
+  let src, dst = Collab.e1 in
+  let _ = Incremental.apply_updates inc g [ Update.Insert_edge (src, dst) ] in
+  let report = Incremental.apply_updates inc g [ Update.Delete_edge (src, dst) ] in
+  Alcotest.(check (list (pair int int)))
+    "deletion removes (SD,Fred)"
+    [ (1, Collab.fred) ]
+    report.removed;
+  let fresh = Bounded_sim.run (Collab.query ()) (Incremental.snapshot inc) in
+  Alcotest.(check bool) "kernel = batch" true
+    (Match_relation.equal (Incremental.kernel inc) fresh)
+
+let test_out_of_sync_rejected () =
+  let g = Collab.graph () in
+  let inc = Incremental.create (Collab.query ()) g in
+  ignore (Digraph.add_edge g Collab.bill Collab.jean : bool);
+  Alcotest.check_raises "stale digraph rejected"
+    (Invalid_argument "Incremental.apply_updates: digraph out of sync with tracked snapshot")
+    (fun () -> ignore (Incremental.apply_updates inc g [] : Incremental.report))
+
+let test_node_insertion () =
+  let g = Collab.graph () in
+  let inc = Incremental.create (Collab.query ()) g in
+  (* A new junior architect joins and leads Dan: not enough experience to
+     match SA, so the kernel is unchanged. *)
+  let attrs = Attrs.of_list [ Attrs.str "name" "Ann"; Attrs.int "exp" 1 ] in
+  let report =
+    Incremental.apply_updates inc g
+      [ Update.Insert_node (Label.of_string "SA", attrs); Update.Insert_edge (9, Collab.dan) ]
+  in
+  Alcotest.(check (list (pair int int))) "no additions" [] report.added;
+  (* A seasoned architect joins next to Bob's team and matches. *)
+  let attrs = Attrs.of_list [ Attrs.str "name" "Sam"; Attrs.int "exp" 9 ] in
+  let report =
+    Incremental.apply_updates inc g
+      [
+        Update.Insert_node (Label.of_string "SA", attrs);
+        Update.Insert_edge (10, Collab.dan);
+        Update.Insert_edge (10, Collab.jean);
+      ]
+  in
+  Alcotest.(check (list (pair int int))) "Sam matches SA" [ (0, 10) ] report.added
+
+(* --- Randomised equivalence with batch recomputation ---------------- *)
+
+let labels = Array.map Label.of_string [| "A"; "B"; "C" |]
+
+let random_graph rng =
+  let n = 1 + Prng.int rng 40 in
+  let m = Prng.int rng (3 * n) in
+  Generators.erdos_renyi rng ~n ~m (fun _ ->
+      (Prng.choose rng labels, Attrs.of_list [ Attrs.int "exp" (Prng.int rng 6) ]))
+
+let random_pattern rng ~simulation =
+  let c =
+    {
+      Pattern_gen.default with
+      nodes = 1 + Prng.int rng 4;
+      extra_edges = Prng.int rng 3;
+      max_bound = 3;
+      condition_prob = 0.5;
+      condition_range = (0, 4);
+    }
+  in
+  let c = if simulation then Pattern_gen.simulation_config c else c in
+  Pattern_gen.generate rng c ~labels
+
+let random_updates rng g =
+  let k = 1 + Prng.int rng 8 in
+  Update.random_mixed rng g k
+
+let equivalence_property ~simulation seed =
+  let rng = Prng.create seed in
+  let g = random_graph rng in
+  let pattern = random_pattern rng ~simulation in
+  let inc = Incremental.create pattern g in
+  (* Three successive batches, checking after each. *)
+  let ok = ref true in
+  for _round = 1 to 3 do
+    let updates = random_updates rng g in
+    let _ = Incremental.apply_updates inc g updates in
+    let batch =
+      if Pattern.is_simulation_pattern pattern then
+        Simulation.run pattern (Incremental.snapshot inc)
+      else Bounded_sim.run pattern (Incremental.snapshot inc)
+    in
+    if not (Match_relation.equal (Incremental.kernel inc) batch) then ok := false
+  done;
+  !ok
+
+(* Extended stress: longer streams, node insertions, occasional unbounded
+   edges, both area strategies.  This is the property that caught the
+   mutual-support completeness bug in the ball-closure area growth. *)
+let stress_property seed =
+  let rng = Prng.create seed in
+  let g = random_graph rng in
+  let pattern =
+    let c =
+      {
+        Pattern_gen.default with
+        nodes = 1 + Prng.int rng 5;
+        extra_edges = Prng.int rng 4;
+        max_bound = 3;
+        unbounded_prob = (if Prng.int rng 4 = 0 then 0.3 else 0.0);
+        condition_prob = 0.5;
+        condition_range = (0, 4);
+      }
+    in
+    let c = if Prng.bool rng then Pattern_gen.simulation_config c else c in
+    Pattern_gen.generate rng c ~labels
+  in
+  let strategy = if Prng.bool rng then Incremental.Ball_closure else Incremental.Ancestors in
+  let inc = Incremental.create ~area_strategy:strategy pattern g in
+  let ok = ref true in
+  for _round = 1 to 5 do
+    let updates = Update.random_mixed rng g (1 + Prng.int rng 10) in
+    let updates =
+      if Prng.int rng 3 = 0 then
+        updates
+        @ [
+            Update.Insert_node
+              (Prng.choose rng labels, Attrs.of_list [ Attrs.int "exp" (Prng.int rng 6) ]);
+            Update.Insert_edge (Digraph.node_count g, Prng.int rng (Digraph.node_count g));
+          ]
+      else updates
+    in
+    let _ = Incremental.apply_updates inc g updates in
+    let csr = Csr.of_digraph g in
+    let batch =
+      if Pattern.is_simulation_pattern pattern then Simulation.run pattern csr
+      else Bounded_sim.run pattern csr
+    in
+    if not (Match_relation.equal (Incremental.kernel inc) batch) then ok := false
+  done;
+  !ok
+
+let qcheck_cases =
+  [
+    QCheck.Test.make ~count:60 ~name:"incremental sim = batch sim"
+      QCheck.small_int (fun seed -> equivalence_property ~simulation:true (seed + 1));
+    QCheck.Test.make ~count:40 ~name:"incremental bsim = batch bsim"
+      QCheck.small_int (fun seed -> equivalence_property ~simulation:false (seed + 1));
+    QCheck.Test.make ~count:60 ~name:"incremental stress (nodes/unbounded/strategies)"
+      QCheck.small_int (fun seed -> stress_property (seed + 1));
+  ]
+
+(* --- Update plumbing ------------------------------------------------ *)
+
+let test_update_invert () =
+  let u = Update.Insert_edge (1, 2) in
+  Alcotest.(check bool) "invert insert" true (Update.invert u = Some (Update.Delete_edge (1, 2)));
+  Alcotest.(check bool) "invert node insert" true
+    (Update.invert (Update.Insert_node (Label.of_string "A", Attrs.empty)) = None)
+
+let test_random_deletions_are_edges () =
+  let rng = Prng.create 7 in
+  let g = random_graph rng in
+  let dels = Update.random_deletions rng g 10 in
+  List.iter
+    (function
+      | Update.Delete_edge (u, v) ->
+        Alcotest.(check bool) "edge exists" true (Digraph.has_edge g u v)
+      | _ -> Alcotest.fail "expected deletion")
+    dels
+
+let test_touched_sources_dedup () =
+  let ups = [ Update.Insert_edge (3, 4); Update.Delete_edge (3, 5); Update.Insert_edge (2, 3) ] in
+  Alcotest.(check (list int)) "sources" [ 3; 2 ] (Update.touched_sources ups)
+
+let () =
+  Alcotest.run "incremental"
+    [
+      ( "example3",
+        [
+          Alcotest.test_case "insert e1" `Quick test_example3_incremental;
+          Alcotest.test_case "insert then delete e1" `Quick test_example3_then_delete;
+          Alcotest.test_case "out-of-sync rejected" `Quick test_out_of_sync_rejected;
+          Alcotest.test_case "node insertion" `Quick test_node_insertion;
+        ] );
+      ( "updates",
+        [
+          Alcotest.test_case "invert" `Quick test_update_invert;
+          Alcotest.test_case "random deletions" `Quick test_random_deletions_are_edges;
+          Alcotest.test_case "touched sources" `Quick test_touched_sources_dedup;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_cases);
+    ]

@@ -1,0 +1,144 @@
+(* Storage: the query-result cache and the file-backed store. *)
+
+open Expfinder_graph
+open Expfinder_pattern
+open Expfinder_core
+open Expfinder_storage
+module Collab = Expfinder_workload.Collab
+
+let sample_relation () =
+  Match_relation.of_pairs ~pattern_size:2 ~graph_size:9 [ (0, 1); (1, 4) ]
+
+(* --- Cache ----------------------------------------------------------- *)
+
+let test_cache_hit_and_miss () =
+  let cache = Cache.create () in
+  let q = Collab.query () in
+  Alcotest.(check bool) "cold miss" true (Cache.find cache q ~graph_version:0 = None);
+  Cache.store cache q ~graph_version:0 (sample_relation ());
+  (match Cache.find cache q ~graph_version:0 with
+  | Some r -> Alcotest.(check bool) "hit returns stored" true (Match_relation.equal r (sample_relation ()))
+  | None -> Alcotest.fail "expected hit");
+  Alcotest.(check bool) "other version misses" true (Cache.find cache q ~graph_version:1 = None);
+  Alcotest.(check (pair int int)) "stats" (1, 2) (Cache.hits cache, Cache.misses cache)
+
+let test_cache_is_defensive () =
+  let cache = Cache.create () in
+  let q = Collab.query () in
+  let r = sample_relation () in
+  Cache.store cache q ~graph_version:0 r;
+  Match_relation.remove r 0 1;
+  (* Mutating the original must not affect the cached copy... *)
+  (match Cache.find cache q ~graph_version:0 with
+  | Some cached -> Alcotest.(check bool) "stored copy intact" true (Match_relation.mem cached 0 1)
+  | None -> Alcotest.fail "expected hit");
+  (* ...nor mutating a returned hit. *)
+  (match Cache.find cache q ~graph_version:0 with
+  | Some hit -> Match_relation.remove hit 1 4
+  | None -> Alcotest.fail "expected hit");
+  match Cache.find cache q ~graph_version:0 with
+  | Some cached -> Alcotest.(check bool) "hit copy intact" true (Match_relation.mem cached 1 4)
+  | None -> Alcotest.fail "expected hit"
+
+let test_cache_lru_eviction () =
+  let cache = Cache.create ~capacity:2 () in
+  let q1 = Collab.query () and q2 = Collab.q1 () and q3 = Collab.q2 () in
+  Cache.store cache q1 ~graph_version:0 (sample_relation ());
+  Cache.store cache q2 ~graph_version:0 (sample_relation ());
+  (* Touch q1 so q2 is the LRU entry, then insert q3. *)
+  ignore (Cache.find cache q1 ~graph_version:0 : Match_relation.t option);
+  Cache.store cache q3 ~graph_version:0 (sample_relation ());
+  Alcotest.(check int) "capacity respected" 2 (Cache.length cache);
+  Alcotest.(check bool) "q1 kept" true (Cache.find cache q1 ~graph_version:0 <> None);
+  Alcotest.(check bool) "q2 evicted" true (Cache.find cache q2 ~graph_version:0 = None);
+  Alcotest.(check bool) "q3 kept" true (Cache.find cache q3 ~graph_version:0 <> None)
+
+let test_cache_invalidation () =
+  let cache = Cache.create () in
+  let q = Collab.query () in
+  Cache.store cache q ~graph_version:3 (sample_relation ());
+  Cache.store cache q ~graph_version:4 (sample_relation ());
+  Cache.invalidate_version cache 3;
+  Alcotest.(check bool) "v3 gone" true (Cache.find cache q ~graph_version:3 = None);
+  Alcotest.(check bool) "v4 kept" true (Cache.find cache q ~graph_version:4 <> None);
+  Cache.clear cache;
+  Alcotest.(check int) "cleared" 0 (Cache.length cache);
+  Alcotest.(check (pair int int)) "stats reset" (0, 0) (Cache.hits cache, Cache.misses cache)
+
+(* --- Graph store ------------------------------------------------------- *)
+
+let with_store f =
+  let dir = Filename.temp_file "expfinder" "" in
+  Sys.remove dir;
+  let store = Graph_store.open_dir dir in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f store)
+
+let test_store_graph_roundtrip () =
+  with_store (fun store ->
+      let g = Collab.graph () in
+      Graph_store.save_graph store "collab" g;
+      Alcotest.(check (list string)) "listed" [ "collab" ] (Graph_store.list_graphs store);
+      match Graph_store.load_graph store "collab" with
+      | Ok g' -> Alcotest.(check bool) "roundtrip" true (Digraph.equal_structure g g')
+      | Error e -> Alcotest.fail e)
+
+let test_store_pattern_roundtrip () =
+  with_store (fun store ->
+      let q = Collab.query () in
+      Graph_store.save_pattern store "q" q;
+      Alcotest.(check (list string)) "listed" [ "q" ] (Graph_store.list_patterns store);
+      match Graph_store.load_pattern store "q" with
+      | Ok q' -> Alcotest.(check bool) "roundtrip" true (Pattern.equal q q')
+      | Error e -> Alcotest.fail e)
+
+let test_store_result_roundtrip () =
+  with_store (fun store ->
+      let pairs = [ (0, 1); (1, 4); (3, 8) ] in
+      Graph_store.save_result store "m" pairs;
+      match Graph_store.load_result store "m" with
+      | Ok pairs' -> Alcotest.(check (list (pair int int))) "roundtrip" pairs pairs'
+      | Error e -> Alcotest.fail e)
+
+let test_store_missing_and_remove () =
+  with_store (fun store ->
+      (match Graph_store.load_graph store "nope" with
+      | Ok _ -> Alcotest.fail "expected error"
+      | Error _ -> ());
+      Graph_store.save_graph store "g" (Collab.graph ());
+      Graph_store.remove store "g";
+      Alcotest.(check (list string)) "removed" [] (Graph_store.list_graphs store))
+
+let test_store_rejects_bad_names () =
+  with_store (fun store ->
+      List.iter
+        (fun name ->
+          match Graph_store.save_graph store name (Collab.graph ()) with
+          | () -> Alcotest.fail ("accepted bad name " ^ name)
+          | exception Invalid_argument _ -> ())
+        [ ""; "a/b"; ".hidden" ])
+
+let () =
+  Alcotest.run "storage"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "hit and miss" `Quick test_cache_hit_and_miss;
+          Alcotest.test_case "defensive copies" `Quick test_cache_is_defensive;
+          Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "invalidation" `Quick test_cache_invalidation;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "graph roundtrip" `Quick test_store_graph_roundtrip;
+          Alcotest.test_case "pattern roundtrip" `Quick test_store_pattern_roundtrip;
+          Alcotest.test_case "result roundtrip" `Quick test_store_result_roundtrip;
+          Alcotest.test_case "missing and remove" `Quick test_store_missing_and_remove;
+          Alcotest.test_case "bad names" `Quick test_store_rejects_bad_names;
+        ] );
+    ]

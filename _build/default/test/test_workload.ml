@@ -1,0 +1,142 @@
+(* Workload generators: shapes, determinism and compressibility. *)
+
+open Expfinder_graph
+open Expfinder_pattern
+module Synthetic = Expfinder_workload.Synthetic
+module Twitter = Expfinder_workload.Twitter
+module Queries = Expfinder_workload.Queries
+
+let test_flat_shape () =
+  let g = Synthetic.flat (Prng.create 1) ~n:500 ~avg_degree:4 in
+  Alcotest.(check int) "nodes" 500 (Digraph.node_count g);
+  Alcotest.(check int) "edges" 2000 (Digraph.edge_count g);
+  let exp_ok = ref true in
+  Digraph.iter_nodes g (fun v ->
+      let e = Synthetic.exp_of g v in
+      if e < 0 || e > 10 then exp_ok := false);
+  Alcotest.(check bool) "exp range" true !exp_ok
+
+let test_flat_deterministic () =
+  let g1 = Synthetic.flat (Prng.create 7) ~n:100 ~avg_degree:3 in
+  let g2 = Synthetic.flat (Prng.create 7) ~n:100 ~avg_degree:3 in
+  Alcotest.(check bool) "same graph" true (Digraph.equal_structure g1 g2)
+
+let test_org_shape () =
+  let g = Synthetic.org (Prng.create 2) ~teams:10 ~team_size:6 in
+  (* 10 managers + 60 workers + 1 director *)
+  Alcotest.(check int) "nodes" 71 (Digraph.node_count g);
+  (* Workers point to their manager; managers to workers and director. *)
+  Alcotest.(check bool) "edges present" true (Digraph.edge_count g > 100)
+
+let test_org_compresses_well () =
+  let g = Csr.of_digraph (Synthetic.org (Prng.create 3) ~teams:20 ~team_size:8) in
+  let compressed = Expfinder_compression.Compress.compress ~atoms:Queries.atom_universe g in
+  Alcotest.(check bool) "compression > 30%" true
+    (Expfinder_compression.Compress.node_ratio compressed > 0.3)
+
+let test_twitter_shape () =
+  let g = Twitter.generate (Prng.create 4) ~n:400 in
+  Alcotest.(check int) "nodes" 400 (Digraph.node_count g);
+  let max_in = ref 0 in
+  Digraph.iter_nodes g (fun v -> max_in := max !max_in (Digraph.in_degree g v));
+  Alcotest.(check bool) "skewed degrees" true (!max_in > 15);
+  (* followers attribute matches in-degree *)
+  let ok = ref true in
+  Digraph.iter_nodes g (fun v ->
+      match Attrs.find (Digraph.attrs g v) "followers" with
+      | Some (Attr.Int f) -> if f <> Digraph.in_degree g v then ok := false
+      | _ -> ok := false);
+  Alcotest.(check bool) "followers recorded" true !ok
+
+let test_distinct_labels () =
+  let g = Expfinder_workload.Collab.graph () in
+  let labels = Queries.distinct_labels g in
+  Alcotest.(check int) "5 labels" 5 (Array.length labels)
+
+let test_workload_queries_supported () =
+  let rng = Prng.create 5 in
+  let g = Synthetic.flat rng ~n:200 ~avg_degree:4 in
+  let queries = Queries.workload rng ~count:20 ~simulation:false g in
+  Alcotest.(check int) "20 queries" 20 (List.length queries);
+  let compressed =
+    Expfinder_compression.Compress.compress ~atoms:Queries.atom_universe (Csr.of_digraph g)
+  in
+  List.iter
+    (fun q ->
+      Alcotest.(check bool) "supported" true
+        (Expfinder_compression.Compress.supports compressed q))
+    queries;
+  let sim_queries = Queries.workload rng ~count:5 ~simulation:true g in
+  List.iter
+    (fun q -> Alcotest.(check bool) "simulation" true (Pattern.is_simulation_pattern q))
+    sim_queries
+
+(* Exact match sets for the Fig. 4 queries on the Fig. 1 network. *)
+let test_collab_q1_q2_q3_matches () =
+  let open Expfinder_core in
+  let g = Csr.of_digraph (Expfinder_workload.Collab.graph ()) in
+  let open Expfinder_workload in
+  (* Q1 (plain simulation): direct SA<->SD collaboration = Bob and Dan. *)
+  let m1 = Bounded_sim.run (Collab.q1 ()) g in
+  Alcotest.(check (list int)) "Q1 SA" [ Collab.bob ] (Match_relation.matches m1 0);
+  Alcotest.(check (list int)) "Q1 SD" [ Collab.dan ] (Match_relation.matches m1 1);
+  (* Q2: only Bob reaches a tester within 3 hops. *)
+  let m2 = Bounded_sim.run (Collab.q2 ()) g in
+  Alcotest.(check (list int)) "Q2 SA" [ Collab.bob ] (Match_relation.matches m2 0);
+  Alcotest.(check (list int)) "Q2 ST" [ Collab.eva ] (Match_relation.matches m2 2);
+  (* Q3 (unbounded edges): both SAs, all SDs that reach an SA. *)
+  let m3 = Bounded_sim.run (Collab.q3 ()) g in
+  Alcotest.(check (list int)) "Q3 SA" [ Collab.walt; Collab.bob ] (Match_relation.matches m3 0);
+  Alcotest.(check (list int)) "Q3 SD"
+    (List.sort compare [ Collab.dan; Collab.mat; Collab.pat ])
+    (Match_relation.matches m3 1)
+
+(* Matching stays well-behaved at two orders of magnitude above the
+   unit-test sizes. *)
+let test_large_graph_smoke () =
+  let open Expfinder_core in
+  let g = Csr.of_digraph (Synthetic.flat (Prng.create 9) ~n:50_000 ~avg_degree:4) in
+  let q =
+    let spec name label k =
+      { Pattern.name; label = Some (Label.of_string label); pred = Predicate.ge_int "exp" k }
+    in
+    Pattern.make_exn
+      ~nodes:[| spec "SA" "SA" 5; spec "SD" "SD" 2 |]
+      ~edges:[ (0, 1, Pattern.Bounded 2); (1, 0, Pattern.Bounded 2) ]
+      ~output:0
+  in
+  let m = Bounded_sim.run q g in
+  Alcotest.(check bool) "nonempty at scale" true (Match_relation.is_total m);
+  Alcotest.(check bool) "consistent at scale" true (Bounded_sim.consistent q g m)
+
+let test_collab_graph_sanity () =
+  let g = Expfinder_workload.Collab.graph () in
+  Alcotest.(check int) "9 people" 9 (Digraph.node_count g);
+  Alcotest.(check int) "14 edges" 14 (Digraph.edge_count g);
+  Alcotest.(check string) "name_of" "Bob" (Expfinder_workload.Collab.name_of 1);
+  Alcotest.(check bool) "e1 absent" false
+    (Digraph.has_edge g (fst Expfinder_workload.Collab.e1) (snd Expfinder_workload.Collab.e1))
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "synthetic",
+        [
+          Alcotest.test_case "flat shape" `Quick test_flat_shape;
+          Alcotest.test_case "flat deterministic" `Quick test_flat_deterministic;
+          Alcotest.test_case "org shape" `Quick test_org_shape;
+          Alcotest.test_case "org compresses" `Quick test_org_compresses_well;
+        ] );
+      ("twitter", [ Alcotest.test_case "shape" `Quick test_twitter_shape ]);
+      ( "queries",
+        [
+          Alcotest.test_case "distinct labels" `Quick test_distinct_labels;
+          Alcotest.test_case "workload supported" `Quick test_workload_queries_supported;
+        ] );
+      ( "collab",
+        [
+          Alcotest.test_case "graph sanity" `Quick test_collab_graph_sanity;
+          Alcotest.test_case "Q1-Q3 exact matches" `Quick test_collab_q1_q2_q3_matches;
+        ] );
+      ("scale", [ Alcotest.test_case "50k-node smoke" `Slow test_large_graph_smoke ]);
+    ]
