@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-full examples demo clean
+.PHONY: all build test check bench bench-full examples demo clean
 
 all: build
 
@@ -6,6 +6,16 @@ build:
 	dune build @all
 
 test:
+	dune runtest
+
+# Pre-merge gate: full build + tests, and refuse staged build artifacts
+# (they are gitignored, but a forced add would still slip through).
+check:
+	@staged=$$(git diff --cached --name-only --diff-filter=d | grep -E '^(_build/|bench_output_full\.txt$$)' || true); \
+	if [ -n "$$staged" ]; then \
+	  echo "error: build artifacts staged for commit:"; echo "$$staged"; exit 1; \
+	fi
+	dune build @all
 	dune runtest
 
 bench:

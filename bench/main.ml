@@ -13,6 +13,7 @@ open Expfinder_core
 open Expfinder_incremental
 open Expfinder_compression
 open Expfinder_engine
+module Telemetry = Expfinder_telemetry
 module Collab = Expfinder_workload.Collab
 module Synthetic = Expfinder_workload.Synthetic
 module Twitter = Expfinder_workload.Twitter
@@ -22,10 +23,9 @@ module Queries = Expfinder_workload.Queries
 (* Timing                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let time_once f =
-  let t0 = Unix.gettimeofday () in
-  let result = f () in
-  (result, 1000.0 *. (Unix.gettimeofday () -. t0))
+(* All wall-clock measurement goes through the telemetry clock so the
+   harness and the engine's own profiles agree on what they time. *)
+let time_once f = Telemetry.time f
 
 (* Median of [reps] runs; [prepare] builds a fresh input for each run so
    mutation-heavy benchmarks stay honest. *)
@@ -813,7 +813,7 @@ let () =
     only = [] || List.exists (fun pat -> contains_substring name pat) only
   in
   Printf.printf "ExpFinder experiment harness (%s mode)\n" (if full then "full" else "quick");
-  let t0 = Unix.gettimeofday () in
+  let t0 = Telemetry.now_us () in
   List.iter (fun (name, f) -> if selected name then f ~full) experiments;
   if bechamel then run_bechamel ();
-  Printf.printf "\ntotal harness time: %.1f s\n" (Unix.gettimeofday () -. t0)
+  Printf.printf "\ntotal harness time: %.1f s\n" ((Telemetry.now_us () -. t0) /. 1e6)

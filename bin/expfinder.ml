@@ -12,6 +12,7 @@ open Expfinder_core
 open Expfinder_incremental
 open Expfinder_compression
 open Expfinder_engine
+module Telemetry = Expfinder_telemetry
 module Collab = Expfinder_workload.Collab
 module Synthetic = Expfinder_workload.Synthetic
 module Twitter = Expfinder_workload.Twitter
@@ -58,6 +59,22 @@ let write_file path contents =
 let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+(* Telemetry must be on before the engine runs the query, and the
+   profile must be grabbed right after the primary call: later
+   result-graph re-evaluations hit the cache and would replace it. *)
+let setup_telemetry ~profile ~trace = if profile || trace <> None then Telemetry.set_enabled true
+
+let emit_profile ~profile ~trace = function
+  | None -> ()
+  | Some p ->
+    if profile then Format.printf "%a" Engine.pp_profile p;
+    (match trace with
+    | None -> ()
+    | Some path ->
+      write_file path (Telemetry.Span.to_chrome_json p.Engine.span);
+      Printf.printf "chrome trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n"
+        path)
 
 let or_die = function
   | Ok () -> 0
@@ -108,20 +125,34 @@ let import verbose edges_file label exp_max seed output =
 
 (* --- stats ------------------------------------------------------------------ *)
 
-let stats verbose graph_file =
+let stats verbose graph_file query_file =
   setup_logs verbose;
   or_die
     (let* g = load_graph graph_file in
      let csr = Csr.of_digraph g in
-     Printf.printf "nodes: %d\nedges: %d\n" (Digraph.node_count g) (Digraph.edge_count g);
+     Format.printf "%a@." Digraph.pp_stats g;
      let labels = Queries.distinct_labels g in
      Printf.printf "labels: %s\n"
        (String.concat ", "
           (Array.to_list (Array.map (fun l -> Label.to_string l) labels)));
-     Printf.printf "max out-degree: %d\n" (Csr.max_out_degree csr);
      let scc = Scc.compute csr in
      Printf.printf "strongly connected components: %d\n" (Scc.count scc);
-     Ok ())
+     match query_file with
+     | None -> Ok ()
+     | Some qf ->
+       (* Run one telemetry-enabled evaluation and dump the metric
+          registry plus the per-query profile. *)
+       let* q = load_pattern qf in
+       Telemetry.set_enabled true;
+       Telemetry.Metrics.reset_all ();
+       let engine = Engine.create g in
+       let answer = Engine.evaluate engine q in
+       Printf.printf "\nquery %s: %d match pairs\n"
+         (Pattern.fingerprint q)
+         (Match_relation.total answer.Engine.relation);
+       Format.printf "@.metrics:@.%a@." Telemetry.Metrics.pp ();
+       Option.iter (Format.printf "%a" Engine.pp_profile) answer.Engine.profile;
+       Ok ())
 
 (* --- query ------------------------------------------------------------------ *)
 
@@ -133,8 +164,9 @@ let print_matches q m =
         (String.concat "; " (List.map string_of_int (Match_relation.matches m u)))
     done
 
-let query verbose graph_file pattern_file dot_output summary drill explain =
+let query verbose graph_file pattern_file dot_output summary drill explain profile trace =
   setup_logs verbose;
+  setup_telemetry ~profile ~trace;
   or_die
     (let* g = load_graph graph_file in
      let* q = load_pattern pattern_file in
@@ -142,6 +174,7 @@ let query verbose graph_file pattern_file dot_output summary drill explain =
      if explain then print_string (Engine.explain engine q);
      let answer = Engine.evaluate engine q in
      print_matches q answer.Engine.relation;
+     emit_profile ~profile ~trace answer.Engine.profile;
      let result_graph = lazy (Engine.result_graph engine q) in
      if summary then begin
        (* Roll-up: the global structure of the result graph. *)
@@ -172,13 +205,15 @@ let query verbose graph_file pattern_file dot_output summary drill explain =
 
 (* --- topk ------------------------------------------------------------------ *)
 
-let topk verbose graph_file pattern_file k dot_output =
+let topk verbose graph_file pattern_file k dot_output profile trace =
   setup_logs verbose;
+  setup_telemetry ~profile ~trace;
   or_die
     (let* g = load_graph graph_file in
      let* q = load_pattern pattern_file in
      let engine = Engine.create g in
      let experts = Engine.top_k engine q ~k in
+     let topk_profile = Engine.last_profile engine in
      if experts = [] then print_endline "no experts found"
      else
        List.iteri
@@ -196,6 +231,7 @@ let topk verbose graph_file pattern_file k dot_output =
        let gr = Engine.result_graph engine q in
        write_file path (Result_graph.to_dot q (Engine.snapshot engine) gr)
      | None, _ -> ());
+     emit_profile ~profile ~trace topk_profile;
      Ok ())
 
 (* --- compress ------------------------------------------------------------- *)
@@ -335,6 +371,16 @@ let pattern_arg =
 let dot_arg =
   Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc:"Write the result graph in DOT format.")
 
+let profile_arg =
+  Arg.(value & flag & info [ "profile" ] ~doc:"Enable telemetry and print the per-query stage tree and counters.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Enable telemetry and write the query's span tree as Chrome trace-event JSON.")
+
 let gen_cmd =
   let kind = Arg.(value & opt string "flat" & info [ "kind" ] ~docv:"KIND" ~doc:"flat|org|twitter|collab") in
   let n = Arg.(value & opt int 1000 & info [ "n" ] ~doc:"Node count (flat/twitter).") in
@@ -356,7 +402,16 @@ let import_cmd =
     Term.(const import $ verbose_arg $ edges $ label $ exp_max $ seed $ out)
 
 let stats_cmd =
-  Cmd.v (Cmd.info "stats" ~doc:"Print statistics of a data graph") Term.(const stats $ verbose_arg $ graph_arg)
+  let q =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "q"; "query" ] ~docv:"FILE"
+          ~doc:"Also run this query with telemetry on and dump the metric registry and profile.")
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print statistics of a data graph (and optionally telemetry metrics)")
+    Term.(const stats $ verbose_arg $ graph_arg $ q)
 
 let query_cmd =
   let summary = Arg.(value & flag & info [ "summary" ] ~doc:"Roll-up view of the result graph.") in
@@ -365,12 +420,14 @@ let query_cmd =
   in
   let explain = Arg.(value & flag & info [ "explain" ] ~doc:"Print the query plan.") in
   Cmd.v (Cmd.info "query" ~doc:"Evaluate a pattern query (bounded simulation)")
-    Term.(const query $ verbose_arg $ graph_arg $ pattern_arg $ dot_arg $ summary $ drill $ explain)
+    Term.(
+      const query $ verbose_arg $ graph_arg $ pattern_arg $ dot_arg $ summary $ drill $ explain
+      $ profile_arg $ trace_arg)
 
 let topk_cmd =
   let k = Arg.(value & opt int 3 & info [ "k" ] ~doc:"Number of experts.") in
   Cmd.v (Cmd.info "topk" ~doc:"Rank matches of the output node and select top-K experts")
-    Term.(const topk $ verbose_arg $ graph_arg $ pattern_arg $ k $ dot_arg)
+    Term.(const topk $ verbose_arg $ graph_arg $ pattern_arg $ k $ dot_arg $ profile_arg $ trace_arg)
 
 let compress_cmd_t =
   let atoms =

@@ -1,6 +1,13 @@
 open Expfinder_graph
 open Expfinder_pattern
 open Expfinder_core
+open Expfinder_telemetry
+
+let m_builds = Metrics.counter "compress.builds"
+
+let m_evaluations = Metrics.counter "compress.evaluations"
+
+let m_expanded_pairs = Metrics.counter "compress.expanded_pairs"
 
 type t = {
   atoms : Predicate.atom list;
@@ -44,9 +51,11 @@ let of_partition ?(atoms = []) g block_of =
   { atoms; original = g; compressed = Csr.of_digraph gc; block_of; members }
 
 let compress ?(atoms = []) g =
-  let key = signature_key atoms g in
-  let block_of = Bisimulation.compute g ~key in
-  of_partition ~atoms g block_of
+  Counter.incr m_builds;
+  with_span "compress.build" (fun () ->
+      let key = signature_key atoms g in
+      let block_of = Bisimulation.compute g ~key in
+      of_partition ~atoms g block_of)
 
 let atoms t = t.atoms
 
@@ -101,16 +110,23 @@ let evaluate_compressed t pattern =
   else Bounded_sim.run pattern t.compressed
 
 let expand t mc =
-  let m =
-    Match_relation.create
-      ~pattern_size:(Match_relation.pattern_size mc)
-      ~graph_size:(Csr.node_count t.original)
-  in
-  for u = 0 to Match_relation.pattern_size mc - 1 do
-    List.iter
-      (fun b -> List.iter (fun v -> Match_relation.add m u v) t.members.(b))
-      (Match_relation.matches mc u)
-  done;
-  m
+  with_span "compress.expand" (fun () ->
+      let m =
+        Match_relation.create
+          ~pattern_size:(Match_relation.pattern_size mc)
+          ~graph_size:(Csr.node_count t.original)
+      in
+      for u = 0 to Match_relation.pattern_size mc - 1 do
+        List.iter
+          (fun b -> List.iter (fun v -> Match_relation.add m u v) t.members.(b))
+          (Match_relation.matches mc u)
+      done;
+      Counter.add m_expanded_pairs (Match_relation.total m);
+      annotate_int "pairs" (Match_relation.total m);
+      m)
 
-let evaluate t pattern = expand t (evaluate_compressed t pattern)
+let evaluate t pattern =
+  Counter.incr m_evaluations;
+  with_span "compress.evaluate" (fun () ->
+      let mc = with_span "compress.kernel" (fun () -> evaluate_compressed t pattern) in
+      expand t mc)

@@ -1,5 +1,14 @@
 open Expfinder_graph
 open Expfinder_pattern
+open Expfinder_telemetry
+
+let m_builds = Metrics.counter "ball_index.builds"
+
+let m_evaluations = Metrics.counter "ball_index.evaluations"
+
+let m_sweeps = Metrics.counter "ball_index.sweeps"
+
+let g_entries = Metrics.gauge "ball_index.entries"
 
 type t = {
   radius : int;
@@ -11,6 +20,7 @@ type t = {
 
 let build g ~radius =
   if radius < 1 then invalid_arg "Ball_index.build";
+  Counter.incr m_builds;
   let n = Csr.node_count g in
   let scratch = Distance.make_scratch g in
   let members = Vec.create ~capacity:(4 * n) ~dummy:0 () in
@@ -24,6 +34,7 @@ let build g ~radius =
         Vec.push dists d);
     offsets.(v + 1) <- Vec.length members
   done;
+  Gauge.set g_entries (Vec.length members);
   {
     radius;
     source_version = Csr.source_version g;
@@ -62,7 +73,8 @@ let evaluate t pattern g =
     invalid_arg "Ball_index.evaluate: pattern bounds exceed the index radius";
   if Csr.source_version g <> t.source_version then
     invalid_arg "Ball_index.evaluate: snapshot differs from the indexed one";
-  let sim = Candidates.compute pattern g in
+  Counter.incr m_evaluations;
+  let sim = with_span "candidates" (fun () -> Candidates.compute pattern g) in
   let satisfies u v =
     List.for_all
       (fun (u', b) ->
@@ -72,18 +84,20 @@ let evaluate t pattern g =
         | Pattern.Bounded k -> exists_within t v k (fun w -> Bitset.mem targets w))
       (Pattern.out_edges pattern u)
   in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    for u = 0 to Pattern.size pattern - 1 do
-      let victims = ref [] in
-      Bitset.iter
-        (fun v -> if not (satisfies u v) then victims := v :: !victims)
-        (Match_relation.matches_set sim u);
-      if !victims <> [] then begin
-        changed := true;
-        List.iter (fun v -> Match_relation.remove sim u v) !victims
-      end
-    done
-  done;
-  sim
+  with_span "refine" ~attrs:[ ("strategy", "ball-index") ] (fun () ->
+      let changed = ref true in
+      while !changed do
+        Counter.incr m_sweeps;
+        changed := false;
+        for u = 0 to Pattern.size pattern - 1 do
+          let victims = ref [] in
+          Bitset.iter
+            (fun v -> if not (satisfies u v) then victims := v :: !victims)
+            (Match_relation.matches_set sim u);
+          if !victims <> [] then begin
+            changed := true;
+            List.iter (fun v -> Match_relation.remove sim u v) !victims
+          end
+        done
+      done;
+      sim)

@@ -1,5 +1,14 @@
 open Expfinder_graph
 open Expfinder_pattern
+open Expfinder_telemetry
+
+let m_pops = Metrics.counter "bsim.worklist_pops"
+
+let m_removals = Metrics.counter "bsim.removals"
+
+let m_balls = Metrics.counter "bsim.ball_expansions"
+
+let m_sweeps = Metrics.counter "bsim.sweeps"
 
 type strategy = Naive | Counters
 
@@ -38,12 +47,18 @@ let run_counters pattern g ~initial ~mutable_set =
     let k = effective_bound g b in
     let row = cnt.(e) in
     List.iter
-      (fun w -> Distance.reverse_ball scratch g w k (fun v _ -> row.(v) <- row.(v) + 1))
+      (fun w ->
+        Counter.incr m_balls;
+        Distance.reverse_ball scratch g w k (fun v _ -> row.(v) <- row.(v) + 1))
       (Match_relation.matches sim u')
   done;
   let worklist = Vec.create ~dummy:(-1) () in
   let push u v = Vec.push worklist ((u * n) + v) in
+  (* Counted locally and flushed once: the gated-counter check stays out
+     of the refinement hot path. *)
+  let n_removals = ref 0 and n_pops = ref 0 in
   let remove u v =
+    incr n_removals;
     Match_relation.remove sim u v;
     push u v
   in
@@ -57,6 +72,7 @@ let run_counters pattern g ~initial ~mutable_set =
     List.iter (fun v -> remove u v) !victims
   done;
   while not (Vec.is_empty worklist) do
+    incr n_pops;
     let code = Vec.pop worklist in
     let u' = code / n and w = code mod n in
     List.iter
@@ -64,12 +80,15 @@ let run_counters pattern g ~initial ~mutable_set =
         let u, _, b = edge_array.(e) in
         let k = effective_bound g b in
         let row = cnt.(e) in
+        Counter.incr m_balls;
         Distance.reverse_ball scratch g w k (fun p _ ->
             row.(p) <- row.(p) - 1;
             if row.(p) = 0 && is_mutable p && Match_relation.mem sim u p then
               remove u p))
       in_of.(u')
   done;
+  Counter.add m_removals !n_removals;
+  Counter.add m_pops !n_pops;
   sim
 
 (* ------------------------------------------------------------------ *)
@@ -115,11 +134,13 @@ let run_naive pattern g ~initial ~mutable_set =
   in
   let changed = ref true in
   while !changed do
+    Counter.incr m_sweeps;
     changed := false;
     let victims = ref [] in
     sweep_nodes (fun u v -> if not (satisfies u v) then victims := (u, v) :: !victims);
     if !victims <> [] then begin
       changed := true;
+      Counter.add m_removals (List.length !victims);
       List.iter (fun (u, v) -> Match_relation.remove sim u v) !victims
     end
   done;

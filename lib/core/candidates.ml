@@ -1,20 +1,32 @@
 open Expfinder_graph
 open Expfinder_pattern
+open Expfinder_telemetry
+
+let m_considered = Metrics.counter "candidates.considered"
+
+let m_kept = Metrics.counter "candidates.kept"
 
 let compute pattern g =
   let m =
     Match_relation.create ~pattern_size:(Pattern.size pattern)
       ~graph_size:(Csr.node_count g)
   in
+  let considered = ref 0 and kept = ref 0 in
   for u = 0 to Pattern.size pattern - 1 do
     let spec = Pattern.node_spec pattern u in
     let consider v =
-      if Predicate.eval spec.Pattern.pred (Csr.attrs g v) then Match_relation.add m u v
+      incr considered;
+      if Predicate.eval spec.Pattern.pred (Csr.attrs g v) then begin
+        incr kept;
+        Match_relation.add m u v
+      end
     in
     match spec.Pattern.label with
     | Some l -> List.iter consider (Csr.nodes_with_label g l)
     | None -> Csr.iter_nodes g consider
   done;
+  Counter.add m_considered !considered;
+  Counter.add m_kept !kept;
   m
 
 let compute_for_nodes pattern g area =

@@ -1,7 +1,18 @@
 open Expfinder_graph
 open Expfinder_pattern
+open Expfinder_telemetry
+
+let m_plans = Metrics.counter "planner.plans"
+
+let m_early_exits = Metrics.counter "planner.early_exits"
+
+let m_pruned_sinks = Metrics.counter "planner.pruned_sinks"
 
 type strategy_choice = Use_simulation | Use_bounded of Bounded_sim.strategy
+
+let strategy_choice_name = function
+  | Use_simulation -> "simulation"
+  | Use_bounded s -> "bounded/" ^ Bounded_sim.strategy_name s
 
 type t = {
   candidate_order : int array;
@@ -64,41 +75,68 @@ let materialise_candidates plan pattern g =
       ~graph_size:(Csr.node_count g)
   in
   let ok = ref true in
+  let kept = ref 0 and pruned = ref 0 in
   Array.iter
     (fun u ->
       if !ok then begin
         let spec = Pattern.node_spec pattern u in
         let keep = ref false in
         let consider v =
-          if
-            Predicate.eval spec.Pattern.pred (Csr.attrs g v)
-            && ((not plan.prunable.(u)) || Csr.out_degree g v > 0)
-          then begin
-            Match_relation.add m u v;
-            keep := true
-          end
+          if Predicate.eval spec.Pattern.pred (Csr.attrs g v) then
+            if (not plan.prunable.(u)) || Csr.out_degree g v > 0 then begin
+              Match_relation.add m u v;
+              incr kept;
+              keep := true
+            end
+            else incr pruned
         in
         (match spec.Pattern.label with
         | Some l -> List.iter consider (Csr.nodes_with_label g l)
         | None -> Csr.iter_nodes g consider);
         (* Early exit: an empty candidate set empties the whole kernel. *)
-        if not !keep then ok := false
+        if not !keep then begin
+          ok := false;
+          annotate "empty" (Pattern.name pattern u)
+        end
       end)
     plan.candidate_order;
+  Counter.add m_pruned_sinks !pruned;
+  annotate_int "kept" !kept;
+  annotate_int "pruned_sinks" !pruned;
   if !ok then Some m else None
 
 let execute plan pattern g =
-  match materialise_candidates plan pattern g with
+  let initial =
+    with_span "candidates" (fun () -> materialise_candidates plan pattern g)
+  in
+  match initial with
   | None ->
+    Counter.incr m_early_exits;
     Match_relation.create ~pattern_size:(Pattern.size pattern)
       ~graph_size:(Csr.node_count g)
-  | Some initial -> (
-    match plan.strategy with
-    | Use_simulation -> Simulation.run_constrained pattern g ~initial ~mutable_set:None
-    | Use_bounded strategy ->
-      Bounded_sim.run_constrained ~strategy pattern g ~initial ~mutable_set:None)
+  | Some initial ->
+    with_span
+      ~attrs:[ ("strategy", strategy_choice_name plan.strategy) ]
+      "refine"
+      (fun () ->
+        match plan.strategy with
+        | Use_simulation ->
+          Simulation.run_constrained pattern g ~initial ~mutable_set:None
+        | Use_bounded strategy ->
+          Bounded_sim.run_constrained ~strategy pattern g ~initial ~mutable_set:None)
 
-let run ?sample pattern g = execute (plan ?sample pattern g) pattern g
+let run ?sample pattern g =
+  let p =
+    with_span "plan" (fun () ->
+        let p = plan ?sample pattern g in
+        Counter.incr m_plans;
+        annotate "strategy" (strategy_choice_name p.strategy);
+        annotate "order"
+          (String.concat ">"
+             (Array.to_list (Array.map (Pattern.name pattern) p.candidate_order)));
+        p)
+  in
+  execute p pattern g
 
 let explain pattern plan =
   let buf = Buffer.create 256 in

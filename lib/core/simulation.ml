@@ -1,5 +1,10 @@
 open Expfinder_graph
 open Expfinder_pattern
+open Expfinder_telemetry
+
+let m_pops = Metrics.counter "sim.worklist_pops"
+
+let m_removals = Metrics.counter "sim.removals"
 
 (* Pattern-edge indexing shared by both refinement paths. *)
 type edge_index = {
@@ -39,7 +44,11 @@ let run_dense pattern g ~initial =
     done
   done;
   let worklist = Vec.create ~dummy:(-1) () in
+  (* Counted locally and flushed once: the gated-counter check stays out
+     of the refinement hot path. *)
+  let n_removals = ref 0 and n_pops = ref 0 in
   let remove u v =
+    incr n_removals;
     Match_relation.remove sim u v;
     Vec.push worklist ((u * n) + v)
   in
@@ -53,6 +62,7 @@ let run_dense pattern g ~initial =
     List.iter (fun v -> remove u v) !victims
   done;
   while not (Vec.is_empty worklist) do
+    incr n_pops;
     let code = Vec.pop worklist in
     let u' = code / n and w = code mod n in
     List.iter
@@ -64,6 +74,8 @@ let run_dense pattern g ~initial =
             if row.(p) = 0 && Match_relation.mem sim u p then remove u p))
       idx.in_of.(u')
   done;
+  Counter.add m_removals !n_removals;
+  Counter.add m_pops !n_pops;
   sim
 
 (* The sparse path (only nodes of [area] may be removed, counters exist

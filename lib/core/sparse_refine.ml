@@ -1,5 +1,12 @@
 open Expfinder_graph
 open Expfinder_pattern
+open Expfinder_telemetry
+
+let m_pops = Metrics.counter "sparse.worklist_pops"
+
+let m_removals = Metrics.counter "sparse.removals"
+
+let m_balls = Metrics.counter "sparse.ball_expansions"
 
 module Make (G : Graph_intf.GRAPH) = struct
   module Dist = Distance.Make (G)
@@ -41,7 +48,11 @@ module Make (G : Graph_intf.GRAPH) = struct
         done)
       area;
     let worklist = Vec.create ~dummy:(-1) () in
+    (* Counted locally and flushed once, keeping the gated-counter check
+       out of the refinement hot path. *)
+    let n_removals = ref 0 and n_pops = ref 0 in
     let remove u v =
+      incr n_removals;
       Match_relation.remove sim u v;
       Vec.push worklist ((u * n) + v)
     in
@@ -55,6 +66,7 @@ module Make (G : Graph_intf.GRAPH) = struct
         done)
       area;
     while not (Vec.is_empty worklist) do
+      incr n_pops;
       let code = Vec.pop worklist in
       let u' = code / n and w = code mod n in
       List.iter
@@ -68,6 +80,8 @@ module Make (G : Graph_intf.GRAPH) = struct
                 if c - 1 = 0 && Match_relation.mem sim u p then remove u p))
         idx.in_of.(u')
     done;
+    Counter.add m_removals !n_removals;
+    Counter.add m_pops !n_pops;
     sim
 
   let bounded pattern g ~initial ~area =
@@ -93,6 +107,7 @@ module Make (G : Graph_intf.GRAPH) = struct
     Bitset.iter
       (fun v ->
         Array.fill counts 0 ne 0;
+        Counter.incr m_balls;
         Dist.ball scratch g v kmax (fun w d ->
             for e = 0 to ne - 1 do
               if d <= bound_of e then begin
@@ -106,7 +121,9 @@ module Make (G : Graph_intf.GRAPH) = struct
         done)
       area;
     let worklist = Vec.create ~dummy:(-1) () in
+    let n_removals = ref 0 and n_pops = ref 0 in
     let remove u v =
+      incr n_removals;
       Match_relation.remove sim u v;
       Vec.push worklist ((u * n) + v)
     in
@@ -122,11 +139,13 @@ module Make (G : Graph_intf.GRAPH) = struct
     (* One reverse BFS of radius kmax per removal, decrementing every
        incoming pattern edge whose bound covers the distance. *)
     while not (Vec.is_empty worklist) do
+      incr n_pops;
       let code = Vec.pop worklist in
       let u' = code / n and w = code mod n in
       match idx.in_of.(u') with
       | [] -> ()
       | incoming ->
+        Counter.incr m_balls;
         Dist.reverse_ball scratch g w kmax (fun p d ->
             List.iter
               (fun e ->
@@ -139,5 +158,7 @@ module Make (G : Graph_intf.GRAPH) = struct
                     if c - 1 = 0 && Match_relation.mem sim u p then remove u p)
               incoming)
     done;
+    Counter.add m_removals !n_removals;
+    Counter.add m_pops !n_pops;
     sim
 end

@@ -4,6 +4,7 @@ open Expfinder_core
 open Expfinder_incremental
 open Expfinder_compression
 open Expfinder_storage
+open Expfinder_telemetry
 
 let src = Logs.Src.create "expfinder.engine" ~doc:"ExpFinder query engine"
 
@@ -17,10 +18,42 @@ let provenance_name = function
   | From_index -> "ball-index"
   | Direct -> "direct"
 
+let m_queries = Metrics.counter "engine.queries"
+
+let m_from_cache = Metrics.counter "engine.answers.cache"
+
+let m_from_compressed = Metrics.counter "engine.answers.compressed"
+
+let m_from_index = Metrics.counter "engine.answers.ball_index"
+
+let m_direct = Metrics.counter "engine.answers.direct"
+
+let m_topk = Metrics.counter "engine.topk_queries"
+
+let m_update_batches = Metrics.counter "engine.update_batches"
+
+let m_updates_effective = Metrics.counter "engine.updates_effective"
+
+let h_query_ms = Metrics.histogram "engine.query_ms"
+
+let provenance_counter = function
+  | From_cache -> m_from_cache
+  | From_compressed -> m_from_compressed
+  | From_index -> m_from_index
+  | Direct -> m_direct
+
+type profile = {
+  query : string;  (** the pattern fingerprint *)
+  provenance : provenance;
+  span : Span.t;
+  counters : (string * int) list;
+}
+
 type answer = {
   relation : Match_relation.t;
   total : bool;
   provenance : provenance;
+  profile : profile option;
 }
 
 type expert = { node : int; name : string option; rank : Ranking.rank }
@@ -33,6 +66,7 @@ type t = {
   mutable ball_index : Ball_index.t option;
   mutable ball_radius : int;
   mutable registered : (string * Incremental.t) list; (* fingerprint-keyed, in order *)
+  mutable last_profile : profile option;
 }
 
 let create ?cache_capacity g =
@@ -44,6 +78,7 @@ let create ?cache_capacity g =
     ball_index = None;
     ball_radius = 0;
     registered = [];
+    last_profile = None;
   }
 
 let graph t = t.g
@@ -57,10 +92,15 @@ let snapshot t =
    query plans"). *)
 let run_direct pattern csr = Planner.run pattern csr
 
-let evaluate t pattern =
+(* The untraced core of [evaluate]: cache -> registered kernel ->
+   compressed -> ball index -> planner, returning the relation and where
+   it came from. *)
+let evaluate_inner t pattern =
   let version = Digraph.version t.g in
-  match Cache.find t.cache pattern ~graph_version:version with
-  | Some relation -> { relation; total = Match_relation.is_total relation; provenance = From_cache }
+  match
+    with_span "cache.lookup" (fun () -> Cache.find t.cache pattern ~graph_version:version)
+  with
+  | Some relation -> (relation, From_cache)
   | None ->
     let registered_kernel =
       match List.assoc_opt (Pattern.fingerprint pattern) t.registered with
@@ -88,7 +128,10 @@ let evaluate t pattern =
           (match t.ball_index with
           | Some idx
             when Ball_index.source_version idx <> Csr.source_version csr ->
-            t.ball_index <- Some (Ball_index.build csr ~radius:t.ball_radius)
+            t.ball_index <-
+              Some
+                (with_span "ball_index.rebuild" (fun () ->
+                     Ball_index.build csr ~radius:t.ball_radius))
           | _ -> ());
           match t.ball_index with
           | Some idx when Ball_index.supports idx pattern ->
@@ -96,10 +139,41 @@ let evaluate t pattern =
           | _ -> (run_direct pattern csr, Direct)))
     in
     Cache.store t.cache pattern ~graph_version:version relation;
-    Log.debug (fun m ->
-        m "evaluate %s: %d pairs via %s" (Pattern.fingerprint pattern)
-          (Match_relation.total relation) (provenance_name provenance));
-    { relation; total = Match_relation.is_total relation; provenance }
+    (relation, provenance)
+
+(* Profile plumbing shared by [evaluate] and [top_k]: snapshot the
+   counter registry, run the traced body, and turn the root span (when
+   this call owns the trace) plus the counter deltas into a profile. *)
+let profiled t ~root ~attrs ~query f =
+  let before = if enabled () then Metrics.counters_snapshot () else [] in
+  let (result, provenance), span = collect ~attrs root f in
+  let profile =
+    match span with
+    | None -> None
+    | Some span ->
+      Histogram.observe h_query_ms (Span.duration_ms span);
+      let counters = Metrics.delta ~before ~after:(Metrics.counters_snapshot ()) in
+      let p = { query; provenance; span; counters } in
+      t.last_profile <- Some p;
+      Some p
+  in
+  (result, profile)
+
+let evaluate t pattern =
+  Counter.incr m_queries;
+  let fp = Pattern.fingerprint pattern in
+  let (relation, provenance), profile =
+    profiled t ~root:"evaluate" ~attrs:[ ("query", fp) ] ~query:fp (fun () ->
+        let ((relation, provenance) as r) = evaluate_inner t pattern in
+        Counter.incr (provenance_counter provenance);
+        annotate "provenance" (provenance_name provenance);
+        annotate_int "pairs" (Match_relation.total relation);
+        (r, provenance))
+  in
+  Log.debug (fun m ->
+      m "evaluate %s: %d pairs via %s" fp (Match_relation.total relation)
+        (provenance_name provenance));
+  { relation; total = Match_relation.is_total relation; provenance; profile }
 
 let result_graph t pattern =
   let answer = evaluate t pattern in
@@ -112,21 +186,49 @@ let result_graph t pattern =
   Result_graph.build pattern (snapshot t) relation
 
 let top_k t pattern ~k =
-  let answer = evaluate t pattern in
-  if not answer.total then []
-  else begin
-    let csr = snapshot t in
-    let gr = Result_graph.build pattern csr answer.relation in
-    let output_matches = Match_relation.matches answer.relation (Pattern.output pattern) in
-    Ranking.top_k gr ~output_matches ~k
-    |> List.map (fun (node, rank) ->
-           let name =
-             match Attrs.find (Csr.attrs csr node) "name" with
-             | Some (Attr.String s) -> Some s
-             | Some _ | None -> None
-           in
-           { node; name; rank })
-  end
+  Counter.incr m_topk;
+  let fp = Pattern.fingerprint pattern in
+  fst
+  @@ profiled t ~root:"topk"
+    ~attrs:[ ("query", fp); ("k", string_of_int k) ]
+    ~query:fp
+    (fun () ->
+      let answer = evaluate t pattern in
+      if not answer.total then ([], answer.provenance)
+      else begin
+        let csr = snapshot t in
+        let gr =
+          with_span "result_graph" (fun () ->
+              Result_graph.build pattern csr answer.relation)
+        in
+        let output_matches = Match_relation.matches answer.relation (Pattern.output pattern) in
+        let experts =
+          with_span "rank"
+            ~attrs:[ ("output_matches", string_of_int (List.length output_matches)) ]
+            (fun () ->
+              Ranking.top_k gr ~output_matches ~k
+              |> List.map (fun (node, rank) ->
+                     let name =
+                       match Attrs.find (Csr.attrs csr node) "name" with
+                       | Some (Attr.String s) -> Some s
+                       | Some _ | None -> None
+                     in
+                     { node; name; rank }))
+        in
+        (experts, answer.provenance)
+      end)
+
+let last_profile t = t.last_profile
+
+let pp_profile ppf p =
+  Format.fprintf ppf "profile: query %s, answered via %s@." p.query
+    (provenance_name p.provenance);
+  Span.pp_tree ppf p.span;
+  match p.counters with
+  | [] -> ()
+  | counters ->
+    Format.fprintf ppf "counters:@.";
+    List.iter (fun (name, v) -> Format.fprintf ppf "  %-38s %d@." name v) counters
 
 let enable_ball_index ?(radius = 3) t =
   t.ball_radius <- radius;
@@ -153,7 +255,9 @@ let unregister t pattern =
 let registered t = List.map (fun (_, inc) -> Incremental.pattern inc) t.registered
 
 let apply_updates t updates =
+  Counter.incr m_update_batches;
   let effective = Update.apply_batch_filtered t.g updates in
+  Counter.add m_updates_effective (List.length effective);
   let new_csr = Csr.of_digraph t.g in
   t.csr <- new_csr;
   (* Results for old versions are unreachable (keys include the version),
@@ -172,5 +276,7 @@ let apply_updates t updates =
   List.map (fun (_, inc) -> Incremental.sync_applied inc ~effective) t.registered
 
 let cache_stats t = (Cache.hits t.cache, Cache.misses t.cache)
+
+let cache_counters t = (Cache.hits t.cache, Cache.misses t.cache, Cache.evictions t.cache)
 
 let explain t pattern = Planner.explain pattern (Planner.plan pattern (snapshot t))

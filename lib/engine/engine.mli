@@ -3,6 +3,7 @@ open Expfinder_pattern
 open Expfinder_core
 open Expfinder_incremental
 open Expfinder_compression
+open Expfinder_telemetry
 
 (** The ExpFinder query engine (§II, Fig. 2).
 
@@ -25,10 +26,26 @@ type t
 (** Where an answer came from (exposed for tests and experiments). *)
 type provenance = From_cache | From_compressed | From_index | Direct
 
+(** Per-query profile, populated when telemetry is enabled
+    ({!Expfinder_telemetry.set_enabled}): the stage tree (plan →
+    candidates → refine → rank for direct evaluation), the provenance,
+    and the per-query deltas of every registered counter (candidate
+    sizes, worklist pops, ball expansions, cache hits, compression
+    expand cost, ...). *)
+type profile = {
+  query : string;  (** the pattern fingerprint *)
+  provenance : provenance;
+  span : Span.t;  (** the stage tree; export with {!Span.to_chrome_json} *)
+  counters : (string * int) list;  (** nonzero per-query counter deltas *)
+}
+
 type answer = {
   relation : Match_relation.t;  (** the kernel relation *)
   total : bool;  (** whether M(Q,G) is nonempty (kernel is total) *)
   provenance : provenance;
+  profile : profile option;
+      (** present when telemetry is enabled and this call owned the
+          trace (i.e. it was not nested under another traced call) *)
 }
 
 type expert = {
@@ -84,8 +101,21 @@ val apply_updates : t -> Update.t list -> Incremental.report list
     compressed graph and every registered query; returns one maintenance
     report per registered query (in registration order). *)
 
+val last_profile : t -> profile option
+(** The profile of the most recent traced query ({!evaluate} or
+    {!top_k}), when telemetry is enabled.  The CLI's [--profile] and
+    [--trace] read it after the query returns. *)
+
+val pp_profile : Format.formatter -> profile -> unit
+(** Stage tree plus per-query counters, human-readable. *)
+
 val cache_stats : t -> int * int
-(** (hits, misses). *)
+(** (hits, misses).  Kept for compatibility; prefer {!cache_counters},
+    which also reports evictions.  Both read the same telemetry
+    counters, so they can never disagree. *)
+
+val cache_counters : t -> int * int * int
+(** (hits, misses, evictions) from the cache's telemetry counters. *)
 
 val explain : t -> Pattern.t -> string
 (** The query plan direct evaluation would use (§III "optimized query

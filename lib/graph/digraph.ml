@@ -166,4 +166,9 @@ let equal_structure a b =
   !ok
 
 let pp_stats ppf g =
-  Format.fprintf ppf "graph(nodes=%d, edges=%d)" (node_count g) (edge_count g)
+  let n = node_count g and m = edge_count g in
+  let max_out = ref 0 in
+  iter_nodes g (fun v -> if out_degree g v > !max_out then max_out := out_degree g v);
+  let avg_out = if n = 0 then 0.0 else float_of_int m /. float_of_int n in
+  Format.fprintf ppf "graph(nodes=%d, edges=%d, max-out-degree=%d, avg-out-degree=%.2f)" n
+    m !max_out avg_out

@@ -80,4 +80,5 @@ val equal_structure : t -> t -> bool
 (** Same node count, labels, attributes and edge sets. *)
 
 val pp_stats : Format.formatter -> t -> unit
-(** One-line [nodes/edges/labels] summary. *)
+(** One-line summary: node/edge counts plus the out-degree distribution
+    (max and average). *)

@@ -1,6 +1,19 @@
 open Expfinder_graph
 open Expfinder_pattern
 open Expfinder_core
+open Expfinder_telemetry
+
+let m_syncs = Metrics.counter "incremental.syncs"
+
+let m_floods = Metrics.counter "incremental.floods"
+
+let m_area = Metrics.counter "incremental.area_nodes"
+
+let m_rounds = Metrics.counter "incremental.rounds"
+
+let m_added = Metrics.counter "incremental.pairs_added"
+
+let m_removed = Metrics.counter "incremental.pairs_removed"
 
 let src = Logs.Src.create "expfinder.incremental" ~doc:"incremental match maintenance"
 
@@ -357,7 +370,7 @@ let sync_ancestors t ~old_kernel ~old_n ~effective_count ~patch ~inserted ~delet
 
 (* Maintenance after [effective] was already applied to the tracked
    digraph. *)
-let sync_applied t ~effective =
+let sync_applied_untraced t ~effective =
   let old_n = t.scratch_n in
   refresh_scratch t;
   let psize = Pattern.size t.pattern in
@@ -400,6 +413,23 @@ let sync_applied t ~effective =
     | Ancestors ->
       sync_ancestors t ~old_kernel ~old_n ~effective_count ~patch ~inserted ~deleted
   end
+
+let sync_applied t ~effective =
+  Counter.incr m_syncs;
+  with_span "incremental.sync"
+    ~attrs:[ ("query", Pattern.fingerprint t.pattern) ]
+    (fun () ->
+      let report = sync_applied_untraced t ~effective in
+      Counter.add m_area report.area;
+      Counter.add m_rounds report.iterations;
+      Counter.add m_added (List.length report.added);
+      Counter.add m_removed (List.length report.removed);
+      if report.iterations = 0 then Counter.incr m_floods;
+      annotate_int "area" report.area;
+      annotate_int "rounds" report.iterations;
+      annotate_int "added" (List.length report.added);
+      annotate_int "removed" (List.length report.removed);
+      report)
 
 let apply_updates t g updates =
   if not (g == t.g) then

@@ -1,5 +1,18 @@
 open Expfinder_pattern
 open Expfinder_core
+open Expfinder_telemetry
+
+(* Process-wide registered counters (aggregated over every cache
+   instance, gated by the telemetry flag) alongside per-instance
+   always-on counters: both are bumped on the same code paths, so the
+   registry view can never drift from [hits]/[misses]/[evictions]. *)
+let m_hits = Metrics.counter "cache.hits"
+
+let m_misses = Metrics.counter "cache.misses"
+
+let m_evictions = Metrics.counter "cache.evictions"
+
+let m_stores = Metrics.counter "cache.stores"
 
 type entry = {
   key : string * int;
@@ -11,13 +24,21 @@ type t = {
   capacity : int;
   table : (string * int, entry) Hashtbl.t;
   mutable clock : int;
-  mutable hit_count : int;
-  mutable miss_count : int;
+  hit_count : Counter.t;
+  miss_count : Counter.t;
+  eviction_count : Counter.t;
 }
 
 let create ?(capacity = 64) () =
   if capacity < 1 then invalid_arg "Cache.create";
-  { capacity; table = Hashtbl.create capacity; clock = 0; hit_count = 0; miss_count = 0 }
+  {
+    capacity;
+    table = Hashtbl.create capacity;
+    clock = 0;
+    hit_count = Counter.create ~always:true "cache.hits";
+    miss_count = Counter.create ~always:true "cache.misses";
+    eviction_count = Counter.create ~always:true "cache.evictions";
+  }
 
 let capacity t = t.capacity
 
@@ -33,10 +54,12 @@ let find t pattern ~graph_version =
   match Hashtbl.find_opt t.table (key_of pattern graph_version) with
   | Some entry ->
     entry.stamp <- tick t;
-    t.hit_count <- t.hit_count + 1;
+    Counter.incr t.hit_count;
+    Counter.incr m_hits;
     Some (Match_relation.copy entry.relation)
   | None ->
-    t.miss_count <- t.miss_count + 1;
+    Counter.incr t.miss_count;
+    Counter.incr m_misses;
     None
 
 let evict_lru t =
@@ -48,12 +71,18 @@ let evict_lru t =
         | _ -> Some entry)
       t.table None
   in
-  match victim with None -> () | Some entry -> Hashtbl.remove t.table entry.key
+  match victim with
+  | None -> ()
+  | Some entry ->
+    Hashtbl.remove t.table entry.key;
+    Counter.incr t.eviction_count;
+    Counter.incr m_evictions
 
 let store t pattern ~graph_version relation =
   let key = key_of pattern graph_version in
   if not (Hashtbl.mem t.table key) && Hashtbl.length t.table >= t.capacity then
     evict_lru t;
+  Counter.incr m_stores;
   Hashtbl.replace t.table key
     { key; relation = Match_relation.copy relation; stamp = tick t }
 
@@ -65,9 +94,11 @@ let invalidate_version t version =
 
 let clear t =
   Hashtbl.reset t.table;
-  t.hit_count <- 0;
-  t.miss_count <- 0
+  Counter.reset t.hit_count;
+  Counter.reset t.miss_count
 
-let hits t = t.hit_count
+let hits t = Counter.value t.hit_count
 
-let misses t = t.miss_count
+let misses t = Counter.value t.miss_count
+
+let evictions t = Counter.value t.eviction_count

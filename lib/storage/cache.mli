@@ -7,7 +7,14 @@ open Expfinder_core
     Results are keyed by (pattern fingerprint, graph version); a bumped
     graph version invalidates every entry for that graph, so the cache
     can never serve a stale relation.  Eviction is LRU with a bounded
-    entry count. *)
+    entry count.
+
+    Accounting is built on the telemetry registry: each instance keeps
+    always-on {!Expfinder_telemetry.Telemetry.Counter} values (read by
+    {!hits}/{!misses}/{!evictions}), and the same code paths bump the
+    registered [cache.hits]/[cache.misses]/[cache.evictions]/
+    [cache.stores] counters, so per-instance stats and the process-wide
+    metrics dump cannot drift apart. *)
 
 type t
 
@@ -29,7 +36,13 @@ val invalidate_version : t -> int -> unit
 (** Drop every entry recorded under the given graph version. *)
 
 val clear : t -> unit
+(** Drop every entry and reset the hit/miss counters (the eviction
+    counter is cumulative over the cache's lifetime). *)
 
 val hits : t -> int
 
 val misses : t -> int
+
+val evictions : t -> int
+(** Entries dropped by LRU pressure (not by {!clear} /
+    {!invalidate_version}). *)

@@ -1,0 +1,366 @@
+(* Global on/off switch.  Counters and spans check it through one
+   dereference; nothing on a recording path allocates. *)
+
+let on =
+  ref
+    (match Sys.getenv_opt "EXPFINDER_TELEMETRY" with
+    | Some ("1" | "true" | "on") -> true
+    | Some _ | None -> false)
+
+let set_enabled b = on := b
+
+let enabled () = !on
+
+let now_us () = 1e6 *. Unix.gettimeofday ()
+
+let time f =
+  let t0 = now_us () in
+  let result = f () in
+  (result, (now_us () -. t0) /. 1000.0)
+
+(* ------------------------------------------------------------------ *)
+(* Counters and gauges                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Counter = struct
+  type t = { cname : string; always : bool; mutable v : int }
+
+  let create ?(always = false) cname = { cname; always; v = 0 }
+
+  let name c = c.cname
+
+  let add c n =
+    if c.always || !on then
+      c.v <- (if c.v > max_int - n then max_int else c.v + n)
+
+  let incr c = add c 1
+
+  let value c = c.v
+
+  let reset c = c.v <- 0
+end
+
+module Gauge = struct
+  type t = { gname : string; always : bool; mutable v : int }
+
+  let create ?(always = false) gname = { gname; always; v = 0 }
+
+  let name g = g.gname
+
+  let set g n = if g.always || !on then g.v <- n
+
+  let value g = g.v
+
+  let reset g = g.v <- 0
+end
+
+(* ------------------------------------------------------------------ *)
+(* Log-scale histograms                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Histogram = struct
+  (* Geometric buckets, 8 per doubling, over [lo, lo * 2^(nbuckets/8)):
+     bucket i holds samples in [lo * 2^(i/8), lo * 2^((i+1)/8)).  With
+     lo = 1e-9 and 560 buckets the range spans 1e-9 .. ~1e12, enough
+     for nanoseconds-as-seconds up to pair counts in the billions. *)
+  let lo = 1e-9
+
+  let per_doubling = 8.0
+
+  let nbuckets = 560
+
+  type t = {
+    hname : string;
+    always : bool;
+    buckets : int array;
+    mutable count : int;
+    (* sum, min, max — kept in a float array so recording never boxes. *)
+    state : float array;
+  }
+
+  let create ?(always = false) hname =
+    { hname; always; buckets = Array.make nbuckets 0; count = 0; state = [| 0.0; 0.0; 0.0 |] }
+
+  let name h = h.hname
+
+  let bucket_of v =
+    if v <= lo then 0
+    else
+      let i = int_of_float (Float.log2 (v /. lo) *. per_doubling) in
+      if i < 0 then 0 else if i >= nbuckets then nbuckets - 1 else i
+
+  let upper_bound i = lo *. Float.exp2 (float_of_int (i + 1) /. per_doubling)
+
+  let observe h v =
+    if h.always || !on then begin
+      h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
+      h.state.(0) <- h.state.(0) +. v;
+      if h.count = 0 || v < h.state.(1) then h.state.(1) <- v;
+      if h.count = 0 || v > h.state.(2) then h.state.(2) <- v;
+      h.count <- h.count + 1
+    end
+
+  let count h = h.count
+
+  let sum h = h.state.(0)
+
+  let min_value h = if h.count = 0 then nan else h.state.(1)
+
+  let max_value h = if h.count = 0 then nan else h.state.(2)
+
+  let percentile h p =
+    if h.count = 0 then nan
+    else begin
+      let p = Float.min 1.0 (Float.max 0.0 p) in
+      let rank = Stdlib.max 1 (int_of_float (ceil (p *. float_of_int h.count))) in
+      let seen = ref 0 and i = ref 0 in
+      while !seen < rank && !i < nbuckets do
+        seen := !seen + h.buckets.(!i);
+        if !seen < rank then incr i
+      done;
+      Float.min (max_value h) (Float.max (min_value h) (upper_bound !i))
+    end
+
+  let reset h =
+    Array.fill h.buckets 0 nbuckets 0;
+    h.count <- 0;
+    h.state.(0) <- 0.0;
+    h.state.(1) <- 0.0;
+    h.state.(2) <- 0.0
+end
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Metrics = struct
+  type metric =
+    | M_counter of Counter.t
+    | M_gauge of Gauge.t
+    | M_histogram of Histogram.t
+
+  let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+  let counter ?always name =
+    match Hashtbl.find_opt registry name with
+    | Some (M_counter c) -> c
+    | Some _ -> invalid_arg ("Telemetry.Metrics.counter: " ^ name ^ " is not a counter")
+    | None ->
+      let c = Counter.create ?always name in
+      Hashtbl.replace registry name (M_counter c);
+      c
+
+  let gauge ?always name =
+    match Hashtbl.find_opt registry name with
+    | Some (M_gauge g) -> g
+    | Some _ -> invalid_arg ("Telemetry.Metrics.gauge: " ^ name ^ " is not a gauge")
+    | None ->
+      let g = Gauge.create ?always name in
+      Hashtbl.replace registry name (M_gauge g);
+      g
+
+  let histogram ?always name =
+    match Hashtbl.find_opt registry name with
+    | Some (M_histogram h) -> h
+    | Some _ ->
+      invalid_arg ("Telemetry.Metrics.histogram: " ^ name ^ " is not a histogram")
+    | None ->
+      let h = Histogram.create ?always name in
+      Hashtbl.replace registry name (M_histogram h);
+      h
+
+  let counters_snapshot () =
+    Hashtbl.fold
+      (fun name m acc ->
+        match m with
+        | M_counter c -> (name, Counter.value c) :: acc
+        | M_gauge g -> (name, Gauge.value g) :: acc
+        | M_histogram _ -> acc)
+      registry []
+    |> List.sort compare
+
+  let delta ~before ~after =
+    let base = Hashtbl.create 16 in
+    List.iter (fun (name, v) -> Hashtbl.replace base name v) before;
+    List.filter_map
+      (fun (name, v) ->
+        let d = v - Option.value ~default:0 (Hashtbl.find_opt base name) in
+        if d = 0 then None else Some (name, d))
+      after
+
+  let reset_all () =
+    Hashtbl.iter
+      (fun _ -> function
+        | M_counter c -> Counter.reset c
+        | M_gauge g -> Gauge.reset g
+        | M_histogram h -> Histogram.reset h)
+      registry
+
+  let pp ppf () =
+    let rows =
+      Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry [] |> List.sort compare
+    in
+    List.iter
+      (fun (name, m) ->
+        match m with
+        | M_counter c -> Format.fprintf ppf "%-40s %d@." name (Counter.value c)
+        | M_gauge g -> Format.fprintf ppf "%-40s %d (gauge)@." name (Gauge.value g)
+        | M_histogram h ->
+          if Histogram.count h = 0 then Format.fprintf ppf "%-40s (empty)@." name
+          else
+            Format.fprintf ppf
+              "%-40s count=%d sum=%.3f min=%.4f p50=%.4f p95=%.4f p99=%.4f max=%.4f@."
+              name (Histogram.count h) (Histogram.sum h) (Histogram.min_value h)
+              (Histogram.percentile h 0.50) (Histogram.percentile h 0.95)
+              (Histogram.percentile h 0.99) (Histogram.max_value h))
+      rows
+end
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Span = struct
+  type t = {
+    sname : string;
+    sstart : float; (* absolute epoch microseconds *)
+    mutable dur_us : float;
+    mutable rev_attrs : (string * string) list;
+    mutable rev_kids : t list;
+  }
+
+  let make ?(attrs = []) sname =
+    { sname; sstart = now_us (); dur_us = 0.0; rev_attrs = List.rev attrs; rev_kids = [] }
+
+  let name s = s.sname
+
+  let duration_ms s = s.dur_us /. 1000.0
+
+  let attrs s = List.rev s.rev_attrs
+
+  let children s = List.rev s.rev_kids
+
+  (* Start time relative to an explicit origin (used by the exporter). *)
+  let start_rel ~origin s = s.sstart -. origin
+
+  let rec find s name =
+    if s.sname = name then Some s
+    else
+      List.fold_left
+        (fun acc kid -> match acc with Some _ -> acc | None -> find kid name)
+        None (children s)
+
+  let rec preorder_names s = s.sname :: List.concat_map preorder_names (children s)
+
+  let pp_tree ppf s =
+    let rec go indent s =
+      Format.fprintf ppf "%s%-*s %8.3f ms" indent
+        (Stdlib.max 1 (28 - String.length indent))
+        s.sname (duration_ms s);
+      List.iter (fun (k, v) -> Format.fprintf ppf "  %s=%s" k v) (attrs s);
+      Format.pp_print_newline ppf ();
+      List.iter (go (indent ^ "  ")) (children s)
+    in
+    go "" s
+
+  let json_escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let to_chrome_json s =
+    let origin = s.sstart in
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "[";
+    let first = ref true in
+    let rec emit sp =
+      if not !first then Buffer.add_string buf ",\n";
+      first := false;
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"expfinder\",\"ph\":\"X\",\"ts\":%.1f,\"dur\":%.1f,\"pid\":1,\"tid\":1"
+           (json_escape sp.sname) (start_rel ~origin sp) sp.dur_us);
+      (match attrs sp with
+      | [] -> ()
+      | kvs ->
+        Buffer.add_string buf ",\"args\":{";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_string buf ",";
+            Buffer.add_string buf
+              (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+          kvs;
+        Buffer.add_string buf "}");
+      Buffer.add_string buf "}";
+      List.iter emit (children sp)
+    in
+    emit s;
+    Buffer.add_string buf "]\n";
+    Buffer.contents buf
+end
+
+(* The tracer: a stack of open spans.  Spans are only recorded while a
+   [collect] is active, so an enabled-but-untraced process accumulates
+   nothing. *)
+let stack : Span.t list ref = ref []
+
+let close (s : Span.t) = s.Span.dur_us <- now_us () -. s.Span.sstart
+
+let with_span ?attrs name f =
+  if (not !on) || !stack = [] then f ()
+  else begin
+    let s = Span.make ?attrs name in
+    let parent = List.hd !stack in
+    stack := s :: !stack;
+    let finish () =
+      close s;
+      (match !stack with
+      | top :: rest when top == s -> stack := rest
+      | _ -> ());
+      parent.Span.rev_kids <- s :: parent.Span.rev_kids
+    in
+    match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e
+  end
+
+let annotate k v =
+  match !stack with
+  | [] -> ()
+  | s :: _ -> s.Span.rev_attrs <- (k, v) :: s.Span.rev_attrs
+
+let annotate_int k v = if !on && !stack <> [] then annotate k (string_of_int v)
+
+let collect ?attrs name f =
+  if not !on then (f (), None)
+  else if !stack <> [] then (with_span ?attrs name f, None)
+  else begin
+    let s = Span.make ?attrs name in
+    stack := [ s ];
+    let finish () =
+      close s;
+      stack := []
+    in
+    match f () with
+    | v ->
+      finish ();
+      (v, Some s)
+    | exception e ->
+      finish ();
+      raise e
+  end

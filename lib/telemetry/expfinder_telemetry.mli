@@ -1,0 +1,176 @@
+(** Engine-wide observability: a metrics registry, a span tracer, and
+    wall-clock helpers.
+
+    The subsystem has two activity levels:
+
+    - {e counters, gauges and histograms} record unconditionally only
+      when created with [~always:true] (the cache's per-instance
+      accounting); registered metrics are otherwise gated by the global
+      flag.  Recording never allocates: counters and gauges are single
+      mutable ints, histogram state lives in pre-allocated arrays.
+    - {e spans} ({!with_span}, {!collect}) are fully disabled unless the
+      runtime flag is on ({!set_enabled}); a disabled [with_span] is one
+      branch around the wrapped function.
+
+    Naming scheme (see DESIGN.md): metric and span names are dotted
+    lowercase paths, [<module>.<event>] — e.g. [bsim.worklist_pops],
+    [cache.evictions], spans [plan], [candidates], [refine], [rank]. *)
+
+val set_enabled : bool -> unit
+(** Turn telemetry on or off at runtime (default: off).  Also honoured
+    at startup via the [EXPFINDER_TELEMETRY=1] environment variable. *)
+
+val enabled : unit -> bool
+
+(** {1 Metrics} *)
+
+module Counter : sig
+  type t
+
+  val create : ?always:bool -> string -> t
+  (** A standalone (unregistered) counter.  [~always:true] makes it
+      record even when telemetry is disabled. *)
+
+  val name : t -> string
+
+  val incr : t -> unit
+
+  val add : t -> int -> unit
+  (** Monotonic: saturates at [max_int] instead of wrapping. *)
+
+  val value : t -> int
+
+  val reset : t -> unit
+end
+
+module Gauge : sig
+  type t
+
+  val create : ?always:bool -> string -> t
+
+  val name : t -> string
+
+  val set : t -> int -> unit
+
+  val value : t -> int
+end
+
+module Histogram : sig
+  (** Log-scale histogram: geometric buckets with 8 buckets per doubling
+      (~9% relative resolution), covering 1e-9 .. 1e12.  Count, sum, min
+      and max are tracked exactly; percentiles are resolved to a bucket
+      upper bound. *)
+
+  type t
+
+  val create : ?always:bool -> string -> t
+
+  val name : t -> string
+
+  val observe : t -> float -> unit
+  (** Record a sample (non-positive samples land in the lowest bucket).
+      Allocation-free. *)
+
+  val count : t -> int
+
+  val sum : t -> float
+
+  val min_value : t -> float
+  (** [nan] when empty. *)
+
+  val max_value : t -> float
+  (** [nan] when empty. *)
+
+  val percentile : t -> float -> float
+  (** [percentile h p] for [0 <= p <= 1]; [nan] when empty.  Clamped to
+      the exact [min]/[max]. *)
+
+  val reset : t -> unit
+end
+
+module Metrics : sig
+  (** The process-wide registry.  [counter]/[gauge]/[histogram] create
+      or return the metric registered under that name; asking for an
+      existing name with a different metric kind raises
+      [Invalid_argument]. *)
+
+  val counter : ?always:bool -> string -> Counter.t
+
+  val gauge : ?always:bool -> string -> Gauge.t
+
+  val histogram : ?always:bool -> string -> Histogram.t
+
+  val counters_snapshot : unit -> (string * int) list
+  (** Current value of every registered counter and gauge, sorted by
+      name (the per-query profile diff base). *)
+
+  val delta :
+    before:(string * int) list -> after:(string * int) list -> (string * int) list
+  (** Nonzero differences [after - before], sorted by name. *)
+
+  val reset_all : unit -> unit
+  (** Reset every registered metric to zero (tests, [expfinder stats]). *)
+
+  val pp : Format.formatter -> unit -> unit
+  (** Dump the registry, one metric per line, sorted by name. *)
+end
+
+(** {1 Span tracing} *)
+
+module Span : sig
+  (** A completed timed span: a name, a duration, optional key/value
+      annotations, and child spans in execution order. *)
+
+  type t
+
+  val name : t -> string
+
+  val duration_ms : t -> float
+
+  val attrs : t -> (string * string) list
+
+  val children : t -> t list
+
+  val find : t -> string -> t option
+  (** First descendant (or the span itself) with the given name,
+      depth-first. *)
+
+  val preorder_names : t -> string list
+  (** Every span name in the tree, depth-first, parents first. *)
+
+  val pp_tree : Format.formatter -> t -> unit
+  (** Human-readable indented stage tree with timings and
+      annotations. *)
+
+  val to_chrome_json : t -> string
+  (** The tree as a Chrome trace-event JSON array ([ph:"X"] complete
+      events, microsecond timestamps), loadable in [chrome://tracing]
+      or [ui.perfetto.dev]. *)
+end
+
+val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Run the function inside a child span of the innermost open span.
+    When telemetry is disabled or no {!collect} is active, this is just
+    the function call. *)
+
+val annotate : string -> string -> unit
+(** Attach a key/value annotation to the innermost open span (dropped
+    when none is open). *)
+
+val annotate_int : string -> int -> unit
+
+val collect :
+  ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a * Span.t option
+(** Run the function inside a {e root} span and return the completed
+    tree.  Returns [None] (plain nested span) when telemetry is
+    disabled or another collection is already active — so the outermost
+    caller owns the trace. *)
+
+(** {1 Clock} *)
+
+val now_us : unit -> float
+(** Wall-clock microseconds (the tracer's clock; epoch-based). *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f] and returns its result with the elapsed wall time
+    in milliseconds (the benchmark harness's timer). *)

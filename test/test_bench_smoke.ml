@@ -1,0 +1,47 @@
+(* Smoke test for the experiment harness: run one cheap experiment as a
+   subprocess so a broken bench/main.ml is caught by `dune runtest`
+   instead of at benchmark time. *)
+
+let exe =
+  let candidates =
+    [
+      Filename.concat (Filename.dirname Sys.executable_name) "../bench/main.exe";
+      "_build/default/bench/main.exe";
+      "../bench/main.exe";
+    ]
+  in
+  List.find_opt Sys.file_exists candidates
+
+let run exe args =
+  let cmd = Filename.quote_command exe args ^ " 2>/dev/null" in
+  let ic = Unix.open_process_in cmd in
+  let buf = Buffer.create 1024 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  let status = Unix.close_process_in ic in
+  let code = match status with Unix.WEXITED c -> c | _ -> -1 in
+  (code, Buffer.contents buf)
+
+let contains haystack needle =
+  let n = String.length haystack and k = String.length needle in
+  let rec scan i = i + k <= n && (String.sub haystack i k = needle || scan (i + 1)) in
+  scan 0
+
+let test_exp_f1 exe () =
+  let code, out = run exe [ "--only"; "EXP-F1" ] in
+  Alcotest.(check int) "harness exits 0" 0 code;
+  Alcotest.(check bool) "EXP-F1 ran" true (contains out "EXP-F1");
+  Alcotest.(check bool) "its paper check passed" true (contains out "[ok]");
+  Alcotest.(check bool) "no check failed" false (contains out "FAILED");
+  (* The filter really filtered: no other experiment header appears. *)
+  Alcotest.(check bool) "only EXP-F1 ran" false (contains out "EXP-F2")
+
+let () =
+  match exe with
+  | None -> Alcotest.run "bench_smoke" [ ("skipped", []) ]
+  | Some exe ->
+    Alcotest.run "bench_smoke"
+      [ ("harness", [ Alcotest.test_case "EXP-F1 via --only" `Quick (test_exp_f1 exe) ]) ]

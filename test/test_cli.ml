@@ -73,7 +73,7 @@ let cli_workflow exe () =
       (* stats *)
       let code, out = run exe [ "stats"; "-g"; graph ] in
       Alcotest.(check int) "stats exits 0" 0 code;
-      Alcotest.(check bool) "stats nodes" true (contains out "nodes: 9");
+      Alcotest.(check bool) "stats nodes" true (contains out "nodes=9");
       (* query with summary *)
       let code, out = run exe [ "query"; "-g"; graph; "-q"; query; "--summary" ] in
       Alcotest.(check int) "query exits 0" 0 code;

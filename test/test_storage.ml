@@ -49,9 +49,13 @@ let test_cache_lru_eviction () =
   ignore (Cache.find cache q1 ~graph_version:0 : Match_relation.t option);
   Cache.store cache q3 ~graph_version:0 (sample_relation ());
   Alcotest.(check int) "capacity respected" 2 (Cache.length cache);
+  Alcotest.(check int) "eviction counted" 1 (Cache.evictions cache);
   Alcotest.(check bool) "q1 kept" true (Cache.find cache q1 ~graph_version:0 <> None);
   Alcotest.(check bool) "q2 evicted" true (Cache.find cache q2 ~graph_version:0 = None);
-  Alcotest.(check bool) "q3 kept" true (Cache.find cache q3 ~graph_version:0 <> None)
+  Alcotest.(check bool) "q3 kept" true (Cache.find cache q3 ~graph_version:0 <> None);
+  (* The eviction counter survives [clear]: it is cumulative. *)
+  Cache.clear cache;
+  Alcotest.(check int) "evictions cumulative across clear" 1 (Cache.evictions cache)
 
 let test_cache_invalidation () =
   let cache = Cache.create () in

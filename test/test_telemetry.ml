@@ -1,0 +1,347 @@
+(* Telemetry subsystem tests: histogram percentiles, counter
+   saturation and gating, per-query profiles on the paper's Fig. 1
+   example, answer invariance under the runtime flag, and a syntactic
+   round-trip of the Chrome trace-event export. *)
+
+open Expfinder_pattern
+open Expfinder_core
+open Expfinder_engine
+open Expfinder_telemetry
+module Collab = Expfinder_workload.Collab
+
+(* Every test leaves the global flag off so suites in this binary do
+   not leak telemetry state into each other. *)
+let with_telemetry on f =
+  set_enabled on;
+  Fun.protect ~finally:(fun () -> set_enabled false) f
+
+(* --- metrics ------------------------------------------------------------ *)
+
+let test_histogram_percentiles () =
+  let h = Histogram.create ~always:true "t.hist" in
+  Alcotest.(check bool) "empty percentile is nan" true (Float.is_nan (Histogram.percentile h 0.5));
+  for i = 1 to 100 do
+    Histogram.observe h (float_of_int i)
+  done;
+  Alcotest.(check int) "count" 100 (Histogram.count h);
+  Alcotest.(check (float 1e-6)) "sum" 5050.0 (Histogram.sum h);
+  Alcotest.(check (float 1e-6)) "min" 1.0 (Histogram.min_value h);
+  Alcotest.(check (float 1e-6)) "max" 100.0 (Histogram.max_value h);
+  (* Buckets are geometric with ~9% relative resolution: the reported
+     percentile is a bucket upper bound near the exact sample. *)
+  let p50 = Histogram.percentile h 0.5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "p50 = %.2f within 9%% of 50" p50)
+    true
+    (p50 >= 45.0 && p50 <= 56.0);
+  let p99 = Histogram.percentile h 0.99 in
+  Alcotest.(check bool)
+    (Printf.sprintf "p99 = %.2f within [90, 100]" p99)
+    true
+    (p99 >= 90.0 && p99 <= 100.0);
+  (* Never outside [min, max]; the top end clamps to the exact max. *)
+  let p0 = Histogram.percentile h 0.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "p0 = %.4f within a bucket of min" p0)
+    true
+    (p0 >= 1.0 && p0 <= 1.1);
+  Alcotest.(check (float 1e-6)) "p100 clamps to max" 100.0 (Histogram.percentile h 1.0);
+  Histogram.reset h;
+  Alcotest.(check int) "reset empties" 0 (Histogram.count h)
+
+let test_counter_saturation () =
+  let c = Counter.create ~always:true "t.sat" in
+  Counter.add c (max_int - 2);
+  Counter.add c 5;
+  Alcotest.(check int) "add saturates at max_int" max_int (Counter.value c);
+  Counter.incr c;
+  Alcotest.(check int) "incr stays saturated" max_int (Counter.value c);
+  Counter.reset c;
+  Alcotest.(check int) "reset" 0 (Counter.value c)
+
+let test_counter_gating () =
+  let gated = Counter.create "t.gated" in
+  let always = Counter.create ~always:true "t.always" in
+  Counter.incr gated;
+  Counter.incr always;
+  Alcotest.(check int) "gated counter is a no-op when disabled" 0 (Counter.value gated);
+  Alcotest.(check int) "always counter records when disabled" 1 (Counter.value always);
+  with_telemetry true (fun () -> Counter.incr gated);
+  Alcotest.(check int) "gated counter records when enabled" 1 (Counter.value gated)
+
+(* --- per-query profiles ------------------------------------------------- *)
+
+let test_profile_stage_tree () =
+  with_telemetry true (fun () ->
+      let engine = Engine.create (Collab.graph ()) in
+      let q = Collab.query () in
+      let experts = Engine.top_k engine q ~k:2 in
+      Alcotest.(check int) "top-2 found" 2 (List.length experts);
+      match Engine.last_profile engine with
+      | None -> Alcotest.fail "enabled telemetry must produce a profile"
+      | Some p ->
+        Alcotest.(check string) "profile query" (Pattern.fingerprint q) p.Engine.query;
+        let names = Span.preorder_names p.Engine.span in
+        List.iter
+          (fun stage ->
+            Alcotest.(check bool)
+              (Printf.sprintf "stage tree contains %S" stage)
+              true (List.mem stage names))
+          [ "topk"; "evaluate"; "plan"; "candidates"; "refine"; "rank" ];
+        (* The refinement stage is nested under the evaluation, not a
+           sibling of the root. *)
+        (match Span.find p.Engine.span "evaluate" with
+        | None -> Alcotest.fail "no evaluate span"
+        | Some ev ->
+          Alcotest.(check bool)
+            "refine nested under evaluate" true
+            (Span.find ev "refine" <> None));
+        Alcotest.(check bool)
+          "root duration is measurable" true
+          (Span.duration_ms p.Engine.span >= 0.0);
+        Alcotest.(check bool)
+          "some counter moved during the query" true
+          (List.exists (fun (_, v) -> v > 0) p.Engine.counters))
+
+let test_disabled_no_profile () =
+  let engine = Engine.create (Collab.graph ()) in
+  let answer = Engine.evaluate engine (Collab.query ()) in
+  Alcotest.(check bool) "no profile when disabled" true (answer.Engine.profile = None);
+  Alcotest.(check bool) "no last_profile when disabled" true (Engine.last_profile engine = None)
+
+let test_same_answers_when_disabled () =
+  let run () =
+    let engine = Engine.create (Collab.graph ()) in
+    let q = Collab.query () in
+    let answer = Engine.evaluate engine q in
+    let experts =
+      List.map (fun e -> (e.Engine.node, e.Engine.name, e.Engine.rank)) (Engine.top_k engine q ~k:3)
+    in
+    (List.sort compare (Match_relation.pairs answer.Engine.relation), answer.Engine.provenance, experts)
+  in
+  let off = run () in
+  let on = with_telemetry true run in
+  Alcotest.(check bool) "telemetry does not change answers" true (off = on)
+
+(* --- Chrome trace export ------------------------------------------------ *)
+
+(* A small JSON reader, enough to round-trip the exporter's output
+   (the test suite has no JSON library to lean on). *)
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json text =
+  let n = String.length text in
+  let pos = ref 0 in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some text.[!pos] else None in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      incr pos;
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> incr pos
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word value =
+    if !pos + String.length word <= n && String.sub text !pos (String.length word) = word then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else fail ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> incr pos
+      | Some '\\' ->
+        incr pos;
+        (match peek () with
+        | Some c ->
+          incr pos;
+          Buffer.add_char buf c
+        | None -> fail "bad escape");
+        loop ()
+      | Some c ->
+        incr pos;
+        Buffer.add_char buf c;
+        loop ()
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let numeric = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c when numeric c -> true | _ -> false) do
+      incr pos
+    done;
+    match float_of_string_opt (String.sub text start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some '}' then begin
+        incr pos;
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            members ((key, v) :: acc)
+          | Some '}' ->
+            incr pos;
+            Obj (List.rev ((key, v) :: acc))
+          | _ -> fail "expected , or }"
+        in
+        members []
+      end
+    | Some '[' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some ']' then begin
+        incr pos;
+        Arr []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            elements (v :: acc)
+          | Some ']' ->
+            incr pos;
+            Arr (List.rev (v :: acc))
+          | _ -> fail "expected , or ]"
+        in
+        elements []
+      end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+    | None -> fail "empty input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let test_chrome_trace_roundtrip () =
+  with_telemetry true (fun () ->
+      let (), span =
+        collect "root" ~attrs:[ ("who", "test") ] (fun () ->
+            with_span "child-a" (fun () -> annotate_int "items" 3);
+            with_span "child-b" (fun () ->
+                with_span "grandchild" (fun () -> ())))
+      in
+      let span = match span with Some s -> s | None -> Alcotest.fail "no root span" in
+      let text = Span.to_chrome_json span in
+      let events =
+        match parse_json text with
+        | Arr events -> events
+        | _ -> Alcotest.fail "trace is not a JSON array"
+        | exception Bad_json msg -> Alcotest.fail ("trace is not valid JSON: " ^ msg)
+      in
+      Alcotest.(check int) "one event per span" 4 (List.length events);
+      let field name = function
+        | Obj fields -> List.assoc_opt name fields
+        | _ -> Alcotest.fail "event is not an object"
+      in
+      let names =
+        List.map
+          (fun e ->
+            (match field "ph" e with
+            | Some (Str "X") -> ()
+            | _ -> Alcotest.fail "event is not a complete event");
+            (match (field "ts" e, field "dur" e) with
+            | Some (Num ts), Some (Num dur) ->
+              Alcotest.(check bool) "timestamps are sane" true (ts >= 0.0 && dur >= 0.0)
+            | _ -> Alcotest.fail "event lacks ts/dur");
+            match field "name" e with
+            | Some (Str name) -> name
+            | _ -> Alcotest.fail "event lacks a name")
+          events
+      in
+      Alcotest.(check (list string))
+        "event names preserve the tree order"
+        [ "root"; "child-a"; "child-b"; "grandchild" ]
+        names;
+      (* The root's annotations survive the export. *)
+      match List.hd events with
+      | Obj _ as root -> (
+        match field "args" root with
+        | Some (Obj args) ->
+          Alcotest.(check bool) "root args kept" true (List.assoc_opt "who" args = Some (Str "test"))
+        | _ -> Alcotest.fail "root lacks args")
+      | _ -> ())
+
+(* --- registry ----------------------------------------------------------- *)
+
+let test_registry_snapshot_delta () =
+  let c = Metrics.counter ~always:true "t.reg.counter" in
+  Counter.reset c;
+  let before = Metrics.counters_snapshot () in
+  Counter.add c 7;
+  let after = Metrics.counters_snapshot () in
+  let delta = Metrics.delta ~before ~after in
+  Alcotest.(check bool)
+    "delta isolates the moved counter" true
+    (List.assoc_opt "t.reg.counter" delta = Some 7);
+  Alcotest.(check bool)
+    "unmoved counters are dropped from the delta" true
+    (List.for_all (fun (_, v) -> v <> 0) delta)
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+          Alcotest.test_case "counter saturation" `Quick test_counter_saturation;
+          Alcotest.test_case "counter gating" `Quick test_counter_gating;
+          Alcotest.test_case "registry snapshot delta" `Quick test_registry_snapshot_delta;
+        ] );
+      ( "profiles",
+        [
+          Alcotest.test_case "stage tree on Fig. 1" `Quick test_profile_stage_tree;
+          Alcotest.test_case "disabled produces no profile" `Quick test_disabled_no_profile;
+          Alcotest.test_case "answers invariant under the flag" `Quick
+            test_same_answers_when_disabled;
+        ] );
+      ( "tracing",
+        [ Alcotest.test_case "chrome trace roundtrip" `Quick test_chrome_trace_roundtrip ] );
+    ]
