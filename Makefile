@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-full examples demo clean
+.PHONY: all build test lint check bench bench-full examples demo clean
 
 all: build
 
@@ -8,15 +8,22 @@ build:
 test:
 	dune runtest
 
-# Pre-merge gate: full build + tests, and refuse staged build artifacts
-# (they are gitignored, but a forced add would still slip through).
-check:
+# Lint gate: refuse staged build artifacts (they are gitignored, but a
+# forced add would still slip through), then build everything under the
+# dev profile, whose env stanza promotes all warnings to errors.
+lint:
 	@staged=$$(git diff --cached --name-only --diff-filter=d | grep -E '^(_build/|bench_output_full\.txt$$)' || true); \
 	if [ -n "$$staged" ]; then \
 	  echo "error: build artifacts staged for commit:"; echo "$$staged"; exit 1; \
 	fi
-	dune build @all
+	dune build @all --profile dev
+
+# Pre-merge gate: lint + tests, then the whole suite again with the
+# differential self-checker on (every cached/compressed/indexed answer
+# re-verified against direct evaluation; <1s overhead).
+check: lint
 	dune runtest
+	EXPFINDER_CHECK=1 dune runtest --force
 
 bench:
 	dune exec bench/main.exe

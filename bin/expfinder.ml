@@ -154,6 +154,30 @@ let stats verbose graph_file query_file =
        Option.iter (Format.printf "%a" Engine.pp_profile) answer.Engine.profile;
        Ok ())
 
+(* --- analyze ------------------------------------------------------------------ *)
+
+let analyze verbose pattern_file explain_containment =
+  setup_logs verbose;
+  or_die
+    (let* q = load_pattern pattern_file in
+     let diags = Pattern_analysis.analyze q in
+     if diags = [] then
+       Printf.printf "no diagnostics: %d nodes, %d edges, all satisfiable and connected\n"
+         (Pattern.size q) (Pattern.edge_count q)
+     else
+       List.iter (fun d -> Format.printf "%a@." (Pattern_analysis.pp_diagnostic q) d) diags;
+     if Pattern_analysis.statically_empty q then
+       print_endline
+         "M(Q,G) is empty on every data graph; the planner answers this query without \
+          evaluation";
+     (match explain_containment with
+     | None -> Ok ()
+     | Some other_file ->
+       let* q2 = load_pattern other_file in
+       Printf.printf "contains(this, other): %b\ncontains(other, this): %b\n"
+         (Pattern_analysis.contains q q2) (Pattern_analysis.contains q2 q);
+       Ok ()))
+
 (* --- query ------------------------------------------------------------------ *)
 
 let print_matches q m =
@@ -164,9 +188,10 @@ let print_matches q m =
         (String.concat "; " (List.map string_of_int (Match_relation.matches m u)))
     done
 
-let query verbose graph_file pattern_file dot_output summary drill explain profile trace =
+let query verbose graph_file pattern_file dot_output summary drill explain profile trace check =
   setup_logs verbose;
   setup_telemetry ~profile ~trace;
+  if check then Verify.set_differential true;
   or_die
     (let* g = load_graph graph_file in
      let* q = load_pattern pattern_file in
@@ -205,9 +230,10 @@ let query verbose graph_file pattern_file dot_output summary drill explain profi
 
 (* --- topk ------------------------------------------------------------------ *)
 
-let topk verbose graph_file pattern_file k dot_output profile trace =
+let topk verbose graph_file pattern_file k dot_output profile trace check =
   setup_logs verbose;
   setup_telemetry ~profile ~trace;
+  if check then Verify.set_differential true;
   or_die
     (let* g = load_graph graph_file in
      let* q = load_pattern pattern_file in
@@ -381,6 +407,14 @@ let trace_arg =
     & info [ "trace" ] ~docv:"FILE"
         ~doc:"Enable telemetry and write the query's span tree as Chrome trace-event JSON.")
 
+let check_arg =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:
+          "Differential self-check: re-evaluate cached/compressed/indexed answers via the \
+           direct path and verify the served relation (same as EXPFINDER_CHECK=1).")
+
 let gen_cmd =
   let kind = Arg.(value & opt string "flat" & info [ "kind" ] ~docv:"KIND" ~doc:"flat|org|twitter|collab") in
   let n = Arg.(value & opt int 1000 & info [ "n" ] ~doc:"Node count (flat/twitter).") in
@@ -422,12 +456,27 @@ let query_cmd =
   Cmd.v (Cmd.info "query" ~doc:"Evaluate a pattern query (bounded simulation)")
     Term.(
       const query $ verbose_arg $ graph_arg $ pattern_arg $ dot_arg $ summary $ drill $ explain
-      $ profile_arg $ trace_arg)
+      $ profile_arg $ trace_arg $ check_arg)
+
+let analyze_cmd =
+  let contains =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "contains" ] ~docv:"FILE"
+          ~doc:"Also decide containment between this query and the pattern in $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Statically analyze a pattern query (Qlint): satisfiability, lints, containment")
+    Term.(const analyze $ verbose_arg $ pattern_arg $ contains)
 
 let topk_cmd =
   let k = Arg.(value & opt int 3 & info [ "k" ] ~doc:"Number of experts.") in
   Cmd.v (Cmd.info "topk" ~doc:"Rank matches of the output node and select top-K experts")
-    Term.(const topk $ verbose_arg $ graph_arg $ pattern_arg $ k $ dot_arg $ profile_arg $ trace_arg)
+    Term.(
+      const topk $ verbose_arg $ graph_arg $ pattern_arg $ k $ dot_arg $ profile_arg $ trace_arg
+      $ check_arg)
 
 let compress_cmd_t =
   let atoms =
@@ -451,6 +500,16 @@ let demo_cmd = Cmd.v (Cmd.info "demo" ~doc:"Walk through the paper's Fig. 1 exam
 let main_cmd =
   let doc = "finding experts in social networks by graph pattern matching" in
   Cmd.group (Cmd.info "expfinder" ~version:"1.0.0" ~doc)
-    [ gen_cmd; import_cmd; stats_cmd; query_cmd; topk_cmd; compress_cmd_t; update_cmd; demo_cmd ]
+    [
+      gen_cmd;
+      import_cmd;
+      stats_cmd;
+      analyze_cmd;
+      query_cmd;
+      topk_cmd;
+      compress_cmd_t;
+      update_cmd;
+      demo_cmd;
+    ]
 
 let () = exit (Cmd.eval' main_cmd)

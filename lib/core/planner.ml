@@ -8,6 +8,8 @@ let m_early_exits = Metrics.counter "planner.early_exits"
 
 let m_pruned_sinks = Metrics.counter "planner.pruned_sinks"
 
+let m_static_empty = Metrics.counter "planner.static_empty"
+
 type strategy_choice = Use_simulation | Use_bounded of Bounded_sim.strategy
 
 let strategy_choice_name = function
@@ -19,13 +21,17 @@ type t = {
   estimates : float array;
   strategy : strategy_choice;
   prunable : bool array;
+  static_empty : bool;
+  preds : Predicate.t array;
 }
 
 (* Estimated candidate count of a pattern node: population under its
    label requirement, scaled by the predicate selectivity measured on a
-   bounded, evenly spread sample of that population. *)
-let estimate_candidates ~sample pattern g u =
+   bounded, evenly spread sample of that population.  [pred] is the
+   implication-tightened predicate from the static analysis. *)
+let estimate_candidates ~sample ~preds pattern g u =
   let spec = Pattern.node_spec pattern u in
+  let pred = preds.(u) in
   let population =
     match spec.Pattern.label with
     | Some l -> Csr.nodes_with_label g l
@@ -33,7 +39,7 @@ let estimate_candidates ~sample pattern g u =
   in
   let size = List.length population in
   if size = 0 then 0.0
-  else if Predicate.is_always spec.Pattern.pred then float_of_int size
+  else if Predicate.is_always pred then float_of_int size
   else begin
     let stride = max 1 (size / sample) in
     let probed = ref 0 and satisfied = ref 0 in
@@ -41,7 +47,7 @@ let estimate_candidates ~sample pattern g u =
       (fun i v ->
         if i mod stride = 0 && !probed < sample then begin
           incr probed;
-          if Predicate.eval spec.Pattern.pred (Csr.attrs g v) then incr satisfied
+          if Predicate.eval pred (Csr.attrs g v) then incr satisfied
         end)
       population;
     if !probed = 0 then float_of_int size
@@ -50,7 +56,18 @@ let estimate_candidates ~sample pattern g u =
 
 let plan ?(sample = 64) pattern g =
   let psize = Pattern.size pattern in
-  let estimates = Array.init psize (estimate_candidates ~sample pattern g) in
+  (* Qlint first: an unsatisfiable node empties the answer on every
+     graph, and implication-tightened predicates are cheaper to sample
+     and to materialise against. *)
+  let static_empty = Pattern_analysis.statically_empty pattern in
+  let preds =
+    Array.init psize (fun u ->
+        Pattern_analysis.simplify (Pattern.node_spec pattern u).Pattern.pred)
+  in
+  let estimates =
+    if static_empty then Array.make psize 0.0
+    else Array.init psize (estimate_candidates ~sample ~preds pattern g)
+  in
   let candidate_order = Array.init psize Fun.id in
   Array.sort (fun a b -> compare estimates.(a) estimates.(b)) candidate_order;
   (* A candidate with no outgoing data edge cannot satisfy any outgoing
@@ -67,7 +84,7 @@ let plan ?(sample = 64) pattern g =
       else Use_bounded Bounded_sim.Counters
     end
   in
-  { candidate_order; estimates; strategy; prunable }
+  { candidate_order; estimates; strategy; prunable; static_empty; preds }
 
 let materialise_candidates plan pattern g =
   let m =
@@ -80,9 +97,10 @@ let materialise_candidates plan pattern g =
     (fun u ->
       if !ok then begin
         let spec = Pattern.node_spec pattern u in
+        let pred = plan.preds.(u) in
         let keep = ref false in
         let consider v =
-          if Predicate.eval spec.Pattern.pred (Csr.attrs g v) then
+          if Predicate.eval pred (Csr.attrs g v) then
             if (not plan.prunable.(u)) || Csr.out_degree g v > 0 then begin
               Match_relation.add m u v;
               incr kept;
@@ -105,15 +123,25 @@ let materialise_candidates plan pattern g =
   annotate_int "pruned_sinks" !pruned;
   if !ok then Some m else None
 
+let empty_relation pattern g =
+  Match_relation.create ~pattern_size:(Pattern.size pattern)
+    ~graph_size:(Csr.node_count g)
+
 let execute plan pattern g =
+  if plan.static_empty then begin
+    (* Qlint fast path: some node's conditions are contradictory, so the
+       kernel is empty without touching the data graph. *)
+    Counter.incr m_static_empty;
+    empty_relation pattern g
+  end
+  else
   let initial =
     with_span "candidates" (fun () -> materialise_candidates plan pattern g)
   in
   match initial with
   | None ->
     Counter.incr m_early_exits;
-    Match_relation.create ~pattern_size:(Pattern.size pattern)
-      ~graph_size:(Csr.node_count g)
+    empty_relation pattern g
   | Some initial ->
     with_span
       ~attrs:[ ("strategy", strategy_choice_name plan.strategy) ]
@@ -130,6 +158,7 @@ let run ?sample pattern g =
     with_span "plan" (fun () ->
         let p = plan ?sample pattern g in
         Counter.incr m_plans;
+        if p.static_empty then annotate "static_empty" "true";
         annotate "strategy" (strategy_choice_name p.strategy);
         annotate "order"
           (String.concat ">"
@@ -141,6 +170,10 @@ let run ?sample pattern g =
 let explain pattern plan =
   let buf = Buffer.create 256 in
   Buffer.add_string buf "plan:\n";
+  if plan.static_empty then
+    Buffer.add_string buf
+      "  statically empty: a node's conditions are unsatisfiable (see `expfinder analyze`);\n\
+      \  the answer is empty without evaluation\n";
   Buffer.add_string buf
     (Printf.sprintf "  strategy: %s\n"
        (match plan.strategy with

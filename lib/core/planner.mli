@@ -17,7 +17,13 @@ open Expfinder_pattern
     - the {e refinement strategy}: plain simulation for bound-1 patterns;
       for bounded patterns, the naive engine when the candidate sets are
       tiny (few balls beat a global counter initialisation) and the
-      counter engine otherwise.
+      counter engine otherwise;
+    - the {e static fast path}: Qlint ({!Pattern_analysis}) runs over
+      the pattern first.  A node with contradictory conditions makes
+      the kernel empty on every graph, so execution returns immediately
+      (counted by [planner.static_empty], no [candidates]/[refine]
+      spans); satisfiable predicates are implication-tightened before
+      selectivity sampling and candidate materialisation.
 
     Executing a plan returns exactly the kernel the unplanned engines
     produce; planning only changes the work spent getting there. *)
@@ -29,6 +35,8 @@ type t = {
   estimates : float array;  (** estimated candidate count per pattern node *)
   strategy : strategy_choice;
   prunable : bool array;  (** pattern nodes whose sink candidates are pruned *)
+  static_empty : bool;  (** Qlint proved the kernel empty on every graph *)
+  preds : Predicate.t array;  (** implication-tightened per-node predicates *)
 }
 
 val plan : ?sample:int -> Pattern.t -> Csr.t -> t

@@ -30,6 +30,10 @@ let m_direct = Metrics.counter "engine.answers.direct"
 
 let m_topk = Metrics.counter "engine.topk_queries"
 
+let m_containment = Metrics.counter "engine.containment_hits"
+
+let m_differential = Metrics.counter "engine.differential_checks"
+
 let m_update_batches = Metrics.counter "engine.update_batches"
 
 let m_updates_effective = Metrics.counter "engine.updates_effective"
@@ -92,15 +96,58 @@ let snapshot t =
    query plans"). *)
 let run_direct pattern csr = Planner.run pattern csr
 
+(* Containment reuse: when the exact fingerprint misses but the cache
+   holds the *total* kernel of a superset query Q' (every node of the
+   incoming pattern related to a Q'-node by the containment simulation,
+   see {!Pattern_analysis.superset_map}), that kernel bounds every
+   candidate set of the incoming query from above.  Filter it by the
+   pattern's own label/predicate specs and refine below it — the exact
+   kernel, without scanning the data graph for candidates. *)
+let from_containment t pattern ~version =
+  Cache.fold t.cache ~graph_version:version ~init:None ~f:(fun acc sup relation ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+        if
+          Match_relation.is_total relation
+          && not (Pattern.equal sup pattern)
+        then
+          Pattern_analysis.superset_map ~sub:pattern ~sup
+          |> Option.map (fun map -> (map, relation))
+        else None)
+  |> Option.map (fun (map, sup_relation) ->
+         let csr = snapshot t in
+         let initial =
+           Match_relation.create ~pattern_size:(Pattern.size pattern)
+             ~graph_size:(Csr.node_count csr)
+         in
+         for u = 0 to Pattern.size pattern - 1 do
+           List.iter
+             (fun v ->
+               if Pattern.matches_node pattern u (Csr.label csr v) (Csr.attrs csr v)
+               then Match_relation.add initial u v)
+             (Match_relation.matches sup_relation map.(u))
+         done;
+         with_span "containment_refine"
+           ~attrs:[ ("seed_pairs", string_of_int (Match_relation.total initial)) ]
+           (fun () ->
+             if Pattern.is_simulation_pattern pattern then
+               Simulation.run_constrained pattern csr ~initial ~mutable_set:None
+             else
+               Bounded_sim.run_constrained ~strategy:Bounded_sim.Naive pattern csr
+                 ~initial ~mutable_set:None))
+
 (* The untraced core of [evaluate]: cache -> registered kernel ->
-   compressed -> ball index -> planner, returning the relation and where
-   it came from. *)
+   compressed -> cached superset (containment) -> ball index -> planner,
+   returning the relation, where it came from, and whether this call
+   just computed it via the direct path (the differential checker
+   re-verifies everything else). *)
 let evaluate_inner t pattern =
   let version = Digraph.version t.g in
   match
     with_span "cache.lookup" (fun () -> Cache.find t.cache pattern ~graph_version:version)
   with
-  | Some relation -> (relation, From_cache)
+  | Some relation -> (relation, From_cache, false)
   | None ->
     let registered_kernel =
       match List.assoc_opt (Pattern.fingerprint pattern) t.registered with
@@ -108,9 +155,9 @@ let evaluate_inner t pattern =
         Some (Match_relation.copy (Incremental.kernel inc))
       | _ -> None
     in
-    let relation, provenance =
+    let relation, provenance, via_direct =
       match registered_kernel with
-      | Some relation -> (relation, Direct)
+      | Some relation -> (relation, Direct, false)
       | None -> (
         let compressed_answer =
           match t.compressed with
@@ -121,25 +168,53 @@ let evaluate_inner t pattern =
           | _ -> None
         in
         match compressed_answer with
-        | Some relation -> (relation, From_compressed)
+        | Some relation -> (relation, From_compressed, false)
         | None -> (
-          let csr = snapshot t in
-          (* Rebuild the opt-in ball index lazily after updates. *)
-          (match t.ball_index with
-          | Some idx
-            when Ball_index.source_version idx <> Csr.source_version csr ->
-            t.ball_index <-
-              Some
-                (with_span "ball_index.rebuild" (fun () ->
-                     Ball_index.build csr ~radius:t.ball_radius))
-          | _ -> ());
-          match t.ball_index with
-          | Some idx when Ball_index.supports idx pattern ->
-            (Ball_index.evaluate idx pattern csr, From_index)
-          | _ -> (run_direct pattern csr, Direct)))
+          match from_containment t pattern ~version with
+          | Some relation ->
+            Counter.incr m_containment;
+            (relation, From_cache, false)
+          | None -> (
+            let csr = snapshot t in
+            (* Rebuild the opt-in ball index lazily after updates. *)
+            (match t.ball_index with
+            | Some idx
+              when Ball_index.source_version idx <> Csr.source_version csr ->
+              t.ball_index <-
+                Some
+                  (with_span "ball_index.rebuild" (fun () ->
+                       Ball_index.build csr ~radius:t.ball_radius))
+            | _ -> ());
+            match t.ball_index with
+            | Some idx when Ball_index.supports idx pattern ->
+              (Ball_index.evaluate idx pattern csr, From_index, false)
+            | _ -> (run_direct pattern csr, Direct, true))))
     in
     Cache.store t.cache pattern ~graph_version:version relation;
-    (relation, provenance)
+    (relation, provenance, via_direct)
+
+(* EXPFINDER_CHECK=1 sanitizer: any answer that did not just come out of
+   the direct path is re-evaluated directly and compared (as a query
+   answer: non-total kernels all denote the empty M(Q,G)), and the
+   served relation is run through the {!Verify} pair-validity and
+   maximality spot checks.  Raises on divergence — the point is to fail
+   tests and benches loudly. *)
+let differential_check t pattern relation provenance ~via_direct =
+  if Verify.differential () then begin
+    Counter.incr m_differential;
+    let csr = snapshot t in
+    if not via_direct then begin
+      let direct = with_span "verify.differential" (fun () -> run_direct pattern csr) in
+      if not (Verify.semantically_equal relation direct) then
+        failwith
+          (Printf.sprintf
+             "EXPFINDER_CHECK: %s answer for query %s diverges from direct evaluation \
+              (%d vs %d pairs)"
+             (provenance_name provenance) (Pattern.fingerprint pattern)
+             (Match_relation.total relation) (Match_relation.total direct))
+    end;
+    Verify.check_exn pattern csr relation
+  end
 
 (* Profile plumbing shared by [evaluate] and [top_k]: snapshot the
    counter registry, run the traced body, and turn the root span (when
@@ -164,11 +239,12 @@ let evaluate t pattern =
   let fp = Pattern.fingerprint pattern in
   let (relation, provenance), profile =
     profiled t ~root:"evaluate" ~attrs:[ ("query", fp) ] ~query:fp (fun () ->
-        let ((relation, provenance) as r) = evaluate_inner t pattern in
+        let relation, provenance, via_direct = evaluate_inner t pattern in
+        differential_check t pattern relation provenance ~via_direct;
         Counter.incr (provenance_counter provenance);
         annotate "provenance" (provenance_name provenance);
         annotate_int "pairs" (Match_relation.total relation);
-        (r, provenance))
+        ((relation, provenance), provenance))
   in
   Log.debug (fun m ->
       m "evaluate %s: %d pairs via %s" fp (Match_relation.total relation)

@@ -12,6 +12,11 @@ open Expfinder_telemetry
     + on a query, return the cached M(Q,G) when fresh;
     + otherwise evaluate on the maintained compressed graph when one is
       enabled and supports the query (expanding the result);
+    + otherwise, when the cache holds the total kernel of a {e superset}
+      query ({!Expfinder_pattern.Pattern_analysis.contains}), filter it
+      by the incoming pattern's specs and refine below it instead of
+      scanning the graph (containment reuse, counted by
+      [engine.containment_hits], reported as {!From_cache});
     + otherwise evaluate directly (simulation engine for bound-1
       patterns, bounded simulation otherwise);
     + rank the output node's matches and select top-K experts;
@@ -19,7 +24,13 @@ open Expfinder_telemetry
       and the compressed graph is maintained alongside.
 
     All updates must flow through {!apply_updates} so that the cache,
-    the compressed graph and the registered queries stay consistent. *)
+    the compressed graph and the registered queries stay consistent.
+
+    With [EXPFINDER_CHECK=1] in the environment (or
+    {!Expfinder_core.Verify.set_differential}), every answer that did
+    not come straight from the direct path is re-evaluated directly and
+    compared, and all served relations are run through the
+    {!Expfinder_core.Verify} checker; a divergence raises [Failure]. *)
 
 type t
 
@@ -63,7 +74,8 @@ val graph : t -> Digraph.t
 val snapshot : t -> Csr.t
 
 val evaluate : t -> Pattern.t -> answer
-(** Cache → compressed → direct, caching the result. *)
+(** Cache → compressed → cached superset (containment) → ball index →
+    direct, caching the result. *)
 
 val top_k : t -> Pattern.t -> k:int -> expert list
 (** Evaluate, build the result graph and rank the output node's matches

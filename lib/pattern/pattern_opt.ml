@@ -129,6 +129,19 @@ let project_to_output pattern =
     (projected, renaming)
   end
 
+let merges pattern =
+  let _, renaming = minimise pattern in
+  let n = Array.length renaming in
+  let groups = Hashtbl.create 8 in
+  for u = n - 1 downto 0 do
+    let members = Option.value ~default:[] (Hashtbl.find_opt groups renaming.(u)) in
+    Hashtbl.replace groups renaming.(u) (u :: members)
+  done;
+  Hashtbl.fold
+    (fun _ members acc ->
+      match members with leader :: (_ :: _ as rest) -> (leader, rest) :: acc | _ -> acc)
+    groups []
+  |> List.sort compare
+
 let node_count_saved pattern =
-  let minimised, _ = minimise pattern in
-  Pattern.size pattern - Pattern.size minimised
+  List.fold_left (fun acc (_, merged) -> acc + List.length merged) 0 (merges pattern)

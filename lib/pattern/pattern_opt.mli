@@ -25,5 +25,13 @@ val project_to_output : Pattern.t -> Pattern.t * int array
 (** [(q', renaming)] where [q'] is induced by the output node's
     descendants; [renaming.(u)] is [-1] for dropped nodes. *)
 
+val merges : Pattern.t -> (Pattern.pnode * Pattern.pnode list) list
+(** The merge decisions {!minimise} makes, as [(leader, merged)] groups
+    over the {e original} node ids: every node of [merged] is folded
+    into [leader] (the group's lowest id).  Empty when nothing merges.
+    Qlint ({!Pattern_analysis.analyze}) renders these as named
+    [duplicate-node] diagnostics. *)
+
 val node_count_saved : Pattern.t -> int
-(** Nodes removed by [minimise] (diagnostic). *)
+(** Nodes removed by [minimise] (diagnostic); the total size of the
+    merged sides of {!merges}. *)

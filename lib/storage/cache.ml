@@ -16,6 +16,7 @@ let m_stores = Metrics.counter "cache.stores"
 
 type entry = {
   key : string * int;
+  pattern : Pattern.t;
   relation : Match_relation.t;
   mutable stamp : int;
 }
@@ -84,7 +85,13 @@ let store t pattern ~graph_version relation =
     evict_lru t;
   Counter.incr m_stores;
   Hashtbl.replace t.table key
-    { key; relation = Match_relation.copy relation; stamp = tick t }
+    { key; pattern; relation = Match_relation.copy relation; stamp = tick t }
+
+let fold t ~graph_version ~init ~f =
+  Hashtbl.fold
+    (fun (_, version) entry acc ->
+      if version = graph_version then f acc entry.pattern entry.relation else acc)
+    t.table init
 
 let invalidate_version t version =
   let victims =

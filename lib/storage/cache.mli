@@ -32,6 +32,18 @@ val store : t -> Pattern.t -> graph_version:int -> Match_relation.t -> unit
 (** Insert (copying the relation), evicting the least recently used
     entry when full. *)
 
+val fold :
+  t ->
+  graph_version:int ->
+  init:'a ->
+  f:('a -> Pattern.t -> Match_relation.t -> 'a) ->
+  'a
+(** Fold over the live entries of one graph version (iteration order
+    unspecified, recency untouched).  The engine scans these for a
+    cached {e superset} query when the exact fingerprint misses
+    (containment reuse).  The relation is the stored one — do not
+    mutate it. *)
+
 val invalidate_version : t -> int -> unit
 (** Drop every entry recorded under the given graph version. *)
 

@@ -210,6 +210,66 @@ let test_cache_stats () =
   let hits, misses = Engine.cache_stats engine in
   Alcotest.(check bool) "one hit, one miss" true (hits >= 1 && misses >= 1)
 
+(* Containment reuse: a cached superset query answers a contained query
+   without touching the whole graph. *)
+let loose_query () =
+  let q = Collab.query () in
+  let nodes =
+    Array.init (Pattern.size q) (fun u ->
+        let s = Pattern.node_spec q u in
+        { s with Pattern.pred = Predicate.always })
+  in
+  let edges =
+    List.map
+      (fun (u, v, b) ->
+        (u, v, match b with Pattern.Bounded k -> Pattern.Bounded (k + 1) | b -> b))
+      (Pattern.edges q)
+  in
+  Pattern.make_exn ~nodes ~edges ~output:(Pattern.output q)
+
+let test_containment_reuse () =
+  let open Expfinder_telemetry in
+  set_enabled true;
+  Fun.protect ~finally:(fun () -> set_enabled false) @@ fun () ->
+  let engine = Engine.create (Collab.graph ()) in
+  let tight = Collab.query () and loose = loose_query () in
+  Alcotest.(check bool) "precondition: tight ⊑ loose" true
+    (Pattern_analysis.contains tight loose);
+  let hits = Metrics.counter "engine.containment_hits" in
+  let before = Counter.value hits in
+  let first = Engine.evaluate engine loose in
+  Alcotest.(check bool) "superset evaluated directly" true
+    (first.Engine.provenance = Engine.Direct);
+  let second = Engine.evaluate engine tight in
+  Alcotest.(check bool) "contained query served from the cached superset" true
+    (second.Engine.provenance = Engine.From_cache);
+  Alcotest.(check int) "containment hit counted" (before + 1) (Counter.value hits);
+  let direct = Bounded_sim.run tight (Engine.snapshot engine) in
+  Alcotest.(check bool) "answer equals direct evaluation" true
+    (Match_relation.equal second.Engine.relation direct);
+  (* The reused answer is cached under the tight fingerprint: a third
+     evaluation is an exact cache hit, no containment scan. *)
+  let third = Engine.evaluate engine tight in
+  Alcotest.(check bool) "then an exact hit" true (third.Engine.provenance = Engine.From_cache);
+  Alcotest.(check int) "no second containment hit" (before + 1) (Counter.value hits)
+
+let test_differential_mode_passes () =
+  Verify.set_differential true;
+  Fun.protect ~finally:(fun () -> Verify.set_differential false) @@ fun () ->
+  let engine = Engine.create (Collab.graph ()) in
+  let q = Collab.query () in
+  let first = Engine.evaluate engine q in
+  let second = Engine.evaluate engine q in
+  Alcotest.(check bool) "cached answer survives the differential check" true
+    (second.Engine.provenance = Engine.From_cache);
+  Alcotest.(check bool) "answers agree" true
+    (Match_relation.equal first.Engine.relation second.Engine.relation);
+  let contained = Engine.evaluate engine (loose_query ()) in
+  Alcotest.(check bool) "direct answer passes the sanitizer" true contained.Engine.total;
+  Engine.enable_ball_index engine;
+  let indexed = Engine.evaluate engine q in
+  Alcotest.(check bool) "indexed answer passes too" true indexed.Engine.total
+
 let () =
   Alcotest.run "engine"
     [
@@ -220,6 +280,8 @@ let () =
           Alcotest.test_case "unsupported falls back" `Quick test_unsupported_pattern_falls_back;
           Alcotest.test_case "ball index" `Quick test_ball_index_provenance;
           Alcotest.test_case "cache stats" `Quick test_cache_stats;
+          Alcotest.test_case "containment reuse" `Quick test_containment_reuse;
+          Alcotest.test_case "differential mode" `Quick test_differential_mode_passes;
         ] );
       ( "topk",
         [

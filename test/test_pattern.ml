@@ -33,6 +33,31 @@ let test_predicate_ops_roundtrip () =
     [ Predicate.Eq; Ne; Lt; Le; Gt; Ge ];
   Alcotest.(check bool) "unknown op" true (Predicate.op_of_string "~=" = None)
 
+let test_predicate_edge_cases () =
+  let check name pred expected = Alcotest.(check bool) name expected (Predicate.eval pred attrs) in
+  (* A comparison over a missing attribute never holds — not even Ne,
+     which still requires a comparable stored value. *)
+  check "ne on missing attr" (Predicate.atom "age" Predicate.Ne (Attr.Int 3)) false;
+  check "ne on mistyped attr" (Predicate.atom "exp" Predicate.Ne (Attr.String "DBA")) false;
+  check "lt on missing attr" (Predicate.lt_int "age" 100) false;
+  (* Int and Float never compare, in either direction. *)
+  check "int attr vs float atom" (Predicate.atom "exp" Predicate.Eq (Attr.Float 5.0)) false;
+  check "float attr vs int atom" (Predicate.atom "score" Predicate.Gt (Attr.Int 1)) false;
+  (* Contradictory conjunctions evaluate to false, matching what Qlint
+     proves statically. *)
+  let contradictions =
+    [
+      Predicate.conj (Predicate.ge_int "exp" 5) (Predicate.lt_int "exp" 3);
+      Predicate.conj (Predicate.eq_str "role" "DBA") (Predicate.eq_str "role" "SA");
+      Predicate.conj (Predicate.eq_int "exp" 5) (Predicate.atom "exp" Predicate.Ne (Attr.Int 5));
+    ]
+  in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "contradiction never matches" false (Predicate.eval p attrs);
+      Alcotest.(check bool) "and Qlint flags it" true (Pattern_analysis.pred_unsat p <> None))
+    contradictions
+
 (* --- Pattern validation ------------------------------------------------- *)
 
 let sa = Label.of_string "SA"
@@ -176,6 +201,37 @@ let prop_io_roundtrip seed =
   | Ok p' -> Pattern.equal p p'
   | Error _ -> false
 
+(* Qlint-flagged patterns must serialize like any other: inject a
+   contradictory conjunction (and extra Ne/Lt/Eq atoms, covering every
+   operator's syntax) into a generated pattern and round-trip it. *)
+let prop_io_roundtrip_flagged seed =
+  let rng = Prng.create seed in
+  let labels = Array.map Label.of_string [| "A"; "B"; "C" |] in
+  let config =
+    { Pattern_gen.default with nodes = 1 + Prng.int rng 4; extra_edges = Prng.int rng 3 }
+  in
+  let p = Pattern_gen.generate rng config ~labels in
+  let victim = Prng.int rng (Pattern.size p) in
+  let contradiction =
+    match Prng.int rng 3 with
+    | 0 -> Predicate.conj (Predicate.ge_int "exp" 5) (Predicate.lt_int "exp" 3)
+    | 1 -> Predicate.conj (Predicate.eq_str "specialty" "DBA") (Predicate.eq_str "specialty" "SA")
+    | _ ->
+      Predicate.conj (Predicate.eq_int "exp" 4) (Predicate.atom "exp" Predicate.Ne (Attr.Int 4))
+  in
+  let nodes =
+    Array.init (Pattern.size p) (fun u ->
+        let s = Pattern.node_spec p u in
+        if u = victim then { s with Pattern.pred = Predicate.conj s.Pattern.pred contradiction }
+        else s)
+  in
+  let flagged = Pattern.make_exn ~nodes ~edges:(Pattern.edges p) ~output:(Pattern.output p) in
+  Pattern_analysis.statically_empty flagged
+  &&
+  match Pattern_io.of_string (Pattern_io.to_string flagged) with
+  | Error _ -> false
+  | Ok p' -> Pattern.equal flagged p' && Pattern_analysis.statically_empty p'
+
 let test_dot () =
   let dot = Pattern_io.to_dot (Expfinder_workload.Collab.query ()) in
   Alcotest.(check bool) "nonempty" true (String.length dot > 40)
@@ -211,6 +267,8 @@ let qcheck_cases =
   [
     QCheck.Test.make ~count:100 ~name:"pattern io roundtrip" QCheck.small_int (fun s ->
         prop_io_roundtrip (s + 1));
+    QCheck.Test.make ~count:100 ~name:"flagged pattern io roundtrip" QCheck.small_int (fun s ->
+        prop_io_roundtrip_flagged (s + 1));
     QCheck.Test.make ~count:100 ~name:"generated patterns connected" QCheck.small_int
       (fun s -> prop_generated_patterns_valid (s + 1));
     QCheck.Test.make ~count:50 ~name:"simulation config forces bound 1" QCheck.small_int
@@ -224,6 +282,7 @@ let () =
         [
           Alcotest.test_case "eval" `Quick test_predicate_eval;
           Alcotest.test_case "ops roundtrip" `Quick test_predicate_ops_roundtrip;
+          Alcotest.test_case "edge cases" `Quick test_predicate_edge_cases;
         ] );
       ( "pattern",
         [
