@@ -1,4 +1,4 @@
-.PHONY: all build test lint check bench bench-full examples demo clean
+.PHONY: all build test lint check bench bench-full bench-json bench-gate examples demo clean
 
 all: build
 
@@ -20,16 +20,34 @@ lint:
 
 # Pre-merge gate: lint + tests, then the whole suite again with the
 # differential self-checker on (every cached/compressed/indexed answer
-# re-verified against direct evaluation; <1s overhead).
+# re-verified against direct evaluation; <1s overhead), then a soft
+# perf-regression check against the committed baseline (warn-only here:
+# quick-mode medians are too noisy to block a merge on; run bench-gate
+# directly for a hard verdict).
 check: lint
 	dune runtest
 	EXPFINDER_CHECK=1 dune runtest --force
+	-@if [ -f BENCH_baseline.json ]; then $(MAKE) --no-print-directory bench-gate; fi
 
 bench:
 	dune exec bench/main.exe
 
 bench-full:
 	dune exec bench/main.exe -- --full --bechamel
+
+# Machine-readable quick-mode report (schema consumed by bench-diff).
+bench-json:
+	dune exec bench/main.exe -- --json BENCH_quick.json
+
+# Regression gate: re-run the quick benchmarks and diff against the
+# committed baseline. Non-zero exit iff some experiment's median
+# regressed beyond the noise rule (see `expfinder bench-diff --help`).
+# The gate uses a +100% threshold (vs the manual default of +50%):
+# quick-mode runs on a shared machine see bursty 1.5x swings that
+# would otherwise self-flag across sessions.
+bench-gate:
+	dune exec bench/main.exe -- --json BENCH_scratch.json
+	dune exec bin/expfinder.exe -- bench-diff --threshold 1.0 BENCH_baseline.json BENCH_scratch.json
 
 examples:
 	dune exec examples/quickstart.exe

@@ -27,17 +27,38 @@ module Queries = Expfinder_workload.Queries
    harness and the engine's own profiles agree on what they time. *)
 let time_once f = Telemetry.time f
 
-(* Median of [reps] runs; [prepare] builds a fresh input for each run so
-   mutation-heavy benchmarks stay honest. *)
-let time_median ?(reps = 3) ~prepare f =
-  let samples =
-    List.init reps (fun _ ->
-        let input = prepare () in
-        snd (time_once (fun () -> f input)))
-  in
-  match List.sort compare samples with
-  | [] -> 0.0
-  | sorted -> List.nth sorted (List.length sorted / 2)
+module Report = Telemetry.Report
+
+(* Stats (true median — middle-pair mean for even [reps] — plus IQR and
+   the raw samples) of [reps] runs; [prepare] builds a fresh input for
+   each run so mutation-heavy benchmarks stay honest. *)
+let time_stats_prepared ?(reps = 5) ~prepare f =
+  Report.stats_of_samples
+    (List.init reps (fun _ ->
+         let input = prepare () in
+         snd (time_once (fun () -> f input))))
+
+let time_stats ?reps f = time_stats_prepared ?reps ~prepare:(fun () -> ()) f
+
+let time_median ?reps f = (time_stats ?reps f).Report.median
+
+(* ------------------------------------------------------------------ *)
+(* Structured report (--json FILE)                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* When --json is given, experiments append records here alongside their
+   stdout rows; the driver also records one wall-clock sample per
+   experiment, so every experiment is paired in a bench-diff even when
+   it exposes no finer-grained timings. *)
+let report : Report.t option ref = ref None
+
+let record ~id ?(params = []) samples =
+  match !report with
+  | None -> ()
+  | Some r -> Report.add r ~id ~params samples
+
+let record_stats ~id ?params (s : Report.sample_stats) =
+  record ~id ?params s.Report.samples
 
 let header title = Printf.printf "\n=== %s ===\n" title
 
@@ -197,14 +218,15 @@ let exp_query_scaling ~full =
     (fun n ->
       let g = Csr.of_digraph (flat_graph ~n) in
       let qs = bench_query_sim () and qb = bench_query () in
-      let t_sim = time_median ~prepare:(fun () -> ()) (fun () -> ignore (Simulation.run qs g)) in
-      let t_bsim =
-        time_median ~prepare:(fun () -> ()) (fun () -> ignore (Bounded_sim.run qb g))
-      in
+      let s_sim = time_stats (fun () -> ignore (Simulation.run qs g)) in
+      let s_bsim = time_stats (fun () -> ignore (Bounded_sim.run qb g)) in
+      let params = [ ("n", Telemetry.Json.Int n) ] in
+      record_stats ~id:(Printf.sprintf "EXP-Q1.sim.n=%d" n) ~params s_sim;
+      record_stats ~id:(Printf.sprintf "EXP-Q1.bsim.n=%d" n) ~params s_bsim;
       let m_sim = Match_relation.total (Simulation.run qs g) in
       let m_bsim = Match_relation.total (Bounded_sim.run qb g) in
-      Printf.printf "  %8d %9d %12.2f %12.2f %9d %9d\n" n (Csr.edge_count g) t_sim t_bsim m_sim
-        m_bsim)
+      Printf.printf "  %8d %9d %12.2f %12.2f %9d %9d\n" n (Csr.edge_count g)
+        s_sim.Report.median s_bsim.Report.median m_sim m_bsim)
     sizes;
   print_endline "  shape check: both polynomial; bounded simulation costlier than simulation"
 
@@ -237,6 +259,10 @@ let exp_topk_scaling ~full =
   List.iter
     (fun k ->
       let top, t = time_once (fun () -> Ranking.top_k gr ~output_matches:matches ~k) in
+      record
+        ~id:(Printf.sprintf "EXP-Q2.topk.k=%d" k)
+        ~params:[ ("n", Telemetry.Json.Int n); ("k", Telemetry.Json.Int k) ]
+        [ t ];
       let best =
         match top with (_, r) :: _ -> Format.asprintf "%a" Ranking.pp_rank r | [] -> "-"
       in
@@ -267,10 +293,9 @@ let unit_update_times pattern n =
       samples := t_ins :: t_del :: !samples
     | _ -> ()
   done;
-  let sorted = List.sort compare !samples in
-  let t_inc = List.nth sorted (List.length sorted / 2) in
+  let t_inc = (Report.stats_of_samples !samples).Report.median in
   let t_batch =
-    time_median ~prepare:(fun () -> ()) (fun () ->
+    time_median (fun () ->
         let csr = Csr.of_digraph g in
         if Pattern.is_simulation_pattern pattern then ignore (Simulation.run pattern csr)
         else ignore (Bounded_sim.run pattern csr))
@@ -288,6 +313,11 @@ let exp_incremental_unit ~full =
       List.iter
         (fun n ->
           let t_inc, t_batch = unit_update_times pattern n in
+          let params =
+            [ ("n", Telemetry.Json.Int n); ("query", Telemetry.Json.Str name) ]
+          in
+          record ~id:(Printf.sprintf "EXP-I1.%s.inc.n=%d" name n) ~params [ t_inc ];
+          record ~id:(Printf.sprintf "EXP-I1.%s.batch.n=%d" name n) ~params [ t_batch ];
           Printf.printf "  %-6s %8d %12.3f %12.3f %8.1fx\n" name n t_inc t_batch
             (t_batch /. max t_inc 0.001))
         sizes)
@@ -298,15 +328,15 @@ let exp_incremental_unit ~full =
 (* EXP-I2: incremental vs batch, batch updates (the 30% / 10% claims)   *)
 (* ------------------------------------------------------------------ *)
 
-let batch_sweep pattern percentages base =
+let batch_sweep ~tag pattern percentages base =
   let m = Digraph.edge_count base in
   Printf.printf "  %7s %9s %12s %12s %10s\n" "|dG|/|E|" "|dG|" "t_inc ms" "t_batch ms" "winner";
   let crossover = ref None in
   List.iter
     (fun pct ->
       let count = max 1 (m * pct / 100) in
-      let t_inc =
-        time_median ~reps:3
+      let s_inc =
+        time_stats_prepared ~reps:5
           ~prepare:(fun () ->
             let g = Digraph.copy base in
             let rng = Prng.create (pct * 131) in
@@ -315,8 +345,8 @@ let batch_sweep pattern percentages base =
             (g, inc, updates))
           (fun (g, inc, updates) -> ignore (Incremental.apply_updates inc g updates))
       in
-      let t_batch =
-        time_median ~reps:3
+      let s_batch =
+        time_stats_prepared ~reps:5
           ~prepare:(fun () ->
             let g = Digraph.copy base in
             let rng = Prng.create (pct * 131) in
@@ -328,6 +358,12 @@ let batch_sweep pattern percentages base =
             if Pattern.is_simulation_pattern pattern then ignore (Simulation.run pattern csr)
             else ignore (Bounded_sim.run pattern csr))
       in
+      let params =
+        [ ("pct", Telemetry.Json.Int pct); ("updates", Telemetry.Json.Int count) ]
+      in
+      record_stats ~id:(Printf.sprintf "EXP-I2.%s.inc.pct=%d" tag pct) ~params s_inc;
+      record_stats ~id:(Printf.sprintf "EXP-I2.%s.batch.pct=%d" tag pct) ~params s_batch;
+      let t_inc = s_inc.Report.median and t_batch = s_batch.Report.median in
       let winner = if t_inc <= t_batch then "inc" else "batch" in
       if t_inc > t_batch && !crossover = None then crossover := Some pct;
       Printf.printf "  %6d%% %9d %12.2f %12.2f %10s\n" pct count t_inc t_batch winner)
@@ -361,9 +397,10 @@ let exp_incremental_batch ~full =
   Printf.printf "  graph: %d nodes, %d edges (sparse collaboration network)\n"
     (Digraph.node_count base) (Digraph.edge_count base);
   Printf.printf "  -- simulation (paper: incremental wins up to ~30%% changes) --\n";
-  batch_sweep (Pattern.to_simulation (sparse_batch_query ())) [ 2; 5; 10; 20; 30; 50 ] base;
+  batch_sweep ~tag:"sim" (Pattern.to_simulation (sparse_batch_query ())) [ 2; 5; 10; 20; 30; 50 ]
+    base;
   Printf.printf "  -- bounded simulation (paper: incremental wins up to ~10%% changes) --\n";
-  batch_sweep (sparse_batch_query ()) [ 1; 2; 5; 10; 20 ] base
+  batch_sweep ~tag:"bsim" (sparse_batch_query ()) [ 1; 2; 5; 10; 20 ] base
 
 (* ------------------------------------------------------------------ *)
 (* EXP-C1: compression ratio (the 57% claim)                            *)
@@ -392,6 +429,10 @@ let exp_compression_ratio ~full =
     let gc = Compress.compressed compressed in
     let nr = Compress.node_ratio compressed and er = Compress.edge_ratio compressed in
     if count then ratios := nr :: !ratios;
+    record
+      ~id:(Printf.sprintf "EXP-C1.%s" name)
+      ~params:[ ("nodes", Telemetry.Json.Int (Csr.node_count csr)) ]
+      [ t ];
     Printf.printf "  %-12s %9d %9d %9d %9d %7.1f%% %7.1f%% %10.1f\n" name (Csr.node_count csr)
       (Csr.edge_count csr) (Csr.node_count gc) (Csr.edge_count gc) (100.0 *. nr)
       (100.0 *. er) t
@@ -430,14 +471,16 @@ let exp_compressed_query ~full:_ =
           assert (
             Match_relation.equal (Bounded_sim.run q csr) (Compress.evaluate compressed q)))
         queries;
-      let t_direct =
-        time_median ~prepare:(fun () -> ()) (fun () ->
-            List.iter (fun q -> ignore (Bounded_sim.run q csr)) queries)
+      let s_direct =
+        time_stats (fun () -> List.iter (fun q -> ignore (Bounded_sim.run q csr)) queries)
       in
-      let t_gc =
-        time_median ~prepare:(fun () -> ()) (fun () ->
+      let s_gc =
+        time_stats (fun () ->
             List.iter (fun q -> ignore (Compress.evaluate compressed q)) queries)
       in
+      record_stats ~id:(Printf.sprintf "EXP-C2.%s.direct" name) s_direct;
+      record_stats ~id:(Printf.sprintf "EXP-C2.%s.compressed" name) s_gc;
+      let t_direct = s_direct.Report.median and t_gc = s_gc.Report.median in
       Printf.printf "  %-12s %10d %12.1f %12.1f %9.1f%%\n" name (List.length queries) t_direct
         t_gc
         (100.0 *. (1.0 -. (t_gc /. t_direct))))
@@ -489,6 +532,8 @@ let exp_cache ~full:_ =
     time_once (fun () -> List.iter (fun q -> ignore (Engine.evaluate engine q)) queries)
   in
   let hits, misses = Engine.cache_stats engine in
+  record ~id:"EXP-K1.cold" [ t_cold ];
+  record ~id:"EXP-K1.warm" [ t_warm ];
   Printf.printf "  10 queries cold: %8.1f ms\n" t_cold;
   Printf.printf "  10 queries warm: %8.2f ms (cache hits)\n" t_warm;
   Printf.printf "  cache stats: %d hits, %d misses\n" hits misses;
@@ -506,15 +551,16 @@ let exp_ablation_bsim_strategy ~full =
     (fun n ->
       let g = Csr.of_digraph (flat_graph ~n) in
       let q = bench_query () in
-      let t_counters =
-        time_median ~prepare:(fun () -> ()) (fun () ->
-            ignore (Bounded_sim.run ~strategy:Bounded_sim.Counters q g))
+      let s_counters =
+        time_stats (fun () -> ignore (Bounded_sim.run ~strategy:Bounded_sim.Counters q g))
       in
-      let t_naive =
-        time_median ~prepare:(fun () -> ()) (fun () ->
-            ignore (Bounded_sim.run ~strategy:Bounded_sim.Naive q g))
+      let s_naive =
+        time_stats (fun () -> ignore (Bounded_sim.run ~strategy:Bounded_sim.Naive q g))
       in
-      Printf.printf "  %8d %14.2f %14.2f\n" n t_counters t_naive)
+      let params = [ ("n", Telemetry.Json.Int n) ] in
+      record_stats ~id:(Printf.sprintf "EXP-A1.counters.n=%d" n) ~params s_counters;
+      record_stats ~id:(Printf.sprintf "EXP-A1.naive.n=%d" n) ~params s_naive;
+      Printf.printf "  %8d %14.2f %14.2f\n" n s_counters.Report.median s_naive.Report.median)
     sizes
 
 let exp_ablation_equivalence ~full:_ =
@@ -582,13 +628,15 @@ let exp_ablation_ball_index ~full =
     (fun q -> assert (Match_relation.equal (Ball_index.evaluate idx q g) (Bounded_sim.run q g)))
     queries;
   let t_direct =
-    time_median ~prepare:(fun () -> ()) (fun () ->
+    time_median (fun () ->
         List.iter (fun q -> ignore (Bounded_sim.run q g : Match_relation.t)) queries)
   in
   let t_indexed =
-    time_median ~prepare:(fun () -> ()) (fun () ->
+    time_median (fun () ->
         List.iter (fun q -> ignore (Ball_index.evaluate idx q g : Match_relation.t)) queries)
   in
+  record ~id:"EXP-A4.direct" [ t_direct ];
+  record ~id:"EXP-A4.indexed" [ t_indexed ];
   Printf.printf "  |V| = %d; index: %d entries, built in %.1f ms\n" n
     (Ball_index.memory_entries idx) t_build;
   Printf.printf "  10-query workload: direct %.1f ms, indexed %.1f ms (%.1fx)\n" t_direct
@@ -624,12 +672,10 @@ let exp_ablation_minimise ~full:_ =
   let m_min = Bounded_sim.run minimised g in
   assert (
     Match_relation.matches m_full 0 = Match_relation.matches m_min renaming.(0));
-  let t_full =
-    time_median ~prepare:(fun () -> ()) (fun () -> ignore (Bounded_sim.run redundant g))
-  in
-  let t_min =
-    time_median ~prepare:(fun () -> ()) (fun () -> ignore (Bounded_sim.run minimised g))
-  in
+  let t_full = time_median (fun () -> ignore (Bounded_sim.run redundant g)) in
+  let t_min = time_median (fun () -> ignore (Bounded_sim.run minimised g)) in
+  record ~id:"EXP-A5.full" [ t_full ];
+  record ~id:"EXP-A5.minimised" [ t_min ];
   Printf.printf "  query: %d nodes/%d edges -> minimised %d nodes/%d edges\n"
     (Pattern.size redundant) (Pattern.edge_count redundant) (Pattern.size minimised)
     (Pattern.edge_count minimised);
@@ -800,6 +846,14 @@ let contains_substring haystack needle =
 let () =
   let full = Array.exists (( = ) "--full") Sys.argv in
   let bechamel = Array.exists (( = ) "--bechamel") Sys.argv in
+  let flag_arg name =
+    let rec scan i =
+      if i + 1 >= Array.length Sys.argv then None
+      else if Sys.argv.(i) = name then Some Sys.argv.(i + 1)
+      else scan (i + 1)
+    in
+    scan 1
+  in
   let only =
     let rec collect i acc =
       if i >= Array.length Sys.argv then acc
@@ -809,11 +863,27 @@ let () =
     in
     collect 1 []
   in
+  let json_file = flag_arg "--json" in
+  if json_file <> None then
+    report := Some (Report.create ~mode:(if full then "full" else "quick") ());
   let selected name =
     only = [] || List.exists (fun pat -> contains_substring name pat) only
   in
   Printf.printf "ExpFinder experiment harness (%s mode)\n" (if full then "full" else "quick");
   let t0 = Telemetry.now_us () in
-  List.iter (fun (name, f) -> if selected name then f ~full) experiments;
+  List.iter
+    (fun (name, f) ->
+      if selected name then begin
+        (* One wall-clock record per experiment, on top of whatever
+           finer-grained rows the experiment itself records. *)
+        let (), wall_ms = time_once (fun () -> f ~full) in
+        record ~id:name [ wall_ms ]
+      end)
+    experiments;
   if bechamel then run_bechamel ();
+  (match (json_file, !report) with
+  | Some path, Some r ->
+    Report.write r path;
+    Printf.printf "\nstructured report: %d records -> %s\n" (List.length (Report.records r)) path
+  | _ -> ());
   Printf.printf "\ntotal harness time: %.1f s\n" ((Telemetry.now_us () -. t0) /. 1e6)

@@ -125,7 +125,7 @@ let import verbose edges_file label exp_max seed output =
 
 (* --- stats ------------------------------------------------------------------ *)
 
-let stats verbose graph_file query_file =
+let stats verbose graph_file query_file json recent =
   setup_logs verbose;
   or_die
     (let* g = load_graph graph_file in
@@ -137,22 +137,34 @@ let stats verbose graph_file query_file =
           (Array.to_list (Array.map (fun l -> Label.to_string l) labels)));
      let scc = Scc.compute csr in
      Printf.printf "strongly connected components: %d\n" (Scc.count scc);
-     match query_file with
-     | None -> Ok ()
-     | Some qf ->
-       (* Run one telemetry-enabled evaluation and dump the metric
-          registry plus the per-query profile. *)
-       let* q = load_pattern qf in
-       Telemetry.set_enabled true;
-       Telemetry.Metrics.reset_all ();
-       let engine = Engine.create g in
-       let answer = Engine.evaluate engine q in
-       Printf.printf "\nquery %s: %d match pairs\n"
-         (Pattern.fingerprint q)
-         (Match_relation.total answer.Engine.relation);
-       Format.printf "@.metrics:@.%a@." Telemetry.Metrics.pp ();
-       Option.iter (Format.printf "%a" Engine.pp_profile) answer.Engine.profile;
-       Ok ())
+     let* () =
+       match query_file with
+       | None -> Ok ()
+       | Some qf ->
+         (* Run one telemetry-enabled evaluation and dump the metric
+            registry plus the per-query profile. *)
+         let* q = load_pattern qf in
+         Telemetry.set_enabled true;
+         Telemetry.Metrics.reset_all ();
+         let engine = Engine.create g in
+         let answer = Engine.evaluate engine q in
+         Printf.printf "\nquery %s: %d match pairs\n"
+           (Pattern.fingerprint q)
+           (Match_relation.total answer.Engine.relation);
+         if not json then begin
+           Format.printf "@.metrics:@.%a@." Telemetry.Metrics.pp ();
+           Option.iter (Format.printf "%a" Engine.pp_profile) answer.Engine.profile
+         end;
+         Ok ()
+     in
+     (* Machine-readable registry dump, whether or not a query ran. *)
+     if json then
+       print_string (Telemetry.Json.to_string ~pretty:true (Telemetry.Metrics.to_json ()));
+     if recent then
+       if json then
+         print_string (Telemetry.Json.to_string ~pretty:true (Telemetry.Recorder.to_json ()))
+       else Format.printf "%a" Telemetry.Recorder.pp ();
+     Ok ())
 
 (* --- analyze ------------------------------------------------------------------ *)
 
@@ -177,6 +189,36 @@ let analyze verbose pattern_file explain_containment =
        Printf.printf "contains(this, other): %b\ncontains(other, this): %b\n"
          (Pattern_analysis.contains q q2) (Pattern_analysis.contains q2 q);
        Ok ()))
+
+(* --- explain ------------------------------------------------------------------ *)
+
+let explain_query verbose graph_file pattern_file analyze =
+  setup_logs verbose;
+  or_die
+    (let* g = load_graph graph_file in
+     let* q = load_pattern pattern_file in
+     let engine = Engine.create g in
+     print_string
+       (if analyze then Engine.explain_analyze engine q else Engine.explain engine q);
+     Ok ())
+
+(* --- bench-diff --------------------------------------------------------------- *)
+
+let bench_diff verbose old_file new_file threshold =
+  setup_logs verbose;
+  or_die
+    (let load path =
+       match Telemetry.Report.load path with
+       | Ok r -> Ok r
+       | Error e -> err "cannot load report %s: %s" path e
+     in
+     let* baseline = load old_file in
+     let* candidate = load new_file in
+     let comparisons = Telemetry.Report.diff ~threshold ~baseline ~candidate () in
+     Format.printf "%a@." Telemetry.Report.pp_diff comparisons;
+     if Telemetry.Report.has_regression comparisons then
+       err "performance regression vs %s (threshold +%.0f%%)" old_file (100.0 *. threshold)
+     else Ok ())
 
 (* --- query ------------------------------------------------------------------ *)
 
@@ -443,9 +485,53 @@ let stats_cmd =
       & info [ "q"; "query" ] ~docv:"FILE"
           ~doc:"Also run this query with telemetry on and dump the metric registry and profile.")
   in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Dump the metric registry (and, with $(b,--recent), the flight recorder) as JSON \
+                instead of the pretty-printed tables.")
+  in
+  let recent =
+    Arg.(
+      value & flag
+      & info [ "recent" ]
+          ~doc:"Dump the flight recorder: the most recent query events with strategy, duration \
+                and counter deltas (slow queries flagged per EXPFINDER_SLOW_MS).")
+  in
   Cmd.v
     (Cmd.info "stats" ~doc:"Print statistics of a data graph (and optionally telemetry metrics)")
-    Term.(const stats $ verbose_arg $ graph_arg $ q)
+    Term.(const stats $ verbose_arg $ graph_arg $ q $ json $ recent)
+
+let explain_cmd =
+  let analyze =
+    Arg.(
+      value & flag
+      & info [ "analyze" ]
+          ~doc:"Execute the plan and print per-node estimated vs actual candidate counts, \
+                matches and refinement removals (misestimates flagged).")
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc:"Print the query plan, optionally with execution feedback")
+    Term.(const explain_query $ verbose_arg $ graph_arg $ pattern_arg $ analyze)
+
+let bench_diff_cmd =
+  let old_file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD.json" ~doc:"Baseline report.")
+  in
+  let new_file =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW.json" ~doc:"Candidate report.")
+  in
+  let threshold =
+    Arg.(
+      value & opt float 0.5
+      & info [ "threshold" ] ~docv:"FRAC"
+          ~doc:"Median growth beyond this fraction (with non-overlapping IQRs) is a regression.")
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:"Compare two bench reports; non-zero exit on performance regressions")
+    Term.(const bench_diff $ verbose_arg $ old_file $ new_file $ threshold)
 
 let query_cmd =
   let summary = Arg.(value & flag & info [ "summary" ] ~doc:"Roll-up view of the result graph.") in
@@ -505,6 +591,8 @@ let main_cmd =
       import_cmd;
       stats_cmd;
       analyze_cmd;
+      explain_cmd;
+      bench_diff_cmd;
       query_cmd;
       topk_cmd;
       compress_cmd_t;

@@ -10,11 +10,15 @@ let m_pruned_sinks = Metrics.counter "planner.pruned_sinks"
 
 let m_static_empty = Metrics.counter "planner.static_empty"
 
+let m_misestimates = Metrics.counter "planner.misestimate"
+
 type strategy_choice = Use_simulation | Use_bounded of Bounded_sim.strategy
 
-let strategy_choice_name = function
+let strategy_name = function
   | Use_simulation -> "simulation"
   | Use_bounded s -> "bounded/" ^ Bounded_sim.strategy_name s
+
+type actuals = { candidates : int array; matched : int array }
 
 type t = {
   candidate_order : int array;
@@ -23,6 +27,7 @@ type t = {
   prunable : bool array;
   static_empty : bool;
   preds : Predicate.t array;
+  mutable actuals : actuals option;
 }
 
 (* Estimated candidate count of a pattern node: population under its
@@ -84,13 +89,17 @@ let plan ?(sample = 64) pattern g =
       else Use_bounded Bounded_sim.Counters
     end
   in
-  { candidate_order; estimates; strategy; prunable; static_empty; preds }
+  { candidate_order; estimates; strategy; prunable; static_empty; preds; actuals = None }
 
+(* Alongside the relation, report per-node materialised candidate-set
+   sizes (-1 = never materialised, after an earlier node exited empty) —
+   the "actual" column of EXPLAIN ANALYZE. *)
 let materialise_candidates plan pattern g =
   let m =
     Match_relation.create ~pattern_size:(Pattern.size pattern)
       ~graph_size:(Csr.node_count g)
   in
+  let sizes = Array.make (Pattern.size pattern) (-1) in
   let ok = ref true in
   let kept = ref 0 and pruned = ref 0 in
   Array.iter
@@ -98,21 +107,22 @@ let materialise_candidates plan pattern g =
       if !ok then begin
         let spec = Pattern.node_spec pattern u in
         let pred = plan.preds.(u) in
-        let keep = ref false in
+        let kept_u = ref 0 in
         let consider v =
           if Predicate.eval pred (Csr.attrs g v) then
             if (not plan.prunable.(u)) || Csr.out_degree g v > 0 then begin
               Match_relation.add m u v;
               incr kept;
-              keep := true
+              incr kept_u
             end
             else incr pruned
         in
         (match spec.Pattern.label with
         | Some l -> List.iter consider (Csr.nodes_with_label g l)
         | None -> Csr.iter_nodes g consider);
+        sizes.(u) <- !kept_u;
         (* Early exit: an empty candidate set empties the whole kernel. *)
-        if not !keep then begin
+        if !kept_u = 0 then begin
           ok := false;
           annotate "empty" (Pattern.name pattern u)
         end
@@ -121,51 +131,75 @@ let materialise_candidates plan pattern g =
   Counter.add m_pruned_sinks !pruned;
   annotate_int "kept" !kept;
   annotate_int "pruned_sinks" !pruned;
-  if !ok then Some m else None
+  ((if !ok then Some m else None), sizes)
 
 let empty_relation pattern g =
   Match_relation.create ~pattern_size:(Pattern.size pattern)
     ~graph_size:(Csr.node_count g)
 
+(* Store the execution actuals on the plan and bump [planner.misestimate]
+   for every materialised node whose estimate was off by more than 4x in
+   either direction (the smoothing +1 keeps empty sets comparable). *)
+let note_actuals plan ~candidates ~matched =
+  plan.actuals <- Some { candidates; matched };
+  Array.iteri
+    (fun u act ->
+      if act >= 0 then begin
+        let f = (plan.estimates.(u) +. 1.0) /. (float_of_int act +. 1.0) in
+        if f > 4.0 || f < 0.25 then Counter.incr m_misestimates
+      end)
+    candidates
+
 let execute plan pattern g =
+  let psize = Pattern.size pattern in
   if plan.static_empty then begin
     (* Qlint fast path: some node's conditions are contradictory, so the
        kernel is empty without touching the data graph. *)
     Counter.incr m_static_empty;
+    plan.actuals <-
+      Some { candidates = Array.make psize (-1); matched = Array.make psize 0 };
     empty_relation pattern g
   end
   else
-  let initial =
+  let initial, cand_sizes =
     with_span "candidates" (fun () -> materialise_candidates plan pattern g)
   in
   match initial with
   | None ->
     Counter.incr m_early_exits;
+    note_actuals plan ~candidates:cand_sizes ~matched:(Array.make psize 0);
     empty_relation pattern g
   | Some initial ->
-    with_span
-      ~attrs:[ ("strategy", strategy_choice_name plan.strategy) ]
-      "refine"
-      (fun () ->
-        match plan.strategy with
-        | Use_simulation ->
-          Simulation.run_constrained pattern g ~initial ~mutable_set:None
-        | Use_bounded strategy ->
-          Bounded_sim.run_constrained ~strategy pattern g ~initial ~mutable_set:None)
+    let rel =
+      with_span
+        ~attrs:[ ("strategy", strategy_name plan.strategy) ]
+        "refine"
+        (fun () ->
+          match plan.strategy with
+          | Use_simulation ->
+            Simulation.run_constrained pattern g ~initial ~mutable_set:None
+          | Use_bounded strategy ->
+            Bounded_sim.run_constrained ~strategy pattern g ~initial ~mutable_set:None)
+    in
+    note_actuals plan ~candidates:cand_sizes
+      ~matched:(Array.init psize (Match_relation.count rel));
+    rel
 
-let run ?sample pattern g =
+let run_with_plan ?sample pattern g =
   let p =
     with_span "plan" (fun () ->
         let p = plan ?sample pattern g in
         Counter.incr m_plans;
         if p.static_empty then annotate "static_empty" "true";
-        annotate "strategy" (strategy_choice_name p.strategy);
+        annotate "strategy" (strategy_name p.strategy);
         annotate "order"
           (String.concat ">"
              (Array.to_list (Array.map (Pattern.name pattern) p.candidate_order)));
         p)
   in
-  execute p pattern g
+  (execute p pattern g, p)
+
+let run ?sample pattern g = fst (run_with_plan ?sample pattern g)
 
 let explain pattern plan =
   let buf = Buffer.create 256 in
@@ -187,4 +221,43 @@ let explain pattern plan =
            plan.estimates.(u)
            (if plan.prunable.(u) then ", sinks pruned" else "")))
     plan.candidate_order;
+  Buffer.contents buf
+
+let explain_analyze pattern plan =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (explain pattern plan);
+  (match plan.actuals with
+  | None ->
+    Buffer.add_string buf "analysis: plan not executed (no actuals recorded)\n"
+  | Some { candidates; matched } ->
+    Buffer.add_string buf "analysis (estimated vs actual):\n";
+    Buffer.add_string buf
+      (Printf.sprintf "  %-12s %12s %12s %10s %10s\n" "node" "est.cand"
+         "act.cand" "matched" "removed");
+    let misses = ref 0 in
+    Array.iter
+      (fun u ->
+        let est = plan.estimates.(u) in
+        let act = candidates.(u) in
+        let mat = matched.(u) in
+        if act < 0 then
+          (* Earlier node exited empty: this set was never materialised. *)
+          Buffer.add_string buf
+            (Printf.sprintf "  %-12s %12.0f %12s %10s %10s\n"
+               (Pattern.name pattern u) est "-" "-" "-")
+        else begin
+          let f = (est +. 1.0) /. (float_of_int act +. 1.0) in
+          let off = f > 4.0 || f < 0.25 in
+          if off then incr misses;
+          Buffer.add_string buf
+            (Printf.sprintf "  %-12s %12.0f %12d %10d %10d%s\n"
+               (Pattern.name pattern u) est act mat (act - mat)
+               (if off then "   <- misestimate" else ""))
+        end)
+      plan.candidate_order;
+    if !misses > 0 then
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  %d node(s) misestimated by >4x (counter planner.misestimate)\n"
+           !misses));
   Buffer.contents buf

@@ -30,6 +30,18 @@ open Expfinder_pattern
 
 type strategy_choice = Use_simulation | Use_bounded of Bounded_sim.strategy
 
+val strategy_name : strategy_choice -> string
+(** Short strategy label, e.g. ["simulation"] or ["bounded/counters"]
+    (the flight recorder's and span tracer's strategy tag). *)
+
+type actuals = {
+  candidates : int array;
+      (** materialised candidate-set size per pattern node; [-1] when the
+          set was never materialised (an earlier node exited empty, or
+          the static fast path fired) *)
+  matched : int array;  (** final kernel matches per pattern node *)
+}
+
 type t = {
   candidate_order : int array;  (** pattern nodes, cheapest first *)
   estimates : float array;  (** estimated candidate count per pattern node *)
@@ -37,6 +49,9 @@ type t = {
   prunable : bool array;  (** pattern nodes whose sink candidates are pruned *)
   static_empty : bool;  (** Qlint proved the kernel empty on every graph *)
   preds : Predicate.t array;  (** implication-tightened per-node predicates *)
+  mutable actuals : actuals option;
+      (** execution feedback, filled in by {!execute} (EXPLAIN ANALYZE);
+          [None] until the plan has been executed *)
 }
 
 val plan : ?sample:int -> Pattern.t -> Csr.t -> t
@@ -45,10 +60,21 @@ val plan : ?sample:int -> Pattern.t -> Csr.t -> t
 
 val execute : t -> Pattern.t -> Csr.t -> Match_relation.t
 (** Evaluate the query according to the plan (kernel semantics, like
-    {!Simulation.run} / {!Bounded_sim.run}). *)
+    {!Simulation.run} / {!Bounded_sim.run}).  Also records {!actuals} on
+    the plan and bumps [planner.misestimate] for every materialised node
+    whose estimate was off by more than 4x in either direction. *)
 
 val run : ?sample:int -> Pattern.t -> Csr.t -> Match_relation.t
 (** [execute (plan p g) p g]. *)
 
+val run_with_plan : ?sample:int -> Pattern.t -> Csr.t -> Match_relation.t * t
+(** Like {!run}, but also return the executed plan (with its
+    {!actuals}) — the engine's EXPLAIN ANALYZE entry point. *)
+
 val explain : Pattern.t -> t -> string
 (** Human-readable plan description (the CLI's query-plan display). *)
+
+val explain_analyze : Pattern.t -> t -> string
+(** {!explain} plus a per-node estimated-vs-actual table (candidate-set
+    sizes, matches, refinement removals, misestimate flags) when the
+    plan has been executed. *)

@@ -139,15 +139,16 @@ let from_containment t pattern ~version =
 
 (* The untraced core of [evaluate]: cache -> registered kernel ->
    compressed -> cached superset (containment) -> ball index -> planner,
-   returning the relation, where it came from, and whether this call
-   just computed it via the direct path (the differential checker
-   re-verifies everything else). *)
+   returning the relation, where it came from, a strategy label for the
+   flight recorder, and whether this call just computed it via the
+   direct path (the differential checker re-verifies everything
+   else). *)
 let evaluate_inner t pattern =
   let version = Digraph.version t.g in
   match
     with_span "cache.lookup" (fun () -> Cache.find t.cache pattern ~graph_version:version)
   with
-  | Some relation -> (relation, From_cache, false)
+  | Some relation -> (relation, From_cache, "cache", false)
   | None ->
     let registered_kernel =
       match List.assoc_opt (Pattern.fingerprint pattern) t.registered with
@@ -155,9 +156,9 @@ let evaluate_inner t pattern =
         Some (Match_relation.copy (Incremental.kernel inc))
       | _ -> None
     in
-    let relation, provenance, via_direct =
+    let relation, provenance, strategy, via_direct =
       match registered_kernel with
-      | Some relation -> (relation, Direct, false)
+      | Some relation -> (relation, Direct, "registered", false)
       | None -> (
         let compressed_answer =
           match t.compressed with
@@ -168,12 +169,12 @@ let evaluate_inner t pattern =
           | _ -> None
         in
         match compressed_answer with
-        | Some relation -> (relation, From_compressed, false)
+        | Some relation -> (relation, From_compressed, "compressed", false)
         | None -> (
           match from_containment t pattern ~version with
           | Some relation ->
             Counter.incr m_containment;
-            (relation, From_cache, false)
+            (relation, From_cache, "containment", false)
           | None -> (
             let csr = snapshot t in
             (* Rebuild the opt-in ball index lazily after updates. *)
@@ -187,11 +188,16 @@ let evaluate_inner t pattern =
             | _ -> ());
             match t.ball_index with
             | Some idx when Ball_index.supports idx pattern ->
-              (Ball_index.evaluate idx pattern csr, From_index, false)
-            | _ -> (run_direct pattern csr, Direct, true))))
+              (Ball_index.evaluate idx pattern csr, From_index, "ball-index", false)
+            | _ ->
+              let relation, plan = Planner.run_with_plan pattern csr in
+              ( relation,
+                Direct,
+                "direct/" ^ Planner.strategy_name plan.Planner.strategy,
+                true ))))
     in
     Cache.store t.cache pattern ~graph_version:version relation;
-    (relation, provenance, via_direct)
+    (relation, provenance, strategy, via_direct)
 
 (* EXPFINDER_CHECK=1 sanitizer: any answer that did not just come out of
    the direct path is re-evaluated directly and compared (as a query
@@ -202,18 +208,25 @@ let evaluate_inner t pattern =
 let differential_check t pattern relation provenance ~via_direct =
   if Verify.differential () then begin
     Counter.incr m_differential;
-    let csr = snapshot t in
-    if not via_direct then begin
-      let direct = with_span "verify.differential" (fun () -> run_direct pattern csr) in
-      if not (Verify.semantically_equal relation direct) then
-        failwith
-          (Printf.sprintf
-             "EXPFINDER_CHECK: %s answer for query %s diverges from direct evaluation \
-              (%d vs %d pairs)"
-             (provenance_name provenance) (Pattern.fingerprint pattern)
-             (Match_relation.total relation) (Match_relation.total direct))
-    end;
-    Verify.check_exn pattern csr relation
+    try
+      let csr = snapshot t in
+      if not via_direct then begin
+        let direct = with_span "verify.differential" (fun () -> run_direct pattern csr) in
+        if not (Verify.semantically_equal relation direct) then
+          failwith
+            (Printf.sprintf
+               "EXPFINDER_CHECK: %s answer for query %s diverges from direct evaluation \
+                (%d vs %d pairs)"
+               (provenance_name provenance) (Pattern.fingerprint pattern)
+               (Match_relation.total relation) (Match_relation.total direct))
+      end;
+      Verify.check_exn pattern csr relation
+    with e ->
+      (* A failed self-check is exactly what the flight recorder is for:
+         dump the recent-query ring before propagating. *)
+      Format.eprintf "EXPFINDER_CHECK failure; flight recorder dump:@.%a@."
+        Recorder.pp ();
+      raise e
   end
 
 (* Profile plumbing shared by [evaluate] and [top_k]: snapshot the
@@ -235,17 +248,24 @@ let profiled t ~root ~attrs ~query f =
   (result, profile)
 
 let evaluate t pattern =
+  (* Flight recorder bookkeeping is always on (unlike profiles): snapshot
+     the counter registry and the clock around the whole query. *)
+  let rec_before = Metrics.counters_snapshot () in
+  let rec_start = now_us () in
   Counter.incr m_queries;
   let fp = Pattern.fingerprint pattern in
-  let (relation, provenance), profile =
+  let (relation, provenance, strategy), profile =
     profiled t ~root:"evaluate" ~attrs:[ ("query", fp) ] ~query:fp (fun () ->
-        let relation, provenance, via_direct = evaluate_inner t pattern in
+        let relation, provenance, strategy, via_direct = evaluate_inner t pattern in
         differential_check t pattern relation provenance ~via_direct;
         Counter.incr (provenance_counter provenance);
         annotate "provenance" (provenance_name provenance);
         annotate_int "pairs" (Match_relation.total relation);
-        ((relation, provenance), provenance))
+        ((relation, provenance, strategy), provenance))
   in
+  Recorder.record ~query:fp ~strategy
+    ~duration_ms:((now_us () -. rec_start) /. 1000.0)
+    ~counters:(Metrics.delta ~before:rec_before ~after:(Metrics.counters_snapshot ()));
   Log.debug (fun m ->
       m "evaluate %s: %d pairs via %s" fp (Match_relation.total relation)
         (provenance_name provenance));
@@ -306,6 +326,16 @@ let pp_profile ppf p =
     Format.fprintf ppf "counters:@.";
     List.iter (fun (name, v) -> Format.fprintf ppf "  %-38s %d@." name v) counters
 
+let profile_json (p : profile) =
+  Json.Obj
+    [
+      ("query", Json.Str p.query);
+      ("provenance", Json.Str (provenance_name p.provenance));
+      ("span", Span.to_json p.span);
+      ( "counters",
+        Json.Obj (List.map (fun (name, v) -> (name, Json.Int v)) p.counters) );
+    ]
+
 let enable_ball_index ?(radius = 3) t =
   t.ball_radius <- radius;
   t.ball_index <- Some (Ball_index.build (snapshot t) ~radius)
@@ -356,3 +386,11 @@ let cache_stats t = (Cache.hits t.cache, Cache.misses t.cache)
 let cache_counters t = (Cache.hits t.cache, Cache.misses t.cache, Cache.evictions t.cache)
 
 let explain t pattern = Planner.explain pattern (Planner.plan pattern (snapshot t))
+
+(* EXPLAIN ANALYZE bypasses the cache/compression/index fast paths on
+   purpose: the point is to execute the plan and confront its estimates
+   with the candidate sets it actually materialised. *)
+let explain_analyze t pattern =
+  let csr = snapshot t in
+  let _relation, plan = Planner.run_with_plan pattern csr in
+  Planner.explain_analyze pattern plan

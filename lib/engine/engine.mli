@@ -121,6 +121,10 @@ val last_profile : t -> profile option
 val pp_profile : Format.formatter -> profile -> unit
 (** Stage tree plus per-query counters, human-readable. *)
 
+val profile_json : profile -> Json.t
+(** The profile as a [{query; provenance; span; counters}] object (the
+    structured-report serialization of a per-query profile). *)
+
 val cache_stats : t -> int * int
 (** (hits, misses).  Kept for compatibility; prefer {!cache_counters},
     which also reports evictions.  Both read the same telemetry
@@ -133,3 +137,11 @@ val explain : t -> Pattern.t -> string
 (** The query plan direct evaluation would use (§III "optimized query
     plans"): candidate order with selectivity estimates, pruning, and
     the chosen refinement strategy. *)
+
+val explain_analyze : t -> Pattern.t -> string
+(** {!explain} plus a per-node estimated-vs-actual table.  Plans and
+    {e executes} the query directly (deliberately bypassing the
+    cache/compression/index fast paths, and without storing the result),
+    so the estimates can be confronted with the candidate sets actually
+    materialised; misestimated nodes (>4x off either way) are flagged
+    and counted by [planner.misestimate]. *)

@@ -19,6 +19,287 @@ let time f =
   (result, (now_us () -. t0) /. 1000.0)
 
 (* ------------------------------------------------------------------ *)
+(* JSON                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A dependency-free JSON value, emitter and parser: everything the
+   observability layer serializes (metric registries, span trees, bench
+   reports, flight-recorder dumps) goes through this one module, and
+   [bench-diff] reads reports back with the same code. *)
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  (* nan/inf have no JSON representation; emit null so consumers see an
+     explicit absence instead of a parse error. *)
+  let add_float buf f =
+    if not (Float.is_finite f) then Buffer.add_string buf "null"
+    else if Float.is_integer f && Float.abs f < 1e15 then
+      Buffer.add_string buf (Printf.sprintf "%.1f" f)
+    else Buffer.add_string buf (Printf.sprintf "%.12g" f)
+
+  let to_string ?(pretty = false) v =
+    let buf = Buffer.create 256 in
+    let newline depth =
+      Buffer.add_char buf '\n';
+      for _ = 1 to depth do
+        Buffer.add_string buf "  "
+      done
+    in
+    let rec go depth = function
+      | Null -> Buffer.add_string buf "null"
+      | Bool b -> Buffer.add_string buf (string_of_bool b)
+      | Int n -> Buffer.add_string buf (string_of_int n)
+      | Float f -> add_float buf f
+      | Str s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape s);
+        Buffer.add_char buf '"'
+      | Arr [] -> Buffer.add_string buf "[]"
+      | Arr items ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char buf ',';
+            if pretty then newline (depth + 1);
+            go (depth + 1) item)
+          items;
+        if pretty then newline depth;
+        Buffer.add_char buf ']'
+      | Obj [] -> Buffer.add_string buf "{}"
+      | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, item) ->
+            if i > 0 then Buffer.add_char buf ',';
+            if pretty then newline (depth + 1);
+            Buffer.add_char buf '"';
+            Buffer.add_string buf (escape k);
+            Buffer.add_string buf "\":";
+            if pretty then Buffer.add_char buf ' ';
+            go (depth + 1) item)
+          fields;
+        if pretty then newline depth;
+        Buffer.add_char buf '}'
+    in
+    go 0 v;
+    if pretty then Buffer.add_char buf '\n';
+    Buffer.contents buf
+
+  exception Parse_error of string
+
+  let of_string text =
+    let n = String.length text in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then Some text.[!pos] else None in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        incr pos;
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> incr pos
+      | _ -> fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal word v =
+      if !pos + String.length word <= n && String.sub text !pos (String.length word) = word
+      then begin
+        pos := !pos + String.length word;
+        v
+      end
+      else fail ("expected " ^ word)
+    in
+    let add_utf8 buf cp =
+      if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+      else if cp < 0x800 then begin
+        Buffer.add_char buf (Char.chr (0xc0 lor (cp lsr 6)));
+        Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+      end
+      else begin
+        Buffer.add_char buf (Char.chr (0xe0 lor (cp lsr 12)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+        Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+      end
+    in
+    let hex4 () =
+      if !pos + 4 > n then fail "truncated \\u escape";
+      let s = String.sub text !pos 4 in
+      pos := !pos + 4;
+      match int_of_string_opt ("0x" ^ s) with
+      | Some v -> v
+      | None -> fail "bad \\u escape"
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec loop () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> incr pos
+        | Some '\\' ->
+          incr pos;
+          (match peek () with
+          | Some '"' ->
+            incr pos;
+            Buffer.add_char buf '"'
+          | Some '\\' ->
+            incr pos;
+            Buffer.add_char buf '\\'
+          | Some '/' ->
+            incr pos;
+            Buffer.add_char buf '/'
+          | Some 'n' ->
+            incr pos;
+            Buffer.add_char buf '\n'
+          | Some 'r' ->
+            incr pos;
+            Buffer.add_char buf '\r'
+          | Some 't' ->
+            incr pos;
+            Buffer.add_char buf '\t'
+          | Some 'b' ->
+            incr pos;
+            Buffer.add_char buf '\b'
+          | Some 'f' ->
+            incr pos;
+            Buffer.add_char buf '\012'
+          | Some 'u' ->
+            incr pos;
+            let cp = hex4 () in
+            (* Surrogates would need pairing; we never emit them, so map
+               a stray one to U+FFFD instead of producing bad UTF-8. *)
+            add_utf8 buf (if cp >= 0xd800 && cp <= 0xdfff then 0xfffd else cp)
+          | _ -> fail "bad escape");
+          loop ()
+        | Some c ->
+          incr pos;
+          Buffer.add_char buf c;
+          loop ()
+      in
+      loop ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let numeric = function '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false in
+      while (match peek () with Some c when numeric c -> true | _ -> false) do
+        incr pos
+      done;
+      let tok = String.sub text start (!pos - start) in
+      if String.exists (function '.' | 'e' | 'E' -> true | _ -> false) tok then
+        match float_of_string_opt tok with Some f -> Float f | None -> fail "bad number"
+      else
+        match int_of_string_opt tok with
+        | Some v -> Int v
+        | None -> (
+          match float_of_string_opt tok with Some f -> Float f | None -> fail "bad number")
+    in
+    let rec parse_value depth =
+      if depth > 512 then fail "nesting too deep";
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then begin
+          incr pos;
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value (depth + 1) in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              incr pos;
+              members ((key, v) :: acc)
+            | Some '}' ->
+              incr pos;
+              Obj (List.rev ((key, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+        end
+      | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then begin
+          incr pos;
+          Arr []
+        end
+        else begin
+          let rec elements acc =
+            let v = parse_value (depth + 1) in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              incr pos;
+              elements (v :: acc)
+            | Some ']' ->
+              incr pos;
+              Arr (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements []
+        end
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> parse_number ()
+      | None -> fail "unexpected end of input"
+    in
+    match
+      let v = parse_value 0 in
+      skip_ws ();
+      if !pos <> n then fail "trailing garbage";
+      v
+    with
+    | v -> Ok v
+    | exception Parse_error msg -> Error msg
+
+  let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+
+  let str_opt = function Str s -> Some s | _ -> None
+
+  let int_opt = function Int n -> Some n | _ -> None
+
+  let float_opt = function Float f -> Some f | Int n -> Some (float_of_int n) | _ -> None
+
+  let list_opt = function Arr l -> Some l | _ -> None
+end
+
+(* ------------------------------------------------------------------ *)
 (* Counters and gauges                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -196,6 +477,31 @@ module Metrics = struct
         | M_histogram h -> Histogram.reset h)
       registry
 
+  let to_json () =
+    let rows =
+      Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry [] |> List.sort compare
+    in
+    Json.Obj
+      (List.map
+         (fun (name, m) ->
+           ( name,
+             match m with
+             | M_counter c -> Json.Obj [ ("kind", Json.Str "counter"); ("value", Json.Int (Counter.value c)) ]
+             | M_gauge g -> Json.Obj [ ("kind", Json.Str "gauge"); ("value", Json.Int (Gauge.value g)) ]
+             | M_histogram h ->
+               Json.Obj
+                 [
+                   ("kind", Json.Str "histogram");
+                   ("count", Json.Int (Histogram.count h));
+                   ("sum", Json.Float (Histogram.sum h));
+                   ("min", Json.Float (Histogram.min_value h));
+                   ("max", Json.Float (Histogram.max_value h));
+                   ("p50", Json.Float (Histogram.percentile h 0.50));
+                   ("p95", Json.Float (Histogram.percentile h 0.95));
+                   ("p99", Json.Float (Histogram.percentile h 0.99));
+                 ] ))
+         rows)
+
   let pp ppf () =
     let rows =
       Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry [] |> List.sort compare
@@ -263,21 +569,16 @@ module Span = struct
     in
     go "" s
 
-  let json_escape s =
-    let buf = Buffer.create (String.length s + 8) in
-    String.iter
-      (fun c ->
-        match c with
-        | '"' -> Buffer.add_string buf "\\\""
-        | '\\' -> Buffer.add_string buf "\\\\"
-        | '\n' -> Buffer.add_string buf "\\n"
-        | '\r' -> Buffer.add_string buf "\\r"
-        | '\t' -> Buffer.add_string buf "\\t"
-        | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-        | c -> Buffer.add_char buf c)
-      s;
-    Buffer.contents buf
+  let json_escape = Json.escape
+
+  let rec to_json s =
+    Json.Obj
+      [
+        ("name", Json.Str s.sname);
+        ("duration_ms", Json.Float (duration_ms s));
+        ("attrs", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) (attrs s)));
+        ("children", Json.Arr (List.map to_json (children s)));
+      ]
 
   let to_chrome_json s =
     let origin = s.sstart in
@@ -364,3 +665,315 @@ let collect ?attrs name f =
       finish ();
       raise e
   end
+
+(* ------------------------------------------------------------------ *)
+(* Structured performance reports                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Report = struct
+  let schema_version = 1
+
+  type sample_stats = {
+    samples : float list;
+    median : float;
+    iqr : float;
+    q1 : float;
+    q3 : float;
+  }
+
+  (* Quartiles by linear interpolation between order statistics; the
+     median of an even sample count is the mean of the middle pair. *)
+  let stats_of_samples samples =
+    match List.sort compare samples with
+    | [] -> { samples = []; median = nan; iqr = nan; q1 = nan; q3 = nan }
+    | sorted ->
+      let arr = Array.of_list sorted in
+      let n = Array.length arr in
+      let quantile p =
+        let pos = p *. float_of_int (n - 1) in
+        let lo = int_of_float (Float.floor pos) in
+        let hi = int_of_float (Float.ceil pos) in
+        let frac = pos -. Float.floor pos in
+        (arr.(lo) *. (1.0 -. frac)) +. (arr.(hi) *. frac)
+      in
+      let q1 = quantile 0.25 and q3 = quantile 0.75 in
+      { samples; median = quantile 0.5; iqr = q3 -. q1; q1; q3 }
+
+  type record = {
+    id : string;
+    experiment : string;
+    units : string;
+    params : (string * Json.t) list;
+    stats : sample_stats;
+  }
+
+  type t = {
+    tool : string;
+    mode : string;
+    created_unix : float;
+    mutable rev_records : record list;
+  }
+
+  let create ?(tool = "expfinder-bench") ?(mode = "quick") () =
+    { tool; mode; created_unix = Unix.time (); rev_records = [] }
+
+  let experiment_of_id id =
+    match String.index_opt id '.' with Some i -> String.sub id 0 i | None -> id
+
+  let add t ~id ?experiment ?(units = "ms") ?(params = []) samples =
+    let experiment =
+      match experiment with Some e -> e | None -> experiment_of_id id
+    in
+    t.rev_records <-
+      { id; experiment; units; params; stats = stats_of_samples samples } :: t.rev_records
+
+  let records t = List.rev t.rev_records
+
+  let record_json r =
+    Json.Obj
+      [
+        ("id", Json.Str r.id);
+        ("experiment", Json.Str r.experiment);
+        ("unit", Json.Str r.units);
+        ("params", Json.Obj r.params);
+        ("samples", Json.Arr (List.map (fun s -> Json.Float s) r.stats.samples));
+        ("median", Json.Float r.stats.median);
+        ("iqr", Json.Float r.stats.iqr);
+        ("q1", Json.Float r.stats.q1);
+        ("q3", Json.Float r.stats.q3);
+      ]
+
+  let to_json t =
+    Json.Obj
+      [
+        ("schema_version", Json.Int schema_version);
+        ("tool", Json.Str t.tool);
+        ("mode", Json.Str t.mode);
+        ("created_unix", Json.Float t.created_unix);
+        ("records", Json.Arr (List.map record_json (records t)));
+      ]
+
+  let write t path =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (Json.to_string ~pretty:true (to_json t)))
+
+  let field_str json key default =
+    Option.value ~default (Option.bind (Json.member key json) Json.str_opt)
+
+  let parse_record item =
+    match
+      ( Option.bind (Json.member "id" item) Json.str_opt,
+        Option.bind (Json.member "samples" item) Json.list_opt )
+    with
+    | Some id, Some sample_values -> (
+      match List.filter_map Json.float_opt sample_values with
+      | [] -> Error (Printf.sprintf "record %S has no numeric samples" id)
+      | samples ->
+        Ok
+          {
+            id;
+            experiment = field_str item "experiment" (experiment_of_id id);
+            units = field_str item "unit" "ms";
+            params = (match Json.member "params" item with Some (Json.Obj kv) -> kv | _ -> []);
+            (* Recomputed from the raw samples, so a report survives a
+               hand edit of the derived fields. *)
+            stats = stats_of_samples samples;
+          }
+      )
+    | _ -> Error "record lacks an \"id\" or a \"samples\" array"
+
+  let load path =
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception Sys_error e -> Error e
+    | text -> (
+      match Json.of_string text with
+      | Error e -> Error ("invalid JSON: " ^ e)
+      | Ok json -> (
+        match Json.member "schema_version" json with
+        | None -> Error "not a bench report (no schema_version)"
+        | Some v when v <> Json.Int schema_version ->
+          Error
+            (Printf.sprintf "unsupported schema_version (this build reads version %d)"
+               schema_version)
+        | Some _ -> (
+          match Option.bind (Json.member "records" json) Json.list_opt with
+          | None -> Error "report has no records array"
+          | Some items ->
+            let rec build acc = function
+              | [] ->
+                Ok
+                  {
+                    tool = field_str json "tool" "?";
+                    mode = field_str json "mode" "?";
+                    created_unix =
+                      Option.value ~default:0.0
+                        (Option.bind (Json.member "created_unix" json) Json.float_opt);
+                    rev_records = acc;
+                  }
+              | item :: rest -> (
+                match parse_record item with
+                | Ok r -> build (r :: acc) rest
+                | Error e -> Error e)
+            in
+            build [] items)))
+
+  type verdict = Regression | Improvement | Unchanged | Added | Removed
+
+  type comparison = {
+    cid : string;
+    verdict : verdict;
+    old_median : float;
+    new_median : float;
+    ratio : float;
+  }
+
+  let diff ?(threshold = 0.5) ?(min_ms = 0.05) ~baseline ~candidate () =
+    let base_by_id = Hashtbl.create 64 in
+    List.iter (fun r -> Hashtbl.replace base_by_id r.id r) (records baseline);
+    let compared =
+      List.map
+        (fun nr ->
+          match Hashtbl.find_opt base_by_id nr.id with
+          | None ->
+            { cid = nr.id; verdict = Added; old_median = nan; new_median = nr.stats.median; ratio = nan }
+          | Some br ->
+            Hashtbl.remove base_by_id nr.id;
+            let om = br.stats.median and nm = nr.stats.median in
+            let ratio = nm /. Float.max om 1e-9 in
+            (* Noise rule: a shift only counts when the Tukey intervals
+               [q1 - 1.5*iqr, q3 + 1.5*iqr] of the two runs do not
+               overlap.  The raw [q1, q3] box is too narrow at the
+               quick-mode sample counts (3 reps): two runs of the same
+               binary routinely land disjoint under load jitter. *)
+            let lo s = s.q1 -. (1.5 *. s.iqr) and hi s = s.q3 +. (1.5 *. s.iqr) in
+            let overlap =
+              lo br.stats <= hi nr.stats && lo nr.stats <= hi br.stats
+            in
+            let verdict =
+              if om < min_ms && nm < min_ms then Unchanged
+              else if ratio > 1.0 +. threshold && not overlap then Regression
+              else if ratio < 1.0 /. (1.0 +. threshold) && not overlap then Improvement
+              else Unchanged
+            in
+            { cid = nr.id; verdict; old_median = om; new_median = nm; ratio })
+        (records candidate)
+    in
+    let removed =
+      records baseline
+      |> List.filter (fun r -> Hashtbl.mem base_by_id r.id)
+      |> List.map (fun r ->
+             { cid = r.id; verdict = Removed; old_median = r.stats.median; new_median = nan; ratio = nan })
+    in
+    compared @ removed
+
+  let has_regression = List.exists (fun c -> c.verdict = Regression)
+
+  let pp_diff ppf comps =
+    let count v = List.length (List.filter (fun c -> c.verdict = v) comps) in
+    List.iter
+      (fun c ->
+        match c.verdict with
+        | Regression ->
+          Format.fprintf ppf "  REGRESSION  %-42s %10.3f -> %10.3f ms  (%.2fx)@." c.cid
+            c.old_median c.new_median c.ratio
+        | Improvement ->
+          Format.fprintf ppf "  improved    %-42s %10.3f -> %10.3f ms  (%.2fx)@." c.cid
+            c.old_median c.new_median c.ratio
+        | Added -> Format.fprintf ppf "  added       %-42s %10s -> %10.3f ms@." c.cid "-" c.new_median
+        | Removed -> Format.fprintf ppf "  removed     %-42s %10.3f -> %10s ms@." c.cid c.old_median "-"
+        | Unchanged -> ())
+      comps;
+    Format.fprintf ppf
+      "bench-diff: %d record(s): %d regression(s), %d improvement(s), %d unchanged, %d added, \
+       %d removed@."
+      (List.length comps) (count Regression) (count Improvement) (count Unchanged) (count Added)
+      (count Removed)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Recorder = struct
+  type event = {
+    seq : int;
+    query : string;
+    strategy : string;
+    duration_ms : float;
+    slow : bool;
+    counters : (string * int) list;
+  }
+
+  let capacity = 64
+
+  (* Unlike the metrics/span machinery the recorder is always on: one
+     array store per query, so there is always a tail of recent history
+     to dump when something goes wrong. *)
+  let slow_ms = ref (Option.bind (Sys.getenv_opt "EXPFINDER_SLOW_MS") float_of_string_opt)
+
+  let set_slow_threshold_ms v = slow_ms := v
+
+  let slow_threshold_ms () = !slow_ms
+
+  let buf : event option array = Array.make capacity None
+
+  let next_seq = ref 0
+
+  let record ~query ~strategy ~duration_ms ~counters =
+    let seq = !next_seq in
+    next_seq := seq + 1;
+    let slow = match !slow_ms with Some t -> duration_ms >= t | None -> false in
+    buf.(seq mod capacity) <- Some { seq; query; strategy; duration_ms; slow; counters }
+
+  let recent () =
+    Array.to_list buf
+    |> List.filter_map Fun.id
+    |> List.sort (fun a b -> compare a.seq b.seq)
+
+  let slow_events () = List.filter (fun e -> e.slow) (recent ())
+
+  let clear () =
+    Array.fill buf 0 capacity None;
+    next_seq := 0
+
+  let event_json e =
+    Json.Obj
+      [
+        ("seq", Json.Int e.seq);
+        ("query", Json.Str e.query);
+        ("strategy", Json.Str e.strategy);
+        ("duration_ms", Json.Float e.duration_ms);
+        ("slow", Json.Bool e.slow);
+        ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) e.counters));
+      ]
+
+  let to_json () = Json.Arr (List.map event_json (recent ()))
+
+  let pp ppf () =
+    match recent () with
+    | [] -> Format.fprintf ppf "flight recorder: empty@."
+    | events ->
+      Format.fprintf ppf "flight recorder: %d event(s), capacity %d%s@." (List.length events)
+        capacity
+        (match !slow_ms with
+        | Some t -> Printf.sprintf ", slow >= %g ms" t
+        | None -> ", no slow threshold (EXPFINDER_SLOW_MS unset)");
+      List.iter
+        (fun e ->
+          Format.fprintf ppf "  #%-4d %s %9.3f ms  %-18s %s@." e.seq
+            (if e.slow then "SLOW" else "    ")
+            e.duration_ms e.strategy e.query;
+          match e.counters with
+          | [] -> ()
+          | counters ->
+            Format.fprintf ppf "        %s@."
+              (String.concat " " (List.map (fun (k, v) -> Printf.sprintf "%s=%+d" k v) counters)))
+        events
+end

@@ -22,6 +22,45 @@ val set_enabled : bool -> unit
 
 val enabled : unit -> bool
 
+(** {1 JSON}
+
+    A dependency-free JSON value with an emitter and a parser: the
+    serialization substrate for metric dumps, span trees, bench reports
+    and flight-recorder dumps. *)
+
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val to_string : ?pretty:bool -> t -> string
+  (** Serialize.  Non-finite floats become [null]; strings are escaped.
+      [~pretty:true] indents with two spaces and ends with a newline. *)
+
+  val of_string : string -> (t, string) result
+  (** Parse a complete JSON document (trailing garbage is an error). *)
+
+  val escape : string -> string
+  (** The string-literal escaping used by the emitter (no quotes). *)
+
+  val member : string -> t -> t option
+  (** Field lookup on an [Obj]; [None] on other constructors. *)
+
+  val str_opt : t -> string option
+
+  val int_opt : t -> int option
+
+  val float_opt : t -> float option
+  (** Accepts both [Float] and [Int]. *)
+
+  val list_opt : t -> t list option
+end
+
 (** {1 Metrics} *)
 
 module Counter : sig
@@ -113,6 +152,11 @@ module Metrics : sig
 
   val pp : Format.formatter -> unit -> unit
   (** Dump the registry, one metric per line, sorted by name. *)
+
+  val to_json : unit -> Json.t
+  (** The registry as one object, sorted by name: counters and gauges as
+      [{kind; value}], histograms as [{kind; count; sum; min; max; p50;
+      p95; p99}] (the [expfinder stats --json] dump). *)
 end
 
 (** {1 Span tracing} *)
@@ -146,6 +190,11 @@ module Span : sig
   (** The tree as a Chrome trace-event JSON array ([ph:"X"] complete
       events, microsecond timestamps), loadable in [chrome://tracing]
       or [ui.perfetto.dev]. *)
+
+  val to_json : t -> Json.t
+  (** The tree as a nested [{name; duration_ms; attrs; children}]
+      object (the report/profile serialization, unlike the flat
+      Chrome-event array of {!to_chrome_json}). *)
 end
 
 val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
@@ -174,3 +223,133 @@ val now_us : unit -> float
 val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f] and returns its result with the elapsed wall time
     in milliseconds (the benchmark harness's timer). *)
+
+(** {1 Structured performance reports}
+
+    Machine-readable benchmark reports ([BENCH_<tag>.json]): one record
+    per measured experiment — id, workload params, raw samples,
+    median/IQR — under a schema version, plus the pairing/diffing logic
+    behind [expfinder bench-diff]. *)
+
+module Report : sig
+  val schema_version : int
+  (** Version of the on-disk report format (currently [1]); {!load}
+      rejects reports written under any other version. *)
+
+  type sample_stats = {
+    samples : float list;  (** raw samples, as measured *)
+    median : float;  (** true median (mean of the middle pair when even) *)
+    iqr : float;  (** [q3 - q1] *)
+    q1 : float;
+    q3 : float;
+  }
+
+  val stats_of_samples : float list -> sample_stats
+  (** Quartiles by linear interpolation between order statistics; all
+      [nan] on an empty list. *)
+
+  type record = {
+    id : string;  (** unique within a report, e.g. ["EXP-Q1.bsim.n=2000"] *)
+    experiment : string;  (** the owning experiment, e.g. ["EXP-Q1"] *)
+    units : string;  (** the samples' unit (almost always ["ms"]) *)
+    params : (string * Json.t) list;  (** workload parameters *)
+    stats : sample_stats;
+  }
+
+  type t
+  (** A mutable report under construction (or loaded from disk). *)
+
+  val create : ?tool:string -> ?mode:string -> unit -> t
+  (** Fresh empty report.  [mode] records quick vs full so reports from
+      different sweep sizes are not diffed against each other blindly. *)
+
+  val add :
+    t -> id:string -> ?experiment:string -> ?units:string -> ?params:(string * Json.t) list ->
+    float list -> unit
+  (** Append a record.  [experiment] defaults to the [id] prefix before
+      the first ['.']. *)
+
+  val records : t -> record list
+  (** In insertion order. *)
+
+  val to_json : t -> Json.t
+
+  val write : t -> string -> unit
+  (** Pretty-printed JSON to the given path. *)
+
+  val load : string -> (t, string) result
+  (** Read a report back, checking the schema version; derived stats are
+      recomputed from the raw samples. *)
+
+  (** {2 Regression diffing} *)
+
+  type verdict = Regression | Improvement | Unchanged | Added | Removed
+
+  type comparison = {
+    cid : string;  (** record id *)
+    verdict : verdict;
+    old_median : float;  (** [nan] for [Added] *)
+    new_median : float;  (** [nan] for [Removed] *)
+    ratio : float;  (** [new_median / old_median]; [nan] when unpaired *)
+  }
+
+  val diff :
+    ?threshold:float -> ?min_ms:float -> baseline:t -> candidate:t -> unit -> comparison list
+  (** Pair records by id and compare medians.  A pair is a regression
+      when the median grew by more than [threshold] (default 0.5, i.e.
+      +50%) {e and} the Tukey intervals [q1 - 1.5*iqr, q3 + 1.5*iqr]
+      of the two runs do not overlap (the IQR noise rule; the wide
+      fences keep low-rep quick-mode runs from self-flagging);
+      symmetrically for improvements.  Pairs whose medians are both
+      below [min_ms] (default 0.05 ms) are noise and always
+      [Unchanged]. *)
+
+  val has_regression : comparison list -> bool
+
+  val pp_diff : Format.formatter -> comparison list -> unit
+  (** One line per non-[Unchanged] comparison plus a summary line. *)
+end
+
+(** {1 Flight recorder}
+
+    An always-on, fixed-size ring buffer of recent query events (the
+    last {!Recorder.capacity} queries): pattern digest, strategy,
+    duration and per-query counter deltas.  Queries at least
+    [EXPFINDER_SLOW_MS] milliseconds long are flagged as slow.  Dumped
+    by [expfinder stats --recent] and automatically when the
+    differential self-check fails. *)
+
+module Recorder : sig
+  type event = {
+    seq : int;  (** monotonic sequence number of the query *)
+    query : string;  (** pattern fingerprint *)
+    strategy : string;  (** provenance / refinement strategy *)
+    duration_ms : float;
+    slow : bool;  (** duration reached the slow threshold *)
+    counters : (string * int) list;  (** nonzero counter deltas *)
+  }
+
+  val capacity : int
+  (** Ring size (64 events); older events are overwritten. *)
+
+  val slow_threshold_ms : unit -> float option
+  (** The slow-query threshold; initialised from [EXPFINDER_SLOW_MS],
+      [None] when unset (nothing is flagged). *)
+
+  val set_slow_threshold_ms : float option -> unit
+
+  val record :
+    query:string -> strategy:string -> duration_ms:float -> counters:(string * int) list -> unit
+  (** Push an event (the engine calls this on every query). *)
+
+  val recent : unit -> event list
+  (** Buffered events, oldest first. *)
+
+  val slow_events : unit -> event list
+
+  val clear : unit -> unit
+
+  val pp : Format.formatter -> unit -> unit
+
+  val to_json : unit -> Json.t
+end

@@ -1,6 +1,9 @@
 (* Smoke test for the experiment harness: run one cheap experiment as a
    subprocess so a broken bench/main.ml is caught by `dune runtest`
-   instead of at benchmark time. *)
+   instead of at benchmark time, and validate the --json report against
+   the schema the regression gate consumes. *)
+
+module Telemetry = Expfinder_telemetry
 
 let exe =
   let candidates =
@@ -39,9 +42,43 @@ let test_exp_f1 exe () =
   (* The filter really filtered: no other experiment header appears. *)
   Alcotest.(check bool) "only EXP-F1 ran" false (contains out "EXP-F2")
 
+let test_json_report exe () =
+  let path = Filename.temp_file "expfinder-bench" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let code, out = run exe [ "--only"; "EXP-F1"; "--json"; path ] in
+      Alcotest.(check int) "harness exits 0" 0 code;
+      Alcotest.(check bool) "report announced" true (contains out "structured report");
+      (* The report loads under the current schema (version checked,
+         stats recomputed from the raw samples). *)
+      match Telemetry.Report.load path with
+      | Error e -> Alcotest.fail ("report does not load: " ^ e)
+      | Ok report -> (
+        match Telemetry.Report.records report with
+        | [ record ] ->
+          let open Telemetry.Report in
+          Alcotest.(check string) "one wall record for the experiment" "EXP-F1" record.id;
+          Alcotest.(check string) "experiment id" "EXP-F1" record.experiment;
+          Alcotest.(check string) "milliseconds" "ms" record.units;
+          Alcotest.(check bool) "raw samples present" true (record.stats.samples <> []);
+          Alcotest.(check bool)
+            "median is a finite duration" true
+            (Float.is_finite record.stats.median && record.stats.median >= 0.0)
+        | records ->
+          Alcotest.fail
+            (Printf.sprintf "expected exactly 1 record for EXP-F1, got %d"
+               (List.length records))))
+
 let () =
   match exe with
   | None -> Alcotest.run "bench_smoke" [ ("skipped", []) ]
   | Some exe ->
     Alcotest.run "bench_smoke"
-      [ ("harness", [ Alcotest.test_case "EXP-F1 via --only" `Quick (test_exp_f1 exe) ]) ]
+      [
+        ( "harness",
+          [
+            Alcotest.test_case "EXP-F1 via --only" `Quick (test_exp_f1 exe);
+            Alcotest.test_case "--json report schema" `Quick (test_json_report exe);
+          ] );
+      ]

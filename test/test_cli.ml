@@ -104,6 +104,71 @@ let cli_workflow exe () =
       Alcotest.(check bool) "demo rank" true (contains out "9/5");
       Alcotest.(check bool) "demo delta" true (contains out "(SD, Fred)"))
 
+(* One record per report, with IQR-tight samples so the diff verdict is
+   deterministic. *)
+let report_json ~median =
+  Printf.sprintf
+    "{\"schema_version\": 1, \"tool\": \"test\", \"mode\": \"quick\", \"created_unix\": 0.0,\n\
+    \ \"records\": [{\"id\": \"EXP-Q1.bsim.n=2000\", \"experiment\": \"EXP-Q1\",\n\
+    \ \"unit\": \"ms\", \"params\": {}, \"samples\": [%.1f, %.1f, %.1f]}]}\n"
+    (median -. 0.1) median (median +. 0.1)
+
+let cli_observability exe () =
+  with_tmpdir (fun dir ->
+      let graph = Filename.concat dir "collab.graph" in
+      let query = Filename.concat dir "q.pattern" in
+      write query paper_query;
+      let code, _ = run exe [ "gen"; "--kind"; "collab"; "-o"; graph ] in
+      Alcotest.(check int) "gen exits 0" 0 code;
+      (* explain, plan only *)
+      let code, out = run exe [ "explain"; "-g"; graph; "-q"; query ] in
+      Alcotest.(check int) "explain exits 0" 0 code;
+      Alcotest.(check bool) "plan printed" true (contains out "strategy:");
+      Alcotest.(check bool) "no actuals without --analyze" false (contains out "act.cand");
+      (* explain --analyze: estimated-vs-actual table *)
+      let code, out = run exe [ "explain"; "-g"; graph; "-q"; query; "--analyze" ] in
+      Alcotest.(check int) "explain --analyze exits 0" 0 code;
+      Alcotest.(check bool) "est vs actual table" true (contains out "act.cand");
+      Alcotest.(check bool) "per-node rows" true (contains out "SA");
+      (* stats --json: machine-readable registry *)
+      let code, out = run exe [ "stats"; "-g"; graph; "-q"; query; "--json" ] in
+      Alcotest.(check int) "stats --json exits 0" 0 code;
+      Alcotest.(check bool) "registry as JSON" true (contains out "\"engine.queries\"");
+      Alcotest.(check bool) "counter kinds" true (contains out "\"kind\": \"counter\"");
+      Alcotest.(check bool) "histograms serialized" true (contains out "\"p95\"");
+      (* stats --recent: the flight recorder captured the query *)
+      let code, out = run exe [ "stats"; "-g"; graph; "-q"; query; "--recent" ] in
+      Alcotest.(check int) "stats --recent exits 0" 0 code;
+      Alcotest.(check bool) "flight recorder dumped" true (contains out "flight recorder");
+      Alcotest.(check bool) "query event recorded" true (contains out "direct/"))
+
+let cli_bench_diff exe () =
+  with_tmpdir (fun dir ->
+      let old_file = Filename.concat dir "old.json" in
+      let same_file = Filename.concat dir "same.json" in
+      let slow_file = Filename.concat dir "slow.json" in
+      write old_file (report_json ~median:10.0);
+      write same_file (report_json ~median:10.05);
+      write slow_file (report_json ~median:25.0);
+      let code, out = run exe [ "bench-diff"; old_file; same_file ] in
+      Alcotest.(check int) "identical medians exit 0" 0 code;
+      Alcotest.(check bool) "no regression reported" false (contains out "REGRESSION");
+      let code, out = run exe [ "bench-diff"; old_file; slow_file ] in
+      Alcotest.(check bool) "2.5x slowdown exits non-zero" true (code <> 0);
+      Alcotest.(check bool) "regression reported" true (contains out "REGRESSION");
+      (* The improvement direction does not gate. *)
+      let code, out = run exe [ "bench-diff"; slow_file; old_file ] in
+      Alcotest.(check int) "improvement exits 0" 0 code;
+      Alcotest.(check bool) "improvement reported" true (contains out "improved");
+      (* A custom threshold turns the same pair into a pass. *)
+      let code, _ = run exe [ "bench-diff"; old_file; slow_file; "--threshold"; "2.0" ] in
+      Alcotest.(check int) "looser threshold passes" 0 code;
+      (* Corrupt input is a clean error, not a crash. *)
+      let bad = Filename.concat dir "bad.json" in
+      write bad "{not json";
+      let code, _ = run exe [ "bench-diff"; old_file; bad ] in
+      Alcotest.(check int) "bad report rejected" 1 code)
+
 let cli_errors exe () =
   with_tmpdir (fun dir ->
       let missing = Filename.concat dir "missing.graph" in
@@ -127,6 +192,8 @@ let () =
         ( "workflow",
           [
             Alcotest.test_case "full file workflow" `Quick (cli_workflow exe);
+            Alcotest.test_case "observability commands" `Quick (cli_observability exe);
+            Alcotest.test_case "bench-diff gate" `Quick (cli_bench_diff exe);
             Alcotest.test_case "error handling" `Quick (cli_errors exe);
           ] );
       ]

@@ -96,6 +96,83 @@ let test_explain_mentions_everything () =
       Alcotest.(check bool) ("explain mentions " ^ needle) true (scan 0))
     [ "SA"; "SD"; "BA"; "ST"; "strategy"; "candidates" ]
 
+let contains text needle =
+  let n = String.length text and k = String.length needle in
+  let rec scan i = i + k <= n && (String.sub text i k = needle || scan (i + 1)) in
+  scan 0
+
+let test_execute_records_actuals () =
+  let g = Csr.of_digraph (Collab.graph ()) in
+  let q = Collab.query () in
+  let m, plan = Planner.run_with_plan q g in
+  Alcotest.(check bool) "kernel is total" true (Match_relation.is_total m);
+  match plan.Planner.actuals with
+  | None -> Alcotest.fail "execute must record actuals"
+  | Some { Planner.candidates; matched } ->
+    (* The Fig. 1 estimates are exact (full-population probes), so every
+       candidate set matches its estimate and nothing is misestimated. *)
+    Array.iteri
+      (fun u est ->
+        Alcotest.(check int)
+          (Printf.sprintf "node %d actual = estimate" u)
+          (int_of_float est) candidates.(u))
+      plan.Planner.estimates;
+    (* SD keeps Mat/Dan/Pat of its 4 candidates; refinement removed Fred. *)
+    Alcotest.(check int) "SD matched 3 of 4" 3 matched.(1);
+    Alcotest.(check int) "SA matched both" 2 matched.(0)
+
+let test_early_exit_actuals_sentinel () =
+  let g = Csr.of_digraph (Collab.graph ()) in
+  let nodes =
+    [|
+      { Pattern.name = "SA"; label = Some (Label.of_string "SA"); pred = Predicate.always };
+      { Pattern.name = "CEO"; label = Some (Label.of_string "CEO"); pred = Predicate.always };
+    |]
+  in
+  let q = Pattern.make_exn ~nodes ~edges:[ (0, 1, Pattern.Bounded 2) ] ~output:0 in
+  let _, plan = Planner.run_with_plan q g in
+  match plan.Planner.actuals with
+  | None -> Alcotest.fail "early exit still records actuals"
+  | Some { Planner.candidates; matched } ->
+    (* CEO (no candidates) exits first; SA's set is never materialised. *)
+    Alcotest.(check int) "empty node has 0 candidates" 0 candidates.(1);
+    Alcotest.(check int) "unmaterialised node is -1" (-1) candidates.(0);
+    Alcotest.(check int) "nothing matched" 0 (matched.(0) + matched.(1))
+
+let test_explain_analyze_table () =
+  let g = Csr.of_digraph (Collab.graph ()) in
+  let q = Collab.query () in
+  let _, plan = Planner.run_with_plan q g in
+  let text = Planner.explain_analyze q plan in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("explain_analyze mentions " ^ needle) true (contains text needle))
+    [ "est.cand"; "act.cand"; "matched"; "removed"; "SA"; "SD" ];
+  (* Without execution there is no table, only a note. *)
+  let unexecuted = Planner.explain_analyze q (Planner.plan q g) in
+  Alcotest.(check bool)
+    "unexecuted plan says so" true
+    (contains unexecuted "not executed")
+
+let test_misestimate_counter () =
+  let open Expfinder_telemetry in
+  let c = Metrics.counter "planner.misestimate" in
+  set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> set_enabled false)
+    (fun () ->
+      Counter.reset c;
+      let g = Csr.of_digraph (Collab.graph ()) in
+      let q = Collab.query () in
+      let _ = Planner.run q g in
+      Alcotest.(check int) "exact estimates: no misestimate" 0 (Counter.value c);
+      (* Cook a plan whose estimates are wildly off: with smoothing,
+         (60+1)/(2+1) > 4 flags SA (2 actual candidates). *)
+      let plan = Planner.plan q g in
+      Array.fill plan.Planner.estimates 0 (Array.length plan.Planner.estimates) 60.0;
+      let _ = Planner.execute plan q g in
+      Alcotest.(check bool) "misestimates counted" true (Counter.value c > 0))
+
 let prop_planned_equals_unplanned ~simulation seed =
   let rng = Prng.create seed in
   let g = Csr.of_digraph (random_graph rng) in
@@ -139,6 +216,13 @@ let () =
           Alcotest.test_case "strategy choice" `Quick test_strategy_choice;
           Alcotest.test_case "early exit" `Quick test_early_exit_on_impossible;
           Alcotest.test_case "explain" `Quick test_explain_mentions_everything;
+        ] );
+      ( "analyze",
+        [
+          Alcotest.test_case "execute records actuals" `Quick test_execute_records_actuals;
+          Alcotest.test_case "early-exit sentinel" `Quick test_early_exit_actuals_sentinel;
+          Alcotest.test_case "explain_analyze table" `Quick test_explain_analyze_table;
+          Alcotest.test_case "misestimate counter" `Quick test_misestimate_counter;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest qcheck_cases);
     ]

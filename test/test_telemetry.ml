@@ -49,6 +49,40 @@ let test_histogram_percentiles () =
   Histogram.reset h;
   Alcotest.(check int) "reset empties" 0 (Histogram.count h)
 
+let test_histogram_edge_cases () =
+  let h = Histogram.create ~always:true "t.hist.edge" in
+  (* Empty: every percentile is nan, as are min and max. *)
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "empty p%.0f is nan" (100.0 *. p))
+        true
+        (Float.is_nan (Histogram.percentile h p)))
+    [ 0.0; 0.5; 1.0 ];
+  (* A single sample: clamping pins every percentile to that sample. *)
+  Histogram.observe h 42.0;
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "single-sample p%.0f" (100.0 *. p))
+        42.0 (Histogram.percentile h p))
+    [ 0.0; 0.5; 1.0 ];
+  Alcotest.(check int) "single-sample count" 1 (Histogram.count h);
+  Histogram.reset h
+
+let test_delta_across_reset_all () =
+  let c = Metrics.counter ~always:true "t.reg.reset_delta" in
+  Counter.reset c;
+  Counter.add c 5;
+  let before = Metrics.counters_snapshot () in
+  Metrics.reset_all ();
+  let after = Metrics.counters_snapshot () in
+  (* Deltas spanning a reset go negative: pinned-down, documented
+     behaviour the report layer must expect (not silently clamped). *)
+  Alcotest.(check bool)
+    "delta across reset_all is negative" true
+    (List.assoc_opt "t.reg.reset_delta" (Metrics.delta ~before ~after) = Some (-5))
+
 let test_counter_saturation () =
   let c = Counter.create ~always:true "t.sat" in
   Counter.add c (max_int - 2);
@@ -309,6 +343,212 @@ let test_chrome_trace_roundtrip () =
         | _ -> Alcotest.fail "root lacks args")
       | _ -> ())
 
+(* --- Json emitter/parser ------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("s", Json.Str "a \"quoted\"\nline\twith \\ specials");
+        ("i", Json.Int (-42));
+        ("f", Json.Float 1.5);
+        ("b", Json.Bool true);
+        ("nothing", Json.Null);
+        ("arr", Json.Arr [ Json.Int 1; Json.Float 2.25; Json.Str "x" ]);
+        ("nested", Json.Obj [ ("empty_arr", Json.Arr []); ("empty_obj", Json.Obj []) ]);
+      ]
+  in
+  (match Json.of_string (Json.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "compact round-trip" true (v = v')
+  | Error e -> Alcotest.fail ("compact parse failed: " ^ e));
+  (match Json.of_string (Json.to_string ~pretty:true v) with
+  | Ok v' -> Alcotest.(check bool) "pretty round-trip" true (v = v')
+  | Error e -> Alcotest.fail ("pretty parse failed: " ^ e));
+  (* Non-finite floats are emitted as null, never as bare words. *)
+  Alcotest.(check string) "nan -> null" "null" (Json.to_string (Json.Float Float.nan));
+  Alcotest.(check string)
+    "inf -> null" "null"
+    (Json.to_string (Json.Float Float.infinity));
+  (* Parse errors, not exceptions. *)
+  Alcotest.(check bool) "trailing garbage rejected" true (Json.of_string "1 2" |> Result.is_error);
+  Alcotest.(check bool) "unterminated string rejected" true (Json.of_string "\"x" |> Result.is_error);
+  (* Accessors. *)
+  let m = Json.member "i" v in
+  Alcotest.(check (option int)) "member/int_opt" (Some (-42)) (Option.bind m Json.int_opt);
+  Alcotest.(check (option (float 1e-9)))
+    "float_opt accepts Int" (Some (-42.0))
+    (Option.bind m Json.float_opt)
+
+let test_metrics_to_json () =
+  let c = Metrics.counter ~always:true "t.json.counter" in
+  Counter.reset c;
+  Counter.add c 3;
+  let j = Metrics.to_json () in
+  match Json.member "t.json.counter" j with
+  | Some entry ->
+    Alcotest.(check (option string))
+      "kind" (Some "counter")
+      (Option.bind (Json.member "kind" entry) Json.str_opt);
+    Alcotest.(check (option int))
+      "value" (Some 3)
+      (Option.bind (Json.member "value" entry) Json.int_opt)
+  | None -> Alcotest.fail "registered counter missing from Metrics.to_json"
+
+(* --- structured reports ------------------------------------------------- *)
+
+let test_report_stats () =
+  let s = Report.stats_of_samples [ 4.0; 1.0; 3.0; 2.0 ] in
+  Alcotest.(check (float 1e-9)) "even-count median is the middle-pair mean" 2.5 s.Report.median;
+  Alcotest.(check (float 1e-9)) "q1" 1.75 s.Report.q1;
+  Alcotest.(check (float 1e-9)) "q3" 3.25 s.Report.q3;
+  Alcotest.(check (float 1e-9)) "iqr" 1.5 s.Report.iqr;
+  let one = Report.stats_of_samples [ 7.0 ] in
+  Alcotest.(check (float 1e-9)) "singleton median" 7.0 one.Report.median;
+  Alcotest.(check (float 1e-9)) "singleton iqr" 0.0 one.Report.iqr;
+  Alcotest.(check bool)
+    "empty stats are nan" true
+    (Float.is_nan (Report.stats_of_samples []).Report.median)
+
+let with_tmpfile f =
+  let path = Filename.temp_file "expfinder-report" ".json" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let make_report samples_by_id =
+  let r = Report.create ~mode:"test" () in
+  List.iter
+    (fun (id, samples) ->
+      Report.add r ~id ~params:[ ("n", Json.Int 2000) ] samples)
+    samples_by_id;
+  r
+
+let test_report_write_load () =
+  with_tmpfile (fun path ->
+      let r = make_report [ ("EXP-Q1.bsim.n=2000", [ 1.0; 2.0; 3.0 ]); ("EXP-K1", [ 0.5 ]) ] in
+      Report.write r path;
+      match Report.load path with
+      | Error e -> Alcotest.fail ("load failed: " ^ e)
+      | Ok loaded -> (
+        match Report.records loaded with
+        | [ a; b ] ->
+          Alcotest.(check string) "id" "EXP-Q1.bsim.n=2000" a.Report.id;
+          Alcotest.(check string) "experiment derived from id" "EXP-Q1" a.Report.experiment;
+          Alcotest.(check (list (float 1e-9)))
+            "raw samples survive" [ 1.0; 2.0; 3.0 ]
+            a.Report.stats.Report.samples;
+          Alcotest.(check (float 1e-9)) "median recomputed" 2.0 a.Report.stats.Report.median;
+          Alcotest.(check string) "second id" "EXP-K1" b.Report.id
+        | records -> Alcotest.fail (Printf.sprintf "expected 2 records, got %d" (List.length records))))
+
+let test_report_rejects_other_schema () =
+  with_tmpfile (fun path ->
+      let oc = open_out path in
+      output_string oc "{\"schema_version\": 999, \"records\": []}";
+      close_out oc;
+      Alcotest.(check bool) "future schema rejected" true (Report.load path |> Result.is_error))
+
+let test_report_diff () =
+  let baseline =
+    make_report [ ("a", [ 10.0; 10.1; 10.2 ]); ("b", [ 5.0; 5.1; 5.2 ]); ("gone", [ 1.0 ]) ]
+  in
+  (* a regressed 2.5x with a disjoint spread; b is within noise. *)
+  let candidate =
+    make_report [ ("a", [ 25.0; 25.1; 25.2 ]); ("b", [ 5.1; 5.2; 5.3 ]); ("new", [ 1.0 ]) ]
+  in
+  let comparisons = Report.diff ~baseline ~candidate () in
+  let verdict id =
+    (List.find (fun c -> c.Report.cid = id) comparisons).Report.verdict
+  in
+  Alcotest.(check bool) "2.5x slowdown is a regression" true (verdict "a" = Report.Regression);
+  Alcotest.(check bool) "noise-level change is unchanged" true (verdict "b" = Report.Unchanged);
+  Alcotest.(check bool) "removed record tracked" true (verdict "gone" = Report.Removed);
+  Alcotest.(check bool) "added record tracked" true (verdict "new" = Report.Added);
+  Alcotest.(check bool) "has_regression" true (Report.has_regression comparisons);
+  (* A report diffed against itself is entirely quiet. *)
+  let self = Report.diff ~baseline ~candidate:baseline () in
+  Alcotest.(check bool)
+    "self-diff has no regressions or improvements" true
+    (List.for_all (fun c -> c.Report.verdict = Report.Unchanged) self)
+
+let test_report_diff_iqr_noise_rule () =
+  (* Median grew >50% but the spreads overlap: noisy, not a regression. *)
+  let baseline = make_report [ ("x", [ 1.0; 2.0; 9.0 ]) ] in
+  let candidate = make_report [ ("x", [ 1.5; 3.5; 8.0 ]) ] in
+  match Report.diff ~baseline ~candidate () with
+  | [ c ] ->
+    Alcotest.(check bool)
+      "overlapping IQRs suppress the verdict" true
+      (c.Report.verdict = Report.Unchanged)
+  | _ -> Alcotest.fail "expected one comparison"
+
+(* --- flight recorder ---------------------------------------------------- *)
+
+let test_recorder_ring () =
+  Recorder.clear ();
+  Recorder.set_slow_threshold_ms (Some 1.0);
+  Fun.protect
+    ~finally:(fun () ->
+      Recorder.set_slow_threshold_ms None;
+      Recorder.clear ())
+    (fun () ->
+      for i = 1 to Recorder.capacity + 5 do
+        Recorder.record
+          ~query:(Printf.sprintf "q%d" i)
+          ~strategy:"direct/simulation"
+          ~duration_ms:(if i mod 10 = 0 then 2.0 else 0.1)
+          ~counters:[ ("engine.queries", 1) ]
+      done;
+      let events = Recorder.recent () in
+      Alcotest.(check int) "ring keeps the last capacity events" Recorder.capacity
+        (List.length events);
+      (match (events, List.rev events) with
+      | oldest :: _, newest :: _ ->
+        Alcotest.(check string) "oldest survivor" "q6" oldest.Recorder.query;
+        Alcotest.(check string) "newest event" (Printf.sprintf "q%d" (Recorder.capacity + 5))
+          newest.Recorder.query;
+        Alcotest.(check bool) "sequence numbers increase" true
+          (newest.Recorder.seq > oldest.Recorder.seq)
+      | _ -> Alcotest.fail "empty recorder");
+      Alcotest.(check bool)
+        "slow events flagged by the threshold" true
+        (Recorder.slow_events () <> []
+        && List.for_all (fun e -> e.Recorder.duration_ms >= 1.0) (Recorder.slow_events ()));
+      (* The dump is valid JSON with the counter deltas attached. *)
+      (match Json.of_string (Json.to_string (Recorder.to_json ())) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail ("recorder JSON invalid: " ^ e));
+      Recorder.clear ();
+      Alcotest.(check (list reject)) "clear empties" [] (Recorder.recent ()))
+
+let test_recorder_captures_engine_queries () =
+  Recorder.clear ();
+  Fun.protect
+    ~finally:(fun () -> Recorder.clear ())
+    (fun () ->
+      let engine = Engine.create (Collab.graph ()) in
+      let q = Collab.query () in
+      (* Recording itself is always on; the registered counters only move
+         with telemetry enabled, so enable it to see the deltas. *)
+      with_telemetry true (fun () ->
+          let (_ : Engine.answer) = Engine.evaluate engine q in
+          let (_ : Engine.answer) = Engine.evaluate engine q in
+          ());
+      match Recorder.recent () with
+      | [ first; second ] ->
+        Alcotest.(check string)
+          "query digest recorded" (Pattern.fingerprint q) first.Recorder.query;
+        Alcotest.(check bool)
+          "cold query went direct" true
+          (String.length first.Recorder.strategy >= 7
+          && String.sub first.Recorder.strategy 0 7 = "direct/");
+        Alcotest.(check string) "warm query hit the cache" "cache" second.Recorder.strategy;
+        Alcotest.(check bool)
+          "per-query counter deltas captured" true
+          (List.assoc_opt "engine.queries" first.Recorder.counters = Some 1
+          && List.mem_assoc "engine.answers.direct" first.Recorder.counters)
+      | events ->
+        Alcotest.fail
+          (Printf.sprintf "expected 2 recorded events, got %d" (List.length events)))
+
 (* --- registry ----------------------------------------------------------- *)
 
 let test_registry_snapshot_delta () =
@@ -331,9 +571,31 @@ let () =
       ( "metrics",
         [
           Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+          Alcotest.test_case "histogram edge cases" `Quick test_histogram_edge_cases;
           Alcotest.test_case "counter saturation" `Quick test_counter_saturation;
           Alcotest.test_case "counter gating" `Quick test_counter_gating;
           Alcotest.test_case "registry snapshot delta" `Quick test_registry_snapshot_delta;
+          Alcotest.test_case "delta across reset_all" `Quick test_delta_across_reset_all;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "emitter/parser roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "metrics registry as JSON" `Quick test_metrics_to_json;
+        ] );
+      ( "reports",
+        [
+          Alcotest.test_case "sample stats" `Quick test_report_stats;
+          Alcotest.test_case "write/load roundtrip" `Quick test_report_write_load;
+          Alcotest.test_case "other schema versions rejected" `Quick
+            test_report_rejects_other_schema;
+          Alcotest.test_case "regression diffing" `Quick test_report_diff;
+          Alcotest.test_case "IQR-overlap noise rule" `Quick test_report_diff_iqr_noise_rule;
+        ] );
+      ( "recorder",
+        [
+          Alcotest.test_case "ring buffer and slow flags" `Quick test_recorder_ring;
+          Alcotest.test_case "captures engine queries" `Quick
+            test_recorder_captures_engine_queries;
         ] );
       ( "profiles",
         [
