@@ -1,4 +1,4 @@
-.PHONY: all build test lint check bench bench-full bench-json bench-gate examples demo clean
+.PHONY: all build test lint lint-mli check bench bench-full bench-json bench-gate examples demo clean
 
 all: build
 
@@ -18,13 +18,29 @@ lint:
 	fi
 	dune build @all --profile dev
 
+# Strict interface lint (odoc is not in the container, so this stands in
+# for `dune build @doc`): every library module must ship an explicit
+# .mli, and every .mli must carry at least one (** ... *) doc comment.
+# graph_intf.ml is signature-only (no implementation to hide) and is the
+# single sanctioned exception.
+lint-mli:
+	@missing=0; \
+	for f in lib/*/*.ml; do \
+	  case "$$f" in lib/graph/graph_intf.ml) continue ;; esac; \
+	  if [ ! -f "$${f}i" ]; then echo "lint-mli: missing interface $${f}i"; missing=1; fi; \
+	done; \
+	for f in lib/*/*.mli; do \
+	  if ! grep -q '(\*\*' "$$f"; then echo "lint-mli: no doc comment in $$f"; missing=1; fi; \
+	done; \
+	[ $$missing -eq 0 ] && echo "lint-mli: ok"
+
 # Pre-merge gate: lint + tests, then the whole suite again with the
 # differential self-checker on (every cached/compressed/indexed answer
 # re-verified against direct evaluation; <1s overhead), then a soft
 # perf-regression check against the committed baseline (warn-only here:
 # quick-mode medians are too noisy to block a merge on; run bench-gate
 # directly for a hard verdict).
-check: lint
+check: lint lint-mli
 	dune runtest
 	EXPFINDER_CHECK=1 dune runtest --force
 	-@if [ -f BENCH_baseline.json ]; then $(MAKE) --no-print-directory bench-gate; fi
@@ -36,8 +52,11 @@ bench-full:
 	dune exec bench/main.exe -- --full --bechamel
 
 # Machine-readable quick-mode report (schema consumed by bench-diff).
+# Writes the committed baseline directly: run before a release (or after
+# an intentional perf change) and commit the result so bench-gate and
+# bench-diff compare against it.
 bench-json:
-	dune exec bench/main.exe -- --json BENCH_quick.json
+	dune exec bench/main.exe -- --json BENCH_baseline.json
 
 # Regression gate: re-run the quick benchmarks and diff against the
 # committed baseline. Non-zero exit iff some experiment's median

@@ -98,7 +98,7 @@ let bench_query_sim () = Pattern.to_simulation (bench_query ())
 
 let exp_fig1 ~full:_ =
   header "EXP-F1 (Example 1): match set on the Fig. 1 network";
-  let g = Csr.of_digraph (Collab.graph ()) in
+  let g = Snapshot.of_digraph (Collab.graph ()) in
   let q = Collab.query () in
   let m = Bounded_sim.run q g in
   let expected =
@@ -116,7 +116,7 @@ let exp_fig1 ~full:_ =
 
 let exp_example2 ~full:_ =
   header "EXP-F2 (Example 2): social-impact ranks";
-  let g = Csr.of_digraph (Collab.graph ()) in
+  let g = Snapshot.of_digraph (Collab.graph ()) in
   let q = Collab.query () in
   let m = Bounded_sim.run q g in
   let gr = Result_graph.build q g m in
@@ -166,7 +166,7 @@ let exp_fig5 ~full:_ =
 
 let exp_semantics ~full:_ =
   header "EXP-B1 (§I): subgraph isomorphism vs simulation vs bounded simulation";
-  let g = Csr.of_digraph (Collab.graph ()) in
+  let g = Snapshot.of_digraph (Collab.graph ()) in
   let q = Collab.query () in
   Printf.printf "  on the Fig. 1 network with query Q:\n";
   Printf.printf "  %-22s %-10s %s\n" "semantics" "matches" "note";
@@ -187,7 +187,7 @@ let exp_semantics ~full:_ =
     && Match_relation.is_total bsim);
   (* Runtime contrast on a permissive query where isomorphism does match:
      enumeration is exponential in the embedding count, so it is capped. *)
-  let syn = Csr.of_digraph (flat_graph ~n:2_000) in
+  let syn = Snapshot.of_digraph (flat_graph ~n:2_000) in
   let spec name label = { Pattern.name; label = Some (Label.of_string label); pred = Predicate.always } in
   let permissive =
     Pattern.make_exn
@@ -203,6 +203,62 @@ let exp_semantics ~full:_ =
     (List.length pairs) t_iso (Match_relation.total kernel) t_bsim
 
 (* ------------------------------------------------------------------ *)
+(* EXP-B2: batched evaluation                                           *)
+(* ------------------------------------------------------------------ *)
+
+let exp_batch ~full =
+  header "EXP-B2: batched evaluation vs a sequential loop (one pinned snapshot)";
+  let n = if full then 20_000 else 5_000 in
+  let g = Twitter.generate (Prng.create 61) ~n in
+  let count = 12 in
+  let queries = Queries.workload (Prng.create 67) ~count ~simulation:false g in
+  (* Exactness and the scan saving first, with telemetry on so the
+     gated [candidates.scans] counter records. *)
+  let was_enabled = Telemetry.enabled () in
+  Telemetry.set_enabled true;
+  let scans () =
+    match
+      List.assoc_opt "candidates.scans" (Telemetry.Metrics.counters_snapshot ())
+    with
+    | Some v -> v
+    | None -> 0
+  in
+  let e_seq = Engine.create g in
+  let s0 = scans () in
+  let seq_answers = List.map (fun q -> Engine.evaluate e_seq q) queries in
+  let seq_scans = scans () - s0 in
+  let e_batch = Engine.create g in
+  let s1 = scans () in
+  let batch_answers = Engine.evaluate_batch e_batch queries in
+  let batch_scans = scans () - s1 in
+  Telemetry.set_enabled was_enabled;
+  check "batch answers equal per-query evaluation"
+    (List.for_all2
+       (fun (a : Engine.answer) (b : Engine.answer) ->
+         Verify.semantically_equal a.Engine.relation b.Engine.relation)
+       seq_answers batch_answers);
+  check "batch performs fewer candidate scans" (batch_scans < seq_scans);
+  Printf.printf "  candidate scans: sequential %d, batched %d\n" seq_scans batch_scans;
+  let params =
+    [ ("n", Telemetry.Json.Int n); ("queries", Telemetry.Json.Int count) ]
+  in
+  let s_seq =
+    time_stats (fun () ->
+        let e = Engine.create g in
+        List.iter (fun q -> ignore (Engine.evaluate e q : Engine.answer)) queries)
+  in
+  let s_batch =
+    time_stats (fun () ->
+        let e = Engine.create g in
+        ignore (Engine.evaluate_batch e queries : Engine.answer list))
+  in
+  record_stats ~id:"EXP-B2.sequential" ~params s_seq;
+  record_stats ~id:"EXP-B2.batch" ~params s_batch;
+  Printf.printf "  %d queries, |V| = %d: sequential %.1f ms, batched %.1f ms (%.1fx)\n" count n
+    s_seq.Report.median s_batch.Report.median
+    (s_seq.Report.median /. max s_batch.Report.median 0.001)
+
+(* ------------------------------------------------------------------ *)
 (* EXP-Q1: query evaluation scaling                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -216,7 +272,7 @@ let exp_query_scaling ~full =
   in
   List.iter
     (fun n ->
-      let g = Csr.of_digraph (flat_graph ~n) in
+      let g = Snapshot.of_digraph (flat_graph ~n) in
       let qs = bench_query_sim () and qb = bench_query () in
       let s_sim = time_stats (fun () -> ignore (Simulation.run qs g)) in
       let s_bsim = time_stats (fun () -> ignore (Bounded_sim.run qb g)) in
@@ -225,7 +281,7 @@ let exp_query_scaling ~full =
       record_stats ~id:(Printf.sprintf "EXP-Q1.bsim.n=%d" n) ~params s_bsim;
       let m_sim = Match_relation.total (Simulation.run qs g) in
       let m_bsim = Match_relation.total (Bounded_sim.run qb g) in
-      Printf.printf "  %8d %9d %12.2f %12.2f %9d %9d\n" n (Csr.edge_count g)
+      Printf.printf "  %8d %9d %12.2f %12.2f %9d %9d\n" n (Snapshot.edge_count g)
         s_sim.Report.median s_bsim.Report.median m_sim m_bsim)
     sizes;
   print_endline "  shape check: both polynomial; bounded simulation costlier than simulation"
@@ -238,7 +294,7 @@ let exp_topk_scaling ~full =
   header "EXP-Q2: top-K selection on the Twitter-like graph";
   let n = if full then 30_000 else 10_000 in
   let g = Twitter.generate (Prng.create 42) ~n in
-  let csr = Csr.of_digraph g in
+  let csr = Snapshot.of_digraph g in
   let q =
     Pattern.make_exn
       ~nodes:
@@ -296,7 +352,7 @@ let unit_update_times pattern n =
   let t_inc = (Report.stats_of_samples !samples).Report.median in
   let t_batch =
     time_median (fun () ->
-        let csr = Csr.of_digraph g in
+        let csr = Snapshot.of_digraph g in
         if Pattern.is_simulation_pattern pattern then ignore (Simulation.run pattern csr)
         else ignore (Bounded_sim.run pattern csr))
   in
@@ -354,7 +410,7 @@ let batch_sweep ~tag pattern percentages base =
             (g, updates))
           (fun (g, updates) ->
             ignore (Update.apply_batch g updates);
-            let csr = Csr.of_digraph g in
+            let csr = Snapshot.of_digraph g in
             if Pattern.is_simulation_pattern pattern then ignore (Simulation.run pattern csr)
             else ignore (Bounded_sim.run pattern csr))
       in
@@ -422,7 +478,7 @@ let exp_compression_ratio ~full =
     "nodes%" "edges%" "t_comp ms";
   let ratios = ref [] in
   let run ?(count = true) (name, g) =
-    let csr = Csr.of_digraph g in
+    let csr = Snapshot.of_digraph g in
     let compressed, t =
       time_once (fun () -> Compress.compress ~atoms:Queries.atom_universe csr)
     in
@@ -431,10 +487,10 @@ let exp_compression_ratio ~full =
     if count then ratios := nr :: !ratios;
     record
       ~id:(Printf.sprintf "EXP-C1.%s" name)
-      ~params:[ ("nodes", Telemetry.Json.Int (Csr.node_count csr)) ]
+      ~params:[ ("nodes", Telemetry.Json.Int (Snapshot.node_count csr)) ]
       [ t ];
-    Printf.printf "  %-12s %9d %9d %9d %9d %7.1f%% %7.1f%% %10.1f\n" name (Csr.node_count csr)
-      (Csr.edge_count csr) (Csr.node_count gc) (Csr.edge_count gc) (100.0 *. nr)
+    Printf.printf "  %-12s %9d %9d %9d %9d %7.1f%% %7.1f%% %10.1f\n" name (Snapshot.node_count csr)
+      (Snapshot.edge_count csr) (Snapshot.node_count gc) (Snapshot.edge_count gc) (100.0 *. nr)
       (100.0 *. er) t
   in
   List.iter run (compression_datasets ~full);
@@ -462,7 +518,7 @@ let exp_compressed_query ~full:_ =
   in
   List.iter
     (fun (name, g) ->
-      let csr = Csr.of_digraph g in
+      let csr = Snapshot.of_digraph g in
       let compressed = Compress.compress ~atoms:Queries.atom_universe csr in
       let queries = Queries.workload rng ~count:10 ~simulation:false g in
       (* Exactness first. *)
@@ -549,7 +605,7 @@ let exp_ablation_bsim_strategy ~full =
   let sizes = if full then [ 2_000; 8_000; 32_000 ] else [ 2_000; 8_000 ] in
   List.iter
     (fun n ->
-      let g = Csr.of_digraph (flat_graph ~n) in
+      let g = Snapshot.of_digraph (flat_graph ~n) in
       let q = bench_query () in
       let s_counters =
         time_stats (fun () -> ignore (Bounded_sim.run ~strategy:Bounded_sim.Counters q g))
@@ -577,11 +633,12 @@ let exp_ablation_equivalence ~full:_ =
   in
   List.iter
     (fun (name, g) ->
-      let csr = Csr.of_digraph g in
-      let key v = Label.to_int (Csr.label csr v) in
+      let snap = Snapshot.of_digraph g in
+      let csr = Snapshot.csr snap in
+      let key v = Label.to_int (Snapshot.label snap v) in
       let bisim, t_b = time_once (fun () -> Bisimulation.compute csr ~key) in
       let simeq, t_s = time_once (fun () -> Sim_equivalence.compute csr ~key) in
-      Printf.printf "  %-10s %7d %12d %12d %14.1f %14.1f\n" name (Csr.node_count csr)
+      Printf.printf "  %-10s %7d %12d %12d %14.1f %14.1f\n" name (Snapshot.node_count snap)
         (Bisimulation.block_count bisim) (Bisimulation.block_count simeq) t_b t_s)
     datasets;
   print_endline "  simeq merges at least as much but only preserves plain-simulation queries"
@@ -617,10 +674,10 @@ let exp_ablation_area ~full =
 let exp_ablation_ball_index ~full =
   header "EXP-A4 (ablation): precomputed distance index for query workloads";
   let n = if full then 32_000 else 8_000 in
-  let g = Csr.of_digraph (flat_graph ~n) in
+  let g = Snapshot.of_digraph (flat_graph ~n) in
   let rng = Prng.create 43 in
   let queries =
-    Queries.workload rng ~count:10 ~simulation:false (Csr.to_digraph g)
+    Queries.workload rng ~count:10 ~simulation:false (Snapshot.to_digraph g)
   in
   (* The workload's graph copy shares structure; evaluate on [g]. *)
   let idx, t_build = time_once (fun () -> Ball_index.build g ~radius:3) in
@@ -647,7 +704,7 @@ let exp_ablation_ball_index ~full =
 
 let exp_ablation_minimise ~full:_ =
   header "EXP-A5 (ablation): pattern-query minimisation";
-  let g = Csr.of_digraph (flat_graph ~n:8_000) in
+  let g = Snapshot.of_digraph (flat_graph ~n:8_000) in
   (* A team query with redundant duplicate members, as a user might
      draw it: one SA leading three interchangeable SDs. *)
   let spec name label k =
@@ -688,11 +745,11 @@ let exp_ablation_minimise ~full:_ =
 
 let bechamel_tests () =
   let open Bechamel in
-  let collab = Csr.of_digraph (Collab.graph ()) in
+  let collab = Snapshot.of_digraph (Collab.graph ()) in
   let q = Collab.query () in
-  let flat1k = Csr.of_digraph (flat_graph ~n:1_000) in
+  let flat1k = Snapshot.of_digraph (flat_graph ~n:1_000) in
   let qb = bench_query () and qs = bench_query_sim () in
-  let twitter1k = Csr.of_digraph (Twitter.generate (Prng.create 9) ~n:1_000) in
+  let twitter1k = Snapshot.of_digraph (Twitter.generate (Prng.create 9) ~n:1_000) in
   let tw_query =
     Pattern.make_exn
       ~nodes:
@@ -716,7 +773,7 @@ let bechamel_tests () =
     | _ -> (0, 1)
   in
   let org = Synthetic.org (Prng.create 8) ~teams:60 ~team_size:7 in
-  let org_csr = Csr.of_digraph org in
+  let org_csr = Snapshot.of_digraph org in
   let compressed = Compress.compress ~atoms:Queries.atom_universe org_csr in
   let org_query =
     match Queries.workload (Prng.create 12) ~count:1 ~simulation:false org with
@@ -782,8 +839,8 @@ let bechamel_tests () =
       Test.make ~name:"A2-simeq-org500"
         (Staged.stage (fun () ->
              ignore
-               (Sim_equivalence.compute org_csr ~key:(fun v ->
-                    Label.to_int (Csr.label org_csr v))
+               (Sim_equivalence.compute (Snapshot.csr org_csr) ~key:(fun v ->
+                    Label.to_int (Snapshot.label org_csr v))
                  : int array)));
     ]
 
@@ -823,6 +880,7 @@ let experiments =
     ("EXP-F3", exp_example3);
     ("EXP-F4", exp_fig5);
     ("EXP-B1", exp_semantics);
+    ("EXP-B2", exp_batch);
     ("EXP-Q1", exp_query_scaling);
     ("EXP-Q2", exp_topk_scaling);
     ("EXP-I1", exp_incremental_unit);

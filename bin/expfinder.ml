@@ -302,6 +302,83 @@ let topk verbose graph_file pattern_file k dot_output profile trace check =
      emit_profile ~profile ~trace topk_profile;
      Ok ())
 
+(* --- batch ------------------------------------------------------------------ *)
+
+(* A batch file either inlines patterns — stanzas each starting with the
+   usual "expfinder-pattern" header line — or, when no header appears,
+   lists one pattern file path per line (# comments and blanks
+   ignored). *)
+let load_batch path =
+  let ic = open_in path in
+  let contents =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let lines = String.split_on_char '\n' contents in
+  let is_header l =
+    String.length l >= 17 && String.equal (String.sub l 0 17) "expfinder-pattern"
+  in
+  let parse_stanzas () =
+    let stanzas =
+      List.fold_left
+        (fun acc line ->
+          if is_header line then [ line ] :: acc
+          else match acc with [] -> acc | s :: rest -> (line :: s) :: rest)
+        [] lines
+      |> List.rev_map (fun s -> String.concat "\n" (List.rev s))
+    in
+    List.fold_left
+      (fun acc text ->
+        let* qs = acc in
+        match Pattern_io.of_string text with
+        | Ok q -> Ok (q :: qs)
+        | Error e -> err "bad pattern stanza in %s: %s" path e)
+      (Ok []) stanzas
+    |> Result.map List.rev
+  in
+  let parse_file_list () =
+    List.fold_left
+      (fun acc line ->
+        let* qs = acc in
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then Ok qs
+        else
+          let* q = load_pattern line in
+          Ok (q :: qs))
+      (Ok []) lines
+    |> Result.map List.rev
+  in
+  let* qs = if List.exists is_header lines then parse_stanzas () else parse_file_list () in
+  if qs = [] then err "batch file %s holds no patterns" path else Ok qs
+
+let batch verbose graph_file batch_file profile trace check =
+  setup_logs verbose;
+  setup_telemetry ~profile ~trace;
+  if check then Verify.set_differential true;
+  or_die
+    (let* g = load_graph graph_file in
+     let* qs = load_batch batch_file in
+     let engine = Engine.create g in
+     let answers = Engine.evaluate_batch engine qs in
+     List.iteri
+       (fun i (q, a) ->
+         let via =
+           match a.Engine.provenance with
+           | Engine.From_cache -> "cache"
+           | Engine.From_compressed -> "compressed"
+           | Engine.From_index -> "ball-index"
+           | Engine.Direct -> "direct"
+         in
+         Printf.printf "[%d] %s: %s (via %s)\n" i (Pattern.fingerprint q)
+           (if a.Engine.total then
+              Printf.sprintf "%d match pairs" (Match_relation.total a.Engine.relation)
+            else "no match")
+           via)
+       (List.combine qs answers);
+     emit_profile ~profile ~trace (Engine.last_profile engine);
+     Ok ())
+
 (* --- compress ------------------------------------------------------------- *)
 
 let compress_cmd verbose graph_file atoms_text output partition_output =
@@ -309,19 +386,20 @@ let compress_cmd verbose graph_file atoms_text output partition_output =
   or_die
     (let* g = load_graph graph_file in
      let* atoms = parse_atom_list atoms_text in
-     let csr = Csr.of_digraph g in
-     let compressed = Compress.compress ~atoms csr in
-     Printf.printf "original:   %d nodes, %d edges\n" (Csr.node_count csr) (Csr.edge_count csr);
+     let snap = Snapshot.of_digraph g in
+     let compressed = Compress.compress ~atoms snap in
+     Printf.printf "original:   %d nodes, %d edges\n" (Snapshot.node_count snap)
+       (Snapshot.edge_count snap);
      Printf.printf "compressed: %d nodes, %d edges\n"
-       (Csr.node_count (Compress.compressed compressed))
-       (Csr.edge_count (Compress.compressed compressed));
+       (Snapshot.node_count (Compress.compressed compressed))
+       (Snapshot.edge_count (Compress.compressed compressed));
      Printf.printf "reduction:  %.1f%% nodes, %.1f%% edges\n"
        (100.0 *. Compress.node_ratio compressed)
        (100.0 *. Compress.edge_ratio compressed);
      (match output with
      | None -> ()
      | Some path ->
-       Graph_io.save (Csr.to_digraph (Compress.compressed compressed)) path;
+       Graph_io.save (Snapshot.to_digraph (Compress.compressed compressed)) path;
        Printf.printf "compressed graph written to %s\n" path);
      (match partition_output with
      | None -> ()
@@ -564,6 +642,23 @@ let topk_cmd =
       const topk $ verbose_arg $ graph_arg $ pattern_arg $ k $ dot_arg $ profile_arg $ trace_arg
       $ check_arg)
 
+let batch_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Batch file: either inline patterns (stanzas each opened by the usual \
+             $(b,expfinder-pattern) header) or one pattern file path per line.")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Evaluate a batch of pattern queries against one snapshot, sharing candidate scans \
+          and containment across the batch")
+    Term.(const batch $ verbose_arg $ graph_arg $ file $ profile_arg $ trace_arg $ check_arg)
+
 let compress_cmd_t =
   let atoms =
     Arg.(value & opt string "" & info [ "atoms" ] ~docv:"CONDS" ~doc:"Comma-separated predicate atoms the compression must preserve, e.g. exp>=2,exp>=5.")
@@ -594,6 +689,7 @@ let main_cmd =
       explain_cmd;
       bench_diff_cmd;
       query_cmd;
+      batch_cmd;
       topk_cmd;
       compress_cmd_t;
       update_cmd;

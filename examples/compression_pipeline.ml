@@ -36,7 +36,7 @@ let () =
     "t(G) ms" "t(Gc) ms";
   List.iter
     (fun (name, g) ->
-      let csr = Csr.of_digraph g in
+      let csr = Snapshot.of_digraph g in
       let compressed = Compress.compress ~atoms:Queries.atom_universe csr in
       let queries = Queries.workload rng ~count:10 ~simulation:false g in
       (* Verify exactness on the whole workload. *)
@@ -52,8 +52,8 @@ let () =
         time (fun () -> List.iter (fun q -> ignore (Compress.evaluate compressed q)) queries)
       in
       Printf.printf "%-12s %10d %10d %7.1f%% %7.1f%% %12.1f %12.1f\n" name
-        (Csr.node_count csr)
-        (Csr.node_count (Compress.compressed compressed))
+        (Snapshot.node_count csr)
+        (Snapshot.node_count (Compress.compressed compressed))
         (100.0 *. Compress.node_ratio compressed)
         (100.0 *. Compress.edge_ratio compressed)
         (1000.0 *. t_direct) (1000.0 *. t_gc))

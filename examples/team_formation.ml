@@ -28,8 +28,8 @@ let () =
   (match Engine.compression engine with
   | Some c ->
     Printf.printf "compressed for querying: %d -> %d nodes (%.1f%% reduction)\n"
-      (Csr.node_count (Compress.original c))
-      (Csr.node_count (Compress.compressed c))
+      (Snapshot.node_count (Compress.original c))
+      (Snapshot.node_count (Compress.compressed c))
       (100.0 *. Compress.node_ratio c)
   | None -> assert false);
 

@@ -48,7 +48,7 @@ let () =
   List.iteri
     (fun i { Engine.node; name; rank } ->
       let followers =
-        match Attrs.find (Csr.attrs (Engine.snapshot engine) node) "followers" with
+        match Attrs.find (Snapshot.attrs (Engine.snapshot engine) node) "followers" with
         | Some (Attr.Int f) -> f
         | _ -> 0
       in

@@ -11,8 +11,8 @@ let m_expanded_pairs = Metrics.counter "compress.expanded_pairs"
 
 type t = {
   atoms : Predicate.atom list;
-  original : Csr.t;
-  compressed : Csr.t;
+  original : Snapshot.t;
+  compressed : Snapshot.t;
   block_of : int array;
   members : int list array;
 }
@@ -20,8 +20,8 @@ type t = {
 (* Signature of a node w.r.t. the atom universe: label + one bit per
    atom.  Nodes merged by the bisimulation agree on all of it. *)
 let signature_key atoms g v =
-  let label = Label.to_int (Csr.label g v) in
-  let attrs = Csr.attrs g v in
+  let label = Label.to_int (Snapshot.label g v) in
+  let attrs = Snapshot.attrs g v in
   let bits =
     List.fold_left
       (fun acc atom ->
@@ -33,7 +33,7 @@ let signature_key atoms g v =
 let of_partition ?(atoms = []) g block_of =
   let nblocks = Bisimulation.block_count block_of in
   let members = Array.make (max nblocks 1) [] in
-  for v = Csr.node_count g - 1 downto 0 do
+  for v = Snapshot.node_count g - 1 downto 0 do
     members.(block_of.(v)) <- v :: members.(block_of.(v))
   done;
   let gc = Digraph.create ~capacity:nblocks () in
@@ -42,19 +42,19 @@ let of_partition ?(atoms = []) g block_of =
        representative for candidate evaluation. *)
     match members.(b) with
     | [] -> ignore (Digraph.add_node gc (Label.of_string "") : int)
-    | rep :: _ -> ignore (Digraph.add_node gc ~attrs:(Csr.attrs g rep) (Csr.label g rep) : int)
+    | rep :: _ -> ignore (Digraph.add_node gc ~attrs:(Snapshot.attrs g rep) (Snapshot.label g rep) : int)
   done;
   (* Within-block edges become self-loops: by stability every member of
      such a block can step to another member of the same class. *)
-  Csr.iter_edges g (fun u v ->
+  Snapshot.iter_edges g (fun u v ->
       ignore (Digraph.add_edge gc block_of.(u) block_of.(v) : bool));
-  { atoms; original = g; compressed = Csr.of_digraph gc; block_of; members }
+  { atoms; original = g; compressed = Snapshot.of_digraph gc; block_of; members }
 
 let compress ?(atoms = []) g =
   Counter.incr m_builds;
   with_span "compress.build" (fun () ->
       let key = signature_key atoms g in
-      let block_of = Bisimulation.compute g ~key in
+      let block_of = Bisimulation.compute (Snapshot.csr g) ~key in
       of_partition ~atoms g block_of)
 
 let atoms t = t.atoms
@@ -66,7 +66,7 @@ let compressed t = t.compressed
 let block_count t = Array.length t.members
 
 let block_of t v =
-  if v < 0 || v >= Csr.node_count t.original then invalid_arg "Compress.block_of";
+  if v < 0 || v >= Snapshot.node_count t.original then invalid_arg "Compress.block_of";
   t.block_of.(v)
 
 let partition t = Array.copy t.block_of
@@ -76,13 +76,13 @@ let members t b =
   t.members.(b)
 
 let node_ratio t =
-  let n = Csr.node_count t.original in
+  let n = Snapshot.node_count t.original in
   if n = 0 then 0.0 else 1.0 -. (float_of_int (block_count t) /. float_of_int n)
 
 let edge_ratio t =
-  let m = Csr.edge_count t.original in
+  let m = Snapshot.edge_count t.original in
   if m = 0 then 0.0
-  else 1.0 -. (float_of_int (Csr.edge_count t.compressed) /. float_of_int m)
+  else 1.0 -. (float_of_int (Snapshot.edge_count t.compressed) /. float_of_int m)
 
 let supports t pattern =
   let universe = t.atoms in
@@ -114,7 +114,7 @@ let expand t mc =
       let m =
         Match_relation.create
           ~pattern_size:(Match_relation.pattern_size mc)
-          ~graph_size:(Csr.node_count t.original)
+          ~graph_size:(Snapshot.node_count t.original)
       in
       for u = 0 to Match_relation.pattern_size mc - 1 do
         List.iter

@@ -21,25 +21,25 @@ open Expfinder_core
 
 type t
 
-val compress : ?atoms:Predicate.atom list -> Csr.t -> t
+val compress : ?atoms:Predicate.atom list -> Snapshot.t -> t
 (** Compress a snapshot.  [atoms] is the predicate-atom universe
     (default: none). *)
 
-val signature_key : Predicate.atom list -> Csr.t -> int -> int
+val signature_key : Predicate.atom list -> Snapshot.t -> int -> int
 (** The partition key: label plus one satisfaction bit per atom.  Nodes
     merged by any partition used with {!of_partition} must agree on it. *)
 
-val of_partition : ?atoms:Predicate.atom list -> Csr.t -> int array -> t
+val of_partition : ?atoms:Predicate.atom list -> Snapshot.t -> int array -> t
 (** Build the compressed graph from an externally computed partition
     (used by incremental maintenance).  The partition must respect
     labels and atom signatures. *)
 
 val atoms : t -> Predicate.atom list
 
-val original : t -> Csr.t
+val original : t -> Snapshot.t
 (** The snapshot that was compressed. *)
 
-val compressed : t -> Csr.t
+val compressed : t -> Snapshot.t
 (** Gc as an ordinary snapshot — directly queryable. *)
 
 val block_count : t -> int

@@ -41,17 +41,17 @@ let of_string g text =
       else if !expected < 0 then Error "missing nodes declaration"
       else if !count <> !expected then
         Error (Printf.sprintf "expected %d blocks, got %d" !expected !count)
-      else if !expected <> Csr.node_count g then
+      else if !expected <> Snapshot.node_count g then
         Error
           (Printf.sprintf "compressed file is for a %d-node graph, snapshot has %d" !expected
-             (Csr.node_count g))
+             (Snapshot.node_count g))
       else begin
         let partition = Array.make (max !expected 1) 0 in
         List.iteri (fun i b -> partition.(!expected - 1 - i) <- b) !blocks;
         let atoms = List.rev !atoms in
         (* Query preservation needs a stable, key-respecting partition;
            never trust a file. *)
-        if not (Bisimulation.is_stable g ~key:(Compress.signature_key atoms g) partition)
+        if not (Bisimulation.is_stable (Snapshot.csr g) ~key:(Compress.signature_key atoms g) partition)
         then Error "stored partition is not a bisimulation of this graph"
         else Ok (Compress.of_partition ~atoms g partition)
       end

@@ -18,8 +18,8 @@ val to_string : Compress.t -> string
 
 val save : Compress.t -> string -> unit
 
-val of_string : Csr.t -> string -> (Compress.t, string) result
+val of_string : Snapshot.t -> string -> (Compress.t, string) result
 (** Rebuild against the original snapshot; fails when the stored node
     count does not match. *)
 
-val load : Csr.t -> string -> (Compress.t, string) result
+val load : Snapshot.t -> string -> (Compress.t, string) result

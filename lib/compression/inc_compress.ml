@@ -4,7 +4,7 @@ open Expfinder_incremental
 
 type t = {
   atoms : Predicate.atom list;
-  mutable csr : Csr.t;
+  mutable snap : Snapshot.t;
   mutable partition : int array;
   mutable compress : Compress.t;
 }
@@ -19,32 +19,32 @@ type report = {
 let key_of = Compress.signature_key
 
 let create ?(atoms = []) g =
-  let csr = Csr.of_digraph g in
-  let partition = Bisimulation.compute csr ~key:(key_of atoms csr) in
-  { atoms; csr; partition; compress = Compress.of_partition ~atoms csr partition }
+  let snap = Snapshot.of_digraph g in
+  let partition = Bisimulation.compute (Snapshot.csr snap) ~key:(key_of atoms snap) in
+  { atoms; snap; partition; compress = Compress.of_partition ~atoms snap partition }
 
 let current t = t.compress
 
-let snapshot t = t.csr
+let snapshot t = t.snap
 
 let rebuild t g =
-  t.csr <- Csr.of_digraph g;
-  t.partition <- Bisimulation.compute t.csr ~key:(key_of t.atoms t.csr);
-  t.compress <- Compress.of_partition ~atoms:t.atoms t.csr t.partition
+  t.snap <- Snapshot.of_digraph g;
+  t.partition <- Bisimulation.compute (Snapshot.csr t.snap) ~key:(key_of t.atoms t.snap);
+  t.compress <- Compress.of_partition ~atoms:t.atoms t.snap t.partition
 
-let sync t ~new_csr ~effective updates =
-  let old_csr = t.csr in
-  let old_n = Csr.node_count old_csr in
+let sync t ~snapshot ~effective updates =
+  let old_snap = t.snap in
+  let old_n = Snapshot.node_count old_snap in
   let blocks_before = Bisimulation.block_count t.partition in
-  let new_n = Csr.node_count new_csr in
+  let new_n = Snapshot.node_count snapshot in
   let seeds = Update.touched_sources updates in
   let area = Bitset.create new_n in
   let old_seeds = List.filter (fun v -> v < old_n) seeds in
   if old_seeds <> [] then
-    Traversal.bfs_rev old_csr old_seeds (fun v _ -> Bitset.add area v);
+    Traversal.bfs_rev (Snapshot.csr old_snap) old_seeds (fun v _ -> Bitset.add area v);
   let new_seeds = List.filter (fun v -> v < new_n) seeds in
   if new_seeds <> [] then
-    Traversal.bfs_rev new_csr new_seeds (fun v _ -> Bitset.add area v);
+    Traversal.bfs_rev (Snapshot.csr snapshot) new_seeds (fun v _ -> Bitset.add area v);
   for v = old_n to new_n - 1 do
     Bitset.add area v
   done;
@@ -54,14 +54,14 @@ let sync t ~new_csr ~effective updates =
      drift). *)
   let partition =
     if 2 * Bitset.cardinal area > new_n then
-      Bisimulation.compute new_csr ~key:(key_of t.atoms new_csr)
+      Bisimulation.compute (Snapshot.csr snapshot) ~key:(key_of t.atoms snapshot)
     else
-      Bisimulation.refine_local new_csr ~key:(key_of t.atoms new_csr) ~prev:t.partition
-        ~area
+      Bisimulation.refine_local (Snapshot.csr snapshot) ~key:(key_of t.atoms snapshot)
+        ~prev:t.partition ~area
   in
-  t.csr <- new_csr;
+  t.snap <- snapshot;
   t.partition <- partition;
-  t.compress <- Compress.of_partition ~atoms:t.atoms new_csr partition;
+  t.compress <- Compress.of_partition ~atoms:t.atoms snapshot partition;
   {
     effective;
     area = Bitset.cardinal area;
@@ -70,10 +70,12 @@ let sync t ~new_csr ~effective updates =
   }
 
 let apply_updates t g updates =
-  if Digraph.version g <> Csr.source_version t.csr then
-    invalid_arg "Inc_compress.apply_updates: digraph out of sync with tracked snapshot";
+  if
+    Digraph.graph_id g <> Snapshot.graph_id t.snap
+    || Digraph.version g <> Snapshot.epoch t.snap
+  then invalid_arg "Inc_compress.apply_updates: digraph out of sync with tracked snapshot";
   let effective = Update.apply_batch g updates in
-  sync t ~new_csr:(Csr.of_digraph g) ~effective updates
+  sync t ~snapshot:(Snapshot.of_digraph g) ~effective updates
 
 let fresh_block_count t =
-  Bisimulation.block_count (Bisimulation.compute t.csr ~key:(key_of t.atoms t.csr))
+  Bisimulation.block_count (Bisimulation.compute (Snapshot.csr t.snap) ~key:(key_of t.atoms t.snap))

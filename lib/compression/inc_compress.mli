@@ -32,15 +32,19 @@ val create : ?atoms:Predicate.atom list -> Digraph.t -> t
 val current : t -> Compress.t
 (** The maintained compressed graph. *)
 
-val snapshot : t -> Csr.t
+val snapshot : t -> Snapshot.t
+(** The tracked source snapshot; its identity must match the engine's
+    current epoch for {!sync}-based maintenance to be coherent. *)
 
 val apply_updates : t -> Digraph.t -> Update.t list -> report
-(** Apply ΔG and maintain.  @raise Invalid_argument when the digraph was
-    mutated behind the module's back. *)
+(** Apply ΔG and maintain.  @raise Invalid_argument when the digraph's
+    identity [(graph_id, version)] differs from the tracked snapshot's
+    (i.e. it was mutated behind the module's back, or it is a different
+    graph altogether). *)
 
-val sync : t -> new_csr:Csr.t -> effective:int -> Update.t list -> report
-(** Maintenance against an externally applied ΔG (see
-    {!Expfinder_incremental.Incremental.sync}). *)
+val sync : t -> snapshot:Snapshot.t -> effective:int -> Update.t list -> report
+(** Maintenance against an externally applied ΔG, landing on the given
+    post-update snapshot (see {!Expfinder_incremental.Incremental.sync}). *)
 
 val rebuild : t -> Digraph.t -> unit
 (** From-scratch recompression (the baseline, also restores coarsest-

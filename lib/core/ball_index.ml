@@ -12,7 +12,7 @@ let g_entries = Metrics.gauge "ball_index.entries"
 
 type t = {
   radius : int;
-  source_version : int;
+  source : Snapshot.identity;
   offsets : int array; (* length n+1 *)
   members : int array;
   dists : int array;
@@ -21,7 +21,7 @@ type t = {
 let build g ~radius =
   if radius < 1 then invalid_arg "Ball_index.build";
   Counter.incr m_builds;
-  let n = Csr.node_count g in
+  let n = Snapshot.node_count g in
   let scratch = Distance.make_scratch g in
   let members = Vec.create ~capacity:(4 * n) ~dummy:0 () in
   let dists = Vec.create ~capacity:(4 * n) ~dummy:0 () in
@@ -37,7 +37,7 @@ let build g ~radius =
   Gauge.set g_entries (Vec.length members);
   {
     radius;
-    source_version = Csr.source_version g;
+    source = Snapshot.id g;
     offsets;
     members = Vec.to_array members;
     dists = Vec.to_array dists;
@@ -45,7 +45,7 @@ let build g ~radius =
 
 let radius t = t.radius
 
-let source_version t = t.source_version
+let source t = t.source
 
 let memory_entries t = Array.length t.members
 
@@ -71,7 +71,7 @@ let exists_within t v k p =
 let evaluate t pattern g =
   if not (supports t pattern) then
     invalid_arg "Ball_index.evaluate: pattern bounds exceed the index radius";
-  if Csr.source_version g <> t.source_version then
+  if not (Snapshot.identity_equal (Snapshot.id g) t.source) then
     invalid_arg "Ball_index.evaluate: snapshot differs from the indexed one";
   Counter.incr m_evaluations;
   let sim = with_span "candidates" (fun () -> Candidates.compute pattern g) in

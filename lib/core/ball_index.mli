@@ -14,13 +14,15 @@ open Expfinder_pattern
 
 type t
 
-val build : Csr.t -> radius:int -> t
+val build : Snapshot.t -> radius:int -> t
 (** @raise Invalid_argument when [radius < 1]. *)
 
 val radius : t -> int
 
-val source_version : t -> int
-(** The snapshot version the index was built from. *)
+val source : t -> Snapshot.identity
+(** The identity of the snapshot the index was built from; {!evaluate}
+    refuses any other snapshot, including same-version snapshots of a
+    different graph. *)
 
 val memory_entries : t -> int
 (** Total stored (node, distance) pairs — the index's footprint. *)
@@ -32,8 +34,8 @@ val iter_ball : t -> int -> (int -> int -> unit) -> unit
 val supports : t -> Pattern.t -> bool
 (** All edge bounds finite and within the index radius. *)
 
-val evaluate : t -> Pattern.t -> Csr.t -> Match_relation.t
+val evaluate : t -> Pattern.t -> Snapshot.t -> Match_relation.t
 (** Bounded-simulation kernel via indexed checks.  The snapshot must be
     the one the index was built from.
     @raise Invalid_argument when the pattern is not {!supports}-ed or
-    the snapshot version differs. *)
+    the snapshot identity differs. *)

@@ -26,7 +26,7 @@ let effective_bound g = function
 (* ------------------------------------------------------------------ *)
 
 let run_counters pattern g ~initial ~mutable_set =
-  let n = Csr.node_count g in
+  let n = Snapshot.node_count g in
   let sim = Match_relation.copy initial in
   let edge_array = Array.of_list (Pattern.edges pattern) in
   let ne = Array.length edge_array in
@@ -164,7 +164,7 @@ let consistent pattern g m =
   for u = 0 to Pattern.size pattern - 1 do
     List.iter
       (fun v ->
-        if not (Pattern.matches_node pattern u (Csr.label g v) (Csr.attrs g v)) then
+        if not (Pattern.matches_node pattern u (Snapshot.label g v) (Snapshot.attrs g v)) then
           ok := false;
         List.iter
           (fun (u', b) ->

@@ -24,19 +24,19 @@ type strategy = Naive | Counters
 
 val default_strategy : strategy
 
-val run : ?strategy:strategy -> Pattern.t -> Csr.t -> Match_relation.t
+val run : ?strategy:strategy -> Pattern.t -> Snapshot.t -> Match_relation.t
 
 val run_constrained :
   ?strategy:strategy ->
   Pattern.t ->
-  Csr.t ->
+  Snapshot.t ->
   initial:Match_relation.t ->
   mutable_set:Bitset.t option ->
   Match_relation.t
 (** Greatest fixpoint below [initial] touching only nodes of
     [mutable_set]; see {!Simulation.run_constrained}. *)
 
-val consistent : Pattern.t -> Csr.t -> Match_relation.t -> bool
+val consistent : Pattern.t -> Snapshot.t -> Match_relation.t -> bool
 (** Every pair satisfies its bound constraints w.r.t. the relation. *)
 
 val strategy_name : strategy -> string

@@ -12,6 +12,10 @@ let m_static_empty = Metrics.counter "planner.static_empty"
 
 let m_misestimates = Metrics.counter "planner.misestimate"
 
+(* Shared with [Candidates]: every label-bucket (or full-table)
+   traversal counts as one scan, whichever layer performs it. *)
+let m_scans = Metrics.counter "candidates.scans"
+
 type strategy_choice = Use_simulation | Use_bounded of Bounded_sim.strategy
 
 let strategy_name = function
@@ -37,22 +41,28 @@ type t = {
 let estimate_candidates ~sample ~preds pattern g u =
   let spec = Pattern.node_spec pattern u in
   let pred = preds.(u) in
-  let population =
+  (* Population size from the snapshot's cached label histogram — O(1),
+     no bucket walk when the predicate needs no sampling. *)
+  let size =
     match spec.Pattern.label with
-    | Some l -> Csr.nodes_with_label g l
-    | None -> List.init (Csr.node_count g) Fun.id
+    | Some l -> Snapshot.label_count g l
+    | None -> Snapshot.node_count g
   in
-  let size = List.length population in
   if size = 0 then 0.0
   else if Predicate.is_always pred then float_of_int size
   else begin
+    let population =
+      match spec.Pattern.label with
+      | Some l -> Snapshot.nodes_with_label g l
+      | None -> List.init (Snapshot.node_count g) Fun.id
+    in
     let stride = max 1 (size / sample) in
     let probed = ref 0 and satisfied = ref 0 in
     List.iteri
       (fun i v ->
         if i mod stride = 0 && !probed < sample then begin
           incr probed;
-          if Predicate.eval pred (Csr.attrs g v) then incr satisfied
+          if Predicate.eval pred (Snapshot.attrs g v) then incr satisfied
         end)
       population;
     if !probed = 0 then float_of_int size
@@ -84,7 +94,7 @@ let plan ?(sample = 64) pattern g =
       (* Few candidates -> the naive engine's per-candidate balls beat
          the counter engine's global reverse-ball initialisation. *)
       let total = Array.fold_left ( +. ) 0.0 estimates in
-      let threshold = float_of_int (Csr.node_count g) /. 50.0 in
+      let threshold = float_of_int (Snapshot.node_count g) /. 50.0 in
       if total < threshold then Use_bounded Bounded_sim.Naive
       else Use_bounded Bounded_sim.Counters
     end
@@ -97,7 +107,7 @@ let plan ?(sample = 64) pattern g =
 let materialise_candidates plan pattern g =
   let m =
     Match_relation.create ~pattern_size:(Pattern.size pattern)
-      ~graph_size:(Csr.node_count g)
+      ~graph_size:(Snapshot.node_count g)
   in
   let sizes = Array.make (Pattern.size pattern) (-1) in
   let ok = ref true in
@@ -109,17 +119,18 @@ let materialise_candidates plan pattern g =
         let pred = plan.preds.(u) in
         let kept_u = ref 0 in
         let consider v =
-          if Predicate.eval pred (Csr.attrs g v) then
-            if (not plan.prunable.(u)) || Csr.out_degree g v > 0 then begin
+          if Predicate.eval pred (Snapshot.attrs g v) then
+            if (not plan.prunable.(u)) || Snapshot.out_degree g v > 0 then begin
               Match_relation.add m u v;
               incr kept;
               incr kept_u
             end
             else incr pruned
         in
+        Counter.incr m_scans;
         (match spec.Pattern.label with
-        | Some l -> List.iter consider (Csr.nodes_with_label g l)
-        | None -> Csr.iter_nodes g consider);
+        | Some l -> List.iter consider (Snapshot.nodes_with_label g l)
+        | None -> Snapshot.iter_nodes g consider);
         sizes.(u) <- !kept_u;
         (* Early exit: an empty candidate set empties the whole kernel. *)
         if !kept_u = 0 then begin
@@ -135,7 +146,7 @@ let materialise_candidates plan pattern g =
 
 let empty_relation pattern g =
   Match_relation.create ~pattern_size:(Pattern.size pattern)
-    ~graph_size:(Csr.node_count g)
+    ~graph_size:(Snapshot.node_count g)
 
 (* Store the execution actuals on the plan and bump [planner.misestimate]
    for every materialised node whose estimate was off by more than 4x in

@@ -54,20 +54,20 @@ type t = {
           [None] until the plan has been executed *)
 }
 
-val plan : ?sample:int -> Pattern.t -> Csr.t -> t
+val plan : ?sample:int -> Pattern.t -> Snapshot.t -> t
 (** Build a plan from snapshot statistics.  [sample] (default 64) bounds
     the nodes probed per pattern node for predicate selectivity. *)
 
-val execute : t -> Pattern.t -> Csr.t -> Match_relation.t
+val execute : t -> Pattern.t -> Snapshot.t -> Match_relation.t
 (** Evaluate the query according to the plan (kernel semantics, like
     {!Simulation.run} / {!Bounded_sim.run}).  Also records {!actuals} on
     the plan and bumps [planner.misestimate] for every materialised node
     whose estimate was off by more than 4x in either direction. *)
 
-val run : ?sample:int -> Pattern.t -> Csr.t -> Match_relation.t
+val run : ?sample:int -> Pattern.t -> Snapshot.t -> Match_relation.t
 (** [execute (plan p g) p g]. *)
 
-val run_with_plan : ?sample:int -> Pattern.t -> Csr.t -> Match_relation.t * t
+val run_with_plan : ?sample:int -> Pattern.t -> Snapshot.t -> Match_relation.t * t
 (** Like {!run}, but also return the executed plan (with its
     {!actuals}) — the engine's EXPLAIN ANALYZE entry point. *)
 

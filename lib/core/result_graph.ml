@@ -89,14 +89,14 @@ let to_dot ?(name = "Gr") ?(highlight = []) pattern g t =
         String.concat "," (List.map (Pattern.name pattern) t.pnodes_of.(i))
       in
       let display =
-        match Attrs.find (Csr.attrs g v) "name" with
+        match Attrs.find (Snapshot.attrs g v) "name" with
         | Some (Attr.String s) -> s
         | _ -> Printf.sprintf "#%d" v
       in
       let style = if Hashtbl.mem hl v then ", style=filled, fillcolor=red" else "" in
       Buffer.add_string buf
         (Printf.sprintf "  r%d [label=\"%s\\n(%s:%s)\"%s];\n" i display roles
-           (Label.to_string (Csr.label g v)) style))
+           (Label.to_string (Snapshot.label g v)) style))
     t.node_of_index;
   Wgraph.iter_edges t.wg (fun i j d ->
       Buffer.add_string buf (Printf.sprintf "  r%d -> r%d [label=\"%d\"];\n" i j d));
@@ -178,7 +178,7 @@ let drill_down pattern g t u =
     (fun i v ->
       if List.mem u t.pnodes_of.(i) then begin
         let display =
-          match Attrs.find (Csr.attrs g v) "name" with
+          match Attrs.find (Snapshot.attrs g v) "name" with
           | Some (Attr.String s) -> s
           | Some _ | None -> Printf.sprintf "#%d" v
         in

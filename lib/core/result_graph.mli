@@ -12,7 +12,7 @@ open Expfinder_pattern
 
 type t
 
-val build : Pattern.t -> Csr.t -> Match_relation.t -> t
+val build : Pattern.t -> Snapshot.t -> Match_relation.t -> t
 (** Builds Gr for a kernel relation (empty relation gives an empty Gr). *)
 
 val node_count : t -> int
@@ -42,7 +42,7 @@ val iter_edges : t -> (int -> int -> int -> unit) -> unit
 val weight : t -> int -> int -> int option
 (** Weight between two data nodes, if the edge exists. *)
 
-val to_dot : ?name:string -> ?highlight:int list -> Pattern.t -> Csr.t -> t -> string
+val to_dot : ?name:string -> ?highlight:int list -> Pattern.t -> Snapshot.t -> t -> string
 (** GraphViz rendering with match names and distances (Fig. 5 style);
     [highlight] lists data nodes to fill red (e.g. the top-1 expert). *)
 
@@ -77,7 +77,7 @@ type detail = {
   in_edges : (int * int) list;
 }
 
-val drill_down : Pattern.t -> Csr.t -> t -> int -> detail list
+val drill_down : Pattern.t -> Snapshot.t -> t -> int -> detail list
 (** Per-match detail for one pattern node's matches, ascending by data
     node id. *)
 

@@ -29,7 +29,7 @@ let index_edges pattern =
 (* ------------------------------------------------------------------ *)
 
 let run_dense pattern g ~initial =
-  let n = Csr.node_count g in
+  let n = Snapshot.node_count g in
   let sim = Match_relation.copy initial in
   let idx = index_edges pattern in
   let ne = Array.length idx.edge_array in
@@ -40,7 +40,7 @@ let run_dense pattern g ~initial =
     let target = Match_relation.matches_set sim u' in
     let row = cnt.(e) in
     for v = 0 to n - 1 do
-      Csr.iter_succ g v (fun w -> if Bitset.mem target w then row.(v) <- row.(v) + 1)
+      Snapshot.iter_succ g v (fun w -> if Bitset.mem target w then row.(v) <- row.(v) + 1)
     done
   done;
   let worklist = Vec.create ~dummy:(-1) () in
@@ -69,7 +69,7 @@ let run_dense pattern g ~initial =
       (fun e ->
         let u, _, _ = idx.edge_array.(e) in
         let row = cnt.(e) in
-        Csr.iter_pred g w (fun p ->
+        Snapshot.iter_pred g w (fun p ->
             row.(p) <- row.(p) - 1;
             if row.(p) = 0 && Match_relation.mem sim u p then remove u p))
       idx.in_of.(u')
@@ -81,12 +81,12 @@ let run_dense pattern g ~initial =
 (* The sparse path (only nodes of [area] may be removed, counters exist
    only for them) is shared with the incremental module's Digraph
    instance. *)
-module Csr_refine = Sparse_refine.Make (Csr)
+module Snap_refine = Sparse_refine.Make (Snapshot)
 
 let run_constrained pattern g ~initial ~mutable_set =
   match mutable_set with
   | None -> run_dense pattern g ~initial
-  | Some area -> Csr_refine.simulation pattern g ~initial ~area
+  | Some area -> Snap_refine.simulation pattern g ~initial ~area
 
 let run pattern g =
   let initial = Candidates.compute pattern g in
@@ -97,11 +97,11 @@ let consistent pattern g m =
   for u = 0 to Pattern.size pattern - 1 do
     List.iter
       (fun v ->
-        if not (Pattern.matches_node pattern u (Csr.label g v) (Csr.attrs g v)) then
+        if not (Pattern.matches_node pattern u (Snapshot.label g v) (Snapshot.attrs g v)) then
           ok := false;
         List.iter
           (fun (u', _) ->
-            if not (Csr.exists_succ g v (fun w -> Match_relation.mem m u' w)) then
+            if not (Snapshot.exists_succ g v (fun w -> Match_relation.mem m u' w)) then
               ok := false)
           (Pattern.out_edges pattern u))
       (Match_relation.matches m u)

@@ -17,17 +17,17 @@ open Expfinder_pattern
     {!Match_relation.is_total}.  Edge bounds are ignored; callers
     dispatch on {!Pattern.is_simulation_pattern}. *)
 
-val run : Pattern.t -> Csr.t -> Match_relation.t
+val run : Pattern.t -> Snapshot.t -> Match_relation.t
 (** Simulation kernel from scratch. *)
 
 val run_constrained :
-  Pattern.t -> Csr.t -> initial:Match_relation.t -> mutable_set:Bitset.t option -> Match_relation.t
+  Pattern.t -> Snapshot.t -> initial:Match_relation.t -> mutable_set:Bitset.t option -> Match_relation.t
 (** Greatest fixpoint below [initial], removing only pairs whose data
     node lies in [mutable_set] ([None] = all nodes mutable).  Pairs on
     frozen nodes are kept even if their constraints fail — the caller
     guarantees they are consistent (see the incremental module).  The
     input is not mutated. *)
 
-val consistent : Pattern.t -> Csr.t -> Match_relation.t -> bool
+val consistent : Pattern.t -> Snapshot.t -> Match_relation.t -> bool
 (** Check (for tests) that every pair of the relation satisfies the
     simulation conditions w.r.t. the relation itself. *)

@@ -15,11 +15,11 @@ let search ?(max_embeddings = 1000) pattern g ~on_embedding =
         let spec = Pattern.node_spec pattern u in
         let pool =
           match spec.Pattern.label with
-          | Some l -> Csr.nodes_with_label g l
-          | None -> List.init (Csr.node_count g) Fun.id
+          | Some l -> Snapshot.nodes_with_label g l
+          | None -> List.init (Snapshot.node_count g) Fun.id
         in
         Array.of_list
-          (List.filter (fun v -> Predicate.eval spec.Pattern.pred (Csr.attrs g v)) pool))
+          (List.filter (fun v -> Predicate.eval spec.Pattern.pred (Snapshot.attrs g v)) pool))
   in
   let order = Array.init psize Fun.id in
   Array.sort (fun a b -> compare (Array.length candidates.(a)) (Array.length candidates.(b))) order;
@@ -30,10 +30,10 @@ let search ?(max_embeddings = 1000) pattern g ~on_embedding =
     (* every pattern edge between u and an already-placed node must be a
        data edge *)
     List.for_all
-      (fun (u', _) -> assignment.(u') < 0 || Csr.has_edge g v assignment.(u'))
+      (fun (u', _) -> assignment.(u') < 0 || Snapshot.has_edge g v assignment.(u'))
       (Pattern.out_edges pattern u)
     && List.for_all
-         (fun (u', _) -> assignment.(u') < 0 || Csr.has_edge g assignment.(u') v)
+         (fun (u', _) -> assignment.(u') < 0 || Snapshot.has_edge g assignment.(u') v)
          (Pattern.in_edges pattern u)
   in
   let rec place depth =

@@ -19,12 +19,12 @@ open Expfinder_pattern
 type embedding = int array
 (** [embedding.(u)] is the data node pattern node [u] maps to. *)
 
-val embeddings : ?max_embeddings:int -> Pattern.t -> Csr.t -> embedding list
+val embeddings : ?max_embeddings:int -> Pattern.t -> Snapshot.t -> embedding list
 (** All embeddings (up to the cap, default 1000), in discovery order. *)
 
-val exists : Pattern.t -> Csr.t -> bool
+val exists : Pattern.t -> Snapshot.t -> bool
 (** Is there at least one embedding?  Stops at the first. *)
 
-val matched_pairs : ?max_embeddings:int -> Pattern.t -> Csr.t -> (int * int) list
+val matched_pairs : ?max_embeddings:int -> Pattern.t -> Snapshot.t -> (int * int) list
 (** The (pattern node, data node) pairs covered by some embedding —
     directly comparable to {!Match_relation.pairs}. *)

@@ -42,7 +42,7 @@ let check ?(max_pairs = 512) ?(max_candidates = 512) pattern g m =
       (fun v ->
         if !position mod stride = 0 && !checked_pairs < max_pairs then begin
           incr checked_pairs;
-          if not (Pattern.matches_node pattern u (Csr.label g v) (Csr.attrs g v)) then
+          if not (Pattern.matches_node pattern u (Snapshot.label g v) (Snapshot.attrs g v)) then
             error "invalid pair (%s, %d): node fails the label/predicate check"
               (Pattern.name pattern u) v;
           if not (edge_constraints_hold pattern g scratch m u v) then
@@ -57,7 +57,7 @@ let check ?(max_pairs = 512) ?(max_candidates = 512) pattern g m =
      monotone, so the union would still be a valid simulation). *)
   let checked_candidates = ref 0 in
   if Match_relation.is_total m then begin
-    let n = Csr.node_count g in
+    let n = Snapshot.node_count g in
     let stride = max 1 (n * Pattern.size pattern / max_candidates) in
     let position = ref 0 in
     for u = 0 to Pattern.size pattern - 1 do
@@ -67,7 +67,7 @@ let check ?(max_pairs = 512) ?(max_candidates = 512) pattern g m =
           !position mod stride = 0
           && !checked_candidates < max_candidates
           && (not (Match_relation.mem m u v))
-          && Predicate.eval spec.Pattern.pred (Csr.attrs g v)
+          && Predicate.eval spec.Pattern.pred (Snapshot.attrs g v)
         then begin
           incr checked_candidates;
           if edge_constraints_hold pattern g scratch m u v then
@@ -77,8 +77,8 @@ let check ?(max_pairs = 512) ?(max_candidates = 512) pattern g m =
         incr position
       in
       match spec.Pattern.label with
-      | Some l -> List.iter consider (Csr.nodes_with_label g l)
-      | None -> Csr.iter_nodes g consider
+      | Some l -> List.iter consider (Snapshot.nodes_with_label g l)
+      | None -> Snapshot.iter_nodes g consider
     done
   end;
   Counter.add m_errors (List.length !errors);

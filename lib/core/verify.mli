@@ -32,13 +32,13 @@ type report = {
 }
 
 val check :
-  ?max_pairs:int -> ?max_candidates:int -> Pattern.t -> Csr.t -> Match_relation.t -> report
+  ?max_pairs:int -> ?max_candidates:int -> Pattern.t -> Snapshot.t -> Match_relation.t -> report
 (** Sampling is deterministic (evenly strided); [max_pairs] (default
     512) bounds validity checks, [max_candidates] (default 512) bounds
     maximality probes. *)
 
 val check_exn :
-  ?max_pairs:int -> ?max_candidates:int -> Pattern.t -> Csr.t -> Match_relation.t -> unit
+  ?max_pairs:int -> ?max_candidates:int -> Pattern.t -> Snapshot.t -> Match_relation.t -> unit
 (** @raise Failure with the first errors when {!check} finds any. *)
 
 val semantically_equal : Match_relation.t -> Match_relation.t -> bool

@@ -38,6 +38,14 @@ let m_update_batches = Metrics.counter "engine.update_batches"
 
 let m_updates_effective = Metrics.counter "engine.updates_effective"
 
+let m_snapshot_advances = Metrics.counter "engine.snapshot_advances"
+
+let m_snapshot_rebuilds = Metrics.counter "engine.snapshot_rebuilds"
+
+let m_batches = Metrics.counter "engine.batches"
+
+let m_batch_queries = Metrics.counter "engine.batch_queries"
+
 let h_query_ms = Metrics.histogram "engine.query_ms"
 
 let provenance_counter = function
@@ -64,7 +72,7 @@ type expert = { node : int; name : string option; rank : Ranking.rank }
 
 type t = {
   g : Digraph.t;
-  mutable csr : Csr.t;
+  mutable snap : Snapshot.t;
   cache : Cache.t;
   mutable compressed : Inc_compress.t option;
   mutable ball_index : Ball_index.t option;
@@ -76,7 +84,7 @@ type t = {
 let create ?cache_capacity g =
   {
     g;
-    csr = Csr.of_digraph g;
+    snap = Snapshot.of_digraph g;
     cache = Cache.create ?capacity:cache_capacity ();
     compressed = None;
     ball_index = None;
@@ -87,14 +95,21 @@ let create ?cache_capacity g =
 
 let graph t = t.g
 
+(* The one place snapshot/digraph agreement is checked: the memoised
+   snapshot is current unless the digraph was mutated behind the
+   engine's back (all updates through [apply_updates] keep it in sync
+   copy-on-write), in which case we pay one full rebuild here. *)
 let snapshot t =
-  if Csr.source_version t.csr <> Digraph.version t.g then t.csr <- Csr.of_digraph t.g;
-  t.csr
+  if Snapshot.epoch t.snap <> Digraph.version t.g then begin
+    Counter.incr m_snapshot_rebuilds;
+    t.snap <- Snapshot.of_digraph t.g
+  end;
+  t.snap
 
 (* Direct evaluation goes through the planner: candidate ordering with
    early exit, sink pruning, and strategy selection (§III "optimized
    query plans"). *)
-let run_direct pattern csr = Planner.run pattern csr
+let run_direct pattern snap = Planner.run pattern snap
 
 (* Containment reuse: when the exact fingerprint misses but the cache
    holds the *total* kernel of a superset query Q' (every node of the
@@ -103,8 +118,9 @@ let run_direct pattern csr = Planner.run pattern csr
    candidate set of the incoming query from above.  Filter it by the
    pattern's own label/predicate specs and refine below it — the exact
    kernel, without scanning the data graph for candidates. *)
-let from_containment t pattern ~version =
-  Cache.fold t.cache ~graph_version:version ~init:None ~f:(fun acc sup relation ->
+let from_containment t pattern ~snap =
+  let sid = Snapshot.id snap in
+  Cache.fold t.cache ~snapshot:sid ~init:None ~f:(fun acc sup relation ->
       match acc with
       | Some _ -> acc
       | None ->
@@ -116,15 +132,14 @@ let from_containment t pattern ~version =
           |> Option.map (fun map -> (map, relation))
         else None)
   |> Option.map (fun (map, sup_relation) ->
-         let csr = snapshot t in
          let initial =
            Match_relation.create ~pattern_size:(Pattern.size pattern)
-             ~graph_size:(Csr.node_count csr)
+             ~graph_size:(Snapshot.node_count snap)
          in
          for u = 0 to Pattern.size pattern - 1 do
            List.iter
              (fun v ->
-               if Pattern.matches_node pattern u (Csr.label csr v) (Csr.attrs csr v)
+               if Pattern.matches_node pattern u (Snapshot.label snap v) (Snapshot.attrs snap v)
                then Match_relation.add initial u v)
              (Match_relation.matches sup_relation map.(u))
          done;
@@ -132,9 +147,9 @@ let from_containment t pattern ~version =
            ~attrs:[ ("seed_pairs", string_of_int (Match_relation.total initial)) ]
            (fun () ->
              if Pattern.is_simulation_pattern pattern then
-               Simulation.run_constrained pattern csr ~initial ~mutable_set:None
+               Simulation.run_constrained pattern snap ~initial ~mutable_set:None
              else
-               Bounded_sim.run_constrained ~strategy:Bounded_sim.Naive pattern csr
+               Bounded_sim.run_constrained ~strategy:Bounded_sim.Naive pattern snap
                  ~initial ~mutable_set:None))
 
 (* The untraced core of [evaluate]: cache -> registered kernel ->
@@ -144,15 +159,16 @@ let from_containment t pattern ~version =
    direct path (the differential checker re-verifies everything
    else). *)
 let evaluate_inner t pattern =
-  let version = Digraph.version t.g in
+  let snap = snapshot t in
+  let sid = Snapshot.id snap in
   match
-    with_span "cache.lookup" (fun () -> Cache.find t.cache pattern ~graph_version:version)
+    with_span "cache.lookup" (fun () -> Cache.find t.cache pattern ~snapshot:sid)
   with
   | Some relation -> (relation, From_cache, "cache", false)
   | None ->
     let registered_kernel =
       match List.assoc_opt (Pattern.fingerprint pattern) t.registered with
-      | Some inc when Incremental.version inc = version ->
+      | Some inc when Incremental.version inc = Snapshot.epoch snap ->
         Some (Match_relation.copy (Incremental.kernel inc))
       | _ -> None
     in
@@ -163,7 +179,7 @@ let evaluate_inner t pattern =
         let compressed_answer =
           match t.compressed with
           | Some inc
-            when Csr.source_version (Inc_compress.snapshot inc) = version
+            when Snapshot.identity_equal (Snapshot.id (Inc_compress.snapshot inc)) sid
                  && Compress.supports (Inc_compress.current inc) pattern ->
             Some (Compress.evaluate (Inc_compress.current inc) pattern)
           | _ -> None
@@ -171,32 +187,31 @@ let evaluate_inner t pattern =
         match compressed_answer with
         | Some relation -> (relation, From_compressed, "compressed", false)
         | None -> (
-          match from_containment t pattern ~version with
+          match from_containment t pattern ~snap with
           | Some relation ->
             Counter.incr m_containment;
             (relation, From_cache, "containment", false)
           | None -> (
-            let csr = snapshot t in
             (* Rebuild the opt-in ball index lazily after updates. *)
             (match t.ball_index with
             | Some idx
-              when Ball_index.source_version idx <> Csr.source_version csr ->
+              when not (Snapshot.identity_equal (Ball_index.source idx) sid) ->
               t.ball_index <-
                 Some
                   (with_span "ball_index.rebuild" (fun () ->
-                       Ball_index.build csr ~radius:t.ball_radius))
+                       Ball_index.build snap ~radius:t.ball_radius))
             | _ -> ());
             match t.ball_index with
             | Some idx when Ball_index.supports idx pattern ->
-              (Ball_index.evaluate idx pattern csr, From_index, "ball-index", false)
+              (Ball_index.evaluate idx pattern snap, From_index, "ball-index", false)
             | _ ->
-              let relation, plan = Planner.run_with_plan pattern csr in
+              let relation, plan = Planner.run_with_plan pattern snap in
               ( relation,
                 Direct,
                 "direct/" ^ Planner.strategy_name plan.Planner.strategy,
                 true ))))
     in
-    Cache.store t.cache pattern ~graph_version:version relation;
+    Cache.store t.cache pattern ~snapshot:sid relation;
     (relation, provenance, strategy, via_direct)
 
 (* EXPFINDER_CHECK=1 sanitizer: any answer that did not just come out of
@@ -209,9 +224,9 @@ let differential_check t pattern relation provenance ~via_direct =
   if Verify.differential () then begin
     Counter.incr m_differential;
     try
-      let csr = snapshot t in
+      let snap = snapshot t in
       if not via_direct then begin
-        let direct = with_span "verify.differential" (fun () -> run_direct pattern csr) in
+        let direct = with_span "verify.differential" (fun () -> run_direct pattern snap) in
         if not (Verify.semantically_equal relation direct) then
           failwith
             (Printf.sprintf
@@ -220,7 +235,7 @@ let differential_check t pattern relation provenance ~via_direct =
                (provenance_name provenance) (Pattern.fingerprint pattern)
                (Match_relation.total relation) (Match_relation.total direct))
       end;
-      Verify.check_exn pattern csr relation
+      Verify.check_exn pattern snap relation
     with e ->
       (* A failed self-check is exactly what the flight recorder is for:
          dump the recent-query ring before propagating. *)
@@ -271,6 +286,159 @@ let evaluate t pattern =
         (provenance_name provenance));
   { relation; total = Match_relation.is_total relation; provenance; profile }
 
+(* ------------------------------------------------------------------ *)
+(* Batched evaluation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* One batch pins one snapshot and then:
+
+   1. serves exact cache hits;
+   2. dedupes the misses by fingerprint;
+   3. extracts candidates for *all* remaining queries in a single
+      labelled scan ({!Candidates.compute_batch}: label buckets shared
+      across the batch — the [candidates.scans] saving);
+   4. evaluates supersets first, storing each kernel in the cache, so a
+      later batch member contained in an earlier one is answered by the
+      containment machinery (seeded refinement, no scan at all).
+
+   Answers are identical to per-query {!evaluate}: candidate sets are
+   supersets of the planner's (which additionally prunes sinks), and the
+   maximal kernel below any initial superset of it is the same
+   fixpoint. *)
+let evaluate_batch t patterns =
+  Counter.incr m_batches;
+  let rec_before = Metrics.counters_snapshot () in
+  let rec_start = now_us () in
+  let snap = snapshot t in
+  let sid = Snapshot.id snap in
+  let arr = Array.of_list patterns in
+  let n = Array.length arr in
+  Counter.add m_batch_queries n;
+  let label = Printf.sprintf "batch:%d" n in
+  let results : (Match_relation.t * provenance) option array = Array.make n None in
+  let empty_for pattern =
+    Match_relation.create ~pattern_size:(Pattern.size pattern)
+      ~graph_size:(Snapshot.node_count snap)
+  in
+  let (), _batch_profile =
+    profiled t ~root:"evaluate_batch"
+      ~attrs:[ ("queries", string_of_int n) ]
+      ~query:label
+      (fun () ->
+        (* 1. Exact cache hits. *)
+        let hits = ref 0 in
+        with_span "batch_cache" (fun () ->
+            Array.iteri
+              (fun i pattern ->
+                match Cache.find t.cache pattern ~snapshot:sid with
+                | Some relation ->
+                  incr hits;
+                  results.(i) <- Some (relation, From_cache)
+                | None -> ())
+              arr);
+        annotate_int "cache_hits" !hits;
+        (* 2. Dedupe misses by fingerprint; [reps] holds the first index
+           of each distinct query left to evaluate. *)
+        let seen = Hashtbl.create 16 in
+        let reps = ref [] in
+        Array.iteri
+          (fun i pattern ->
+            if results.(i) = None then begin
+              let fp = Pattern.fingerprint pattern in
+              if not (Hashtbl.mem seen fp) then begin
+                Hashtbl.add seen fp i;
+                reps := i :: !reps
+              end
+            end)
+          arr;
+        let reps = Array.of_list (List.rev !reps) in
+        (* 3. One shared candidate scan for every distinct miss. *)
+        let initials =
+          with_span "batch_candidates" (fun () ->
+              Candidates.compute_batch (Array.map (fun i -> arr.(i)) reps) snap)
+        in
+        (* 4. Supersets first: [contains q1 q2] is transitive, so the
+           count of batch members a query contains increases strictly
+           along the strict containment order — descending count is a
+           topological order of the containment DAG. *)
+        let contained_count r =
+          Array.fold_left
+            (fun acc r' ->
+              if r <> r' && Pattern_analysis.contains arr.(r') arr.(r) then acc + 1
+              else acc)
+            0 reps
+        in
+        let order = Array.init (Array.length reps) Fun.id in
+        let scores = Array.map contained_count reps in
+        Array.sort (fun a b -> compare scores.(b) scores.(a)) order;
+        let containment_hits = ref 0 in
+        Array.iter
+          (fun j ->
+            let i = reps.(j) in
+            let pattern = arr.(i) in
+            let relation, provenance =
+              if Pattern_analysis.statically_empty pattern then
+                (empty_for pattern, Direct)
+              else
+                match from_containment t pattern ~snap with
+                | Some relation ->
+                  Counter.incr m_containment;
+                  incr containment_hits;
+                  (relation, From_cache)
+                | None ->
+                  let initial = initials.(j) in
+                  if not (Match_relation.is_total initial) then
+                    (* Some pattern node has no candidate at all: the
+                       kernel is empty (the planner's early exit). *)
+                    (empty_for pattern, Direct)
+                  else
+                    let relation =
+                      with_span "batch_refine"
+                        ~attrs:[ ("query", Pattern.fingerprint pattern) ]
+                        (fun () ->
+                          if Pattern.is_simulation_pattern pattern then
+                            Simulation.run_constrained pattern snap ~initial
+                              ~mutable_set:None
+                          else
+                            Bounded_sim.run_constrained pattern snap ~initial
+                              ~mutable_set:None)
+                    in
+                    (relation, Direct)
+            in
+            Cache.store t.cache pattern ~snapshot:sid relation;
+            differential_check t pattern relation provenance ~via_direct:false;
+            Counter.incr (provenance_counter provenance);
+            results.(i) <- Some (relation, provenance))
+          order;
+        annotate_int "containment_hits" !containment_hits;
+        (* 5. Duplicates pick up their representative's relation. *)
+        Array.iteri
+          (fun i pattern ->
+            if results.(i) = None then begin
+              let rep = Hashtbl.find seen (Pattern.fingerprint pattern) in
+              match results.(rep) with
+              | Some (relation, _) ->
+                Counter.incr m_from_cache;
+                results.(i) <- Some (Match_relation.copy relation, From_cache)
+              | None -> assert false
+            end)
+          arr;
+        ((), Direct))
+  in
+  Recorder.record ~query:label ~strategy:"batch"
+    ~duration_ms:((now_us () -. rec_start) /. 1000.0)
+    ~counters:(Metrics.delta ~before:rec_before ~after:(Metrics.counters_snapshot ()));
+  Log.debug (fun m -> m "evaluate_batch: %d queries on %a" n Snapshot.pp_id snap);
+  List.mapi
+    (fun i _ ->
+      match results.(i) with
+      | Some (relation, provenance) ->
+        (* Per-answer profiles are not split out of the shared batch run;
+           the whole-batch profile is available via [last_profile]. *)
+        { relation; total = Match_relation.is_total relation; provenance; profile = None }
+      | None -> assert false)
+    patterns
+
 let result_graph t pattern =
   let answer = evaluate t pattern in
   let relation =
@@ -292,10 +460,10 @@ let top_k t pattern ~k =
       let answer = evaluate t pattern in
       if not answer.total then ([], answer.provenance)
       else begin
-        let csr = snapshot t in
+        let snap = snapshot t in
         let gr =
           with_span "result_graph" (fun () ->
-              Result_graph.build pattern csr answer.relation)
+              Result_graph.build pattern snap answer.relation)
         in
         let output_matches = Match_relation.matches answer.relation (Pattern.output pattern) in
         let experts =
@@ -305,7 +473,7 @@ let top_k t pattern ~k =
               Ranking.top_k gr ~output_matches ~k
               |> List.map (fun (node, rank) ->
                      let name =
-                       match Attrs.find (Csr.attrs csr node) "name" with
+                       match Attrs.find (Snapshot.attrs snap node) "name" with
                        | Some (Attr.String s) -> Some s
                        | Some _ | None -> None
                      in
@@ -360,24 +528,55 @@ let unregister t pattern =
 
 let registered t = List.map (fun (_, inc) -> Incremental.pattern inc) t.registered
 
+(* Beyond this fraction of the edge count, rebuilding adjacency from the
+   digraph beats patching it (and [Insert_node] changes the node table,
+   which the COW advance shares by design). *)
+let cow_delta_limit snap = 16 + (Snapshot.edge_count snap / 4)
+
 let apply_updates t updates =
   Counter.incr m_update_batches;
+  (* Pin (and, if the digraph was mutated externally, resync) the
+     pre-update epoch before applying ΔG: readers holding it keep a
+     coherent view, and the COW advance patches it. *)
+  let before = snapshot t in
   let effective = Update.apply_batch_filtered t.g updates in
   Counter.add m_updates_effective (List.length effective);
-  let new_csr = Csr.of_digraph t.g in
-  t.csr <- new_csr;
-  (* Results for old versions are unreachable (keys include the version),
+  if effective <> [] then begin
+    let inserts_node =
+      List.exists (function Update.Insert_node _ -> true | _ -> false) effective
+    in
+    let next =
+      if inserts_node then None
+      else begin
+        let added, removed = Update.net_edge_changes t.g effective in
+        if List.length added + List.length removed > cow_delta_limit before then None
+        else
+          Some
+            (with_span "snapshot.advance" (fun () ->
+                 Snapshot.advance before ~version:(Digraph.version t.g) ~added ~removed))
+      end
+    in
+    (match next with
+    | Some snap ->
+      Counter.incr m_snapshot_advances;
+      t.snap <- snap
+    | None ->
+      Counter.incr m_snapshot_rebuilds;
+      t.snap <- Snapshot.of_digraph t.g)
+  end;
+  (* Results for old epochs are unreachable (keys include the identity),
      but drop them eagerly to keep the cache useful. *)
   Cache.clear t.cache;
   Option.iter
     (fun inc ->
       ignore
-        (Inc_compress.sync inc ~new_csr ~effective:(List.length effective) effective
+        (Inc_compress.sync inc ~snapshot:t.snap ~effective:(List.length effective)
+           effective
           : Inc_compress.report))
     t.compressed;
   Log.debug (fun m ->
-      m "apply_updates: %d effective, %d registered queries, compression %s"
-        (List.length effective) (List.length t.registered)
+      m "apply_updates: %d effective -> %a, %d registered queries, compression %s"
+        (List.length effective) Snapshot.pp_id t.snap (List.length t.registered)
         (if t.compressed = None then "off" else "maintained"));
   List.map (fun (_, inc) -> Incremental.sync_applied inc ~effective) t.registered
 
@@ -391,6 +590,6 @@ let explain t pattern = Planner.explain pattern (Planner.plan pattern (snapshot 
    purpose: the point is to execute the plan and confront its estimates
    with the candidate sets it actually materialised. *)
 let explain_analyze t pattern =
-  let csr = snapshot t in
-  let _relation, plan = Planner.run_with_plan pattern csr in
+  let snap = snapshot t in
+  let _relation, plan = Planner.run_with_plan pattern snap in
   Planner.explain_analyze pattern plan

@@ -71,11 +71,29 @@ val create : ?cache_capacity:int -> Digraph.t -> t
 
 val graph : t -> Digraph.t
 
-val snapshot : t -> Csr.t
+val snapshot : t -> Snapshot.t
+(** The engine's current-epoch snapshot, memoised: rebuilt only when the
+    digraph's version disagrees (i.e. it was mutated outside
+    {!apply_updates}, the single place that check lives).  All
+    evaluation paths read this snapshot — queries in flight on an older
+    epoch keep their pinned value untouched. *)
 
 val evaluate : t -> Pattern.t -> answer
 (** Cache → compressed → cached superset (containment) → ball index →
     direct, caching the result. *)
+
+val evaluate_batch : t -> Pattern.t list -> answer list
+(** Evaluate a batch of queries against {e one} pinned snapshot.
+    Answers equal per-query {!evaluate} (same relations, same [total]),
+    but the batch: serves exact cache hits first, dedupes repeated
+    fingerprints, extracts candidates for all remaining queries in a
+    single labelled scan ({!Expfinder_core.Candidates.compute_batch} —
+    compare [candidates.scans] against the sequential loop), and
+    evaluates containment-supersets first so contained batch members are
+    answered by seeded refinement without any scan.  Answers are
+    returned in input order; [profile] is [None] on each answer — the
+    whole batch's profile (root span ["evaluate_batch"]) is available
+    via {!last_profile}. *)
 
 val top_k : t -> Pattern.t -> k:int -> expert list
 (** Evaluate, build the result graph and rank the output node's matches
@@ -109,9 +127,18 @@ val unregister : t -> Pattern.t -> unit
 val registered : t -> Pattern.t list
 
 val apply_updates : t -> Update.t list -> Incremental.report list
-(** Apply ΔG: updates the graph, invalidates the cache, maintains the
-    compressed graph and every registered query; returns one maintenance
-    report per registered query (in registration order). *)
+(** Apply ΔG: updates the graph, advances the snapshot to the next
+    epoch, invalidates the cache, maintains the compressed graph and
+    every registered query; returns one maintenance report per
+    registered query (in registration order).
+
+    The epoch advance is copy-on-write for small pure-edge batches: the
+    next snapshot is produced by patching the pinned one with the net
+    edge delta ({!Expfinder_graph.Snapshot.advance}, counted by
+    [engine.snapshot_advances]), sharing the node tables physically.
+    Batches that insert nodes, or whose net delta exceeds a quarter of
+    the edge count, fall back to a full rebuild
+    ([engine.snapshot_rebuilds]). *)
 
 val last_profile : t -> profile option
 (** The profile of the most recent traced query ({!evaluate} or

@@ -133,6 +133,106 @@ let nodes_with_label t l =
   in
   Option.value ~default:[] (Hashtbl.find_opt table l)
 
+let patched t ~source_version ~added ~removed =
+  let n = t.n in
+  let check_pair (u, v) =
+    if u < 0 || u >= n || v < 0 || v >= n then invalid_arg "Csr.patched: unknown node"
+  in
+  List.iter check_pair added;
+  List.iter check_pair removed;
+  let removed_set = Hashtbl.create (max 1 (2 * List.length removed)) in
+  List.iter (fun e -> Hashtbl.replace removed_set e ()) removed;
+  let bucket tbl k x =
+    Hashtbl.replace tbl k (x :: Option.value ~default:[] (Hashtbl.find_opt tbl k))
+  in
+  let count tbl k = Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)) in
+  (* Added/removed lists come from [Update.net_edge_changes]-style net
+     deltas: each added edge must be absent from [t], each removed edge
+     present, and no pair may appear twice.  Degrees are computed from
+     the delta counts, so a violated precondition is caught below when
+     the skip count disagrees. *)
+  let add_out = Hashtbl.create 16 and add_in = Hashtbl.create 16 in
+  List.iter
+    (fun (u, v) ->
+      bucket add_out u v;
+      bucket add_in v u)
+    added;
+  let del_out = Hashtbl.create 16 and del_in = Hashtbl.create 16 in
+  List.iter
+    (fun (u, v) ->
+      count del_out u;
+      count del_in v)
+    removed;
+  let m = t.m + List.length added - List.length removed in
+  if m < 0 then invalid_arg "Csr.patched: more removals than edges";
+  let deg tbl_add tbl_del old v =
+    let adds = match Hashtbl.find_opt tbl_add v with None -> 0 | Some l -> List.length l in
+    let dels = Option.value ~default:0 (Hashtbl.find_opt tbl_del v) in
+    let d = old + adds - dels in
+    if d < 0 then invalid_arg "Csr.patched: removed edge not present";
+    d
+  in
+  let fwd_offsets = Array.make (n + 1) 0 in
+  let rev_offsets = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    fwd_offsets.(v + 1) <- fwd_offsets.(v) + deg add_out del_out (out_degree t v) v;
+    rev_offsets.(v + 1) <- rev_offsets.(v) + deg add_in del_in (in_degree t v) v
+  done;
+  let fwd_targets = Array.make (max m 1) 0 in
+  let rev_sources = Array.make (max m 1) 0 in
+  let skipped = ref 0 in
+  let pos = ref 0 in
+  for v = 0 to n - 1 do
+    if !pos <> fwd_offsets.(v) then invalid_arg "Csr.patched: inconsistent delta";
+    iter_succ t v (fun w ->
+        if Hashtbl.mem removed_set (v, w) then incr skipped
+        else begin
+          fwd_targets.(!pos) <- w;
+          incr pos
+        end);
+    match Hashtbl.find_opt add_out v with
+    | None -> ()
+    | Some ws ->
+      List.iter
+        (fun w ->
+          fwd_targets.(!pos) <- w;
+          incr pos)
+        ws
+  done;
+  if !skipped <> List.length removed then
+    invalid_arg "Csr.patched: removed edge not present";
+  pos := 0;
+  for v = 0 to n - 1 do
+    iter_pred t v (fun u ->
+        if not (Hashtbl.mem removed_set (u, v)) then begin
+          rev_sources.(!pos) <- u;
+          incr pos
+        end);
+    match Hashtbl.find_opt add_in v with
+    | None -> ()
+    | Some us ->
+      List.iter
+        (fun u ->
+          rev_sources.(!pos) <- u;
+          incr pos)
+        us
+  done;
+  {
+    n;
+    m;
+    fwd_offsets;
+    fwd_targets;
+    rev_offsets;
+    rev_sources;
+    (* Node tables are physically shared: edge deltas cannot change
+       labels or attributes, and the label-bucket memo only depends on
+       the (shared) label array. *)
+    labels = t.labels;
+    attr_table = t.attr_table;
+    source_version;
+    by_label = t.by_label;
+  }
+
 let max_out_degree t =
   let best = ref 0 in
   for v = 0 to t.n - 1 do

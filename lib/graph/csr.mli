@@ -50,6 +50,17 @@ val nodes_with_label : t -> Label.t -> node list
 (** All nodes carrying the given label (computed once per snapshot and
     memoised; the common entry point for candidate-set construction). *)
 
+val patched : t -> source_version:int -> added:(node * node) list -> removed:(node * node) list -> t
+(** [patched t ~source_version ~added ~removed] is a new snapshot with
+    the net edge delta applied: all edges of [t] except [removed], plus
+    [added].  The node tables (labels, attributes, label buckets) are
+    shared physically with [t] — this is the copy-on-write epoch advance
+    for small update batches, O(|V| + |E| + |Δ|) without re-reading the
+    digraph.  Preconditions (checked where cheap): added edges are
+    absent from [t], removed edges present, no duplicates, endpoints in
+    range, and the delta must not create a new node.
+    @raise Invalid_argument when a precondition is violated. *)
+
 val max_out_degree : t -> int
 
 val to_digraph : t -> Digraph.t

@@ -1,6 +1,7 @@
 type node = int
 
 type t = {
+  graph_id : int;
   out_adj : node Vec.t Vec.t;
   in_adj : node Vec.t Vec.t;
   labels : Label.t Vec.t;
@@ -15,6 +16,7 @@ let dummy_label = Label.of_string ""
 
 let create ?(capacity = 16) () =
   {
+    graph_id = Graph_id.fresh ();
     out_adj = Vec.create ~capacity ~dummy:dummy_adj ();
     in_adj = Vec.create ~capacity ~dummy:dummy_adj ();
     labels = Vec.create ~capacity ~dummy:dummy_label ();
@@ -28,6 +30,8 @@ let node_count g = Vec.length g.labels
 let edge_count g = g.edges
 
 let version g = g.version
+
+let graph_id g = g.graph_id
 
 let bump g = g.version <- g.version + 1
 
@@ -110,6 +114,14 @@ let fold_succ g v f acc =
   check_node g v;
   Vec.fold_left f acc (Vec.get g.out_adj v)
 
+let fold_pred g v f acc =
+  check_node g v;
+  Vec.fold_left f acc (Vec.get g.in_adj v)
+
+let exists_succ g v p =
+  check_node g v;
+  Vec.exists p (Vec.get g.out_adj v)
+
 let iter_nodes g f =
   for v = 0 to node_count g - 1 do
     f v
@@ -132,6 +144,7 @@ let copy g =
     out
   in
   {
+    graph_id = Graph_id.fresh ();
     out_adj = copy_adj g.out_adj;
     in_adj = copy_adj g.in_adj;
     labels = Vec.copy g.labels;

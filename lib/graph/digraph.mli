@@ -25,6 +25,13 @@ val edge_count : t -> int
 val version : t -> int
 (** Bumped by every mutating operation. *)
 
+val graph_id : t -> int
+(** Process-unique identity of this graph, fresh on {!create}, {!copy}
+    and {!of_edges} (see {!Graph_id}).  [(graph_id, version)] is the
+    identity of the graph's current epoch: snapshots and caches key off
+    the pair, so a graph and its copy — both starting at version 0 —
+    can never alias. *)
+
 val add_node : t -> ?attrs:Attrs.t -> Label.t -> node
 (** Append a fresh node and return its id. *)
 
@@ -61,6 +68,10 @@ val iter_pred : t -> node -> (node -> unit) -> unit
 
 val fold_succ : t -> node -> ('a -> node -> 'a) -> 'a -> 'a
 
+val fold_pred : t -> node -> ('a -> node -> 'a) -> 'a -> 'a
+
+val exists_succ : t -> node -> (node -> bool) -> bool
+
 val iter_nodes : t -> (node -> unit) -> unit
 
 val iter_edges : t -> (node -> node -> unit) -> unit
@@ -69,7 +80,9 @@ val succ_list : t -> node -> node list
 val pred_list : t -> node -> node list
 
 val copy : t -> t
-(** Deep copy sharing no mutable state; the copy starts at version 0. *)
+(** Deep copy sharing no mutable state; the copy starts at version 0 but
+    carries a fresh {!graph_id}, so its epochs never alias the
+    original's. *)
 
 val of_edges : ?attrs:(int -> Attrs.t) -> labels:Label.t array -> (int * int) list -> t
 (** [of_edges ~labels edges] builds a graph with [Array.length labels]

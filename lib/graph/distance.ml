@@ -81,4 +81,4 @@ module Make (G : GRAPH) = struct
 end
 
 (* The snapshot instance, used pervasively by batch evaluation. *)
-include Make (Csr)
+include Make (Snapshot)

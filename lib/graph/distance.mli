@@ -7,9 +7,9 @@
     list, so a [scratch] can be reused across millions of calls.
 
     The implementation is a functor over {!Graph_intf.GRAPH}: batch
-    evaluation uses the {!Csr} instance included at the top level, while
-    incremental maintenance instantiates {!Make} with {!Digraph} to avoid
-    snapshot rebuilds. *)
+    evaluation uses the {!Snapshot} instance included at the top level,
+    while incremental maintenance instantiates {!Make} with {!Digraph}
+    to avoid snapshot rebuilds. *)
 
 module Make (G : Graph_intf.GRAPH) : sig
   type scratch
@@ -39,18 +39,18 @@ module Make (G : Graph_intf.GRAPH) : sig
   (** A safe upper bound on any finite hop distance (the node count). *)
 end
 
-(* The Csr instance, included for the common case. *)
+(* The Snapshot instance, included for the common case. *)
 
 type scratch
 
-val make_scratch : Csr.t -> scratch
+val make_scratch : Snapshot.t -> scratch
 
-val ball : scratch -> Csr.t -> int -> int -> (int -> int -> unit) -> unit
+val ball : scratch -> Snapshot.t -> int -> int -> (int -> int -> unit) -> unit
 
-val reverse_ball : scratch -> Csr.t -> int -> int -> (int -> int -> unit) -> unit
+val reverse_ball : scratch -> Snapshot.t -> int -> int -> (int -> int -> unit) -> unit
 
-val exists_within : scratch -> Csr.t -> int -> int -> (int -> bool) -> bool
+val exists_within : scratch -> Snapshot.t -> int -> int -> (int -> bool) -> bool
 
-val distances_from : Csr.t -> int -> int array
+val distances_from : Snapshot.t -> int -> int array
 
-val eccentricity_bound : Csr.t -> int
+val eccentricity_bound : Snapshot.t -> int

@@ -1,0 +1,5 @@
+let counter = ref 0
+
+let fresh () =
+  incr counter;
+  !counter

@@ -1,0 +1,12 @@
+(** Process-unique graph identifiers.
+
+    Every {!Digraph.t} (and every snapshot derived from something other
+    than a digraph, e.g. a compressed graph) carries one of these ids.
+    Together with the monotonically bumped version they form the snapshot
+    identity [(graph_id, epoch)]: two graphs never share an id, so cache
+    entries recorded against a graph and its copy can no longer collide
+    even though [Digraph.copy] resets the version counter to 0. *)
+
+val fresh : unit -> int
+(** A new id, distinct from every id handed out before in this process.
+    The first id is 1, so 0 can serve as an "unidentified" sentinel. *)

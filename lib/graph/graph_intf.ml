@@ -1,8 +1,12 @@
-(** Minimal read interface shared by {!Csr} (immutable snapshots, used by
-    batch evaluation) and {!Digraph} (live graphs, used by incremental
-    maintenance so that small updates do not pay a full snapshot
-    rebuild).  Algorithms that must run on either are functorised over
-    this signature. *)
+(** The one read interface shared by every graph representation.
+
+    {!Snapshot} (immutable epoch snapshots, the home of all batch
+    evaluation), {!Csr} (the raw compressed-sparse-row storage a snapshot
+    wraps) and {!Digraph} (live mutable graphs, used by incremental
+    maintenance so that small updates do not pay a full snapshot rebuild)
+    all satisfy it.  Algorithms that must run on more than one
+    representation are functorised over this signature; everything else
+    takes a {!Snapshot.t} directly. *)
 
 module type GRAPH = sig
   type t
@@ -13,9 +17,19 @@ module type GRAPH = sig
 
   val attrs : t -> int -> Attrs.t
 
+  val out_degree : t -> int -> int
+
+  val in_degree : t -> int -> int
+
+  val iter_nodes : t -> (int -> unit) -> unit
+
   val iter_succ : t -> int -> (int -> unit) -> unit
 
   val iter_pred : t -> int -> (int -> unit) -> unit
 
   val fold_succ : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+
+  val fold_pred : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+
+  val exists_succ : t -> int -> (int -> bool) -> bool
 end

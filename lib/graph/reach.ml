@@ -6,7 +6,8 @@ type t = {
   cyclic : bool array; (* component -> lies on a cycle *)
 }
 
-let compute g =
+let compute snap =
+  let g = Snapshot.csr snap in
   let scc = Scc.compute g in
   let c = Scc.count scc in
   let adj = Scc.condensation scc g in

@@ -8,7 +8,7 @@ type t
 
 type node = int
 
-val compute : Csr.t -> t
+val compute : Snapshot.t -> t
 
 val reaches : t -> node -> node -> bool
 (** [reaches t u v] iff there is a path of length >= 1 from [u] to [v].

@@ -47,7 +47,7 @@ let evaluate pattern csr =
   else Bounded_sim.run pattern csr
 
 let create ?(area_strategy = Ball_closure) pattern g =
-  let kernel = evaluate pattern (Csr.of_digraph g) in
+  let kernel = evaluate pattern (Snapshot.of_digraph g) in
   {
     pattern;
     strategy = area_strategy;
@@ -69,7 +69,7 @@ let digraph t = t.g
 
 let version t = t.expected_version
 
-let snapshot t = Csr.of_digraph t.g
+let snapshot t = Snapshot.of_digraph t.g
 
 let refresh_scratch t =
   if Digraph.node_count t.g > t.scratch_n then begin
@@ -78,7 +78,7 @@ let refresh_scratch t =
   end
 
 let recompute t =
-  t.kernel <- evaluate t.pattern (Csr.of_digraph t.g);
+  t.kernel <- evaluate t.pattern (Snapshot.of_digraph t.g);
   t.expected_version <- Digraph.version t.g;
   refresh_scratch t
 

@@ -70,7 +70,7 @@ val digraph : t -> Digraph.t
 val version : t -> int
 (** The graph version the kernel is synchronised with. *)
 
-val snapshot : t -> Csr.t
+val snapshot : t -> Snapshot.t
 (** Fresh CSR snapshot of the tracked graph (test/debug convenience). *)
 
 val apply_updates : t -> Digraph.t -> Update.t list -> report

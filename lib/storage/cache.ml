@@ -1,3 +1,4 @@
+open Expfinder_graph
 open Expfinder_pattern
 open Expfinder_core
 open Expfinder_telemetry
@@ -15,7 +16,7 @@ let m_evictions = Metrics.counter "cache.evictions"
 let m_stores = Metrics.counter "cache.stores"
 
 type entry = {
-  key : string * int;
+  key : string * Snapshot.identity;
   pattern : Pattern.t;
   relation : Match_relation.t;
   mutable stamp : int;
@@ -23,7 +24,7 @@ type entry = {
 
 type t = {
   capacity : int;
-  table : (string * int, entry) Hashtbl.t;
+  table : (string * Snapshot.identity, entry) Hashtbl.t;
   mutable clock : int;
   hit_count : Counter.t;
   miss_count : Counter.t;
@@ -49,10 +50,10 @@ let tick t =
   t.clock <- t.clock + 1;
   t.clock
 
-let key_of pattern version = (Pattern.fingerprint pattern, version)
+let key_of pattern sid = (Pattern.fingerprint pattern, sid)
 
-let find t pattern ~graph_version =
-  match Hashtbl.find_opt t.table (key_of pattern graph_version) with
+let find t pattern ~snapshot =
+  match Hashtbl.find_opt t.table (key_of pattern snapshot) with
   | Some entry ->
     entry.stamp <- tick t;
     Counter.incr t.hit_count;
@@ -79,23 +80,27 @@ let evict_lru t =
     Counter.incr t.eviction_count;
     Counter.incr m_evictions
 
-let store t pattern ~graph_version relation =
-  let key = key_of pattern graph_version in
+let store t pattern ~snapshot relation =
+  let key = key_of pattern snapshot in
   if not (Hashtbl.mem t.table key) && Hashtbl.length t.table >= t.capacity then
     evict_lru t;
   Counter.incr m_stores;
   Hashtbl.replace t.table key
     { key; pattern; relation = Match_relation.copy relation; stamp = tick t }
 
-let fold t ~graph_version ~init ~f =
+let fold t ~snapshot ~init ~f =
   Hashtbl.fold
-    (fun (_, version) entry acc ->
-      if version = graph_version then f acc entry.pattern entry.relation else acc)
+    (fun (_, sid) entry acc ->
+      if Snapshot.identity_equal sid snapshot then f acc entry.pattern entry.relation
+      else acc)
     t.table init
 
-let invalidate_version t version =
+let invalidate_snapshot t snapshot =
   let victims =
-    Hashtbl.fold (fun key _ acc -> if snd key = version then key :: acc else acc) t.table []
+    Hashtbl.fold
+      (fun key _ acc ->
+        if Snapshot.identity_equal (snd key) snapshot then key :: acc else acc)
+      t.table []
   in
   List.iter (Hashtbl.remove t.table) victims
 

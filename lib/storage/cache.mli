@@ -1,13 +1,16 @@
+open Expfinder_graph
 open Expfinder_pattern
 open Expfinder_core
 
 (** Query-result cache (§II: "the query engine directly returns M(Q,G)
     if it is already cached").
 
-    Results are keyed by (pattern fingerprint, graph version); a bumped
-    graph version invalidates every entry for that graph, so the cache
-    can never serve a stale relation.  Eviction is LRU with a bounded
-    entry count.
+    Results are keyed by (pattern fingerprint, snapshot identity): the
+    identity [(graph_id, epoch)] pins both the graph and its epoch, so
+    the cache can never serve a stale relation — and, unlike the old
+    bare-version key, never confuses a graph with its copy (both start
+    at version 0 but carry distinct graph ids).  Eviction is LRU with a
+    bounded entry count.
 
     Accounting is built on the telemetry registry: each instance keeps
     always-on {!Expfinder_telemetry.Telemetry.Counter} values (read by
@@ -25,27 +28,28 @@ val capacity : t -> int
 
 val length : t -> int
 
-val find : t -> Pattern.t -> graph_version:int -> Match_relation.t option
+val find : t -> Pattern.t -> snapshot:Snapshot.identity -> Match_relation.t option
 (** A hit returns a defensive copy and refreshes recency. *)
 
-val store : t -> Pattern.t -> graph_version:int -> Match_relation.t -> unit
+val store : t -> Pattern.t -> snapshot:Snapshot.identity -> Match_relation.t -> unit
 (** Insert (copying the relation), evicting the least recently used
     entry when full. *)
 
 val fold :
   t ->
-  graph_version:int ->
+  snapshot:Snapshot.identity ->
   init:'a ->
   f:('a -> Pattern.t -> Match_relation.t -> 'a) ->
   'a
-(** Fold over the live entries of one graph version (iteration order
+(** Fold over the live entries of one snapshot (iteration order
     unspecified, recency untouched).  The engine scans these for a
     cached {e superset} query when the exact fingerprint misses
-    (containment reuse).  The relation is the stored one — do not
-    mutate it. *)
+    (containment reuse), and batch evaluation uses the same scan to
+    share relations across a batch.  The relation is the stored one —
+    do not mutate it. *)
 
-val invalidate_version : t -> int -> unit
-(** Drop every entry recorded under the given graph version. *)
+val invalidate_snapshot : t -> Snapshot.identity -> unit
+(** Drop every entry recorded under the given snapshot identity. *)
 
 val clear : t -> unit
 (** Drop every entry and reset the hit/miss counters (the eviction
@@ -57,4 +61,4 @@ val misses : t -> int
 
 val evictions : t -> int
 (** Entries dropped by LRU pressure (not by {!clear} /
-    {!invalidate_version}). *)
+    {!invalidate_snapshot}). *)

@@ -301,7 +301,7 @@ let prop_containment_sound seed =
   PA.contains q1 q2
   &&
   (* ... and the answers agree with that on a random graph. *)
-  let g = Csr.of_digraph (random_graph rng) in
+  let g = Snapshot.of_digraph (random_graph rng) in
   let m1 = Bounded_sim.run q1 g in
   let m2 = Bounded_sim.run q2 g in
   (not (Match_relation.is_total m1))
@@ -326,7 +326,7 @@ let test_contains_statically_empty () =
 (* --- Verify: the self-check sanitizer ------------------------------------ *)
 
 let test_verify_accepts_kernel () =
-  let g = Csr.of_digraph (Collab.graph ()) in
+  let g = Snapshot.of_digraph (Collab.graph ()) in
   let q = Collab.query () in
   let m = Bounded_sim.run q g in
   Alcotest.(check bool) "kernel is total" true (Match_relation.is_total m);
@@ -336,7 +336,7 @@ let test_verify_accepts_kernel () =
   Verify.check_exn q g m
 
 let test_verify_rejects_bogus_pair () =
-  let g = Csr.of_digraph (Collab.graph ()) in
+  let g = Snapshot.of_digraph (Collab.graph ()) in
   let q = Collab.query () in
   let m = Bounded_sim.run q g in
   (* Adding any non-matching data node to SA's row breaks validity. *)
@@ -350,7 +350,7 @@ let test_verify_rejects_bogus_pair () =
   Alcotest.(check bool) "validity violation reported" true (report.Verify.errors <> [])
 
 let test_verify_rejects_dropped_pair () =
-  let g = Csr.of_digraph (Collab.graph ()) in
+  let g = Snapshot.of_digraph (Collab.graph ()) in
   let q = Collab.query () in
   let m = Bounded_sim.run q g in
   (* Drop one match of a node that has several: the relation stays
@@ -482,7 +482,7 @@ let qcheck_cases =
             { Pattern_gen.default with nodes = 1 + Prng.int rng 3; condition_prob = 1.0 }
             ~labels
         in
-        let g = Csr.of_digraph (random_graph rng) in
+        let g = Snapshot.of_digraph (random_graph rng) in
         let simplified =
           Pattern.make_exn
             ~nodes:

@@ -74,7 +74,7 @@ let prop_partition_stable seed =
 
 let prop_query_preserved ~simulation seed =
   let rng = Prng.create seed in
-  let g = Csr.of_digraph (random_graph rng) in
+  let g = Snapshot.of_digraph (random_graph rng) in
   let compressed = Compress.compress ~atoms:universe g in
   let pattern = random_pattern rng ~simulation in
   if not (Compress.supports compressed pattern) then true
@@ -87,7 +87,7 @@ let prop_query_preserved ~simulation seed =
   end
 
 let test_collab_compression () =
-  let g = Csr.of_digraph (Collab.graph ()) in
+  let g = Snapshot.of_digraph (Collab.graph ()) in
   let atoms =
     [
       { Predicate.attr = "exp"; op = Predicate.Ge; value = Attr.Int 2 };
@@ -102,7 +102,7 @@ let test_collab_compression () =
     (Match_relation.equal direct (Compress.evaluate compressed (Collab.query ())))
 
 let test_unsupported_pattern_rejected () =
-  let g = Csr.of_digraph (Collab.graph ()) in
+  let g = Snapshot.of_digraph (Collab.graph ()) in
   let compressed = Compress.compress g in
   (* Q uses exp conditions, none of which are in the empty universe. *)
   Alcotest.(check bool) "not supported" false
@@ -113,11 +113,11 @@ let test_unsupported_pattern_rejected () =
 
 let test_ratio_bounds () =
   let rng = Prng.create 11 in
-  let g = Csr.of_digraph (random_graph rng) in
+  let g = Snapshot.of_digraph (random_graph rng) in
   let compressed = Compress.compress g in
   let r = Compress.node_ratio compressed in
   Alcotest.(check bool) "ratio in [0,1)" true (r >= 0.0 && r < 1.0);
-  Alcotest.(check int) "members partition nodes" (Csr.node_count g)
+  Alcotest.(check int) "members partition nodes" (Snapshot.node_count g)
     (List.concat_map (Compress.members compressed)
        (List.init (Compress.block_count compressed) Fun.id)
     |> List.length)
@@ -159,9 +159,9 @@ let prop_maintained_no_coarser seed =
 
 let prop_sim_equiv_preserves_sim seed =
   let rng = Prng.create seed in
-  let g = Csr.of_digraph (random_graph ~max_n:20 rng) in
-  let key v = Label.to_int (Csr.label g v) in
-  let partition = Sim_equivalence.compute g ~key in
+  let g = Snapshot.of_digraph (random_graph ~max_n:20 rng) in
+  let key v = Label.to_int (Snapshot.label g v) in
+  let partition = Sim_equivalence.compute (Snapshot.csr g) ~key in
   let compressed = Compress.of_partition g partition in
   let pattern =
     random_pattern rng ~simulation:true
@@ -186,7 +186,7 @@ let prop_sim_equiv_at_least_as_coarse seed =
 (* --- persistence ------------------------------------------------------ *)
 
 let test_compress_io_roundtrip () =
-  let g = Csr.of_digraph (Collab.graph ()) in
+  let g = Snapshot.of_digraph (Collab.graph ()) in
   let atoms =
     [
       { Predicate.attr = "exp"; op = Predicate.Ge; value = Attr.Int 2 };
@@ -205,19 +205,19 @@ let test_compress_io_roundtrip () =
     Alcotest.(check int) "atoms preserved" 2 (List.length (Compress.atoms loaded))
 
 let test_compress_io_rejects_wrong_graph () =
-  let g = Csr.of_digraph (Collab.graph ()) in
+  let g = Snapshot.of_digraph (Collab.graph ()) in
   let compressed = Compress.compress g in
   let other =
     let dg = Collab.graph () in
     ignore (Digraph.add_node dg (Label.of_string "SA") : int);
-    Csr.of_digraph dg
+    Snapshot.of_digraph dg
   in
   match Compress_io.of_string other (Compress_io.to_string compressed) with
   | Ok _ -> Alcotest.fail "accepted wrong graph"
   | Error _ -> ()
 
 let test_compress_io_rejects_tampered_partition () =
-  let g = Csr.of_digraph (Collab.graph ()) in
+  let g = Snapshot.of_digraph (Collab.graph ()) in
   let compressed = Compress.compress g in
   (* Merge two nodes with different labels by hand: must be rejected. *)
   let text = Compress_io.to_string compressed in
@@ -235,7 +235,7 @@ let test_compress_io_rejects_tampered_partition () =
   | Error _ -> ()
 
 let test_compress_io_bad_inputs () =
-  let g = Csr.of_digraph (Collab.graph ()) in
+  let g = Snapshot.of_digraph (Collab.graph ()) in
   List.iter
     (fun text ->
       match Compress_io.of_string g text with

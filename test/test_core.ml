@@ -34,7 +34,7 @@ let random_pattern rng ~simulation ~unbounded =
    nonempty-path distances + sweep-until-stable.  O(n^2·m) — fine for the
    tiny random graphs used here. *)
 let reference pattern g =
-  let n = Csr.node_count g in
+  let n = Snapshot.node_count g in
   let scratch = Distance.make_scratch g in
   let dist = Array.make_matrix (max n 1) (max n 1) (-1) in
   for v = 0 to n - 1 do
@@ -45,7 +45,7 @@ let reference pattern g =
   in
   for u = 0 to Pattern.size pattern - 1 do
     for v = 0 to n - 1 do
-      if Pattern.matches_node pattern u (Csr.label g v) (Csr.attrs g v) then
+      if Pattern.matches_node pattern u (Snapshot.label g v) (Snapshot.attrs g v) then
         Match_relation.add m u v
     done
   done;
@@ -79,13 +79,13 @@ let reference pattern g =
 
 let prop_simulation_matches_reference seed =
   let rng = Prng.create seed in
-  let g = Csr.of_digraph (random_graph rng) in
+  let g = Snapshot.of_digraph (random_graph rng) in
   let pattern = random_pattern rng ~simulation:true ~unbounded:false in
   Match_relation.equal (Simulation.run pattern g) (reference pattern g)
 
 let prop_bsim_counters_matches_reference seed =
   let rng = Prng.create seed in
-  let g = Csr.of_digraph (random_graph rng) in
+  let g = Snapshot.of_digraph (random_graph rng) in
   let pattern = random_pattern rng ~simulation:false ~unbounded:false in
   Match_relation.equal
     (Bounded_sim.run ~strategy:Bounded_sim.Counters pattern g)
@@ -93,7 +93,7 @@ let prop_bsim_counters_matches_reference seed =
 
 let prop_bsim_naive_matches_reference seed =
   let rng = Prng.create seed in
-  let g = Csr.of_digraph (random_graph rng) in
+  let g = Snapshot.of_digraph (random_graph rng) in
   let pattern = random_pattern rng ~simulation:false ~unbounded:true in
   Match_relation.equal
     (Bounded_sim.run ~strategy:Bounded_sim.Naive pattern g)
@@ -101,7 +101,7 @@ let prop_bsim_naive_matches_reference seed =
 
 let prop_bsim_strategies_agree seed =
   let rng = Prng.create seed in
-  let g = Csr.of_digraph (random_graph rng) in
+  let g = Snapshot.of_digraph (random_graph rng) in
   let pattern = random_pattern rng ~simulation:false ~unbounded:true in
   Match_relation.equal
     (Bounded_sim.run ~strategy:Bounded_sim.Counters pattern g)
@@ -109,13 +109,13 @@ let prop_bsim_strategies_agree seed =
 
 let prop_bound1_equals_simulation seed =
   let rng = Prng.create seed in
-  let g = Csr.of_digraph (random_graph rng) in
+  let g = Snapshot.of_digraph (random_graph rng) in
   let pattern = random_pattern rng ~simulation:true ~unbounded:false in
   Match_relation.equal (Simulation.run pattern g) (Bounded_sim.run pattern g)
 
 let prop_kernel_consistent seed =
   let rng = Prng.create seed in
-  let g = Csr.of_digraph (random_graph rng) in
+  let g = Snapshot.of_digraph (random_graph rng) in
   let pattern = random_pattern rng ~simulation:false ~unbounded:false in
   let m = Bounded_sim.run pattern g in
   Bounded_sim.consistent pattern g m
@@ -123,7 +123,7 @@ let prop_kernel_consistent seed =
 let prop_relaxing_bounds_grows_matches seed =
   (* Monotonicity: raising a bound can only add matches. *)
   let rng = Prng.create seed in
-  let g = Csr.of_digraph (random_graph rng) in
+  let g = Snapshot.of_digraph (random_graph rng) in
   let pattern = random_pattern rng ~simulation:false ~unbounded:false in
   let relaxed_edges =
     List.map
@@ -164,7 +164,7 @@ let test_match_relation_ops () =
 (* --- Candidates ----------------------------------------------------------- *)
 
 let test_candidates_respect_predicates () =
-  let g = Csr.of_digraph (Expfinder_workload.Collab.graph ()) in
+  let g = Snapshot.of_digraph (Expfinder_workload.Collab.graph ()) in
   let q = Expfinder_workload.Collab.query () in
   let c = Candidates.compute q g in
   (* SD candidates: everyone with the SD label and exp >= 2, including
@@ -181,7 +181,7 @@ let test_candidates_respect_predicates () =
 (* --- Empty / degenerate cases ---------------------------------------------- *)
 
 let test_no_match_is_untotal () =
-  let g = Csr.of_digraph (Expfinder_workload.Collab.graph ()) in
+  let g = Snapshot.of_digraph (Expfinder_workload.Collab.graph ()) in
   let nodes =
     [| { Pattern.name = "CEO"; label = Some (Label.of_string "CEO"); pred = Predicate.always } |]
   in
@@ -191,7 +191,7 @@ let test_no_match_is_untotal () =
   Alcotest.(check int) "no pairs" 0 (Match_relation.total m)
 
 let test_single_node_pattern () =
-  let g = Csr.of_digraph (Expfinder_workload.Collab.graph ()) in
+  let g = Snapshot.of_digraph (Expfinder_workload.Collab.graph ()) in
   let nodes =
     [| { Pattern.name = "SA"; label = Some (Label.of_string "SA"); pred = Predicate.always } |]
   in
@@ -202,7 +202,7 @@ let test_single_node_pattern () =
     (Match_relation.matches m 0)
 
 let test_empty_graph () =
-  let g = Csr.of_digraph (Digraph.create ()) in
+  let g = Snapshot.of_digraph (Digraph.create ()) in
   let nodes =
     [| { Pattern.name = "SA"; label = Some (Label.of_string "SA"); pred = Predicate.always } |]
   in
@@ -213,15 +213,15 @@ let test_empty_graph () =
 (* --- Result graph / ranking ------------------------------------------------ *)
 
 let test_result_graph_empty_relation () =
-  let g = Csr.of_digraph (Expfinder_workload.Collab.graph ()) in
+  let g = Snapshot.of_digraph (Expfinder_workload.Collab.graph ()) in
   let q = Expfinder_workload.Collab.query () in
-  let empty = Match_relation.create ~pattern_size:(Pattern.size q) ~graph_size:(Csr.node_count g) in
+  let empty = Match_relation.create ~pattern_size:(Pattern.size q) ~graph_size:(Snapshot.node_count g) in
   let gr = Result_graph.build q g empty in
   Alcotest.(check int) "no nodes" 0 (Result_graph.node_count gr);
   Alcotest.(check int) "no edges" 0 (Result_graph.edge_count gr)
 
 let test_result_graph_roles () =
-  let g = Csr.of_digraph (Expfinder_workload.Collab.graph ()) in
+  let g = Snapshot.of_digraph (Expfinder_workload.Collab.graph ()) in
   let q = Expfinder_workload.Collab.query () in
   let m = Bounded_sim.run q g in
   let gr = Result_graph.build q g m in
@@ -237,7 +237,7 @@ let test_result_graph_roles () =
 let test_rank_isolated_node_infinite () =
   (* A pattern with one node: result graph has no edges, every rank is
      infinite, and top-k falls back to node-id order. *)
-  let g = Csr.of_digraph (Expfinder_workload.Collab.graph ()) in
+  let g = Snapshot.of_digraph (Expfinder_workload.Collab.graph ()) in
   let nodes =
     [| { Pattern.name = "SA"; label = Some (Label.of_string "SA"); pred = Predicate.always } |]
   in
@@ -261,7 +261,7 @@ let test_rank_compare () =
   Alcotest.(check bool) "finite < inf" true (compare_rank { num = 100; den = 1 } { num = 0; den = 0 } < 0)
 
 let test_top_k_sizes () =
-  let g = Csr.of_digraph (Expfinder_workload.Collab.graph ()) in
+  let g = Snapshot.of_digraph (Expfinder_workload.Collab.graph ()) in
   let q = Expfinder_workload.Collab.query () in
   let m = Bounded_sim.run q g in
   let gr = Result_graph.build q g m in
@@ -275,7 +275,7 @@ let test_top_k_sizes () =
 
 let prop_result_graph_weights_within_bounds seed =
   let rng = Prng.create seed in
-  let g = Csr.of_digraph (random_graph rng) in
+  let g = Snapshot.of_digraph (random_graph rng) in
   let pattern = random_pattern rng ~simulation:false ~unbounded:false in
   let m = Bounded_sim.run pattern g in
   let gr = Result_graph.build pattern g m in
@@ -288,10 +288,10 @@ let prop_result_graph_weights_within_bounds seed =
 
 let test_ball_index_contents () =
   let rng = Prng.create 17 in
-  let g = Csr.of_digraph (random_graph rng) in
+  let g = Snapshot.of_digraph (random_graph rng) in
   let idx = Ball_index.build g ~radius:3 in
   let scratch = Distance.make_scratch g in
-  for v = 0 to Csr.node_count g - 1 do
+  for v = 0 to Snapshot.node_count g - 1 do
     let from_bfs = Hashtbl.create 8 in
     Distance.ball scratch g v 3 (fun w d -> Hashtbl.replace from_bfs w d);
     let from_idx = Hashtbl.create 8 in
@@ -306,7 +306,7 @@ let test_ball_index_contents () =
   done
 
 let test_ball_index_supports () =
-  let g = Csr.of_digraph (Expfinder_workload.Collab.graph ()) in
+  let g = Snapshot.of_digraph (Expfinder_workload.Collab.graph ()) in
   let idx = Ball_index.build g ~radius:3 in
   Alcotest.(check bool) "paper query supported" true
     (Ball_index.supports idx (Expfinder_workload.Collab.query ()));
@@ -322,7 +322,7 @@ let test_ball_index_supports () =
 
 let prop_ball_index_evaluate seed =
   let rng = Prng.create seed in
-  let g = Csr.of_digraph (random_graph rng) in
+  let g = Snapshot.of_digraph (random_graph rng) in
   let pattern = random_pattern rng ~simulation:false ~unbounded:false in
   let idx = Ball_index.build g ~radius:3 in
   if not (Ball_index.supports idx pattern) then true
@@ -331,7 +331,7 @@ let prop_ball_index_evaluate seed =
 (* --- roll-up / drill-down ---------------------------------------------- *)
 
 let fig1_result_graph () =
-  let g = Csr.of_digraph (Expfinder_workload.Collab.graph ()) in
+  let g = Snapshot.of_digraph (Expfinder_workload.Collab.graph ()) in
   let q = Expfinder_workload.Collab.query () in
   let m = Bounded_sim.run q g in
   (g, q, Result_graph.build q g m)

@@ -17,7 +17,7 @@ module Synthetic = Expfinder_workload.Synthetic
 
 let test_scratch_survives_raising_callback () =
   let l = Label.of_string "A" in
-  let g = Csr.of_digraph (Digraph.of_edges ~labels:[| l; l; l |] [ (0, 1); (1, 2) ]) in
+  let g = Snapshot.of_digraph (Digraph.of_edges ~labels:[| l; l; l |] [ (0, 1); (1, 2) ]) in
   let scratch = Distance.make_scratch g in
   (* exists_within raises internally (Found) to short-circuit; afterwards
      the scratch must be clean for the next traversal. *)
@@ -74,14 +74,14 @@ let prop_maintained_partition_stable seed =
     let updates = Update.random_mixed rng g (1 + Prng.int rng 5) in
     let _ = Inc_compress.apply_updates inc g updates in
     let compressed = Inc_compress.current inc in
-    let csr = Inc_compress.snapshot inc in
+    let snap = Inc_compress.snapshot inc in
     let partition =
-      Array.init (Csr.node_count csr) (fun v -> Compress.block_of compressed v)
+      Array.init (Snapshot.node_count snap) (fun v -> Compress.block_of compressed v)
     in
     if
       not
-        (Bisimulation.is_stable csr
-           ~key:(Compress.signature_key (Compress.atoms compressed) csr)
+        (Bisimulation.is_stable (Snapshot.csr snap)
+           ~key:(Compress.signature_key (Compress.atoms compressed) snap)
            partition)
     then ok := false
   done;
@@ -123,7 +123,7 @@ let test_ranking_on_crafted_graph () =
      f(A,a0) = 2/1, f(A,a1) = 1/1, so a1 is top-1. *)
   let la = Label.of_string "A" and lb = Label.of_string "B" and lx = Label.of_string "X" in
   let g =
-    Csr.of_digraph
+    Snapshot.of_digraph
       (Digraph.of_edges ~labels:[| la; lx; lb; la |] [ (0, 1); (1, 2); (3, 2) ])
   in
   let q =

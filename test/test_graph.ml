@@ -248,7 +248,7 @@ let test_topological () =
   Alcotest.(check bool) "cycle" false (Traversal.is_dag cyc)
 
 let test_ball_nonempty_path_semantics () =
-  let c = Csr.of_digraph (small_graph ()) in
+  let c = Snapshot.of_digraph (small_graph ()) in
   let scratch = Distance.make_scratch c in
   (* Ball of 0 with k=3 over cycle 0->1->2->0 plus 2->3. *)
   let found = Hashtbl.create 8 in
@@ -270,7 +270,7 @@ let test_reverse_ball_symmetry () =
   let rng = Prng.create 23 in
   let labels = [| Label.of_string "A" |] in
   let g =
-    Csr.of_digraph
+    Snapshot.of_digraph
       (Generators.erdos_renyi rng ~n:30 ~m:80 (fun _ -> (labels.(0), Attrs.empty)))
   in
   let scratch = Distance.make_scratch g in
@@ -301,7 +301,7 @@ let test_scc () =
   Alcotest.(check bool) "3 trivial" true (Scc.is_trivial scc c (Scc.component scc 3))
 
 let test_reach () =
-  let c = Csr.of_digraph (small_graph ()) in
+  let c = Snapshot.of_digraph (small_graph ()) in
   let r = Reach.compute c in
   Alcotest.(check bool) "0 reaches 3" true (Reach.reaches r 0 3);
   Alcotest.(check bool) "3 reaches nothing" false (Reach.reaches r 3 0);
@@ -313,7 +313,7 @@ let prop_reach_equals_bfs seed =
   let labels = [| Label.of_string "A" |] in
   let n = 1 + Prng.int rng 25 in
   let g =
-    Csr.of_digraph
+    Snapshot.of_digraph
       (Generators.erdos_renyi rng ~n ~m:(Prng.int rng (3 * n)) (fun _ ->
            (labels.(0), Attrs.empty)))
   in
@@ -322,8 +322,8 @@ let prop_reach_equals_bfs seed =
   for u = 0 to n - 1 do
     (* Nonempty-path reachability via BFS from u's successors. *)
     let reachable = Bitset.create n in
-    let seeds = Csr.fold_succ g u (fun acc w -> w :: acc) [] in
-    Traversal.bfs g seeds (fun v _ -> Bitset.add reachable v);
+    let seeds = Snapshot.fold_succ g u (fun acc w -> w :: acc) [] in
+    Traversal.bfs (Snapshot.csr g) seeds (fun v _ -> Bitset.add reachable v);
     for v = 0 to n - 1 do
       if Reach.reaches r u v <> Bitset.mem reachable v then ok := false
     done
@@ -358,12 +358,12 @@ let prop_dijkstra_unit_weights_is_bfs seed =
   let labels = [| Label.of_string "A" |] in
   let n = 1 + Prng.int rng 30 in
   let g =
-    Csr.of_digraph
+    Snapshot.of_digraph
       (Generators.erdos_renyi rng ~n ~m:(Prng.int rng (3 * n)) (fun _ ->
            (labels.(0), Attrs.empty)))
   in
   let w = Wgraph.create n in
-  Csr.iter_edges g (fun u v -> Wgraph.add_edge w u v 1);
+  Snapshot.iter_edges g (fun u v -> Wgraph.add_edge w u v 1);
   let src = Prng.int rng n in
   Wgraph.dijkstra w src = Distance.distances_from g src
 

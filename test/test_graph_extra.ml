@@ -138,16 +138,16 @@ let prop_distances_from_reference seed =
   let src = Prng.int rng (Csr.node_count g) in
   let expected = Array.make (Csr.node_count g) (-1) in
   Traversal.bfs g [ src ] (fun v d -> expected.(v) <- d);
-  Distance.distances_from g src = expected
+  Distance.distances_from (Snapshot.of_csr g) src = expected
 
 let prop_digraph_distance_instance_agrees seed =
-  (* The functor instance over Digraph must agree with the Csr one. *)
+  (* The functor instance over Digraph must agree with the Snapshot one. *)
   let rng = Prng.create seed in
   let n = 1 + Prng.int rng 20 in
   let dg =
     Generators.erdos_renyi rng ~n ~m:(Prng.int rng (3 * n)) (fun _ -> (label_a, Attrs.empty))
   in
-  let csr = Csr.of_digraph dg in
+  let csr = Snapshot.of_digraph dg in
   let module DD = Distance.Make (Digraph) in
   let s_csr = Distance.make_scratch csr in
   let s_dg = DD.make_scratch dg in
@@ -228,8 +228,8 @@ let test_csr_source_version () =
 
 let test_self_loop_semantics () =
   let g = Digraph.of_edges ~labels:[| label_a |] [ (0, 0) ] in
-  let c = Csr.of_digraph g in
-  Alcotest.(check int) "self loop kept" 1 (Csr.edge_count c);
+  let c = Snapshot.of_digraph g in
+  Alcotest.(check int) "self loop kept" 1 (Snapshot.edge_count c);
   let scratch = Distance.make_scratch c in
   let found = ref None in
   Distance.ball scratch c 0 1 (fun w d -> if w = 0 then found := Some d);

@@ -154,7 +154,7 @@ let stress_property seed =
       else updates
     in
     let _ = Incremental.apply_updates inc g updates in
-    let csr = Csr.of_digraph g in
+    let csr = Snapshot.of_digraph g in
     let batch =
       if Pattern.is_simulation_pattern pattern then Simulation.run pattern csr
       else Bounded_sim.run pattern csr

@@ -6,7 +6,7 @@ open Expfinder_pattern
 open Expfinder_core
 module Collab = Expfinder_workload.Collab
 
-let snapshot () = Csr.of_digraph (Collab.graph ())
+let snapshot () = Snapshot.of_digraph (Collab.graph ())
 
 let run_query g = Bounded_sim.run (Collab.query ()) g
 
@@ -82,10 +82,10 @@ let test_result_graph_edges () =
 (* Example 3 (batch view): inserting e1 adds exactly (SD, Fred). *)
 let test_example3_batch () =
   let g0 = Collab.graph () in
-  let before = Bounded_sim.run (Collab.query ()) (Csr.of_digraph g0) in
+  let before = Bounded_sim.run (Collab.query ()) (Snapshot.of_digraph g0) in
   let src, dst = Collab.e1 in
   Alcotest.(check bool) "e1 inserted" true (Digraph.add_edge g0 src dst);
-  let after = Bounded_sim.run (Collab.query ()) (Csr.of_digraph g0) in
+  let after = Bounded_sim.run (Collab.query ()) (Snapshot.of_digraph g0) in
   Alcotest.(check bool) "Fred not matched before" false (Match_relation.mem before 1 Collab.fred);
   Alcotest.(check bool) "Fred matched after" true (Match_relation.mem after 1 Collab.fred);
   let delta =

@@ -80,7 +80,7 @@ let test_self_reference_guard () =
 
 let prop_minimise_preserves_matches seed =
   let rng = Prng.create seed in
-  let g = Csr.of_digraph (random_graph rng) in
+  let g = Snapshot.of_digraph (random_graph rng) in
   (* Inflate a random pattern with a duplicated node to exercise merging. *)
   let base =
     Pattern_gen.generate rng
@@ -114,7 +114,7 @@ let prop_minimise_preserves_matches seed =
 
 let prop_projection_preserves_output seed =
   let rng = Prng.create seed in
-  let g = Csr.of_digraph (random_graph rng) in
+  let g = Snapshot.of_digraph (random_graph rng) in
   let base =
     Pattern_gen.generate rng
       { Pattern_gen.default with nodes = 1 + Prng.int rng 4; extra_edges = Prng.int rng 2 }

@@ -30,7 +30,7 @@ let random_pattern rng ~simulation =
   Pattern_gen.generate rng c ~labels
 
 let test_candidate_order_sorted () =
-  let g = Csr.of_digraph (Collab.graph ()) in
+  let g = Snapshot.of_digraph (Collab.graph ()) in
   let plan = Planner.plan (Collab.query ()) g in
   let sorted = ref true in
   Array.iteri
@@ -45,7 +45,7 @@ let test_candidate_order_sorted () =
     (List.length (List.sort_uniq compare (Array.to_list plan.Planner.candidate_order)))
 
 let test_estimates_reasonable () =
-  let g = Csr.of_digraph (Collab.graph ()) in
+  let g = Snapshot.of_digraph (Collab.graph ()) in
   let q = Collab.query () in
   let plan = Planner.plan q g in
   (* SA with exp >= 5: exactly Walt and Bob; the estimate probes the full
@@ -54,7 +54,7 @@ let test_estimates_reasonable () =
   Alcotest.(check bool) "SD estimate = 4" true (plan.Planner.estimates.(1) = 4.0)
 
 let test_prunable_flags () =
-  let g = Csr.of_digraph (Collab.graph ()) in
+  let g = Snapshot.of_digraph (Collab.graph ()) in
   let q = Collab.query () in
   let plan = Planner.plan q g in
   Alcotest.(check bool) "SA has out edges -> prunable" true plan.Planner.prunable.(0);
@@ -62,7 +62,7 @@ let test_prunable_flags () =
   Alcotest.(check bool) "BA not prunable" false plan.Planner.prunable.(2)
 
 let test_strategy_choice () =
-  let g = Csr.of_digraph (Collab.graph ()) in
+  let g = Snapshot.of_digraph (Collab.graph ()) in
   let sim_plan = Planner.plan (Collab.q1 ()) g in
   Alcotest.(check bool) "bound-1 -> simulation" true
     (sim_plan.Planner.strategy = Planner.Use_simulation);
@@ -73,7 +73,7 @@ let test_strategy_choice () =
 let test_early_exit_on_impossible () =
   (* A label absent from the graph: the plan must answer empty without
      touching the other candidate sets. *)
-  let g = Csr.of_digraph (Collab.graph ()) in
+  let g = Snapshot.of_digraph (Collab.graph ()) in
   let nodes =
     [|
       { Pattern.name = "SA"; label = Some (Label.of_string "SA"); pred = Predicate.always };
@@ -86,7 +86,7 @@ let test_early_exit_on_impossible () =
   Alcotest.(check bool) "not total" false (Match_relation.is_total m)
 
 let test_explain_mentions_everything () =
-  let g = Csr.of_digraph (Collab.graph ()) in
+  let g = Snapshot.of_digraph (Collab.graph ()) in
   let q = Collab.query () in
   let text = Planner.explain q (Planner.plan q g) in
   List.iter
@@ -102,7 +102,7 @@ let contains text needle =
   scan 0
 
 let test_execute_records_actuals () =
-  let g = Csr.of_digraph (Collab.graph ()) in
+  let g = Snapshot.of_digraph (Collab.graph ()) in
   let q = Collab.query () in
   let m, plan = Planner.run_with_plan q g in
   Alcotest.(check bool) "kernel is total" true (Match_relation.is_total m);
@@ -122,7 +122,7 @@ let test_execute_records_actuals () =
     Alcotest.(check int) "SA matched both" 2 matched.(0)
 
 let test_early_exit_actuals_sentinel () =
-  let g = Csr.of_digraph (Collab.graph ()) in
+  let g = Snapshot.of_digraph (Collab.graph ()) in
   let nodes =
     [|
       { Pattern.name = "SA"; label = Some (Label.of_string "SA"); pred = Predicate.always };
@@ -140,7 +140,7 @@ let test_early_exit_actuals_sentinel () =
     Alcotest.(check int) "nothing matched" 0 (matched.(0) + matched.(1))
 
 let test_explain_analyze_table () =
-  let g = Csr.of_digraph (Collab.graph ()) in
+  let g = Snapshot.of_digraph (Collab.graph ()) in
   let q = Collab.query () in
   let _, plan = Planner.run_with_plan q g in
   let text = Planner.explain_analyze q plan in
@@ -162,7 +162,7 @@ let test_misestimate_counter () =
     ~finally:(fun () -> set_enabled false)
     (fun () ->
       Counter.reset c;
-      let g = Csr.of_digraph (Collab.graph ()) in
+      let g = Snapshot.of_digraph (Collab.graph ()) in
       let q = Collab.query () in
       let _ = Planner.run q g in
       Alcotest.(check int) "exact estimates: no misestimate" 0 (Counter.value c);
@@ -175,7 +175,7 @@ let test_misestimate_counter () =
 
 let prop_planned_equals_unplanned ~simulation seed =
   let rng = Prng.create seed in
-  let g = Csr.of_digraph (random_graph rng) in
+  let g = Snapshot.of_digraph (random_graph rng) in
   let pattern = random_pattern rng ~simulation in
   let unplanned =
     if Pattern.is_simulation_pattern pattern then Simulation.run pattern g
@@ -189,7 +189,7 @@ let prop_planned_equals_unplanned ~simulation seed =
 
 let prop_planned_subset_of_unplanned seed =
   let rng = Prng.create seed in
-  let g = Csr.of_digraph (random_graph rng) in
+  let g = Snapshot.of_digraph (random_graph rng) in
   let pattern = random_pattern rng ~simulation:false in
   let unplanned = Bounded_sim.run pattern g in
   let planned = Planner.run pattern g in

@@ -23,7 +23,7 @@ let triangle_pattern () =
     ~output:0
 
 let test_triangle_found () =
-  let g = Csr.of_digraph (triangle_graph ()) in
+  let g = Snapshot.of_digraph (triangle_graph ()) in
   let embeddings = Subiso.embeddings (triangle_pattern ()) g in
   Alcotest.(check int) "exactly one embedding" 1 (List.length embeddings);
   match embeddings with
@@ -32,7 +32,7 @@ let test_triangle_found () =
 
 let test_injectivity () =
   (* two pattern As in a graph with a single A that loops via B *)
-  let g = Csr.of_digraph (Digraph.of_edges ~labels:[| l "A"; l "B" |] [ (0, 1); (1, 0) ]) in
+  let g = Snapshot.of_digraph (Digraph.of_edges ~labels:[| l "A"; l "B" |] [ (0, 1); (1, 0) ]) in
   let p =
     Pattern.make_exn
       ~nodes:[| spec "A1" "A"; spec "B" "B"; spec "A2" "A" |]
@@ -46,7 +46,7 @@ let test_injectivity () =
 
 let test_bounds_ignored () =
   (* pattern edge with bound 3 still requires a DIRECT edge under iso *)
-  let g = Csr.of_digraph (Digraph.of_edges ~labels:[| l "A"; l "X"; l "B" |] [ (0, 1); (1, 2) ]) in
+  let g = Snapshot.of_digraph (Digraph.of_edges ~labels:[| l "A"; l "X"; l "B" |] [ (0, 1); (1, 2) ]) in
   let p =
     Pattern.make_exn ~nodes:[| spec "A" "A"; spec "B" "B" |]
       ~edges:[ (0, 1, Pattern.Bounded 3) ]
@@ -58,7 +58,7 @@ let test_bounds_ignored () =
 
 let test_predicates_respected () =
   let g =
-    Csr.of_digraph
+    Snapshot.of_digraph
       (Digraph.of_edges ~labels:[| l "A"; l "B" |]
          ~attrs:(fun i -> Attrs.of_list [ Attrs.int "exp" i ])
          [ (0, 1) ])
@@ -75,7 +75,7 @@ let test_cap () =
   (* a bipartite blowup with many embeddings; the cap stops enumeration *)
   let labels = Array.init 12 (fun i -> if i < 6 then l "A" else l "B") in
   let edges = List.concat_map (fun a -> List.init 6 (fun b -> (a, 6 + b))) (List.init 6 Fun.id) in
-  let g = Csr.of_digraph (Digraph.of_edges ~labels edges) in
+  let g = Snapshot.of_digraph (Digraph.of_edges ~labels edges) in
   let p =
     Pattern.make_exn ~nodes:[| spec "A" "A"; spec "B" "B" |]
       ~edges:[ (0, 1, Pattern.Bounded 1) ] ~output:0
@@ -86,7 +86,7 @@ let test_cap () =
 (* The paper's Example 1 discussion: on Fig. 1, isomorphism and plain
    simulation both fail where bounded simulation succeeds. *)
 let test_paper_semantics_comparison () =
-  let g = Csr.of_digraph (Collab.graph ()) in
+  let g = Snapshot.of_digraph (Collab.graph ()) in
   let q = Collab.query () in
   Alcotest.(check bool) "subgraph isomorphism finds nothing" false (Subiso.exists q g);
   let sim_kernel = Simulation.run (Pattern.to_simulation q) g in
@@ -101,7 +101,7 @@ let prop_embeddings_within_kernel seed =
   let rng = Prng.create seed in
   let n = 1 + Prng.int rng 20 in
   let g =
-    Csr.of_digraph
+    Snapshot.of_digraph
       (Generators.erdos_renyi rng ~n ~m:(Prng.int rng (3 * n)) (fun _ ->
            (Prng.choose rng labels3, Attrs.of_list [ Attrs.int "exp" (Prng.int rng 3) ])))
   in

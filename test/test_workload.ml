@@ -29,7 +29,7 @@ let test_org_shape () =
   Alcotest.(check bool) "edges present" true (Digraph.edge_count g > 100)
 
 let test_org_compresses_well () =
-  let g = Csr.of_digraph (Synthetic.org (Prng.create 3) ~teams:20 ~team_size:8) in
+  let g = Snapshot.of_digraph (Synthetic.org (Prng.create 3) ~teams:20 ~team_size:8) in
   let compressed = Expfinder_compression.Compress.compress ~atoms:Queries.atom_universe g in
   Alcotest.(check bool) "compression > 30%" true
     (Expfinder_compression.Compress.node_ratio compressed > 0.3)
@@ -59,7 +59,7 @@ let test_workload_queries_supported () =
   let queries = Queries.workload rng ~count:20 ~simulation:false g in
   Alcotest.(check int) "20 queries" 20 (List.length queries);
   let compressed =
-    Expfinder_compression.Compress.compress ~atoms:Queries.atom_universe (Csr.of_digraph g)
+    Expfinder_compression.Compress.compress ~atoms:Queries.atom_universe (Snapshot.of_digraph g)
   in
   List.iter
     (fun q ->
@@ -74,7 +74,7 @@ let test_workload_queries_supported () =
 (* Exact match sets for the Fig. 4 queries on the Fig. 1 network. *)
 let test_collab_q1_q2_q3_matches () =
   let open Expfinder_core in
-  let g = Csr.of_digraph (Expfinder_workload.Collab.graph ()) in
+  let g = Snapshot.of_digraph (Expfinder_workload.Collab.graph ()) in
   let open Expfinder_workload in
   (* Q1 (plain simulation): direct SA<->SD collaboration = Bob and Dan. *)
   let m1 = Bounded_sim.run (Collab.q1 ()) g in
@@ -95,7 +95,7 @@ let test_collab_q1_q2_q3_matches () =
    unit-test sizes. *)
 let test_large_graph_smoke () =
   let open Expfinder_core in
-  let g = Csr.of_digraph (Synthetic.flat (Prng.create 9) ~n:50_000 ~avg_degree:4) in
+  let g = Snapshot.of_digraph (Synthetic.flat (Prng.create 9) ~n:50_000 ~avg_degree:4) in
   let q =
     let spec name label k =
       { Pattern.name; label = Some (Label.of_string label); pred = Predicate.ge_int "exp" k }
