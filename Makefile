@@ -1,4 +1,6 @@
-.PHONY: all build test lint lint-mli check bench bench-full bench-json bench-gate examples demo clean
+.PHONY: all build test lint lint-mli check replay-smoke bench bench-full bench-json bench-gate examples demo clean
+
+EXE := _build/default/bin/expfinder.exe
 
 all: build
 
@@ -43,7 +45,32 @@ lint-mli:
 check: lint lint-mli
 	dune runtest
 	EXPFINDER_CHECK=1 dune runtest --force
+	$(MAKE) --no-print-directory replay-smoke
 	-@if [ -f BENCH_baseline.json ]; then $(MAKE) --no-print-directory bench-gate; fi
+
+# Serving-path smoke gate: serve the committed smoke workload over a
+# unix socket with qlog capture on, drive it through the client, shut
+# the server down cleanly, then replay the captured log against a fresh
+# engine — the replay command exits non-zero unless every answer digest
+# is byte-identical to the one recorded at capture time. Invokes the
+# built binary directly: `dune exec` takes the build lock, which would
+# deadlock the backgrounded server against the foreground client.
+replay-smoke: build
+	@rm -rf _build/replay_smoke && mkdir -p _build/replay_smoke
+	@EXPFINDER_QLOG=_build/replay_smoke/qlog.jsonl \
+	  $(EXE) serve -g workloads/smoke/collab.graph \
+	    --socket _build/replay_smoke/sock >/dev/null & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do \
+	  [ -S _build/replay_smoke/sock ] && break; sleep 0.05; \
+	done; \
+	$(EXE) client --socket _build/replay_smoke/sock --ping \
+	  -q workloads/smoke/paper.pattern -q workloads/smoke/sa.pattern \
+	  --batch workloads/smoke/queries.batch --repeat 3 --shutdown \
+	  >/dev/null \
+	  || { kill $$pid 2>/dev/null; echo "replay-smoke: client failed"; exit 1; }; \
+	wait $$pid; \
+	$(EXE) replay _build/replay_smoke/qlog.jsonl -g workloads/smoke/collab.graph
 
 bench:
 	dune exec bench/main.exe

@@ -13,10 +13,12 @@ open Expfinder_incremental
 open Expfinder_compression
 open Expfinder_engine
 module Telemetry = Expfinder_telemetry
+module Server = Expfinder_server
 module Collab = Expfinder_workload.Collab
 module Synthetic = Expfinder_workload.Synthetic
 module Twitter = Expfinder_workload.Twitter
 module Queries = Expfinder_workload.Queries
+module Replay = Expfinder_workload.Replay
 
 let ( let* ) = Result.bind
 
@@ -125,46 +127,107 @@ let import verbose edges_file label exp_max seed output =
 
 (* --- stats ------------------------------------------------------------------ *)
 
-let stats verbose graph_file query_file json recent =
+(* The live half of [stats]: fetch /stats.json from a running
+   [expfinder serve] and print the sliding-window SLO summary. *)
+let stats_from_server spec json =
+  let* endpoint = Server.endpoint_of_string spec in
+  let* status, body =
+    match Server.http_get endpoint "/stats.json" with
+    | Ok r -> Ok r
+    | Error e -> err "cannot reach %s: %s" spec e
+    | exception Unix.Unix_error (e, fn, _) ->
+      err "cannot reach %s: %s: %s" spec fn (Unix.error_message e)
+  in
+  let* () = if status = 200 then Ok () else err "server answered HTTP %d" status in
+  if json then begin
+    print_string body;
+    Ok ()
+  end
+  else
+    let* doc =
+      match Telemetry.Json.of_string body with
+      | Ok doc -> Ok doc
+      | Error e -> err "bad /stats.json from %s: %s" spec e
+    in
+    let open Telemetry.Json in
+    let int_field name = Option.bind (member name doc) int_opt in
+    Printf.printf "server %s: graph %d, epoch %d\n" spec
+      (Option.value ~default:0 (int_field "graph_id"))
+      (Option.value ~default:0 (int_field "epoch"));
+    (match member "windows" doc with
+    | Some (Obj windows) when windows <> [] ->
+      List.iter
+        (fun (op, summary_json) ->
+          match Telemetry.Window.summary_of_json summary_json with
+          | Some summary ->
+            Format.printf "%-6s %a@." op Telemetry.Window.pp_summary summary
+          | None -> ())
+        windows
+    | _ -> print_endline "no operation windows yet (no requests served)");
+    (match member "process" doc with
+    | Some (Obj fields) ->
+      let gauge name = Option.value ~default:0 (Option.bind (List.assoc_opt name fields) int_opt) in
+      Printf.printf "process: rss %.1f MiB, heap %.1f MiB, gc %d minor / %d major\n"
+        (float_of_int (gauge "process.rss_bytes") /. 1048576.0)
+        (float_of_int (gauge "process.heap_words" * (Sys.word_size / 8)) /. 1048576.0)
+        (gauge "process.gc_minor_collections")
+        (gauge "process.gc_major_collections")
+    | _ -> ());
+    Ok ()
+
+let stats verbose graph_file server query_file json recent =
   setup_logs verbose;
   or_die
-    (let* g = load_graph graph_file in
-     let csr = Csr.of_digraph g in
-     Format.printf "%a@." Digraph.pp_stats g;
-     let labels = Queries.distinct_labels g in
-     Printf.printf "labels: %s\n"
-       (String.concat ", "
-          (Array.to_list (Array.map (fun l -> Label.to_string l) labels)));
-     let scc = Scc.compute csr in
-     Printf.printf "strongly connected components: %d\n" (Scc.count scc);
-     let* () =
-       match query_file with
-       | None -> Ok ()
-       | Some qf ->
-         (* Run one telemetry-enabled evaluation and dump the metric
-            registry plus the per-query profile. *)
-         let* q = load_pattern qf in
-         Telemetry.set_enabled true;
-         Telemetry.Metrics.reset_all ();
-         let engine = Engine.create g in
-         let answer = Engine.evaluate engine q in
-         Printf.printf "\nquery %s: %d match pairs\n"
-           (Pattern.fingerprint q)
-           (Match_relation.total answer.Engine.relation);
-         if not json then begin
-           Format.printf "@.metrics:@.%a@." Telemetry.Metrics.pp ();
-           Option.iter (Format.printf "%a" Engine.pp_profile) answer.Engine.profile
-         end;
-         Ok ()
-     in
-     (* Machine-readable registry dump, whether or not a query ran. *)
-     if json then
-       print_string (Telemetry.Json.to_string ~pretty:true (Telemetry.Metrics.to_json ()));
-     if recent then
-       if json then
-         print_string (Telemetry.Json.to_string ~pretty:true (Telemetry.Recorder.to_json ()))
-       else Format.printf "%a" Telemetry.Recorder.pp ();
-     Ok ())
+    (match server with
+    | Some spec -> stats_from_server spec json
+    | None ->
+      let* graph_file =
+        match graph_file with
+        | Some f -> Ok f
+        | None -> err "stats: either --graph or --server is required"
+      in
+      let* g = load_graph graph_file in
+      let csr = Csr.of_digraph g in
+      Format.printf "%a@." Digraph.pp_stats g;
+      let labels = Queries.distinct_labels g in
+      Printf.printf "labels: %s\n"
+        (String.concat ", "
+           (Array.to_list (Array.map (fun l -> Label.to_string l) labels)));
+      let scc = Scc.compute csr in
+      Printf.printf "strongly connected components: %d\n" (Scc.count scc);
+      let* () =
+        match query_file with
+        | None -> Ok ()
+        | Some qf ->
+          (* Run one telemetry-enabled evaluation and dump the metric
+             registry plus the per-query profile. *)
+          let* q = load_pattern qf in
+          Telemetry.set_enabled true;
+          Telemetry.Metrics.reset_all ();
+          let engine = Engine.create g in
+          let answer = Engine.evaluate engine q in
+          Printf.printf "\nquery %s: %d match pairs\n"
+            (Pattern.fingerprint q)
+            (Match_relation.total answer.Engine.relation);
+          if not json then begin
+            Format.printf "@.metrics:@.%a@." Telemetry.Metrics.pp ();
+            Option.iter (Format.printf "%a" Engine.pp_profile) answer.Engine.profile
+          end;
+          Ok ()
+      in
+      (* Machine-readable dump, whether or not a query ran: one combined
+         document, so consumers get the registry and the flight recorder
+         in a single parse. *)
+      if json then
+        print_string
+          (Telemetry.Json.to_string ~pretty:true
+             (Telemetry.Json.Obj
+                [
+                  ("metrics", Telemetry.Metrics.to_json ());
+                  ("recorder", Telemetry.Recorder.to_json ());
+                ]));
+      if recent && not json then Format.printf "%a" Telemetry.Recorder.pp ();
+      Ok ())
 
 (* --- analyze ------------------------------------------------------------------ *)
 
@@ -464,6 +527,123 @@ let update verbose graph_file inserts deletes pattern_file output =
        Printf.printf "updated graph written to %s\n" path);
      Ok ())
 
+(* --- serve / client / replay -------------------------------------------------- *)
+
+let serve_run verbose graph_file socket_spec max_connections =
+  setup_logs verbose;
+  or_die
+    (let* g = load_graph graph_file in
+     let* endpoint = Server.endpoint_of_string socket_spec in
+     let engine = Engine.create g in
+     let max_connections = if max_connections <= 0 then max_int else max_connections in
+     (* SIGPIPE would kill the server when a client disconnects mid-write;
+        the write errors are handled per-connection instead. *)
+     (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+     match
+       Server.serve ~max_connections
+         ~on_listen:(fun () ->
+           Printf.printf "serving %s on %s\n%!" graph_file (Server.endpoint_to_string endpoint))
+         engine endpoint
+     with
+     | () ->
+       Telemetry.Qlog.close ();
+       Ok ()
+     | exception Unix.Unix_error (e, fn, _) -> err "serve: %s: %s" fn (Unix.error_message e))
+
+let client_run verbose socket_spec ping query_files batch_file repeat shutdown =
+  setup_logs verbose;
+  or_die
+    (let* endpoint = Server.endpoint_of_string socket_spec in
+     let* queries =
+       List.fold_left
+         (fun acc qf ->
+           let* l = acc in
+           let* q = load_pattern qf in
+           Ok
+             (Telemetry.Json.Obj
+                [
+                  ("op", Telemetry.Json.Str "query");
+                  ("pattern", Telemetry.Json.Str (Pattern_io.to_string q));
+                ]
+             :: l))
+         (Ok []) query_files
+       |> Result.map List.rev
+     in
+     let* batch_req =
+       match batch_file with
+       | None -> Ok []
+       | Some bf ->
+         let* qs = load_batch bf in
+         Ok
+           [
+             Telemetry.Json.Obj
+               [
+                 ("op", Telemetry.Json.Str "batch");
+                 ( "patterns",
+                   Telemetry.Json.Arr
+                     (List.map (fun q -> Telemetry.Json.Str (Pattern_io.to_string q)) qs) );
+               ];
+           ]
+     in
+     let round = queries @ batch_req in
+     let requests =
+       (if ping then [ Telemetry.Json.Obj [ ("op", Telemetry.Json.Str "ping") ] ] else [])
+       @ List.concat (List.init (max 1 repeat) (fun _ -> round))
+       @
+       if shutdown then [ Telemetry.Json.Obj [ ("op", Telemetry.Json.Str "shutdown") ] ] else []
+     in
+     let* () =
+       if requests = [] then err "client: nothing to send (use --ping, --query, --batch or --shutdown)"
+       else Ok ()
+     in
+     match
+       Server.with_connection endpoint (fun fd ->
+           List.fold_left
+             (fun acc req ->
+               let* () = acc in
+               match Server.request fd req with
+               | Error e -> err "client: %s" e
+               | Ok resp ->
+                 print_endline (Telemetry.Json.to_string resp);
+                 (match Option.bind (Telemetry.Json.member "ok" resp) (function
+                    | Telemetry.Json.Bool b -> Some b
+                    | _ -> None)
+                  with
+                 | Some false ->
+                   err "server refused: %s"
+                     (Option.value ~default:"unknown error"
+                        (Option.bind
+                           (Telemetry.Json.member "error" resp)
+                           Telemetry.Json.str_opt))
+                 | _ -> Ok ()))
+             (Ok ()) requests)
+     with
+     | result -> result
+     | exception Unix.Unix_error (e, fn, _) ->
+       err "cannot reach %s: %s: %s" socket_spec fn (Unix.error_message e))
+
+let replay_run verbose graph_file log_file report_file =
+  setup_logs verbose;
+  or_die
+    (let* g = load_graph graph_file in
+     let* events =
+       match Telemetry.Qlog.load log_file with
+       | Ok events -> Ok events
+       | Error e -> err "cannot load query log %s: %s" log_file e
+     in
+     let* () = if events = [] then err "query log %s holds no events" log_file else Ok () in
+     let engine = Engine.create g in
+     let summary = Replay.run engine events in
+     Format.printf "%a@." Replay.pp_summary summary;
+     (match report_file with
+     | None -> ()
+     | Some path ->
+       Telemetry.Report.write (Replay.report summary) path;
+       Printf.printf "replay report written to %s\n" path);
+     if summary.Replay.mismatches > 0 then
+       err "replay: %d answer digest mismatch(es) against %s" summary.Replay.mismatches log_file
+     else Ok ())
+
 (* --- demo -------------------------------------------------------------------- *)
 
 let demo verbose () =
@@ -556,6 +736,22 @@ let import_cmd =
     Term.(const import $ verbose_arg $ edges $ label $ exp_max $ seed $ out)
 
 let stats_cmd =
+  let graph_opt =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "g"; "graph" ] ~docv:"FILE" ~doc:"Data graph file (omit with $(b,--server)).")
+  in
+  let server =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "server" ] ~docv:"ENDPOINT"
+          ~doc:
+            "Fetch /stats.json from a running $(b,expfinder serve) at $(docv) (a socket path, \
+             $(i,PORT) or $(i,HOST:PORT)) and print the live sliding-window summary (QPS, error \
+             rate, p50/p95/p99 latency per operation class) instead of graph statistics.")
+  in
   let q =
     Arg.(
       value
@@ -578,8 +774,11 @@ let stats_cmd =
                 and counter deltas (slow queries flagged per EXPFINDER_SLOW_MS).")
   in
   Cmd.v
-    (Cmd.info "stats" ~doc:"Print statistics of a data graph (and optionally telemetry metrics)")
-    Term.(const stats $ verbose_arg $ graph_arg $ q $ json $ recent)
+    (Cmd.info "stats"
+       ~doc:
+         "Print statistics of a data graph (and optionally telemetry metrics), or the live \
+          window summary of a running server")
+    Term.(const stats $ verbose_arg $ graph_opt $ server $ q $ json $ recent)
 
 let explain_cmd =
   let analyze =
@@ -676,6 +875,96 @@ let update_cmd =
   Cmd.v (Cmd.info "update" ~doc:"Apply edge updates, optionally maintaining a query incrementally")
     Term.(const update $ verbose_arg $ graph_arg $ ins $ del $ q $ out)
 
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"ENDPOINT"
+        ~doc:
+          "Server endpoint: a Unix-domain socket path, a bare $(i,PORT) (binds 127.0.0.1), or \
+           $(i,HOST:PORT).")
+
+let serve_cmd =
+  let max_connections =
+    Arg.(
+      value & opt int 0
+      & info [ "max-connections" ] ~docv:"N"
+          ~doc:"Stop after serving $(docv) connections (0 = serve until a shutdown request).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve pattern queries over a socket, with live /metrics, /healthz and /stats.json"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Loads the graph, builds one engine, and answers newline-delimited JSON requests \
+              (ops: query, batch, update, ping, stats, shutdown) until a client sends \
+              {\"op\": \"shutdown\"}.  HTTP GETs on the same socket serve /metrics (Prometheus \
+              text format), /healthz and /stats.json.";
+           `P
+             "Set $(b,EXPFINDER_QLOG) to capture every served request in the structured query \
+              log, ready for $(b,expfinder replay).";
+         ])
+    Term.(const serve_run $ verbose_arg $ graph_arg $ socket_arg $ max_connections)
+
+let client_cmd =
+  let ping = Arg.(value & flag & info [ "ping" ] ~doc:"Send a ping first.") in
+  let queries =
+    Arg.(
+      value & opt_all file []
+      & info [ "q"; "query" ] ~docv:"FILE" ~doc:"Send this pattern query (repeatable).")
+  in
+  let batch =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "batch" ] ~docv:"FILE"
+          ~doc:"Send the patterns of this batch file as one batch request.")
+  in
+  let repeat =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"N" ~doc:"Send the query/batch round $(docv) times.")
+  in
+  let shutdown =
+    Arg.(value & flag & info [ "shutdown" ] ~doc:"Ask the server to shut down afterwards.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send requests to a running expfinder serve and print the JSON responses")
+    Term.(const client_run $ verbose_arg $ socket_arg $ ping $ queries $ batch $ repeat $ shutdown)
+
+let replay_cmd =
+  let log_file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"LOG.jsonl" ~doc:"Query log captured via EXPFINDER_QLOG.")
+  in
+  let report =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:
+            "Write the replay latencies as a bench report (schema shared with the bench \
+             harness, so two replay reports diff under $(b,expfinder bench-diff)).")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Re-run a captured query log and verify every answer digest matches"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Replays the log in order against a fresh engine over the given graph: queries and \
+              batches re-evaluate their recorded patterns and must reproduce the recorded \
+              answer digests byte for byte; updates re-apply their recorded ΔG.  Exits non-zero \
+              on any digest mismatch.";
+         ])
+    Term.(const replay_run $ verbose_arg $ graph_arg $ log_file $ report)
+
 let demo_cmd = Cmd.v (Cmd.info "demo" ~doc:"Walk through the paper's Fig. 1 example") Term.(const demo $ verbose_arg $ const ())
 
 let main_cmd =
@@ -693,6 +982,9 @@ let main_cmd =
       topk_cmd;
       compress_cmd_t;
       update_cmd;
+      serve_cmd;
+      client_cmd;
+      replay_cmd;
       demo_cmd;
     ]
 

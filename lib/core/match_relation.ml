@@ -55,6 +55,25 @@ let of_pairs ~pattern_size ~graph_size pair_list =
   List.iter (fun (u, v) -> add t u v) pair_list;
   t
 
+(* Canonical content digest: pattern size plus every (u, v) pair in
+   lexicographic order, hashed with MD5.  Two relations digest equally
+   iff they hold the same pairs over the same pattern size, regardless
+   of graph_size padding — the stability the qlog/replay loop needs
+   across processes. *)
+let digest t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (string_of_int (pattern_size t));
+  for u = 0 to pattern_size t - 1 do
+    Buffer.add_char buf '|';
+    Buffer.add_string buf (string_of_int u);
+    List.iter
+      (fun v ->
+        Buffer.add_char buf ',';
+        Buffer.add_string buf (string_of_int v))
+      (matches t u)
+  done;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 let copy t = { sets = Array.map Bitset.copy t.sets; graph_size = t.graph_size }
 
 let equal a b =

@@ -49,6 +49,12 @@ val pairs : t -> (int * int) list
 
 val of_pairs : pattern_size:int -> graph_size:int -> (int * int) list -> t
 
+val digest : t -> string
+(** Hex MD5 of the canonical content (pattern size plus all pairs in
+    lexicographic order): stable across processes and independent of
+    [graph_size] padding.  The answer digest recorded in the query log
+    and re-checked by [expfinder replay]. *)
+
 val copy : t -> t
 
 val equal : t -> t -> bool

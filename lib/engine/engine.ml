@@ -48,6 +48,15 @@ let m_batch_queries = Metrics.counter "engine.batch_queries"
 
 let h_query_ms = Metrics.histogram "engine.query_ms"
 
+(* Serving-path SLO windows: always-on per-second rings feeding the
+   /metrics and /stats.json surfaces (QPS, error rate, latency
+   percentiles over the last minute), one per operation class. *)
+let w_query = Window.get "query"
+
+let w_batch = Window.get "batch"
+
+let w_update = Window.get "update"
+
 let provenance_counter = function
   | From_cache -> m_from_cache
   | From_compressed -> m_from_compressed
@@ -262,6 +271,35 @@ let profiled t ~root ~attrs ~query f =
   in
   (result, profile)
 
+(* Query-log plumbing.  The digest and the replayable payload are only
+   materialised when a sink is configured, so the unlogged serving path
+   pays nothing beyond the [Qlog.enabled] check. *)
+let qlog_emit t ~kind ~query ~strategy ~duration_ms ~counters ~pairs ~digest ?error ?payload ()
+    =
+  if Qlog.enabled () then
+    Qlog.emit ~kind ~graph_id:(Snapshot.graph_id t.snap) ~epoch:(Snapshot.epoch t.snap)
+      ~query ~strategy ~duration_ms ~counters ~pairs ~digest ?error ?payload ()
+
+let pattern_payload pattern =
+  if Qlog.enabled () then Some (Json.Str (Pattern_io.to_string pattern)) else None
+
+let batch_payload patterns =
+  if Qlog.enabled () then
+    Some (Json.Arr (List.map (fun q -> Json.Str (Pattern_io.to_string q)) patterns))
+  else None
+
+let update_payload updates =
+  if Qlog.enabled () then Some (Json.Arr (List.map Update.to_json updates)) else None
+
+let relation_digest relation = if Qlog.enabled () then Match_relation.digest relation else ""
+
+(* The combined answer digest of a batch: MD5 over the per-answer
+   digests in input order — replay recomputes the same fold, so one
+   field verifies the whole batch. *)
+let batch_digest relations =
+  Digest.to_hex
+    (Digest.string (String.concat "" (List.map Match_relation.digest relations)))
+
 let evaluate t pattern =
   (* Flight recorder bookkeeping is always on (unlike profiles): snapshot
      the counter registry and the clock around the whole query. *)
@@ -269,7 +307,7 @@ let evaluate t pattern =
   let rec_start = now_us () in
   Counter.incr m_queries;
   let fp = Pattern.fingerprint pattern in
-  let (relation, provenance, strategy), profile =
+  match
     profiled t ~root:"evaluate" ~attrs:[ ("query", fp) ] ~query:fp (fun () ->
         let relation, provenance, strategy, via_direct = evaluate_inner t pattern in
         differential_check t pattern relation provenance ~via_direct;
@@ -277,14 +315,28 @@ let evaluate t pattern =
         annotate "provenance" (provenance_name provenance);
         annotate_int "pairs" (Match_relation.total relation);
         ((relation, provenance, strategy), provenance))
-  in
-  Recorder.record ~query:fp ~strategy
-    ~duration_ms:((now_us () -. rec_start) /. 1000.0)
-    ~counters:(Metrics.delta ~before:rec_before ~after:(Metrics.counters_snapshot ()));
-  Log.debug (fun m ->
-      m "evaluate %s: %d pairs via %s" fp (Match_relation.total relation)
-        (provenance_name provenance));
-  { relation; total = Match_relation.is_total relation; provenance; profile }
+  with
+  | exception e ->
+    let duration_ms = (now_us () -. rec_start) /. 1000.0 in
+    let counters = Metrics.delta ~before:rec_before ~after:(Metrics.counters_snapshot ()) in
+    Recorder.record ~query:fp ~strategy:"error" ~duration_ms ~counters;
+    Window.observe w_query ~error:true duration_ms;
+    qlog_emit t ~kind:Qlog.Query ~query:fp ~strategy:"error" ~duration_ms ~counters ~pairs:0
+      ~digest:"" ~error:(Printexc.to_string e) ?payload:(pattern_payload pattern) ();
+    raise e
+  | (relation, provenance, strategy), profile ->
+    let duration_ms = (now_us () -. rec_start) /. 1000.0 in
+    let counters = Metrics.delta ~before:rec_before ~after:(Metrics.counters_snapshot ()) in
+    Recorder.record ~query:fp ~strategy ~duration_ms ~counters;
+    Window.observe w_query duration_ms;
+    qlog_emit t ~kind:Qlog.Query ~query:fp ~strategy ~duration_ms ~counters
+      ~pairs:(Match_relation.total relation)
+      ~digest:(relation_digest relation)
+      ?payload:(pattern_payload pattern) ();
+    Log.debug (fun m ->
+        m "evaluate %s: %d pairs via %s" fp (Match_relation.total relation)
+          (provenance_name provenance));
+    { relation; total = Match_relation.is_total relation; provenance; profile }
 
 (* ------------------------------------------------------------------ *)
 (* Batched evaluation                                                   *)
@@ -320,7 +372,7 @@ let evaluate_batch t patterns =
     Match_relation.create ~pattern_size:(Pattern.size pattern)
       ~graph_size:(Snapshot.node_count snap)
   in
-  let (), _batch_profile =
+  let run_batch () =
     profiled t ~root:"evaluate_batch"
       ~attrs:[ ("queries", string_of_int n) ]
       ~query:label
@@ -425,19 +477,39 @@ let evaluate_batch t patterns =
           arr;
         ((), Direct))
   in
-  Recorder.record ~query:label ~strategy:"batch"
-    ~duration_ms:((now_us () -. rec_start) /. 1000.0)
-    ~counters:(Metrics.delta ~before:rec_before ~after:(Metrics.counters_snapshot ()));
-  Log.debug (fun m -> m "evaluate_batch: %d queries on %a" n Snapshot.pp_id snap);
-  List.mapi
-    (fun i _ ->
-      match results.(i) with
-      | Some (relation, provenance) ->
-        (* Per-answer profiles are not split out of the shared batch run;
-           the whole-batch profile is available via [last_profile]. *)
-        { relation; total = Match_relation.is_total relation; provenance; profile = None }
-      | None -> assert false)
-    patterns
+  match run_batch () with
+  | exception e ->
+    let duration_ms = (now_us () -. rec_start) /. 1000.0 in
+    let counters = Metrics.delta ~before:rec_before ~after:(Metrics.counters_snapshot ()) in
+    Recorder.record ~query:label ~strategy:"batch/error" ~duration_ms ~counters;
+    Window.observe w_batch ~error:true duration_ms;
+    qlog_emit t ~kind:Qlog.Batch ~query:label ~strategy:"batch/error" ~duration_ms ~counters
+      ~pairs:0 ~digest:"" ~error:(Printexc.to_string e) ?payload:(batch_payload patterns) ();
+    raise e
+  | (), _batch_profile ->
+    let duration_ms = (now_us () -. rec_start) /. 1000.0 in
+    let counters = Metrics.delta ~before:rec_before ~after:(Metrics.counters_snapshot ()) in
+    Recorder.record ~query:label ~strategy:"batch" ~duration_ms ~counters;
+    Window.observe w_batch duration_ms;
+    let relations =
+      List.mapi
+        (fun i _ -> match results.(i) with Some (r, _) -> r | None -> assert false)
+        patterns
+    in
+    qlog_emit t ~kind:Qlog.Batch ~query:label ~strategy:"batch" ~duration_ms ~counters
+      ~pairs:(List.fold_left (fun acc r -> acc + Match_relation.total r) 0 relations)
+      ~digest:(if Qlog.enabled () then batch_digest relations else "")
+      ?payload:(batch_payload patterns) ();
+    Log.debug (fun m -> m "evaluate_batch: %d queries on %a" n Snapshot.pp_id snap);
+    List.mapi
+      (fun i _ ->
+        match results.(i) with
+        | Some (relation, provenance) ->
+          (* Per-answer profiles are not split out of the shared batch run;
+             the whole-batch profile is available via [last_profile]. *)
+          { relation; total = Match_relation.is_total relation; provenance; profile = None }
+        | None -> assert false)
+      patterns
 
 let result_graph t pattern =
   let answer = evaluate t pattern in
@@ -502,6 +574,9 @@ let profile_json (p : profile) =
       ("span", Span.to_json p.span);
       ( "counters",
         Json.Obj (List.map (fun (name, v) -> (name, Json.Int v)) p.counters) );
+      (* The flight-recorder tail at serialization time: the profile of a
+         slow query ships with the queries that led up to it. *)
+      ("recorder", Recorder.to_json ());
     ]
 
 let enable_ball_index ?(radius = 3) t =
@@ -533,7 +608,7 @@ let registered t = List.map (fun (_, inc) -> Incremental.pattern inc) t.register
    which the COW advance shares by design). *)
 let cow_delta_limit snap = 16 + (Snapshot.edge_count snap / 4)
 
-let apply_updates t updates =
+let apply_updates_inner t updates =
   Counter.incr m_update_batches;
   (* Pin (and, if the digraph was mutated externally, resync) the
      pre-update epoch before applying ΔG: readers holding it keep a
@@ -578,7 +653,30 @@ let apply_updates t updates =
       m "apply_updates: %d effective -> %a, %d registered queries, compression %s"
         (List.length effective) Snapshot.pp_id t.snap (List.length t.registered)
         (if t.compressed = None then "off" else "maintained"));
-  List.map (fun (_, inc) -> Incremental.sync_applied inc ~effective) t.registered
+  (List.map (fun (_, inc) -> Incremental.sync_applied inc ~effective) t.registered,
+   List.length effective)
+
+let apply_updates t updates =
+  let rec_before = Metrics.counters_snapshot () in
+  let rec_start = now_us () in
+  (* The replayable payload is the *input* batch: no-ops are dropped at
+     apply time, so replay reproduces the same filtering. *)
+  let payload = update_payload updates in
+  match apply_updates_inner t updates with
+  | exception e ->
+    let duration_ms = (now_us () -. rec_start) /. 1000.0 in
+    let counters = Metrics.delta ~before:rec_before ~after:(Metrics.counters_snapshot ()) in
+    Window.observe w_update ~error:true duration_ms;
+    qlog_emit t ~kind:Qlog.Update ~query:"update" ~strategy:"update/error" ~duration_ms
+      ~counters ~pairs:0 ~digest:"" ~error:(Printexc.to_string e) ?payload ();
+    raise e
+  | reports, effective_n ->
+    let duration_ms = (now_us () -. rec_start) /. 1000.0 in
+    let counters = Metrics.delta ~before:rec_before ~after:(Metrics.counters_snapshot ()) in
+    Window.observe w_update duration_ms;
+    qlog_emit t ~kind:Qlog.Update ~query:"update" ~strategy:"update" ~duration_ms ~counters
+      ~pairs:effective_n ~digest:"" ?payload ();
+    reports
 
 let cache_stats t = (Cache.hits t.cache, Cache.misses t.cache)
 

@@ -30,7 +30,17 @@ open Expfinder_telemetry
     {!Expfinder_core.Verify.set_differential}), every answer that did
     not come straight from the direct path is re-evaluated directly and
     compared, and all served relations are run through the
-    {!Expfinder_core.Verify} checker; a divergence raises [Failure]. *)
+    {!Expfinder_core.Verify} checker; a divergence raises [Failure].
+
+    Serving-path observability: every {!evaluate}, {!evaluate_batch}
+    and {!apply_updates} call feeds the always-on flight recorder and
+    the per-operation-class sliding windows
+    ({!Expfinder_telemetry.Window} classes [query]/[batch]/[update],
+    with errors flagged), and — when a query-log sink is configured
+    ({!Expfinder_telemetry.Qlog}, [EXPFINDER_QLOG]) — appends one
+    schema-versioned JSONL event carrying the snapshot identity,
+    strategy, duration, counter deltas, answer size and digest, and a
+    replayable payload consumed by [expfinder replay]. *)
 
 type t
 
@@ -149,8 +159,10 @@ val pp_profile : Format.formatter -> profile -> unit
 (** Stage tree plus per-query counters, human-readable. *)
 
 val profile_json : profile -> Json.t
-(** The profile as a [{query; provenance; span; counters}] object (the
-    structured-report serialization of a per-query profile). *)
+(** The profile as a [{query; provenance; span; counters; recorder}]
+    object (the structured-report serialization of a per-query profile).
+    [recorder] is the flight-recorder ring at serialization time, so a
+    slow-query profile ships with the requests that led up to it. *)
 
 val cache_stats : t -> int * int
 (** (hits, misses).  Kept for compatibility; prefer {!cache_counters},

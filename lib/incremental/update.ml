@@ -1,4 +1,5 @@
 open Expfinder_graph
+open Expfinder_telemetry
 
 type t =
   | Insert_edge of int * int
@@ -60,6 +61,63 @@ let pp ppf = function
   | Insert_edge (u, v) -> Format.fprintf ppf "+(%d,%d)" u v
   | Delete_edge (u, v) -> Format.fprintf ppf "-(%d,%d)" u v
   | Insert_node (l, _) -> Format.fprintf ppf "+node(%a)" Label.pp l
+
+(* The wire codec shared by the query log, the serve protocol and the
+   replay driver: ["+"]/["-"] edge ops carry the endpoints, ["node"]
+   carries the label plus stringly-typed attributes (Attr.of_string is
+   total over Attr.to_string output). *)
+let to_json = function
+  | Insert_edge (u, v) ->
+    Json.Obj [ ("op", Json.Str "+"); ("u", Json.Int u); ("v", Json.Int v) ]
+  | Delete_edge (u, v) ->
+    Json.Obj [ ("op", Json.Str "-"); ("u", Json.Int u); ("v", Json.Int v) ]
+  | Insert_node (label, attrs) ->
+    Json.Obj
+      [
+        ("op", Json.Str "node");
+        ("label", Json.Str (Label.to_string label));
+        ( "attrs",
+          Json.Obj
+            (List.map (fun (k, a) -> (k, Json.Str (Attr.to_string a))) (Attrs.to_list attrs))
+        );
+      ]
+
+let of_json j =
+  let field name = Option.bind (Json.member name j) Json.int_opt in
+  match Option.bind (Json.member "op" j) Json.str_opt with
+  | Some "+" -> (
+    match (field "u", field "v") with
+    | Some u, Some v -> Ok (Insert_edge (u, v))
+    | _ -> Error "update: \"+\" needs int fields u and v")
+  | Some "-" -> (
+    match (field "u", field "v") with
+    | Some u, Some v -> Ok (Delete_edge (u, v))
+    | _ -> Error "update: \"-\" needs int fields u and v")
+  | Some "node" -> (
+    match Option.bind (Json.member "label" j) Json.str_opt with
+    | None -> Error "update: \"node\" needs a string label"
+    | Some label -> (
+      let attrs =
+        match Json.member "attrs" j with
+        | None | Some (Json.Obj []) -> Ok []
+        | Some (Json.Obj fields) ->
+          List.fold_left
+            (fun acc (k, v) ->
+              match (acc, Option.bind (Some v) Json.str_opt) with
+              | Error e, _ -> Error e
+              | Ok _, None -> Error (Printf.sprintf "update: attr %S is not a string" k)
+              | Ok l, Some s -> (
+                match Attr.of_string s with
+                | Ok a -> Ok ((k, a) :: l)
+                | Error e -> Error (Printf.sprintf "update: attr %S: %s" k e)))
+            (Ok []) fields
+        | Some _ -> Error "update: attrs must be an object"
+      in
+      match attrs with
+      | Error e -> Error e
+      | Ok l -> Ok (Insert_node (Label.of_string label, Attrs.of_list (List.rev l)))))
+  | Some op -> Error (Printf.sprintf "update: unknown op %S" op)
+  | None -> Error "update: missing op field"
 
 let random_insertions rng g k =
   let n = Digraph.node_count g in

@@ -39,6 +39,15 @@ val touched_sources : t list -> int list
 
 val pp : Format.formatter -> t -> unit
 
+val to_json : t -> Expfinder_telemetry.Json.t
+(** The wire form shared by the query log, the serve protocol and the
+    replay driver: [{"op": "+"|"-", "u": int, "v": int}] for edge
+    updates, [{"op": "node", "label": string, "attrs": {..}}] (attrs as
+    {!Expfinder_graph.Attr.to_string} strings) for node insertion. *)
+
+val of_json : Expfinder_telemetry.Json.t -> (t, string) result
+(** Inverse of {!to_json}; the error says which field is malformed. *)
+
 (* Random update streams (deterministic from the Prng). *)
 
 val random_insertions : Prng.t -> Digraph.t -> int -> t list

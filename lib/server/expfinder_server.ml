@@ -1,0 +1,325 @@
+open Expfinder_graph
+open Expfinder_pattern
+open Expfinder_core
+open Expfinder_incremental
+open Expfinder_engine
+open Expfinder_telemetry
+
+let src = Logs.Src.create "expfinder.server" ~doc:"ExpFinder serving loop"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* ------------------------------------------------------------------ *)
+(* Endpoints *)
+
+type endpoint = Unix_socket of string | Tcp of string * int
+
+let endpoint_of_string spec =
+  if spec = "" then Error "endpoint: empty spec"
+  else
+    match int_of_string_opt spec with
+    | Some port when port > 0 && port < 65536 -> Ok (Tcp ("127.0.0.1", port))
+    | Some port -> Error (Printf.sprintf "endpoint: port %d out of range" port)
+    | None -> (
+      match String.rindex_opt spec ':' with
+      | Some i when i < String.length spec - 1 -> (
+        let host = String.sub spec 0 i in
+        let rest = String.sub spec (i + 1) (String.length spec - i - 1) in
+        match int_of_string_opt rest with
+        | Some port when port > 0 && port < 65536 ->
+          Ok (Tcp ((if host = "" then "127.0.0.1" else host), port))
+        | Some port -> Error (Printf.sprintf "endpoint: port %d out of range" port)
+        | None -> Ok (Unix_socket spec))
+      | _ -> Ok (Unix_socket spec))
+
+let endpoint_to_string = function
+  | Unix_socket path -> path
+  | Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+
+let sockaddr = function
+  | Unix_socket path -> Unix.ADDR_UNIX path
+  | Tcp (host, port) ->
+    let addr =
+      match Unix.inet_addr_of_string host with
+      | addr -> addr
+      | exception _ -> (
+        match (Unix.gethostbyname host).h_addr_list with
+        | [||] -> failwith (Printf.sprintf "endpoint: cannot resolve %S" host)
+        | addrs -> addrs.(0)
+        | exception Not_found -> failwith (Printf.sprintf "endpoint: cannot resolve %S" host))
+    in
+    Unix.ADDR_INET (addr, port)
+
+(* ------------------------------------------------------------------ *)
+(* Stats document *)
+
+let stats_json engine =
+  let snap = Engine.snapshot engine in
+  let windows =
+    List.map
+      (fun (name, w) -> (name, Window.summary_json (Window.summary w)))
+      (Window.all ())
+  in
+  Json.Obj
+    [
+      ("graph_id", Json.Int (Snapshot.graph_id snap));
+      ("epoch", Json.Int (Snapshot.epoch snap));
+      ("windows", Json.Obj windows);
+      ("process", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (process_stats ())));
+      ("metrics", Metrics.to_json ());
+      ("recorder", Recorder.to_json ());
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Request handling (one JSON object per line) *)
+
+let provenance_name : Engine.provenance -> string = function
+  | From_cache -> "cache"
+  | From_compressed -> "compressed"
+  | From_index -> "index"
+  | Direct -> "direct"
+
+let error_response msg = Json.Obj [ ("ok", Json.Bool false); ("error", Json.Str msg) ]
+
+let answer_fields (a : Engine.answer) =
+  [
+    ("pairs", Json.Int (Match_relation.total a.relation));
+    ("total", Json.Bool a.total);
+    ("provenance", Json.Str (provenance_name a.provenance));
+    ("digest", Json.Str (Match_relation.digest a.relation));
+  ]
+
+type reply = Reply of Json.t | Reply_and_stop of Json.t
+
+let handle_request engine line =
+  match Json.of_string line with
+  | Error e -> Reply (error_response ("bad request: " ^ e))
+  | Ok req -> (
+    let op =
+      match Option.bind (Json.member "op" req) Json.str_opt with
+      | Some op -> op
+      | None -> "query" (* bare {"pattern": ...} defaults to a query *)
+    in
+    match op with
+    | "ping" -> Reply (Json.Obj [ ("ok", Json.Bool true); ("pong", Json.Bool true) ])
+    | "stats" -> Reply (stats_json engine)
+    | "shutdown" ->
+      Reply_and_stop (Json.Obj [ ("ok", Json.Bool true); ("shutdown", Json.Bool true) ])
+    | "query" -> (
+      match Option.bind (Json.member "pattern" req) Json.str_opt with
+      | None -> Reply (error_response "query: missing string field \"pattern\"")
+      | Some text -> (
+        match Pattern_io.of_string text with
+        | Error e -> Reply (error_response ("query: " ^ e))
+        | Ok pattern -> (
+          match Engine.evaluate engine pattern with
+          | answer -> Reply (Json.Obj (("ok", Json.Bool true) :: answer_fields answer))
+          | exception e -> Reply (error_response ("query: " ^ Printexc.to_string e)))))
+    | "batch" -> (
+      let patterns =
+        match Option.bind (Json.member "patterns" req) Json.list_opt with
+        | None -> Error "batch: missing array field \"patterns\""
+        | Some items ->
+          List.fold_left
+            (fun acc item ->
+              match (acc, Json.str_opt item) with
+              | Error e, _ -> Error e
+              | Ok _, None -> Error "batch: patterns must be strings"
+              | Ok l, Some text -> (
+                match Pattern_io.of_string text with
+                | Ok p -> Ok (p :: l)
+                | Error e -> Error ("batch: " ^ e)))
+            (Ok []) items
+          |> Result.map List.rev
+      in
+      match patterns with
+      | Error e -> Reply (error_response e)
+      | Ok patterns -> (
+        match Engine.evaluate_batch engine patterns with
+        | answers ->
+          Reply
+            (Json.Obj
+               [
+                 ("ok", Json.Bool true);
+                 ("answers", Json.Arr (List.map (fun a -> Json.Obj (answer_fields a)) answers));
+               ])
+        | exception e -> Reply (error_response ("batch: " ^ Printexc.to_string e))))
+    | "update" -> (
+      let ops =
+        match Option.bind (Json.member "ops" req) Json.list_opt with
+        | None -> Error "update: missing array field \"ops\""
+        | Some items ->
+          List.fold_left
+            (fun acc item ->
+              match acc with
+              | Error e -> Error e
+              | Ok l -> Result.map (fun u -> u :: l) (Update.of_json item))
+            (Ok []) items
+          |> Result.map List.rev
+      in
+      match ops with
+      | Error e -> Reply (error_response e)
+      | Ok ops -> (
+        match Engine.apply_updates engine ops with
+        | reports ->
+          Reply
+            (Json.Obj
+               [
+                 ("ok", Json.Bool true);
+                 ("epoch", Json.Int (Snapshot.epoch (Engine.snapshot engine)));
+                 ("maintained", Json.Int (List.length reports));
+               ])
+        | exception e -> Reply (error_response ("update: " ^ Printexc.to_string e))))
+    | op -> Reply (error_response (Printf.sprintf "unknown op %S" op)))
+
+(* ------------------------------------------------------------------ *)
+(* Minimal HTTP responder (GET/HEAD only) *)
+
+let http_response ~status ~content_type body =
+  let reason = match status with
+    | 200 -> "OK"
+    | 404 -> "Not Found"
+    | 405 -> "Method Not Allowed"
+    | _ -> "Error"
+  in
+  Printf.sprintf
+    "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+    status reason content_type (String.length body) body
+
+let http_reply engine ~meth ~path =
+  let status, content_type, body =
+    match path with
+    | "/metrics" -> (200, "text/plain; version=0.0.4; charset=utf-8", Prometheus.render ())
+    | "/healthz" -> (200, "text/plain; charset=utf-8", "ok\n")
+    | "/stats.json" ->
+      (200, "application/json; charset=utf-8", Json.to_string ~pretty:true (stats_json engine))
+    | _ -> (404, "text/plain; charset=utf-8", Printf.sprintf "no such path: %s\n" path)
+  in
+  let body = if meth = "HEAD" then "" else body in
+  http_response ~status ~content_type body
+
+(* ------------------------------------------------------------------ *)
+(* Connection loop *)
+
+let write_all fd s =
+  let len = String.length s in
+  let bytes = Bytes.of_string s in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd bytes !off (len - !off)
+  done
+
+(* Serve one connection.  The first line decides the protocol: an HTTP
+   request line ("GET /metrics HTTP/1.1") gets a one-shot HTTP answer;
+   anything else starts a JSONL request loop that runs until the client
+   closes or sends {"op": "shutdown"}.  Returns [false] when the server
+   should stop accepting. *)
+let handle_connection engine fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let continue = ref true in
+  (try
+     match In_channel.input_line ic with
+     | None -> ()
+     | Some first ->
+       let words = String.split_on_char ' ' (String.trim first) in
+       (match words with
+       | [ meth; path; _version ] when meth = "GET" || meth = "HEAD" ->
+         (* Drain the request headers so the client sees a clean close. *)
+         let rec drain () =
+           match In_channel.input_line ic with
+           | None -> ()
+           | Some line when String.trim line = "" -> ()
+           | Some _ -> drain ()
+         in
+         drain ();
+         write_all fd (http_reply engine ~meth ~path)
+       | (("GET" | "HEAD" | "POST" | "PUT" | "DELETE") :: _) ->
+         write_all fd (http_response ~status:405 ~content_type:"text/plain" "GET or HEAD only\n")
+       | _ ->
+         let rec loop line =
+           if String.trim line <> "" then begin
+             match handle_request engine line with
+             | Reply json -> write_all fd (Json.to_string json ^ "\n")
+             | Reply_and_stop json ->
+               write_all fd (Json.to_string json ^ "\n");
+               continue := false
+           end;
+           if !continue then
+             match In_channel.input_line ic with
+             | Some next -> loop next
+             | None -> ()
+         in
+         loop first)
+   with
+  | End_of_file -> ()
+  | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    ());
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  !continue
+
+let serve ?(max_connections = max_int) ?on_listen engine endpoint =
+  let sock = Unix.socket (Unix.domain_of_sockaddr (sockaddr endpoint)) Unix.SOCK_STREAM 0 in
+  (match endpoint with
+  | Unix_socket path -> if Sys.file_exists path then Sys.remove path
+  | Tcp _ -> Unix.setsockopt sock Unix.SO_REUSEADDR true);
+  Unix.bind sock (sockaddr endpoint);
+  Unix.listen sock 16;
+  (match on_listen with Some f -> f () | None -> ());
+  Log.info (fun m -> m "serving on %s" (endpoint_to_string endpoint));
+  let continue = ref true in
+  let served = ref 0 in
+  while !continue && !served < max_connections do
+    match Unix.accept sock with
+    | client, _addr ->
+      incr served;
+      (* A wedged client must not hang the single-threaded loop forever. *)
+      (try Unix.setsockopt_float client Unix.SO_RCVTIMEO 30.0 with Unix.Unix_error _ -> ());
+      if not (handle_connection engine client) then continue := false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  match endpoint with
+  | Unix_socket path -> ( try Sys.remove path with Sys_error _ -> ())
+  | Tcp _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Client side *)
+
+let with_connection endpoint f =
+  let addr = sockaddr endpoint in
+  let sock = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sock addr;
+      f sock)
+
+let request fd json =
+  write_all fd (Json.to_string json ^ "\n");
+  let ic = Unix.in_channel_of_descr fd in
+  match In_channel.input_line ic with
+  | None -> Error "connection closed before a response arrived"
+  | Some line -> Json.of_string line
+
+let http_get endpoint path =
+  with_connection endpoint (fun fd ->
+      write_all fd (Printf.sprintf "GET %s HTTP/1.1\r\nHost: expfinder\r\nConnection: close\r\n\r\n" path);
+      let ic = Unix.in_channel_of_descr fd in
+      match In_channel.input_line ic with
+      | None -> Error "connection closed before a response arrived"
+      | Some status_line -> (
+        match String.split_on_char ' ' (String.trim status_line) with
+        | _http :: code :: _ -> (
+          match int_of_string_opt code with
+          | None -> Error (Printf.sprintf "bad status line: %s" status_line)
+          | Some status ->
+            let rec drain_headers () =
+              match In_channel.input_line ic with
+              | None -> ()
+              | Some line when String.trim line = "" -> ()
+              | Some _ -> drain_headers ()
+            in
+            drain_headers ();
+            let body = In_channel.input_all ic in
+            Ok (status, body))
+        | _ -> Error (Printf.sprintf "bad status line: %s" status_line)))

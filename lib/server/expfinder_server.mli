@@ -1,0 +1,64 @@
+open Expfinder_engine
+open Expfinder_telemetry
+
+(** The serving path: a single-threaded socket server answering
+    newline-delimited JSON requests against one {!Expfinder_engine}
+    instance, plus a minimal HTTP responder for the observability
+    endpoints.
+
+    Protocol sniffing: the first line of each connection decides how it
+    is handled.  [GET]/[HEAD] request lines get a one-shot HTTP answer
+    ([/metrics] in Prometheus text format, [/healthz], [/stats.json])
+    and the connection closes; any other first line starts a JSONL
+    request loop — one JSON object per line in, one per line out —
+    until the client disconnects or sends [{"op": "shutdown"}].
+
+    Request ops: [query] (field [pattern]: {!Expfinder_pattern.Pattern_io}
+    text), [batch] (field [patterns]: array of pattern texts), [update]
+    (field [ops]: array of {!Expfinder_incremental.Update.to_json}
+    objects), [ping], [stats] and [shutdown].  Every response carries
+    ["ok": bool]; failures carry ["error": string] and never kill the
+    server.  Query/batch responses include the answer [digest]
+    ({!Expfinder_core.Match_relation.digest}), so clients can
+    cross-check replays.
+
+    The loop is deliberately single-threaded (one engine, one graph):
+    requests on concurrent connections serialize at [accept], which is
+    the consistency model the snapshot epoch machinery expects. *)
+
+type endpoint = Unix_socket of string | Tcp of string * int
+
+val endpoint_of_string : string -> (endpoint, string) result
+(** ["8080"] and ["host:8080"] parse as TCP (the bare-port form binds
+    [127.0.0.1]); anything else is a Unix-domain socket path. *)
+
+val endpoint_to_string : endpoint -> string
+
+val stats_json : Engine.t -> Json.t
+(** The live stats document served at [/stats.json]: snapshot identity
+    ([graph_id]/[epoch]), one {!Window.summary_json} per operation
+    class under [windows], process gauges, the metric registry and the
+    flight-recorder ring. *)
+
+val serve : ?max_connections:int -> ?on_listen:(unit -> unit) -> Engine.t -> endpoint -> unit
+(** Bind, listen and answer connections sequentially until a client
+    sends [{"op": "shutdown"}] (or [max_connections] connections have
+    been served — a test hook).  [on_listen] runs once the socket is
+    bound and listening, before the first [accept] (the CLI prints its
+    readiness line there).  A pre-existing Unix-socket path is removed
+    before binding and the path is unlinked on exit; TCP sockets set
+    [SO_REUSEADDR].  Per-connection read timeout: 30s. *)
+
+(** {1 Client helpers} (used by [expfinder client]/[stats --server] and
+    the serve tests) *)
+
+val with_connection : endpoint -> (Unix.file_descr -> 'a) -> 'a
+(** Connect, run, and always close the socket. *)
+
+val request : Unix.file_descr -> Json.t -> (Json.t, string) result
+(** Send one JSONL request on an open connection and read the one-line
+    response. *)
+
+val http_get : endpoint -> string -> (int * string, string) result
+(** One-shot [GET path]: connect, request, drain headers, and return
+    [(status, body)]. *)

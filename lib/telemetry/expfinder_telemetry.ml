@@ -389,18 +389,28 @@ module Histogram = struct
 
   let max_value h = if h.count = 0 then nan else h.state.(2)
 
+  (* Resolve a rank against an arbitrary log-bucket count array (shared
+     with the sliding-window aggregator, which merges several per-second
+     bucket arrays before asking for percentiles). *)
+  let rank_in_buckets buckets ~rank ~mn ~mx =
+    let seen = ref 0 and i = ref 0 in
+    while !seen < rank && !i < nbuckets do
+      seen := !seen + buckets.(!i);
+      if !seen < rank then incr i
+    done;
+    Float.min mx (Float.max mn (upper_bound !i))
+
   let percentile h p =
     if h.count = 0 then nan
-    else begin
+    else
       let p = Float.min 1.0 (Float.max 0.0 p) in
-      let rank = Stdlib.max 1 (int_of_float (ceil (p *. float_of_int h.count))) in
-      let seen = ref 0 and i = ref 0 in
-      while !seen < rank && !i < nbuckets do
-        seen := !seen + h.buckets.(!i);
-        if !seen < rank then incr i
-      done;
-      Float.min (max_value h) (Float.max (min_value h) (upper_bound !i))
-    end
+      (* The extremes are tracked exactly; only interior percentiles pay
+         the bucket-resolution error. *)
+      if p = 0.0 then min_value h
+      else if p = 1.0 then max_value h
+      else
+        let rank = Stdlib.max 1 (int_of_float (ceil (p *. float_of_int h.count))) in
+        rank_in_buckets h.buckets ~rank ~mn:(min_value h) ~mx:(max_value h)
 
   let reset h =
     Array.fill h.buckets 0 nbuckets 0;
@@ -911,7 +921,16 @@ module Recorder = struct
     counters : (string * int) list;
   }
 
-  let capacity = 64
+  let default_capacity = 64
+
+  (* The ring size is sized once at startup from EXPFINDER_RECORDER_CAP
+     (floor 1) and resizable at runtime; resizing drops the buffered
+     history, which is the honest semantics for a ring that just changed
+     shape. *)
+  let initial_capacity =
+    match Option.bind (Sys.getenv_opt "EXPFINDER_RECORDER_CAP") int_of_string_opt with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> default_capacity
 
   (* Unlike the metrics/span machinery the recorder is always on: one
      array store per query, so there is always a tail of recent history
@@ -922,25 +941,31 @@ module Recorder = struct
 
   let slow_threshold_ms () = !slow_ms
 
-  let buf : event option array = Array.make capacity None
+  let buf : event option array ref = ref (Array.make initial_capacity None)
 
   let next_seq = ref 0
+
+  let capacity () = Array.length !buf
+
+  let set_capacity n =
+    let n = Stdlib.max 1 n in
+    if n <> Array.length !buf then buf := Array.make n None
 
   let record ~query ~strategy ~duration_ms ~counters =
     let seq = !next_seq in
     next_seq := seq + 1;
     let slow = match !slow_ms with Some t -> duration_ms >= t | None -> false in
-    buf.(seq mod capacity) <- Some { seq; query; strategy; duration_ms; slow; counters }
+    !buf.(seq mod Array.length !buf) <- Some { seq; query; strategy; duration_ms; slow; counters }
 
   let recent () =
-    Array.to_list buf
+    Array.to_list !buf
     |> List.filter_map Fun.id
     |> List.sort (fun a b -> compare a.seq b.seq)
 
   let slow_events () = List.filter (fun e -> e.slow) (recent ())
 
   let clear () =
-    Array.fill buf 0 capacity None;
+    Array.fill !buf 0 (Array.length !buf) None;
     next_seq := 0
 
   let event_json e =
@@ -961,7 +986,7 @@ module Recorder = struct
     | [] -> Format.fprintf ppf "flight recorder: empty@."
     | events ->
       Format.fprintf ppf "flight recorder: %d event(s), capacity %d%s@." (List.length events)
-        capacity
+        (capacity ())
         (match !slow_ms with
         | Some t -> Printf.sprintf ", slow >= %g ms" t
         | None -> ", no slow threshold (EXPFINDER_SLOW_MS unset)");
@@ -976,4 +1001,544 @@ module Recorder = struct
             Format.fprintf ppf "        %s@."
               (String.concat " " (List.map (fun (k, v) -> Printf.sprintf "%s=%+d" k v) counters)))
         events
+end
+
+(* ------------------------------------------------------------------ *)
+(* Process gauges                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Linux exposes resident pages in /proc/self/statm; elsewhere (or in a
+   locked-down container) the read fails and rss is reported as 0 rather
+   than an error — observability must not crash the service. *)
+let rss_bytes () =
+  match
+    let ic = open_in "/proc/self/statm" in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> input_line ic)
+  with
+  | exception _ -> 0
+  | line -> (
+    match String.split_on_char ' ' line with
+    | _ :: resident :: _ -> (
+      match int_of_string_opt resident with Some pages -> pages * 4096 | None -> 0)
+    | _ -> 0)
+
+let process_stats () =
+  let gc = Gc.quick_stat () in
+  let stats =
+    [
+      ("process.rss_bytes", rss_bytes ());
+      ("process.heap_words", gc.Gc.heap_words);
+      ("process.gc_minor_collections", gc.Gc.minor_collections);
+      ("process.gc_major_collections", gc.Gc.major_collections);
+    ]
+  in
+  List.iter (fun (name, v) -> Gauge.set (Metrics.gauge ~always:true name) v) stats;
+  stats
+
+(* ------------------------------------------------------------------ *)
+(* Sliding windows                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Window = struct
+  let default_seconds = 60
+
+  (* One bucket per wall-clock second, in a ring of [seconds] buckets
+     indexed by [sec mod seconds].  A bucket is lazily reclaimed the
+     first time its slot is written in a later second; reading skips any
+     bucket whose stamp has fallen out of the window.  Latencies land in
+     the same log-scale bucket layout as {!Histogram}, so merged-window
+     percentiles share its resolution (~9% relative error) and its
+     exact-min/max clamping. *)
+  type bucket = {
+    mutable sec : int;  (* unix second this bucket holds; -1 = empty *)
+    mutable bcount : int;
+    mutable berrors : int;
+    mutable bsum : float;
+    mutable bmin : float;
+    mutable bmax : float;
+    bhist : int array;
+  }
+
+  type t = { wname : string; wseconds : int; ring : bucket array }
+
+  let fresh_bucket () =
+    {
+      sec = -1;
+      bcount = 0;
+      berrors = 0;
+      bsum = 0.0;
+      bmin = 0.0;
+      bmax = 0.0;
+      bhist = Array.make Histogram.nbuckets 0;
+    }
+
+  let create ?(seconds = default_seconds) wname =
+    let seconds = Stdlib.max 1 seconds in
+    { wname; wseconds = seconds; ring = Array.init seconds (fun _ -> fresh_bucket ()) }
+
+  let name t = t.wname
+
+  let seconds t = t.wseconds
+
+  let reset t =
+    Array.iter
+      (fun b ->
+        b.sec <- -1;
+        b.bcount <- 0;
+        b.berrors <- 0;
+        b.bsum <- 0.0;
+        b.bmin <- 0.0;
+        b.bmax <- 0.0;
+        Array.fill b.bhist 0 Histogram.nbuckets 0)
+      t.ring
+
+  let wall_seconds () = now_us () /. 1e6
+
+  let observe t ?(error = false) ?now ms =
+    let now = match now with Some n -> n | None -> wall_seconds () in
+    let sec = int_of_float now in
+    let b = t.ring.(sec mod t.wseconds) in
+    if b.sec <> sec then begin
+      b.sec <- sec;
+      b.bcount <- 0;
+      b.berrors <- 0;
+      b.bsum <- 0.0;
+      b.bmin <- 0.0;
+      b.bmax <- 0.0;
+      Array.fill b.bhist 0 Histogram.nbuckets 0
+    end;
+    if b.bcount = 0 || ms < b.bmin then b.bmin <- ms;
+    if b.bcount = 0 || ms > b.bmax then b.bmax <- ms;
+    b.bcount <- b.bcount + 1;
+    if error then b.berrors <- b.berrors + 1;
+    b.bsum <- b.bsum +. ms;
+    let i = Histogram.bucket_of ms in
+    b.bhist.(i) <- b.bhist.(i) + 1
+
+  type summary = {
+    window_s : int;
+    count : int;
+    errors : int;
+    qps : float;
+    error_rate : float;  (** 0 when the window is empty *)
+    p50 : float;
+    p95 : float;
+    p99 : float;
+    mean_ms : float;
+    max_ms : float;
+  }
+
+  let summary ?now t =
+    let now = match now with Some n -> n | None -> wall_seconds () in
+    let now_sec = int_of_float now in
+    let merged = Array.make Histogram.nbuckets 0 in
+    let count = ref 0 and errors = ref 0 and sum = ref 0.0 in
+    let mn = ref 0.0 and mx = ref 0.0 in
+    Array.iter
+      (fun b ->
+        if b.sec > now_sec - t.wseconds && b.sec <= now_sec && b.bcount > 0 then begin
+          if !count = 0 || b.bmin < !mn then mn := b.bmin;
+          if !count = 0 || b.bmax > !mx then mx := b.bmax;
+          count := !count + b.bcount;
+          errors := !errors + b.berrors;
+          sum := !sum +. b.bsum;
+          Array.iteri (fun i c -> merged.(i) <- merged.(i) + c) b.bhist
+        end)
+      t.ring;
+    let n = !count in
+    let pct p =
+      if n = 0 then nan
+      else if p <= 0.0 then !mn
+      else if p >= 1.0 then !mx
+      else
+        let rank = Stdlib.max 1 (int_of_float (ceil (p *. float_of_int n))) in
+        Histogram.rank_in_buckets merged ~rank ~mn:!mn ~mx:!mx
+    in
+    {
+      window_s = t.wseconds;
+      count = n;
+      errors = !errors;
+      qps = float_of_int n /. float_of_int t.wseconds;
+      error_rate = (if n = 0 then 0.0 else float_of_int !errors /. float_of_int n);
+      p50 = pct 0.5;
+      p95 = pct 0.95;
+      p99 = pct 0.99;
+      mean_ms = (if n = 0 then nan else !sum /. float_of_int n);
+      max_ms = (if n = 0 then nan else !mx);
+    }
+
+  let summary_json s =
+    Json.Obj
+      [
+        ("window_s", Json.Int s.window_s);
+        ("count", Json.Int s.count);
+        ("errors", Json.Int s.errors);
+        ("qps", Json.Float s.qps);
+        ("error_rate", Json.Float s.error_rate);
+        ("p50_ms", Json.Float s.p50);
+        ("p95_ms", Json.Float s.p95);
+        ("p99_ms", Json.Float s.p99);
+        ("mean_ms", Json.Float s.mean_ms);
+        ("max_ms", Json.Float s.max_ms);
+      ]
+
+  (* Read the numbers back out of a /stats.json dump (the [expfinder
+     stats --server] client side).  Missing latency fields (serialized
+     [null] for an empty window) come back as nan. *)
+  let summary_of_json json =
+    let int_field k = Option.bind (Json.member k json) Json.int_opt in
+    let float_field k =
+      match Option.bind (Json.member k json) Json.float_opt with Some f -> f | None -> nan
+    in
+    match (int_field "window_s", int_field "count") with
+    | Some window_s, Some count ->
+      Some
+        {
+          window_s;
+          count;
+          errors = Option.value ~default:0 (int_field "errors");
+          qps = float_field "qps";
+          error_rate = float_field "error_rate";
+          p50 = float_field "p50_ms";
+          p95 = float_field "p95_ms";
+          p99 = float_field "p99_ms";
+          mean_ms = float_field "mean_ms";
+          max_ms = float_field "max_ms";
+        }
+    | _ -> None
+
+  let pp_summary ppf s =
+    if s.count = 0 then Format.fprintf ppf "no requests in the last %ds" s.window_s
+    else
+      Format.fprintf ppf
+        "%d request(s) in %ds: %.2f qps, errors %d (%.1f%%), p50 %.3f ms, p95 %.3f ms, p99 \
+         %.3f ms, max %.3f ms"
+        s.count s.window_s s.qps s.errors (100.0 *. s.error_rate) s.p50 s.p95 s.p99 s.max_ms
+
+  (* Registry of operation-class windows (query/batch/update), mirroring
+     the metrics registry: [get] creates on first use, the exporters
+     enumerate with [all].  Windows record unconditionally — live SLOs
+     must not depend on the telemetry flag. *)
+  let windows : (string, t) Hashtbl.t = Hashtbl.create 8
+
+  let get ?seconds name =
+    match Hashtbl.find_opt windows name with
+    | Some w -> w
+    | None ->
+      let w = create ?seconds name in
+      Hashtbl.replace windows name w;
+      w
+
+  let all () =
+    Hashtbl.fold (fun name w acc -> (name, w) :: acc) windows [] |> List.sort compare
+
+  let reset_all () = Hashtbl.iter (fun _ w -> reset w) windows
+end
+
+(* ------------------------------------------------------------------ *)
+(* Query log                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Qlog = struct
+  let schema_version = 1
+
+  type kind = Query | Batch | Update
+
+  let kind_name = function Query -> "query" | Batch -> "batch" | Update -> "update"
+
+  let kind_of_name = function
+    | "query" -> Some Query
+    | "batch" -> Some Batch
+    | "update" -> Some Update
+    | _ -> None
+
+  type event = {
+    seq : int;
+    ts_unix : float;
+    kind : kind;
+    graph_id : int;
+    epoch : int;
+    query : string;
+    strategy : string;
+    duration_ms : float;
+    counters : (string * int) list;
+    pairs : int;
+    digest : string;
+    slow : bool;
+    error : string option;
+    payload : Json.t option;
+  }
+
+  (* Sink configuration: a path (env-seeded), a size ceiling, and one
+     archived generation.  The channel opens lazily on the first emit so
+     merely importing the library never touches the filesystem. *)
+  (* An empty path means "no sink": EXPFINDER_QLOG= must behave like an
+     unset variable, not like a log named "". *)
+  let normalize_sink = function Some "" -> None | other -> other
+
+  let sink_path = ref (normalize_sink (Sys.getenv_opt "EXPFINDER_QLOG"))
+
+  let default_max_bytes = 64 * 1024 * 1024
+
+  let max_bytes_ref =
+    ref
+      (match Option.bind (Sys.getenv_opt "EXPFINDER_QLOG_MAX_BYTES") int_of_string_opt with
+      | Some n when n >= 4096 -> n
+      | Some _ | None -> default_max_bytes)
+
+  let max_bytes () = !max_bytes_ref
+
+  let set_max_bytes n = max_bytes_ref := Stdlib.max 4096 n
+
+  let chan : out_channel option ref = ref None
+
+  let written = ref 0
+
+  let next_seq = ref 0
+
+  let close () =
+    Option.iter close_out_noerr !chan;
+    chan := None;
+    written := 0
+
+  let set_sink path =
+    close ();
+    sink_path := normalize_sink path
+
+  let sink () = !sink_path
+
+  let enabled () = !sink_path <> None
+
+  let event_json e =
+    Json.Obj
+      (List.concat
+         [
+           [
+             ("v", Json.Int schema_version);
+             ("seq", Json.Int e.seq);
+             ("ts_unix", Json.Float e.ts_unix);
+             ("kind", Json.Str (kind_name e.kind));
+             ("graph_id", Json.Int e.graph_id);
+             ("epoch", Json.Int e.epoch);
+             ("query", Json.Str e.query);
+             ("strategy", Json.Str e.strategy);
+             ("duration_ms", Json.Float e.duration_ms);
+             ("pairs", Json.Int e.pairs);
+             ("digest", Json.Str e.digest);
+             ("slow", Json.Bool e.slow);
+             ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) e.counters));
+           ];
+           (match e.error with None -> [] | Some m -> [ ("error", Json.Str m) ]);
+           (match e.payload with None -> [] | Some p -> [ ("payload", p) ]);
+         ])
+
+  let event_of_json json =
+    let str k = Option.bind (Json.member k json) Json.str_opt in
+    let int k = Option.bind (Json.member k json) Json.int_opt in
+    let float k = Option.bind (Json.member k json) Json.float_opt in
+    match Json.member "v" json with
+    | Some (Json.Int v) when v = schema_version -> (
+      match (int "seq", Option.bind (str "kind") kind_of_name, str "query") with
+      | Some seq, Some kind, Some query ->
+        Ok
+          {
+            seq;
+            ts_unix = Option.value ~default:0.0 (float "ts_unix");
+            kind;
+            graph_id = Option.value ~default:0 (int "graph_id");
+            epoch = Option.value ~default:0 (int "epoch");
+            query;
+            strategy = Option.value ~default:"" (str "strategy");
+            duration_ms = Option.value ~default:0.0 (float "duration_ms");
+            counters =
+              (match Json.member "counters" json with
+              | Some (Json.Obj kv) ->
+                List.filter_map (fun (k, v) -> Option.map (fun n -> (k, n)) (Json.int_opt v)) kv
+              | _ -> []);
+            pairs = Option.value ~default:0 (int "pairs");
+            digest = Option.value ~default:"" (str "digest");
+            slow =
+              (match Json.member "slow" json with Some (Json.Bool b) -> b | _ -> false);
+            error = str "error";
+            payload = Json.member "payload" json;
+          }
+      | _ -> Error "qlog event lacks a seq, kind or query field"
+      )
+    | Some (Json.Int v) -> Error (Printf.sprintf "unsupported qlog schema version %d" v)
+    | Some _ | None -> Error "not a qlog event (no integer \"v\" field)"
+
+  let rotated_path path = path ^ ".1"
+
+  let open_sink path =
+    let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path in
+    chan := Some oc;
+    written := out_channel_length oc
+
+  let rotate path =
+    close ();
+    (try Sys.remove (rotated_path path) with Sys_error _ -> ());
+    (try Sys.rename path (rotated_path path) with Sys_error _ -> ());
+    open_sink path
+
+  let emit ~kind ~graph_id ~epoch ~query ~strategy ~duration_ms ~counters ~pairs ~digest
+      ?error ?payload () =
+    match !sink_path with
+    | None -> ()
+    | Some path ->
+      let seq = !next_seq in
+      next_seq := seq + 1;
+      let slow =
+        match Recorder.slow_threshold_ms () with Some t -> duration_ms >= t | None -> false
+      in
+      let e =
+        {
+          seq;
+          ts_unix = Unix.gettimeofday ();
+          kind;
+          graph_id;
+          epoch;
+          query;
+          strategy;
+          duration_ms;
+          counters;
+          pairs;
+          digest;
+          slow;
+          error;
+          payload;
+        }
+      in
+      let line = Json.to_string (event_json e) ^ "\n" in
+      if !chan = None then open_sink path;
+      if !written > 0 && !written + String.length line > !max_bytes_ref then rotate path;
+      (match !chan with
+      | Some oc ->
+        output_string oc line;
+        flush oc;
+        written := !written + String.length line
+      | None -> ())
+
+  let load path =
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception Sys_error e -> Error e
+    | text ->
+      let rec parse acc lineno = function
+        | [] -> Ok (List.rev acc)
+        | line :: rest ->
+          if String.trim line = "" then parse acc (lineno + 1) rest
+          else (
+            match Json.of_string line with
+            | Error e -> Error (Printf.sprintf "%s:%d: invalid JSON: %s" path lineno e)
+            | Ok json -> (
+              match event_of_json json with
+              | Error e -> Error (Printf.sprintf "%s:%d: %s" path lineno e)
+              | Ok ev -> parse (ev :: acc) (lineno + 1) rest))
+      in
+      parse [] 1 (String.split_on_char '\n' text)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Prometheus = struct
+  (* Prometheus metric names admit [a-zA-Z0-9_:] only; the registry's
+     dotted names map '.' (and any other byte) to '_', under an
+     "expfinder_" namespace prefix. *)
+  let sanitize name =
+    String.map
+      (fun c ->
+        match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
+      name
+
+  let metric_name name = "expfinder_" ^ sanitize name
+
+  let add_float buf f =
+    if Float.is_nan f then Buffer.add_string buf "NaN"
+    else if f = Float.infinity then Buffer.add_string buf "+Inf"
+    else if f = Float.neg_infinity then Buffer.add_string buf "-Inf"
+    else Buffer.add_string buf (Printf.sprintf "%.9g" f)
+
+  let render () =
+    ignore (process_stats () : (string * int) list);
+    let buf = Buffer.create 4096 in
+    let line_int name v =
+      Buffer.add_string buf name;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (string_of_int v);
+      Buffer.add_char buf '\n'
+    in
+    let line_float name v =
+      Buffer.add_string buf name;
+      Buffer.add_char buf ' ';
+      add_float buf v;
+      Buffer.add_char buf '\n'
+    in
+    let typ name kind = Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind) in
+    let rows =
+      Hashtbl.fold (fun name m acc -> (name, m) :: acc) Metrics.registry []
+      |> List.sort compare
+    in
+    List.iter
+      (fun (name, m) ->
+        let n = metric_name name in
+        match m with
+        | Metrics.M_counter c ->
+          typ n "counter";
+          line_int n (Counter.value c)
+        | Metrics.M_gauge g ->
+          typ n "gauge";
+          line_int n (Gauge.value g)
+        | Metrics.M_histogram h ->
+          typ n "summary";
+          if Histogram.count h > 0 then
+            List.iter
+              (fun (q, p) ->
+                line_float (Printf.sprintf "%s{quantile=\"%s\"}" n q) (Histogram.percentile h p))
+              [ ("0.5", 0.5); ("0.95", 0.95); ("0.99", 0.99) ];
+          line_float (n ^ "_sum") (Histogram.sum h);
+          line_int (n ^ "_count") (Histogram.count h))
+      rows;
+    (* Sliding windows: live QPS / error rate / latency quantiles per
+       operation class, as gauges over the last [window_s] seconds. *)
+    let windows = Window.all () in
+    if windows <> [] then begin
+      List.iter
+        (fun tn -> typ tn "gauge")
+        [
+          "expfinder_window_seconds";
+          "expfinder_window_requests";
+          "expfinder_window_errors";
+          "expfinder_qps";
+          "expfinder_error_rate";
+          "expfinder_latency_ms";
+        ];
+      List.iter
+        (fun (op, w) ->
+          let s = Window.summary w in
+          let lbl fmt = Printf.sprintf fmt (sanitize op) in
+          line_int (lbl "expfinder_window_seconds{op=\"%s\"}") s.Window.window_s;
+          line_int (lbl "expfinder_window_requests{op=\"%s\"}") s.Window.count;
+          line_int (lbl "expfinder_window_errors{op=\"%s\"}") s.Window.errors;
+          line_float (lbl "expfinder_qps{op=\"%s\"}") s.Window.qps;
+          line_float (lbl "expfinder_error_rate{op=\"%s\"}") s.Window.error_rate;
+          if s.Window.count > 0 then begin
+            line_float
+              (Printf.sprintf "expfinder_latency_ms{op=\"%s\",quantile=\"0.5\"}" (sanitize op))
+              s.Window.p50;
+            line_float
+              (Printf.sprintf "expfinder_latency_ms{op=\"%s\",quantile=\"0.95\"}" (sanitize op))
+              s.Window.p95;
+            line_float
+              (Printf.sprintf "expfinder_latency_ms{op=\"%s\",quantile=\"0.99\"}" (sanitize op))
+              s.Window.p99
+          end)
+        windows
+    end;
+    Buffer.contents buf
 end

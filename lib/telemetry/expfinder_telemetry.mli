@@ -329,8 +329,13 @@ module Recorder : sig
     counters : (string * int) list;  (** nonzero counter deltas *)
   }
 
-  val capacity : int
-  (** Ring size (64 events); older events are overwritten. *)
+  val capacity : unit -> int
+  (** Current ring size; older events are overwritten.  Defaults to 64,
+      overridable at startup via [EXPFINDER_RECORDER_CAP]. *)
+
+  val set_capacity : int -> unit
+  (** Resize the ring at runtime (floor 1).  Resizing to a different
+      size drops the buffered history. *)
 
   val slow_threshold_ms : unit -> float option
   (** The slow-query threshold; initialised from [EXPFINDER_SLOW_MS],
@@ -352,4 +357,187 @@ module Recorder : sig
   val pp : Format.formatter -> unit -> unit
 
   val to_json : unit -> Json.t
+end
+
+(** {1 Process gauges} *)
+
+val process_stats : unit -> (string * int) list
+(** Sample the process: resident set size in bytes (0 where
+    [/proc/self/statm] is unavailable), major-heap words, and GC
+    minor/major collection counts ({!Gc.quick_stat}).  Each sample is
+    also published as an always-on gauge ([process.rss_bytes],
+    [process.heap_words], [process.gc_minor_collections],
+    [process.gc_major_collections]). *)
+
+(** {1 Sliding windows}
+
+    Bucketed sliding-window aggregation for the serving path: a ring of
+    per-second buckets over the last N seconds, yielding live QPS, error
+    rate and latency percentiles per operation class.  Unlike the
+    metric registry, windows record unconditionally — the live SLO
+    surface must not depend on the telemetry flag.  Latency samples use
+    the same log-scale buckets as {!Histogram} (~9% relative
+    resolution, exact min/max clamping). *)
+
+module Window : sig
+  type t
+
+  val default_seconds : int
+  (** 60. *)
+
+  val create : ?seconds:int -> string -> t
+  (** A standalone (unregistered) window over the last [seconds]
+      (default {!default_seconds}, floor 1) seconds. *)
+
+  val name : t -> string
+
+  val seconds : t -> int
+
+  val observe : t -> ?error:bool -> ?now:float -> float -> unit
+  (** [observe w ms] records one request of [ms] milliseconds in the
+      bucket of the current second.  [?now] (unix seconds) pins the
+      clock for tests.  Allocation-free. *)
+
+  val reset : t -> unit
+
+  (** A merged view of the buckets still inside the window. *)
+  type summary = {
+    window_s : int;
+    count : int;
+    errors : int;
+    qps : float;  (** [count / window_s] *)
+    error_rate : float;  (** 0 when the window is empty *)
+    p50 : float;  (** latency percentiles in ms; [nan] when empty *)
+    p95 : float;
+    p99 : float;
+    mean_ms : float;
+    max_ms : float;
+  }
+
+  val summary : ?now:float -> t -> summary
+
+  val summary_json : summary -> Json.t
+  (** As a flat object ([qps], [p95_ms], ...); [nan] fields serialize as
+      [null]. *)
+
+  val summary_of_json : Json.t -> summary option
+  (** Parse a {!summary_json} dump back (the [stats --server] client
+      side); [null]/missing latency fields come back as [nan]. *)
+
+  val pp_summary : Format.formatter -> summary -> unit
+  (** One human-readable line: count, QPS, error rate, p50/p95/p99. *)
+
+  (** {2 Registry} — operation-class windows (query/batch/update),
+      created on first use by the engine and enumerated by the
+      exporters. *)
+
+  val get : ?seconds:int -> string -> t
+  (** The registered window under that name, created on first use
+      ([?seconds] only applies to the creating call). *)
+
+  val all : unit -> (string * t) list
+  (** Sorted by name. *)
+
+  val reset_all : unit -> unit
+end
+
+(** {1 Query log}
+
+    An append-only JSONL log of serving-path events — one line per
+    query, batch or update batch — with an env-configurable sink
+    ([EXPFINDER_QLOG]) and size-based rotation
+    ([EXPFINDER_QLOG_MAX_BYTES], one archived generation at
+    [<sink>.1]).  Events carry the request id, the snapshot identity
+    [(graph_id, epoch)] the request ran against, the pattern digest,
+    strategy, duration, per-request counter deltas, answer size and
+    digest, slow/error flags, and (when available) a replayable payload
+    — enough for [expfinder replay] to re-run the workload and verify
+    answer digests.  See DESIGN.md for the schema. *)
+
+module Qlog : sig
+  val schema_version : int
+  (** Version of the per-line event format (currently [1]); {!load}
+      rejects events written under any other version. *)
+
+  type kind = Query | Batch | Update
+
+  val kind_name : kind -> string
+
+  type event = {
+    seq : int;  (** request id, monotonic within the process *)
+    ts_unix : float;  (** wall-clock seconds at emission *)
+    kind : kind;
+    graph_id : int;  (** snapshot identity the request ran against *)
+    epoch : int;
+    query : string;  (** pattern fingerprint / batch label / ["update"] *)
+    strategy : string;
+    duration_ms : float;
+    counters : (string * int) list;  (** nonzero counter deltas *)
+    pairs : int;  (** answer size (update events: effective updates) *)
+    digest : string;  (** answer digest; [""] when not applicable *)
+    slow : bool;  (** duration reached [EXPFINDER_SLOW_MS] *)
+    error : string option;
+    payload : Json.t option;  (** replayable request body *)
+  }
+
+  val set_sink : string option -> unit
+  (** Point the log at a path ([None] and [Some ""] disable).
+      Initialised from
+      [EXPFINDER_QLOG]; the file opens lazily on the first {!emit} and
+      is appended to. *)
+
+  val sink : unit -> string option
+
+  val enabled : unit -> bool
+  (** A sink is configured. *)
+
+  val max_bytes : unit -> int
+
+  val set_max_bytes : int -> unit
+  (** Rotation threshold (floor 4096; default 64 MiB, or
+      [EXPFINDER_QLOG_MAX_BYTES]).  When appending the next event would
+      exceed it, the sink is renamed to [<sink>.1] (replacing any
+      previous archive) and a fresh file is started. *)
+
+  val emit :
+    kind:kind ->
+    graph_id:int ->
+    epoch:int ->
+    query:string ->
+    strategy:string ->
+    duration_ms:float ->
+    counters:(string * int) list ->
+    pairs:int ->
+    digest:string ->
+    ?error:string ->
+    ?payload:Json.t ->
+    unit ->
+    unit
+  (** Append one event (no-op without a sink).  The sequence number,
+      timestamp and slow flag are assigned here; every event is flushed
+      so a crash loses at most the event being written. *)
+
+  val close : unit -> unit
+  (** Flush and close the sink channel (the path stays configured). *)
+
+  val event_json : event -> Json.t
+
+  val event_of_json : Json.t -> (event, string) result
+
+  val load : string -> (event list, string) result
+  (** Parse a JSONL file back into events (blank lines skipped); the
+      error names the offending line. *)
+end
+
+(** {1 Prometheus exposition} *)
+
+module Prometheus : sig
+  val render : unit -> string
+  (** The metric registry, the sliding windows and the process gauges in
+      the Prometheus text exposition format, under an [expfinder_]
+      namespace ([.] mapped to [_]): counters and gauges as themselves,
+      histograms as summaries with p50/p95/p99 quantiles, windows as
+      [expfinder_qps{op="query"}], [expfinder_error_rate{op=...}] and
+      [expfinder_latency_ms{op=...,quantile="0.95"}] gauges.  Samples
+      {!process_stats} on each call. *)
 end

@@ -1,0 +1,163 @@
+open Expfinder_pattern
+open Expfinder_core
+open Expfinder_incremental
+open Expfinder_engine
+open Expfinder_telemetry
+
+type outcome = {
+  event : Qlog.event;
+  replay_ms : float;
+  digest : string;
+  matched : bool;
+  skipped : string option;
+}
+
+type summary = {
+  total : int;
+  replayed : int;
+  skipped : int;
+  mismatches : int;
+  outcomes : outcome list;
+}
+
+let skip event reason =
+  { event; replay_ms = nan; digest = ""; matched = true; skipped = Some reason }
+
+let batch_digest relations =
+  Digest.to_hex
+    (Digest.string (String.concat "" (List.map Match_relation.digest relations)))
+
+(* Parse every element of a payload array with [parse], or say which one
+   is broken. *)
+let parse_all parse = function
+  | Json.Arr items ->
+    let rec go i acc = function
+      | [] -> Ok (List.rev acc)
+      | item :: rest -> (
+        match parse item with
+        | Ok v -> go (i + 1) (v :: acc) rest
+        | Error e -> Error (Printf.sprintf "element %d: %s" i e))
+    in
+    go 0 [] items
+  | _ -> Error "payload is not an array"
+
+let parse_pattern = function
+  | Json.Str text -> Pattern_io.of_string text
+  | _ -> Error "pattern payload is not a string"
+
+let replay_one engine (event : Qlog.event) =
+  match event.error with
+  | Some _ -> skip event "original request errored"
+  | None -> (
+    match event.payload with
+    | None -> skip event "no payload (qlog sink was set mid-run?)"
+    | Some payload -> (
+      let timed f =
+        let t0 = now_us () in
+        let r = f () in
+        (r, (now_us () -. t0) /. 1000.0)
+      in
+      match event.kind with
+      | Qlog.Query -> (
+        match parse_pattern payload with
+        | Error e -> skip event ("bad payload: " ^ e)
+        | Ok pattern ->
+          let answer, replay_ms = timed (fun () -> Engine.evaluate engine pattern) in
+          let digest = Match_relation.digest answer.Engine.relation in
+          { event; replay_ms; digest; matched = digest = event.digest; skipped = None })
+      | Qlog.Batch -> (
+        match parse_all parse_pattern payload with
+        | Error e -> skip event ("bad payload: " ^ e)
+        | Ok patterns ->
+          let answers, replay_ms = timed (fun () -> Engine.evaluate_batch engine patterns) in
+          let digest = batch_digest (List.map (fun a -> a.Engine.relation) answers) in
+          { event; replay_ms; digest; matched = digest = event.digest; skipped = None })
+      | Qlog.Update -> (
+        match parse_all Update.of_json payload with
+        | Error e -> skip event ("bad payload: " ^ e)
+        | Ok ops ->
+          let _reports, replay_ms = timed (fun () -> Engine.apply_updates engine ops) in
+          (* Updates carry no answer digest; correctness shows up in the
+             digests of every later query against the mutated graph. *)
+          { event; replay_ms; digest = ""; matched = true; skipped = None })))
+
+let run engine events =
+  let outcomes = List.map (replay_one engine) events in
+  let replayed = List.filter (fun (o : outcome) -> o.skipped = None) outcomes in
+  {
+    total = List.length outcomes;
+    replayed = List.length replayed;
+    skipped = List.length outcomes - List.length replayed;
+    mismatches = List.length (List.filter (fun (o : outcome) -> not o.matched) replayed);
+    outcomes;
+  }
+
+let mismatches summary = List.filter (fun (o : outcome) -> not o.matched) summary.outcomes
+
+(* Group replayed outcomes into report records keyed by the event's
+   query fingerprint: the ids depend only on the captured workload, so
+   two replays of the same log (say before and after an optimisation)
+   pair up under [expfinder bench-diff]. *)
+let report ?(mode = "replay") summary =
+  let r = Report.create ~tool:"expfinder replay" ~mode () in
+  let groups : (string, float list ref * float list ref) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (o : outcome) ->
+      if o.skipped = None then begin
+        let key = Printf.sprintf "%s.%s" (Qlog.kind_name o.event.Qlog.kind) o.event.Qlog.query in
+        let replayed, recorded =
+          match Hashtbl.find_opt groups key with
+          | Some cell -> cell
+          | None ->
+            let cell = (ref [], ref []) in
+            Hashtbl.add groups key cell;
+            order := key :: !order;
+            cell
+        in
+        replayed := o.replay_ms :: !replayed;
+        recorded := o.event.Qlog.duration_ms :: !recorded
+      end)
+    summary.outcomes;
+  let all_replayed = ref [] in
+  List.iter
+    (fun key ->
+      let replayed, recorded = Hashtbl.find groups key in
+      Report.add r ~id:("REPLAY." ^ key) ~experiment:"REPLAY" ~units:"ms"
+        ~params:[ ("requests", Json.Int (List.length !replayed)) ]
+        (List.rev !replayed);
+      Report.add r ~id:("QLOG." ^ key) ~experiment:"QLOG" ~units:"ms"
+        ~params:[ ("requests", Json.Int (List.length !recorded)) ]
+        (List.rev !recorded);
+      all_replayed := !replayed @ !all_replayed)
+    (List.rev !order);
+  if !all_replayed <> [] then
+    Report.add r ~id:"REPLAY.total" ~experiment:"REPLAY" ~units:"ms"
+      ~params:[ ("requests", Json.Int (List.length !all_replayed)) ]
+      !all_replayed;
+  r
+
+let pp_summary ppf summary =
+  let median l =
+    if l = [] then nan else (Report.stats_of_samples l).Report.median
+  in
+  let replayed = List.filter (fun (o : outcome) -> o.skipped = None) summary.outcomes in
+  let rec_ms = median (List.map (fun (o : outcome) -> o.event.Qlog.duration_ms) replayed) in
+  let rep_ms = median (List.map (fun (o : outcome) -> o.replay_ms) replayed) in
+  Format.fprintf ppf "@[<v>replayed %d/%d events (%d skipped), %d digest mismatch%s@,"
+    summary.replayed summary.total summary.skipped summary.mismatches
+    (if summary.mismatches = 1 then "" else "es");
+  if replayed <> [] then
+    Format.fprintf ppf "median latency: recorded %.3f ms, replayed %.3f ms (%+.1f%%)@,"
+      rec_ms rep_ms
+      (if rec_ms > 0.0 then ((rep_ms /. rec_ms) -. 1.0) *. 100.0 else nan);
+  List.iter
+    (fun (o : outcome) ->
+      match o.skipped with
+      | Some reason -> Format.fprintf ppf "  skipped #%d (%s): %s@," o.event.Qlog.seq o.event.Qlog.query reason
+      | None ->
+        if not o.matched then
+          Format.fprintf ppf "  MISMATCH #%d (%s): recorded %s, replayed %s@," o.event.Qlog.seq
+            o.event.Qlog.query o.event.Qlog.digest o.digest)
+    summary.outcomes;
+  Format.fprintf ppf "@]"

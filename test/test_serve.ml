@@ -1,0 +1,287 @@
+(* End-to-end serving-path tests: run `expfinder serve` as a subprocess
+   with the query log on, drive it over its socket (JSONL queries,
+   batches, updates, plus the HTTP observability endpoints), shut it
+   down, and close the loop with `expfinder replay` + `bench-diff` on
+   the captured log. *)
+
+open Expfinder_telemetry
+module Server = Expfinder_server
+
+let exe =
+  let candidates =
+    [
+      Filename.concat (Filename.dirname Sys.executable_name) "../bin/expfinder.exe";
+      "_build/default/bin/expfinder.exe";
+      "../bin/expfinder.exe";
+    ]
+  in
+  List.find_opt Sys.file_exists candidates
+
+let with_tmpdir f =
+  let dir = Filename.temp_file "expfinder-serve" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun file -> Sys.remove (Filename.concat dir file)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () -> f dir)
+
+let run exe args =
+  let cmd = Filename.quote_command exe args ^ " 2>/dev/null" in
+  let ic = Unix.open_process_in cmd in
+  let buf = Buffer.create 1024 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  let status = Unix.close_process_in ic in
+  let code = match status with Unix.WEXITED c -> c | _ -> -1 in
+  (code, Buffer.contents buf)
+
+let contains haystack needle =
+  let n = String.length haystack and k = String.length needle in
+  let rec scan i = i + k <= n && (String.sub haystack i k = needle || scan (i + 1)) in
+  scan 0
+
+let paper_query =
+  "expfinder-pattern 1\n\
+   node 0 SA SA exp>=int:5\n\
+   node 1 SD SD exp>=int:2\n\
+   node 2 BA BA exp>=int:3\n\
+   node 3 ST ST exp>=int:2\n\
+   edge 0 1 2\n\
+   edge 1 0 2\n\
+   edge 0 2 3\n\
+   edge 3 2 1\n\
+   output 0\n"
+
+(* Start `expfinder serve` as a child process (stdout/stderr to
+   /dev/null, EXPFINDER_QLOG set), wait until it answers a ping, run
+   [f], and always reap the child. *)
+let with_server exe ~graph ~socket ~qlog f =
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let env =
+    Array.append (Unix.environment ()) [| Printf.sprintf "EXPFINDER_QLOG=%s" qlog |]
+  in
+  let pid =
+    Unix.create_process_env exe
+      [| exe; "serve"; "-g"; graph; "--socket"; socket |]
+      env Unix.stdin devnull devnull
+  in
+  Unix.close devnull;
+  let endpoint = Server.Unix_socket socket in
+  Fun.protect
+    ~finally:(fun () ->
+      (* Normal exit path is the shutdown op; the kill only fires when
+         an assertion failed mid-flight. *)
+      (match Unix.waitpid [ Unix.WNOHANG ] pid with
+      | 0, _ ->
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        ignore (Unix.waitpid [] pid)
+      | _ -> ()))
+    (fun () ->
+      let rec wait_ready attempts =
+        if attempts = 0 then Alcotest.fail "server did not come up within 10s"
+        else
+          match
+            Server.with_connection endpoint (fun fd ->
+                Server.request fd (Json.Obj [ ("op", Json.Str "ping") ]))
+          with
+          | Ok _ -> ()
+          | Error _ -> Unix.sleepf 0.1; wait_ready (attempts - 1)
+          | exception Unix.Unix_error (_, _, _) ->
+            Unix.sleepf 0.1;
+            wait_ready (attempts - 1)
+      in
+      wait_ready 100;
+      f endpoint)
+
+let ok_of json =
+  match Option.bind (Json.member "ok" json) (function Json.Bool b -> Some b | _ -> None) with
+  | Some b -> b
+  | None -> false
+
+let str_field name json = Option.bind (Json.member name json) Json.str_opt
+
+let request_exn fd req =
+  match Server.request fd req with
+  | Ok resp -> resp
+  | Error e -> Alcotest.failf "request failed: %s" e
+
+(* The acceptance-criteria flow: >= 50 queries over the socket, live
+   /metrics with nonzero QPS and a p95 quantile, /healthz, /stats.json,
+   then shutdown and a digest-identical replay whose reports bench-diff
+   cleanly. *)
+let serve_e2e exe () =
+  with_tmpdir (fun dir ->
+      let graph = Filename.concat dir "collab.graph" in
+      let socket = Filename.concat dir "serve.sock" in
+      let qlog = Filename.concat dir "qlog.jsonl" in
+      let code, _ = run exe [ "gen"; "--kind"; "collab"; "-o"; graph ] in
+      Alcotest.(check int) "gen exits 0" 0 code;
+      with_server exe ~graph ~socket ~qlog (fun endpoint ->
+          (* 50 queries on one connection; every answer must agree. *)
+          let digests =
+            Server.with_connection endpoint (fun fd ->
+                List.init 50 (fun _ ->
+                    let resp =
+                      request_exn fd
+                        (Json.Obj
+                           [ ("op", Json.Str "query"); ("pattern", Json.Str paper_query) ])
+                    in
+                    Alcotest.(check bool) "query ok" true (ok_of resp);
+                    match str_field "digest" resp with
+                    | Some d -> d
+                    | None -> Alcotest.fail "query response carries no digest"))
+          in
+          (match digests with
+          | first :: rest ->
+            Alcotest.(check bool) "all 50 digests agree" true
+              (List.for_all (String.equal first) rest)
+          | [] -> Alcotest.fail "no answers");
+          (* A batch and an update, so the replay covers every event
+             kind.  The update inserts the paper's e1 edge. *)
+          Server.with_connection endpoint (fun fd ->
+              let resp =
+                request_exn fd
+                  (Json.Obj
+                     [
+                       ("op", Json.Str "batch");
+                       ("patterns", Json.Arr [ Json.Str paper_query; Json.Str paper_query ]);
+                     ])
+              in
+              Alcotest.(check bool) "batch ok" true (ok_of resp);
+              (match Option.bind (Json.member "answers" resp) Json.list_opt with
+              | Some answers -> Alcotest.(check int) "batch answers" 2 (List.length answers)
+              | None -> Alcotest.fail "batch response carries no answers");
+              let resp =
+                request_exn fd
+                  (Json.Obj
+                     [
+                       ("op", Json.Str "update");
+                       ( "ops",
+                         Json.Arr
+                           [
+                             Json.Obj
+                               [ ("op", Json.Str "+"); ("u", Json.Int 1); ("v", Json.Int 5) ];
+                           ] );
+                     ])
+              in
+              Alcotest.(check bool) "update ok" true (ok_of resp);
+              let resp =
+                request_exn fd
+                  (Json.Obj [ ("op", Json.Str "query"); ("pattern", Json.Str paper_query) ])
+              in
+              Alcotest.(check bool) "post-update query ok" true (ok_of resp));
+          (* Malformed requests answer ok:false without killing the
+             server. *)
+          Server.with_connection endpoint (fun fd ->
+              let resp = request_exn fd (Json.Obj [ ("op", Json.Str "nonsense") ]) in
+              Alcotest.(check bool) "unknown op refused" false (ok_of resp);
+              let resp =
+                request_exn fd
+                  (Json.Obj [ ("op", Json.Str "query"); ("pattern", Json.Str "not a pattern") ])
+              in
+              Alcotest.(check bool) "bad pattern refused" false (ok_of resp));
+          (* HTTP observability endpoints. *)
+          (match Server.http_get endpoint "/healthz" with
+          | Ok (status, body) ->
+            Alcotest.(check int) "/healthz status" 200 status;
+            Alcotest.(check bool) "/healthz body" true (contains body "ok")
+          | Error e -> Alcotest.failf "/healthz: %s" e);
+          (match Server.http_get endpoint "/metrics" with
+          | Ok (status, body) ->
+            Alcotest.(check int) "/metrics status" 200 status;
+            Alcotest.(check bool) "query window exported" true
+              (contains body "expfinder_qps{op=\"query\"}");
+            Alcotest.(check bool) "p95 latency exported" true
+              (contains body "expfinder_latency_ms{op=\"query\",quantile=\"0.95\"}");
+            Alcotest.(check bool) "engine counters exported" true
+              (contains body "expfinder_engine_queries");
+            (* The QPS gauge must be live (nonzero) after 50 queries. *)
+            let nonzero_qps =
+              String.split_on_char '\n' body
+              |> List.exists (fun line ->
+                     match String.index_opt line ' ' with
+                     | Some i when String.sub line 0 i = "expfinder_qps{op=\"query\"}" ->
+                       (match
+                          float_of_string_opt
+                            (String.sub line (i + 1) (String.length line - i - 1))
+                        with
+                       | Some v -> v > 0.0
+                       | None -> false)
+                     | _ -> false)
+            in
+            Alcotest.(check bool) "query QPS is nonzero" true nonzero_qps
+          | Error e -> Alcotest.failf "/metrics: %s" e);
+          (match Server.http_get endpoint "/stats.json" with
+          | Ok (status, body) -> (
+            Alcotest.(check int) "/stats.json status" 200 status;
+            match Json.of_string body with
+            | Error e -> Alcotest.failf "/stats.json does not parse: %s" e
+            | Ok doc -> (
+              match
+                Option.bind (Json.member "windows" doc) (Json.member "query")
+                |> Option.map Window.summary_of_json
+              with
+              | Some (Some s) ->
+                Alcotest.(check bool) "window counted the queries" true (s.Window.count >= 50)
+              | _ -> Alcotest.fail "/stats.json has no query window"))
+          | Error e -> Alcotest.failf "/stats.json: %s" e);
+          (match Server.http_get endpoint "/no-such-path" with
+          | Ok (status, _) -> Alcotest.(check int) "unknown path is 404" 404 status
+          | Error e -> Alcotest.failf "/no-such-path: %s" e);
+          (* Clean shutdown over the wire. *)
+          Server.with_connection endpoint (fun fd ->
+              let resp = request_exn fd (Json.Obj [ ("op", Json.Str "shutdown") ]) in
+              Alcotest.(check bool) "shutdown acknowledged" true (ok_of resp)));
+      (* The captured log replays with byte-identical digests... *)
+      let rep1 = Filename.concat dir "replay1.json" in
+      let rep2 = Filename.concat dir "replay2.json" in
+      let code, out = run exe [ "replay"; qlog; "-g"; graph; "--report"; rep1 ] in
+      Alcotest.(check int) "replay exits 0" 0 code;
+      Alcotest.(check bool) "no digest mismatches" true (contains out "0 digest mismatches");
+      Alcotest.(check bool) "all events replayed" true (contains out "replayed 53/53");
+      (* ... and replay reports pair up under bench-diff.  A report
+         diffed against itself must be exactly clean; two separate runs
+         are diffed with a huge threshold because sub-millisecond
+         medians are pure scheduling noise under parallel test load. *)
+      let code, out = run exe [ "bench-diff"; rep1; rep1 ] in
+      Alcotest.(check int) "bench-diff accepts replay reports" 0 code;
+      Alcotest.(check bool) "records were paired" true (contains out "record(s)");
+      let code, _ = run exe [ "replay"; qlog; "-g"; graph; "--report"; rep2 ] in
+      Alcotest.(check int) "second replay exits 0" 0 code;
+      let code, _ = run exe [ "bench-diff"; rep1; rep2; "--threshold"; "1000" ] in
+      Alcotest.(check int) "two replay runs pair cleanly" 0 code;
+      (* A tampered log is caught with a non-zero exit: flip the first
+         hex digit of the first non-empty recorded digest. *)
+      let tampered = Filename.concat dir "tampered.jsonl" in
+      let ic = open_in qlog in
+      let contents = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let marker = "\"digest\":\"" in
+      let rec find_digest i =
+        if i + String.length marker >= String.length contents then
+          Alcotest.fail "captured log holds no digest"
+        else if String.sub contents i (String.length marker) = marker
+                && contents.[i + String.length marker] <> '"' then
+          i + String.length marker
+        else find_digest (i + 1)
+      in
+      let pos = find_digest 0 in
+      let flipped = Bytes.of_string contents in
+      Bytes.set flipped pos (if contents.[pos] = 'f' then '0' else 'f');
+      let oc = open_out tampered in
+      output_string oc (Bytes.to_string flipped);
+      close_out oc;
+      let code, out = run exe [ "replay"; tampered; "-g"; graph ] in
+      Alcotest.(check bool) "tampered replay exits non-zero" true (code <> 0);
+      Alcotest.(check bool) "mismatch reported" true (contains out "MISMATCH"))
+
+let () =
+  match exe with
+  | None -> print_endline "expfinder.exe not built; skipping serve tests"
+  | Some exe ->
+    Alcotest.run "serve" [ ("e2e", [ Alcotest.test_case "serve/observe/replay" `Quick (serve_e2e exe) ]) ]

@@ -490,7 +490,7 @@ let test_recorder_ring () =
       Recorder.set_slow_threshold_ms None;
       Recorder.clear ())
     (fun () ->
-      for i = 1 to Recorder.capacity + 5 do
+      for i = 1 to Recorder.capacity () + 5 do
         Recorder.record
           ~query:(Printf.sprintf "q%d" i)
           ~strategy:"direct/simulation"
@@ -498,12 +498,12 @@ let test_recorder_ring () =
           ~counters:[ ("engine.queries", 1) ]
       done;
       let events = Recorder.recent () in
-      Alcotest.(check int) "ring keeps the last capacity events" Recorder.capacity
+      Alcotest.(check int) "ring keeps the last capacity events" (Recorder.capacity ())
         (List.length events);
       (match (events, List.rev events) with
       | oldest :: _, newest :: _ ->
         Alcotest.(check string) "oldest survivor" "q6" oldest.Recorder.query;
-        Alcotest.(check string) "newest event" (Printf.sprintf "q%d" (Recorder.capacity + 5))
+        Alcotest.(check string) "newest event" (Printf.sprintf "q%d" (Recorder.capacity () + 5))
           newest.Recorder.query;
         Alcotest.(check bool) "sequence numbers increase" true
           (newest.Recorder.seq > oldest.Recorder.seq)
@@ -565,6 +565,244 @@ let test_registry_snapshot_delta () =
     "unmoved counters are dropped from the delta" true
     (List.for_all (fun (_, v) -> v <> 0) delta)
 
+(* --- sliding windows ---------------------------------------------------- *)
+
+let test_window_sliding () =
+  let w = Window.create ~seconds:10 "t.win.slide" in
+  let t0 = 1000.0 in
+  (* One request per second for 10 seconds fills the whole ring. *)
+  for i = 0 to 9 do
+    Window.observe w ~now:(t0 +. float_of_int i) 10.0
+  done;
+  let s = Window.summary ~now:(t0 +. 9.0) w in
+  Alcotest.(check int) "full window count" 10 s.Window.count;
+  Alcotest.(check (float 1e-9)) "qps = count / window" 1.0 s.Window.qps;
+  Alcotest.(check int) "no errors" 0 s.Window.errors;
+  (* Six seconds later only the four youngest buckets are still inside
+     the window; the rest are stale and skipped on read. *)
+  let s = Window.summary ~now:(t0 +. 15.0) w in
+  Alcotest.(check int) "stale buckets fall out" 4 s.Window.count;
+  (* Far in the future the window is empty again — without any write. *)
+  let s = Window.summary ~now:(t0 +. 100.0) w in
+  Alcotest.(check int) "fully drained" 0 s.Window.count;
+  Alcotest.(check (float 1e-9)) "empty qps" 0.0 s.Window.qps;
+  Alcotest.(check bool) "empty p95 is nan" true (Float.is_nan s.Window.p95);
+  (* Writing a slot in a later second reclaims it instead of merging. *)
+  Window.observe w ~now:(t0 +. 20.0) 5.0;
+  let s = Window.summary ~now:(t0 +. 20.0) w in
+  Alcotest.(check int) "reclaimed slot holds one sample" 1 s.Window.count;
+  Alcotest.(check (float 1e-9)) "max of the survivor" 5.0 s.Window.max_ms
+
+let test_window_percentiles_and_errors () =
+  let w = Window.create ~seconds:60 "t.win.pct" in
+  let now = 5000.0 in
+  for i = 1 to 100 do
+    Window.observe w ~now ~error:(i mod 10 = 0) (float_of_int i)
+  done;
+  let s = Window.summary ~now w in
+  Alcotest.(check int) "count" 100 s.Window.count;
+  Alcotest.(check int) "errors" 10 s.Window.errors;
+  Alcotest.(check (float 1e-9)) "error rate" 0.1 s.Window.error_rate;
+  Alcotest.(check bool)
+    (Printf.sprintf "p50 = %.2f within 9%% of 50" s.Window.p50)
+    true
+    (s.Window.p50 >= 45.0 && s.Window.p50 <= 56.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "p99 = %.2f within [90, 100]" s.Window.p99)
+    true
+    (s.Window.p99 >= 90.0 && s.Window.p99 <= 100.0);
+  Alcotest.(check (float 1e-9)) "max clamps exactly" 100.0 s.Window.max_ms;
+  Alcotest.(check (float 1e-6)) "mean" 50.5 s.Window.mean_ms
+
+let test_window_summary_json_roundtrip () =
+  let w = Window.create ~seconds:60 "t.win.json" in
+  let now = 6000.0 in
+  Window.observe w ~now 1.5;
+  Window.observe w ~now ~error:true 3.0;
+  let s = Window.summary ~now w in
+  (match Window.summary_of_json (Window.summary_json s) with
+  | None -> Alcotest.fail "summary_json did not parse back"
+  | Some s' ->
+    Alcotest.(check int) "count survives" s.Window.count s'.Window.count;
+    Alcotest.(check int) "errors survive" s.Window.errors s'.Window.errors;
+    Alcotest.(check (float 1e-9)) "qps survives" s.Window.qps s'.Window.qps;
+    Alcotest.(check (float 1e-9)) "p95 survives" s.Window.p95 s'.Window.p95);
+  (* An empty window's nan percentiles serialize as null and come back
+     as nan, not as a parse failure. *)
+  let empty = Window.summary ~now (Window.create ~seconds:60 "t.win.empty") in
+  match Window.summary_of_json (Window.summary_json empty) with
+  | None -> Alcotest.fail "empty summary did not parse back"
+  | Some e -> Alcotest.(check bool) "nan p50 roundtrips" true (Float.is_nan e.Window.p50)
+
+(* --- query log ---------------------------------------------------------- *)
+
+let with_qlog_sink path f =
+  Qlog.set_sink (Some path);
+  Fun.protect
+    ~finally:(fun () ->
+      Qlog.set_sink None;
+      if Sys.file_exists path then Sys.remove path;
+      if Sys.file_exists (path ^ ".1") then Sys.remove (path ^ ".1"))
+    f
+
+let test_qlog_emit_load_roundtrip () =
+  let path = Filename.temp_file "expfinder-qlog" ".jsonl" in
+  with_qlog_sink path (fun () ->
+      Alcotest.(check bool) "sink configured" true (Qlog.enabled ());
+      Qlog.emit ~kind:Qlog.Query ~graph_id:7 ~epoch:3 ~query:"fp1" ~strategy:"direct"
+        ~duration_ms:1.25
+        ~counters:[ ("bsim.sweeps", 2) ]
+        ~pairs:9 ~digest:"abc123" ~payload:(Json.Str "pattern-text") ();
+      Qlog.emit ~kind:Qlog.Update ~graph_id:7 ~epoch:4 ~query:"update" ~strategy:"updates"
+        ~duration_ms:0.5 ~counters:[] ~pairs:2 ~digest:"" ~error:"boom" ();
+      Qlog.close ();
+      match Qlog.load path with
+      | Error e -> Alcotest.fail e
+      | Ok [ e1; e2 ] ->
+        Alcotest.(check bool) "kinds survive" true
+          (e1.Qlog.kind = Qlog.Query && e2.Qlog.kind = Qlog.Update);
+        Alcotest.(check int) "graph id survives" 7 e1.Qlog.graph_id;
+        Alcotest.(check int) "epoch survives" 4 e2.Qlog.epoch;
+        Alcotest.(check string) "digest survives" "abc123" e1.Qlog.digest;
+        Alcotest.(check bool) "seq is monotonic" true (e2.Qlog.seq > e1.Qlog.seq);
+        Alcotest.(check bool) "counters survive" true
+          (e1.Qlog.counters = [ ("bsim.sweeps", 2) ]);
+        Alcotest.(check bool) "payload survives" true
+          (e1.Qlog.payload = Some (Json.Str "pattern-text"));
+        Alcotest.(check bool) "error survives" true (e2.Qlog.error = Some "boom");
+        Alcotest.(check bool) "no payload stays absent" true (e2.Qlog.payload = None)
+      | Ok events -> Alcotest.failf "expected 2 events, loaded %d" (List.length events))
+
+let test_qlog_event_json_rejects_other_schema () =
+  let bad =
+    Json.Obj
+      [ ("v", Json.Int 999); ("seq", Json.Int 0); ("kind", Json.Str "query"); ("query", Json.Str "x") ]
+  in
+  match Qlog.event_of_json bad with
+  | Ok _ -> Alcotest.fail "schema version 999 should be rejected"
+  | Error e -> Alcotest.(check bool) "error names the version" true (String.length e > 0)
+
+let test_qlog_rotation () =
+  let path = Filename.temp_file "expfinder-qlog-rot" ".jsonl" in
+  let old_max = Qlog.max_bytes () in
+  Qlog.set_max_bytes 4096;
+  Fun.protect
+    ~finally:(fun () -> Qlog.set_max_bytes old_max)
+    (fun () ->
+      with_qlog_sink path (fun () ->
+          (* Each event is ~150 bytes; 100 of them must cross the 4 KiB
+             ceiling and rotate at least once. *)
+          for i = 0 to 99 do
+            Qlog.emit ~kind:Qlog.Query ~graph_id:1 ~epoch:i ~query:"fp-rotation"
+              ~strategy:"direct" ~duration_ms:0.1 ~counters:[] ~pairs:1 ~digest:"d" ()
+          done;
+          Qlog.close ();
+          Alcotest.(check bool) "archived generation exists" true
+            (Sys.file_exists (path ^ ".1"));
+          let size p = (Unix.stat p).Unix.st_size in
+          Alcotest.(check bool) "live file stayed under the ceiling" true (size path <= 4096);
+          Alcotest.(check bool) "archive stayed under the ceiling" true
+            (size (path ^ ".1") <= 4096);
+          (* Both generations still parse, and together they kept the
+             newest events. *)
+          match (Qlog.load path, Qlog.load (path ^ ".1")) with
+          | Ok live, Ok archived ->
+            Alcotest.(check bool) "both generations parse" true
+              (live <> [] && archived <> []);
+            let last = List.nth live (List.length live - 1) in
+            Alcotest.(check int) "newest event survived" 99 last.Qlog.epoch
+          | Error e, _ | _, Error e -> Alcotest.fail e))
+
+(* --- histogram percentile bounds (property) ----------------------------- *)
+
+(* The log-scale buckets promise ~9% relative resolution: the reported
+   percentile is the upper bound of the bucket holding the exact
+   rank-statistic, clamped to [min, max].  So for positive samples the
+   estimate can never undershoot the exact percentile and can overshoot
+   it by at most one bucket width (factor 2^(1/8)). *)
+let qcheck_histogram_percentile_bound =
+  let gen =
+    QCheck.make
+      ~print:(fun (samples, p) ->
+        Printf.sprintf "p=%.3f samples=[%s]" p
+          (String.concat "; " (List.map (Printf.sprintf "%.6g") samples)))
+      QCheck.Gen.(
+        pair
+          (list_size (int_range 1 200) (map (fun f -> 1e-6 +. (f *. 1e6)) (float_bound_exclusive 1.0)))
+          (float_range 0.01 0.99))
+  in
+  QCheck.Test.make ~count:200 ~name:"percentile within one log bucket of exact" gen
+    (fun (samples, p) ->
+      let h = Histogram.create ~always:true "t.hist.prop" in
+      List.iter (Histogram.observe h) samples;
+      let sorted = List.sort compare samples in
+      let n = List.length sorted in
+      let rank = Stdlib.max 1 (int_of_float (ceil (p *. float_of_int n))) in
+      let exact = List.nth sorted (rank - 1) in
+      let estimate = Histogram.percentile h p in
+      estimate >= exact *. (1.0 -. 1e-6)
+      && estimate <= exact *. ((2.0 ** 0.125) +. 1e-6))
+
+(* --- Report.diff degenerate inputs -------------------------------------- *)
+
+let test_report_diff_zero_iqr () =
+  (* Identical samples have iqr = 0, so the Tukey fences collapse to a
+     point: any threshold-crossing change is flagged, equal runs are
+     not, and nothing divides by zero. *)
+  let baseline = Report.create () and candidate = Report.create () in
+  Report.add baseline ~id:"D.same" [ 10.0; 10.0; 10.0 ];
+  Report.add candidate ~id:"D.same" [ 10.0; 10.0; 10.0 ];
+  Report.add baseline ~id:"D.doubles" [ 10.0; 10.0; 10.0 ];
+  Report.add candidate ~id:"D.doubles" [ 20.0; 20.0; 20.0 ];
+  let comparisons = Report.diff ~baseline ~candidate () in
+  let verdict id =
+    (List.find (fun c -> c.Report.cid = id) comparisons).Report.verdict
+  in
+  Alcotest.(check bool) "identical zero-iqr runs are unchanged" true
+    (verdict "D.same" = Report.Unchanged);
+  Alcotest.(check bool) "doubling with zero iqr is a regression" true
+    (verdict "D.doubles" = Report.Regression);
+  Alcotest.(check bool) "has_regression sees it" true (Report.has_regression comparisons)
+
+let test_report_diff_single_sample () =
+  (* One sample per side: median = q1 = q3 = the sample; the rule still
+     works and a big jump is not hidden by fake noise fences. *)
+  let baseline = Report.create () and candidate = Report.create () in
+  Report.add baseline ~id:"S.jump" [ 10.0 ];
+  Report.add candidate ~id:"S.jump" [ 30.0 ];
+  Report.add baseline ~id:"S.flat" [ 10.0 ];
+  Report.add candidate ~id:"S.flat" [ 10.0 ];
+  let comparisons = Report.diff ~baseline ~candidate () in
+  let by_id id = List.find (fun c -> c.Report.cid = id) comparisons in
+  Alcotest.(check bool) "single-sample jump is a regression" true
+    ((by_id "S.jump").Report.verdict = Report.Regression);
+  Alcotest.(check (float 1e-9)) "ratio is computed" 3.0 (by_id "S.jump").Report.ratio;
+  Alcotest.(check bool) "single-sample identical is unchanged" true
+    ((by_id "S.flat").Report.verdict = Report.Unchanged)
+
+let test_report_diff_missing_side () =
+  (* Records present on only one side are Added/Removed, never a
+     regression, and their unpaired medians are nan where absent. *)
+  let baseline = Report.create () and candidate = Report.create () in
+  Report.add baseline ~id:"M.removed" [ 10.0; 11.0 ];
+  Report.add candidate ~id:"M.added" [ 5.0; 6.0 ];
+  let comparisons = Report.diff ~baseline ~candidate () in
+  let by_id id = List.find (fun c -> c.Report.cid = id) comparisons in
+  Alcotest.(check bool) "baseline-only is removed" true
+    ((by_id "M.removed").Report.verdict = Report.Removed);
+  Alcotest.(check bool) "candidate-only is added" true
+    ((by_id "M.added").Report.verdict = Report.Added);
+  Alcotest.(check bool) "removed has nan new median" true
+    (Float.is_nan (by_id "M.removed").Report.new_median);
+  Alcotest.(check bool) "added has nan old median" true
+    (Float.is_nan (by_id "M.added").Report.old_median);
+  Alcotest.(check bool) "added has nan ratio" true (Float.is_nan (by_id "M.added").Report.ratio);
+  Alcotest.(check bool) "unpaired records never regress" false
+    (Report.has_regression comparisons);
+  (* Degenerate empty-vs-empty diff. *)
+  Alcotest.(check int) "empty reports diff to nothing" 0
+    (List.length (Report.diff ~baseline:(Report.create ()) ~candidate:(Report.create ()) ()))
+
 let () =
   Alcotest.run "telemetry"
     [
@@ -590,7 +828,26 @@ let () =
             test_report_rejects_other_schema;
           Alcotest.test_case "regression diffing" `Quick test_report_diff;
           Alcotest.test_case "IQR-overlap noise rule" `Quick test_report_diff_iqr_noise_rule;
+          Alcotest.test_case "zero-IQR runs" `Quick test_report_diff_zero_iqr;
+          Alcotest.test_case "single-sample runs" `Quick test_report_diff_single_sample;
+          Alcotest.test_case "records missing on one side" `Quick test_report_diff_missing_side;
         ] );
+      ( "windows",
+        [
+          Alcotest.test_case "sliding expiry" `Quick test_window_sliding;
+          Alcotest.test_case "percentiles and error rate" `Quick
+            test_window_percentiles_and_errors;
+          Alcotest.test_case "summary JSON roundtrip" `Quick test_window_summary_json_roundtrip;
+        ] );
+      ( "qlog",
+        [
+          Alcotest.test_case "emit/load roundtrip" `Quick test_qlog_emit_load_roundtrip;
+          Alcotest.test_case "other schema versions rejected" `Quick
+            test_qlog_event_json_rejects_other_schema;
+          Alcotest.test_case "size-based rotation" `Quick test_qlog_rotation;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest qcheck_histogram_percentile_bound ] );
       ( "recorder",
         [
           Alcotest.test_case "ring buffer and slow flags" `Quick test_recorder_ring;

@@ -117,6 +117,108 @@ let test_collab_graph_sanity () =
   Alcotest.(check bool) "e1 absent" false
     (Digraph.has_edge g (fst Expfinder_workload.Collab.e1) (snd Expfinder_workload.Collab.e1))
 
+(* --- capture / replay --------------------------------------------------- *)
+
+let with_qlog_capture f =
+  let open Expfinder_telemetry in
+  let path = Filename.temp_file "expfinder-replay" ".jsonl" in
+  Qlog.set_sink (Some path);
+  Fun.protect
+    ~finally:(fun () ->
+      Qlog.set_sink None;
+      if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+(* Serve a small mixed workload with the query log on, then replay the
+   log on a fresh engine over the same base graph: every answer digest
+   must reproduce, including the queries that run after the update. *)
+let test_replay_roundtrip () =
+  let open Expfinder_engine in
+  let open Expfinder_telemetry in
+  let module Collab = Expfinder_workload.Collab in
+  let module Replay = Expfinder_workload.Replay in
+  with_qlog_capture (fun path ->
+      let engine = Engine.create (Collab.graph ()) in
+      ignore (Engine.evaluate engine (Collab.q1 ()));
+      ignore (Engine.evaluate engine (Collab.q2 ()));
+      let src, dst = Collab.e1 in
+      ignore (Engine.apply_updates engine [ Expfinder_incremental.Update.Insert_edge (src, dst) ]);
+      ignore (Engine.evaluate engine (Collab.q1 ()));
+      ignore (Engine.evaluate_batch engine [ Collab.q1 (); Collab.q3 () ]);
+      Qlog.close ();
+      let events =
+        match Qlog.load path with Ok e -> e | Error e -> Alcotest.fail e
+      in
+      Alcotest.(check int) "5 events captured" 5 (List.length events);
+      let summary = Replay.run (Engine.create (Collab.graph ())) events in
+      Alcotest.(check int) "all replayed" 5 summary.Replay.replayed;
+      Alcotest.(check int) "no skips" 0 summary.Replay.skipped;
+      Alcotest.(check int) "no mismatches" 0 summary.Replay.mismatches;
+      (* The derived bench report holds one replayed/recorded record pair
+         per distinct request plus the aggregate, and diffing it against
+         itself never regresses. *)
+      let report = Replay.report summary in
+      let ids = List.map (fun r -> r.Report.id) (Report.records report) in
+      Alcotest.(check bool) "aggregate record present" true (List.mem "REPLAY.total" ids);
+      Alcotest.(check bool) "recorded latencies kept alongside" true
+        (List.exists (fun id -> String.length id > 5 && String.sub id 0 5 = "QLOG.") ids);
+      let self = Report.diff ~baseline:report ~candidate:report () in
+      Alcotest.(check bool) "self-diff has no regressions" false (Report.has_regression self))
+
+(* A divergent engine state must be caught: replaying against a graph
+   that already contains the captured update's edge flips the first
+   query's digest. *)
+let test_replay_detects_divergence () =
+  let open Expfinder_engine in
+  let open Expfinder_telemetry in
+  let module Collab = Expfinder_workload.Collab in
+  let module Replay = Expfinder_workload.Replay in
+  with_qlog_capture (fun path ->
+      let engine = Engine.create (Collab.graph ()) in
+      ignore (Engine.evaluate engine (Collab.q3 ()));
+      Qlog.close ();
+      let events = match Qlog.load path with Ok e -> e | Error e -> Alcotest.fail e in
+      (* Tampered digest: flip a hex digit in the recorded answer. *)
+      let tampered =
+        List.map
+          (fun (e : Qlog.event) ->
+            { e with Qlog.digest = (if e.Qlog.digest = "" then "" else "0" ^ String.sub e.Qlog.digest 1 (String.length e.Qlog.digest - 1)) })
+          events
+      in
+      let summary = Replay.run (Engine.create (Collab.graph ())) tampered in
+      Alcotest.(check bool) "tampering detected" true (summary.Replay.mismatches >= 1);
+      Alcotest.(check int) "mismatch listed" summary.Replay.mismatches
+        (List.length (Replay.mismatches summary));
+      (* Divergent base state: the captured graph plus a foreign edge. *)
+      let g = Collab.graph () in
+      let src, dst = Collab.e1 in
+      ignore (Expfinder_incremental.Update.apply g (Expfinder_incremental.Update.Insert_edge (src, dst)));
+      let summary = Replay.run (Engine.create g) events in
+      Alcotest.(check bool) "divergent graph detected" true (summary.Replay.mismatches >= 1))
+
+(* Events that recorded an error or carry no payload are skipped, not
+   failed. *)
+let test_replay_skips () =
+  let open Expfinder_engine in
+  let open Expfinder_telemetry in
+  let module Collab = Expfinder_workload.Collab in
+  let module Replay = Expfinder_workload.Replay in
+  with_qlog_capture (fun path ->
+      let engine = Engine.create (Collab.graph ()) in
+      ignore (Engine.evaluate engine (Collab.q1 ()));
+      Qlog.close ();
+      let events = match Qlog.load path with Ok e -> e | Error e -> Alcotest.fail e in
+      let stripped =
+        List.concat_map
+          (fun (e : Qlog.event) ->
+            [ { e with Qlog.payload = None }; { e with Qlog.error = Some "boom" } ])
+          events
+      in
+      let summary = Replay.run (Engine.create (Collab.graph ())) stripped in
+      Alcotest.(check int) "all skipped" 2 summary.Replay.skipped;
+      Alcotest.(check int) "none replayed" 0 summary.Replay.replayed;
+      Alcotest.(check int) "skips are not mismatches" 0 summary.Replay.mismatches)
+
 let () =
   Alcotest.run "workload"
     [
@@ -137,6 +239,12 @@ let () =
         [
           Alcotest.test_case "graph sanity" `Quick test_collab_graph_sanity;
           Alcotest.test_case "Q1-Q3 exact matches" `Quick test_collab_q1_q2_q3_matches;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "capture/replay roundtrip" `Quick test_replay_roundtrip;
+          Alcotest.test_case "divergence detected" `Quick test_replay_detects_divergence;
+          Alcotest.test_case "errored/payload-free events skipped" `Quick test_replay_skips;
         ] );
       ("scale", [ Alcotest.test_case "50k-node smoke" `Slow test_large_graph_smoke ]);
     ]
