@@ -632,6 +632,9 @@ let replay_run verbose graph_file log_file report_file =
        | Error e -> err "cannot load query log %s: %s" log_file e
      in
      let* () = if events = [] then err "query log %s holds no events" log_file else Ok () in
+     (* With EXPFINDER_QLOG still set, re-running the events would append
+        fresh entries to the very log being verified. *)
+     Telemetry.Qlog.set_sink None;
      let engine = Engine.create g in
      let summary = Replay.run engine events in
      Format.printf "%a@." Replay.pp_summary summary;
@@ -882,7 +885,8 @@ let socket_arg =
     & info [ "socket" ] ~docv:"ENDPOINT"
         ~doc:
           "Server endpoint: a Unix-domain socket path, a bare $(i,PORT) (binds 127.0.0.1), or \
-           $(i,HOST:PORT).")
+           $(i,HOST:PORT).  A spec containing '/' or starting with '.' is always read as a \
+           socket path, even if it looks like $(i,HOST:PORT).")
 
 let serve_cmd =
   let max_connections =

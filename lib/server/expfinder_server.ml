@@ -16,6 +16,12 @@ type endpoint = Unix_socket of string | Tcp of string * int
 
 let endpoint_of_string spec =
   if spec = "" then Error "endpoint: empty spec"
+  else if String.contains spec '/' || spec.[0] = '.' then
+    (* Anything path-shaped is a Unix socket, before host:port parsing:
+       "/tmp/expfinder:1" is a socket named with a colon, not host
+       "/tmp/expfinder" port 1, and "./8080" lets an all-digit name be a
+       socket path at all. *)
+    Ok (Unix_socket spec)
   else
     match int_of_string_opt spec with
     | Some port when port > 0 && port < 65536 -> Ok (Tcp ("127.0.0.1", port))
@@ -217,44 +223,52 @@ let write_all fd s =
 let handle_connection engine fd =
   let ic = Unix.in_channel_of_descr fd in
   let continue = ref true in
-  (try
-     match In_channel.input_line ic with
-     | None -> ()
-     | Some first ->
-       let words = String.split_on_char ' ' (String.trim first) in
-       (match words with
-       | [ meth; path; _version ] when meth = "GET" || meth = "HEAD" ->
-         (* Drain the request headers so the client sees a clean close. *)
-         let rec drain () =
-           match In_channel.input_line ic with
-           | None -> ()
-           | Some line when String.trim line = "" -> ()
-           | Some _ -> drain ()
-         in
-         drain ();
-         write_all fd (http_reply engine ~meth ~path)
-       | (("GET" | "HEAD" | "POST" | "PUT" | "DELETE") :: _) ->
-         write_all fd (http_response ~status:405 ~content_type:"text/plain" "GET or HEAD only\n")
-       | _ ->
-         let rec loop line =
-           if String.trim line <> "" then begin
-             match handle_request engine line with
-             | Reply json -> write_all fd (Json.to_string json ^ "\n")
-             | Reply_and_stop json ->
-               write_all fd (Json.to_string json ^ "\n");
-               continue := false
-           end;
-           if !continue then
-             match In_channel.input_line ic with
-             | Some next -> loop next
-             | None -> ()
-         in
-         loop first)
-   with
-  | End_of_file -> ()
-  | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-    ());
-  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      try
+        match In_channel.input_line ic with
+        | None -> ()
+        | Some first ->
+          let words = String.split_on_char ' ' (String.trim first) in
+          (match words with
+          | [ meth; path; _version ] when meth = "GET" || meth = "HEAD" ->
+            (* Drain the request headers so the client sees a clean close. *)
+            let rec drain () =
+              match In_channel.input_line ic with
+              | None -> ()
+              | Some line when String.trim line = "" -> ()
+              | Some _ -> drain ()
+            in
+            drain ();
+            write_all fd (http_reply engine ~meth ~path)
+          | (("GET" | "HEAD" | "POST" | "PUT" | "DELETE") :: _) ->
+            write_all fd
+              (http_response ~status:405 ~content_type:"text/plain" "GET or HEAD only\n")
+          | _ ->
+            let rec loop line =
+              if String.trim line <> "" then begin
+                match handle_request engine line with
+                | Reply json -> write_all fd (Json.to_string json ^ "\n")
+                | Reply_and_stop json ->
+                  write_all fd (Json.to_string json ^ "\n");
+                  continue := false
+              end;
+              if !continue then
+                match In_channel.input_line ic with
+                | Some next -> loop next
+                | None -> ()
+            in
+            loop first)
+      with
+      (* A dead, wedged or misbehaving client must only cost its own
+         connection.  Channel reads surface the SO_RCVTIMEO receive
+         timeout as Sys_blocked_io or Sys_error (not Unix_error), so
+         both must land here rather than escape and kill the accept
+         loop. *)
+      | End_of_file | Sys_blocked_io -> ()
+      | Sys_error _ -> ()
+      | Unix.Unix_error _ -> ());
   !continue
 
 let serve ?(max_connections = max_int) ?on_listen engine endpoint =
@@ -275,7 +289,12 @@ let serve ?(max_connections = max_int) ?on_listen engine endpoint =
       (* A wedged client must not hang the single-threaded loop forever. *)
       (try Unix.setsockopt_float client Unix.SO_RCVTIMEO 30.0 with Unix.Unix_error _ -> ());
       if not (handle_connection engine client) then continue := false
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception
+        Unix.Unix_error
+          ((Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      (* Transient accept failures (interrupted, client gone before the
+         handshake finished) must not stop the service. *)
+      ()
   done;
   (try Unix.close sock with Unix.Unix_error _ -> ());
   match endpoint with

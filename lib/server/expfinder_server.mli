@@ -29,8 +29,11 @@ open Expfinder_telemetry
 type endpoint = Unix_socket of string | Tcp of string * int
 
 val endpoint_of_string : string -> (endpoint, string) result
-(** ["8080"] and ["host:8080"] parse as TCP (the bare-port form binds
-    [127.0.0.1]); anything else is a Unix-domain socket path. *)
+(** A spec containing ['/'] or starting with ['.'] is always a
+    Unix-domain socket path (so ["/tmp/x:1"] and ["./8080"] are
+    sockets); otherwise ["8080"] and ["host:8080"] parse as TCP (the
+    bare-port form binds [127.0.0.1]) and anything else is a socket
+    path. *)
 
 val endpoint_to_string : endpoint -> string
 

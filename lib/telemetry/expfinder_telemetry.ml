@@ -1007,6 +1007,24 @@ end
 (* Process gauges                                                       *)
 (* ------------------------------------------------------------------ *)
 
+(* statm counts pages, and the kernel page size is not universally
+   4 KiB (arm64 kernels commonly run 16K or 64K pages).  OCaml's stdlib
+   has no sysconf binding, so ask getconf once; 4096 is only the
+   fallback when that fails. *)
+let page_size =
+  lazy
+    (match
+       let ic = Unix.open_process_in "getconf PAGESIZE 2>/dev/null" in
+       Fun.protect
+         ~finally:(fun () -> ignore (Unix.close_process_in ic : Unix.process_status))
+         (fun () -> input_line ic)
+     with
+    | exception _ -> 4096
+    | line -> (
+      match int_of_string_opt (String.trim line) with
+      | Some n when n > 0 -> n
+      | Some _ | None -> 4096))
+
 (* Linux exposes resident pages in /proc/self/statm; elsewhere (or in a
    locked-down container) the read fails and rss is reported as 0 rather
    than an error — observability must not crash the service. *)
@@ -1019,7 +1037,9 @@ let rss_bytes () =
   | line -> (
     match String.split_on_char ' ' line with
     | _ :: resident :: _ -> (
-      match int_of_string_opt resident with Some pages -> pages * 4096 | None -> 0)
+      match int_of_string_opt resident with
+      | Some pages -> pages * Lazy.force page_size
+      | None -> 0)
     | _ -> 0)
 
 let process_stats () =
@@ -1301,8 +1321,23 @@ module Qlog = struct
     chan := None;
     written := 0
 
+  (* Sink I/O failures (unwritable path, full disk) must not raise into
+     the serving path: the sink is disabled with one stderr warning and
+     queries keep being answered.  Pointing at a new sink re-arms the
+     warning. *)
+  let warned = ref false
+
+  let disable_sink exn =
+    if not !warned then begin
+      warned := true;
+      Printf.eprintf "expfinder: query log disabled: %s\n%!" (Printexc.to_string exn)
+    end;
+    close ();
+    sink_path := None
+
   let set_sink path =
     close ();
+    warned := false;
     sink_path := normalize_sink path
 
   let sink () = !sink_path
@@ -1409,14 +1444,16 @@ module Qlog = struct
         }
       in
       let line = Json.to_string (event_json e) ^ "\n" in
-      if !chan = None then open_sink path;
-      if !written > 0 && !written + String.length line > !max_bytes_ref then rotate path;
-      (match !chan with
-      | Some oc ->
-        output_string oc line;
-        flush oc;
-        written := !written + String.length line
-      | None -> ())
+      (try
+         if !chan = None then open_sink path;
+         if !written > 0 && !written + String.length line > !max_bytes_ref then rotate path;
+         match !chan with
+         | Some oc ->
+           output_string oc line;
+           flush oc;
+           written := !written + String.length line
+         | None -> ()
+       with (Sys_error _ | Unix.Unix_error _) as exn -> disable_sink exn)
 
   let load path =
     match

@@ -515,7 +515,10 @@ module Qlog : sig
     unit
   (** Append one event (no-op without a sink).  The sequence number,
       timestamp and slow flag are assigned here; every event is flushed
-      so a crash loses at most the event being written. *)
+      so a crash loses at most the event being written.  Sink I/O
+      failures (unwritable path, full disk) never raise into the
+      caller: the sink is disabled with one stderr warning, and
+      {!set_sink} re-arms it. *)
 
   val close : unit -> unit
   (** Flush and close the sink channel (the path stays configured). *)

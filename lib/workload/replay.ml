@@ -52,34 +52,47 @@ let replay_one engine (event : Qlog.event) =
     match event.payload with
     | None -> skip event "no payload (qlog sink was set mid-run?)"
     | Some payload -> (
+      (* A raising event (say an update replayed against a graph missing
+         the node it names) must not abort the whole replay: it is
+         reported as a mismatch carrying the error text. *)
       let timed f =
         let t0 = now_us () in
-        let r = f () in
-        (r, (now_us () -. t0) /. 1000.0)
+        match f () with
+        | r -> (Ok r, (now_us () -. t0) /. 1000.0)
+        | exception e -> (Error (Printexc.to_string e), (now_us () -. t0) /. 1000.0)
+      in
+      let crashed replay_ms msg =
+        { event; replay_ms; digest = "error: " ^ msg; matched = false; skipped = None }
       in
       match event.kind with
       | Qlog.Query -> (
         match parse_pattern payload with
         | Error e -> skip event ("bad payload: " ^ e)
-        | Ok pattern ->
-          let answer, replay_ms = timed (fun () -> Engine.evaluate engine pattern) in
-          let digest = Match_relation.digest answer.Engine.relation in
-          { event; replay_ms; digest; matched = digest = event.digest; skipped = None })
+        | Ok pattern -> (
+          match timed (fun () -> Engine.evaluate engine pattern) with
+          | Error msg, replay_ms -> crashed replay_ms msg
+          | Ok answer, replay_ms ->
+            let digest = Match_relation.digest answer.Engine.relation in
+            { event; replay_ms; digest; matched = digest = event.digest; skipped = None }))
       | Qlog.Batch -> (
         match parse_all parse_pattern payload with
         | Error e -> skip event ("bad payload: " ^ e)
-        | Ok patterns ->
-          let answers, replay_ms = timed (fun () -> Engine.evaluate_batch engine patterns) in
-          let digest = batch_digest (List.map (fun a -> a.Engine.relation) answers) in
-          { event; replay_ms; digest; matched = digest = event.digest; skipped = None })
+        | Ok patterns -> (
+          match timed (fun () -> Engine.evaluate_batch engine patterns) with
+          | Error msg, replay_ms -> crashed replay_ms msg
+          | Ok answers, replay_ms ->
+            let digest = batch_digest (List.map (fun a -> a.Engine.relation) answers) in
+            { event; replay_ms; digest; matched = digest = event.digest; skipped = None }))
       | Qlog.Update -> (
         match parse_all Update.of_json payload with
         | Error e -> skip event ("bad payload: " ^ e)
-        | Ok ops ->
-          let _reports, replay_ms = timed (fun () -> Engine.apply_updates engine ops) in
-          (* Updates carry no answer digest; correctness shows up in the
-             digests of every later query against the mutated graph. *)
-          { event; replay_ms; digest = ""; matched = true; skipped = None })))
+        | Ok ops -> (
+          match timed (fun () -> Engine.apply_updates engine ops) with
+          | Error msg, replay_ms -> crashed replay_ms msg
+          | Ok _reports, replay_ms ->
+            (* Updates carry no answer digest; correctness shows up in the
+               digests of every later query against the mutated graph. *)
+            { event; replay_ms; digest = ""; matched = true; skipped = None }))))
 
 let run engine events =
   let outcomes = List.map (replay_one engine) events in

@@ -14,7 +14,10 @@ open Expfinder_telemetry
     events re-apply their recorded ΔG, so a divergence introduced by an
     update shows up in the digest of every later query.  Events that
     recorded an error, or that carry no payload, are skipped and
-    counted — they are not mismatches. *)
+    counted — they are not mismatches.  An event whose replay raises
+    (e.g. an update naming a node the current graph lacks) is reported
+    as a mismatch whose digest carries the error text, never a crash of
+    the whole replay. *)
 
 type outcome = {
   event : Qlog.event;

@@ -280,8 +280,44 @@ let serve_e2e exe () =
       Alcotest.(check bool) "tampered replay exits non-zero" true (code <> 0);
       Alcotest.(check bool) "mismatch reported" true (contains out "MISMATCH"))
 
+(* Endpoint classification: path-shaped specs are always Unix sockets
+   (even "/tmp/expfinder:1", whose suffix parses as a port, and the
+   all-digit "./8080"); everything else tries bare-port then host:port. *)
+let test_endpoint_of_string () =
+  let show = function
+    | Server.Unix_socket p -> "unix:" ^ p
+    | Server.Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
+  in
+  let check spec expected =
+    match Server.endpoint_of_string spec with
+    | Ok ep -> Alcotest.(check string) spec expected (show ep)
+    | Error e -> Alcotest.failf "%s: unexpected error: %s" spec e
+  in
+  check "8080" "tcp:127.0.0.1:8080";
+  check "example.org:8080" "tcp:example.org:8080";
+  check ":8080" "tcp:127.0.0.1:8080";
+  check "serve.sock" "unix:serve.sock";
+  check "/tmp/expfinder.sock" "unix:/tmp/expfinder.sock";
+  check "/tmp/expfinder:1" "unix:/tmp/expfinder:1";
+  check "./8080" "unix:./8080";
+  List.iter
+    (fun spec ->
+      match Server.endpoint_of_string spec with
+      | Error _ -> ()
+      | Ok ep -> Alcotest.failf "%S must be rejected, parsed as %s" spec (show ep))
+    [ ""; "99999"; "host:99999" ]
+
+let unit_suite =
+  ("endpoint", [ Alcotest.test_case "endpoint_of_string" `Quick test_endpoint_of_string ])
+
 let () =
   match exe with
-  | None -> print_endline "expfinder.exe not built; skipping serve tests"
+  | None ->
+    print_endline "expfinder.exe not built; running only the unit tests";
+    Alcotest.run "serve" [ unit_suite ]
   | Some exe ->
-    Alcotest.run "serve" [ ("e2e", [ Alcotest.test_case "serve/observe/replay" `Quick (serve_e2e exe) ]) ]
+    Alcotest.run "serve"
+      [
+        unit_suite;
+        ("e2e", [ Alcotest.test_case "serve/observe/replay" `Quick (serve_e2e exe) ]);
+      ]

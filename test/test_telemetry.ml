@@ -713,6 +713,22 @@ let test_qlog_rotation () =
             Alcotest.(check int) "newest event survived" 99 last.Qlog.epoch
           | Error e, _ | _, Error e -> Alcotest.fail e))
 
+(* Sink I/O failures disable the log instead of raising into the
+   serving path: emitting to a path whose directory does not exist must
+   return normally and leave the sink off. *)
+let test_qlog_unwritable_sink_disables () =
+  Qlog.set_sink (Some "/nonexistent-expfinder-dir/qlog.jsonl");
+  Fun.protect
+    ~finally:(fun () -> Qlog.set_sink None)
+    (fun () ->
+      Alcotest.(check bool) "sink configured" true (Qlog.enabled ());
+      Qlog.emit ~kind:Qlog.Query ~graph_id:1 ~epoch:0 ~query:"fp" ~strategy:"direct"
+        ~duration_ms:0.1 ~counters:[] ~pairs:0 ~digest:"d" ();
+      Alcotest.(check bool) "sink disabled after the failure" false (Qlog.enabled ());
+      (* Further emits are no-ops, not repeated failures. *)
+      Qlog.emit ~kind:Qlog.Query ~graph_id:1 ~epoch:1 ~query:"fp" ~strategy:"direct"
+        ~duration_ms:0.1 ~counters:[] ~pairs:0 ~digest:"d" ())
+
 (* --- histogram percentile bounds (property) ----------------------------- *)
 
 (* The log-scale buckets promise ~9% relative resolution: the reported
@@ -845,6 +861,8 @@ let () =
           Alcotest.test_case "other schema versions rejected" `Quick
             test_qlog_event_json_rejects_other_schema;
           Alcotest.test_case "size-based rotation" `Quick test_qlog_rotation;
+          Alcotest.test_case "unwritable sink disables, not raises" `Quick
+            test_qlog_unwritable_sink_disables;
         ] );
       ( "properties",
         [ QCheck_alcotest.to_alcotest qcheck_histogram_percentile_bound ] );

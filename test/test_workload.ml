@@ -219,6 +219,50 @@ let test_replay_skips () =
       Alcotest.(check int) "none replayed" 0 summary.Replay.replayed;
       Alcotest.(check int) "skips are not mismatches" 0 summary.Replay.mismatches)
 
+(* An event whose replay raises — here an update naming a node the
+   current graph lacks, which Digraph rejects with Invalid_argument —
+   must surface as a mismatch carrying the error text, and the events
+   after it must still replay. *)
+let test_replay_crash_is_mismatch () =
+  let open Expfinder_engine in
+  let open Expfinder_telemetry in
+  let module Collab = Expfinder_workload.Collab in
+  let module Replay = Expfinder_workload.Replay in
+  with_qlog_capture (fun path ->
+      let engine = Engine.create (Collab.graph ()) in
+      let src, dst = Collab.e1 in
+      ignore (Engine.apply_updates engine [ Expfinder_incremental.Update.Insert_edge (src, dst) ]);
+      ignore (Engine.evaluate engine (Collab.q1 ()));
+      Qlog.close ();
+      let events = match Qlog.load path with Ok e -> e | Error e -> Alcotest.fail e in
+      let poisoned =
+        List.map
+          (fun (e : Qlog.event) ->
+            if e.Qlog.kind = Qlog.Update then
+              {
+                e with
+                Qlog.payload =
+                  Some
+                    (Json.Arr
+                       [
+                         Json.Obj
+                           [ ("op", Json.Str "+"); ("u", Json.Int 999_999); ("v", Json.Int 0) ];
+                       ]);
+              }
+            else e)
+          events
+      in
+      let summary = Replay.run (Engine.create (Collab.graph ())) poisoned in
+      Alcotest.(check int) "nothing skipped" 0 summary.Replay.skipped;
+      Alcotest.(check int) "both events replayed" 2 summary.Replay.replayed;
+      Alcotest.(check bool) "crash reported as mismatch" true (summary.Replay.mismatches >= 1);
+      let crashed =
+        List.find (fun (o : Replay.outcome) -> not o.Replay.matched) summary.Replay.outcomes
+      in
+      Alcotest.(check bool) "mismatch digest carries the error text" true
+        (String.length crashed.Replay.digest > 6
+        && String.sub crashed.Replay.digest 0 6 = "error:"))
+
 let () =
   Alcotest.run "workload"
     [
@@ -245,6 +289,8 @@ let () =
           Alcotest.test_case "capture/replay roundtrip" `Quick test_replay_roundtrip;
           Alcotest.test_case "divergence detected" `Quick test_replay_detects_divergence;
           Alcotest.test_case "errored/payload-free events skipped" `Quick test_replay_skips;
+          Alcotest.test_case "raising event is a mismatch, not a crash" `Quick
+            test_replay_crash_is_mismatch;
         ] );
       ("scale", [ Alcotest.test_case "50k-node smoke" `Slow test_large_graph_smoke ]);
     ]
