@@ -1,4 +1,4 @@
-.PHONY: all build test lint lint-mli check replay-smoke bench bench-full bench-json bench-gate examples demo clean
+.PHONY: all build test lint lint-mli check replay-smoke soak-smoke bench bench-full bench-json bench-gate examples demo clean
 
 EXE := _build/default/bin/expfinder.exe
 
@@ -46,6 +46,7 @@ check: lint lint-mli
 	dune runtest
 	EXPFINDER_CHECK=1 dune runtest --force
 	$(MAKE) --no-print-directory replay-smoke
+	$(MAKE) --no-print-directory soak-smoke
 	-@if [ -f BENCH_baseline.json ]; then $(MAKE) --no-print-directory bench-gate; fi
 
 # Serving-path smoke gate: serve the committed smoke workload over a
@@ -71,6 +72,59 @@ replay-smoke: build
 	  || { kill $$pid 2>/dev/null; echo "replay-smoke: client failed"; exit 1; }; \
 	wait $$pid; \
 	$(EXE) replay _build/replay_smoke/qlog.jsonl -g workloads/smoke/collab.graph
+
+# Long-horizon telemetry smoke gate. A healthy soak first: query and
+# update clients run concurrently with the sampler on a 0.2s period and
+# compressed SLO windows, then the live endpoints are scraped — the
+# timeseries document must carry all three retention resolutions and no
+# alert may fire on a healthy run. Then the crash path: SIGTERM the
+# server while a query client is mid-flight and require a readable
+# postmortem artifact (exit 143 = 128+SIGTERM, reason recorded).
+# Invokes $(EXE) directly for the same build-lock reason as
+# replay-smoke.
+soak-smoke: build
+	@rm -rf _build/soak_smoke && mkdir -p _build/soak_smoke/pm
+	@EXPFINDER_QLOG=_build/soak_smoke/qlog.jsonl \
+	 EXPFINDER_TIMESERIES=_build/soak_smoke/ts.jsonl \
+	 EXPFINDER_POSTMORTEM_DIR=_build/soak_smoke/pm \
+	 EXPFINDER_SAMPLE_PERIOD_S=0.2 \
+	 EXPFINDER_SLO_FAST_S=5 EXPFINDER_SLO_SLOW_S=20 \
+	  $(EXE) serve -g workloads/smoke/collab.graph \
+	    --socket _build/soak_smoke/sock >/dev/null & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do \
+	  [ -S _build/soak_smoke/sock ] && break; sleep 0.05; \
+	done; \
+	$(EXE) client --socket _build/soak_smoke/sock \
+	  --insert 1,5 --delete 1,5 --repeat 10 >/dev/null & \
+	cpid=$$!; \
+	$(EXE) client --socket _build/soak_smoke/sock --ping \
+	  -q workloads/smoke/paper.pattern -q workloads/smoke/sa.pattern \
+	  --repeat 10 >/dev/null \
+	  || { kill $$pid $$cpid 2>/dev/null; echo "soak-smoke: query client failed"; exit 1; }; \
+	wait $$cpid \
+	  || { kill $$pid 2>/dev/null; echo "soak-smoke: update client failed"; exit 1; }; \
+	sleep 1; \
+	rings=$$($(EXE) get --socket _build/soak_smoke/sock /timeseries.json \
+	  | grep -c '"res_s"'); \
+	[ "$$rings" -ge 3 ] \
+	  || { kill $$pid 2>/dev/null; echo "soak-smoke: want >=3 timeseries resolutions, got $$rings"; exit 1; }; \
+	if $(EXE) get --socket _build/soak_smoke/sock /alerts.json \
+	  | grep -q '"firing": true'; then \
+	  kill $$pid 2>/dev/null; echo "soak-smoke: alert firing on a healthy run"; exit 1; fi; \
+	( $(EXE) client --socket _build/soak_smoke/sock \
+	    -q workloads/smoke/paper.pattern --repeat 200 >/dev/null 2>&1 & ); \
+	sleep 0.2; \
+	kill -TERM $$pid; \
+	wait $$pid; code=$$?; \
+	[ $$code -eq 143 ] \
+	  || { echo "soak-smoke: server exit $$code, want 143"; exit 1; }; \
+	pm=$$(ls _build/soak_smoke/pm/postmortem-*.json 2>/dev/null | head -n1); \
+	[ -n "$$pm" ] \
+	  || { echo "soak-smoke: no postmortem artifact written"; exit 1; }; \
+	$(EXE) postmortem "$$pm" | grep -q "SIGTERM" \
+	  || { echo "soak-smoke: postmortem unreadable or missing its reason"; exit 1; }; \
+	echo "soak-smoke: ok ($$pm)"
 
 bench:
 	dune exec bench/main.exe

@@ -14,6 +14,7 @@ open Expfinder_compression
 open Expfinder_engine
 module Telemetry = Expfinder_telemetry
 module Server = Expfinder_server
+module Dashboard = Expfinder_dashboard.Dashboard
 module Collab = Expfinder_workload.Collab
 module Synthetic = Expfinder_workload.Synthetic
 module Twitter = Expfinder_workload.Twitter
@@ -127,17 +128,22 @@ let import verbose edges_file label exp_max seed output =
 
 (* --- stats ------------------------------------------------------------------ *)
 
+(* One-shot HTTP fetch with every transport failure folded into the
+   result: [sockaddr] raises [Failure] on unresolvable hosts, which
+   previously escaped as an uncaught exception from [stats --server]. *)
+let http_get_result spec endpoint path =
+  match Server.http_get endpoint path with
+  | Ok r -> Ok r
+  | Error e -> err "cannot reach %s: %s" spec e
+  | exception Unix.Unix_error (e, fn, _) ->
+    err "cannot reach %s: %s: %s" spec fn (Unix.error_message e)
+  | exception Failure msg -> err "cannot reach %s: %s" spec msg
+
 (* The live half of [stats]: fetch /stats.json from a running
    [expfinder serve] and print the sliding-window SLO summary. *)
 let stats_from_server spec json =
   let* endpoint = Server.endpoint_of_string spec in
-  let* status, body =
-    match Server.http_get endpoint "/stats.json" with
-    | Ok r -> Ok r
-    | Error e -> err "cannot reach %s: %s" spec e
-    | exception Unix.Unix_error (e, fn, _) ->
-      err "cannot reach %s: %s: %s" spec fn (Unix.error_message e)
-  in
+  let* status, body = http_get_result spec endpoint "/stats.json" in
   let* () = if status = 200 then Ok () else err "server answered HTTP %d" status in
   if json then begin
     print_string body;
@@ -167,12 +173,36 @@ let stats_from_server spec json =
     (match member "process" doc with
     | Some (Obj fields) ->
       let gauge name = Option.value ~default:0 (Option.bind (List.assoc_opt name fields) int_opt) in
-      Printf.printf "process: rss %.1f MiB, heap %.1f MiB, gc %d minor / %d major\n"
+      Printf.printf "process: rss %.1f MiB, heap %.1f MiB, gc %d minor / %d major, up %ds\n"
         (float_of_int (gauge "process.rss_bytes") /. 1048576.0)
         (float_of_int (gauge "process.heap_words" * (Sys.word_size / 8)) /. 1048576.0)
         (gauge "process.gc_minor_collections")
         (gauge "process.gc_major_collections")
+        (gauge "uptime.seconds")
     | _ -> ());
+    (* Older servers serve /stats.json without the alerts member; stay
+       silent rather than failing the whole summary. *)
+    (match member "alerts" doc with
+    | Some alerts_doc -> (
+      match Dashboard.firing_alerts alerts_doc with
+      | [] ->
+        let n =
+          match Option.bind (member "alerts" alerts_doc) list_opt with
+          | Some l -> List.length l
+          | None -> 0
+        in
+        if n > 0 then Printf.printf "alerts: %d configured, none firing\n" n
+      | firing ->
+        List.iter
+          (fun a ->
+            let str name = Option.value ~default:"?" (Option.bind (member name a) str_opt) in
+            let burn name =
+              Option.value ~default:nan (Option.bind (member name a) float_opt)
+            in
+            Printf.printf "ALERT %s (op %s): burn fast %.1fx, slow %.1fx\n" (str "name")
+              (str "op") (burn "burn_fast") (burn "burn_slow"))
+          firing)
+    | None -> ());
     Ok ()
 
 let stats verbose graph_file server query_file json recent =
@@ -539,8 +569,33 @@ let serve_run verbose graph_file socket_spec max_connections =
      (* SIGPIPE would kill the server when a client disconnects mid-write;
         the write errors are handled per-connection instead. *)
      (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+     (* Long-horizon telemetry: GC pause attribution via the runtime's
+        own event ring (opt out with EXPFINDER_GC_EVENTS=0) and
+        statistical allocation attribution when EXPFINDER_MEMPROF_RATE
+        is set.  Both stay inert for every other subcommand. *)
+     if Sys.getenv_opt "EXPFINDER_GC_EVENTS" <> Some "0" then
+       ignore (Telemetry.Gcpause.start () : bool);
+     ignore (Telemetry.Alloc.start_from_env () : bool);
+     let sample_period =
+       match Option.bind (Sys.getenv_opt "EXPFINDER_SAMPLE_PERIOD_S") float_of_string_opt with
+       | Some p -> p
+       | None -> 1.0
+     in
+     (* A fatal signal must leave a postmortem artifact before the
+        process dies (when EXPFINDER_POSTMORTEM_DIR is set).  Exit codes
+        mirror the default dispositions (128 + signo). *)
+     let on_signal signo name =
+       Sys.Signal_handle
+         (fun _ ->
+           ignore (Telemetry.Postmortem.write ~reason:("signal " ^ name) () : string option);
+           Stdlib.exit (128 + signo))
+     in
+     if Telemetry.Postmortem.dir () <> None then begin
+       (try Sys.set_signal Sys.sigterm (on_signal 15 "SIGTERM") with Invalid_argument _ -> ());
+       try Sys.set_signal Sys.sigint (on_signal 2 "SIGINT") with Invalid_argument _ -> ()
+     end;
      match
-       Server.serve ~max_connections
+       Server.serve ~max_connections ~sample_period
          ~on_listen:(fun () ->
            Printf.printf "serving %s on %s\n%!" graph_file (Server.endpoint_to_string endpoint))
          engine endpoint
@@ -550,7 +605,7 @@ let serve_run verbose graph_file socket_spec max_connections =
        Ok ()
      | exception Unix.Unix_error (e, fn, _) -> err "serve: %s: %s" fn (Unix.error_message e))
 
-let client_run verbose socket_spec ping query_files batch_file repeat shutdown =
+let client_run verbose socket_spec ping query_files batch_file inserts deletes repeat shutdown =
   setup_logs verbose;
   or_die
     (let* endpoint = Server.endpoint_of_string socket_spec in
@@ -585,7 +640,33 @@ let client_run verbose socket_spec ping query_files batch_file repeat shutdown =
                ];
            ]
      in
-     let round = queries @ batch_req in
+     let* update_req =
+       let* del =
+         List.fold_left
+           (fun acc t -> Result.bind acc (fun l -> Result.map (fun e -> e :: l) (parse_edge t)))
+           (Ok []) deletes
+       in
+       let* ins =
+         List.fold_left
+           (fun acc t -> Result.bind acc (fun l -> Result.map (fun e -> e :: l) (parse_edge t)))
+           (Ok []) inserts
+       in
+       let ops =
+         List.map (fun (u, v) -> Update.Delete_edge (u, v)) (List.rev del)
+         @ List.map (fun (u, v) -> Update.Insert_edge (u, v)) (List.rev ins)
+       in
+       if ops = [] then Ok []
+       else
+         Ok
+           [
+             Telemetry.Json.Obj
+               [
+                 ("op", Telemetry.Json.Str "update");
+                 ("ops", Telemetry.Json.Arr (List.map Update.to_json ops));
+               ];
+           ]
+     in
+     let round = queries @ batch_req @ update_req in
      let requests =
        (if ping then [ Telemetry.Json.Obj [ ("op", Telemetry.Json.Str "ping") ] ] else [])
        @ List.concat (List.init (max 1 repeat) (fun _ -> round))
@@ -646,6 +727,109 @@ let replay_run verbose graph_file log_file report_file =
      if summary.Replay.mismatches > 0 then
        err "replay: %d answer digest mismatch(es) against %s" summary.Replay.mismatches log_file
      else Ok ())
+
+(* --- get / top / postmortem / timeseries ------------------------------------- *)
+
+(* Raw observability scrape: the plumbing `stats --server` and `top`
+   share, exposed directly so scripts (and the soak-smoke target) can
+   assert on endpoint bodies without parsing our pretty-printers. *)
+let get_run verbose socket_spec path =
+  setup_logs verbose;
+  or_die
+    (let* endpoint = Server.endpoint_of_string socket_spec in
+     let* status, body = http_get_result socket_spec endpoint path in
+     print_string body;
+     if status = 200 then Ok () else err "server answered HTTP %d for %s" status path)
+
+let fetch_doc endpoint path =
+  match Server.http_get endpoint path with
+  | Ok (200, body) -> (
+    match Telemetry.Json.of_string body with Ok d -> Some d | Error _ -> None)
+  | Ok _ | Error _ -> None
+  | exception Unix.Unix_error _ -> None
+  | exception Failure _ -> None
+
+let top_run verbose socket_spec interval once width =
+  setup_logs verbose;
+  or_die
+    (let* endpoint = Server.endpoint_of_string socket_spec in
+     let poll () =
+       ( fetch_doc endpoint "/stats.json",
+         fetch_doc endpoint "/timeseries.json",
+         fetch_doc endpoint "/alerts.json" )
+     in
+     let frame (stats, timeseries, alerts) =
+       Dashboard.render ~width ?stats ?timeseries ?alerts ()
+     in
+     let first = poll () in
+     let* () =
+       match first with
+       | None, None, None -> err "cannot reach %s (no observability endpoint answered)" socket_spec
+       | _ -> Ok ()
+     in
+     if once then begin
+       print_string (frame first);
+       Ok ()
+     end
+     else
+       (* Repaint in place until interrupted; a poll that fails mid-run
+          degrades to placeholder cells instead of tearing the loop
+          down. *)
+       let rec loop docs =
+         print_string "\027[2J\027[H";
+         print_string (frame docs);
+         Printf.printf "\npolling %s every %.1fs — Ctrl-C to quit\n%!" socket_spec interval;
+         Unix.sleepf (Float.max 0.1 interval);
+         loop (poll ())
+       in
+       loop first)
+
+let postmortem_run verbose file json =
+  setup_logs verbose;
+  or_die
+    (let* doc =
+       match Telemetry.Postmortem.load file with
+       | Ok d -> Ok d
+       | Error e -> err "cannot load postmortem %s: %s" file e
+     in
+     if json then print_string (Telemetry.Json.to_string ~pretty:true doc)
+     else Format.printf "%a@." Telemetry.Postmortem.pp doc;
+     Ok ())
+
+let timeseries_run verbose file report_file =
+  setup_logs verbose;
+  or_die
+    (let* ticks =
+       match Telemetry.Timeseries.load file with
+       | Ok t -> Ok t
+       | Error e -> err "cannot load timeseries capture %s: %s" file e
+     in
+     let* () = if ticks = [] then err "timeseries capture %s holds no ticks" file else Ok () in
+     let series = Hashtbl.create 64 in
+     List.iter
+       (fun t ->
+         List.iter
+           (fun (name, v) ->
+             let n, _ = Option.value ~default:(0, 0.0) (Hashtbl.find_opt series name) in
+             Hashtbl.replace series name (n + 1, v))
+           t.Telemetry.Timeseries.fields)
+       ticks;
+     let t0 = (List.hd ticks).Telemetry.Timeseries.ts_unix in
+     let tn = (List.hd (List.rev ticks)).Telemetry.Timeseries.ts_unix in
+     Printf.printf "%s: %d ticks spanning %.1fs, %d series\n" file (List.length ticks)
+       (tn -. t0) (Hashtbl.length series);
+     let names = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) series []) in
+     List.iter
+       (fun name ->
+         let n, last = Hashtbl.find series name in
+         Printf.printf "  %-40s %5d ticks  last %g\n" name n last)
+       names;
+     (match report_file with
+     | None -> ()
+     | Some path ->
+       Telemetry.Report.write (Telemetry.Timeseries.report ticks) path;
+       Printf.printf "timeseries report written to %s\n" path);
+     Ok ())
 
 (* --- demo -------------------------------------------------------------------- *)
 
@@ -905,10 +1089,15 @@ let serve_cmd =
              "Loads the graph, builds one engine, and answers newline-delimited JSON requests \
               (ops: query, batch, update, ping, stats, shutdown) until a client sends \
               {\"op\": \"shutdown\"}.  HTTP GETs on the same socket serve /metrics (Prometheus \
-              text format), /healthz and /stats.json.";
+              text format), /healthz, /stats.json, /timeseries.json (multi-resolution \
+              retention rings) and /alerts.json (SLO burn-rate alerts).";
            `P
              "Set $(b,EXPFINDER_QLOG) to capture every served request in the structured query \
-              log, ready for $(b,expfinder replay).";
+              log, ready for $(b,expfinder replay); $(b,EXPFINDER_TIMESERIES) to persist one \
+              JSONL telemetry tick per sampler period; $(b,EXPFINDER_MEMPROF_RATE) to enable \
+              statistical allocation attribution; $(b,EXPFINDER_POSTMORTEM_DIR) to write a \
+              crash artifact on fatal signals and uncaught exceptions.  SLO objectives tune \
+              via EXPFINDER_SLO_* (see $(b,expfinder top)).";
          ])
     Term.(const serve_run $ verbose_arg $ graph_arg $ socket_arg $ max_connections)
 
@@ -926,10 +1115,22 @@ let client_cmd =
       & info [ "batch" ] ~docv:"FILE"
           ~doc:"Send the patterns of this batch file as one batch request.")
   in
+  let inserts =
+    Arg.(
+      value & opt_all string []
+      & info [ "insert" ] ~docv:"U,V"
+          ~doc:"Include edge insertion $(docv) in an update request (repeatable).")
+  in
+  let deletes =
+    Arg.(
+      value & opt_all string []
+      & info [ "delete" ] ~docv:"U,V"
+          ~doc:"Include edge deletion $(docv) in an update request (repeatable).")
+  in
   let repeat =
     Arg.(
       value & opt int 1
-      & info [ "repeat" ] ~docv:"N" ~doc:"Send the query/batch round $(docv) times.")
+      & info [ "repeat" ] ~docv:"N" ~doc:"Send the query/batch/update round $(docv) times.")
   in
   let shutdown =
     Arg.(value & flag & info [ "shutdown" ] ~doc:"Ask the server to shut down afterwards.")
@@ -937,7 +1138,82 @@ let client_cmd =
   Cmd.v
     (Cmd.info "client"
        ~doc:"Send requests to a running expfinder serve and print the JSON responses")
-    Term.(const client_run $ verbose_arg $ socket_arg $ ping $ queries $ batch $ repeat $ shutdown)
+    Term.(
+      const client_run $ verbose_arg $ socket_arg $ ping $ queries $ batch $ inserts $ deletes
+      $ repeat $ shutdown)
+
+let get_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"PATH"
+          ~doc:"HTTP path to fetch, e.g. /metrics, /stats.json, /timeseries.json, /alerts.json.")
+  in
+  Cmd.v
+    (Cmd.info "get"
+       ~doc:"Fetch one observability endpoint from a running expfinder serve and print the body")
+    Term.(const get_run $ verbose_arg $ socket_arg $ path)
+
+let top_cmd =
+  let interval =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval" ] ~docv:"SECONDS" ~doc:"Refresh period (default 2s).")
+  in
+  let once =
+    Arg.(value & flag & info [ "once" ] ~doc:"Paint a single frame and exit (no screen clear).")
+  in
+  let width =
+    Arg.(value & opt int 40 & info [ "width" ] ~docv:"COLS" ~doc:"Sparkline width in cells.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Live terminal dashboard for a running expfinder serve"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Polls /stats.json, /timeseries.json and /alerts.json and repaints one frame per \
+              interval: per-op QPS, error rate and p99 latency with QPS sparklines, firing SLO \
+              alerts with burn rates, and RSS / GC-pause trends from the retention rings.";
+         ])
+    Term.(const top_run $ verbose_arg $ socket_arg $ interval $ once $ width)
+
+let postmortem_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Postmortem artifact written to EXPFINDER_POSTMORTEM_DIR.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the raw artifact instead of the summary.")
+  in
+  Cmd.v
+    (Cmd.info "postmortem"
+       ~doc:"Pretty-print a crash artifact: alerts, windows, GC state and the flight recorder")
+    Term.(const postmortem_run $ verbose_arg $ file $ json)
+
+let timeseries_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"JSONL capture written via EXPFINDER_TIMESERIES.")
+  in
+  let report =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:
+            "Convert the capture to a bench report (one record per series), so two captures \
+             diff under $(b,expfinder bench-diff).")
+  in
+  Cmd.v
+    (Cmd.info "timeseries" ~doc:"Summarize a telemetry timeseries capture (EXPFINDER_TIMESERIES)")
+    Term.(const timeseries_run $ verbose_arg $ file $ report)
 
 let replay_cmd =
   let log_file =
@@ -988,6 +1264,10 @@ let main_cmd =
       update_cmd;
       serve_cmd;
       client_cmd;
+      get_cmd;
+      top_cmd;
+      postmortem_cmd;
+      timeseries_cmd;
       replay_cmd;
       demo_cmd;
     ]

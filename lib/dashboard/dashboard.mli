@@ -1,0 +1,33 @@
+open Expfinder_telemetry
+
+(** Pure rendering for the [expfinder top] terminal dashboard.
+
+    All functions map already-parsed JSON documents — the bodies of
+    [/stats.json], [/timeseries.json] and [/alerts.json] — to plain
+    strings, so the dashboard is unit-testable from canned documents
+    without a live server or a TTY.  The CLI loop in [bin/expfinder]
+    only polls the endpoints and repaints with {!render}. *)
+
+val sparkline : ?width:int -> float list -> string
+(** Render values as a row of eight-level block characters
+    (▁▂▃▄▅▆▇█), min-max normalised over the shown tail.  Keeps the last
+    [width] (default 40) finite values; an empty/all-NaN input yields
+    [""]; a constant series renders flat (low when zero). *)
+
+val series_tail : Json.t -> string -> float list
+(** Extract the "last" column of the named series from a parsed
+    [/timeseries.json] document, using the finest resolution that
+    carries the series.  Points come back oldest-first. *)
+
+val firing_alerts : Json.t -> Json.t list
+(** The alert objects with ["firing": true] from a parsed
+    [/alerts.json] (or the [alerts] member of [/stats.json]). *)
+
+val render :
+  ?width:int -> ?stats:Json.t -> ?timeseries:Json.t -> ?alerts:Json.t -> unit -> string
+(** Compose the full dashboard frame: header (graph/epoch/uptime),
+    alert status lines, a per-op-class table (qps, error rate, p99 and
+    a qps sparkline) and memory/GC gauges with trends.  Every input is
+    optional; missing documents degrade to ["-"] placeholders so the
+    dashboard still paints while the server is warming up or an
+    endpoint is unavailable. *)

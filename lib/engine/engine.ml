@@ -300,7 +300,7 @@ let batch_digest relations =
   Digest.to_hex
     (Digest.string (String.concat "" (List.map Match_relation.digest relations)))
 
-let evaluate t pattern =
+let evaluate_unlabelled t pattern =
   (* Flight recorder bookkeeping is always on (unlike profiles): snapshot
      the counter registry and the clock around the whole query. *)
   let rec_before = Metrics.counters_snapshot () in
@@ -338,6 +338,10 @@ let evaluate t pattern =
           (provenance_name provenance));
     { relation; total = Match_relation.is_total relation; provenance; profile }
 
+(* Allocation attribution: while the memprof sampler is active, bytes
+   allocated under each op class are charged to its label. *)
+let evaluate t pattern = Alloc.with_label "query" (fun () -> evaluate_unlabelled t pattern)
+
 (* ------------------------------------------------------------------ *)
 (* Batched evaluation                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -357,7 +361,7 @@ let evaluate t pattern =
    supersets of the planner's (which additionally prunes sinks), and the
    maximal kernel below any initial superset of it is the same
    fixpoint. *)
-let evaluate_batch t patterns =
+let evaluate_batch_unlabelled t patterns =
   Counter.incr m_batches;
   let rec_before = Metrics.counters_snapshot () in
   let rec_start = now_us () in
@@ -511,6 +515,9 @@ let evaluate_batch t patterns =
         | None -> assert false)
       patterns
 
+let evaluate_batch t patterns =
+  Alloc.with_label "batch" (fun () -> evaluate_batch_unlabelled t patterns)
+
 let result_graph t pattern =
   let answer = evaluate t pattern in
   let relation =
@@ -656,7 +663,7 @@ let apply_updates_inner t updates =
   (List.map (fun (_, inc) -> Incremental.sync_applied inc ~effective) t.registered,
    List.length effective)
 
-let apply_updates t updates =
+let apply_updates_unlabelled t updates =
   let rec_before = Metrics.counters_snapshot () in
   let rec_start = now_us () in
   (* The replayable payload is the *input* batch: no-ops are dropped at
@@ -677,6 +684,9 @@ let apply_updates t updates =
     qlog_emit t ~kind:Qlog.Update ~query:"update" ~strategy:"update" ~duration_ms ~counters
       ~pairs:effective_n ~digest:"" ?payload ();
     reports
+
+let apply_updates t updates =
+  Alloc.with_label "update" (fun () -> apply_updates_unlabelled t updates)
 
 let cache_stats t = (Cache.hits t.cache, Cache.misses t.cache)
 

@@ -72,6 +72,7 @@ let stats_json engine =
       ("epoch", Json.Int (Snapshot.epoch snap));
       ("windows", Json.Obj windows);
       ("process", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (process_stats ())));
+      ("alerts", Slo.to_json ());
       ("metrics", Metrics.to_json ());
       ("recorder", Recorder.to_json ());
     ]
@@ -199,6 +200,15 @@ let http_reply engine ~meth ~path =
     | "/healthz" -> (200, "text/plain; charset=utf-8", "ok\n")
     | "/stats.json" ->
       (200, "application/json; charset=utf-8", Json.to_string ~pretty:true (stats_json engine))
+    | "/timeseries.json" ->
+      (* Cap the per-series tails so the document stays a few hundred
+         KB even after hours of retention; postmortems carry the same
+         cap, and the full history lives in the JSONL sink. *)
+      ( 200,
+        "application/json; charset=utf-8",
+        Json.to_string ~pretty:true (Timeseries.to_json ~max_points:120 Timeseries.shared) )
+    | "/alerts.json" ->
+      (200, "application/json; charset=utf-8", Json.to_string ~pretty:true (Slo.to_json ()))
     | _ -> (404, "text/plain; charset=utf-8", Printf.sprintf "no such path: %s\n" path)
   in
   let body = if meth = "HEAD" then "" else body in
@@ -271,35 +281,67 @@ let handle_connection engine fd =
       | Unix.Unix_error _ -> ());
   !continue
 
-let serve ?(max_connections = max_int) ?on_listen engine endpoint =
+let serve ?(max_connections = max_int) ?(sample_period = 1.0) ?on_listen engine endpoint =
   let sock = Unix.socket (Unix.domain_of_sockaddr (sockaddr endpoint)) Unix.SOCK_STREAM 0 in
   (match endpoint with
   | Unix_socket path -> if Sys.file_exists path then Sys.remove path
   | Tcp _ -> Unix.setsockopt sock Unix.SO_REUSEADDR true);
   Unix.bind sock (sockaddr endpoint);
   Unix.listen sock 16;
+  (* The sampler thread drives long-horizon telemetry: one tick per
+     period pulls windows, process gauges, counters and allocation
+     attribution into the shared timeseries, then re-evaluates the SLO
+     burn rates.  A tick must never take the serving loop down, so it
+     swallows everything. *)
+  let stop_sampler = ref false in
+  if sample_period > 0.0 then
+    ignore
+      (Thread.create
+         (fun () ->
+           while not !stop_sampler do
+             (try
+                ignore (Timeseries.sample Timeseries.shared : (string * float) list);
+                ignore (Slo.evaluate () : Slo.alert list)
+              with _ -> ());
+             Thread.delay sample_period
+           done)
+         ()
+        : Thread.t);
   (match on_listen with Some f -> f () | None -> ());
   Log.info (fun m -> m "serving on %s" (endpoint_to_string endpoint));
   let continue = ref true in
   let served = ref 0 in
-  while !continue && !served < max_connections do
-    match Unix.accept sock with
-    | client, _addr ->
-      incr served;
-      (* A wedged client must not hang the single-threaded loop forever. *)
-      (try Unix.setsockopt_float client Unix.SO_RCVTIMEO 30.0 with Unix.Unix_error _ -> ());
-      if not (handle_connection engine client) then continue := false
-    | exception
-        Unix.Unix_error
-          ((Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-      (* Transient accept failures (interrupted, client gone before the
-         handshake finished) must not stop the service. *)
-      ()
-  done;
-  (try Unix.close sock with Unix.Unix_error _ -> ());
-  match endpoint with
-  | Unix_socket path -> ( try Sys.remove path with Sys_error _ -> ())
-  | Tcp _ -> ()
+  Fun.protect
+    ~finally:(fun () ->
+      stop_sampler := true;
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      match endpoint with
+      | Unix_socket path -> ( try Sys.remove path with Sys_error _ -> ())
+      | Tcp _ -> ())
+    (fun () ->
+      try
+        while !continue && !served < max_connections do
+          match Unix.accept sock with
+          | client, _addr ->
+            incr served;
+            (* A wedged client must not hang the single-threaded loop forever. *)
+            (try Unix.setsockopt_float client Unix.SO_RCVTIMEO 30.0 with Unix.Unix_error _ -> ());
+            if not (handle_connection engine client) then continue := false
+          | exception
+              Unix.Unix_error
+                ((Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            (* Transient accept failures (interrupted, client gone before the
+               handshake finished) must not stop the service. *)
+            ()
+        done
+      with e ->
+        (* An exception escaping the accept loop is a server crash:
+           leave a postmortem artifact (when EXPFINDER_POSTMORTEM_DIR is
+           configured) before letting it propagate. *)
+        ignore
+          (Postmortem.write ~reason:("uncaught exception: " ^ Printexc.to_string e) ()
+            : string option);
+        raise e)
 
 (* ------------------------------------------------------------------ *)
 (* Client side *)

@@ -8,8 +8,11 @@ open Expfinder_telemetry
 
     Protocol sniffing: the first line of each connection decides how it
     is handled.  [GET]/[HEAD] request lines get a one-shot HTTP answer
-    ([/metrics] in Prometheus text format, [/healthz], [/stats.json])
-    and the connection closes; any other first line starts a JSONL
+    ([/metrics] in Prometheus text format, [/healthz], [/stats.json],
+    [/timeseries.json] — the multi-resolution retention rings, capped
+    at 120 points per series per resolution — and [/alerts.json] — the
+    current SLO burn-rate alert states) and the connection closes; any
+    other first line starts a JSONL
     request loop — one JSON object per line in, one per line out —
     until the client disconnects or sends [{"op": "shutdown"}].
 
@@ -40,17 +43,32 @@ val endpoint_to_string : endpoint -> string
 val stats_json : Engine.t -> Json.t
 (** The live stats document served at [/stats.json]: snapshot identity
     ([graph_id]/[epoch]), one {!Window.summary_json} per operation
-    class under [windows], process gauges, the metric registry and the
+    class under [windows], process gauges, the current SLO alert
+    document under [alerts], the metric registry and the
     flight-recorder ring. *)
 
-val serve : ?max_connections:int -> ?on_listen:(unit -> unit) -> Engine.t -> endpoint -> unit
+val serve :
+  ?max_connections:int ->
+  ?sample_period:float ->
+  ?on_listen:(unit -> unit) ->
+  Engine.t ->
+  endpoint ->
+  unit
 (** Bind, listen and answer connections sequentially until a client
     sends [{"op": "shutdown"}] (or [max_connections] connections have
     been served — a test hook).  [on_listen] runs once the socket is
     bound and listening, before the first [accept] (the CLI prints its
     readiness line there).  A pre-existing Unix-socket path is removed
     before binding and the path is unlinked on exit; TCP sockets set
-    [SO_REUSEADDR].  Per-connection read timeout: 30s. *)
+    [SO_REUSEADDR].  Per-connection read timeout: 30s.
+
+    A background sampler thread ticks every [sample_period] seconds
+    (default 1.0; [<= 0.] disables it): each tick feeds the shared
+    {!Timeseries} store (and its JSONL sink, when configured) and
+    re-evaluates the {!Slo} burn-rate alerts.  If an exception escapes
+    the accept loop, a {!Postmortem} artifact is written (when
+    [EXPFINDER_POSTMORTEM_DIR] is set) before the exception
+    propagates. *)
 
 (** {1 Client helpers} (used by [expfinder client]/[stats --server] and
     the serve tests) *)

@@ -11,6 +11,10 @@ let set_enabled b = on := b
 
 let enabled () = !on
 
+(* Process start time, captured at module initialisation: the base of
+   the uptime gauge and the postmortem header. *)
+let start_unix = Unix.gettimeofday ()
+
 let now_us () = 1e6 *. Unix.gettimeofday ()
 
 let time f =
@@ -1004,6 +1008,178 @@ module Recorder = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* GC pause observation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Gcpause = struct
+  (* Self-monitoring through [Runtime_events]: the OCaml runtime
+     publishes begin/end pairs for GC phases into a per-process ring
+     buffer which the sampler polls.  Everything is best-effort — if the
+     ring cannot be created the module stays inert and the pause gauges
+     read zero, because observability must never take the service down
+     with it. *)
+  type session = {
+    cursor : Runtime_events.cursor;
+    callbacks : Runtime_events.Callbacks.t;
+  }
+
+  let session : session option ref = ref None
+
+  let total_ns = ref 0
+
+  let max_ns = ref 0
+
+  let slices = ref 0
+
+  (* Open begin-events keyed by (domain, phase): minor and major slices
+     can interleave across domains, so each pair is matched separately. *)
+  let opens : (int * Runtime_events.runtime_phase, int64) Hashtbl.t = Hashtbl.create 8
+
+  let interesting (phase : Runtime_events.runtime_phase) =
+    match phase with Runtime_events.EV_MINOR | Runtime_events.EV_MAJOR -> true | _ -> false
+
+  let on_begin domain ts phase =
+    if interesting phase then
+      Hashtbl.replace opens (domain, phase) (Runtime_events.Timestamp.to_int64 ts)
+
+  let on_end domain ts phase =
+    if interesting phase then
+      match Hashtbl.find_opt opens (domain, phase) with
+      | None -> ()
+      | Some t0 ->
+        Hashtbl.remove opens (domain, phase);
+        let dur = Int64.to_int (Int64.sub (Runtime_events.Timestamp.to_int64 ts) t0) in
+        if dur > 0 then begin
+          total_ns := !total_ns + dur;
+          if dur > !max_ns then max_ns := dur;
+          incr slices
+        end
+
+  let start () =
+    match !session with
+    | Some _ -> true
+    | None -> (
+      try
+        (* The events ring is backed by a <pid>.events file; keep it out
+           of the working directory unless the user picked a spot. *)
+        if Sys.getenv_opt "OCAML_RUNTIME_EVENTS_DIR" = None then
+          Unix.putenv "OCAML_RUNTIME_EVENTS_DIR" (Filename.get_temp_dir_name ());
+        Runtime_events.start ();
+        let cursor = Runtime_events.create_cursor None in
+        let callbacks =
+          Runtime_events.Callbacks.create ~runtime_begin:on_begin ~runtime_end:on_end ()
+        in
+        session := Some { cursor; callbacks };
+        true
+      with _ -> false)
+
+  let active () = !session <> None
+
+  let poll () =
+    match !session with
+    | None -> ()
+    | Some s -> (
+      try ignore (Runtime_events.read_poll s.cursor s.callbacks None : int) with _ -> ())
+
+  let pause_us_total () = !total_ns / 1000
+
+  let pause_us_max () = !max_ns / 1000
+
+  let observed_slices () = !slices
+end
+
+(* ------------------------------------------------------------------ *)
+(* Allocation attribution                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Alloc = struct
+  (* Statistical allocation attribution via [Gc.Memprof]: every sampled
+     block is scaled by 1/rate words and charged to the innermost active
+     label ("query", "batch", "update", or "other").  The estimate's
+     relative error shrinks as allocation volume grows, which is exactly
+     when attribution matters. *)
+  let labels : string list ref = ref []
+
+  let current_label () = match !labels with l :: _ -> l | [] -> "other"
+
+  let pop () = labels := (match !labels with _ :: t -> t | [] -> [])
+
+  let with_label label f =
+    labels := label :: !labels;
+    match f () with
+    | v ->
+      pop ();
+      v
+    | exception e ->
+      pop ();
+      raise e
+
+  let table : (string, int ref) Hashtbl.t = Hashtbl.create 8
+
+  let sampling_rate = ref 0.0
+
+  let profiling = ref false
+
+  let word_bytes = Sys.word_size / 8
+
+  let charge (alloc : Gc.Memprof.allocation) =
+    let words = float_of_int alloc.Gc.Memprof.n_samples /. !sampling_rate in
+    let bytes = int_of_float (words *. float_of_int word_bytes) in
+    (match Hashtbl.find_opt table (current_label ()) with
+    | Some cell -> cell := !cell + bytes
+    | None -> Hashtbl.replace table (current_label ()) (ref bytes));
+    None
+
+  let start ~rate () =
+    if !profiling || rate <= 0.0 || rate > 1.0 then false
+    else begin
+      sampling_rate := rate;
+      let tracker =
+        { Gc.Memprof.null_tracker with Gc.Memprof.alloc_minor = charge; alloc_major = charge }
+      in
+      (* Some runtimes ship the [Gc.Memprof] interface but refuse to
+         start it (OCaml 5.0/5.1 raise ["not implemented in multicore"];
+         statmemprof returns in 5.2).  Attribution is an opt-in extra,
+         so degrade to inert rather than failing the process that asked
+         for it. *)
+      match Gc.Memprof.start ~sampling_rate:rate ~callstack_size:0 tracker with
+      | () ->
+        profiling := true;
+        true
+      | exception _ -> false
+    end
+
+  let stop () =
+    if !profiling then begin
+      Gc.Memprof.stop ();
+      profiling := false
+    end
+
+  let active () = !profiling
+
+  let rate () = if active () then Some !sampling_rate else None
+
+  let start_from_env () =
+    match Option.bind (Sys.getenv_opt "EXPFINDER_MEMPROF_RATE") float_of_string_opt with
+    | Some r when r > 0.0 -> start ~rate:(Float.min 1.0 r) ()
+    | Some _ | None -> false
+
+  let bytes_by_label () =
+    Hashtbl.fold (fun label cell acc -> (label, !cell) :: acc) table [] |> List.sort compare
+
+  let reset () = Hashtbl.reset table
+
+  let to_json () =
+    Json.Obj
+      [
+        ("active", Json.Bool (active ()));
+        ("rate", if active () then Json.Float !sampling_rate else Json.Null);
+        ( "bytes_by_label",
+          Json.Obj (List.map (fun (label, b) -> (label, Json.Int b)) (bytes_by_label ())) );
+      ]
+end
+
+(* ------------------------------------------------------------------ *)
 (* Process gauges                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -1043,13 +1219,20 @@ let rss_bytes () =
     | _ -> 0)
 
 let process_stats () =
+  Gcpause.poll ();
   let gc = Gc.quick_stat () in
   let stats =
     [
       ("process.rss_bytes", rss_bytes ());
       ("process.heap_words", gc.Gc.heap_words);
+      ("process.minor_words", int_of_float gc.Gc.minor_words);
+      ("process.major_words", int_of_float gc.Gc.major_words);
       ("process.gc_minor_collections", gc.Gc.minor_collections);
       ("process.gc_major_collections", gc.Gc.major_collections);
+      ("process.gc_pause_us_total", Gcpause.pause_us_total ());
+      ("process.gc_pause_us_max", Gcpause.pause_us_max ());
+      ("process.start_time_unix", int_of_float start_unix);
+      ("uptime.seconds", int_of_float (Float.max 0.0 (Unix.gettimeofday () -. start_unix)));
     ]
   in
   List.iter (fun (name, v) -> Gauge.set (Metrics.gauge ~always:true name) v) stats;
@@ -1079,7 +1262,15 @@ module Window = struct
     bhist : int array;
   }
 
-  type t = { wname : string; wseconds : int; ring : bucket array }
+  type t = {
+    wname : string;
+    wseconds : int;
+    ring : bucket array;
+    (* Lifetime totals, never reclaimed with the ring: the timeseries
+       sampler differentiates them into per-tick request/error rates. *)
+    mutable total_count : int;
+    mutable total_errors : int;
+  }
 
   let fresh_bucket () =
     {
@@ -1094,13 +1285,21 @@ module Window = struct
 
   let create ?(seconds = default_seconds) wname =
     let seconds = Stdlib.max 1 seconds in
-    { wname; wseconds = seconds; ring = Array.init seconds (fun _ -> fresh_bucket ()) }
+    {
+      wname;
+      wseconds = seconds;
+      ring = Array.init seconds (fun _ -> fresh_bucket ());
+      total_count = 0;
+      total_errors = 0;
+    }
 
   let name t = t.wname
 
   let seconds t = t.wseconds
 
   let reset t =
+    t.total_count <- 0;
+    t.total_errors <- 0;
     Array.iter
       (fun b ->
         b.sec <- -1;
@@ -1132,8 +1331,12 @@ module Window = struct
     b.bcount <- b.bcount + 1;
     if error then b.berrors <- b.berrors + 1;
     b.bsum <- b.bsum +. ms;
+    t.total_count <- t.total_count + 1;
+    if error then t.total_errors <- t.total_errors + 1;
     let i = Histogram.bucket_of ms in
     b.bhist.(i) <- b.bhist.(i) + 1
+
+  let totals t = (t.total_count, t.total_errors)
 
   type summary = {
     window_s : int;
@@ -1256,20 +1459,112 @@ module Window = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Shared JSONL sink                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Appending, size-capped JSONL writer shared by the query log and the
+   timeseries log.  The channel opens lazily on the first emit so merely
+   importing the library never touches the filesystem; crossing the size
+   ceiling rotates the live file to "<path>.1" (one archived
+   generation); I/O failures (unwritable path, full disk) disable the
+   sink with one stderr warning instead of raising into the serving
+   path.  Pointing at a new path re-arms the warning. *)
+module Jsonl_sink = struct
+  type t = {
+    label : string;
+    mutable path : string option;
+    mutable chan : out_channel option;
+    mutable written : int;
+    mutable max_bytes : int;
+    mutable warned : bool;
+  }
+
+  (* An empty path means "no sink": ENV= must behave like an unset
+     variable, not like a log named "". *)
+  let normalize = function Some "" -> None | other -> other
+
+  let default_max_bytes = 64 * 1024 * 1024
+
+  let create ?(max_bytes = default_max_bytes) ~label path =
+    { label; path = normalize path; chan = None; written = 0; max_bytes; warned = false }
+
+  let close t =
+    Option.iter close_out_noerr t.chan;
+    t.chan <- None;
+    t.written <- 0
+
+  let set_path t path =
+    close t;
+    t.warned <- false;
+    t.path <- normalize path
+
+  let path t = t.path
+
+  let enabled t = t.path <> None
+
+  let set_max_bytes t n = t.max_bytes <- Stdlib.max 4096 n
+
+  let max_bytes t = t.max_bytes
+
+  let rotated_path p = p ^ ".1"
+
+  let disable t exn =
+    if not t.warned then begin
+      t.warned <- true;
+      Printf.eprintf "expfinder: %s disabled: %s\n%!" t.label (Printexc.to_string exn)
+    end;
+    close t;
+    t.path <- None
+
+  let open_chan t p =
+    let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 p in
+    t.chan <- Some oc;
+    t.written <- out_channel_length oc
+
+  let rotate t p =
+    close t;
+    (try Sys.remove (rotated_path p) with Sys_error _ -> ());
+    (try Sys.rename p (rotated_path p) with Sys_error _ -> ());
+    open_chan t p
+
+  (* [line] is one JSON document without the trailing newline. *)
+  let emit t line =
+    match t.path with
+    | None -> ()
+    | Some p -> (
+      try
+        if t.chan = None then open_chan t p;
+        if t.written > 0 && t.written + String.length line + 1 > t.max_bytes then rotate t p;
+        match t.chan with
+        | Some oc ->
+          output_string oc line;
+          output_char oc '\n';
+          flush oc;
+          t.written <- t.written + String.length line + 1
+        | None -> ()
+      with (Sys_error _ | Unix.Unix_error _) as exn -> disable t exn)
+end
+
+(* ------------------------------------------------------------------ *)
 (* Query log                                                            *)
 (* ------------------------------------------------------------------ *)
 
 module Qlog = struct
   let schema_version = 1
 
-  type kind = Query | Batch | Update
+  type kind = Query | Batch | Update | Alert
 
-  let kind_name = function Query -> "query" | Batch -> "batch" | Update -> "update"
+  let kind_name = function
+    | Query -> "query"
+    | Batch -> "batch"
+    | Update -> "update"
+    | Alert -> "alert"
 
   let kind_of_name = function
     | "query" -> Some Query
     | "batch" -> Some Batch
     | "update" -> Some Update
+    | "alert" -> Some Alert
     | _ -> None
 
   type event = {
@@ -1289,60 +1584,30 @@ module Qlog = struct
     payload : Json.t option;
   }
 
-  (* Sink configuration: a path (env-seeded), a size ceiling, and one
-     archived generation.  The channel opens lazily on the first emit so
-     merely importing the library never touches the filesystem. *)
-  (* An empty path means "no sink": EXPFINDER_QLOG= must behave like an
-     unset variable, not like a log named "". *)
-  let normalize_sink = function Some "" -> None | other -> other
+  (* Sink configuration (env-seeded path, size ceiling, one archived
+     generation) lives in a {!Jsonl_sink}; this module only builds the
+     event lines. *)
+  let sink_t =
+    Jsonl_sink.create ~label:"query log"
+      ~max_bytes:
+        (match Option.bind (Sys.getenv_opt "EXPFINDER_QLOG_MAX_BYTES") int_of_string_opt with
+        | Some n when n >= 4096 -> n
+        | Some _ | None -> Jsonl_sink.default_max_bytes)
+      (Sys.getenv_opt "EXPFINDER_QLOG")
 
-  let sink_path = ref (normalize_sink (Sys.getenv_opt "EXPFINDER_QLOG"))
+  let max_bytes () = Jsonl_sink.max_bytes sink_t
 
-  let default_max_bytes = 64 * 1024 * 1024
-
-  let max_bytes_ref =
-    ref
-      (match Option.bind (Sys.getenv_opt "EXPFINDER_QLOG_MAX_BYTES") int_of_string_opt with
-      | Some n when n >= 4096 -> n
-      | Some _ | None -> default_max_bytes)
-
-  let max_bytes () = !max_bytes_ref
-
-  let set_max_bytes n = max_bytes_ref := Stdlib.max 4096 n
-
-  let chan : out_channel option ref = ref None
-
-  let written = ref 0
+  let set_max_bytes n = Jsonl_sink.set_max_bytes sink_t n
 
   let next_seq = ref 0
 
-  let close () =
-    Option.iter close_out_noerr !chan;
-    chan := None;
-    written := 0
+  let close () = Jsonl_sink.close sink_t
 
-  (* Sink I/O failures (unwritable path, full disk) must not raise into
-     the serving path: the sink is disabled with one stderr warning and
-     queries keep being answered.  Pointing at a new sink re-arms the
-     warning. *)
-  let warned = ref false
+  let set_sink path = Jsonl_sink.set_path sink_t path
 
-  let disable_sink exn =
-    if not !warned then begin
-      warned := true;
-      Printf.eprintf "expfinder: query log disabled: %s\n%!" (Printexc.to_string exn)
-    end;
-    close ();
-    sink_path := None
+  let sink () = Jsonl_sink.path sink_t
 
-  let set_sink path =
-    close ();
-    warned := false;
-    sink_path := normalize_sink path
-
-  let sink () = !sink_path
-
-  let enabled () = !sink_path <> None
+  let enabled () = Jsonl_sink.enabled sink_t
 
   let event_json e =
     Json.Obj
@@ -1402,24 +1667,9 @@ module Qlog = struct
     | Some (Json.Int v) -> Error (Printf.sprintf "unsupported qlog schema version %d" v)
     | Some _ | None -> Error "not a qlog event (no integer \"v\" field)"
 
-  let rotated_path path = path ^ ".1"
-
-  let open_sink path =
-    let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path in
-    chan := Some oc;
-    written := out_channel_length oc
-
-  let rotate path =
-    close ();
-    (try Sys.remove (rotated_path path) with Sys_error _ -> ());
-    (try Sys.rename path (rotated_path path) with Sys_error _ -> ());
-    open_sink path
-
   let emit ~kind ~graph_id ~epoch ~query ~strategy ~duration_ms ~counters ~pairs ~digest
       ?error ?payload () =
-    match !sink_path with
-    | None -> ()
-    | Some path ->
+    if Jsonl_sink.enabled sink_t then begin
       let seq = !next_seq in
       next_seq := seq + 1;
       let slow =
@@ -1443,17 +1693,8 @@ module Qlog = struct
           payload;
         }
       in
-      let line = Json.to_string (event_json e) ^ "\n" in
-      (try
-         if !chan = None then open_sink path;
-         if !written > 0 && !written + String.length line > !max_bytes_ref then rotate path;
-         match !chan with
-         | Some oc ->
-           output_string oc line;
-           flush oc;
-           written := !written + String.length line
-         | None -> ()
-       with (Sys_error _ | Unix.Unix_error _) as exn -> disable_sink exn)
+      Jsonl_sink.emit sink_t (Json.to_string (event_json e))
+    end
 
   let load path =
     match
@@ -1480,6 +1721,607 @@ module Qlog = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Time series retention                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Timeseries = struct
+  let schema_version = 1
+
+  (* Rate series hold per-tick deltas of a cumulative source (requests,
+     errors, allocated words); Level series hold instantaneous readings
+     (qps, latency quantiles, rss).  The distinction matters on
+     downsampling: a coarse slot's [sum] is the honest aggregate of a
+     rate, while its [last]/[vmin]/[vmax] describe a level. *)
+  type kind = Rate | Level
+
+  let kind_name = function Rate -> "rate" | Level -> "level"
+
+  type series = {
+    skind : kind;
+    scount : int array;
+    ssum : float array;
+    smin : float array;
+    smax : float array;
+    slast : float array;
+  }
+
+  (* One ring per resolution.  [stamp.(i)] holds the slot id
+     (sec / res_s) currently stored at index i, so wrap-around
+     invalidation is a single integer compare and stale slots are simply
+     skipped on read; every record feeds all rings, which makes the
+     coarse resolutions exact downsamples of the fine one. *)
+  type ring = {
+    res_s : int;
+    slots : int;
+    stamp : int array;
+    sdata : (string, series) Hashtbl.t;
+  }
+
+  type t = {
+    rings : ring array; (* ascending res_s *)
+    mutable rev_names : string list; (* registration order, reversed *)
+    kinds : (string, kind) Hashtbl.t;
+    (* Sampler state: last value of each cumulative source, for rates. *)
+    prev : (string, float) Hashtbl.t;
+  }
+
+  let default_resolutions = [ (1, 120); (10, 360); (60, 720) ]
+
+  let create ?(resolutions = default_resolutions) () =
+    let resolutions =
+      List.sort_uniq compare (List.map (fun (r, s) -> (Stdlib.max 1 r, Stdlib.max 2 s)) resolutions)
+    in
+    let ring_of (res_s, slots) =
+      { res_s; slots; stamp = Array.make slots (-1); sdata = Hashtbl.create 32 }
+    in
+    {
+      rings = Array.of_list (List.map ring_of resolutions);
+      rev_names = [];
+      kinds = Hashtbl.create 32;
+      prev = Hashtbl.create 32;
+    }
+
+  let resolutions t = Array.to_list (Array.map (fun r -> (r.res_s, r.slots)) t.rings)
+
+  let names t = List.rev t.rev_names
+
+  let kind_of t name = Hashtbl.find_opt t.kinds name
+
+  let series_for t ring name kind =
+    match Hashtbl.find_opt ring.sdata name with
+    | Some s -> s
+    | None ->
+      if not (Hashtbl.mem t.kinds name) then begin
+        Hashtbl.replace t.kinds name kind;
+        t.rev_names <- name :: t.rev_names
+      end;
+      let n = ring.slots in
+      let s =
+        {
+          skind = kind;
+          scount = Array.make n 0;
+          ssum = Array.make n 0.0;
+          smin = Array.make n 0.0;
+          smax = Array.make n 0.0;
+          slast = Array.make n 0.0;
+        }
+      in
+      Hashtbl.add ring.sdata name s;
+      s
+
+  let record ?now t kind name v =
+    if Float.is_finite v then begin
+      let sec = int_of_float (match now with Some n -> n | None -> Window.wall_seconds ()) in
+      Array.iter
+        (fun ring ->
+          let slot = sec / ring.res_s in
+          let idx = slot mod ring.slots in
+          if ring.stamp.(idx) <> slot then begin
+            (* The slot id moved on: reclaim this index in every series
+               of the ring before the first write of the new slot. *)
+            ring.stamp.(idx) <- slot;
+            Hashtbl.iter
+              (fun _ s ->
+                s.scount.(idx) <- 0;
+                s.ssum.(idx) <- 0.0;
+                s.smin.(idx) <- 0.0;
+                s.smax.(idx) <- 0.0;
+                s.slast.(idx) <- 0.0)
+              ring.sdata
+          end;
+          let s = series_for t ring name kind in
+          if s.scount.(idx) = 0 || v < s.smin.(idx) then s.smin.(idx) <- v;
+          if s.scount.(idx) = 0 || v > s.smax.(idx) then s.smax.(idx) <- v;
+          s.scount.(idx) <- s.scount.(idx) + 1;
+          s.ssum.(idx) <- s.ssum.(idx) +. v;
+          s.slast.(idx) <- v)
+        t.rings
+    end
+
+  type point = {
+    t_unix : int; (* slot start, unix seconds *)
+    res_s : int;
+    n : int; (* samples merged into the slot *)
+    sum : float;
+    vmin : float;
+    vmax : float;
+    last : float;
+  }
+
+  let now_or now = match now with Some n -> n | None -> Window.wall_seconds ()
+
+  (* All valid points of [name] in [ring], oldest first. *)
+  let ring_points ?now t (ring : ring) name =
+    ignore t;
+    let sec = int_of_float (now_or now) in
+    let cur = sec / ring.res_s in
+    match Hashtbl.find_opt ring.sdata name with
+    | None -> []
+    | Some s ->
+      let pts = ref [] in
+      for k = 0 to ring.slots - 1 do
+        let slot = cur - k in
+        if slot >= 0 then begin
+          let idx = slot mod ring.slots in
+          if ring.stamp.(idx) = slot && s.scount.(idx) > 0 then
+            pts :=
+              {
+                t_unix = slot * ring.res_s;
+                res_s = ring.res_s;
+                n = s.scount.(idx);
+                sum = s.ssum.(idx);
+                vmin = s.smin.(idx);
+                vmax = s.smax.(idx);
+                last = s.slast.(idx);
+              }
+              :: !pts
+        end
+      done;
+      !pts
+
+  (* Finest ring whose span covers [seconds]; the coarsest one when none
+     does. *)
+  let ring_for t ~seconds =
+    let rec pick i =
+      if i >= Array.length t.rings - 1 then t.rings.(Array.length t.rings - 1)
+      else if t.rings.(i).res_s * t.rings.(i).slots >= seconds then t.rings.(i)
+      else pick (i + 1)
+    in
+    pick 0
+
+  let points ?now t ~seconds name =
+    let nowf = now_or now in
+    let sec = int_of_float nowf in
+    let ring = ring_for t ~seconds in
+    List.filter
+      (fun p -> p.t_unix + p.res_s > sec - seconds)
+      (ring_points ~now:nowf t ring name)
+
+  let window_sum ?now t ~seconds name =
+    List.fold_left (fun acc p -> acc +. p.sum) 0.0 (points ?now t ~seconds name)
+
+  let point_json p =
+    Json.Arr
+      [
+        Json.Int p.t_unix;
+        Json.Float p.last;
+        Json.Float p.sum;
+        Json.Float p.vmin;
+        Json.Float p.vmax;
+        Json.Int p.n;
+      ]
+
+  let rec take_last n l = if List.length l <= n then l else take_last n (List.tl l)
+
+  let to_json ?now ?(max_points = max_int) t =
+    let nowf = now_or now in
+    let names = names t in
+    let ring_json (ring : ring) =
+      Json.Obj
+        [
+          ("res_s", Json.Int ring.res_s);
+          ("slots", Json.Int ring.slots);
+          ("span_s", Json.Int (ring.res_s * ring.slots));
+          ( "series",
+            Json.Obj
+              (List.filter_map
+                 (fun name ->
+                   match ring_points ~now:nowf t ring name with
+                   | [] -> None
+                   | pts ->
+                     Some (name, Json.Arr (List.map point_json (take_last max_points pts))))
+                 names) );
+        ]
+    in
+    Json.Obj
+      [
+        ("v", Json.Int schema_version);
+        ("now_unix", Json.Float nowf);
+        ( "series_kinds",
+          Json.Obj
+            (List.map
+               (fun n -> (n, Json.Str (kind_name (Hashtbl.find t.kinds n))))
+               names) );
+        ("point", Json.Str "[t_unix,last,sum,min,max,count]");
+        ("resolutions", Json.Arr (Array.to_list (Array.map ring_json t.rings)));
+      ]
+
+  (* ---- the shared instance and the periodic sampler ---- *)
+
+  let shared = create ()
+
+  let sink_t =
+    Jsonl_sink.create ~label:"timeseries log"
+      ~max_bytes:
+        (match
+           Option.bind (Sys.getenv_opt "EXPFINDER_TIMESERIES_MAX_BYTES") int_of_string_opt
+         with
+        | Some n when n >= 4096 -> n
+        | Some _ | None -> Jsonl_sink.default_max_bytes)
+      (Sys.getenv_opt "EXPFINDER_TIMESERIES")
+
+  let set_sink path = Jsonl_sink.set_path sink_t path
+
+  let sink () = Jsonl_sink.path sink_t
+
+  (* One sampler tick: pull every live source (op-class windows, process
+     gauges, registry counters, allocation attribution) into [t] and
+     append the tick to the JSONL sink.  Returns what was recorded so
+     callers (tests, the sink line) see one consistent snapshot. *)
+  let sample ?now ?(persist = true) t =
+    let nowf = now_or now in
+    let out = ref [] in
+    let put kind name v =
+      if Float.is_finite v then begin
+        record ~now:nowf t kind name v;
+        out := (name, v) :: !out
+      end
+    in
+    (* Rate from a cumulative source: the first observation only primes
+       [prev]; a value running backwards means the source was reset, in
+       which case the new value is the honest delta.  Zero deltas are
+       recorded only for series that already exist, so one-shot counters
+       do not mint dead series every tick. *)
+    let cum name v =
+      let prev = Hashtbl.find_opt t.prev name in
+      Hashtbl.replace t.prev name v;
+      match prev with
+      | None -> ()
+      | Some p ->
+        let d = if v >= p then v -. p else v in
+        if d <> 0.0 || Hashtbl.mem t.kinds name then put Rate name d
+    in
+    List.iter
+      (fun (op, w) ->
+        let s = Window.summary ~now:nowf w in
+        put Level ("win." ^ op ^ ".qps") s.Window.qps;
+        put Level ("win." ^ op ^ ".error_rate") s.Window.error_rate;
+        if s.Window.count > 0 then begin
+          put Level ("win." ^ op ^ ".p50_ms") s.Window.p50;
+          put Level ("win." ^ op ^ ".p95_ms") s.Window.p95;
+          put Level ("win." ^ op ^ ".p99_ms") s.Window.p99
+        end;
+        let total, errors = Window.totals w in
+        cum ("req." ^ op) (float_of_int total);
+        cum ("err." ^ op) (float_of_int errors))
+      (Window.all ());
+    List.iter
+      (fun (name, v) ->
+        let v = float_of_int v in
+        match name with
+        | "process.rss_bytes" | "process.heap_words" | "process.gc_pause_us_max" ->
+          put Level name v
+        | "process.start_time_unix" | "uptime.seconds" -> ()
+        | _ -> cum name v)
+      (process_stats ());
+    Hashtbl.fold (fun name m acc -> (name, m) :: acc) Metrics.registry []
+    |> List.sort compare
+    |> List.iter (fun (name, m) ->
+           match m with
+           | Metrics.M_counter c -> cum ("m." ^ name) (float_of_int (Counter.value c))
+           | Metrics.M_gauge _ | Metrics.M_histogram _ -> ());
+    List.iter
+      (fun (label, bytes) -> cum ("alloc." ^ label) (float_of_int bytes))
+      (Alloc.bytes_by_label ());
+    let fields = List.rev !out in
+    if persist && Jsonl_sink.enabled sink_t then
+      Jsonl_sink.emit sink_t
+        (Json.to_string
+           (Json.Obj
+              [
+                ("v", Json.Int schema_version);
+                ("ts_unix", Json.Float nowf);
+                ( "fields",
+                  Json.Obj (List.map (fun (name, v) -> (name, Json.Float v)) fields) );
+              ]));
+    fields
+
+  (* ---- persisted-capture loading and Report conversion ---- *)
+
+  type tick = { ts_unix : float; fields : (string * float) list }
+
+  let tick_of_json json =
+    match Json.member "v" json with
+    | Some (Json.Int v) when v = schema_version -> (
+      match
+        ( Option.bind (Json.member "ts_unix" json) Json.float_opt,
+          Json.member "fields" json )
+      with
+      | Some ts_unix, Some (Json.Obj kv) ->
+        Ok
+          {
+            ts_unix;
+            fields =
+              List.filter_map (fun (k, v) -> Option.map (fun f -> (k, f)) (Json.float_opt v)) kv;
+          }
+      | _ -> Error "timeseries tick lacks a ts_unix or fields object")
+    | Some (Json.Int v) -> Error (Printf.sprintf "unsupported timeseries schema version %d" v)
+    | Some _ | None -> Error "not a timeseries tick (no integer \"v\" field)"
+
+  let load path =
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception Sys_error e -> Error e
+    | text ->
+      let rec parse acc lineno = function
+        | [] -> Ok (List.rev acc)
+        | line :: rest ->
+          if String.trim line = "" then parse acc (lineno + 1) rest
+          else (
+            match Json.of_string line with
+            | Error e -> Error (Printf.sprintf "%s:%d: invalid JSON: %s" path lineno e)
+            | Ok json -> (
+              match tick_of_json json with
+              | Error e -> Error (Printf.sprintf "%s:%d: %s" path lineno e)
+              | Ok tick -> parse (tick :: acc) (lineno + 1) rest))
+      in
+      parse [] 1 (String.split_on_char '\n' text)
+
+  (* Per-series samples over the capture, as a bench report: two soak
+     captures then diff under [expfinder bench-diff] like any pair of
+     bench runs. *)
+  let report ?(mode = "timeseries") ticks =
+    let r = Report.create ~tool:"expfinder timeseries" ~mode () in
+    let order = ref [] in
+    let groups : (string, float list ref) Hashtbl.t = Hashtbl.create 32 in
+    List.iter
+      (fun tick ->
+        List.iter
+          (fun (name, v) ->
+            match Hashtbl.find_opt groups name with
+            | Some cell -> cell := v :: !cell
+            | None ->
+              Hashtbl.add groups name (ref [ v ]);
+              order := name :: !order)
+          tick.fields)
+      ticks;
+    List.iter
+      (fun name ->
+        let samples = List.rev !(Hashtbl.find groups name) in
+        Report.add r ~id:("TS." ^ name) ~experiment:"TS" ~units:"sample"
+          ~params:[ ("ticks", Json.Int (List.length samples)) ]
+          samples)
+      (List.rev !order);
+    r
+end
+
+(* ------------------------------------------------------------------ *)
+(* SLO burn-rate alerts                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Slo = struct
+  (* Multi-window burn-rate alerting in the SRE-workbook shape: an
+     objective fires only when both a fast window (default 5m, high
+     burn) and a slow window (default 1h, lower burn) agree the error
+     budget is being spent too fast.  Both windows are evaluated from
+     the {!Timeseries} rings, so alerting shares retention with the
+     dashboard and costs no extra collection. *)
+  type target =
+    | Availability of { target : float }
+    | Latency_p99 of { threshold_ms : float; target : float }
+
+  type objective = {
+    oname : string;
+    op : string;
+    otarget : target;
+    fast_s : int;
+    slow_s : int;
+    fast_burn : float;
+    slow_burn : float;
+  }
+
+  let availability ?(fast_s = 300) ?(slow_s = 3600) ?(fast_burn = 14.4) ?(slow_burn = 6.0)
+      ~op ~target () =
+    {
+      oname = op ^ "-availability";
+      op;
+      otarget = Availability { target };
+      fast_s;
+      slow_s;
+      fast_burn;
+      slow_burn;
+    }
+
+  let latency_p99 ?(fast_s = 300) ?(slow_s = 3600) ?(fast_burn = 14.4) ?(slow_burn = 6.0)
+      ~op ~threshold_ms ~target () =
+    {
+      oname = op ^ "-latency-p99";
+      op;
+      otarget = Latency_p99 { threshold_ms; target };
+      fast_s;
+      slow_s;
+      fast_burn;
+      slow_burn;
+    }
+
+  type state = Passing | Firing
+
+  let state_name = function Passing -> "ok" | Firing -> "firing"
+
+  type alert = {
+    objective : objective;
+    mutable state : state;
+    mutable since_unix : float; (* when the current state began *)
+    mutable burn_fast : float;
+    mutable burn_slow : float;
+    mutable bad_fast : float;
+    mutable bad_slow : float;
+  }
+
+  let active : alert list ref = ref []
+
+  let configured = ref false
+
+  let fresh o =
+    {
+      objective = o;
+      state = Passing;
+      since_unix = start_unix;
+      burn_fast = 0.0;
+      burn_slow = 0.0;
+      bad_fast = 0.0;
+      bad_slow = 0.0;
+    }
+
+  let set_objectives objs =
+    configured := true;
+    active := List.map fresh objs
+
+  let env_float name default =
+    match Option.bind (Sys.getenv_opt name) float_of_string_opt with
+    | Some v -> v
+    | None -> default
+
+  let env_int name default =
+    match Option.bind (Sys.getenv_opt name) int_of_string_opt with
+    | Some v when v >= 1 -> v
+    | Some _ | None -> default
+
+  (* Default objective set: availability per op class, plus a p99
+     latency objective when EXPFINDER_SLO_P99_MS names a threshold.  The
+     window lengths and burn thresholds are env-tunable so a soak test
+     can compress hours into seconds. *)
+  let objectives_from_env () =
+    let fast_s = env_int "EXPFINDER_SLO_FAST_S" 300 in
+    let slow_s = env_int "EXPFINDER_SLO_SLOW_S" 3600 in
+    let fast_burn = env_float "EXPFINDER_SLO_FAST_BURN" 14.4 in
+    let slow_burn = env_float "EXPFINDER_SLO_SLOW_BURN" 6.0 in
+    let target = env_float "EXPFINDER_SLO_AVAILABILITY" 0.99 in
+    let ops = [ "query"; "batch"; "update" ] in
+    let avail =
+      List.map
+        (fun op -> availability ~fast_s ~slow_s ~fast_burn ~slow_burn ~op ~target ())
+        ops
+    in
+    let latency =
+      match Option.bind (Sys.getenv_opt "EXPFINDER_SLO_P99_MS") float_of_string_opt with
+      | Some ms when ms > 0.0 ->
+        let target = env_float "EXPFINDER_SLO_LATENCY_TARGET" 0.95 in
+        List.map
+          (fun op ->
+            latency_p99 ~fast_s ~slow_s ~fast_burn ~slow_burn ~op ~threshold_ms:ms ~target ())
+          ops
+      | Some _ | None -> []
+    in
+    avail @ latency
+
+  let ensure () = if not !configured then set_objectives (objectives_from_env ())
+
+  let alerts () =
+    ensure ();
+    !active
+
+  let firing () = List.filter (fun a -> a.state = Firing) (alerts ())
+
+  let budget = function
+    | Availability { target } | Latency_p99 { target; _ } -> Float.max 1e-9 (1.0 -. target)
+
+  (* Fraction of the window spent out of objective.  Availability
+     divides errors by requests; latency counts the fraction of slots
+     whose worst p99 crossed the threshold, over the slots that have
+     data — so a freshly started server can still fire within the fast
+     window instead of waiting for the ring to fill. *)
+  let bad_fraction ~now ts op target ~seconds =
+    match target with
+    | Availability _ ->
+      let req = Timeseries.window_sum ~now ts ~seconds ("req." ^ op) in
+      let err = Timeseries.window_sum ~now ts ~seconds ("err." ^ op) in
+      if req <= 0.0 then 0.0 else Float.min 1.0 (err /. req)
+    | Latency_p99 { threshold_ms; _ } -> (
+      match Timeseries.points ~now ts ~seconds ("win." ^ op ^ ".p99_ms") with
+      | [] -> 0.0
+      | pts ->
+        let bad =
+          List.length (List.filter (fun p -> p.Timeseries.vmax > threshold_ms) pts)
+        in
+        float_of_int bad /. float_of_int (List.length pts))
+
+  let alert_json a =
+    let o = a.objective in
+    Json.Obj
+      ([ ("name", Json.Str o.oname); ("op", Json.Str o.op) ]
+      @ (match o.otarget with
+        | Availability { target } ->
+          [ ("kind", Json.Str "availability"); ("target", Json.Float target) ]
+        | Latency_p99 { threshold_ms; target } ->
+          [
+            ("kind", Json.Str "latency_p99");
+            ("threshold_ms", Json.Float threshold_ms);
+            ("target", Json.Float target);
+          ])
+      @ [
+          ("fast_s", Json.Int o.fast_s);
+          ("slow_s", Json.Int o.slow_s);
+          ("fast_burn_threshold", Json.Float o.fast_burn);
+          ("slow_burn_threshold", Json.Float o.slow_burn);
+          ("state", Json.Str (state_name a.state));
+          ("firing", Json.Bool (a.state = Firing));
+          ("burn_fast", Json.Float a.burn_fast);
+          ("burn_slow", Json.Float a.burn_slow);
+          ("bad_fast", Json.Float a.bad_fast);
+          ("bad_slow", Json.Float a.bad_slow);
+          ("since_unix", Json.Float a.since_unix);
+        ])
+
+  let evaluate_one ~now ts a =
+    let o = a.objective in
+    a.bad_fast <- bad_fraction ~now ts o.op o.otarget ~seconds:o.fast_s;
+    a.bad_slow <- bad_fraction ~now ts o.op o.otarget ~seconds:o.slow_s;
+    let b = budget o.otarget in
+    a.burn_fast <- a.bad_fast /. b;
+    a.burn_slow <- a.bad_slow /. b;
+    let next = if a.burn_fast >= o.fast_burn && a.burn_slow >= o.slow_burn then Firing else Passing in
+    if next <> a.state then begin
+      a.state <- next;
+      a.since_unix <- now;
+      (* Transitions land in the query log so a workload capture carries
+         its own alert history. *)
+      Qlog.emit ~kind:Qlog.Alert ~graph_id:0 ~epoch:0 ~query:o.oname
+        ~strategy:(match next with Firing -> "firing" | Passing -> "resolved")
+        ~duration_ms:0.0 ~counters:[] ~pairs:0 ~digest:"" ~payload:(alert_json a) ()
+    end
+
+  let evaluate ?now ?(ts = Timeseries.shared) () =
+    ensure ();
+    let now = match now with Some n -> n | None -> Window.wall_seconds () in
+    List.iter (evaluate_one ~now ts) !active;
+    !active
+
+  let to_json ?now () =
+    let now = match now with Some n -> n | None -> Window.wall_seconds () in
+    Json.Obj
+      [
+        ("v", Json.Int 1);
+        ("now_unix", Json.Float now);
+        ("alerts", Json.Arr (List.map alert_json (alerts ())));
+      ]
+end
+
+(* ------------------------------------------------------------------ *)
 (* Prometheus text exposition                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1494,6 +2336,43 @@ module Prometheus = struct
       name
 
   let metric_name name = "expfinder_" ^ sanitize name
+
+  (* Two registry names may sanitize to the same token ("a.b" and
+     "a:b" both become "a_b"); exposing both under one name would emit
+     duplicate series.  Every member of a colliding set gets a short
+     digest of its original name appended, which is deterministic and
+     independent of registration order. *)
+  let exposition_name ~taken name =
+    let n = metric_name name in
+    if Option.value ~default:0 (Hashtbl.find_opt taken n) > 1 then
+      n ^ "_" ^ String.sub (Digest.to_hex (Digest.string name)) 0 6
+    else n
+
+  (* HELP text and label values have their own escaping rules in the
+     exposition format: backslash and newline (plus double-quote inside
+     label values). *)
+  let help_escape s =
+    let buf = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let label_escape s =
+    let buf = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
 
   let add_float buf f =
     if Float.is_nan f then Buffer.add_string buf "NaN"
@@ -1517,13 +2396,23 @@ module Prometheus = struct
       Buffer.add_char buf '\n'
     in
     let typ name kind = Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind) in
+    let help name text =
+      Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name (help_escape text))
+    in
     let rows =
       Hashtbl.fold (fun name m acc -> (name, m) :: acc) Metrics.registry []
       |> List.sort compare
     in
+    let taken = Hashtbl.create 64 in
+    List.iter
+      (fun (name, _) ->
+        let n = metric_name name in
+        Hashtbl.replace taken n (1 + Option.value ~default:0 (Hashtbl.find_opt taken n)))
+      rows;
     List.iter
       (fun (name, m) ->
-        let n = metric_name name in
+        let n = exposition_name ~taken name in
+        help n (Printf.sprintf "ExpFinder registry metric %s" name);
         match m with
         | Metrics.M_counter c ->
           typ n "counter";
@@ -1546,14 +2435,16 @@ module Prometheus = struct
     let windows = Window.all () in
     if windows <> [] then begin
       List.iter
-        (fun tn -> typ tn "gauge")
+        (fun (tn, htext) ->
+          help tn htext;
+          typ tn "gauge")
         [
-          "expfinder_window_seconds";
-          "expfinder_window_requests";
-          "expfinder_window_errors";
-          "expfinder_qps";
-          "expfinder_error_rate";
-          "expfinder_latency_ms";
+          ("expfinder_window_seconds", "Length of the sliding window, per op class");
+          ("expfinder_window_requests", "Requests observed in the sliding window");
+          ("expfinder_window_errors", "Errors observed in the sliding window");
+          ("expfinder_qps", "Mean request rate over the sliding window");
+          ("expfinder_error_rate", "Error fraction over the sliding window");
+          ("expfinder_latency_ms", "Latency quantiles over the sliding window");
         ];
       List.iter
         (fun (op, w) ->
@@ -1577,5 +2468,201 @@ module Prometheus = struct
           end)
         windows
     end;
+    (* SLO alert state, as last evaluated by the sampler: render never
+       re-evaluates, so scraping cannot mutate alert state. *)
+    (match Slo.alerts () with
+    | [] -> ()
+    | alerts ->
+      help "expfinder_alert_active" "1 while the SLO burn-rate alert is firing";
+      typ "expfinder_alert_active" "gauge";
+      help "expfinder_alert_burn" "Error-budget burn rate per alert window";
+      typ "expfinder_alert_burn" "gauge";
+      List.iter
+        (fun (a : Slo.alert) ->
+          let o = a.Slo.objective in
+          let name = label_escape o.Slo.oname and op = label_escape o.Slo.op in
+          line_int
+            (Printf.sprintf "expfinder_alert_active{alert=\"%s\",op=\"%s\"}" name op)
+            (match a.Slo.state with Slo.Firing -> 1 | Slo.Passing -> 0);
+          line_float
+            (Printf.sprintf "expfinder_alert_burn{alert=\"%s\",op=\"%s\",window=\"fast\"}" name op)
+            a.Slo.burn_fast;
+          line_float
+            (Printf.sprintf "expfinder_alert_burn{alert=\"%s\",op=\"%s\",window=\"slow\"}" name op)
+            a.Slo.burn_slow)
+        alerts);
     Buffer.contents buf
+end
+
+(* ------------------------------------------------------------------ *)
+(* Postmortem dumps                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Postmortem = struct
+  let schema_version = 1
+
+  let normalize = function Some "" -> None | other -> other
+
+  let dir_ref = ref (normalize (Sys.getenv_opt "EXPFINDER_POSTMORTEM_DIR"))
+
+  let set_dir d = dir_ref := normalize d
+
+  let dir () = !dir_ref
+
+  let expfinder_env () =
+    Array.to_list (Unix.environment ())
+    |> List.filter_map (fun binding ->
+           match String.index_opt binding '=' with
+           | Some i when String.length binding > 10 && String.sub binding 0 10 = "EXPFINDER_" ->
+             Some
+               ( String.sub binding 0 i,
+                 Json.Str (String.sub binding (i + 1) (String.length binding - i - 1)) )
+           | _ -> None)
+    |> List.sort compare
+
+  (* Everything a 3am debugging session wants in one artifact: identity
+     and configuration, the op-class windows, active alerts, the full
+     metrics registry, the flight-recorder tail, the last two minutes of
+     every timeseries, GC totals and allocation attribution. *)
+  let document ?(reason = "unspecified") () =
+    let now = Unix.gettimeofday () in
+    let gc = Gc.quick_stat () in
+    Json.Obj
+      [
+        ("v", Json.Int schema_version);
+        ("reason", Json.Str reason);
+        ("ts_unix", Json.Float now);
+        ("pid", Json.Int (Unix.getpid ()));
+        ("ocaml", Json.Str Sys.ocaml_version);
+        ("argv", Json.Arr (Array.to_list (Array.map (fun s -> Json.Str s) Sys.argv)));
+        ("start_unix", Json.Float start_unix);
+        ("uptime_s", Json.Float (Float.max 0.0 (now -. start_unix)));
+        ("env", Json.Obj (expfinder_env ()));
+        ( "gc",
+          Json.Obj
+            [
+              ("heap_words", Json.Int gc.Gc.heap_words);
+              ("minor_words", Json.Float gc.Gc.minor_words);
+              ("major_words", Json.Float gc.Gc.major_words);
+              ("minor_collections", Json.Int gc.Gc.minor_collections);
+              ("major_collections", Json.Int gc.Gc.major_collections);
+              ("compactions", Json.Int gc.Gc.compactions);
+              ("pause_us_total", Json.Int (Gcpause.pause_us_total ()));
+              ("pause_us_max", Json.Int (Gcpause.pause_us_max ()));
+            ] );
+        ("alloc", Alloc.to_json ());
+        ( "windows",
+          Json.Obj
+            (List.map
+               (fun (op, w) -> (op, Window.summary_json (Window.summary w)))
+               (Window.all ())) );
+        ("alerts", Slo.to_json ~now ());
+        ("metrics", Metrics.to_json ());
+        ("recorder", Recorder.to_json ());
+        ("timeseries", Timeseries.to_json ~now ~max_points:120 Timeseries.shared);
+      ]
+
+  (* Atomic by construction: the document is written to a dot-tmp
+     sibling and renamed into place, so a reader never sees a torn
+     artifact.  Any failure returns None — a postmortem writer that
+     raises during a crash would mask the original failure. *)
+  let write ?reason () =
+    match !dir_ref with
+    | None -> None
+    | Some dir -> (
+      try
+        (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+        let name =
+          Printf.sprintf "postmortem-%d-%.0f.json" (Unix.getpid ())
+            (Unix.gettimeofday () *. 1000.0)
+        in
+        let path = Filename.concat dir name in
+        let tmp = path ^ ".tmp" in
+        let oc = open_out tmp in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc (Json.to_string ~pretty:true (document ?reason ())));
+        Sys.rename tmp path;
+        Some path
+      with _ -> None)
+
+  let load path =
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception Sys_error e -> Error e
+    | text -> (
+      match Json.of_string text with
+      | Error e -> Error ("invalid JSON: " ^ e)
+      | Ok json -> (
+        match Json.member "v" json with
+        | Some (Json.Int v) when v = schema_version -> Ok json
+        | Some (Json.Int v) ->
+          Error (Printf.sprintf "unsupported postmortem schema version %d" v)
+        | Some _ | None -> Error "not a postmortem artifact (no integer \"v\" field)"))
+
+  let pp ppf doc =
+    let str k = Option.bind (Json.member k doc) Json.str_opt in
+    let float k = Option.bind (Json.member k doc) Json.float_opt in
+    let int k = Option.bind (Json.member k doc) Json.int_opt in
+    Format.fprintf ppf "@[<v>postmortem: %s@,"
+      (Option.value ~default:"?" (str "reason"));
+    (match (int "pid", float "uptime_s", str "ocaml") with
+    | Some pid, Some up, Some ocaml ->
+      Format.fprintf ppf "pid %d, up %.1f s, ocaml %s@," pid up ocaml
+    | _ -> ());
+    (match float "ts_unix" with
+    | Some ts ->
+      let tm = Unix.gmtime ts in
+      Format.fprintf ppf "written %04d-%02d-%02dT%02d:%02d:%02dZ@," (tm.Unix.tm_year + 1900)
+        (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+    | None -> ());
+    (match Option.bind (Json.member "alerts" doc) (Json.member "alerts") with
+    | Some (Json.Arr alerts) ->
+      let firing =
+        List.filter
+          (fun a -> Json.member "firing" a = Some (Json.Bool true))
+          alerts
+      in
+      if firing = [] then Format.fprintf ppf "alerts: %d configured, none firing@," (List.length alerts)
+      else
+        List.iter
+          (fun a ->
+            Format.fprintf ppf "alerts: FIRING %s (burn fast %.1f / slow %.1f)@,"
+              (Option.value ~default:"?" (Option.bind (Json.member "name" a) Json.str_opt))
+              (Option.value ~default:nan
+                 (Option.bind (Json.member "burn_fast" a) Json.float_opt))
+              (Option.value ~default:nan
+                 (Option.bind (Json.member "burn_slow" a) Json.float_opt)))
+          firing
+    | _ -> ());
+    (match Json.member "windows" doc with
+    | Some (Json.Obj windows) ->
+      List.iter
+        (fun (op, s) ->
+          match Window.summary_of_json s with
+          | Some s -> Format.fprintf ppf "%-8s %a@," op Window.pp_summary s
+          | None -> ())
+        windows
+    | _ -> ());
+    (match Json.member "gc" doc with
+    | Some gc ->
+      let gint k = Option.value ~default:0 (Option.bind (Json.member k gc) Json.int_opt) in
+      Format.fprintf ppf
+        "gc: heap %.1f MiB, %d minor / %d major collections, pauses %.1f ms total, %.2f ms max@,"
+        (float_of_int (gint "heap_words" * (Sys.word_size / 8)) /. 1048576.0)
+        (gint "minor_collections") (gint "major_collections")
+        (float_of_int (gint "pause_us_total") /. 1000.0)
+        (float_of_int (gint "pause_us_max") /. 1000.0)
+    | None -> ());
+    (match Option.bind (Json.member "recorder" doc) Json.list_opt with
+    | Some events -> Format.fprintf ppf "flight recorder: %d event(s)@," (List.length events)
+    | None -> ());
+    (match Option.bind (Json.member "timeseries" doc) (Json.member "series_kinds") with
+    | Some (Json.Obj kinds) -> Format.fprintf ppf "timeseries: %d series@," (List.length kinds)
+    | _ -> ());
+    Format.fprintf ppf "@]"
 end

@@ -359,15 +359,94 @@ module Recorder : sig
   val to_json : unit -> Json.t
 end
 
+(** {1 GC pause observation}
+
+    Best-effort self-monitoring of GC pause time through
+    [Runtime_events]: {!Gcpause.start} subscribes to the runtime's own
+    event ring, and each {!Gcpause.poll} (called from
+    {!process_stats}) drains it, pairing minor/major slice begin/end
+    events into cumulative pause totals.  If the ring cannot be created
+    the module stays inert and the totals read zero. *)
+
+module Gcpause : sig
+  val start : unit -> bool
+  (** Start runtime-event collection for this process (idempotent).
+      Returns [false] — and leaves the module inert — when the runtime
+      ring cannot be created.  The backing [<pid>.events] file is placed
+      in the temp directory unless [OCAML_RUNTIME_EVENTS_DIR] says
+      otherwise. *)
+
+  val active : unit -> bool
+
+  val poll : unit -> unit
+  (** Drain pending runtime events into the totals (cheap; no-op when
+      not started). *)
+
+  val pause_us_total : unit -> int
+  (** Cumulative microseconds spent in observed minor/major GC slices. *)
+
+  val pause_us_max : unit -> int
+  (** Longest single observed slice, in microseconds. *)
+
+  val observed_slices : unit -> int
+end
+
+(** {1 Allocation attribution}
+
+    A [Gc.Memprof]-based statistical allocation profiler: while active,
+    sampled allocations are scaled by [1/rate] and charged (in bytes) to
+    the innermost {!Alloc.with_label} label — the engine labels its op
+    classes ("query" / "batch" / "update"), everything else lands under
+    "other".  Enabled in the server and bench via
+    [EXPFINDER_MEMPROF_RATE]. *)
+
+module Alloc : sig
+  val with_label : string -> (unit -> 'a) -> 'a
+  (** Run [f] with [label] as the current attribution label (labels
+      nest; exception-safe). *)
+
+  val current_label : unit -> string
+  (** The innermost active label, or ["other"]. *)
+
+  val start : rate:float -> unit -> bool
+  (** Start sampling at [rate] samples per allocated word (0 < rate <=
+      1; typical: 1e-4).  Returns [false] if already active, the rate
+      is out of range, or the runtime ships the [Gc.Memprof] interface
+      without implementing it (OCaml 5.0/5.1 multicore) — attribution
+      then stays inert instead of failing the caller. *)
+
+  val start_from_env : unit -> bool
+  (** {!start} with [EXPFINDER_MEMPROF_RATE] (clamped to 1.0); [false]
+      when unset or unparsable. *)
+
+  val stop : unit -> unit
+  (** Stop and discard the active profile (idempotent). *)
+
+  val active : unit -> bool
+
+  val rate : unit -> float option
+
+  val bytes_by_label : unit -> (string * int) list
+  (** Estimated bytes allocated per label since the last {!reset},
+      sorted by label. *)
+
+  val reset : unit -> unit
+
+  val to_json : unit -> Json.t
+end
+
 (** {1 Process gauges} *)
 
 val process_stats : unit -> (string * int) list
 (** Sample the process: resident set size in bytes (0 where
-    [/proc/self/statm] is unavailable), major-heap words, and GC
-    minor/major collection counts ({!Gc.quick_stat}).  Each sample is
-    also published as an always-on gauge ([process.rss_bytes],
-    [process.heap_words], [process.gc_minor_collections],
-    [process.gc_major_collections]). *)
+    [/proc/self/statm] is unavailable), major-heap words, cumulative
+    minor/major allocated words, GC minor/major collection counts
+    ({!Gc.quick_stat}), cumulative and max GC pause microseconds
+    ({!Gcpause}), the process start time and the uptime in seconds.
+    Each sample is also published as an always-on gauge
+    ([process.rss_bytes], [process.heap_words], ...,
+    [uptime.seconds] — the latter surfacing in Prometheus as
+    [expfinder_uptime_seconds]).  Polls {!Gcpause} first. *)
 
 (** {1 Sliding windows}
 
@@ -397,6 +476,11 @@ module Window : sig
   (** [observe w ms] records one request of [ms] milliseconds in the
       bucket of the current second.  [?now] (unix seconds) pins the
       clock for tests.  Allocation-free. *)
+
+  val totals : t -> int * int
+  (** Lifetime [(requests, errors)] since creation (or {!reset}) —
+      cumulative counters that outlive the ring, differentiated by the
+      timeseries sampler into per-tick rates. *)
 
   val reset : t -> unit
 
@@ -459,9 +543,12 @@ module Qlog : sig
   (** Version of the per-line event format (currently [1]); {!load}
       rejects events written under any other version. *)
 
-  type kind = Query | Batch | Update
+  type kind = Query | Batch | Update | Alert
 
   val kind_name : kind -> string
+  (** ["query"], ["batch"], ["update"], ["alert"].  [Alert] events are
+      SLO state transitions written by {!Slo.evaluate}; replay skips
+      them. *)
 
   type event = {
     seq : int;  (** request id, monotonic within the process *)
@@ -532,15 +619,237 @@ module Qlog : sig
       error names the offending line. *)
 end
 
+(** {1 Time series retention}
+
+    Bounded-memory, multi-resolution retention: every recorded value
+    feeds one ring per resolution (default 1s x 120 / 10s x 360 /
+    60s x 720, about 2 minutes / 1 hour / 12 hours), so the coarse
+    rings are exact downsamples of the fine one and reads never
+    allocate beyond the returned points.  {!Timeseries.sample} is the
+    periodic collector driven by the server's sampler thread; it pulls
+    the op-class windows, {!process_stats}, the counter registry and
+    {!Alloc} into the shared instance and appends one JSONL tick to the
+    [EXPFINDER_TIMESERIES] sink (rotation as in {!Qlog}, via
+    [EXPFINDER_TIMESERIES_MAX_BYTES]). *)
+
+module Timeseries : sig
+  val schema_version : int
+  (** Version of the JSONL tick format and of the [/timeseries.json]
+      document (currently [1]). *)
+
+  type kind =
+    | Rate  (** per-tick delta of a cumulative source; aggregate = sum *)
+    | Level  (** instantaneous reading; aggregate = last/min/max *)
+
+  val kind_name : kind -> string
+
+  type t
+
+  val default_resolutions : (int * int) list
+  (** [(res_seconds, slots)] per ring: [[(1, 120); (10, 360); (60, 720)]]. *)
+
+  val create : ?resolutions:(int * int) list -> unit -> t
+  (** A fresh store (floors: 1 s resolution, 2 slots; duplicate
+      resolutions collapse). *)
+
+  val shared : t
+  (** The process-wide instance behind [/timeseries.json], the sampler
+      and postmortems. *)
+
+  val resolutions : t -> (int * int) list
+
+  val names : t -> string list
+  (** Every series ever recorded, in first-recorded order. *)
+
+  val kind_of : t -> string -> kind option
+
+  val record : ?now:float -> t -> kind -> string -> float -> unit
+  (** Record one value into every ring ([?now] pins the clock for
+      tests; non-finite values are dropped). *)
+
+  (** One retained slot of one series. *)
+  type point = {
+    t_unix : int;  (** slot start, unix seconds *)
+    res_s : int;
+    n : int;  (** samples merged into the slot *)
+    sum : float;
+    vmin : float;
+    vmax : float;
+    last : float;
+  }
+
+  val points : ?now:float -> t -> seconds:int -> string -> point list
+  (** The series' points over the trailing [seconds], oldest first,
+      from the finest ring that spans the range. *)
+
+  val window_sum : ?now:float -> t -> seconds:int -> string -> float
+  (** Sum of [sum] over {!points} (the natural aggregate of a [Rate]
+      series). *)
+
+  val sample : ?now:float -> ?persist:bool -> t -> (string * float) list
+  (** One sampler tick: collect every live source into [t] and (unless
+      [~persist:false]) append the tick to the sink.  Returns the
+      recorded [(series, value)] pairs.  Cumulative sources prime on
+      the first tick and yield [Rate] deltas from the second on. *)
+
+  val to_json : ?now:float -> ?max_points:int -> t -> Json.t
+  (** The retained data as the [/timeseries.json] document: one entry
+      per resolution, each series as [[t_unix, last, sum, min, max,
+      count]] point arrays ([?max_points] caps the tail length per
+      series per resolution). *)
+
+  val set_sink : string option -> unit
+  (** Point the tick log at a path ([None] / [Some ""] disable);
+      initialised from [EXPFINDER_TIMESERIES]. *)
+
+  val sink : unit -> string option
+
+  (** {2 Persisted captures} *)
+
+  type tick = { ts_unix : float; fields : (string * float) list }
+
+  val load : string -> (tick list, string) result
+  (** Parse a JSONL capture back (blank lines skipped); the error names
+      the offending line. *)
+
+  val report : ?mode:string -> tick list -> Report.t
+  (** One report record per series ([TS.<name>], experiment [TS]) with
+      the per-tick values as samples — two captures diff under
+      [expfinder bench-diff] like any pair of bench runs. *)
+end
+
+(** {1 SLO burn-rate alerts}
+
+    Declarative objectives evaluated from the {!Timeseries} rings with
+    multi-window burn-rate rules (SRE-workbook shape): an alert fires
+    only while {e both} the fast window (default 5 m) and the slow
+    window (default 1 h) burn error budget faster than their
+    thresholds (defaults 14.4 / 6.0), and clears as soon as either
+    recovers.  The default objective set — availability per op class,
+    plus p99 latency when [EXPFINDER_SLO_P99_MS] is set — comes from
+    the environment ([EXPFINDER_SLO_AVAILABILITY],
+    [EXPFINDER_SLO_FAST_S], [EXPFINDER_SLO_SLOW_S],
+    [EXPFINDER_SLO_FAST_BURN], [EXPFINDER_SLO_SLOW_BURN],
+    [EXPFINDER_SLO_LATENCY_TARGET]). *)
+
+module Slo : sig
+  type target =
+    | Availability of { target : float }
+        (** e.g. [0.99]: at most 1% of requests may error *)
+    | Latency_p99 of { threshold_ms : float; target : float }
+        (** at least [target] of slots must keep p99 under the
+            threshold *)
+
+  type objective = {
+    oname : string;  (** alert name, e.g. ["query-availability"] *)
+    op : string;  (** op class: ["query"] / ["batch"] / ["update"] *)
+    otarget : target;
+    fast_s : int;
+    slow_s : int;
+    fast_burn : float;
+    slow_burn : float;
+  }
+
+  val availability :
+    ?fast_s:int -> ?slow_s:int -> ?fast_burn:float -> ?slow_burn:float ->
+    op:string -> target:float -> unit -> objective
+
+  val latency_p99 :
+    ?fast_s:int -> ?slow_s:int -> ?fast_burn:float -> ?slow_burn:float ->
+    op:string -> threshold_ms:float -> target:float -> unit -> objective
+
+  type state = Passing | Firing
+
+  val state_name : state -> string
+  (** ["ok"] / ["firing"]. *)
+
+  (** Live evaluation state of one objective. *)
+  type alert = {
+    objective : objective;
+    mutable state : state;
+    mutable since_unix : float;  (** when the current state began *)
+    mutable burn_fast : float;
+    mutable burn_slow : float;
+    mutable bad_fast : float;  (** bad fraction of the fast window *)
+    mutable bad_slow : float;
+  }
+
+  val set_objectives : objective list -> unit
+  (** Replace the active objective set (resets all alert state). *)
+
+  val objectives_from_env : unit -> objective list
+  (** The env-derived default set (used on first access when
+      {!set_objectives} was never called). *)
+
+  val alerts : unit -> alert list
+
+  val firing : unit -> alert list
+
+  val evaluate : ?now:float -> ?ts:Timeseries.t -> unit -> alert list
+  (** Recompute every alert from the timeseries rings (default
+      {!Timeseries.shared}; [?now] pins the clock).  State transitions
+      are appended to the query log as [alert] events. *)
+
+  val alert_json : alert -> Json.t
+
+  val to_json : ?now:float -> unit -> Json.t
+  (** The [/alerts.json] document. *)
+end
+
 (** {1 Prometheus exposition} *)
 
 module Prometheus : sig
   val render : unit -> string
-  (** The metric registry, the sliding windows and the process gauges in
-      the Prometheus text exposition format, under an [expfinder_]
-      namespace ([.] mapped to [_]): counters and gauges as themselves,
-      histograms as summaries with p50/p95/p99 quantiles, windows as
-      [expfinder_qps{op="query"}], [expfinder_error_rate{op=...}] and
-      [expfinder_latency_ms{op=...,quantile="0.95"}] gauges.  Samples
-      {!process_stats} on each call. *)
+  (** The metric registry, the sliding windows, the process gauges and
+      the SLO alert state in the Prometheus text exposition format,
+      under an [expfinder_] namespace ([.] mapped to [_]), with a
+      [# HELP] and [# TYPE] line per family: counters and gauges as
+      themselves, histograms as summaries with p50/p95/p99 quantiles,
+      windows as [expfinder_qps{op="query"}],
+      [expfinder_error_rate{op=...}] and
+      [expfinder_latency_ms{op=...,quantile="0.95"}] gauges, alerts as
+      [expfinder_alert_active{alert=...,op=...}] (plus
+      [expfinder_alert_burn{...,window="fast"|"slow"}]).  Registry
+      names that sanitize to the same exposition token are
+      disambiguated with a deterministic digest suffix instead of
+      emitting duplicate series.  Samples {!process_stats} on each
+      call; never re-evaluates alerts, so scraping cannot mutate alert
+      state. *)
+end
+
+(** {1 Postmortem dumps}
+
+    One self-contained crash artifact: reason, identity and
+    [EXPFINDER_*] configuration, GC totals and allocation attribution,
+    op-class window summaries, alert state, the metrics registry, the
+    flight-recorder tail and the recent timeseries — written atomically
+    (dot-tmp then rename) to [EXPFINDER_POSTMORTEM_DIR] on fatal signal
+    or uncaught server exception, and pretty-printed by [expfinder
+    postmortem FILE]. *)
+
+module Postmortem : sig
+  val schema_version : int
+
+  val set_dir : string option -> unit
+  (** Where artifacts land ([None] / [Some ""] disable); initialised
+      from [EXPFINDER_POSTMORTEM_DIR].  The directory is created on
+      first write. *)
+
+  val dir : unit -> string option
+
+  val document : ?reason:string -> unit -> Json.t
+  (** Assemble the artifact document without writing it. *)
+
+  val write : ?reason:string -> unit -> string option
+  (** Atomically write one artifact ([postmortem-<pid>-<ms>.json]) and
+      return its path.  [None] when no directory is configured or on
+      any failure — a postmortem writer that raises during a crash
+      would mask the original failure. *)
+
+  val load : string -> (Json.t, string) result
+  (** Read an artifact back, checking the schema version. *)
+
+  val pp : Format.formatter -> Json.t -> unit
+  (** Human summary of a loaded artifact: reason, identity, firing
+      alerts, window summaries, GC totals. *)
 end

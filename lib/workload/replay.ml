@@ -65,6 +65,10 @@ let replay_one engine (event : Qlog.event) =
         { event; replay_ms; digest = "error: " ^ msg; matched = false; skipped = None }
       in
       match event.kind with
+      | Qlog.Alert ->
+        (* Alert transitions are annotations on the capture, not
+           requests; nothing to replay. *)
+        skip event "alert event"
       | Qlog.Query -> (
         match parse_pattern payload with
         | Error e -> skip event ("bad payload: " ^ e)

@@ -6,6 +6,7 @@
 
 open Expfinder_telemetry
 module Server = Expfinder_server
+module Dashboard = Expfinder_dashboard.Dashboard
 
 let exe =
   let candidates =
@@ -60,10 +61,11 @@ let paper_query =
 (* Start `expfinder serve` as a child process (stdout/stderr to
    /dev/null, EXPFINDER_QLOG set), wait until it answers a ping, run
    [f], and always reap the child. *)
-let with_server exe ~graph ~socket ~qlog f =
+let with_server ?(extra_env = []) exe ~graph ~socket ~qlog f =
   let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
   let env =
-    Array.append (Unix.environment ()) [| Printf.sprintf "EXPFINDER_QLOG=%s" qlog |]
+    Array.append (Unix.environment ())
+      (Array.of_list (Printf.sprintf "EXPFINDER_QLOG=%s" qlog :: extra_env))
   in
   let pid =
     Unix.create_process_env exe
@@ -71,7 +73,11 @@ let with_server exe ~graph ~socket ~qlog f =
       env Unix.stdin devnull devnull
   in
   Unix.close devnull;
-  let endpoint = Server.Unix_socket socket in
+  let endpoint =
+    match Server.endpoint_of_string socket with
+    | Ok ep -> ep
+    | Error _ -> Server.Unix_socket socket
+  in
   Fun.protect
     ~finally:(fun () ->
       (* Normal exit path is the shutdown op; the kill only fires when
@@ -121,7 +127,9 @@ let serve_e2e exe () =
       let qlog = Filename.concat dir "qlog.jsonl" in
       let code, _ = run exe [ "gen"; "--kind"; "collab"; "-o"; graph ] in
       Alcotest.(check int) "gen exits 0" 0 code;
-      with_server exe ~graph ~socket ~qlog (fun endpoint ->
+      with_server exe ~graph ~socket ~qlog
+        ~extra_env:[ "EXPFINDER_SAMPLE_PERIOD_S=0.2" ]
+        (fun endpoint ->
           (* 50 queries on one connection; every answer must agree. *)
           let digests =
             Server.with_connection endpoint (fun fd ->
@@ -230,6 +238,71 @@ let serve_e2e exe () =
                 Alcotest.(check bool) "window counted the queries" true (s.Window.count >= 50)
               | _ -> Alcotest.fail "/stats.json has no query window"))
           | Error e -> Alcotest.failf "/stats.json: %s" e);
+          (* /timeseries.json: wait for the sampler thread's first tick
+             (0.2s period here), then check the multi-resolution shape. *)
+          let rec wait_timeseries attempts =
+            if attempts = 0 then Alcotest.fail "sampler produced no timeseries within 10s"
+            else
+              match Server.http_get endpoint "/timeseries.json" with
+              | Ok (200, body) -> (
+                match Json.of_string body with
+                | Error e -> Alcotest.failf "/timeseries.json does not parse: %s" e
+                | Ok doc -> (
+                  let sampled =
+                    match Option.bind (Json.member "resolutions" doc) Json.list_opt with
+                    | Some (finest :: _) -> (
+                      match Option.bind (Json.member "series" finest) (function
+                        | Json.Obj kvs -> Some kvs
+                        | _ -> None)
+                      with
+                      | Some (_ :: _) -> true
+                      | _ -> false)
+                    | _ -> false
+                  in
+                  if sampled then doc
+                  else begin
+                    Unix.sleepf 0.1;
+                    wait_timeseries (attempts - 1)
+                  end))
+              | Ok (status, _) -> Alcotest.failf "/timeseries.json status %d" status
+              | Error e -> Alcotest.failf "/timeseries.json: %s" e
+          in
+          let ts_doc = wait_timeseries 100 in
+          (match Option.bind (Json.member "resolutions" ts_doc) Json.list_opt with
+          | Some rings ->
+            Alcotest.(check bool) "at least three retention resolutions" true
+              (List.length rings >= 3);
+            let res_of r =
+              match Option.bind (Json.member "res_s" r) Json.int_opt with
+              | Some s -> s
+              | None -> Alcotest.fail "ring without res_s"
+            in
+            let res = List.map res_of rings in
+            Alcotest.(check (list int)) "resolution ladder" [ 1; 10; 60 ] res
+          | None -> Alcotest.fail "/timeseries.json has no resolutions");
+          (match Option.bind (Json.member "series_kinds" ts_doc) (function
+             | Json.Obj kvs -> Some (List.map fst kvs)
+             | _ -> None)
+          with
+          | Some names ->
+            Alcotest.(check bool) "query qps series is sampled" true
+              (List.mem "win.query.qps" names)
+          | None -> Alcotest.fail "/timeseries.json has no series_kinds");
+          (* /alerts.json: default objectives are configured and the
+             healthy run must not be firing. *)
+          (match Server.http_get endpoint "/alerts.json" with
+          | Ok (status, body) -> (
+            Alcotest.(check int) "/alerts.json status" 200 status;
+            match Json.of_string body with
+            | Error e -> Alcotest.failf "/alerts.json does not parse: %s" e
+            | Ok doc -> (
+              match Option.bind (Json.member "alerts" doc) Json.list_opt with
+              | Some alerts ->
+                Alcotest.(check bool) "objectives configured" true (alerts <> []);
+                Alcotest.(check int) "no alert fires on a healthy run" 0
+                  (List.length (Dashboard.firing_alerts doc))
+              | None -> Alcotest.fail "/alerts.json has no alerts member"))
+          | Error e -> Alcotest.failf "/alerts.json: %s" e);
           (match Server.http_get endpoint "/no-such-path" with
           | Ok (status, _) -> Alcotest.(check int) "unknown path is 404" 404 status
           | Error e -> Alcotest.failf "/no-such-path: %s" e);
@@ -280,6 +353,133 @@ let serve_e2e exe () =
       Alcotest.(check bool) "tampered replay exits non-zero" true (code <> 0);
       Alcotest.(check bool) "mismatch reported" true (contains out "MISMATCH"))
 
+(* `expfinder stats --server` over TCP: the satellite regression.  The
+   spec "127.0.0.1:PORT" must resolve, fetch /stats.json and print the
+   window/alert summary with exit 0. *)
+let stats_tcp_e2e exe () =
+  with_tmpdir (fun dir ->
+      let graph = Filename.concat dir "collab.graph" in
+      let qlog = Filename.concat dir "qlog.jsonl" in
+      let code, _ = run exe [ "gen"; "--kind"; "collab"; "-o"; graph ] in
+      Alcotest.(check int) "gen exits 0" 0 code;
+      let port = 15000 + (Unix.getpid () mod 20000) in
+      let spec = Printf.sprintf "127.0.0.1:%d" port in
+      with_server exe ~graph ~socket:spec ~qlog (fun endpoint ->
+          (* One query so the window summary has something to print. *)
+          Server.with_connection endpoint (fun fd ->
+              let resp =
+                request_exn fd
+                  (Json.Obj [ ("op", Json.Str "query"); ("pattern", Json.Str paper_query) ])
+              in
+              Alcotest.(check bool) "query over TCP ok" true (ok_of resp));
+          let code, out = run exe [ "stats"; "--server"; spec ] in
+          Alcotest.(check int) "stats --server host:port exits 0" 0 code;
+          Alcotest.(check bool) "prints the server header" true
+            (contains out ("server " ^ spec));
+          Alcotest.(check bool) "prints the query window" true (contains out "query");
+          Alcotest.(check bool) "prints the alert summary" true
+            (contains out "alerts:" || contains out "ALERT ");
+          (* An unresolvable host errors cleanly instead of raising. *)
+          let code, _ = run exe [ "stats"; "--server"; "no-such-host.invalid:80" ] in
+          Alcotest.(check bool) "unresolvable host is a clean error" true (code <> 0);
+          Server.with_connection endpoint (fun fd ->
+              let resp = request_exn fd (Json.Obj [ ("op", Json.Str "shutdown") ]) in
+              Alcotest.(check bool) "shutdown acknowledged" true (ok_of resp))))
+
+(* Dashboard rendering from canned documents: the `expfinder top` frame
+   is pure string building, so it is testable without a server. *)
+let canned_stats =
+  {|{"graph_id": 7, "epoch": 3,
+     "windows": {"query": {"window_s": 60, "count": 120, "errors": 2,
+                           "qps": 2.0, "error_rate": 0.016,
+                           "p50_ms": 1.0, "p95_ms": 4.0, "p99_ms": 9.0,
+                           "mean_ms": 1.5, "max_ms": 12.0}},
+     "process": {"process.rss_bytes": 104857600,
+                 "process.heap_words": 1310720,
+                 "uptime.seconds": 3725}}|}
+
+let canned_timeseries =
+  {|{"v": 1, "now_unix": 1000.0,
+     "series_kinds": {"win.query.qps": "rate", "proc.rss_bytes": "level"},
+     "point": "[t_unix,last,sum,min,max,count]",
+     "resolutions":
+       [{"res_s": 1, "slots": 4, "span_s": 4,
+         "series": {"win.query.qps": [[997,1.0,1.0,1.0,1.0,1],
+                                      [998,2.0,2.0,2.0,2.0,1],
+                                      [999,4.0,4.0,4.0,4.0,1]],
+                    "proc.rss_bytes": [[999,104857600,104857600,104857600,104857600,1]]}},
+        {"res_s": 10, "slots": 4, "span_s": 40, "series": {}}]}|}
+
+let canned_alerts =
+  {|{"v": 1, "now_unix": 1000.0,
+     "alerts": [{"name": "query-availability", "op": "query",
+                 "kind": "availability", "target": 0.999,
+                 "fast_s": 300, "slow_s": 3600,
+                 "fast_burn_threshold": 14.4, "slow_burn_threshold": 3.0,
+                 "state": "firing", "firing": true,
+                 "burn_fast": 20.0, "burn_slow": 5.0,
+                 "bad_fast": 0.02, "bad_slow": 0.005},
+                {"name": "query-latency", "op": "query",
+                 "kind": "latency_p99", "threshold_ms": 50.0, "target": 0.99,
+                 "fast_s": 300, "slow_s": 3600,
+                 "fast_burn_threshold": 14.4, "slow_burn_threshold": 3.0,
+                 "state": "passing", "firing": false,
+                 "burn_fast": 0.0, "burn_slow": 0.0,
+                 "bad_fast": 0.0, "bad_slow": 0.0}]}|}
+
+let parse_doc s =
+  match Json.of_string s with
+  | Ok doc -> doc
+  | Error e -> Alcotest.failf "canned document does not parse: %s" e
+
+let test_dashboard_sparkline () =
+  Alcotest.(check string) "empty input" "" (Dashboard.sparkline []);
+  Alcotest.(check string) "all-NaN input" "" (Dashboard.sparkline [ nan; nan ]);
+  let ramp = Dashboard.sparkline [ 0.0; 1.0; 2.0; 3.0; 4.0; 5.0; 6.0; 7.0 ] in
+  Alcotest.(check int) "one block char per value" (8 * 3) (String.length ramp);
+  Alcotest.(check string) "ramp starts at the lowest block" "\xe2\x96\x81"
+    (String.sub ramp 0 3);
+  Alcotest.(check string) "ramp ends at the highest block" "\xe2\x96\x88"
+    (String.sub ramp (String.length ramp - 3) 3);
+  (* Constant series render flat rather than exploding on max=min. *)
+  let flat = Dashboard.sparkline [ 5.0; 5.0; 5.0 ] in
+  Alcotest.(check int) "constant series renders" (3 * 3) (String.length flat);
+  let tail = Dashboard.sparkline ~width:2 [ 1.0; 2.0; 3.0 ] in
+  Alcotest.(check int) "width keeps only the tail" (2 * 3) (String.length tail)
+
+let test_dashboard_series_tail () =
+  let doc = parse_doc canned_timeseries in
+  Alcotest.(check (list (float 1e-9))) "finest-resolution last column, oldest first"
+    [ 1.0; 2.0; 4.0 ]
+    (Dashboard.series_tail doc "win.query.qps");
+  Alcotest.(check (list (float 1e-9))) "unknown series is empty" []
+    (Dashboard.series_tail doc "no.such.series")
+
+let test_dashboard_render () =
+  let stats = parse_doc canned_stats in
+  let timeseries = parse_doc canned_timeseries in
+  let alerts = parse_doc canned_alerts in
+  let frame = Dashboard.render ~stats ~timeseries ~alerts () in
+  Alcotest.(check int) "one firing alert in the canned doc" 1
+    (List.length (Dashboard.firing_alerts alerts));
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "frame mentions %S" needle) true
+        (contains frame needle))
+    [ "query"; "query-availability"; "graph 7"; "epoch 3"; "1h02m" ];
+  (* The frame must still paint with no documents at all. *)
+  let empty = Dashboard.render () in
+  Alcotest.(check bool) "empty frame still paints" true (String.length empty > 0);
+  Alcotest.(check bool) "empty frame shows placeholders" true (contains empty "-")
+
+let dashboard_suite =
+  ( "dashboard",
+    [
+      Alcotest.test_case "sparkline" `Quick test_dashboard_sparkline;
+      Alcotest.test_case "series_tail" `Quick test_dashboard_series_tail;
+      Alcotest.test_case "render" `Quick test_dashboard_render;
+    ] )
+
 (* Endpoint classification: path-shaped specs are always Unix sockets
    (even "/tmp/expfinder:1", whose suffix parses as a port, and the
    all-digit "./8080"); everything else tries bare-port then host:port. *)
@@ -314,10 +514,15 @@ let () =
   match exe with
   | None ->
     print_endline "expfinder.exe not built; running only the unit tests";
-    Alcotest.run "serve" [ unit_suite ]
+    Alcotest.run "serve" [ unit_suite; dashboard_suite ]
   | Some exe ->
     Alcotest.run "serve"
       [
         unit_suite;
-        ("e2e", [ Alcotest.test_case "serve/observe/replay" `Quick (serve_e2e exe) ]);
+        dashboard_suite;
+        ( "e2e",
+          [
+            Alcotest.test_case "serve/observe/replay" `Quick (serve_e2e exe);
+            Alcotest.test_case "stats --server over TCP" `Quick (stats_tcp_e2e exe);
+          ] );
       ]

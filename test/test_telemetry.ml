@@ -8,6 +8,7 @@ open Expfinder_core
 open Expfinder_engine
 open Expfinder_telemetry
 module Collab = Expfinder_workload.Collab
+module Replay = Expfinder_workload.Replay
 
 (* Every test leaves the global flag off so suites in this binary do
    not leak telemetry state into each other. *)
@@ -729,6 +730,425 @@ let test_qlog_unwritable_sink_disables () =
       Qlog.emit ~kind:Qlog.Query ~graph_id:1 ~epoch:1 ~query:"fp" ~strategy:"direct"
         ~duration_ms:0.1 ~counters:[] ~pairs:0 ~digest:"d" ())
 
+(* Replay must verify across a rotation boundary: capture enough served
+   queries to rotate the log, then replay the concatenation of the
+   archived and live generations against a fresh engine. *)
+let test_qlog_replay_across_rotation () =
+  let path = Filename.temp_file "expfinder-qlog-replay" ".jsonl" in
+  let old_max = Qlog.max_bytes () in
+  Qlog.set_max_bytes 4096;
+  Fun.protect
+    ~finally:(fun () -> Qlog.set_max_bytes old_max)
+    (fun () ->
+      with_qlog_sink path (fun () ->
+          with_telemetry true (fun () ->
+              let engine = Engine.create (Collab.graph ()) in
+              let q = Collab.query () in
+              for _ = 1 to 60 do
+                ignore (Engine.evaluate engine q : Engine.answer)
+              done;
+              Qlog.close ();
+              Alcotest.(check bool) "log rotated" true (Sys.file_exists (path ^ ".1"));
+              let load p =
+                match Qlog.load p with Ok e -> e | Error e -> Alcotest.fail e
+              in
+              let archived = load (path ^ ".1") and live = load path in
+              Alcotest.(check bool) "both generations hold events" true
+                (archived <> [] && live <> []);
+              let events = archived @ live in
+              (* The archive is the generation written immediately before
+                 the live file: sequence numbers must be contiguous
+                 across the boundary, or rotation dropped events. *)
+              let rec contiguous = function
+                | a :: (b :: _ as t) -> b.Qlog.seq = a.Qlog.seq + 1 && contiguous t
+                | _ -> true
+              in
+              Alcotest.(check bool) "seq contiguous across the boundary" true
+                (contiguous events);
+              Qlog.set_sink None;
+              let fresh = Engine.create (Collab.graph ()) in
+              let summary = Replay.run fresh events in
+              Alcotest.(check int) "no digest mismatches" 0 summary.Replay.mismatches;
+              Alcotest.(check int) "every event replayed" summary.Replay.total
+                summary.Replay.replayed)))
+
+(* --- timeseries --------------------------------------------------------- *)
+
+(* Ring math with a pinned clock: per-slot merging, exact downsampling
+   into the coarse ring, and wrap-around expiry once the fine ring's
+   span passes. *)
+let test_timeseries_ring_math () =
+  let module T = Timeseries in
+  let ts = T.create ~resolutions:[ (1, 4); (10, 6) ] () in
+  Alcotest.(check (list (pair int int))) "resolutions floor/sort" [ (1, 4); (10, 6) ]
+    (T.resolutions ts);
+  let base = 1_000_000.0 in
+  (* Two samples in one second merge into one slot. *)
+  T.record ~now:base ts T.Level "lvl" 5.0;
+  T.record ~now:(base +. 0.4) ts T.Level "lvl" 3.0;
+  T.record ~now:(base +. 1.0) ts T.Level "lvl" 7.0;
+  (match T.points ~now:(base +. 1.0) ts ~seconds:4 "lvl" with
+  | [ p0; p1 ] ->
+    Alcotest.(check int) "slot 0 merged two samples" 2 p0.T.n;
+    Alcotest.(check (float 1e-9)) "slot 0 sum" 8.0 p0.T.sum;
+    Alcotest.(check (float 1e-9)) "slot 0 min" 3.0 p0.T.vmin;
+    Alcotest.(check (float 1e-9)) "slot 0 max" 5.0 p0.T.vmax;
+    Alcotest.(check (float 1e-9)) "slot 0 last" 3.0 p0.T.last;
+    Alcotest.(check int) "points come back oldest first" 1 (p1.T.t_unix - p0.T.t_unix)
+  | ps -> Alcotest.failf "expected 2 points, got %d" (List.length ps));
+  Alcotest.(check bool) "kind registered" true (T.kind_of ts "lvl" = Some T.Level);
+  (* The coarse ring is an exact downsample: same records, one slot. *)
+  (match T.points ~now:(base +. 1.0) ts ~seconds:40 "lvl" with
+  | [ p ] ->
+    Alcotest.(check int) "coarse slot merged all three" 3 p.T.n;
+    Alcotest.(check (float 1e-9)) "coarse sum" 15.0 p.T.sum;
+    Alcotest.(check int) "coarse resolution" 10 p.T.res_s
+  | ps -> Alcotest.failf "expected 1 coarse point, got %d" (List.length ps));
+  (* Wrap-around: 4 slots of 1 s — recording 6 s later reuses indexes
+     and must expire the stale slots rather than resurface them. *)
+  T.record ~now:(base +. 6.0) ts T.Level "lvl" 100.0;
+  (match T.points ~now:(base +. 6.0) ts ~seconds:4 "lvl" with
+  | [ p ] -> Alcotest.(check (float 1e-9)) "only the fresh slot survives" 100.0 p.T.last
+  | ps -> Alcotest.failf "expected 1 point after wrap, got %d" (List.length ps));
+  (* Rate series aggregate by summing. *)
+  T.record ~now:(base +. 6.0) ts T.Rate "rate" 4.0;
+  T.record ~now:(base +. 7.0) ts T.Rate "rate" 5.0;
+  Alcotest.(check (float 1e-9)) "window_sum sums rate deltas" 9.0
+    (T.window_sum ~now:(base +. 7.0) ts ~seconds:4 "rate");
+  (* Non-finite samples are dropped, not retained as poison. *)
+  T.record ~now:(base +. 7.0) ts T.Level "lvl" Float.nan;
+  Alcotest.(check int) "nan dropped" 1
+    (List.length (T.points ~now:(base +. 7.0) ts ~seconds:2 "lvl"))
+
+let test_timeseries_to_json_shape () =
+  let module T = Timeseries in
+  let ts = T.create () in
+  Alcotest.(check (list (pair int int)))
+    "default retention is 1s/10s/60s" [ (1, 120); (10, 360); (60, 720) ] (T.resolutions ts);
+  let now = 2_000_000.0 in
+  T.record ~now ts T.Level "a" 1.0;
+  T.record ~now ts T.Rate "b" 2.0;
+  let doc = T.to_json ~now ~max_points:10 ts in
+  (match Option.bind (Json.member "resolutions" doc) Json.list_opt with
+  | Some rings ->
+    Alcotest.(check int) "one document entry per resolution" 3 (List.length rings);
+    List.iter
+      (fun ring ->
+        match Option.bind (Json.member "series" ring) (fun s -> Json.member "a" s) with
+        | Some (Json.Arr [ Json.Arr (Json.Int _ :: _) ]) -> ()
+        | _ -> Alcotest.fail "series 'a' must appear as one point array in every ring")
+      rings
+  | None -> Alcotest.fail "document lacks resolutions");
+  match Option.bind (Json.member "series_kinds" doc) (fun k -> Json.member "b" k) with
+  | Some (Json.Str "rate") -> ()
+  | _ -> Alcotest.fail "series_kinds must carry the rate kind"
+
+let test_timeseries_capture_load_report () =
+  let module T = Timeseries in
+  let path = Filename.temp_file "expfinder-ts" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc
+        "{\"v\":1,\"ts_unix\":100.0,\"fields\":{\"win.query.qps\":2.0,\"process.rss_bytes\":1000}}\n\n\
+         {\"v\":1,\"ts_unix\":101.0,\"fields\":{\"win.query.qps\":4.0,\"process.rss_bytes\":1100}}\n";
+      close_out oc;
+      match T.load path with
+      | Error e -> Alcotest.fail e
+      | Ok ticks ->
+        Alcotest.(check int) "two ticks (blank line skipped)" 2 (List.length ticks);
+        Alcotest.(check (float 1e-9)) "timestamps parse" 100.0 (List.hd ticks).T.ts_unix;
+        let r = T.report ticks in
+        let ids = List.map (fun rec_ -> rec_.Report.id) (Report.records r) in
+        Alcotest.(check bool) "one record per series" true
+          (List.mem "TS.win.query.qps" ids && List.mem "TS.process.rss_bytes" ids))
+
+let test_timeseries_load_rejects_garbage () =
+  let path = Filename.temp_file "expfinder-ts-bad" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "{\"v\":1,\"ts_unix\":1.0,\"fields\":{}}\nnot json\n";
+      close_out oc;
+      match Timeseries.load path with
+      | Ok _ -> Alcotest.fail "garbage line must be rejected"
+      | Error e ->
+        Alcotest.(check bool) "error names the line" true
+          (String.length e > 0
+          && String.fold_left (fun acc c -> acc || c = '2') false e))
+
+(* --- SLO burn-rate alerts ----------------------------------------------- *)
+
+(* Compressed windows (fast 4 s / slow 16 s) so the fire -> clear cycle
+   runs in simulated, pinned time. *)
+let test_slo_fire_and_clear () =
+  let module T = Timeseries in
+  let ts = T.create ~resolutions:[ (1, 120) ] () in
+  Slo.set_objectives
+    [
+      Slo.availability ~fast_s:4 ~slow_s:16 ~fast_burn:2.0 ~slow_burn:1.5 ~op:"query"
+        ~target:0.9 ();
+    ];
+  Fun.protect
+    ~finally:(fun () -> Slo.set_objectives [])
+    (fun () ->
+      let base = 3_000_000.0 in
+      (* Healthy traffic: 10 req/s, no errors. *)
+      for i = 0 to 15 do
+        let now = base +. float_of_int i in
+        T.record ~now ts T.Rate "req.query" 10.0;
+        T.record ~now ts T.Rate "err.query" 0.0
+      done;
+      (match Slo.evaluate ~now:(base +. 15.0) ~ts () with
+      | [ a ] -> Alcotest.(check bool) "healthy run passes" true (a.Slo.state = Slo.Passing)
+      | _ -> Alcotest.fail "one objective, one alert");
+      (* Outage: every request errors.  Budget is 0.1, so burn = 10x in
+         both windows once the slow window fills with bad seconds. *)
+      for i = 16 to 31 do
+        let now = base +. float_of_int i in
+        T.record ~now ts T.Rate "req.query" 10.0;
+        T.record ~now ts T.Rate "err.query" 10.0
+      done;
+      (match Slo.evaluate ~now:(base +. 31.0) ~ts () with
+      | [ a ] ->
+        Alcotest.(check bool) "outage fires" true (a.Slo.state = Slo.Firing);
+        Alcotest.(check bool) "fast burn exceeds threshold" true (a.Slo.burn_fast >= 2.0);
+        Alcotest.(check bool) "slow burn exceeds threshold" true (a.Slo.burn_slow >= 1.5)
+      | _ -> Alcotest.fail "one objective, one alert");
+      (* Firing state surfaces in the document and the firing list. *)
+      Alcotest.(check int) "firing list has the alert" 1 (List.length (Slo.firing ()));
+      (match Json.member "alerts" (Slo.to_json ~now:(base +. 31.0) ()) with
+      | Some (Json.Arr [ a ]) ->
+        Alcotest.(check bool) "document says firing" true
+          (Json.member "firing" a = Some (Json.Bool true))
+      | _ -> Alcotest.fail "alerts document shape");
+      (* Recovery: a healthy fast window clears the alert even while the
+         slow window still remembers the outage (multi-window rule). *)
+      for i = 32 to 40 do
+        let now = base +. float_of_int i in
+        T.record ~now ts T.Rate "req.query" 10.0;
+        T.record ~now ts T.Rate "err.query" 0.0
+      done;
+      match Slo.evaluate ~now:(base +. 40.0) ~ts () with
+      | [ a ] -> Alcotest.(check bool) "recovery clears" true (a.Slo.state = Slo.Passing)
+      | _ -> Alcotest.fail "one objective, one alert")
+
+let test_slo_latency_objective () =
+  let module T = Timeseries in
+  let ts = T.create ~resolutions:[ (1, 120) ] () in
+  Slo.set_objectives
+    [
+      Slo.latency_p99 ~fast_s:4 ~slow_s:8 ~fast_burn:1.0 ~slow_burn:1.0 ~op:"query"
+        ~threshold_ms:10.0 ~target:0.5 ();
+    ];
+  Fun.protect
+    ~finally:(fun () -> Slo.set_objectives [])
+    (fun () ->
+      let base = 4_000_000.0 in
+      for i = 0 to 8 do
+        T.record ~now:(base +. float_of_int i) ts T.Level "win.query.p99_ms" 50.0
+      done;
+      match Slo.evaluate ~now:(base +. 8.0) ~ts () with
+      | [ a ] ->
+        Alcotest.(check bool) "sustained p99 violation fires" true (a.Slo.state = Slo.Firing)
+      | _ -> Alcotest.fail "one objective, one alert")
+
+(* --- prometheus --------------------------------------------------------- *)
+
+let contains_line body line = List.mem line (String.split_on_char '\n' body)
+
+let contains_substr haystack needle =
+  let n = String.length haystack and k = String.length needle in
+  let rec scan i = i + k <= n && (String.sub haystack i k = needle || scan (i + 1)) in
+  scan 0
+
+let test_prometheus_collision_and_metadata () =
+  with_telemetry true (fun () ->
+      (* "a.b" and "a:b" both sanitize to expfinder_collide_a_b: the
+         render must keep them distinct, deterministically. *)
+      let c1 = Metrics.counter ~always:true "collide.a.b" in
+      let c2 = Metrics.counter ~always:true "collide.a:b" in
+      Counter.incr c1;
+      Counter.add c2 2;
+      ignore (process_stats () : (string * int) list);
+      let body = Prometheus.render () in
+      let names =
+        List.filter_map
+          (fun l ->
+            if String.length l > 0 && l.[0] <> '#' then
+              match String.index_opt l ' ' with
+              | Some i -> Some (String.sub l 0 i)
+              | None -> None
+            else None)
+          (String.split_on_char '\n' body)
+      in
+      let collide = List.filter (fun n -> contains_substr n "expfinder_collide_a_b") names in
+      let uniq = List.sort_uniq compare collide in
+      Alcotest.(check int) "both colliding families exported" 2 (List.length uniq);
+      (* Every collider is disambiguated with a digest suffix; the bare
+         sanitized token would be ambiguous, so nobody keeps it. *)
+      Alcotest.(check bool) "no collider keeps the ambiguous plain name" false
+        (List.mem "expfinder_collide_a_b" uniq);
+      (* Same input, same disambiguation. *)
+      let body2 = Prometheus.render () in
+      let pick b =
+        List.sort_uniq compare
+          (List.filter (fun n -> contains_substr n "expfinder_collide_a_b")
+             (List.filter_map
+                (fun l ->
+                  if String.length l > 0 && l.[0] <> '#' then
+                    Option.map (fun i -> String.sub l 0 i) (String.index_opt l ' ')
+                  else None)
+                (String.split_on_char '\n' b)))
+      in
+      Alcotest.(check (list string)) "disambiguation is deterministic" (pick body) (pick body2);
+      (* Every sample's family carries # HELP and # TYPE. *)
+      let lines = String.split_on_char '\n' body in
+      let helped =
+        List.filter_map
+          (fun l ->
+            match String.split_on_char ' ' l with
+            | "#" :: "HELP" :: name :: _ -> Some name
+            | _ -> None)
+          lines
+      in
+      let typed =
+        List.filter_map
+          (fun l ->
+            match String.split_on_char ' ' l with
+            | "#" :: "TYPE" :: name :: _ -> Some name
+            | _ -> None)
+          lines
+      in
+      let strip_suffix s suf =
+        let ls = String.length s and lf = String.length suf in
+        if ls > lf && String.sub s (ls - lf) lf = suf then String.sub s 0 (ls - lf)
+        else s
+      in
+      List.iter
+        (fun n ->
+          let base =
+            match String.index_opt n '{' with Some i -> String.sub n 0 i | None -> n
+          in
+          (* Summary families expose [_sum]/[_count] samples whose
+             metadata lives on the base family name. *)
+          let family =
+            if List.mem base helped then base
+            else strip_suffix (strip_suffix base "_sum") "_count"
+          in
+          Alcotest.(check bool) (family ^ " has HELP") true (List.mem family helped);
+          Alcotest.(check bool) (family ^ " has TYPE") true (List.mem family typed))
+        names;
+      (* The uptime satellite: a first-class gauge with a stable name. *)
+      Alcotest.(check bool) "uptime gauge exported" true
+        (List.mem "expfinder_uptime_seconds" names))
+
+let test_prometheus_alert_gauges () =
+  let module T = Timeseries in
+  let ts = T.create ~resolutions:[ (1, 120) ] () in
+  Slo.set_objectives
+    [ Slo.availability ~fast_s:4 ~slow_s:8 ~fast_burn:1.0 ~slow_burn:1.0 ~op:"query" ~target:0.9 () ]
+  ;
+  Fun.protect
+    ~finally:(fun () -> Slo.set_objectives [])
+    (fun () ->
+      let base = 5_000_000.0 in
+      for i = 0 to 8 do
+        let now = base +. float_of_int i in
+        T.record ~now ts T.Rate "req.query" 10.0;
+        T.record ~now ts T.Rate "err.query" 10.0
+      done;
+      ignore (Slo.evaluate ~now:(base +. 8.0) ~ts () : Slo.alert list);
+      let body = Prometheus.render () in
+      Alcotest.(check bool) "firing alert exported as 1" true
+        (contains_line body
+           "expfinder_alert_active{alert=\"query-availability\",op=\"query\"} 1");
+      Alcotest.(check bool) "burn gauges exported" true
+        (contains_substr body
+           "expfinder_alert_burn{alert=\"query-availability\",op=\"query\",window=\"fast\"}"))
+
+(* --- postmortem --------------------------------------------------------- *)
+
+let test_postmortem_roundtrip () =
+  let dir = Filename.temp_file "expfinder-pm" "" in
+  Sys.remove dir;
+  let old = Postmortem.dir () in
+  Postmortem.set_dir (Some dir);
+  Fun.protect
+    ~finally:(fun () ->
+      Postmortem.set_dir old;
+      if Sys.file_exists dir then begin
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+        Unix.rmdir dir
+      end)
+    (fun () ->
+      match Postmortem.write ~reason:"unit-test crash" () with
+      | None -> Alcotest.fail "postmortem write failed with a configured dir"
+      | Some path ->
+        Alcotest.(check bool) "artifact exists" true (Sys.file_exists path);
+        Alcotest.(check bool) "no tmp file left behind" false (Sys.file_exists (path ^ ".tmp"));
+        (match Postmortem.load path with
+        | Error e -> Alcotest.fail e
+        | Ok doc ->
+          Alcotest.(check bool) "reason survives" true
+            (Json.member "reason" doc = Some (Json.Str "unit-test crash"));
+          Alcotest.(check bool) "pid recorded" true
+            (Json.member "pid" doc = Some (Json.Int (Unix.getpid ())));
+          Alcotest.(check bool) "gc stats present" true (Json.member "gc" doc <> None);
+          Alcotest.(check bool) "alerts embedded" true (Json.member "alerts" doc <> None);
+          Alcotest.(check bool) "timeseries embedded" true
+            (Json.member "timeseries" doc <> None);
+          let pretty = Format.asprintf "%a" Postmortem.pp doc in
+          Alcotest.(check bool) "pp mentions the reason" true
+            (contains_substr pretty "unit-test crash")))
+
+let test_postmortem_without_dir_is_inert () =
+  let old = Postmortem.dir () in
+  Postmortem.set_dir None;
+  Fun.protect
+    ~finally:(fun () -> Postmortem.set_dir old)
+    (fun () ->
+      Alcotest.(check bool) "write without a dir returns None" true
+        (Postmortem.write ~reason:"x" () = None))
+
+(* --- allocation attribution & window totals ------------------------------ *)
+
+let test_alloc_labels () =
+  Alcotest.(check string) "default label" "other" (Alloc.current_label ());
+  Alloc.with_label "query" (fun () ->
+      Alcotest.(check string) "label applies" "query" (Alloc.current_label ());
+      Alloc.with_label "batch" (fun () ->
+          Alcotest.(check string) "labels nest" "batch" (Alloc.current_label ())));
+  Alcotest.(check string) "label restored" "other" (Alloc.current_label ());
+  (try Alloc.with_label "boom" (fun () -> failwith "escape") with Failure _ -> ());
+  Alcotest.(check string) "label restored after an exception" "other" (Alloc.current_label ());
+  Alcotest.(check bool) "rate 0 rejected" false (Alloc.start ~rate:0.0 ());
+  Alcotest.(check bool) "rate > 1 rejected" false (Alloc.start ~rate:2.0 ());
+  (* On runtimes without statmemprof (OCaml 5.0/5.1) start degrades to
+     inert; either way stop must be safe to call. *)
+  let started = Alloc.start ~rate:0.01 () in
+  Alloc.stop ();
+  Alcotest.(check bool) "inactive after stop" false (Alloc.active ());
+  ignore (started : bool)
+
+let test_window_totals () =
+  with_telemetry true (fun () ->
+      let w = Window.create ~seconds:2 "t.totals" in
+      Alcotest.(check (pair int int)) "fresh totals" (0, 0) (Window.totals w);
+      let now = 6_000_000.0 in
+      Window.observe w ~now 1.0;
+      Window.observe w ~error:true ~now 2.0;
+      (* Lifetime totals must survive the ring sliding past the
+         observations — that is what the sampler differentiates. *)
+      Window.observe w ~now:(now +. 10.0) 3.0;
+      Alcotest.(check (pair int int)) "totals outlive the ring" (3, 1) (Window.totals w);
+      let s = Window.summary ~now:(now +. 10.0) w in
+      Alcotest.(check int) "ring forgot the old requests" 1 s.Window.count;
+      Window.reset w;
+      Alcotest.(check (pair int int)) "reset zeroes totals" (0, 0) (Window.totals w))
+
 (* --- histogram percentile bounds (property) ----------------------------- *)
 
 (* The log-scale buckets promise ~9% relative resolution: the reported
@@ -854,6 +1274,7 @@ let () =
           Alcotest.test_case "percentiles and error rate" `Quick
             test_window_percentiles_and_errors;
           Alcotest.test_case "summary JSON roundtrip" `Quick test_window_summary_json_roundtrip;
+          Alcotest.test_case "lifetime totals" `Quick test_window_totals;
         ] );
       ( "qlog",
         [
@@ -863,7 +1284,39 @@ let () =
           Alcotest.test_case "size-based rotation" `Quick test_qlog_rotation;
           Alcotest.test_case "unwritable sink disables, not raises" `Quick
             test_qlog_unwritable_sink_disables;
+          Alcotest.test_case "replay across a rotation boundary" `Quick
+            test_qlog_replay_across_rotation;
         ] );
+      ( "timeseries",
+        [
+          Alcotest.test_case "ring math and wrap-around expiry" `Quick
+            test_timeseries_ring_math;
+          Alcotest.test_case "/timeseries.json document shape" `Quick
+            test_timeseries_to_json_shape;
+          Alcotest.test_case "capture load and report" `Quick
+            test_timeseries_capture_load_report;
+          Alcotest.test_case "capture rejects garbage lines" `Quick
+            test_timeseries_load_rejects_garbage;
+        ] );
+      ( "slo",
+        [
+          Alcotest.test_case "availability fires and clears" `Quick test_slo_fire_and_clear;
+          Alcotest.test_case "latency p99 objective" `Quick test_slo_latency_objective;
+        ] );
+      ( "prometheus",
+        [
+          Alcotest.test_case "collision disambiguation and HELP/TYPE" `Quick
+            test_prometheus_collision_and_metadata;
+          Alcotest.test_case "alert gauges" `Quick test_prometheus_alert_gauges;
+        ] );
+      ( "postmortem",
+        [
+          Alcotest.test_case "write/load/pp roundtrip" `Quick test_postmortem_roundtrip;
+          Alcotest.test_case "inert without a directory" `Quick
+            test_postmortem_without_dir_is_inert;
+        ] );
+      ( "alloc",
+        [ Alcotest.test_case "label nesting and guards" `Quick test_alloc_labels ] );
       ( "properties",
         [ QCheck_alcotest.to_alcotest qcheck_histogram_percentile_bound ] );
       ( "recorder",
