@@ -1,4 +1,4 @@
-.PHONY: all build test lint lint-mli check replay-smoke soak-smoke bench bench-full bench-json bench-gate examples demo clean
+.PHONY: all build test lint lint-mli lint-dsafe check replay-smoke soak-smoke bench bench-full bench-json bench-gate examples demo clean
 
 EXE := _build/default/bin/expfinder.exe
 
@@ -23,12 +23,12 @@ lint:
 # Strict interface lint (odoc is not in the container, so this stands in
 # for `dune build @doc`): every library module must ship an explicit
 # .mli, and every .mli must carry at least one (** ... *) doc comment.
-# graph_intf.ml is signature-only (no implementation to hide) and is the
-# single sanctioned exception.
+# Sanctioned exceptions (signature-only modules) live in lint/mli.allow,
+# shared with the dsafe gate below.
 lint-mli:
 	@missing=0; \
 	for f in lib/*/*.ml; do \
-	  case "$$f" in lib/graph/graph_intf.ml) continue ;; esac; \
+	  if grep -q "^$$f\([[:space:]]\|$$\)" lint/mli.allow; then continue; fi; \
 	  if [ ! -f "$${f}i" ]; then echo "lint-mli: missing interface $${f}i"; missing=1; fi; \
 	done; \
 	for f in lib/*/*.mli; do \
@@ -36,13 +36,26 @@ lint-mli:
 	done; \
 	[ $$missing -eq 0 ] && echo "lint-mli: ok"
 
+# Domain-safety ratchet: dlint walks the .cmt typedtrees under _build,
+# inventories every module-level mutable binding, sweeps for banned
+# constructs (Obj.magic, Marshal.from_*, Random.self_init) and audits
+# the read-path signatures, then gates all findings against
+# lint/dsafe.allow.  Fails on any unallowlisted finding (new shared
+# mutable state) and on stale allowlist entries (the list only shrinks).
+# The JSON report lands in _build/dsafe-report.json (CI uploads it).
+lint-dsafe: build
+	_build/default/bin/dlint.exe \
+	  --allow lint/dsafe.allow --mli-allow lint/mli.allow \
+	  --json _build/dsafe-report.json \
+	  _build/default/lib _build/default/bin
+
 # Pre-merge gate: lint + tests, then the whole suite again with the
 # differential self-checker on (every cached/compressed/indexed answer
 # re-verified against direct evaluation; <1s overhead), then a soft
 # perf-regression check against the committed baseline (warn-only here:
 # quick-mode medians are too noisy to block a merge on; run bench-gate
 # directly for a hard verdict).
-check: lint lint-mli
+check: lint lint-mli lint-dsafe
 	dune runtest
 	EXPFINDER_CHECK=1 dune runtest --force
 	$(MAKE) --no-print-directory replay-smoke

@@ -1,0 +1,119 @@
+(* dlint: the Dsafe domain-safety gate as a command-line tool.
+
+   Scans the .cmt/.cmti trees under the given roots (default: the dune
+   byte-code annots for lib/ and bin/) and checks every finding against
+   the checked-in allowlist.  Exit 0 iff the ratchet holds: no finding
+   missing from the allowlist, no stale allowlist entry.
+
+     dlint [--allow FILE] [--mli-allow FILE] [--json FILE]
+           [--emit-allow] [--no-fail-stale] [ROOT...]
+
+   Kept free of module-level mutable state on purpose — this binary is
+   in its own scan scope. *)
+
+module Dsafe = Expfinder_analysis.Dsafe
+
+let usage () =
+  prerr_endline
+    "usage: dlint [--allow FILE] [--mli-allow FILE] [--json FILE]\n\
+    \             [--emit-allow] [--no-fail-stale] [ROOT...]\n\n\
+     Scans _build .cmt/.cmti trees for module-level mutable state, banned\n\
+     constructs and read-path signature leaks, then gates the findings\n\
+     against the allowlist (default lint/dsafe.allow).\n\n\
+    \  --allow FILE      allowlist to gate against (default lint/dsafe.allow)\n\
+    \  --mli-allow FILE  shared lint-mli exemption list; listed sources skip\n\
+    \                    the mutable-binding inventory (signature-only files)\n\
+    \  --json FILE       also write the full report as JSON\n\
+    \  --emit-allow      print seed allowlist lines for all findings and exit\n\
+    \  --no-fail-stale   tolerate allowlist entries with no matching finding"
+
+let default_roots = [ "_build/default/lib"; "_build/default/bin" ]
+
+(* lint/mli.allow lines are "<path> <justification...>"; only the path
+   matters here. *)
+let load_mli_allow path =
+  match open_in path with
+  | exception Sys_error _ -> []
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | exception End_of_file -> List.rev acc
+          | line -> (
+            let line = String.trim line in
+            if line = "" || line.[0] = '#' then go acc
+            else
+              match String.index_opt line ' ' with
+              | Some i -> go (String.sub line 0 i :: acc)
+              | None -> go (line :: acc))
+        in
+        go [])
+
+let main () =
+  let rec parse (allow, mli_allow, json, emit, fail_stale, roots) = function
+    | [] -> (allow, mli_allow, json, emit, fail_stale, List.rev roots)
+    | "--allow" :: v :: rest -> parse (v, mli_allow, json, emit, fail_stale, roots) rest
+    | "--mli-allow" :: v :: rest -> parse (allow, v, json, emit, fail_stale, roots) rest
+    | "--json" :: v :: rest -> parse (allow, mli_allow, Some v, emit, fail_stale, roots) rest
+    | "--emit-allow" :: rest -> parse (allow, mli_allow, json, true, fail_stale, roots) rest
+    | "--no-fail-stale" :: rest -> parse (allow, mli_allow, json, emit, false, roots) rest
+    | ("--help" | "-h") :: _ ->
+      usage ();
+      exit 0
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
+      Printf.eprintf "dlint: unknown option %s\n" arg;
+      usage ();
+      exit 2
+    | root :: rest -> parse (allow, mli_allow, json, emit, fail_stale, root :: roots) rest
+  in
+  let allow_path, mli_allow_path, json_path, emit, fail_stale, roots =
+    parse ("lint/dsafe.allow", "lint/mli.allow", None, false, true, [])
+      (List.tl (Array.to_list Sys.argv))
+  in
+  let roots = if roots = [] then default_roots else roots in
+  let missing = List.filter (fun r -> not (Sys.file_exists r)) roots in
+  if missing <> [] then begin
+    Printf.eprintf "dlint: no such root(s): %s (run `dune build` first?)\n"
+      (String.concat ", " missing);
+    exit 2
+  end;
+  let mli_exempt = load_mli_allow mli_allow_path in
+  let findings = Dsafe.scan ~mli_exempt ~roots () in
+  if emit then begin
+    Dsafe.emit_allow Format.std_formatter findings;
+    exit 0
+  end;
+  let allow =
+    match Dsafe.load_allow allow_path with
+    | Ok entries -> entries
+    | Error e ->
+      Printf.eprintf "dlint: cannot read allowlist %s: %s\n" allow_path e;
+      exit 2
+  in
+  let gate = Dsafe.gate ~allow findings in
+  Dsafe.pp_table Format.std_formatter gate;
+  (match json_path with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc
+          (Expfinder_telemetry.Json.to_string ~pretty:true (Dsafe.to_json gate))));
+  if Dsafe.gate_ok ~fail_stale gate then exit 0
+  else begin
+    if gate.Dsafe.unallowed <> [] then
+      prerr_endline
+        "dlint: unallowed findings — either remove the shared mutable state or add a \
+         justified entry to lint/dsafe.allow (seed one with --emit-allow)";
+    if fail_stale && gate.Dsafe.stale <> [] then
+      prerr_endline
+        "dlint: stale allowlist entries — the sites are gone; delete the entries so the \
+         ratchet tightens";
+    exit 1
+  end
+
+let () = main ()

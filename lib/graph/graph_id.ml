@@ -1,5 +1,6 @@
-let counter = ref 0
+(* Atomic: graph identities are minted from whichever thread loads or
+   patches a graph, and a duplicated id would silently merge two
+   snapshots' telemetry. *)
+let counter = Atomic.make 0
 
-let fresh () =
-  incr counter;
-  !counter
+let fresh () = Atomic.fetch_and_add counter 1 + 1

@@ -436,42 +436,65 @@ module Metrics = struct
 
   let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
 
+  (* The sampler thread enumerates the registry on every tick while the
+     connection handler registers gauges lazily; Hashtbl offers no
+     atomicity whatsoever under that interleaving (a resize mid-fold is
+     a crash).  Every touch of [registry] goes through this lock; the
+     individual Counter/Gauge cells stay lock-free as before.  Callbacks
+     run under the lock never re-enter the registry. *)
+  let registry_mutex = Mutex.create ()
+
+  let with_registry f = Mutex.protect registry_mutex f
+
+  (* Sorted enumeration for the exporters (to_json/pp here, Prometheus
+     render, timeseries sampling): the fold happens under the lock, the
+     caller's rendering does not. *)
+  let rows () =
+    with_registry (fun () ->
+        Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry [])
+    |> List.sort compare
+
   let counter ?always name =
-    match Hashtbl.find_opt registry name with
-    | Some (M_counter c) -> c
-    | Some _ -> invalid_arg ("Telemetry.Metrics.counter: " ^ name ^ " is not a counter")
-    | None ->
-      let c = Counter.create ?always name in
-      Hashtbl.replace registry name (M_counter c);
-      c
+    with_registry (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some (M_counter c) -> c
+        | Some _ ->
+          invalid_arg ("Telemetry.Metrics.counter: " ^ name ^ " is not a counter")
+        | None ->
+          let c = Counter.create ?always name in
+          Hashtbl.replace registry name (M_counter c);
+          c)
 
   let gauge ?always name =
-    match Hashtbl.find_opt registry name with
-    | Some (M_gauge g) -> g
-    | Some _ -> invalid_arg ("Telemetry.Metrics.gauge: " ^ name ^ " is not a gauge")
-    | None ->
-      let g = Gauge.create ?always name in
-      Hashtbl.replace registry name (M_gauge g);
-      g
+    with_registry (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some (M_gauge g) -> g
+        | Some _ -> invalid_arg ("Telemetry.Metrics.gauge: " ^ name ^ " is not a gauge")
+        | None ->
+          let g = Gauge.create ?always name in
+          Hashtbl.replace registry name (M_gauge g);
+          g)
 
   let histogram ?always name =
-    match Hashtbl.find_opt registry name with
-    | Some (M_histogram h) -> h
-    | Some _ ->
-      invalid_arg ("Telemetry.Metrics.histogram: " ^ name ^ " is not a histogram")
-    | None ->
-      let h = Histogram.create ?always name in
-      Hashtbl.replace registry name (M_histogram h);
-      h
+    with_registry (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some (M_histogram h) -> h
+        | Some _ ->
+          invalid_arg ("Telemetry.Metrics.histogram: " ^ name ^ " is not a histogram")
+        | None ->
+          let h = Histogram.create ?always name in
+          Hashtbl.replace registry name (M_histogram h);
+          h)
 
   let counters_snapshot () =
-    Hashtbl.fold
-      (fun name m acc ->
-        match m with
-        | M_counter c -> (name, Counter.value c) :: acc
-        | M_gauge g -> (name, Gauge.value g) :: acc
-        | M_histogram _ -> acc)
-      registry []
+    with_registry (fun () ->
+        Hashtbl.fold
+          (fun name m acc ->
+            match m with
+            | M_counter c -> (name, Counter.value c) :: acc
+            | M_gauge g -> (name, Gauge.value g) :: acc
+            | M_histogram _ -> acc)
+          registry [])
     |> List.sort compare
 
   let delta ~before ~after =
@@ -484,17 +507,16 @@ module Metrics = struct
       after
 
   let reset_all () =
-    Hashtbl.iter
-      (fun _ -> function
-        | M_counter c -> Counter.reset c
-        | M_gauge g -> Gauge.reset g
-        | M_histogram h -> Histogram.reset h)
-      registry
+    with_registry (fun () ->
+        Hashtbl.iter
+          (fun _ -> function
+            | M_counter c -> Counter.reset c
+            | M_gauge g -> Gauge.reset g
+            | M_histogram h -> Histogram.reset h)
+          registry)
 
   let to_json () =
-    let rows =
-      Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry [] |> List.sort compare
-    in
+    let rows = rows () in
     Json.Obj
       (List.map
          (fun (name, m) ->
@@ -517,9 +539,7 @@ module Metrics = struct
          rows)
 
   let pp ppf () =
-    let rows =
-      Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry [] |> List.sort compare
-    in
+    let rows = rows () in
     List.iter
       (fun (name, m) ->
         match m with
@@ -945,32 +965,42 @@ module Recorder = struct
 
   let slow_threshold_ms () = !slow_ms
 
-  let buf : event option array ref = ref (Array.make initial_capacity None)
+  (* The ring is swapped wholesale on resize/clear and the sequence
+     counter claims slots, so both live in [Atomic]s: a reader (the
+     /stats handler, the postmortem writer) always sees a coherent
+     array even while another thread is recording, and two recorders
+     never claim the same slot.  Slot stores stay plain writes — an
+     event is one immutable boxed record, so a racing reader sees
+     either the old event or the new one, never a torn one. *)
+  let buf : event option array Atomic.t = Atomic.make (Array.make initial_capacity None)
 
-  let next_seq = ref 0
+  let next_seq = Atomic.make 0
 
-  let capacity () = Array.length !buf
+  let capacity () = Array.length (Atomic.get buf)
 
   let set_capacity n =
     let n = Stdlib.max 1 n in
-    if n <> Array.length !buf then buf := Array.make n None
+    if n <> Array.length (Atomic.get buf) then Atomic.set buf (Array.make n None)
 
   let record ~query ~strategy ~duration_ms ~counters =
-    let seq = !next_seq in
-    next_seq := seq + 1;
+    let seq = Atomic.fetch_and_add next_seq 1 in
     let slow = match !slow_ms with Some t -> duration_ms >= t | None -> false in
-    !buf.(seq mod Array.length !buf) <- Some { seq; query; strategy; duration_ms; slow; counters }
+    let b = Atomic.get buf in
+    b.(seq mod Array.length b) <- Some { seq; query; strategy; duration_ms; slow; counters }
 
   let recent () =
-    Array.to_list !buf
+    Array.to_list (Atomic.get buf)
     |> List.filter_map Fun.id
     |> List.sort (fun a b -> compare a.seq b.seq)
 
   let slow_events () = List.filter (fun e -> e.slow) (recent ())
 
+  (* Swap in a fresh array rather than filling in place: a concurrent
+     [record] keeps writing its old array, which is then unreachable —
+     losing that one event is fine, corrupting a shared one is not. *)
   let clear () =
-    Array.fill !buf 0 (Array.length !buf) None;
-    next_seq := 0
+    Atomic.set buf (Array.make (capacity ()) None);
+    Atomic.set next_seq 0
 
   let event_json e =
     Json.Obj
@@ -1025,15 +1055,26 @@ module Gcpause = struct
 
   let session : session option ref = ref None
 
-  let total_ns = ref 0
+  (* Both the sampler thread and the /stats handler poll; the gauges
+     are read from yet another interleaving.  Totals are atomic so a
+     reader never sees a torn sum. *)
+  let total_ns = Atomic.make 0
 
-  let max_ns = ref 0
+  let max_ns = Atomic.make 0
 
-  let slices = ref 0
+  let slices = Atomic.make 0
 
   (* Open begin-events keyed by (domain, phase): minor and major slices
-     can interleave across domains, so each pair is matched separately. *)
+     can interleave across domains, so each pair is matched separately.
+     Touched only from the poll callbacks, which run under [poll_lock]. *)
   let opens : (int * Runtime_events.runtime_phase, int64) Hashtbl.t = Hashtbl.create 8
+
+  (* Draining the cursor is single-consumer by construction (each event
+     must be matched to its begin exactly once), so polling is mutually
+     exclusive.  Contenders skip rather than wait: the loser's events
+     are simply picked up by the next tick, and a sampler beat must not
+     block a request handler. *)
+  let poll_lock = Mutex.create ()
 
   let interesting (phase : Runtime_events.runtime_phase) =
     match phase with Runtime_events.EV_MINOR | Runtime_events.EV_MAJOR -> true | _ -> false
@@ -1041,6 +1082,10 @@ module Gcpause = struct
   let on_begin domain ts phase =
     if interesting phase then
       Hashtbl.replace opens (domain, phase) (Runtime_events.Timestamp.to_int64 ts)
+
+  let rec record_max dur =
+    let cur = Atomic.get max_ns in
+    if dur > cur && not (Atomic.compare_and_set max_ns cur dur) then record_max dur
 
   let on_end domain ts phase =
     if interesting phase then
@@ -1050,42 +1095,47 @@ module Gcpause = struct
         Hashtbl.remove opens (domain, phase);
         let dur = Int64.to_int (Int64.sub (Runtime_events.Timestamp.to_int64 ts) t0) in
         if dur > 0 then begin
-          total_ns := !total_ns + dur;
-          if dur > !max_ns then max_ns := dur;
-          incr slices
+          ignore (Atomic.fetch_and_add total_ns dur : int);
+          record_max dur;
+          Atomic.incr slices
         end
 
   let start () =
-    match !session with
-    | Some _ -> true
-    | None -> (
-      try
-        (* The events ring is backed by a <pid>.events file; keep it out
-           of the working directory unless the user picked a spot. *)
-        if Sys.getenv_opt "OCAML_RUNTIME_EVENTS_DIR" = None then
-          Unix.putenv "OCAML_RUNTIME_EVENTS_DIR" (Filename.get_temp_dir_name ());
-        Runtime_events.start ();
-        let cursor = Runtime_events.create_cursor None in
-        let callbacks =
-          Runtime_events.Callbacks.create ~runtime_begin:on_begin ~runtime_end:on_end ()
-        in
-        session := Some { cursor; callbacks };
-        true
-      with _ -> false)
+    Mutex.protect poll_lock (fun () ->
+        match !session with
+        | Some _ -> true
+        | None -> (
+          try
+            (* The events ring is backed by a <pid>.events file; keep it out
+               of the working directory unless the user picked a spot. *)
+            if Sys.getenv_opt "OCAML_RUNTIME_EVENTS_DIR" = None then
+              Unix.putenv "OCAML_RUNTIME_EVENTS_DIR" (Filename.get_temp_dir_name ());
+            Runtime_events.start ();
+            let cursor = Runtime_events.create_cursor None in
+            let callbacks =
+              Runtime_events.Callbacks.create ~runtime_begin:on_begin ~runtime_end:on_end ()
+            in
+            session := Some { cursor; callbacks };
+            true
+          with _ -> false))
 
   let active () = !session <> None
 
   let poll () =
-    match !session with
-    | None -> ()
-    | Some s -> (
-      try ignore (Runtime_events.read_poll s.cursor s.callbacks None : int) with _ -> ())
+    if Mutex.try_lock poll_lock then
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock poll_lock)
+        (fun () ->
+          match !session with
+          | None -> ()
+          | Some s -> (
+            try ignore (Runtime_events.read_poll s.cursor s.callbacks None : int) with _ -> ()))
 
-  let pause_us_total () = !total_ns / 1000
+  let pause_us_total () = Atomic.get total_ns / 1000
 
-  let pause_us_max () = !max_ns / 1000
+  let pause_us_max () = Atomic.get max_ns / 1000
 
-  let observed_slices () = !slices
+  let observed_slices () = Atomic.get slices
 end
 
 (* ------------------------------------------------------------------ *)
@@ -1252,8 +1302,15 @@ module Window = struct
      the same log-scale bucket layout as {!Histogram}, so merged-window
      percentiles share its resolution (~9% relative error) and its
      exact-min/max clamping. *)
+  (* The stamp is the bucket's synchronisation point: observers CAS it
+     forward to claim a reclaim, and the sampler-side readers load it
+     atomically to decide whether the bucket is inside the window.
+     The payload fields stay plain — each op-class window has a single
+     writer (the handler thread for its op class), so the only
+     cross-thread traffic is reads, and a read torn against an
+     in-flight observation moves a count by at most one. *)
   type bucket = {
-    mutable sec : int;  (* unix second this bucket holds; -1 = empty *)
+    sec : int Atomic.t;  (* unix second this bucket holds; -1 = empty *)
     mutable bcount : int;
     mutable berrors : int;
     mutable bsum : float;
@@ -1267,14 +1324,15 @@ module Window = struct
     wseconds : int;
     ring : bucket array;
     (* Lifetime totals, never reclaimed with the ring: the timeseries
-       sampler differentiates them into per-tick request/error rates. *)
-    mutable total_count : int;
-    mutable total_errors : int;
+       sampler differentiates them into per-tick request/error rates,
+       reading from its own thread — hence atomic. *)
+    total_count : int Atomic.t;
+    total_errors : int Atomic.t;
   }
 
   let fresh_bucket () =
     {
-      sec = -1;
+      sec = Atomic.make (-1);
       bcount = 0;
       berrors = 0;
       bsum = 0.0;
@@ -1289,8 +1347,8 @@ module Window = struct
       wname;
       wseconds = seconds;
       ring = Array.init seconds (fun _ -> fresh_bucket ());
-      total_count = 0;
-      total_errors = 0;
+      total_count = Atomic.make 0;
+      total_errors = Atomic.make 0;
     }
 
   let name t = t.wname
@@ -1298,11 +1356,11 @@ module Window = struct
   let seconds t = t.wseconds
 
   let reset t =
-    t.total_count <- 0;
-    t.total_errors <- 0;
+    Atomic.set t.total_count 0;
+    Atomic.set t.total_errors 0;
     Array.iter
       (fun b ->
-        b.sec <- -1;
+        Atomic.set b.sec (-1);
         b.bcount <- 0;
         b.berrors <- 0;
         b.bsum <- 0.0;
@@ -1317,26 +1375,33 @@ module Window = struct
     let now = match now with Some n -> n | None -> wall_seconds () in
     let sec = int_of_float now in
     let b = t.ring.(sec mod t.wseconds) in
-    if b.sec <> sec then begin
-      b.sec <- sec;
-      b.bcount <- 0;
-      b.berrors <- 0;
-      b.bsum <- 0.0;
-      b.bmin <- 0.0;
-      b.bmax <- 0.0;
-      Array.fill b.bhist 0 Histogram.nbuckets 0
-    end;
+    let stamp = Atomic.get b.sec in
+    if stamp <> sec then
+      (* CAS claims the reclaim: if two observers cross a second
+         boundary together only the winner zeroes the bucket, the loser
+         just records into it.  Publish the new stamp only after the
+         zeroing so a reader never merges a half-reset bucket as
+         current. *)
+      if Atomic.compare_and_set b.sec stamp (-1) then begin
+        b.bcount <- 0;
+        b.berrors <- 0;
+        b.bsum <- 0.0;
+        b.bmin <- 0.0;
+        b.bmax <- 0.0;
+        Array.fill b.bhist 0 Histogram.nbuckets 0;
+        Atomic.set b.sec sec
+      end;
     if b.bcount = 0 || ms < b.bmin then b.bmin <- ms;
     if b.bcount = 0 || ms > b.bmax then b.bmax <- ms;
     b.bcount <- b.bcount + 1;
     if error then b.berrors <- b.berrors + 1;
     b.bsum <- b.bsum +. ms;
-    t.total_count <- t.total_count + 1;
-    if error then t.total_errors <- t.total_errors + 1;
+    Atomic.incr t.total_count;
+    if error then Atomic.incr t.total_errors;
     let i = Histogram.bucket_of ms in
     b.bhist.(i) <- b.bhist.(i) + 1
 
-  let totals t = (t.total_count, t.total_errors)
+  let totals t = (Atomic.get t.total_count, Atomic.get t.total_errors)
 
   type summary = {
     window_s : int;
@@ -1359,7 +1424,8 @@ module Window = struct
     let mn = ref 0.0 and mx = ref 0.0 in
     Array.iter
       (fun b ->
-        if b.sec > now_sec - t.wseconds && b.sec <= now_sec && b.bcount > 0 then begin
+        let bsec = Atomic.get b.sec in
+        if bsec > now_sec - t.wseconds && bsec <= now_sec && b.bcount > 0 then begin
           if !count = 0 || b.bmin < !mn then mn := b.bmin;
           if !count = 0 || b.bmax > !mx then mx := b.bmax;
           count := !count + b.bcount;
@@ -1444,18 +1510,28 @@ module Window = struct
      must not depend on the telemetry flag. *)
   let windows : (string, t) Hashtbl.t = Hashtbl.create 8
 
+  (* Same story as {!Metrics.registry}: the handler creates windows
+     lazily while the sampler enumerates them every tick, and a Hashtbl
+     resize under a concurrent fold is a crash.  Lock the registry, not
+     the windows themselves. *)
+  let windows_mutex = Mutex.create ()
+
   let get ?seconds name =
-    match Hashtbl.find_opt windows name with
-    | Some w -> w
-    | None ->
-      let w = create ?seconds name in
-      Hashtbl.replace windows name w;
-      w
+    Mutex.protect windows_mutex (fun () ->
+        match Hashtbl.find_opt windows name with
+        | Some w -> w
+        | None ->
+          let w = create ?seconds name in
+          Hashtbl.replace windows name w;
+          w)
 
   let all () =
-    Hashtbl.fold (fun name w acc -> (name, w) :: acc) windows [] |> List.sort compare
+    Mutex.protect windows_mutex (fun () ->
+        Hashtbl.fold (fun name w acc -> (name, w) :: acc) windows [])
+    |> List.sort compare
 
-  let reset_all () = Hashtbl.iter (fun _ w -> reset w) windows
+  let reset_all () =
+    List.iter (fun (_, w) -> reset w) (all ())
 end
 
 (* ------------------------------------------------------------------ *)
@@ -1470,8 +1546,15 @@ end
    sink with one stderr warning instead of raising into the serving
    path.  Pointing at a new path re-arms the warning. *)
 module Jsonl_sink = struct
+  (* One mutex per sink: the SLO evaluator emits alert events from the
+     sampler thread into the same query-log sink the handler writes, so
+     open/rotate/write/disable must be a critical section or two writers
+     can interleave half-lines into the log.  All mutation happens with
+     [lock] held; the [_unlocked] helpers exist because disable-on-error
+     fires from inside [emit], which already holds it. *)
   type t = {
     label : string;
+    lock : Mutex.t;
     mutable path : string option;
     mutable chan : out_channel option;
     mutable written : int;
@@ -1486,34 +1569,45 @@ module Jsonl_sink = struct
   let default_max_bytes = 64 * 1024 * 1024
 
   let create ?(max_bytes = default_max_bytes) ~label path =
-    { label; path = normalize path; chan = None; written = 0; max_bytes; warned = false }
+    {
+      label;
+      lock = Mutex.create ();
+      path = normalize path;
+      chan = None;
+      written = 0;
+      max_bytes;
+      warned = false;
+    }
 
-  let close t =
+  let close_unlocked t =
     Option.iter close_out_noerr t.chan;
     t.chan <- None;
     t.written <- 0
 
+  let close t = Mutex.protect t.lock (fun () -> close_unlocked t)
+
   let set_path t path =
-    close t;
-    t.warned <- false;
-    t.path <- normalize path
+    Mutex.protect t.lock (fun () ->
+        close_unlocked t;
+        t.warned <- false;
+        t.path <- normalize path)
 
   let path t = t.path
 
   let enabled t = t.path <> None
 
-  let set_max_bytes t n = t.max_bytes <- Stdlib.max 4096 n
+  let set_max_bytes t n = Mutex.protect t.lock (fun () -> t.max_bytes <- Stdlib.max 4096 n)
 
   let max_bytes t = t.max_bytes
 
   let rotated_path p = p ^ ".1"
 
-  let disable t exn =
+  let disable_unlocked t exn =
     if not t.warned then begin
       t.warned <- true;
       Printf.eprintf "expfinder: %s disabled: %s\n%!" t.label (Printexc.to_string exn)
     end;
-    close t;
+    close_unlocked t;
     t.path <- None
 
   let open_chan t p =
@@ -1522,27 +1616,29 @@ module Jsonl_sink = struct
     t.written <- out_channel_length oc
 
   let rotate t p =
-    close t;
+    close_unlocked t;
     (try Sys.remove (rotated_path p) with Sys_error _ -> ());
     (try Sys.rename p (rotated_path p) with Sys_error _ -> ());
     open_chan t p
 
   (* [line] is one JSON document without the trailing newline. *)
   let emit t line =
-    match t.path with
-    | None -> ()
-    | Some p -> (
-      try
-        if t.chan = None then open_chan t p;
-        if t.written > 0 && t.written + String.length line + 1 > t.max_bytes then rotate t p;
-        match t.chan with
-        | Some oc ->
-          output_string oc line;
-          output_char oc '\n';
-          flush oc;
-          t.written <- t.written + String.length line + 1
+    Mutex.protect t.lock (fun () ->
+        match t.path with
         | None -> ()
-      with (Sys_error _ | Unix.Unix_error _) as exn -> disable t exn)
+        | Some p -> (
+          try
+            if t.chan = None then open_chan t p;
+            if t.written > 0 && t.written + String.length line + 1 > t.max_bytes then
+              rotate t p;
+            match t.chan with
+            | Some oc ->
+              output_string oc line;
+              output_char oc '\n';
+              flush oc;
+              t.written <- t.written + String.length line + 1
+            | None -> ()
+          with (Sys_error _ | Unix.Unix_error _) as exn -> disable_unlocked t exn))
 end
 
 (* ------------------------------------------------------------------ *)
@@ -1599,7 +1695,9 @@ module Qlog = struct
 
   let set_max_bytes n = Jsonl_sink.set_max_bytes sink_t n
 
-  let next_seq = ref 0
+  (* Claimed atomically: alert events (sampler thread) and query events
+     (handler) share the sequence space. *)
+  let next_seq = Atomic.make 0
 
   let close () = Jsonl_sink.close sink_t
 
@@ -1670,8 +1768,7 @@ module Qlog = struct
   let emit ~kind ~graph_id ~epoch ~query ~strategy ~duration_ms ~counters ~pairs ~digest
       ?error ?payload () =
     if Jsonl_sink.enabled sink_t then begin
-      let seq = !next_seq in
-      next_seq := seq + 1;
+      let seq = Atomic.fetch_and_add next_seq 1 in
       let slow =
         match Recorder.slow_threshold_ms () with Some t -> duration_ms >= t | None -> false
       in
@@ -2014,8 +2111,7 @@ module Timeseries = struct
         | "process.start_time_unix" | "uptime.seconds" -> ()
         | _ -> cum name v)
       (process_stats ());
-    Hashtbl.fold (fun name m acc -> (name, m) :: acc) Metrics.registry []
-    |> List.sort compare
+    Metrics.rows ()
     |> List.iter (fun (name, m) ->
            match m with
            | Metrics.M_counter c -> cum ("m." ^ name) (float_of_int (Counter.value c))
@@ -2172,7 +2268,12 @@ module Slo = struct
     mutable bad_slow : float;
   }
 
-  let active : alert list ref = ref []
+  (* The sampler thread swaps/updates the alert list; the /alerts.json
+     handler reads it.  The list cells are immutable, so an atomic swap
+     of the list head is the whole protocol; the per-alert mutable
+     fields are written only by the sampler (single writer) and a torn
+     read moves one burn-rate sample. *)
+  let active : alert list Atomic.t = Atomic.make []
 
   let configured = ref false
 
@@ -2189,7 +2290,7 @@ module Slo = struct
 
   let set_objectives objs =
     configured := true;
-    active := List.map fresh objs
+    Atomic.set active (List.map fresh objs)
 
   let env_float name default =
     match Option.bind (Sys.getenv_opt name) float_of_string_opt with
@@ -2233,7 +2334,7 @@ module Slo = struct
 
   let alerts () =
     ensure ();
-    !active
+    Atomic.get active
 
   let firing () = List.filter (fun a -> a.state = Firing) (alerts ())
 
@@ -2308,8 +2409,9 @@ module Slo = struct
   let evaluate ?now ?(ts = Timeseries.shared) () =
     ensure ();
     let now = match now with Some n -> n | None -> Window.wall_seconds () in
-    List.iter (evaluate_one ~now ts) !active;
-    !active
+    let alerts = Atomic.get active in
+    List.iter (evaluate_one ~now ts) alerts;
+    alerts
 
   let to_json ?now () =
     let now = match now with Some n -> n | None -> Window.wall_seconds () in
@@ -2399,10 +2501,7 @@ module Prometheus = struct
     let help name text =
       Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name (help_escape text))
     in
-    let rows =
-      Hashtbl.fold (fun name m acc -> (name, m) :: acc) Metrics.registry []
-      |> List.sort compare
-    in
+    let rows = Metrics.rows () in
     let taken = Hashtbl.create 64 in
     List.iter
       (fun (name, _) ->

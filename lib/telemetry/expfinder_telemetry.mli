@@ -131,7 +131,13 @@ module Metrics : sig
   (** The process-wide registry.  [counter]/[gauge]/[histogram] create
       or return the metric registered under that name; asking for an
       existing name with a different metric kind raises
-      [Invalid_argument]. *)
+      [Invalid_argument].
+
+      Registry operations (lookup-or-create, enumeration, reset) are
+      serialized by an internal mutex: the sampler thread scrapes the
+      registry while connection handlers register metrics lazily.
+      Bumping an already-obtained [Counter.t]/[Gauge.t] stays
+      lock-free. *)
 
   val counter : ?always:bool -> string -> Counter.t
 
@@ -345,7 +351,11 @@ module Recorder : sig
 
   val record :
     query:string -> strategy:string -> duration_ms:float -> counters:(string * int) list -> unit
-  (** Push an event (the engine calls this on every query). *)
+  (** Push an event (the engine calls this on every query).  Slots are
+      claimed with an atomic sequence counter and the ring array itself
+      is swapped atomically on resize/clear, so concurrent recorders
+      never collide and a concurrent reader always sees a coherent
+      (if momentarily stale) ring. *)
 
   val recent : unit -> event list
   (** Buffered events, oldest first. *)
@@ -380,7 +390,11 @@ module Gcpause : sig
 
   val poll : unit -> unit
   (** Drain pending runtime events into the totals (cheap; no-op when
-      not started). *)
+      not started).  Single-consumer by construction: concurrent polls
+      are serialized by a mutex, and a contended call returns
+      immediately rather than blocking — the skipped events are picked
+      up by the next tick.  The totals themselves are atomics, safe to
+      read from any thread. *)
 
   val pause_us_total : unit -> int
   (** Cumulative microseconds spent in observed minor/major GC slices. *)
@@ -475,7 +489,13 @@ module Window : sig
   val observe : t -> ?error:bool -> ?now:float -> float -> unit
   (** [observe w ms] records one request of [ms] milliseconds in the
       bucket of the current second.  [?now] (unix seconds) pins the
-      clock for tests.  Allocation-free. *)
+      clock for tests.  Allocation-free.
+
+      Each window has a single writer (the handler thread of its op
+      class); bucket stamps and the lifetime totals are atomic, so a
+      concurrent {!summary}/{!totals} reader (the sampler, the SLO
+      evaluator) never merges a half-reclaimed bucket or reads a torn
+      total. *)
 
   val totals : t -> int * int
   (** Lifetime [(requests, errors)] since creation (or {!reset}) —
@@ -513,7 +533,8 @@ module Window : sig
 
   (** {2 Registry} — operation-class windows (query/batch/update),
       created on first use by the engine and enumerated by the
-      exporters. *)
+      exporters.  Mutex-protected, same contract as the metrics
+      registry. *)
 
   val get : ?seconds:int -> string -> t
   (** The registered window under that name, created on first use
@@ -536,7 +557,11 @@ end
     strategy, duration, per-request counter deltas, answer size and
     digest, slow/error flags, and (when available) a replayable payload
     — enough for [expfinder replay] to re-run the workload and verify
-    answer digests.  See DESIGN.md for the schema. *)
+    answer digests.  See DESIGN.md for the schema.
+
+    The sink is mutex-guarded per sink and sequence numbers are claimed
+    atomically: alert events emitted from the sampler thread interleave
+    with the handler's query events line-atomically, never torn. *)
 
 module Qlog : sig
   val schema_version : int

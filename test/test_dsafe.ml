@@ -1,0 +1,251 @@
+(* The dsafe analyzer against its seeded fixture library: every hazard
+   class is reported, the ratchet gate passes exactly when the allowlist
+   covers the findings, and the dlint executable exits non-zero on a
+   fresh unallowed hazard.  Runs with cwd [_build/default/test], so the
+   fixture's typedtrees are under [fixtures/dsafe_fixture/]. *)
+
+module Dsafe = Expfinder_analysis.Dsafe
+
+let fixture_root = "fixtures/dsafe_fixture"
+
+let dlint_exe = Filename.concat ".." (Filename.concat "bin" "dlint.exe")
+
+let scan_fixture () = Dsafe.scan ~roots:[ fixture_root ] ()
+
+let find_by_suffix findings suffix =
+  List.find_opt
+    (fun (f : Dsafe.finding) ->
+      let id = f.Dsafe.id in
+      let ls = String.length suffix and li = String.length id in
+      li >= ls && String.sub id (li - ls) ls = suffix)
+    findings
+
+let check_class findings suffix expected =
+  match find_by_suffix findings suffix with
+  | None -> Alcotest.failf "no finding for %s" suffix
+  | Some f ->
+    Alcotest.(check string)
+      (suffix ^ " class") expected
+      (Dsafe.kind_name f.Dsafe.kind)
+
+(* --- detection ---------------------------------------------------------- *)
+
+let test_detects_every_class () =
+  let findings = scan_fixture () in
+  check_class findings ":counter" "ref";
+  check_class findings ":table" "hashtbl";
+  check_class findings ":buf" "buffer";
+  check_class findings ":cells" "array";
+  check_class findings ":literal" "array";
+  check_class findings ":the_box" "mutable-record";
+  check_class findings ":via_fn" "mutable-type:box";
+  check_class findings ":page" "lazy";
+  check_class findings ":next" "captured-closure-state";
+  check_class findings ":guarded" "atomic";
+  check_class findings ":lock" "mutex";
+  check_class findings ":banned.Obj.magic" "banned:Obj.magic";
+  check_class findings ":banned.Random.self_init" "banned:Random.self_init";
+  check_class findings ":banned.Marshal.from_string" "banned:Marshal.from_string"
+
+let test_no_false_positives () =
+  let findings = scan_fixture () in
+  (* [mk] and the banned-construct wrappers are plain functions: they own
+     no module-level storage and must not be inventoried as bindings. *)
+  List.iter
+    (fun suffix ->
+      match find_by_suffix findings suffix with
+      | Some f when f.Dsafe.kind <> Dsafe.Banned "Obj.magic" ->
+        (match f.Dsafe.kind with
+        | Dsafe.Mutable_binding _ -> Alcotest.failf "function %s inventoried" suffix
+        | _ -> ())
+      | _ -> ())
+    [ ":mk"; ":casted"; ":seeded"; ":unmarshal" ]
+
+let test_intrinsically_guarded () =
+  let findings = scan_fixture () in
+  let guarded_of suffix =
+    match find_by_suffix findings suffix with
+    | Some f -> Dsafe.intrinsically_guarded f.Dsafe.kind
+    | None -> Alcotest.failf "no finding for %s" suffix
+  in
+  Alcotest.(check bool) "atomic guarded" true (guarded_of ":guarded");
+  Alcotest.(check bool) "mutex guarded" true (guarded_of ":lock");
+  Alcotest.(check bool) "ref not guarded" false (guarded_of ":counter")
+
+(* --- ratchet gate ------------------------------------------------------- *)
+
+let full_allow findings =
+  List.map
+    (fun (f : Dsafe.finding) ->
+      { Dsafe.key = f.Dsafe.id; discipline = Dsafe.Hazard; why = "fixture" })
+    findings
+
+let test_gate_passes_when_allowlisted () =
+  let findings = scan_fixture () in
+  let g = Dsafe.gate ~allow:(full_allow findings) findings in
+  Alcotest.(check bool) "gate ok" true (Dsafe.gate_ok g);
+  Alcotest.(check int) "all allowed" (List.length findings) (List.length g.Dsafe.allowed);
+  Alcotest.(check int) "none unallowed" 0 (List.length g.Dsafe.unallowed)
+
+let test_gate_fails_on_fresh_hazard () =
+  let findings = scan_fixture () in
+  (* Dropping one entry simulates a fresh unallowlisted hazard. *)
+  let incomplete =
+    List.filter
+      (fun (e : Dsafe.allow_entry) ->
+        not (Filename.check_suffix e.Dsafe.key ":counter"))
+      (full_allow findings)
+  in
+  let g = Dsafe.gate ~allow:incomplete findings in
+  Alcotest.(check bool) "gate fails" false (Dsafe.gate_ok g);
+  Alcotest.(check int) "one unallowed" 1 (List.length g.Dsafe.unallowed)
+
+let test_gate_fails_on_stale_entry () =
+  let findings = scan_fixture () in
+  let stale_entry =
+    { Dsafe.key = "fixtures/gone.ml:Removed.site"; discipline = Dsafe.Guarded; why = "gone" }
+  in
+  let g = Dsafe.gate ~allow:(stale_entry :: full_allow findings) findings in
+  Alcotest.(check bool) "gate fails on stale" false (Dsafe.gate_ok g);
+  Alcotest.(check int) "one stale" 1 (List.length g.Dsafe.stale);
+  Alcotest.(check bool)
+    "tolerated with ~fail_stale:false" true
+    (Dsafe.gate_ok ~fail_stale:false g)
+
+(* --- allow-file syntax --------------------------------------------------- *)
+
+let test_parse_allow_line () =
+  (match Dsafe.parse_allow_line "# comment" with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "comment should parse to None");
+  (match Dsafe.parse_allow_line "   " with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "blank should parse to None");
+  (match Dsafe.parse_allow_line "a.ml:x guarded behind a mutex" with
+  | Ok (Some e) ->
+    Alcotest.(check string) "key" "a.ml:x" e.Dsafe.key;
+    Alcotest.(check string) "tag" "guarded" (Dsafe.discipline_name e.Dsafe.discipline);
+    Alcotest.(check string) "why" "behind a mutex" e.Dsafe.why
+  | _ -> Alcotest.fail "valid entry should parse");
+  (match Dsafe.parse_allow_line "a.ml:x nonsense why" with
+  | Error _ -> ()
+  | _ -> Alcotest.fail "unknown discipline must be rejected");
+  (match Dsafe.parse_allow_line "a.ml:x guarded" with
+  | Error _ -> ()
+  | _ -> Alcotest.fail "missing justification must be rejected");
+  match Dsafe.parse_allow_line "a.ml:x" with
+  | Error _ -> ()
+  | _ -> Alcotest.fail "missing tag must be rejected"
+
+(* --- the dlint executable end-to-end ------------------------------------ *)
+
+let run argv =
+  let cmd = String.concat " " (List.map Filename.quote argv) in
+  Sys.command (cmd ^ " >/dev/null 2>&1")
+
+let with_temp_file f =
+  let path = Filename.temp_file "dsafe_test" ".allow" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let test_dlint_exit_codes () =
+  with_temp_file (fun allow ->
+      (* Bootstrap a complete allowlist with --emit-allow... *)
+      let rc =
+        Sys.command
+          (Printf.sprintf "%s --emit-allow %s > %s 2>/dev/null"
+             (Filename.quote dlint_exe) (Filename.quote fixture_root) (Filename.quote allow))
+      in
+      Alcotest.(check int) "emit-allow exits 0" 0 rc;
+      (* ...which must make the gate pass... *)
+      let rc = run [ dlint_exe; "--allow"; allow; fixture_root ] in
+      Alcotest.(check int) "complete allowlist passes" 0 rc;
+      (* ...and dropping one entry (a fresh hazard) must fail it. *)
+      let lines =
+        let ic = open_in allow in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            let rec go acc =
+              match input_line ic with
+              | exception End_of_file -> List.rev acc
+              | l -> go (l :: acc)
+            in
+            go [])
+      in
+      Alcotest.(check bool) "fixture has findings" true (List.length lines > 5);
+      let oc = open_out allow in
+      List.iteri (fun i l -> if i > 0 then output_string oc (l ^ "\n")) lines;
+      close_out oc;
+      let rc = run [ dlint_exe; "--allow"; allow; fixture_root ] in
+      Alcotest.(check int) "missing entry fails" 1 rc)
+
+let test_dlint_stale_entry_fails () =
+  with_temp_file (fun allow ->
+      let rc =
+        Sys.command
+          (Printf.sprintf "%s --emit-allow %s > %s 2>/dev/null"
+             (Filename.quote dlint_exe) (Filename.quote fixture_root) (Filename.quote allow))
+      in
+      Alcotest.(check int) "emit-allow exits 0" 0 rc;
+      let oc = open_out_gen [ Open_append ] 0o644 allow in
+      output_string oc "fixtures/gone.ml:Removed.site guarded site no longer exists\n";
+      close_out oc;
+      let rc = run [ dlint_exe; "--allow"; allow; fixture_root ] in
+      Alcotest.(check int) "stale entry fails" 1 rc;
+      let rc = run [ dlint_exe; "--allow"; allow; "--no-fail-stale"; fixture_root ] in
+      Alcotest.(check int) "--no-fail-stale tolerates it" 0 rc)
+
+let test_dlint_json_report () =
+  with_temp_file (fun allow ->
+      with_temp_file (fun json ->
+          let rc =
+            Sys.command
+              (Printf.sprintf "%s --emit-allow %s > %s 2>/dev/null"
+                 (Filename.quote dlint_exe) (Filename.quote fixture_root)
+                 (Filename.quote allow))
+          in
+          Alcotest.(check int) "emit-allow exits 0" 0 rc;
+          let rc = run [ dlint_exe; "--allow"; allow; "--json"; json; fixture_root ] in
+          Alcotest.(check int) "gate passes" 0 rc;
+          let ic = open_in_bin json in
+          let text =
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          in
+          match Expfinder_telemetry.Json.of_string text with
+          | Error e -> Alcotest.failf "report is not valid JSON: %s" e
+          | Ok doc ->
+            let module Json = Expfinder_telemetry.Json in
+            (match Json.member "ok" doc with
+            | Some (Json.Bool true) -> ()
+            | _ -> Alcotest.fail "report lacks ok=true");
+            (match Option.bind (Json.member "summary" doc) (Json.member "unallowed") with
+            | Some (Json.Int 0) -> ()
+            | _ -> Alcotest.fail "summary.unallowed should be 0")))
+
+let () =
+  Alcotest.run "dsafe"
+    [
+      ( "scan",
+        [
+          Alcotest.test_case "detects every hazard class" `Quick test_detects_every_class;
+          Alcotest.test_case "functions are not inventoried" `Quick test_no_false_positives;
+          Alcotest.test_case "atomic/mutex intrinsically guarded" `Quick
+            test_intrinsically_guarded;
+        ] );
+      ( "gate",
+        [
+          Alcotest.test_case "passes when fully allowlisted" `Quick
+            test_gate_passes_when_allowlisted;
+          Alcotest.test_case "fails on a fresh hazard" `Quick test_gate_fails_on_fresh_hazard;
+          Alcotest.test_case "fails on a stale entry" `Quick test_gate_fails_on_stale_entry;
+          Alcotest.test_case "allow-file syntax" `Quick test_parse_allow_line;
+        ] );
+      ( "dlint",
+        [
+          Alcotest.test_case "exit codes" `Quick test_dlint_exit_codes;
+          Alcotest.test_case "stale entries" `Quick test_dlint_stale_entry_fails;
+          Alcotest.test_case "json report" `Quick test_dlint_json_report;
+        ] );
+    ]
