@@ -1,4 +1,4 @@
-.PHONY: all build test lint lint-mli lint-dsafe check replay-smoke soak-smoke bench bench-full bench-json bench-gate examples demo clean
+.PHONY: all build test lint lint-mli lint-dsafe lint-dsafe-growth check replay-smoke soak-smoke bench bench-full bench-json bench-gate examples demo clean
 
 EXE := _build/default/bin/expfinder.exe
 
@@ -49,13 +49,29 @@ lint-dsafe: build
 	  --json _build/dsafe-report.json \
 	  _build/default/lib _build/default/bin
 
+# Allowlist growth guard: lint-dsafe already fails on stale entries, so
+# the list cannot carry dead weight; this half of the ratchet fails the
+# gate when the list gains net entries over the committed baseline.  New
+# shared mutable state must displace old entries (or genuinely new
+# infrastructure must lower the baseline elsewhere first) — never grow
+# the total.  Lower the baseline whenever entries are paid off.
+DSAFE_ALLOW_BASELINE := 112
+lint-dsafe-growth:
+	@n=$$(grep -cv '^[[:space:]]*\#\|^[[:space:]]*$$' lint/dsafe.allow); \
+	if [ "$$n" -gt $(DSAFE_ALLOW_BASELINE) ]; then \
+	  echo "lint-dsafe-growth: lint/dsafe.allow holds $$n entries, baseline is $(DSAFE_ALLOW_BASELINE) — the allowlist only shrinks"; \
+	  exit 1; \
+	else \
+	  echo "lint-dsafe-growth: ok ($$n entries <= baseline $(DSAFE_ALLOW_BASELINE))"; \
+	fi
+
 # Pre-merge gate: lint + tests, then the whole suite again with the
 # differential self-checker on (every cached/compressed/indexed answer
 # re-verified against direct evaluation; <1s overhead), then a soft
 # perf-regression check against the committed baseline (warn-only here:
 # quick-mode medians are too noisy to block a merge on; run bench-gate
 # directly for a hard verdict).
-check: lint lint-mli lint-dsafe
+check: lint lint-mli lint-dsafe lint-dsafe-growth
 	dune runtest
 	EXPFINDER_CHECK=1 dune runtest --force
 	$(MAKE) --no-print-directory replay-smoke
@@ -89,8 +105,10 @@ replay-smoke: build
 # Long-horizon telemetry smoke gate. A healthy soak first: query and
 # update clients run concurrently with the sampler on a 0.2s period and
 # compressed SLO windows, then the live endpoints are scraped — the
-# timeseries document must carry all three retention resolutions and no
-# alert may fire on a healthy run. Then the crash path: SIGTERM the
+# timeseries document must carry all three retention resolutions, no
+# alert may fire on a healthy run, and a latency exemplar advertised in
+# /stats.json must resolve to a stored trace in /traces.json (and render
+# through the trace explorer). Then the crash path: SIGTERM the
 # server while a query client is mid-flight and require a readable
 # postmortem artifact (exit 143 = 128+SIGTERM, reason recorded).
 # Invokes $(EXE) directly for the same build-lock reason as
@@ -125,6 +143,14 @@ soak-smoke: build
 	if $(EXE) get --socket _build/soak_smoke/sock /alerts.json \
 	  | grep -q '"firing": true'; then \
 	  kill $$pid 2>/dev/null; echo "soak-smoke: alert firing on a healthy run"; exit 1; fi; \
+	ex=$$($(EXE) get --socket _build/soak_smoke/sock /stats.json \
+	  | grep -A1 '"le":' | grep -o '[0-9a-f]\{32\}' | head -n1); \
+	[ -n "$$ex" ] \
+	  || { kill $$pid 2>/dev/null; echo "soak-smoke: no latency exemplar in /stats.json"; exit 1; }; \
+	$(EXE) get --socket _build/soak_smoke/sock /traces.json | grep -q "$$ex" \
+	  || { kill $$pid 2>/dev/null; echo "soak-smoke: exemplar $$ex unresolvable in /traces.json"; exit 1; }; \
+	$(EXE) trace --socket _build/soak_smoke/sock show "$$ex" >/dev/null \
+	  || { kill $$pid 2>/dev/null; echo "soak-smoke: expfinder trace show $$ex failed"; exit 1; }; \
 	( $(EXE) client --socket _build/soak_smoke/sock \
 	    -q workloads/smoke/paper.pattern --repeat 200 >/dev/null 2>&1 & ); \
 	sleep 0.2; \

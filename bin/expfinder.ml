@@ -75,7 +75,11 @@ let emit_profile ~profile ~trace = function
     (match trace with
     | None -> ()
     | Some path ->
-      write_file path (Telemetry.Span.to_chrome_json p.Engine.span);
+      (* Requests that ran under an explicit trace context export on
+         their own pid lane; ambient single-query runs keep the
+         historical single-lane output byte for byte. *)
+      let trace_id = if p.Engine.trace_id = "" then None else Some p.Engine.trace_id in
+      write_file path (Telemetry.Span.to_chrome_json ?trace_id p.Engine.span);
       Printf.printf "chrome trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n"
         path)
 
@@ -605,7 +609,8 @@ let serve_run verbose graph_file socket_spec max_connections =
        Ok ()
      | exception Unix.Unix_error (e, fn, _) -> err "serve: %s: %s" fn (Unix.error_message e))
 
-let client_run verbose socket_spec ping query_files batch_file inserts deletes repeat shutdown =
+let client_run verbose socket_spec ping query_files batch_file inserts deletes repeat shutdown
+    trace =
   setup_logs verbose;
   or_die
     (let* endpoint = Server.endpoint_of_string socket_spec in
@@ -677,15 +682,37 @@ let client_run verbose socket_spec ping query_files batch_file inserts deletes r
        if requests = [] then err "client: nothing to send (use --ping, --query, --batch or --shutdown)"
        else Ok ()
      in
+     (* With --trace, every traced op carries a client-minted context on
+        the wire (minted per send, so --repeat rounds get distinct ids)
+        and the server's trace_id answer is surfaced on its own line,
+        ready for [expfinder trace show]. *)
+     let with_trace req =
+       if not trace then req
+       else
+         match req with
+         | Telemetry.Json.Obj fields
+           when (match List.assoc_opt "op" fields with
+                | Some (Telemetry.Json.Str op) ->
+                  op = "query" || op = "batch" || op = "update"
+                | _ -> false) ->
+           let ctx = Telemetry.Trace.make ~sampled:true () in
+           Telemetry.Json.Obj
+             (fields @ [ ("trace", Telemetry.Json.Str (Telemetry.Trace.to_wire ctx)) ])
+         | other -> other
+     in
      match
        Server.with_connection endpoint (fun fd ->
            List.fold_left
              (fun acc req ->
                let* () = acc in
-               match Server.request fd req with
+               match Server.request fd (with_trace req) with
                | Error e -> err "client: %s" e
                | Ok resp ->
                  print_endline (Telemetry.Json.to_string resp);
+                 if trace then
+                   Option.iter
+                     (Printf.printf "trace %s\n")
+                     (Option.bind (Telemetry.Json.member "trace_id" resp) Telemetry.Json.str_opt);
                  (match Option.bind (Telemetry.Json.member "ok" resp) (function
                     | Telemetry.Json.Bool b -> Some b
                     | _ -> None)
@@ -727,6 +754,61 @@ let replay_run verbose graph_file log_file report_file =
      if summary.Replay.mismatches > 0 then
        err "replay: %d answer digest mismatch(es) against %s" summary.Replay.mismatches log_file
      else Ok ())
+
+(* --- trace ------------------------------------------------------------------- *)
+
+(* Trace explorer: fetch the server's in-process trace store and either
+   tabulate it or render one trace's span tree.  Lookup happens
+   client-side over the fetched document so [show] sees exactly what
+   [list] printed, races with ring eviction notwithstanding. *)
+let trace_explorer verbose socket_spec action id =
+  setup_logs verbose;
+  or_die
+    (let* endpoint = Server.endpoint_of_string socket_spec in
+     let* status, body = http_get_result socket_spec endpoint "/traces.json" in
+     let* () =
+       if status = 200 then Ok () else err "server answered HTTP %d for /traces.json" status
+     in
+     let* doc =
+       match Telemetry.Json.of_string body with
+       | Ok d -> Ok d
+       | Error e -> err "bad /traces.json from %s: %s" socket_spec e
+     in
+     let traces =
+       match Telemetry.Json.member "traces" doc with
+       | Some (Telemetry.Json.Arr items) ->
+         List.filter_map Telemetry.Tracestore.stored_of_json items
+       | _ -> []
+     in
+     match action with
+     | "list" ->
+       if traces = [] then
+         print_endline
+           "no stored traces (the store keeps errors, p99-exceeding requests and a head sample)"
+       else begin
+         Printf.printf "%-32s %-6s %-8s %10s  %s\n" "TRACE" "OP" "KEPT" "MS" "QUERY";
+         List.iter
+           (fun (s : Telemetry.Tracestore.stored) ->
+             Printf.printf "%-32s %-6s %-8s %10.3f  %s%s\n" s.Telemetry.Tracestore.strace_id
+               s.Telemetry.Tracestore.sop s.Telemetry.Tracestore.skept
+               s.Telemetry.Tracestore.sduration_ms s.Telemetry.Tracestore.squery
+               (if s.Telemetry.Tracestore.serror then "  [error]" else ""))
+           traces
+       end;
+       Ok ()
+     | "show" ->
+       let* id = match id with Some i -> Ok i | None -> err "trace show: missing trace ID" in
+       let matches (s : Telemetry.Tracestore.stored) =
+         let tid = s.Telemetry.Tracestore.strace_id in
+         String.length id <= String.length tid && String.sub tid 0 (String.length id) = id
+       in
+       (match List.filter matches traces with
+       | [ s ] ->
+         Format.printf "%a@." Telemetry.Tracestore.pp_stored s;
+         Ok ()
+       | [] -> err "no stored trace matches %S (try 'expfinder trace list')" id
+       | _ :: _ :: _ -> err "trace id prefix %S is ambiguous" id)
+     | other -> err "unknown trace action %S (expected list or show)" other)
 
 (* --- get / top / postmortem / timeseries ------------------------------------- *)
 
@@ -1135,12 +1217,49 @@ let client_cmd =
   let shutdown =
     Arg.(value & flag & info [ "shutdown" ] ~doc:"Ask the server to shut down afterwards.")
   in
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:
+            "Propagate a client-minted trace context with every query/batch/update and print \
+             each response's trace id on its own $(b,trace ID) line (drill down with \
+             $(b,expfinder trace show ID)).")
+  in
   Cmd.v
     (Cmd.info "client"
        ~doc:"Send requests to a running expfinder serve and print the JSON responses")
     Term.(
       const client_run $ verbose_arg $ socket_arg $ ping $ queries $ batch $ inserts $ deletes
-      $ repeat $ shutdown)
+      $ repeat $ shutdown $ trace)
+
+let trace_cmd =
+  let action =
+    Arg.(
+      value & pos 0 string "list"
+      & info [] ~docv:"ACTION" ~doc:"$(b,list) (default) or $(b,show) $(i,ID).")
+  in
+  let id =
+    Arg.(
+      value
+      & pos 1 (some string) None
+      & info [] ~docv:"ID" ~doc:"Trace id (or unique prefix) to show.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Explore the trace store of a running expfinder serve"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Fetches /traces.json — the server's bounded in-process trace store (errors and \
+              p99-exceeding requests always kept, the rest head-sampled; capacity via \
+              EXPFINDER_TRACE_CAP) — and either tabulates the stored traces ($(b,list)) or \
+              renders one trace's span tree with per-span self times and the critical path \
+              marked ($(b,show) $(i,ID)).  Trace ids come from $(b,expfinder client --trace) \
+              responses, /stats.json exemplars, or the qlog.";
+         ])
+    Term.(const trace_explorer $ verbose_arg $ socket_arg $ action $ id)
 
 let get_cmd =
   let path =
@@ -1264,6 +1383,7 @@ let main_cmd =
       update_cmd;
       serve_cmd;
       client_cmd;
+      trace_cmd;
       get_cmd;
       top_cmd;
       postmortem_cmd;

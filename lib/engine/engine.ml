@@ -68,6 +68,7 @@ type profile = {
   provenance : provenance;
   span : Span.t;
   counters : (string * int) list;
+  trace_id : string;  (** "" when the request carried no trace context *)
 }
 
 type answer = {
@@ -254,18 +255,19 @@ let differential_check t pattern relation provenance ~via_direct =
   end
 
 (* Profile plumbing shared by [evaluate] and [top_k]: snapshot the
-   counter registry, run the traced body, and turn the root span (when
-   this call owns the trace) plus the counter deltas into a profile. *)
-let profiled t ~root ~attrs ~query f =
+   counter registry, run the traced body under the request's context,
+   and turn the root span (when this call owns the trace) plus the
+   counter deltas into a profile. *)
+let profiled ?(trace = Trace.ambient) t ~root ~attrs ~query f =
   let before = if enabled () then Metrics.counters_snapshot () else [] in
-  let (result, provenance), span = collect ~attrs root f in
+  let (result, provenance), span = Trace.collect trace ~attrs root f in
   let profile =
     match span with
     | None -> None
     | Some span ->
       Histogram.observe h_query_ms (Span.duration_ms span);
       let counters = Metrics.delta ~before ~after:(Metrics.counters_snapshot ()) in
-      let p = { query; provenance; span; counters } in
+      let p = { query; provenance; span; counters; trace_id = trace.Trace.trace_id } in
       t.last_profile <- Some p;
       Some p
   in
@@ -274,11 +276,25 @@ let profiled t ~root ~attrs ~query f =
 (* Query-log plumbing.  The digest and the replayable payload are only
    materialised when a sink is configured, so the unlogged serving path
    pays nothing beyond the [Qlog.enabled] check. *)
-let qlog_emit t ~kind ~query ~strategy ~duration_ms ~counters ~pairs ~digest ?error ?payload ()
-    =
+let qlog_emit t ~kind ~query ~strategy ~duration_ms ~counters ~pairs ~digest ?(trace_id = "")
+    ?error ?payload () =
   if Qlog.enabled () then
     Qlog.emit ~kind ~graph_id:(Snapshot.graph_id t.snap) ~epoch:(Snapshot.epoch t.snap)
-      ~query ~strategy ~duration_ms ~counters ~pairs ~digest ?error ?payload ()
+      ~query ~strategy ~duration_ms ~counters ~pairs ~digest ~trace_id ?error ?payload ()
+
+(* Finished-request bookkeeping shared by the three op classes: offer
+   the request to the trace store (head + tail sampling) and record the
+   op window observation, advertising the trace id as that latency
+   bucket's exemplar only when the store admitted it — an exemplar must
+   resolve to a stored trace. *)
+let observe_traced ~trace ~window ~op ~query ~duration_ms ~error ?root () =
+  let kept =
+    Tracestore.record ~trace_id:trace.Trace.trace_id ~span_id:trace.Trace.span_id ~op ~query
+      ~duration_ms ~error ?root ()
+  in
+  Window.observe window ~error
+    ?trace:(if kept then Some trace.Trace.trace_id else None)
+    duration_ms
 
 let pattern_payload pattern =
   if Qlog.enabled () then Some (Json.Str (Pattern_io.to_string pattern)) else None
@@ -300,15 +316,16 @@ let batch_digest relations =
   Digest.to_hex
     (Digest.string (String.concat "" (List.map Match_relation.digest relations)))
 
-let evaluate_unlabelled t pattern =
+let evaluate_unlabelled ?(trace = Trace.ambient) t pattern =
   (* Flight recorder bookkeeping is always on (unlike profiles): snapshot
      the counter registry and the clock around the whole query. *)
   let rec_before = Metrics.counters_snapshot () in
   let rec_start = now_us () in
   Counter.incr m_queries;
   let fp = Pattern.fingerprint pattern in
+  let trace_id = trace.Trace.trace_id in
   match
-    profiled t ~root:"evaluate" ~attrs:[ ("query", fp) ] ~query:fp (fun () ->
+    profiled ~trace t ~root:"evaluate" ~attrs:[ ("query", fp) ] ~query:fp (fun () ->
         let relation, provenance, strategy, via_direct = evaluate_inner t pattern in
         differential_check t pattern relation provenance ~via_direct;
         Counter.incr (provenance_counter provenance);
@@ -319,20 +336,22 @@ let evaluate_unlabelled t pattern =
   | exception e ->
     let duration_ms = (now_us () -. rec_start) /. 1000.0 in
     let counters = Metrics.delta ~before:rec_before ~after:(Metrics.counters_snapshot ()) in
-    Recorder.record ~query:fp ~strategy:"error" ~duration_ms ~counters;
-    Window.observe w_query ~error:true duration_ms;
+    Recorder.record ~trace_id ~query:fp ~strategy:"error" ~duration_ms ~counters ();
+    observe_traced ~trace ~window:w_query ~op:"query" ~query:fp ~duration_ms ~error:true ();
     qlog_emit t ~kind:Qlog.Query ~query:fp ~strategy:"error" ~duration_ms ~counters ~pairs:0
-      ~digest:"" ~error:(Printexc.to_string e) ?payload:(pattern_payload pattern) ();
+      ~digest:"" ~trace_id ~error:(Printexc.to_string e) ?payload:(pattern_payload pattern) ();
     raise e
   | (relation, provenance, strategy), profile ->
     let duration_ms = (now_us () -. rec_start) /. 1000.0 in
     let counters = Metrics.delta ~before:rec_before ~after:(Metrics.counters_snapshot ()) in
-    Recorder.record ~query:fp ~strategy ~duration_ms ~counters;
-    Window.observe w_query duration_ms;
+    Recorder.record ~trace_id ~query:fp ~strategy ~duration_ms ~counters ();
+    observe_traced ~trace ~window:w_query ~op:"query" ~query:fp ~duration_ms ~error:false
+      ?root:(Option.map (fun p -> p.span) profile)
+      ();
     qlog_emit t ~kind:Qlog.Query ~query:fp ~strategy ~duration_ms ~counters
       ~pairs:(Match_relation.total relation)
       ~digest:(relation_digest relation)
-      ?payload:(pattern_payload pattern) ();
+      ~trace_id ?payload:(pattern_payload pattern) ();
     Log.debug (fun m ->
         m "evaluate %s: %d pairs via %s" fp (Match_relation.total relation)
           (provenance_name provenance));
@@ -340,7 +359,8 @@ let evaluate_unlabelled t pattern =
 
 (* Allocation attribution: while the memprof sampler is active, bytes
    allocated under each op class are charged to its label. *)
-let evaluate t pattern = Alloc.with_label "query" (fun () -> evaluate_unlabelled t pattern)
+let evaluate ?trace t pattern =
+  Alloc.with_label "query" (fun () -> evaluate_unlabelled ?trace t pattern)
 
 (* ------------------------------------------------------------------ *)
 (* Batched evaluation                                                   *)
@@ -361,7 +381,7 @@ let evaluate t pattern = Alloc.with_label "query" (fun () -> evaluate_unlabelled
    supersets of the planner's (which additionally prunes sinks), and the
    maximal kernel below any initial superset of it is the same
    fixpoint. *)
-let evaluate_batch_unlabelled t patterns =
+let evaluate_batch_unlabelled ?(trace = Trace.ambient) t patterns =
   Counter.incr m_batches;
   let rec_before = Metrics.counters_snapshot () in
   let rec_start = now_us () in
@@ -377,7 +397,7 @@ let evaluate_batch_unlabelled t patterns =
       ~graph_size:(Snapshot.node_count snap)
   in
   let run_batch () =
-    profiled t ~root:"evaluate_batch"
+    profiled ~trace t ~root:"evaluate_batch"
       ~attrs:[ ("queries", string_of_int n) ]
       ~query:label
       (fun () ->
@@ -485,16 +505,21 @@ let evaluate_batch_unlabelled t patterns =
   | exception e ->
     let duration_ms = (now_us () -. rec_start) /. 1000.0 in
     let counters = Metrics.delta ~before:rec_before ~after:(Metrics.counters_snapshot ()) in
-    Recorder.record ~query:label ~strategy:"batch/error" ~duration_ms ~counters;
-    Window.observe w_batch ~error:true duration_ms;
+    Recorder.record ~trace_id:trace.Trace.trace_id ~query:label ~strategy:"batch/error"
+      ~duration_ms ~counters ();
+    observe_traced ~trace ~window:w_batch ~op:"batch" ~query:label ~duration_ms ~error:true ();
     qlog_emit t ~kind:Qlog.Batch ~query:label ~strategy:"batch/error" ~duration_ms ~counters
-      ~pairs:0 ~digest:"" ~error:(Printexc.to_string e) ?payload:(batch_payload patterns) ();
+      ~pairs:0 ~digest:"" ~trace_id:trace.Trace.trace_id ~error:(Printexc.to_string e)
+      ?payload:(batch_payload patterns) ();
     raise e
-  | (), _batch_profile ->
+  | (), batch_profile ->
     let duration_ms = (now_us () -. rec_start) /. 1000.0 in
     let counters = Metrics.delta ~before:rec_before ~after:(Metrics.counters_snapshot ()) in
-    Recorder.record ~query:label ~strategy:"batch" ~duration_ms ~counters;
-    Window.observe w_batch duration_ms;
+    Recorder.record ~trace_id:trace.Trace.trace_id ~query:label ~strategy:"batch" ~duration_ms
+      ~counters ();
+    observe_traced ~trace ~window:w_batch ~op:"batch" ~query:label ~duration_ms ~error:false
+      ?root:(Option.map (fun p -> p.span) batch_profile)
+      ();
     let relations =
       List.mapi
         (fun i _ -> match results.(i) with Some (r, _) -> r | None -> assert false)
@@ -503,7 +528,7 @@ let evaluate_batch_unlabelled t patterns =
     qlog_emit t ~kind:Qlog.Batch ~query:label ~strategy:"batch" ~duration_ms ~counters
       ~pairs:(List.fold_left (fun acc r -> acc + Match_relation.total r) 0 relations)
       ~digest:(if Qlog.enabled () then batch_digest relations else "")
-      ?payload:(batch_payload patterns) ();
+      ~trace_id:trace.Trace.trace_id ?payload:(batch_payload patterns) ();
     Log.debug (fun m -> m "evaluate_batch: %d queries on %a" n Snapshot.pp_id snap);
     List.mapi
       (fun i _ ->
@@ -515,8 +540,8 @@ let evaluate_batch_unlabelled t patterns =
         | None -> assert false)
       patterns
 
-let evaluate_batch t patterns =
-  Alloc.with_label "batch" (fun () -> evaluate_batch_unlabelled t patterns)
+let evaluate_batch ?trace t patterns =
+  Alloc.with_label "batch" (fun () -> evaluate_batch_unlabelled ?trace t patterns)
 
 let result_graph t pattern =
   let answer = evaluate t pattern in
@@ -578,6 +603,7 @@ let profile_json (p : profile) =
     [
       ("query", Json.Str p.query);
       ("provenance", Json.Str (provenance_name p.provenance));
+      ("trace_id", Json.Str p.trace_id);
       ("span", Span.to_json p.span);
       ( "counters",
         Json.Obj (List.map (fun (name, v) -> (name, Json.Int v)) p.counters) );
@@ -663,30 +689,38 @@ let apply_updates_inner t updates =
   (List.map (fun (_, inc) -> Incremental.sync_applied inc ~effective) t.registered,
    List.length effective)
 
-let apply_updates_unlabelled t updates =
+let apply_updates_unlabelled ?(trace = Trace.ambient) t updates =
   let rec_before = Metrics.counters_snapshot () in
   let rec_start = now_us () in
   (* The replayable payload is the *input* batch: no-ops are dropped at
      apply time, so replay reproduces the same filtering. *)
   let payload = update_payload updates in
-  match apply_updates_inner t updates with
+  match
+    Trace.collect trace
+      ~attrs:[ ("updates", string_of_int (List.length updates)) ]
+      "apply_updates"
+      (fun () -> apply_updates_inner t updates)
+  with
   | exception e ->
     let duration_ms = (now_us () -. rec_start) /. 1000.0 in
     let counters = Metrics.delta ~before:rec_before ~after:(Metrics.counters_snapshot ()) in
-    Window.observe w_update ~error:true duration_ms;
+    observe_traced ~trace ~window:w_update ~op:"update" ~query:"update" ~duration_ms
+      ~error:true ();
     qlog_emit t ~kind:Qlog.Update ~query:"update" ~strategy:"update/error" ~duration_ms
-      ~counters ~pairs:0 ~digest:"" ~error:(Printexc.to_string e) ?payload ();
+      ~counters ~pairs:0 ~digest:"" ~trace_id:trace.Trace.trace_id
+      ~error:(Printexc.to_string e) ?payload ();
     raise e
-  | reports, effective_n ->
+  | (reports, effective_n), root ->
     let duration_ms = (now_us () -. rec_start) /. 1000.0 in
     let counters = Metrics.delta ~before:rec_before ~after:(Metrics.counters_snapshot ()) in
-    Window.observe w_update duration_ms;
+    observe_traced ~trace ~window:w_update ~op:"update" ~query:"update" ~duration_ms
+      ~error:false ?root ();
     qlog_emit t ~kind:Qlog.Update ~query:"update" ~strategy:"update" ~duration_ms ~counters
-      ~pairs:effective_n ~digest:"" ?payload ();
+      ~pairs:effective_n ~digest:"" ~trace_id:trace.Trace.trace_id ?payload ();
     reports
 
-let apply_updates t updates =
-  Alloc.with_label "update" (fun () -> apply_updates_unlabelled t updates)
+let apply_updates ?trace t updates =
+  Alloc.with_label "update" (fun () -> apply_updates_unlabelled ?trace t updates)
 
 let cache_stats t = (Cache.hits t.cache, Cache.misses t.cache)
 

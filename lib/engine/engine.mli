@@ -58,6 +58,9 @@ type profile = {
   provenance : provenance;
   span : Span.t;  (** the stage tree; export with {!Span.to_chrome_json} *)
   counters : (string * int) list;  (** nonzero per-query counter deltas *)
+  trace_id : string;
+      (** the request's trace id ([""] when it ran under the ambient
+          context) *)
 }
 
 type answer = {
@@ -88,11 +91,21 @@ val snapshot : t -> Snapshot.t
     evaluation paths read this snapshot — queries in flight on an older
     epoch keep their pinned value untouched. *)
 
-val evaluate : t -> Pattern.t -> answer
+val evaluate : ?trace:Trace.ctx -> t -> Pattern.t -> answer
 (** Cache → compressed → cached superset (containment) → ball index →
-    direct, caching the result. *)
+    direct, caching the result.
 
-val evaluate_batch : t -> Pattern.t list -> answer list
+    [?trace] is the request's explicit trace context (default
+    {!Expfinder_telemetry.Trace.ambient}): its id is stamped into the
+    flight-recorder event, the qlog event and the per-query profile,
+    the finished request is offered to the
+    {!Expfinder_telemetry.Tracestore} (errors and p99-exceeding
+    requests always kept, the rest head-sampled), and — when admitted —
+    the id is advertised as the latency bucket's histogram exemplar.
+    The same contract applies to {!evaluate_batch} and
+    {!apply_updates}. *)
+
+val evaluate_batch : ?trace:Trace.ctx -> t -> Pattern.t list -> answer list
 (** Evaluate a batch of queries against {e one} pinned snapshot.
     Answers equal per-query {!evaluate} (same relations, same [total]),
     but the batch: serves exact cache hits first, dedupes repeated
@@ -136,7 +149,7 @@ val unregister : t -> Pattern.t -> unit
 
 val registered : t -> Pattern.t list
 
-val apply_updates : t -> Update.t list -> Incremental.report list
+val apply_updates : ?trace:Trace.ctx -> t -> Update.t list -> Incremental.report list
 (** Apply ΔG: updates the graph, advances the snapshot to the next
     epoch, invalidates the cache, maintains the compressed graph and
     every registered query; returns one maintenance report per
@@ -159,7 +172,8 @@ val pp_profile : Format.formatter -> profile -> unit
 (** Stage tree plus per-query counters, human-readable. *)
 
 val profile_json : profile -> Json.t
-(** The profile as a [{query; provenance; span; counters; recorder}]
+(** The profile as a [{query; provenance; trace_id; span; counters;
+    recorder}]
     object (the structured-report serialization of a per-query profile).
     [recorder] is the flight-recorder ring at serialization time, so a
     slow-query profile ships with the requests that led up to it. *)

@@ -62,9 +62,7 @@ let sockaddr = function
 let stats_json engine =
   let snap = Engine.snapshot engine in
   let windows =
-    List.map
-      (fun (name, w) -> (name, Window.summary_json (Window.summary w)))
-      (Window.all ())
+    List.map (fun (name, w) -> (name, Window.to_json w)) (Window.all ())
   in
   Json.Obj
     [
@@ -86,7 +84,25 @@ let provenance_name : Engine.provenance -> string = function
   | From_index -> "index"
   | Direct -> "direct"
 
-let error_response msg = Json.Obj [ ("ok", Json.Bool false); ("error", Json.Str msg) ]
+let error_response ?trace_id msg =
+  Json.Obj
+    (("ok", Json.Bool false)
+    :: ("error", Json.Str msg)
+    :: (match trace_id with Some t -> [ ("trace_id", Json.Str t) ] | None -> []))
+
+(* The request's trace context: adopt a well-formed "trace" field (the
+   compact or W3C traceparent wire form), mint a fresh context for
+   everything else — including malformed values, because tracing must
+   never fail a request.  Serving-path requests are always sampled:
+   span trees must not depend on the process-wide telemetry flag, and
+   only traces admitted by the store retain theirs. *)
+let ctx_of_request req =
+  match Option.bind (Json.member "trace" req) Json.str_opt with
+  | Some s -> (
+    match Trace.of_wire ~sampled:true s with
+    | Some ctx -> ctx
+    | None -> Trace.make ~sampled:true ())
+  | None -> Trace.make ~sampled:true ()
 
 let answer_fields (a : Engine.answer) =
   [
@@ -119,9 +135,17 @@ let handle_request engine line =
         match Pattern_io.of_string text with
         | Error e -> Reply (error_response ("query: " ^ e))
         | Ok pattern -> (
-          match Engine.evaluate engine pattern with
-          | answer -> Reply (Json.Obj (("ok", Json.Bool true) :: answer_fields answer))
-          | exception e -> Reply (error_response ("query: " ^ Printexc.to_string e)))))
+          let ctx = ctx_of_request req in
+          let trace_id = ctx.Trace.trace_id in
+          match Engine.evaluate ~trace:ctx engine pattern with
+          | answer ->
+            Reply
+              (Json.Obj
+                 (("ok", Json.Bool true)
+                 :: ("trace_id", Json.Str trace_id)
+                 :: answer_fields answer))
+          | exception e ->
+            Reply (error_response ~trace_id ("query: " ^ Printexc.to_string e)))))
     | "batch" -> (
       let patterns =
         match Option.bind (Json.member "patterns" req) Json.list_opt with
@@ -142,15 +166,18 @@ let handle_request engine line =
       match patterns with
       | Error e -> Reply (error_response e)
       | Ok patterns -> (
-        match Engine.evaluate_batch engine patterns with
+        let ctx = ctx_of_request req in
+        let trace_id = ctx.Trace.trace_id in
+        match Engine.evaluate_batch ~trace:ctx engine patterns with
         | answers ->
           Reply
             (Json.Obj
                [
                  ("ok", Json.Bool true);
+                 ("trace_id", Json.Str trace_id);
                  ("answers", Json.Arr (List.map (fun a -> Json.Obj (answer_fields a)) answers));
                ])
-        | exception e -> Reply (error_response ("batch: " ^ Printexc.to_string e))))
+        | exception e -> Reply (error_response ~trace_id ("batch: " ^ Printexc.to_string e))))
     | "update" -> (
       let ops =
         match Option.bind (Json.member "ops" req) Json.list_opt with
@@ -167,22 +194,25 @@ let handle_request engine line =
       match ops with
       | Error e -> Reply (error_response e)
       | Ok ops -> (
-        match Engine.apply_updates engine ops with
+        let ctx = ctx_of_request req in
+        let trace_id = ctx.Trace.trace_id in
+        match Engine.apply_updates ~trace:ctx engine ops with
         | reports ->
           Reply
             (Json.Obj
                [
                  ("ok", Json.Bool true);
+                 ("trace_id", Json.Str trace_id);
                  ("epoch", Json.Int (Snapshot.epoch (Engine.snapshot engine)));
                  ("maintained", Json.Int (List.length reports));
                ])
-        | exception e -> Reply (error_response ("update: " ^ Printexc.to_string e))))
+        | exception e -> Reply (error_response ~trace_id ("update: " ^ Printexc.to_string e))))
     | op -> Reply (error_response (Printf.sprintf "unknown op %S" op)))
 
 (* ------------------------------------------------------------------ *)
 (* Minimal HTTP responder (GET/HEAD only) *)
 
-let http_response ~status ~content_type body =
+let http_response ~status ~content_type ?(headers = []) body =
   let reason = match status with
     | 200 -> "OK"
     | 404 -> "Not Found"
@@ -190,16 +220,22 @@ let http_response ~status ~content_type body =
     | _ -> "Error"
   in
   Printf.sprintf
-    "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
-    status reason content_type (String.length body) body
+    "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n%sConnection: close\r\n\r\n%s"
+    status reason content_type (String.length body)
+    (String.concat "" (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) headers))
+    body
 
-let http_reply engine ~meth ~path =
+let http_reply engine ~meth ~path ~ctx =
   let status, content_type, body =
     match path with
     | "/metrics" -> (200, "text/plain; version=0.0.4; charset=utf-8", Prometheus.render ())
     | "/healthz" -> (200, "text/plain; charset=utf-8", "ok\n")
     | "/stats.json" ->
       (200, "application/json; charset=utf-8", Json.to_string ~pretty:true (stats_json engine))
+    | "/traces.json" ->
+      ( 200,
+        "application/json; charset=utf-8",
+        Json.to_string ~pretty:true (Tracestore.to_json ()) )
     | "/timeseries.json" ->
       (* Cap the per-series tails so the document stays a few hundred
          KB even after hours of retention; postmortems carry the same
@@ -212,7 +248,10 @@ let http_reply engine ~meth ~path =
     | _ -> (404, "text/plain; charset=utf-8", Printf.sprintf "no such path: %s\n" path)
   in
   let body = if meth = "HEAD" then "" else body in
-  http_response ~status ~content_type body
+  (* Echo the request's context (adopted or freshly minted) so a caller
+     that propagated a traceparent can correlate the scrape. *)
+  http_response ~status ~content_type ~headers:[ ("traceparent", Trace.to_traceparent ctx) ]
+    body
 
 (* ------------------------------------------------------------------ *)
 (* Connection loop *)
@@ -243,15 +282,31 @@ let handle_connection engine fd =
           let words = String.split_on_char ' ' (String.trim first) in
           (match words with
           | [ meth; path; _version ] when meth = "GET" || meth = "HEAD" ->
-            (* Drain the request headers so the client sees a clean close. *)
-            let rec drain () =
+            (* Drain the request headers (so the client sees a clean
+               close), keeping the traceparent value if one arrives: a
+               well-formed header is adopted as the scrape's context, a
+               malformed one falls back to a freshly minted context —
+               never an error. *)
+            let rec drain traceparent =
               match In_channel.input_line ic with
-              | None -> ()
-              | Some line when String.trim line = "" -> ()
-              | Some _ -> drain ()
+              | None -> traceparent
+              | Some line when String.trim line = "" -> traceparent
+              | Some line -> (
+                match String.index_opt line ':' with
+                | Some i
+                  when String.lowercase_ascii (String.trim (String.sub line 0 i))
+                       = "traceparent" ->
+                  drain
+                    (Some (String.trim (String.sub line (i + 1) (String.length line - i - 1))))
+                | Some _ | None -> drain traceparent)
             in
-            drain ();
-            write_all fd (http_reply engine ~meth ~path)
+            let ctx =
+              match drain None with
+              | Some v -> (
+                match Trace.of_wire v with Some c -> c | None -> Trace.make ())
+              | None -> Trace.make ()
+            in
+            write_all fd (http_reply engine ~meth ~path ~ctx)
           | (("GET" | "HEAD" | "POST" | "PUT" | "DELETE") :: _) ->
             write_all fd
               (http_response ~status:405 ~content_type:"text/plain" "GET or HEAD only\n")

@@ -8,7 +8,9 @@ open Expfinder_telemetry
 
     Protocol sniffing: the first line of each connection decides how it
     is handled.  [GET]/[HEAD] request lines get a one-shot HTTP answer
-    ([/metrics] in Prometheus text format, [/healthz], [/stats.json],
+    ([/metrics] in Prometheus text format with OpenMetrics-style
+    [# EXEMPLAR] annotations, [/healthz], [/stats.json],
+    [/traces.json] — the in-process {!Tracestore} document —
     [/timeseries.json] — the multi-resolution retention rings, capped
     at 120 points per series per resolution — and [/alerts.json] — the
     current SLO burn-rate alert states) and the connection closes; any
@@ -24,6 +26,18 @@ open Expfinder_telemetry
     server.  Query/batch responses include the answer [digest]
     ({!Expfinder_core.Match_relation.digest}), so clients can
     cross-check replays.
+
+    Request tracing: every [query]/[batch]/[update] request runs under
+    an explicit {!Trace.ctx}.  A request may propagate one in a
+    ["trace"] field (the {!Trace.to_wire} or W3C traceparent form);
+    anything absent or malformed means a freshly minted context —
+    propagation failures never fail a request.  The trace id is
+    returned as ["trace_id"] on both success and error responses,
+    stamped into qlog/recorder events, offered to the {!Tracestore}
+    and — when admitted — advertised as a latency-histogram exemplar.
+    On the HTTP side a [traceparent] request header is honoured the
+    same way (malformed → fresh mint) and the adopted-or-minted
+    context is echoed back as a [traceparent] response header.
 
     The loop is deliberately single-threaded (one engine, one graph):
     requests on concurrent connections serialize at [accept], which is
@@ -42,10 +56,10 @@ val endpoint_to_string : endpoint -> string
 
 val stats_json : Engine.t -> Json.t
 (** The live stats document served at [/stats.json]: snapshot identity
-    ([graph_id]/[epoch]), one {!Window.summary_json} per operation
-    class under [windows], process gauges, the current SLO alert
-    document under [alerts], the metric registry and the
-    flight-recorder ring. *)
+    ([graph_id]/[epoch]), one {!Window.to_json} per operation class
+    under [windows] (summary plus exemplars), process gauges, the
+    current SLO alert document under [alerts], the metric registry and
+    the flight-recorder ring. *)
 
 val serve :
   ?max_connections:int ->

@@ -614,7 +614,103 @@ module Span = struct
         ("children", Json.Arr (List.map to_json (children s)));
       ]
 
-  let to_chrome_json s =
+  (* Inverse of [to_json], as far as the serialized shape allows: start
+     times are not serialized, so reconstructed spans carry durations
+     (and the tree shape) but a zero origin.  That is all the trace
+     explorer needs — self-times and the critical path are functions of
+     durations alone. *)
+  let rec of_json json =
+    match Option.bind (Json.member "name" json) Json.str_opt with
+    | None -> None
+    | Some sname ->
+      let dur_ms =
+        match Option.bind (Json.member "duration_ms" json) Json.float_opt with
+        | Some f -> f
+        | None -> 0.0
+      in
+      let attrs =
+        match Json.member "attrs" json with
+        | Some (Json.Obj kv) ->
+          List.filter_map (fun (k, v) -> Option.map (fun s -> (k, s)) (Json.str_opt v)) kv
+        | _ -> []
+      in
+      let kids =
+        match Json.member "children" json with
+        | Some (Json.Arr l) -> List.filter_map of_json l
+        | _ -> []
+      in
+      Some
+        {
+          sname;
+          sstart = 0.0;
+          dur_us = dur_ms *. 1000.0;
+          rev_attrs = List.rev attrs;
+          rev_kids = List.rev kids;
+        }
+
+  (* Time spent in a span itself, outside any child span (clamped at 0:
+     buckets of a torn read or rounding can make children sum past the
+     parent). *)
+  let self_ms s =
+    Float.max 0.0
+      (duration_ms s -. List.fold_left (fun acc k -> acc +. duration_ms k) 0.0 (children s))
+
+  (* The critical path: from the root, repeatedly descend into the
+     longest child.  With only one clock (durations, no concurrency
+     inside a request yet) the longest chain is the chain that bounds
+     the request's latency. *)
+  let critical_path s =
+    let rec go acc s =
+      match children s with
+      | [] -> List.rev (s :: acc)
+      | kids ->
+        let longest =
+          List.fold_left (fun best k -> if duration_ms k > duration_ms best then k else best)
+            (List.hd kids) kids
+        in
+        go (s :: acc) longest
+    in
+    go [] s
+
+  let pp_annotated ppf s =
+    let crit = critical_path s in
+    let on_path sp = List.memq sp crit in
+    let rec go indent sp =
+      Format.fprintf ppf "%s%s %-*s %9.3f ms  self %9.3f ms"
+        (if on_path sp then "*" else " ")
+        indent
+        (Stdlib.max 1 (30 - String.length indent))
+        sp.sname (duration_ms sp) (self_ms sp);
+      List.iter (fun (k, v) -> Format.fprintf ppf "  %s=%s" k v) (attrs sp);
+      Format.pp_print_newline ppf ();
+      List.iter (go (indent ^ "  ")) (children sp)
+    in
+    go "" s
+
+  (* Chrome lanes: with a trace context, derive the process lane from
+     the trace id and the thread lane from the root span id so exports
+     from concurrent requests land in distinct lanes instead of
+     interleaving.  Without one (single-query [explain --trace]) the
+     output stays byte-identical to the historical pid/tid 1/1. *)
+  let lane_of_hex hex =
+    let n = Stdlib.min 8 (String.length hex) in
+    let acc = ref 0 in
+    String.iter
+      (fun c ->
+        let d =
+          match c with
+          | '0' .. '9' -> Char.code c - Char.code '0'
+          | 'a' .. 'f' -> 10 + Char.code c - Char.code 'a'
+          | 'A' .. 'F' -> 10 + Char.code c - Char.code 'A'
+          | _ -> 0
+        in
+        acc := ((!acc * 16) + d) land 0x3FFFFFFF)
+      (String.sub hex 0 n);
+    1 + !acc
+
+  let to_chrome_json ?trace_id ?span_id s =
+    let pid = match trace_id with Some t when t <> "" -> lane_of_hex t | _ -> 1 in
+    let tid = match span_id with Some i when i <> "" -> lane_of_hex i | _ -> pid in
     let origin = s.sstart in
     let buf = Buffer.create 1024 in
     Buffer.add_string buf "[";
@@ -624,8 +720,8 @@ module Span = struct
       first := false;
       Buffer.add_string buf
         (Printf.sprintf
-           "{\"name\":\"%s\",\"cat\":\"expfinder\",\"ph\":\"X\",\"ts\":%.1f,\"dur\":%.1f,\"pid\":1,\"tid\":1"
-           (json_escape sp.sname) (start_rel ~origin sp) sp.dur_us);
+           "{\"name\":\"%s\",\"cat\":\"expfinder\",\"ph\":\"X\",\"ts\":%.1f,\"dur\":%.1f,\"pid\":%d,\"tid\":%d"
+           (json_escape sp.sname) (start_rel ~origin sp) sp.dur_us pid tid);
       (match attrs sp with
       | [] -> ()
       | kvs ->
@@ -645,60 +741,160 @@ module Span = struct
     Buffer.contents buf
 end
 
-(* The tracer: a stack of open spans.  Spans are only recorded while a
-   [collect] is active, so an enabled-but-untraced process accumulates
-   nothing. *)
-let stack : Span.t list ref = ref []
+(* The tracer.  Request identity is an explicit, immutable context —
+   128-bit trace id plus 64-bit root-span id, minted per request (or
+   adopted from the wire) — and the chain of open spans under the
+   active [collect] is domain-local state, not a process-global: two
+   domains (the future multicore serving path) each trace their own
+   request without ever observing the other's stack. *)
+module Trace = struct
+  type ctx = {
+    trace_id : string;  (* 32 lowercase hex chars; "" for the ambient context *)
+    span_id : string;  (* 16 lowercase hex chars; "" for the ambient context *)
+    sampled : bool;  (* request asked for span recording even when tracing is off *)
+  }
 
-let close (s : Span.t) = s.Span.dur_us <- now_us () -. s.Span.sstart
+  (* Mixed into every minted id so two requests in the same microsecond
+     still differ.  [Random.self_init] is banned (dsafe), so ids hash
+     wall clock + pid + this counter through MD5 — not secure, but
+     unique, which is all a correlation id needs. *)
+  let seq = Atomic.make 0
 
-let with_span ?attrs name f =
-  if (not !on) || !stack = [] then f ()
-  else begin
-    let s = Span.make ?attrs name in
-    let parent = List.hd !stack in
-    stack := s :: !stack;
-    let finish () =
-      close s;
-      (match !stack with
-      | top :: rest when top == s -> stack := rest
-      | _ -> ());
-      parent.Span.rev_kids <- s :: parent.Span.rev_kids
+  let hex_digest salt =
+    Digest.to_hex
+      (Digest.string
+         (Printf.sprintf "%.6f|%d|%d|%d" (Unix.gettimeofday ()) (Unix.getpid ())
+            (Atomic.fetch_and_add seq 1) salt))
+
+  let mint_trace_id () = hex_digest 0
+
+  let mint_span_id () = String.sub (hex_digest 1) 0 16
+
+  let is_hex s =
+    s <> "" && String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) s
+
+  let all_zero s = String.for_all (fun c -> c = '0') s
+
+  let valid_trace_id s = String.length s = 32 && is_hex s && not (all_zero s)
+
+  let valid_span_id s = String.length s = 16 && is_hex s && not (all_zero s)
+
+  (* The default root context: identity-free, never sampled.  The
+     legacy ambient API is a shim over this, so pre-context call sites
+     behave exactly as before — spans record only while a [collect] is
+     active and the global flag is on, and nothing carries an id. *)
+  let ambient = { trace_id = ""; span_id = ""; sampled = false }
+
+  let make ?(sampled = false) ?trace_id () =
+    let tid =
+      match trace_id with
+      | Some t when valid_trace_id t -> t
+      | Some _ | None -> mint_trace_id ()
     in
-    match f () with
-    | v ->
-      finish ();
-      v
-    | exception e ->
-      finish ();
-      raise e
-  end
+    { trace_id = tid; span_id = mint_span_id (); sampled }
 
-let annotate k v =
-  match !stack with
-  | [] -> ()
-  | s :: _ -> s.Span.rev_attrs <- (k, v) :: s.Span.rev_attrs
+  (* Wire forms.  [to_wire] is the compact "traceid-spanid" carried in
+     the newline-JSON protocol's "trace" field; [to_traceparent] is the
+     W3C-style "00-traceid-spanid-01" used on the HTTP endpoints.
+     [of_wire] accepts either, case-insensitively; anything else is
+     None and the caller mints a fresh context instead of erroring. *)
+  let to_wire ctx = ctx.trace_id ^ "-" ^ ctx.span_id
 
-let annotate_int k v = if !on && !stack <> [] then annotate k (string_of_int v)
+  let to_traceparent ctx = Printf.sprintf "00-%s-%s-01" ctx.trace_id ctx.span_id
 
-let collect ?attrs name f =
-  if not !on then (f (), None)
-  else if !stack <> [] then (with_span ?attrs name f, None)
-  else begin
-    let s = Span.make ?attrs name in
-    stack := [ s ];
-    let finish () =
-      close s;
-      stack := []
-    in
-    match f () with
-    | v ->
-      finish ();
-      (v, Some s)
-    | exception e ->
-      finish ();
-      raise e
-  end
+  let of_wire ?(sampled = false) s =
+    let s = String.lowercase_ascii (String.trim s) in
+    let adopt tid = Some { trace_id = tid; span_id = mint_span_id (); sampled } in
+    match String.split_on_char '-' s with
+    | [ tid; sid ] when valid_trace_id tid && valid_span_id sid -> adopt tid
+    | [ ver; tid; sid; flags ]
+      when String.length ver = 2
+           && is_hex ver
+           && valid_trace_id tid
+           && valid_span_id sid
+           && String.length flags = 2
+           && is_hex flags ->
+      adopt tid
+    | _ -> None
+
+  (* The open-span chain of the *current domain's* in-flight [collect].
+     [Domain.DLS] rather than a global ref: the chain is request-local
+     by construction (one request per domain at a time), so confining
+     it to the domain removes the cross-thread hazard outright — the
+     remaining allowlist entry records the confinement, not a risk. *)
+  let open_spans : Span.t list Domain.DLS.key = Domain.DLS.new_key (fun () -> [])
+
+  let spans () = Domain.DLS.get open_spans
+
+  let set_spans l = Domain.DLS.set open_spans l
+
+  let close (s : Span.t) = s.Span.dur_us <- now_us () -. s.Span.sstart
+
+  (* Child spans attach under the innermost open span; with no open
+     root (this request is not being recorded) the body runs bare. *)
+  let with_span _ctx ?attrs name f =
+    match spans () with
+    | [] -> f ()
+    | parent :: _ ->
+      let s = Span.make ?attrs name in
+      set_spans (s :: spans ());
+      let finish () =
+        close s;
+        (match spans () with
+        | top :: rest when top == s -> set_spans rest
+        | _ -> ());
+        parent.Span.rev_kids <- s :: parent.Span.rev_kids
+      in
+      (match f () with
+      | v ->
+        finish ();
+        v
+      | exception e ->
+        finish ();
+        raise e)
+
+  let annotate k v =
+    match spans () with
+    | [] -> ()
+    | s :: _ -> s.Span.rev_attrs <- (k, v) :: s.Span.rev_attrs
+
+  let annotate_int k v = if spans () <> [] then annotate k (string_of_int v)
+
+  (* Open a root span for [ctx] and run [f] under it.  Records when the
+     process-wide flag is on *or* the context itself asked to be
+     sampled, so a single traced request on an otherwise-quiet server
+     still yields a span tree.  Nested collects degrade to child
+     spans. *)
+  let collect ctx ?attrs name f =
+    if not (!on || ctx.sampled) then (f (), None)
+    else if spans () <> [] then (with_span ctx ?attrs name f, None)
+    else begin
+      let s = Span.make ?attrs name in
+      set_spans [ s ];
+      let finish () =
+        close s;
+        set_spans []
+      in
+      match f () with
+      | v ->
+        finish ();
+        (v, Some s)
+      | exception e ->
+        finish ();
+        raise e
+    end
+end
+
+(* Legacy ambient tracer API: thin shims over {!Trace} with the default
+   root context, kept so pre-context call sites (the instrumented
+   library internals) keep compiling unchanged. *)
+let with_span ?attrs name f = Trace.with_span Trace.ambient ?attrs name f
+
+let annotate = Trace.annotate
+
+let annotate_int = Trace.annotate_int
+
+let collect ?attrs name f = Trace.collect Trace.ambient ?attrs name f
 
 (* ------------------------------------------------------------------ *)
 (* Structured performance reports                                       *)
@@ -942,6 +1138,7 @@ module Recorder = struct
     strategy : string;
     duration_ms : float;
     slow : bool;
+    trace_id : string;  (** "" when the request carried no trace context *)
     counters : (string * int) list;
   }
 
@@ -982,11 +1179,12 @@ module Recorder = struct
     let n = Stdlib.max 1 n in
     if n <> Array.length (Atomic.get buf) then Atomic.set buf (Array.make n None)
 
-  let record ~query ~strategy ~duration_ms ~counters =
+  let record ?(trace_id = "") ~query ~strategy ~duration_ms ~counters () =
     let seq = Atomic.fetch_and_add next_seq 1 in
     let slow = match !slow_ms with Some t -> duration_ms >= t | None -> false in
     let b = Atomic.get buf in
-    b.(seq mod Array.length b) <- Some { seq; query; strategy; duration_ms; slow; counters }
+    b.(seq mod Array.length b) <-
+      Some { seq; query; strategy; duration_ms; slow; trace_id; counters }
 
   let recent () =
     Array.to_list (Atomic.get buf)
@@ -1010,6 +1208,7 @@ module Recorder = struct
         ("strategy", Json.Str e.strategy);
         ("duration_ms", Json.Float e.duration_ms);
         ("slow", Json.Bool e.slow);
+        ("trace_id", Json.Str e.trace_id);
         ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) e.counters));
       ]
 
@@ -1166,48 +1365,53 @@ module Alloc = struct
 
   let table : (string, int ref) Hashtbl.t = Hashtbl.create 8
 
-  let sampling_rate = ref 0.0
-
-  let profiling = ref false
+  (* The whole profiling session is one value: [Some rate] while
+     memprof is attached, [None] otherwise.  One cell instead of a
+     rate ref plus an on/off flag means a reader can never observe the
+     flag and the rate out of sync. *)
+  let session : float option ref = ref None
 
   let word_bytes = Sys.word_size / 8
 
   let charge (alloc : Gc.Memprof.allocation) =
-    let words = float_of_int alloc.Gc.Memprof.n_samples /. !sampling_rate in
-    let bytes = int_of_float (words *. float_of_int word_bytes) in
-    (match Hashtbl.find_opt table (current_label ()) with
-    | Some cell -> cell := !cell + bytes
-    | None -> Hashtbl.replace table (current_label ()) (ref bytes));
+    (match !session with
+    | None -> ()
+    | Some rate ->
+      let words = float_of_int alloc.Gc.Memprof.n_samples /. rate in
+      let bytes = int_of_float (words *. float_of_int word_bytes) in
+      (match Hashtbl.find_opt table (current_label ()) with
+      | Some cell -> cell := !cell + bytes
+      | None -> Hashtbl.replace table (current_label ()) (ref bytes)));
     None
 
   let start ~rate () =
-    if !profiling || rate <= 0.0 || rate > 1.0 then false
+    if !session <> None || rate <= 0.0 || rate > 1.0 then false
     else begin
-      sampling_rate := rate;
       let tracker =
         { Gc.Memprof.null_tracker with Gc.Memprof.alloc_minor = charge; alloc_major = charge }
       in
+      session := Some rate;
       (* Some runtimes ship the [Gc.Memprof] interface but refuse to
          start it (OCaml 5.0/5.1 raise ["not implemented in multicore"];
          statmemprof returns in 5.2).  Attribution is an opt-in extra,
          so degrade to inert rather than failing the process that asked
          for it. *)
       match Gc.Memprof.start ~sampling_rate:rate ~callstack_size:0 tracker with
-      | () ->
-        profiling := true;
-        true
-      | exception _ -> false
+      | () -> true
+      | exception _ ->
+        session := None;
+        false
     end
 
   let stop () =
-    if !profiling then begin
+    if !session <> None then begin
       Gc.Memprof.stop ();
-      profiling := false
+      session := None
     end
 
-  let active () = !profiling
+  let active () = !session <> None
 
-  let rate () = if active () then Some !sampling_rate else None
+  let rate () = !session
 
   let start_from_env () =
     match Option.bind (Sys.getenv_opt "EXPFINDER_MEMPROF_RATE") float_of_string_opt with
@@ -1223,7 +1427,7 @@ module Alloc = struct
     Json.Obj
       [
         ("active", Json.Bool (active ()));
-        ("rate", if active () then Json.Float !sampling_rate else Json.Null);
+        ("rate", match !session with Some r -> Json.Float r | None -> Json.Null);
         ( "bytes_by_label",
           Json.Obj (List.map (fun (label, b) -> (label, Json.Int b)) (bytes_by_label ())) );
       ]
@@ -1235,21 +1439,21 @@ end
 
 (* statm counts pages, and the kernel page size is not universally
    4 KiB (arm64 kernels commonly run 16K or 64K pages).  OCaml's stdlib
-   has no sysconf binding, so ask getconf once; 4096 is only the
-   fallback when that fails. *)
+   has no sysconf binding, so ask getconf once, eagerly at load — an
+   immutable int thereafter, so no lazy-force race to justify — with
+   4096 as the fallback when that fails. *)
 let page_size =
-  lazy
-    (match
-       let ic = Unix.open_process_in "getconf PAGESIZE 2>/dev/null" in
-       Fun.protect
-         ~finally:(fun () -> ignore (Unix.close_process_in ic : Unix.process_status))
-         (fun () -> input_line ic)
-     with
-    | exception _ -> 4096
-    | line -> (
-      match int_of_string_opt (String.trim line) with
-      | Some n when n > 0 -> n
-      | Some _ | None -> 4096))
+  match
+    let ic = Unix.open_process_in "getconf PAGESIZE 2>/dev/null" in
+    Fun.protect
+      ~finally:(fun () -> ignore (Unix.close_process_in ic : Unix.process_status))
+      (fun () -> input_line ic)
+  with
+  | exception _ -> 4096
+  | line -> (
+    match int_of_string_opt (String.trim line) with
+    | Some n when n > 0 -> n
+    | Some _ | None -> 4096)
 
 (* Linux exposes resident pages in /proc/self/statm; elsewhere (or in a
    locked-down container) the read fails and rss is reported as 0 rather
@@ -1264,7 +1468,7 @@ let rss_bytes () =
     match String.split_on_char ' ' line with
     | _ :: resident :: _ -> (
       match int_of_string_opt resident with
-      | Some pages -> pages * Lazy.force page_size
+      | Some pages -> pages * page_size
       | None -> 0)
     | _ -> 0)
 
@@ -1328,6 +1532,15 @@ module Window = struct
        reading from its own thread — hence atomic. *)
     total_count : int Atomic.t;
     total_errors : int Atomic.t;
+    (* OpenMetrics-style exemplars: one recent trace id per latency
+       bucket (the {!Histogram} log-bucket layout), so a scraped
+       percentile can be chased down to a concrete stored trace.  Same
+       single-writer discipline as the bucket payload fields; a torn
+       read pairs a trace id with a neighbouring observation's value,
+       which is harmless for a drill-down hint. *)
+    ex_trace : string array;
+    ex_ms : float array;
+    ex_unix : float array;
   }
 
   let fresh_bucket () =
@@ -1349,6 +1562,9 @@ module Window = struct
       ring = Array.init seconds (fun _ -> fresh_bucket ());
       total_count = Atomic.make 0;
       total_errors = Atomic.make 0;
+      ex_trace = Array.make Histogram.nbuckets "";
+      ex_ms = Array.make Histogram.nbuckets 0.0;
+      ex_unix = Array.make Histogram.nbuckets 0.0;
     }
 
   let name t = t.wname
@@ -1358,6 +1574,9 @@ module Window = struct
   let reset t =
     Atomic.set t.total_count 0;
     Atomic.set t.total_errors 0;
+    Array.fill t.ex_trace 0 Histogram.nbuckets "";
+    Array.fill t.ex_ms 0 Histogram.nbuckets 0.0;
+    Array.fill t.ex_unix 0 Histogram.nbuckets 0.0;
     Array.iter
       (fun b ->
         Atomic.set b.sec (-1);
@@ -1371,7 +1590,7 @@ module Window = struct
 
   let wall_seconds () = now_us () /. 1e6
 
-  let observe t ?(error = false) ?now ms =
+  let observe t ?(error = false) ?now ?trace ms =
     let now = match now with Some n -> n | None -> wall_seconds () in
     let sec = int_of_float now in
     let b = t.ring.(sec mod t.wseconds) in
@@ -1399,9 +1618,46 @@ module Window = struct
     Atomic.incr t.total_count;
     if error then Atomic.incr t.total_errors;
     let i = Histogram.bucket_of ms in
-    b.bhist.(i) <- b.bhist.(i) + 1
+    b.bhist.(i) <- b.bhist.(i) + 1;
+    match trace with
+    | Some tid when tid <> "" ->
+      t.ex_trace.(i) <- tid;
+      t.ex_ms.(i) <- ms;
+      t.ex_unix.(i) <- now
+    | Some _ | None -> ()
 
   let totals t = (Atomic.get t.total_count, Atomic.get t.total_errors)
+
+  type exemplar = {
+    ex_le : float;  (** upper bound of the latency bucket, in ms *)
+    ex_trace_id : string;
+    ex_value_ms : float;
+    ex_ts_unix : float;
+  }
+
+  let exemplars t =
+    let acc = ref [] in
+    for i = Histogram.nbuckets - 1 downto 0 do
+      if t.ex_trace.(i) <> "" then
+        acc :=
+          {
+            ex_le = Histogram.upper_bound i;
+            ex_trace_id = t.ex_trace.(i);
+            ex_value_ms = t.ex_ms.(i);
+            ex_ts_unix = t.ex_unix.(i);
+          }
+          :: !acc
+    done;
+    !acc
+
+  let exemplar_json e =
+    Json.Obj
+      [
+        ("le", Json.Float e.ex_le);
+        ("trace_id", Json.Str e.ex_trace_id);
+        ("value_ms", Json.Float e.ex_value_ms);
+        ("ts_unix", Json.Float e.ex_ts_unix);
+      ]
 
   type summary = {
     window_s : int;
@@ -1471,6 +1727,15 @@ module Window = struct
         ("max_ms", Json.Float s.max_ms);
       ]
 
+  (* Full window document for /stats.json: the summary fields plus the
+     window's current exemplars.  [summary_of_json] below ignores the
+     extra member, so older clients keep parsing it. *)
+  let to_json ?now t =
+    match summary_json (summary ?now t) with
+    | Json.Obj fields ->
+      Json.Obj (fields @ [ ("exemplars", Json.Arr (List.map exemplar_json (exemplars t))) ])
+    | j -> j
+
   (* Read the numbers back out of a /stats.json dump (the [expfinder
      stats --server] client side).  Missing latency fields (serialized
      [null] for an empty window) come back as nan. *)
@@ -1532,6 +1797,195 @@ module Window = struct
 
   let reset_all () =
     List.iter (fun (_, w) -> reset w) (all ())
+end
+
+(* ------------------------------------------------------------------ *)
+(* In-process trace store                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Tracestore = struct
+  (* A bounded ring of recently finished request traces, the backing
+     store for GET /traces.json and the [expfinder trace] explorer.
+     Admission is head + tail sampling: errored requests and requests
+     at or beyond the op window's p99 are always kept (tail — decided
+     from the outcome), and of the unremarkable rest one in
+     [head_rate] is kept (head — decided by arrival count), so the
+     store holds the interesting traces plus a thin representative
+     sample without growing with traffic. *)
+  type stored = {
+    strace_id : string;
+    sspan_id : string;
+    sop : string;  (* window/op class: "query", "batch", "update" *)
+    squery : string;
+    sduration_ms : float;
+    serror : bool;
+    skept : string;  (* admission reason: "error" | "slow" | "sampled" *)
+    sts_unix : float;
+    sroot : Span.t option;  (* span tree, when one was recorded *)
+  }
+
+  let default_capacity = 128
+
+  let initial_capacity =
+    match Option.bind (Sys.getenv_opt "EXPFINDER_TRACE_CAP") int_of_string_opt with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> default_capacity
+
+  (* Of unremarkable traces, keep one in this many. *)
+  let head_rate = 10
+
+  (* Tail sampling consults the op window's p99 only once it has seen
+     enough requests to mean something. *)
+  let min_count_for_p99 = 20
+
+  (* Unlike the windows (single writer per op class) the store is
+     written by every op class and read by the HTTP handler, so the
+     whole state — ring, cursor, arrival counter — sits behind one
+     mutex.  Store operations are rare (sampled admissions) and tiny
+     (a record write), so contention is immaterial. *)
+  let lock = Mutex.create ()
+
+  type state = {
+    mutable ring : stored option array;
+    mutable next : int;
+    mutable seen : int;
+  }
+
+  let state = { ring = Array.make initial_capacity None; next = 0; seen = 0 }
+
+  let capacity () = Mutex.protect lock (fun () -> Array.length state.ring)
+
+  let set_capacity n =
+    let n = Stdlib.max 1 n in
+    Mutex.protect lock (fun () ->
+        if n <> Array.length state.ring then begin
+          state.ring <- Array.make n None;
+          state.next <- 0
+        end)
+
+  let clear () =
+    Mutex.protect lock (fun () ->
+        state.ring <- Array.make (Array.length state.ring) None;
+        state.next <- 0;
+        state.seen <- 0)
+
+  let seen () = Mutex.protect lock (fun () -> state.seen)
+
+  (* Offer a finished request to the store; returns [true] iff it was
+     admitted (the caller uses this to decide whether the trace id is
+     worth advertising as a histogram exemplar — an exemplar must
+     resolve to a stored trace).  Identity-free requests are never
+     stored: there is nothing to look them up by. *)
+  let record ~trace_id ~span_id ~op ~query ~duration_ms ~error ?root () =
+    if trace_id = "" then false
+    else begin
+      let slow =
+        let s = Window.summary (Window.get op) in
+        s.Window.count >= min_count_for_p99
+        && (not (Float.is_nan s.Window.p99))
+        && duration_ms >= s.Window.p99
+      in
+      Mutex.protect lock (fun () ->
+          state.seen <- state.seen + 1;
+          let kept =
+            if error then Some "error"
+            else if slow then Some "slow"
+            else if state.seen mod head_rate = 1 then Some "sampled"
+            else None
+          in
+          match kept with
+          | None -> false
+          | Some skept ->
+            state.ring.(state.next mod Array.length state.ring) <-
+              Some
+                {
+                  strace_id = trace_id;
+                  sspan_id = span_id;
+                  sop = op;
+                  squery = query;
+                  sduration_ms = duration_ms;
+                  serror = error;
+                  skept;
+                  sts_unix = Unix.gettimeofday ();
+                  sroot = root;
+                };
+            state.next <- state.next + 1;
+            true)
+    end
+
+  (* Newest first. *)
+  let recent () =
+    Mutex.protect lock (fun () ->
+        Array.to_list state.ring |> List.filter_map Fun.id)
+    |> List.sort (fun a b -> compare b.sts_unix a.sts_unix)
+
+  (* Look a trace up by full id or by unique prefix (ids are long; the
+     CLI lets humans paste a prefix). *)
+  let find id =
+    let id = String.lowercase_ascii (String.trim id) in
+    if id = "" then None
+    else
+      match List.filter (fun s -> s.strace_id = id) (recent ()) with
+      | hit :: _ -> Some hit
+      | [] -> (
+        match
+          List.filter
+            (fun s -> String.length s.strace_id >= String.length id
+                      && String.sub s.strace_id 0 (String.length id) = id)
+            (recent ())
+        with
+        | [ hit ] -> Some hit
+        | _ -> None)
+
+  let stored_json s =
+    Json.Obj
+      [
+        ("trace_id", Json.Str s.strace_id);
+        ("span_id", Json.Str s.sspan_id);
+        ("op", Json.Str s.sop);
+        ("query", Json.Str s.squery);
+        ("duration_ms", Json.Float s.sduration_ms);
+        ("error", Json.Bool s.serror);
+        ("kept", Json.Str s.skept);
+        ("ts_unix", Json.Float s.sts_unix);
+        ("root", match s.sroot with Some sp -> Span.to_json sp | None -> Json.Null);
+      ]
+
+  let stored_of_json json =
+    let str k = Option.bind (Json.member k json) Json.str_opt in
+    let float k = Option.bind (Json.member k json) Json.float_opt in
+    match str "trace_id" with
+    | None -> None
+    | Some strace_id ->
+      Some
+        {
+          strace_id;
+          sspan_id = Option.value ~default:"" (str "span_id");
+          sop = Option.value ~default:"" (str "op");
+          squery = Option.value ~default:"" (str "query");
+          sduration_ms = Option.value ~default:0.0 (float "duration_ms");
+          serror =
+            (match Json.member "error" json with Some (Json.Bool b) -> b | _ -> false);
+          skept = Option.value ~default:"" (str "kept");
+          sts_unix = Option.value ~default:0.0 (float "ts_unix");
+          sroot = Option.bind (Json.member "root" json) Span.of_json;
+        }
+
+  let to_json () =
+    Json.Obj
+      [
+        ("capacity", Json.Int (capacity ()));
+        ("seen", Json.Int (seen ()));
+        ("traces", Json.Arr (List.map stored_json (recent ())));
+      ]
+
+  let pp_stored ppf s =
+    Format.fprintf ppf "trace %s  %s %s  %.3f ms  kept=%s%s@." s.strace_id s.sop s.squery
+      s.sduration_ms s.skept
+      (if s.serror then "  ERROR" else "");
+    match s.sroot with
+    | None -> Format.fprintf ppf "  (no span tree recorded)@."
+    | Some root -> Span.pp_annotated ppf root
 end
 
 (* ------------------------------------------------------------------ *)
@@ -1646,7 +2100,12 @@ end
 (* ------------------------------------------------------------------ *)
 
 module Qlog = struct
-  let schema_version = 1
+  (* v2 added the [trace_id] field.  [event_of_json] still accepts v1
+     lines (trace ids default to "") so logs captured before the bump
+     replay unchanged. *)
+  let schema_version = 2
+
+  let min_schema_version = 1
 
   type kind = Query | Batch | Update | Alert
 
@@ -1676,6 +2135,7 @@ module Qlog = struct
     pairs : int;
     digest : string;
     slow : bool;
+    trace_id : string;  (** "" when the request carried no trace context (or a v1 line) *)
     error : string option;
     payload : Json.t option;
   }
@@ -1724,6 +2184,7 @@ module Qlog = struct
              ("pairs", Json.Int e.pairs);
              ("digest", Json.Str e.digest);
              ("slow", Json.Bool e.slow);
+             ("trace_id", Json.Str e.trace_id);
              ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) e.counters));
            ];
            (match e.error with None -> [] | Some m -> [ ("error", Json.Str m) ]);
@@ -1735,7 +2196,7 @@ module Qlog = struct
     let int k = Option.bind (Json.member k json) Json.int_opt in
     let float k = Option.bind (Json.member k json) Json.float_opt in
     match Json.member "v" json with
-    | Some (Json.Int v) when v = schema_version -> (
+    | Some (Json.Int v) when v >= min_schema_version && v <= schema_version -> (
       match (int "seq", Option.bind (str "kind") kind_of_name, str "query") with
       | Some seq, Some kind, Some query ->
         Ok
@@ -1757,6 +2218,7 @@ module Qlog = struct
             digest = Option.value ~default:"" (str "digest");
             slow =
               (match Json.member "slow" json with Some (Json.Bool b) -> b | _ -> false);
+            trace_id = Option.value ~default:"" (str "trace_id");
             error = str "error";
             payload = Json.member "payload" json;
           }
@@ -1766,7 +2228,7 @@ module Qlog = struct
     | Some _ | None -> Error "not a qlog event (no integer \"v\" field)"
 
   let emit ~kind ~graph_id ~epoch ~query ~strategy ~duration_ms ~counters ~pairs ~digest
-      ?error ?payload () =
+      ?(trace_id = "") ?error ?payload () =
     if Jsonl_sink.enabled sink_t then begin
       let seq = Atomic.fetch_and_add next_seq 1 in
       let slow =
@@ -1786,6 +2248,7 @@ module Qlog = struct
           pairs;
           digest;
           slow;
+          trace_id;
           error;
           payload;
         }
@@ -2564,7 +3027,21 @@ module Prometheus = struct
             line_float
               (Printf.sprintf "expfinder_latency_ms{op=\"%s\",quantile=\"0.99\"}" (sanitize op))
               s.Window.p99
-          end)
+          end;
+          (* OpenMetrics-style exemplar annotations: each latency
+             bucket that has seen an admitted trace advertises that
+             trace's id so a scraped percentile can be chased to the
+             stored span tree in /traces.json.  Rendered as comments —
+             the classic text format has no exemplar syntax, and
+             comments pass every Prometheus parser untouched. *)
+          List.iter
+            (fun (e : Window.exemplar) ->
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "# EXEMPLAR expfinder_latency_ms{op=\"%s\",le=\"%.9g\"} %.9g {trace_id=\"%s\"} %.3f\n"
+                   (sanitize op) e.Window.ex_le e.Window.ex_value_ms
+                   (label_escape e.Window.ex_trace_id) e.Window.ex_ts_unix))
+            (Window.exemplars w))
         windows
     end;
     (* SLO alert state, as last evaluated by the sampler: render never

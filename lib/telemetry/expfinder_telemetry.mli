@@ -192,21 +192,109 @@ module Span : sig
   (** Human-readable indented stage tree with timings and
       annotations. *)
 
-  val to_chrome_json : t -> string
+  val self_ms : t -> float
+  (** Time spent in the span itself, outside any child span (clamped at
+      zero). *)
+
+  val critical_path : t -> t list
+  (** Root-to-leaf chain obtained by descending into the longest child
+      at each level — the chain that bounds the request's latency. *)
+
+  val pp_annotated : Format.formatter -> t -> unit
+  (** Like {!pp_tree} but each line also shows self-time, and spans on
+      the {!critical_path} are marked with a leading ["*"] (the
+      [expfinder trace show] rendering). *)
+
+  val to_chrome_json : ?trace_id:string -> ?span_id:string -> t -> string
   (** The tree as a Chrome trace-event JSON array ([ph:"X"] complete
       events, microsecond timestamps), loadable in [chrome://tracing]
-      or [ui.perfetto.dev]. *)
+      or [ui.perfetto.dev].  When a trace/span id is supplied, the
+      export's [pid]/[tid] lanes are derived from them so concurrent
+      requests land in distinct lanes; without one the historical
+      [pid:1, tid:1] output is preserved byte-for-byte. *)
 
   val to_json : t -> Json.t
   (** The tree as a nested [{name; duration_ms; attrs; children}]
       object (the report/profile serialization, unlike the flat
       Chrome-event array of {!to_chrome_json}). *)
+
+  val of_json : Json.t -> t option
+  (** Inverse of {!to_json} as far as the shape allows: durations,
+      attrs and tree structure round-trip; start times are not
+      serialized, so the reconstructed spans carry a zero origin
+      (enough for {!self_ms}, {!critical_path} and the renderers). *)
+end
+
+(** {1 Request trace contexts}
+
+    Explicit, immutable per-request identity: a 128-bit trace id plus a
+    64-bit root-span id, minted when a request enters the system (or
+    adopted from the wire) and threaded by value through the engine,
+    the query log, the flight recorder and the trace store.  The chain
+    of open spans under an active {!Trace.collect} lives in
+    domain-local storage, so concurrent domains trace independently —
+    there is no process-global span stack. *)
+
+module Trace : sig
+  type ctx = {
+    trace_id : string;  (** 32 lowercase hex chars; [""] for {!ambient} *)
+    span_id : string;  (** 16 lowercase hex chars; [""] for {!ambient} *)
+    sampled : bool;  (** record spans for this request even when tracing is globally off *)
+  }
+
+  val ambient : ctx
+  (** The default root context: identity-free, never sampled.  The
+      top-level [with_span]/[collect] shims use it, giving pre-context
+      call sites their historical behaviour. *)
+
+  val make : ?sampled:bool -> ?trace_id:string -> unit -> ctx
+  (** Mint a fresh context (fresh span id always; fresh trace id unless
+      a valid one is supplied).  Ids are MD5-derived from wall clock,
+      pid and a process counter — unique correlation ids, not secrets. *)
+
+  val valid_trace_id : string -> bool
+  (** 32 lowercase hex chars, not all zero. *)
+
+  val valid_span_id : string -> bool
+  (** 16 lowercase hex chars, not all zero. *)
+
+  val to_wire : ctx -> string
+  (** Compact ["traceid-spanid"] form carried in the newline-JSON
+      protocol's ["trace"] field. *)
+
+  val to_traceparent : ctx -> string
+  (** W3C-style ["00-traceid-spanid-01"] form used in HTTP
+      [traceparent] headers. *)
+
+  val of_wire : ?sampled:bool -> string -> ctx option
+  (** Parse either wire form (case-insensitive), adopting the trace id
+      and minting a fresh local span id.  [None] on anything malformed
+      — the caller mints a fresh context instead of erroring. *)
+
+  val with_span : ctx -> ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+  (** Run the function inside a child span of the innermost open span
+      of the current domain.  When no {!collect} is recording, this is
+      just the function call. *)
+
+  val annotate : string -> string -> unit
+  (** Attach a key/value annotation to the innermost open span (dropped
+      when none is open). *)
+
+  val annotate_int : string -> int -> unit
+
+  val collect :
+    ctx -> ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a * Span.t option
+  (** Run the function inside a {e root} span and return the completed
+      tree.  Records when the process-wide flag is on or the context is
+      [sampled]; returns [None] (plain nested span) otherwise, or when
+      another collection is already active on this domain — the
+      outermost caller owns the trace. *)
 end
 
 val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
-(** Run the function inside a child span of the innermost open span.
-    When telemetry is disabled or no {!collect} is active, this is just
-    the function call. *)
+(** [Trace.with_span Trace.ambient]: run the function inside a child
+    span of the innermost open span.  When telemetry is disabled or no
+    {!collect} is active, this is just the function call. *)
 
 val annotate : string -> string -> unit
 (** Attach a key/value annotation to the innermost open span (dropped
@@ -216,10 +304,10 @@ val annotate_int : string -> int -> unit
 
 val collect :
   ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a * Span.t option
-(** Run the function inside a {e root} span and return the completed
-    tree.  Returns [None] (plain nested span) when telemetry is
-    disabled or another collection is already active — so the outermost
-    caller owns the trace. *)
+(** [Trace.collect Trace.ambient]: run the function inside a {e root}
+    span and return the completed tree.  Returns [None] (plain nested
+    span) when telemetry is disabled or another collection is already
+    active — so the outermost caller owns the trace. *)
 
 (** {1 Clock} *)
 
@@ -332,6 +420,7 @@ module Recorder : sig
     strategy : string;  (** provenance / refinement strategy *)
     duration_ms : float;
     slow : bool;  (** duration reached the slow threshold *)
+    trace_id : string;  (** "" when the request carried no trace context *)
     counters : (string * int) list;  (** nonzero counter deltas *)
   }
 
@@ -350,7 +439,9 @@ module Recorder : sig
   val set_slow_threshold_ms : float option -> unit
 
   val record :
-    query:string -> strategy:string -> duration_ms:float -> counters:(string * int) list -> unit
+    ?trace_id:string ->
+    query:string -> strategy:string -> duration_ms:float -> counters:(string * int) list ->
+    unit -> unit
   (** Push an event (the engine calls this on every query).  Slots are
       claimed with an atomic sequence counter and the ring array itself
       is swapped atomically on resize/clear, so concurrent recorders
@@ -486,10 +577,14 @@ module Window : sig
 
   val seconds : t -> int
 
-  val observe : t -> ?error:bool -> ?now:float -> float -> unit
+  val observe : t -> ?error:bool -> ?now:float -> ?trace:string -> float -> unit
   (** [observe w ms] records one request of [ms] milliseconds in the
       bucket of the current second.  [?now] (unix seconds) pins the
-      clock for tests.  Allocation-free.
+      clock for tests.  [?trace] (a non-empty trace id) additionally
+      installs the request as the exemplar of its latency bucket —
+      callers should only pass ids of traces admitted to the
+      {!Tracestore}, so every advertised exemplar resolves.
+      Allocation-free without [?trace].
 
       Each window has a single writer (the handler thread of its op
       class); bucket stamps and the lifetime totals are atomic, so a
@@ -531,6 +626,30 @@ module Window : sig
   val pp_summary : Format.formatter -> summary -> unit
   (** One human-readable line: count, QPS, error rate, p50/p95/p99. *)
 
+  (** {2 Exemplars} — one recent trace id per latency bucket, linking
+      scraped percentiles to stored traces. *)
+
+  type exemplar = {
+    ex_le : float;  (** upper bound of the latency bucket, in ms *)
+    ex_trace_id : string;
+    ex_value_ms : float;  (** the exemplar observation itself *)
+    ex_ts_unix : float;  (** when it was observed *)
+  }
+
+  val exemplars : t -> exemplar list
+  (** Current exemplars, ordered by bucket bound.  Exemplars persist
+      until overwritten by a later traced observation in the same
+      bucket (or {!reset}); they are a drill-down hint, not a windowed
+      statistic. *)
+
+  val exemplar_json : exemplar -> Json.t
+  (** [{le; trace_id; value_ms; ts_unix}]. *)
+
+  val to_json : ?now:float -> t -> Json.t
+  (** {!summary_json} of the current summary plus an [exemplars] array
+      (the [/stats.json] per-window document; {!summary_of_json}
+      ignores the extra member). *)
+
   (** {2 Registry} — operation-class windows (query/batch/update),
       created on first use by the engine and enumerated by the
       exporters.  Mutex-protected, same contract as the metrics
@@ -544,6 +663,78 @@ module Window : sig
   (** Sorted by name. *)
 
   val reset_all : unit -> unit
+end
+
+(** {1 In-process trace store}
+
+    A bounded, mutex-guarded ring of recently finished request traces —
+    the backing store for [GET /traces.json] and the [expfinder trace]
+    explorer.  Admission combines tail sampling (errored requests and
+    requests at or beyond their op window's p99 are always kept) with
+    head sampling (one in ten of the unremarkable rest), so the store
+    holds the interesting traces plus a thin representative sample at
+    bounded memory. *)
+
+module Tracestore : sig
+  type stored = {
+    strace_id : string;
+    sspan_id : string;  (** the request's root span id *)
+    sop : string;  (** op class: ["query"], ["batch"], ["update"] *)
+    squery : string;  (** pattern fingerprint / batch label / ["update"] *)
+    sduration_ms : float;
+    serror : bool;
+    skept : string;  (** admission reason: ["error"], ["slow"] or ["sampled"] *)
+    sts_unix : float;
+    sroot : Span.t option;  (** span tree, when one was recorded *)
+  }
+
+  val default_capacity : int
+  (** 128; overridable at startup via [EXPFINDER_TRACE_CAP]. *)
+
+  val capacity : unit -> int
+
+  val set_capacity : int -> unit
+  (** Resize the ring (floor 1); resizing drops the stored traces. *)
+
+  val record :
+    trace_id:string ->
+    span_id:string ->
+    op:string ->
+    query:string ->
+    duration_ms:float ->
+    error:bool ->
+    ?root:Span.t ->
+    unit ->
+    bool
+  (** Offer a finished request; [true] iff it was admitted.  The engine
+      uses the verdict to decide whether to advertise the trace id as a
+      histogram exemplar, so exemplars always resolve to stored traces.
+      Identity-free requests ([trace_id = ""]) are never stored. *)
+
+  val recent : unit -> stored list
+  (** Stored traces, newest first. *)
+
+  val find : string -> stored option
+  (** Look up by full trace id, or by unique prefix. *)
+
+  val seen : unit -> int
+  (** Requests offered (admitted or not) since the last {!clear}. *)
+
+  val clear : unit -> unit
+
+  val stored_json : stored -> Json.t
+
+  val stored_of_json : Json.t -> stored option
+  (** Parse one {!stored_json} object back (the [expfinder trace]
+      client side). *)
+
+  val to_json : unit -> Json.t
+  (** The [/traces.json] document: [{capacity; seen; traces}]. *)
+
+  val pp_stored : Format.formatter -> stored -> unit
+  (** Header line (id, op, query, duration, admission reason) followed
+      by the span tree via {!Span.pp_annotated}, critical path
+      marked. *)
 end
 
 (** {1 Query log}
@@ -565,8 +756,13 @@ end
 
 module Qlog : sig
   val schema_version : int
-  (** Version of the per-line event format (currently [1]); {!load}
-      rejects events written under any other version. *)
+  (** Version of the per-line event format (currently [2], which added
+      [trace_id]). *)
+
+  val min_schema_version : int
+  (** Oldest version {!load} still accepts (currently [1]; v1 events
+      come back with [trace_id = ""]).  Anything outside
+      [[min_schema_version, schema_version]] is rejected. *)
 
   type kind = Query | Batch | Update | Alert
 
@@ -588,6 +784,7 @@ module Qlog : sig
     pairs : int;  (** answer size (update events: effective updates) *)
     digest : string;  (** answer digest; [""] when not applicable *)
     slow : bool;  (** duration reached [EXPFINDER_SLOW_MS] *)
+    trace_id : string;  (** [""] when the request carried no trace context (or a v1 line) *)
     error : string option;
     payload : Json.t option;  (** replayable request body *)
   }
@@ -621,6 +818,7 @@ module Qlog : sig
     counters:(string * int) list ->
     pairs:int ->
     digest:string ->
+    ?trace_id:string ->
     ?error:string ->
     ?payload:Json.t ->
     unit ->

@@ -117,34 +117,45 @@ let mismatches summary = List.filter (fun (o : outcome) -> not o.matched) summar
    pair up under [expfinder bench-diff]. *)
 let report ?(mode = "replay") summary =
   let r = Report.create ~tool:"expfinder replay" ~mode () in
-  let groups : (string, float list ref * float list ref) Hashtbl.t = Hashtbl.create 16 in
+  let groups : (string, float list ref * float list ref * string list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
   let order = ref [] in
   List.iter
     (fun (o : outcome) ->
       if o.skipped = None then begin
         let key = Printf.sprintf "%s.%s" (Qlog.kind_name o.event.Qlog.kind) o.event.Qlog.query in
-        let replayed, recorded =
+        let replayed, recorded, traces =
           match Hashtbl.find_opt groups key with
           | Some cell -> cell
           | None ->
-            let cell = (ref [], ref []) in
+            let cell = (ref [], ref [], ref []) in
             Hashtbl.add groups key cell;
             order := key :: !order;
             cell
         in
         replayed := o.replay_ms :: !replayed;
-        recorded := o.event.Qlog.duration_ms :: !recorded
+        recorded := o.event.Qlog.duration_ms :: !recorded;
+        if o.event.Qlog.trace_id <> "" then traces := o.event.Qlog.trace_id :: !traces
       end)
     summary.outcomes;
   let all_replayed = ref [] in
   List.iter
     (fun key ->
-      let replayed, recorded = Hashtbl.find groups key in
+      let replayed, recorded, traces = Hashtbl.find groups key in
+      (* Preserve the captured requests' identity: the trace ids the
+         group's events carried at capture time (v1 logs carry none),
+         so a replay report can be joined back to the original traces. *)
+      let trace_param =
+        if !traces = [] then []
+        else
+          [ ("trace_ids", Json.Arr (List.rev_map (fun t -> Json.Str t) !traces)) ]
+      in
       Report.add r ~id:("REPLAY." ^ key) ~experiment:"REPLAY" ~units:"ms"
-        ~params:[ ("requests", Json.Int (List.length !replayed)) ]
+        ~params:(("requests", Json.Int (List.length !replayed)) :: trace_param)
         (List.rev !replayed);
       Report.add r ~id:("QLOG." ^ key) ~experiment:"QLOG" ~units:"ms"
-        ~params:[ ("requests", Json.Int (List.length !recorded)) ]
+        ~params:(("requests", Json.Int (List.length !recorded)) :: trace_param)
         (List.rev !recorded);
       all_replayed := !replayed @ !all_replayed)
     (List.rev !order);

@@ -386,6 +386,139 @@ let stats_tcp_e2e exe () =
               let resp = request_exn fd (Json.Obj [ ("op", Json.Str "shutdown") ]) in
               Alcotest.(check bool) "shutdown acknowledged" true (ok_of resp))))
 
+(* One-shot raw HTTP exchange: the server answers a single GET and
+   closes, so reading to EOF yields status line, headers and body in
+   one string — which is what the traceparent-echo assertions need
+   (Server.http_get drops the headers). *)
+let raw_http endpoint request =
+  Server.with_connection endpoint (fun fd ->
+      let bytes = Bytes.of_string request in
+      let off = ref 0 in
+      while !off < Bytes.length bytes do
+        off := !off + Unix.write fd bytes !off (Bytes.length bytes - !off)
+      done;
+      let buf = Buffer.create 1024 in
+      let chunk = Bytes.create 1024 in
+      let rec read_all () =
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          read_all ()
+        | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ()
+      in
+      read_all ();
+      Buffer.contents buf)
+
+(* End-to-end trace propagation, parameterized over the transport: the
+   client mints a context, the response/qlog/trace-store all carry the
+   same trace id, and a malformed context (JSONL field or traceparent
+   header) degrades to a fresh mint rather than an error. *)
+let trace_e2e ~tcp exe () =
+  with_tmpdir (fun dir ->
+      let graph = Filename.concat dir "collab.graph" in
+      let qlog = Filename.concat dir "qlog.jsonl" in
+      let code, _ = run exe [ "gen"; "--kind"; "collab"; "-o"; graph ] in
+      Alcotest.(check int) "gen exits 0" 0 code;
+      let socket =
+        if tcp then
+          Printf.sprintf "127.0.0.1:%d" (17000 + (Unix.getpid () mod 20000))
+        else Filename.concat dir "serve.sock"
+      in
+      let ctx = Trace.make ~sampled:true () in
+      with_server exe ~graph ~socket ~qlog (fun endpoint ->
+          (* First query after boot is head-sampled, so the store must
+             hold it — send the minted context in compact wire form. *)
+          let resp =
+            Server.with_connection endpoint (fun fd ->
+                request_exn fd
+                  (Json.Obj
+                     [
+                       ("op", Json.Str "query");
+                       ("pattern", Json.Str paper_query);
+                       ("trace", Json.Str (Trace.to_wire ctx));
+                     ]))
+          in
+          Alcotest.(check bool) "traced query ok" true (ok_of resp);
+          Alcotest.(check (option string)) "response adopts the client's trace id"
+            (Some ctx.Trace.trace_id)
+            (str_field "trace_id" resp);
+          (match Server.http_get endpoint "/traces.json" with
+          | Ok (200, body) ->
+            Alcotest.(check bool) "/traces.json resolves the trace id" true
+              (contains body ctx.Trace.trace_id)
+          | Ok (status, _) -> Alcotest.failf "/traces.json -> HTTP %d" status
+          | Error e -> Alcotest.failf "/traces.json failed: %s" e);
+          (* The trace explorer renders the same store over the wire. *)
+          let code, out =
+            run exe [ "trace"; "--socket"; socket; "show"; ctx.Trace.trace_id ]
+          in
+          Alcotest.(check int) "trace show exits 0" 0 code;
+          Alcotest.(check bool) "trace show names the trace id" true
+            (contains out ctx.Trace.trace_id);
+          let code, out = run exe [ "trace"; "--socket"; socket; "list" ] in
+          Alcotest.(check int) "trace list exits 0" 0 code;
+          Alcotest.(check bool) "trace list includes the trace id" true
+            (contains out ctx.Trace.trace_id);
+          (* client --trace end to end: the response's trace id is
+             printed and resolvable in the store. *)
+          let pat = Filename.concat dir "paper.pattern" in
+          let oc = open_out pat in
+          output_string oc paper_query;
+          close_out oc;
+          let code, out = run exe [ "client"; "--socket"; socket; "--trace"; "-q"; pat ] in
+          Alcotest.(check int) "client --trace exits 0" 0 code;
+          Alcotest.(check bool) "client --trace prints a trace line" true
+            (contains out "trace ");
+          (* A malformed trace field still answers, under a freshly
+             minted (valid, different) id. *)
+          let resp =
+            Server.with_connection endpoint (fun fd ->
+                request_exn fd
+                  (Json.Obj
+                     [
+                       ("op", Json.Str "query");
+                       ("pattern", Json.Str paper_query);
+                       ("trace", Json.Str "not-a-trace");
+                     ]))
+          in
+          Alcotest.(check bool) "malformed trace still answers" true (ok_of resp);
+          (match str_field "trace_id" resp with
+          | None -> Alcotest.fail "no trace_id on the fallback response"
+          | Some tid ->
+            Alcotest.(check bool) "fallback id is a fresh valid mint" true
+              (Trace.valid_trace_id tid && tid <> ctx.Trace.trace_id));
+          (* Same degradation on the HTTP side: a malformed traceparent
+             header yields 200 plus a well-formed echoed header. *)
+          let reply =
+            raw_http endpoint
+              "GET /healthz HTTP/1.1\r\ntraceparent: garbage-in\r\n\r\n"
+          in
+          Alcotest.(check bool) "malformed traceparent scrape succeeds" true
+            (contains reply "200");
+          Alcotest.(check bool) "echoed traceparent is well-formed" true
+            (contains reply "traceparent: 00-");
+          Alcotest.(check bool) "echoed traceparent is not the garbage" true
+            (not (contains reply "garbage-in"));
+          (* A well-formed traceparent header is adopted verbatim. *)
+          let reply =
+            raw_http endpoint
+              (Printf.sprintf "GET /healthz HTTP/1.1\r\ntraceparent: %s\r\n\r\n"
+                 (Trace.to_traceparent ctx))
+          in
+          Alcotest.(check bool) "well-formed traceparent is adopted" true
+            (contains reply ctx.Trace.trace_id);
+          Server.with_connection endpoint (fun fd ->
+              let resp = request_exn fd (Json.Obj [ ("op", Json.Str "shutdown") ]) in
+              Alcotest.(check bool) "shutdown acknowledged" true (ok_of resp)));
+      (* After a clean shutdown the qlog carries the adopted id on its
+         query event. *)
+      match Qlog.load qlog with
+      | Error e -> Alcotest.failf "qlog load failed: %s" e
+      | Ok events ->
+        Alcotest.(check bool) "qlog records the adopted trace id" true
+          (List.exists (fun e -> e.Qlog.trace_id = ctx.Trace.trace_id) events))
+
 (* Dashboard rendering from canned documents: the `expfinder top` frame
    is pure string building, so it is testable without a server. *)
 let canned_stats =
@@ -524,5 +657,9 @@ let () =
           [
             Alcotest.test_case "serve/observe/replay" `Quick (serve_e2e exe);
             Alcotest.test_case "stats --server over TCP" `Quick (stats_tcp_e2e exe);
+            Alcotest.test_case "trace propagation over unix socket" `Quick
+              (trace_e2e ~tcp:false exe);
+            Alcotest.test_case "trace propagation over TCP" `Quick
+              (trace_e2e ~tcp:true exe);
           ] );
       ]

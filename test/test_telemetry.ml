@@ -497,6 +497,7 @@ let test_recorder_ring () =
           ~strategy:"direct/simulation"
           ~duration_ms:(if i mod 10 = 0 then 2.0 else 0.1)
           ~counters:[ ("engine.queries", 1) ]
+          ()
       done;
       let events = Recorder.recent () in
       Alcotest.(check int) "ring keeps the last capacity events" (Recorder.capacity ())
@@ -1239,6 +1240,305 @@ let test_report_diff_missing_side () =
   Alcotest.(check int) "empty reports diff to nothing" 0
     (List.length (Report.diff ~baseline:(Report.create ()) ~candidate:(Report.create ()) ()))
 
+(* --- explicit trace contexts and the trace store ------------------------ *)
+
+let test_trace_mint_and_wire () =
+  let ctx = Trace.make ~sampled:true () in
+  Alcotest.(check bool) "minted trace id valid" true (Trace.valid_trace_id ctx.Trace.trace_id);
+  Alcotest.(check bool) "minted span id valid" true (Trace.valid_span_id ctx.Trace.span_id);
+  Alcotest.(check bool) "sampled flag kept" true ctx.Trace.sampled;
+  let ctx2 = Trace.make () in
+  Alcotest.(check bool) "two mints differ" false (ctx.Trace.trace_id = ctx2.Trace.trace_id);
+  Alcotest.(check bool) "ambient has no identity" true (Trace.ambient.Trace.trace_id = "");
+  (match Trace.of_wire (Trace.to_wire ctx) with
+  | Some c ->
+    Alcotest.(check string) "tid-sid form roundtrips" ctx.Trace.trace_id c.Trace.trace_id;
+    (* The receiving hop is a new span: the trace id is adopted, the
+       span id is minted fresh. *)
+    Alcotest.(check bool) "adopted context minted its own span id" true
+      (Trace.valid_span_id c.Trace.span_id && c.Trace.span_id <> ctx.Trace.span_id)
+  | None -> Alcotest.fail "to_wire form rejected");
+  (match Trace.of_wire ~sampled:true (Trace.to_traceparent ctx) with
+  | Some c ->
+    Alcotest.(check string) "traceparent form roundtrips" ctx.Trace.trace_id c.Trace.trace_id;
+    Alcotest.(check bool) "sampled honoured on adoption" true c.Trace.sampled
+  | None -> Alcotest.fail "traceparent form rejected");
+  match Trace.of_wire ("  " ^ String.uppercase_ascii (Trace.to_wire ctx) ^ " ") with
+  | Some c ->
+    Alcotest.(check string) "case and whitespace normalised" ctx.Trace.trace_id c.Trace.trace_id
+  | None -> Alcotest.fail "normalisable form rejected"
+
+let test_trace_of_wire_rejects_malformed () =
+  let rejected s =
+    Alcotest.(check bool) (Printf.sprintf "%S rejected" s) true (Trace.of_wire s = None)
+  in
+  rejected "";
+  rejected "not-a-trace";
+  rejected "abcd-ef01";
+  (* non-hex characters *)
+  rejected (String.make 32 'g' ^ "-" ^ String.make 16 '0');
+  (* all-zero trace id is the W3C invalid sentinel *)
+  rejected (String.make 32 '0' ^ "-" ^ String.make 16 '1');
+  (* truncated traceparent *)
+  rejected "00-abc-def-01"
+
+let test_trace_collect_sampled () =
+  (* A sampled context records a span tree even with the global
+     telemetry flag off; the ambient context without the flag records
+     nothing. *)
+  set_enabled false;
+  let ctx = Trace.make ~sampled:true () in
+  let v, span =
+    Trace.collect ctx "root" (fun () -> Trace.with_span ctx "child" (fun () -> 41) + 1)
+  in
+  Alcotest.(check int) "body ran" 42 v;
+  (match span with
+  | Some s ->
+    Alcotest.(check string) "root span name" "root" (Span.name s);
+    Alcotest.(check (list string)) "child recorded" [ "root"; "child" ] (Span.preorder_names s)
+  | None -> Alcotest.fail "sampled context recorded no span tree");
+  let _, ambient_span = Trace.collect Trace.ambient "root" (fun () -> ()) in
+  Alcotest.(check bool) "ambient context with flag off records nothing" true
+    (ambient_span = None)
+
+let test_span_self_time_and_critical_path () =
+  let ctx = Trace.make ~sampled:true () in
+  let (), span =
+    Trace.collect ctx "root" (fun () ->
+        Trace.with_span ctx "fast" (fun () -> ());
+        Trace.with_span ctx "slow" (fun () ->
+            Trace.with_span ctx "leaf" (fun () -> Unix.sleepf 0.002)))
+  in
+  let s = match span with Some s -> s | None -> Alcotest.fail "no span tree" in
+  (* self time never exceeds the span's own duration, and the root's
+     self time excludes its children. *)
+  Alcotest.(check bool) "self <= duration" true (Span.self_ms s <= Span.duration_ms s);
+  Alcotest.(check bool) "root self excludes children" true
+    (Span.self_ms s < Span.duration_ms s);
+  let path = List.map Span.name (Span.critical_path s) in
+  Alcotest.(check (list string)) "critical path descends the longest child"
+    [ "root"; "slow"; "leaf" ] path;
+  let rendered = Format.asprintf "%a" Span.pp_annotated s in
+  Alcotest.(check bool) "critical-path spans are starred" true
+    (String.length rendered > 0 && String.contains rendered '*');
+  (* to_json/of_json roundtrip: structure and durations survive. *)
+  match Span.of_json (Span.to_json s) with
+  | Some s' ->
+    Alcotest.(check (list string)) "names roundtrip" (Span.preorder_names s)
+      (Span.preorder_names s');
+    Alcotest.(check (float 1e-9)) "duration roundtrips" (Span.duration_ms s)
+      (Span.duration_ms s')
+  | None -> Alcotest.fail "of_json rejected its own to_json"
+
+let test_chrome_lanes_from_trace_ids () =
+  let ctx = Trace.make ~sampled:true () in
+  let (), span = Trace.collect ctx "root" (fun () -> ()) in
+  let s = match span with Some s -> s | None -> Alcotest.fail "no span tree" in
+  let pid_of text =
+    match parse_json text with
+    | Arr (Obj fields :: _) -> (
+      match List.assoc_opt "pid" fields with
+      | Some (Num pid) -> int_of_float pid
+      | _ -> Alcotest.fail "event lacks a pid")
+    | _ -> Alcotest.fail "trace is not a JSON array of objects"
+  in
+  Alcotest.(check int) "no trace id keeps the historical pid 1" 1
+    (pid_of (Span.to_chrome_json s));
+  let a = pid_of (Span.to_chrome_json ~trace_id:(String.make 32 'a') s) in
+  let b = pid_of (Span.to_chrome_json ~trace_id:(String.make 32 'b') s) in
+  Alcotest.(check bool) "distinct trace ids land in distinct lanes" false (a = b);
+  Alcotest.(check bool) "lanes are positive" true (a > 0 && b > 0)
+
+let test_tracestore_admission () =
+  Tracestore.clear ();
+  (* Use a dedicated op class so engine-driven suites cannot have
+     warmed its window: an empty window has no p99, so nothing is
+     tail-admitted and the head/error rules are observable alone. *)
+  let op = "tstore-admission" in
+  let offer ?(error = false) ?(tid = Trace.make ()) () =
+    Tracestore.record ~trace_id:tid.Trace.trace_id ~span_id:tid.Trace.span_id ~op
+      ~query:"q" ~duration_ms:1.0 ~error ()
+  in
+  Alcotest.(check bool) "identity-free requests never stored" false
+    (Tracestore.record ~trace_id:"" ~span_id:"" ~op ~query:"q" ~duration_ms:1.0
+       ~error:false ());
+  Alcotest.(check bool) "first arrival head-sampled" true (offer ());
+  for i = 2 to 10 do
+    Alcotest.(check bool)
+      (Printf.sprintf "arrival %d dropped" i)
+      false (offer ())
+  done;
+  Alcotest.(check bool) "arrival 11 head-sampled" true (offer ());
+  Alcotest.(check bool) "errors always kept" true (offer ~error:true ());
+  Alcotest.(check int) "12 offers seen" 12 (Tracestore.seen ());
+  let stored = Tracestore.recent () in
+  Alcotest.(check int) "3 admitted" 3 (List.length stored);
+  let kept_reasons = List.map (fun s -> s.Tracestore.skept) stored in
+  Alcotest.(check bool) "error reason recorded" true (List.mem "error" kept_reasons);
+  Alcotest.(check bool) "sampled reason recorded" true (List.mem "sampled" kept_reasons);
+  (* Slow-path admission: warm the op window past the p99 minimum, then
+     offer something slower than everything seen so far. *)
+  let w = Window.get op in
+  for _ = 1 to 30 do
+    Window.observe w 1.0
+  done;
+  let slow_ctx = Trace.make () in
+  Alcotest.(check bool) "p99-exceeding request tail-admitted" true
+    (Tracestore.record ~trace_id:slow_ctx.Trace.trace_id ~span_id:slow_ctx.Trace.span_id
+       ~op ~query:"q" ~duration_ms:500.0 ~error:false ());
+  (match Tracestore.find slow_ctx.Trace.trace_id with
+  | Some s -> Alcotest.(check string) "kept as slow" "slow" s.Tracestore.skept
+  | None -> Alcotest.fail "slow trace not stored");
+  Window.reset w;
+  Tracestore.clear ()
+
+let test_tracestore_find_and_roundtrip () =
+  Tracestore.clear ();
+  let ctx = Trace.make ~sampled:true () in
+  let (), root = Trace.collect ctx "root" (fun () -> ()) in
+  Alcotest.(check bool) "admitted" true
+    (Tracestore.record ~trace_id:ctx.Trace.trace_id ~span_id:ctx.Trace.span_id ~op:"query"
+       ~query:"fp" ~duration_ms:2.5 ~error:false ?root ());
+  (match Tracestore.find (String.sub ctx.Trace.trace_id 0 8) with
+  | Some s -> Alcotest.(check string) "prefix lookup" ctx.Trace.trace_id s.Tracestore.strace_id
+  | None -> Alcotest.fail "prefix lookup failed");
+  Alcotest.(check bool) "unknown id not found" true (Tracestore.find "ffffffff" = None);
+  (* stored_json/of_json roundtrip, span tree included. *)
+  (match Tracestore.find ctx.Trace.trace_id with
+  | None -> Alcotest.fail "full-id lookup failed"
+  | Some s -> (
+    match Tracestore.stored_of_json (Tracestore.stored_json s) with
+    | Some s' ->
+      Alcotest.(check string) "trace id roundtrips" s.Tracestore.strace_id
+        s'.Tracestore.strace_id;
+      Alcotest.(check string) "kept reason roundtrips" s.Tracestore.skept
+        s'.Tracestore.skept;
+      Alcotest.(check bool) "span tree roundtrips" true (s'.Tracestore.sroot <> None);
+      (* The explorer rendering shows the id and the span tree. *)
+      let rendered = Format.asprintf "%a" Tracestore.pp_stored s' in
+      Alcotest.(check bool) "rendering names the trace" true
+        (let id = s.Tracestore.strace_id in
+         let rec has i =
+           i + String.length id <= String.length rendered
+           && (String.sub rendered i (String.length id) = id || has (i + 1))
+         in
+         has 0)
+    | None -> Alcotest.fail "stored_of_json rejected its own stored_json"));
+  Tracestore.clear ()
+
+let test_window_exemplars () =
+  let w = Window.create "exemplar-test" in
+  Window.observe w 1.0;
+  Alcotest.(check int) "untraced observations leave no exemplar" 0
+    (List.length (Window.exemplars w));
+  Window.observe w ~trace:"cafe0123cafe0123cafe0123cafe0123" 1.0;
+  Window.observe w ~trace:"beef4567beef4567beef4567beef4567" 100.0;
+  let exs = Window.exemplars w in
+  Alcotest.(check int) "one exemplar per touched bucket" 2 (List.length exs);
+  let ids = List.map (fun e -> e.Window.ex_trace_id) exs in
+  Alcotest.(check bool) "both trace ids advertised" true
+    (List.mem "cafe0123cafe0123cafe0123cafe0123" ids
+    && List.mem "beef4567beef4567beef4567beef4567" ids);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "bucket bound covers the observation" true
+        (e.Window.ex_value_ms <= e.Window.ex_le))
+    exs;
+  (* A later traced observation in the same bucket replaces the
+     exemplar; reset drops them all. *)
+  Window.observe w ~trace:"feed8901feed8901feed8901feed8901" 1.0;
+  let ids = List.map (fun e -> e.Window.ex_trace_id) (Window.exemplars w) in
+  Alcotest.(check bool) "same-bucket exemplar replaced" true
+    (List.mem "feed8901feed8901feed8901feed8901" ids
+    && not (List.mem "cafe0123cafe0123cafe0123cafe0123" ids));
+  (* The window document carries them. *)
+  (match Window.to_json w with
+  | Json.Obj fields -> (
+    match List.assoc_opt "exemplars" fields with
+    | Some (Json.Arr exs) -> Alcotest.(check int) "exemplars in to_json" 2 (List.length exs)
+    | _ -> Alcotest.fail "to_json lacks an exemplars array")
+  | _ -> Alcotest.fail "to_json is not an object");
+  Window.reset w;
+  Alcotest.(check int) "reset clears exemplars" 0 (List.length (Window.exemplars w))
+
+let test_prometheus_exemplar_lines () =
+  let w = Window.get "promex" in
+  Window.observe w ~trace:"0123456789abcdef0123456789abcdef" 3.0;
+  let text = Prometheus.render () in
+  let has_line needle =
+    let rec go i =
+      i + String.length needle <= String.length text
+      && (String.sub text i (String.length needle) = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "OpenMetrics-style exemplar annotation present" true
+    (has_line "# EXEMPLAR expfinder_latency_ms{op=\"promex\"");
+  Alcotest.(check bool) "exemplar names the trace id" true
+    (has_line "trace_id=\"0123456789abcdef0123456789abcdef\"");
+  Window.reset w
+
+let test_qlog_schema_versions () =
+  (* A v1 line (no trace_id member) parses with an empty trace id; a v2
+     line carries its id; versions outside the supported band are
+     rejected. *)
+  let parse line =
+    match Json.of_string line with
+    | Ok j -> Qlog.event_of_json j
+    | Error e -> Alcotest.fail ("test line is not JSON: " ^ e)
+  in
+  (match
+     parse
+       {|{"v":1,"seq":3,"kind":"query","query":"fp","strategy":"direct","duration_ms":0.5,"digest":"d"}|}
+   with
+  | Ok e ->
+    Alcotest.(check string) "v1 trace id defaults empty" "" e.Qlog.trace_id;
+    Alcotest.(check int) "v1 seq kept" 3 e.Qlog.seq
+  | Error e -> Alcotest.fail ("v1 line rejected: " ^ e));
+  (match
+     parse
+       {|{"v":2,"seq":4,"kind":"query","query":"fp","trace_id":"0123456789abcdef0123456789abcdef"}|}
+   with
+  | Ok e ->
+    Alcotest.(check string) "v2 trace id parsed" "0123456789abcdef0123456789abcdef"
+      e.Qlog.trace_id
+  | Error e -> Alcotest.fail ("v2 line rejected: " ^ e));
+  (match parse {|{"v":3,"seq":5,"kind":"query","query":"fp"}|} with
+  | Ok _ -> Alcotest.fail "future schema version accepted"
+  | Error _ -> ());
+  match parse {|{"v":0,"seq":6,"kind":"query","query":"fp"}|} with
+  | Ok _ -> Alcotest.fail "prehistoric schema version accepted"
+  | Error _ -> ()
+
+let test_engine_trace_threading () =
+  (* The explicit context surfaces in every observability artifact the
+     engine writes: the profile, the recorder event and the trace
+     store (first arrival after a clear is always head-sampled). *)
+  Tracestore.clear ();
+  Recorder.clear ();
+  with_telemetry true (fun () ->
+      let engine = Engine.create (Collab.graph ()) in
+      let ctx = Trace.make ~sampled:true () in
+      let answer = Engine.evaluate ~trace:ctx engine (Collab.q1 ()) in
+      (match answer.Engine.profile with
+      | Some p ->
+        Alcotest.(check string) "profile carries the trace id" ctx.Trace.trace_id
+          p.Engine.trace_id
+      | None -> Alcotest.fail "no profile");
+      let recorded =
+        List.exists
+          (fun (e : Recorder.event) -> e.Recorder.trace_id = ctx.Trace.trace_id)
+          (Recorder.recent ())
+      in
+      Alcotest.(check bool) "recorder event carries the trace id" true recorded;
+      match Tracestore.find ctx.Trace.trace_id with
+      | Some s ->
+        Alcotest.(check string) "stored under op query" "query" s.Tracestore.sop;
+        Alcotest.(check bool) "span tree stored" true (s.Tracestore.sroot <> None)
+      | None -> Alcotest.fail "trace not stored");
+  Tracestore.clear ();
+  Recorder.clear ()
+
 let () =
   Alcotest.run "telemetry"
     [
@@ -1333,5 +1633,31 @@ let () =
             test_same_answers_when_disabled;
         ] );
       ( "tracing",
-        [ Alcotest.test_case "chrome trace roundtrip" `Quick test_chrome_trace_roundtrip ] );
+        [
+          Alcotest.test_case "chrome trace roundtrip" `Quick test_chrome_trace_roundtrip;
+          Alcotest.test_case "context mint and wire forms" `Quick test_trace_mint_and_wire;
+          Alcotest.test_case "malformed wire forms rejected" `Quick
+            test_trace_of_wire_rejects_malformed;
+          Alcotest.test_case "sampled context records without the flag" `Quick
+            test_trace_collect_sampled;
+          Alcotest.test_case "self time and critical path" `Quick
+            test_span_self_time_and_critical_path;
+          Alcotest.test_case "chrome lanes from trace ids" `Quick
+            test_chrome_lanes_from_trace_ids;
+          Alcotest.test_case "engine threads the context" `Quick test_engine_trace_threading;
+        ] );
+      ( "tracestore",
+        [
+          Alcotest.test_case "head/tail admission" `Quick test_tracestore_admission;
+          Alcotest.test_case "prefix find and JSON roundtrip" `Quick
+            test_tracestore_find_and_roundtrip;
+        ] );
+      ( "exemplars",
+        [
+          Alcotest.test_case "per-bucket trace ids" `Quick test_window_exemplars;
+          Alcotest.test_case "prometheus EXEMPLAR lines" `Quick
+            test_prometheus_exemplar_lines;
+        ] );
+      ( "qlog-schema",
+        [ Alcotest.test_case "v1/v2 accepted, others rejected" `Quick test_qlog_schema_versions ] );
     ]

@@ -263,6 +263,74 @@ let test_replay_crash_is_mismatch () =
         (String.length crashed.Replay.digest > 6
         && String.sub crashed.Replay.digest 0 6 = "error:"))
 
+(* Schema-compatibility regression: the committed fixture was captured
+   by a pre-trace-context build (schema v1, no trace_id member) against
+   the collab smoke workload.  A v2 loader must keep accepting it —
+   trace ids default to "" — and replay it with zero digest
+   mismatches. *)
+let test_replay_v1_fixture () =
+  let open Expfinder_engine in
+  let open Expfinder_telemetry in
+  let module Collab = Expfinder_workload.Collab in
+  let module Replay = Expfinder_workload.Replay in
+  (* dune runtest runs in the stanza directory; dune exec from the
+     project root does not — fall back to the executable's directory,
+     where the declared dep is materialised either way. *)
+  let fixture =
+    if Sys.file_exists "fixtures/qlog_v1.jsonl" then "fixtures/qlog_v1.jsonl"
+    else Filename.concat (Filename.dirname Sys.executable_name) "fixtures/qlog_v1.jsonl"
+  in
+  let events = match Qlog.load fixture with Ok e -> e | Error e -> Alcotest.fail e in
+  Alcotest.(check int) "all fixture events parsed" 9 (List.length events);
+  List.iter
+    (fun (e : Qlog.event) ->
+      Alcotest.(check string) "v1 events carry no trace id" "" e.Qlog.trace_id)
+    events;
+  let summary = Replay.run (Engine.create (Collab.graph ())) events in
+  Alcotest.(check int) "all replayed" 9 summary.Replay.replayed;
+  Alcotest.(check int) "no mismatches" 0 summary.Replay.mismatches;
+  (* Identity-free events yield reports without a trace_ids param. *)
+  let report = Replay.report summary in
+  List.iter
+    (fun (r : Report.record) ->
+      Alcotest.(check bool)
+        ("no trace_ids on " ^ r.Report.id)
+        false
+        (List.mem_assoc "trace_ids" r.Report.params))
+    (Report.records report)
+
+(* v2 capture: requests evaluated under an explicit trace context stamp
+   their id into the qlog line, and replay carries the captured ids into
+   the matching REPLAY.* / QLOG.* report records. *)
+let test_replay_preserves_trace_ids () =
+  let open Expfinder_engine in
+  let open Expfinder_telemetry in
+  let module Collab = Expfinder_workload.Collab in
+  let module Replay = Expfinder_workload.Replay in
+  with_qlog_capture (fun path ->
+      let engine = Engine.create (Collab.graph ()) in
+      let ctx = Trace.make ~sampled:true () in
+      ignore (Engine.evaluate ~trace:ctx engine (Collab.q1 ()));
+      Qlog.close ();
+      let events = match Qlog.load path with Ok e -> e | Error e -> Alcotest.fail e in
+      (match events with
+      | [ e ] -> Alcotest.(check string) "qlog line carries the trace id" ctx.Trace.trace_id e.Qlog.trace_id
+      | _ -> Alcotest.fail "expected exactly one captured event");
+      let summary = Replay.run (Engine.create (Collab.graph ())) events in
+      Alcotest.(check int) "no mismatches" 0 summary.Replay.mismatches;
+      let report = Replay.report summary in
+      let replay_record =
+        List.find
+          (fun (r : Report.record) ->
+            String.length r.Report.id > 7 && String.sub r.Report.id 0 7 = "REPLAY."
+            && r.Report.id <> "REPLAY.total")
+          (Report.records report)
+      in
+      match List.assoc_opt "trace_ids" replay_record.Report.params with
+      | Some (Json.Arr [ Json.Str tid ]) ->
+        Alcotest.(check string) "captured trace id preserved" ctx.Trace.trace_id tid
+      | _ -> Alcotest.fail "REPLAY record lacks its trace_ids param")
+
 let () =
   Alcotest.run "workload"
     [
@@ -291,6 +359,9 @@ let () =
           Alcotest.test_case "errored/payload-free events skipped" `Quick test_replay_skips;
           Alcotest.test_case "raising event is a mismatch, not a crash" `Quick
             test_replay_crash_is_mismatch;
+          Alcotest.test_case "v1 fixture still loads and replays" `Quick test_replay_v1_fixture;
+          Alcotest.test_case "trace ids preserved into replay reports" `Quick
+            test_replay_preserves_trace_ids;
         ] );
       ("scale", [ Alcotest.test_case "50k-node smoke" `Slow test_large_graph_smoke ]);
     ]
