@@ -67,16 +67,29 @@ lint-dsafe-growth:
 
 # Pre-merge gate: lint + tests, then the whole suite again with the
 # differential self-checker on (every cached/compressed/indexed answer
-# re-verified against direct evaluation; <1s overhead), then a soft
+# re-verified against direct evaluation; <1s overhead), then again with
+# a 2-domain execution model forced through every ?domains default (the
+# pool serving path, parallel evaluation and the writer-domain routing
+# all switch on), then the serving-path smokes — including the
+# parallel-vs-sequential replay differential — and finally a soft
 # perf-regression check against the committed baseline (warn-only here:
 # quick-mode medians are too noisy to block a merge on; run bench-gate
 # directly for a hard verdict).
 check: lint lint-mli lint-dsafe lint-dsafe-growth
 	dune runtest
 	EXPFINDER_CHECK=1 dune runtest --force
+	$(MAKE) --no-print-directory test-domains
 	$(MAKE) --no-print-directory replay-smoke
 	$(MAKE) --no-print-directory soak-smoke
+	$(MAKE) --no-print-directory par-diff-smoke
 	-@if [ -f BENCH_baseline.json ]; then $(MAKE) --no-print-directory bench-gate; fi
+
+# The full suite under a multicore execution model: EXPFINDER_DOMAINS=2
+# flips every ?domains default (server pool size, evaluate_batch,
+# compute_batch, the refinement fixpoints), so the sequential oracles
+# and their parallel twins both run everywhere the suite reaches.
+test-domains:
+	EXPFINDER_DOMAINS=2 dune runtest --force
 
 # Serving-path smoke gate: serve the committed smoke workload over a
 # unix socket with qlog capture on, drive it through the client, shut
@@ -164,6 +177,36 @@ soak-smoke: build
 	$(EXE) postmortem "$$pm" | grep -q "SIGTERM" \
 	  || { echo "soak-smoke: postmortem unreadable or missing its reason"; exit 1; }; \
 	echo "soak-smoke: ok ($$pm)"
+
+# Multicore differential gate: the same smoke workload served by a
+# 2-domain pool (worker domains + the dedicated writer domain) with
+# qlog capture on — first a read-only soak from two concurrent client
+# worker domains, then a sequential query/update/query round routed
+# through the writer — and the captured log replayed against a fresh
+# single-domain engine.  The replay command exits non-zero unless every
+# parallel-served answer digest is byte-identical to its sequential
+# re-evaluation, so the pool cannot drift from the sequential oracle
+# unnoticed.  Invokes $(EXE) directly for the same build-lock reason as
+# replay-smoke.
+par-diff-smoke: build
+	@rm -rf _build/par_smoke && mkdir -p _build/par_smoke
+	@EXPFINDER_QLOG=_build/par_smoke/qlog.jsonl EXPFINDER_DOMAINS=2 \
+	  $(EXE) serve -g workloads/smoke/collab.graph \
+	    --socket _build/par_smoke/sock >/dev/null & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do \
+	  [ -S _build/par_smoke/sock ] && break; sleep 0.05; \
+	done; \
+	$(EXE) client --socket _build/par_smoke/sock \
+	  -q workloads/smoke/paper.pattern -q workloads/smoke/sa.pattern \
+	  --batch workloads/smoke/queries.batch --repeat 3 --concurrency 2 \
+	  || { kill $$pid 2>/dev/null; echo "par-diff-smoke: soak client failed"; exit 1; }; \
+	$(EXE) client --socket _build/par_smoke/sock \
+	  -q workloads/smoke/paper.pattern -q workloads/smoke/sa.pattern \
+	  --insert 1,5 --delete 1,5 --repeat 2 --shutdown >/dev/null \
+	  || { kill $$pid 2>/dev/null; echo "par-diff-smoke: update client failed"; exit 1; }; \
+	wait $$pid; \
+	$(EXE) replay _build/par_smoke/qlog.jsonl -g workloads/smoke/collab.graph
 
 bench:
 	dune exec bench/main.exe

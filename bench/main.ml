@@ -14,6 +14,8 @@ open Expfinder_incremental
 open Expfinder_compression
 open Expfinder_engine
 module Telemetry = Expfinder_telemetry
+module Parallel = Expfinder_parallel
+module Server = Expfinder_server
 module Collab = Expfinder_workload.Collab
 module Synthetic = Expfinder_workload.Synthetic
 module Twitter = Expfinder_workload.Twitter
@@ -826,6 +828,180 @@ let exp_telemetry_cost ~full =
     (s_tick.Report.median +. s_slo.Report.median < 50.0)
 
 (* ------------------------------------------------------------------ *)
+(* EXP-P1 / EXP-P2: multicore execution model                           *)
+(* ------------------------------------------------------------------ *)
+
+(* EXP-P1: served QPS as the server domain pool grows.  An in-process
+   server is spawned per pool size on its own Unix socket; a fixed set
+   of client worker domains each holds one connection and sends the
+   same query round, so the server-side pool is the only variable.
+   The speedup column is honest hardware truth: on a single-core host
+   every extra domain only adds scheduling overhead, so ratios near
+   (or below) 1.0x there are the expected result, not a regression. *)
+let exp_parallel_serve ~full =
+  header "EXP-P1: served QPS vs server domain-pool size (concurrent soak)";
+  let n = if full then 10_000 else 3_000 in
+  let g = Twitter.generate (Prng.create 71) ~n in
+  let req_texts =
+    Queries.workload (Prng.create 73) ~count:4 ~simulation:false g
+    |> List.map Pattern_io.to_string |> Array.of_list
+  in
+  let workers = 4 in
+  let reqs = if full then 100 else 25 in
+  let pool_sizes = if full then [ 1; 2; 4 ] else [ 1; 2 ] in
+  let soak ep =
+    let t0 = Telemetry.now_us () in
+    let tallies =
+      Parallel.run ~domains:workers (fun w ->
+          Server.with_connection ep (fun fd ->
+              let ok = ref 0 in
+              for i = 0 to reqs - 1 do
+                let text = req_texts.((w + i) mod Array.length req_texts) in
+                let req =
+                  Telemetry.Json.Obj
+                    [ ("op", Telemetry.Json.Str "query");
+                      ("pattern", Telemetry.Json.Str text) ]
+                in
+                match Server.request fd req with
+                | Ok resp
+                  when Option.bind (Telemetry.Json.member "ok" resp) (function
+                         | Telemetry.Json.Bool b -> Some b
+                         | _ -> None)
+                       = Some true -> incr ok
+                | _ -> ()
+              done;
+              !ok))
+    in
+    let elapsed_s = (Telemetry.now_us () -. t0) /. 1e6 in
+    (Array.fold_left ( + ) 0 tallies, elapsed_s)
+  in
+  let qps_of d =
+    let path =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "expfinder-p1-%d-%d.sock" (Unix.getpid ()) d)
+    in
+    let ep = Server.Unix_socket path in
+    let engine = Engine.create g in
+    let ready = Atomic.make false in
+    let srv =
+      Domain.spawn (fun () ->
+          Server.serve ~sample_period:0.0 ~domains:d
+            ~on_listen:(fun () -> Atomic.set ready true)
+            engine ep)
+    in
+    while not (Atomic.get ready) do
+      Unix.sleepf 0.002
+    done;
+    let ok, elapsed_s = soak ep in
+    (match
+       Server.with_connection ep (fun fd ->
+           Server.request fd (Telemetry.Json.Obj [ ("op", Telemetry.Json.Str "shutdown") ]))
+     with
+    | Ok _ | Error _ -> ());
+    Domain.join srv;
+    check (Printf.sprintf "all %d soak requests answered ok (pool size %d)" (workers * reqs) d)
+      (ok = workers * reqs);
+    let qps = float_of_int ok /. max elapsed_s 1e-9 in
+    record
+      ~id:(Printf.sprintf "EXP-P1.domains%d" d)
+      ~params:
+        [ ("domains", Telemetry.Json.Int d);
+          ("workers", Telemetry.Json.Int workers);
+          ("requests", Telemetry.Json.Int (workers * reqs));
+          ("qps", Telemetry.Json.Float qps) ]
+      [ elapsed_s *. 1000.0 ];
+    qps
+  in
+  Printf.printf "  %d client workers x %d requests, |V| = %d, host cores = %d\n" workers reqs n
+    (Domain.recommended_domain_count ());
+  let base = ref None in
+  List.iter
+    (fun d ->
+      let qps = qps_of d in
+      let speedup = match !base with None -> base := Some qps; 1.0 | Some b -> qps /. b in
+      Printf.printf "  pool = %d domains: %8.1f req/s  (%.2fx vs 1 domain)\n" d qps speedup)
+    pool_sizes
+
+(* EXP-P2: the evaluation-side [?domains] knobs — batched candidate
+   computation and the bounded-simulation refinement fixpoint — parallel
+   against their own sequential oracle.  Digest equality is gated here
+   too (the suite gates it more thoroughly), so the timing rows can
+   never drift away from a correct configuration. *)
+let exp_parallel_compute ~full =
+  header "EXP-P2: parallel vs sequential compute_batch / refinement fixpoint";
+  let n = if full then 20_000 else 5_000 in
+  let g = Twitter.generate (Prng.create 61) ~n in
+  let snap = Snapshot.of_digraph g in
+  let count = 12 in
+  let patterns =
+    Array.of_list (Queries.workload (Prng.create 67) ~count ~simulation:false g)
+  in
+  let domain_counts = if full then [ 1; 2; 4 ] else [ 1; 2 ] in
+  let params =
+    [ ("n", Telemetry.Json.Int n); ("queries", Telemetry.Json.Int count) ]
+  in
+  let base = Candidates.compute_batch ~domains:1 patterns snap in
+  let digests r = Array.map Match_relation.digest r in
+  List.iter
+    (fun d ->
+      check
+        (Printf.sprintf "compute_batch ~domains:%d digest-equal the sequential oracle" d)
+        (digests (Candidates.compute_batch ~domains:d patterns snap) = digests base);
+      check
+        (Printf.sprintf "refinement ~domains:%d digest-equal the sequential oracle" d)
+        (Array.for_all2
+           (fun q init ->
+             let refine dd =
+               Bounded_sim.run_constrained ~domains:dd q snap
+                 ~initial:(Match_relation.copy init) ~mutable_set:None
+             in
+             Match_relation.digest (refine d) = Match_relation.digest (refine 1))
+           patterns base))
+    domain_counts;
+  let medians_cand =
+    List.map
+      (fun d ->
+        let s =
+          time_stats (fun () ->
+              ignore (Candidates.compute_batch ~domains:d patterns snap : Match_relation.t array))
+        in
+        record_stats ~id:(Printf.sprintf "EXP-P2.candidates.domains%d" d) ~params s;
+        (d, s.Report.median))
+      domain_counts
+  in
+  let medians_refine =
+    List.map
+      (fun d ->
+        let s =
+          time_stats_prepared
+            ~prepare:(fun () -> Array.map Match_relation.copy base)
+            (fun inits ->
+              Array.iteri
+                (fun i q ->
+                  ignore
+                    (Bounded_sim.run_constrained ~domains:d q snap ~initial:inits.(i)
+                       ~mutable_set:None
+                      : Match_relation.t))
+                patterns)
+        in
+        record_stats ~id:(Printf.sprintf "EXP-P2.refine.domains%d" d) ~params s;
+        (d, s.Report.median))
+      domain_counts
+  in
+  let row label medians =
+    let seq = List.assoc 1 medians in
+    List.iter
+      (fun (d, m) ->
+        Printf.printf "  %-12s domains = %d: %8.2f ms median  (%.2fx vs sequential)\n" label d m
+          (seq /. max m 0.001))
+      medians
+  in
+  Printf.printf "  %d queries, |V| = %d, host cores = %d\n" count n
+    (Domain.recommended_domain_count ());
+  row "candidates" medians_cand;
+  row "refine" medians_refine
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment              *)
 (* ------------------------------------------------------------------ *)
 
@@ -981,6 +1157,8 @@ let experiments =
     ("EXP-A4", exp_ablation_ball_index);
     ("EXP-A5", exp_ablation_minimise);
     ("EXP-T1", exp_telemetry_cost);
+    ("EXP-P1", exp_parallel_serve);
+    ("EXP-P2", exp_parallel_compute);
   ]
 
 let contains_substring haystack needle =

@@ -13,6 +13,7 @@ open Expfinder_incremental
 open Expfinder_compression
 open Expfinder_engine
 module Telemetry = Expfinder_telemetry
+module Parallel = Expfinder_parallel
 module Server = Expfinder_server
 module Dashboard = Expfinder_dashboard.Dashboard
 module Collab = Expfinder_workload.Collab
@@ -610,7 +611,7 @@ let serve_run verbose graph_file socket_spec max_connections =
      | exception Unix.Unix_error (e, fn, _) -> err "serve: %s: %s" fn (Unix.error_message e))
 
 let client_run verbose socket_spec ping query_files batch_file inserts deletes repeat shutdown
-    trace =
+    trace concurrency =
   setup_logs verbose;
   or_die
     (let* endpoint = Server.endpoint_of_string socket_spec in
@@ -700,35 +701,91 @@ let client_run verbose socket_spec ping query_files batch_file inserts deletes r
              (fields @ [ ("trace", Telemetry.Json.Str (Telemetry.Trace.to_wire ctx)) ])
          | other -> other
      in
-     match
-       Server.with_connection endpoint (fun fd ->
-           List.fold_left
-             (fun acc req ->
-               let* () = acc in
-               match Server.request fd (with_trace req) with
-               | Error e -> err "client: %s" e
-               | Ok resp ->
-                 print_endline (Telemetry.Json.to_string resp);
-                 if trace then
-                   Option.iter
-                     (Printf.printf "trace %s\n")
-                     (Option.bind (Telemetry.Json.member "trace_id" resp) Telemetry.Json.str_opt);
-                 (match Option.bind (Telemetry.Json.member "ok" resp) (function
-                    | Telemetry.Json.Bool b -> Some b
-                    | _ -> None)
-                  with
-                 | Some false ->
-                   err "server refused: %s"
-                     (Option.value ~default:"unknown error"
-                        (Option.bind
-                           (Telemetry.Json.member "error" resp)
-                           Telemetry.Json.str_opt))
-                 | _ -> Ok ()))
-             (Ok ()) requests)
-     with
-     | result -> result
-     | exception Unix.Unix_error (e, fn, _) ->
-       err "cannot reach %s: %s: %s" socket_spec fn (Unix.error_message e))
+     let is_shutdown = function
+       | Telemetry.Json.Obj fields -> (
+         match List.assoc_opt "op" fields with
+         | Some (Telemetry.Json.Str "shutdown") -> true
+         | _ -> false)
+       | _ -> false
+     in
+     if concurrency > 1 then begin
+       (* Soak mode: every worker domain opens its own connection and
+          sends the full round sequence; the shutdown request (if any)
+          goes on a fresh connection only after all workers joined, so
+          no worker races the server teardown.  Per-response output is
+          suppressed — the workers only tally — and one summary line
+          with the aggregate request rate is printed instead. *)
+       let soak = List.filter (fun r -> not (is_shutdown r)) requests in
+       let send_round () =
+         Server.with_connection endpoint (fun fd ->
+             List.fold_left
+               (fun (ok, errs) req ->
+                 match Server.request fd (with_trace req) with
+                 | Error _ -> (ok, errs + 1)
+                 | Ok resp ->
+                   (match
+                      Option.bind (Telemetry.Json.member "ok" resp) (function
+                        | Telemetry.Json.Bool b -> Some b
+                        | _ -> None)
+                    with
+                   | Some true -> (ok + 1, errs)
+                   | _ -> (ok, errs + 1)))
+               (0, 0) soak)
+       in
+       let t0 = Telemetry.now_us () in
+       let tallies =
+         Parallel.run ~domains:concurrency (fun _ ->
+             try send_round () with Unix.Unix_error _ -> (0, List.length soak))
+       in
+       let elapsed_s = (Telemetry.now_us () -. t0) /. 1e6 in
+       let ok = Array.fold_left (fun a (o, _) -> a + o) 0 tallies in
+       let errs = Array.fold_left (fun a (_, e) -> a + e) 0 tallies in
+       let total = ok + errs in
+       Printf.printf "soak: %d workers, %d requests (%d ok, %d err) in %.3f s = %.1f req/s\n"
+         concurrency total ok errs elapsed_s
+         (if elapsed_s > 0. then float_of_int total /. elapsed_s else 0.);
+       let* () = if errs > 0 then err "client: %d soak requests failed" errs else Ok () in
+       if shutdown then
+         match
+           Server.with_connection endpoint (fun fd ->
+               Server.request fd (Telemetry.Json.Obj [ ("op", Telemetry.Json.Str "shutdown") ]))
+         with
+         | Ok _ -> Ok ()
+         | Error e -> err "client: shutdown: %s" e
+         | exception Unix.Unix_error (e, fn, _) ->
+           err "cannot reach %s: %s: %s" socket_spec fn (Unix.error_message e)
+       else Ok ()
+     end
+     else
+       match
+         Server.with_connection endpoint (fun fd ->
+             List.fold_left
+               (fun acc req ->
+                 let* () = acc in
+                 match Server.request fd (with_trace req) with
+                 | Error e -> err "client: %s" e
+                 | Ok resp ->
+                   print_endline (Telemetry.Json.to_string resp);
+                   if trace then
+                     Option.iter
+                       (Printf.printf "trace %s\n")
+                       (Option.bind (Telemetry.Json.member "trace_id" resp) Telemetry.Json.str_opt);
+                   (match Option.bind (Telemetry.Json.member "ok" resp) (function
+                      | Telemetry.Json.Bool b -> Some b
+                      | _ -> None)
+                    with
+                   | Some false ->
+                     err "server refused: %s"
+                       (Option.value ~default:"unknown error"
+                          (Option.bind
+                             (Telemetry.Json.member "error" resp)
+                             Telemetry.Json.str_opt))
+                   | _ -> Ok ()))
+               (Ok ()) requests)
+       with
+       | result -> result
+       | exception Unix.Unix_error (e, fn, _) ->
+         err "cannot reach %s: %s: %s" socket_spec fn (Unix.error_message e))
 
 let replay_run verbose graph_file log_file report_file =
   setup_logs verbose;
@@ -1226,12 +1283,22 @@ let client_cmd =
              each response's trace id on its own $(b,trace ID) line (drill down with \
              $(b,expfinder trace show ID)).")
   in
+  let concurrency =
+    Arg.(
+      value & opt int 1
+      & info [ "concurrency" ] ~docv:"N"
+          ~doc:
+            "Soak the server from $(docv) concurrent worker domains, each on its own \
+             connection sending the full query/batch/update round $(b,--repeat) times.  \
+             Per-response output is replaced by one summary line with the aggregate request \
+             rate; $(b,--shutdown) is sent after all workers finish.")
+  in
   Cmd.v
     (Cmd.info "client"
        ~doc:"Send requests to a running expfinder serve and print the JSON responses")
     Term.(
       const client_run $ verbose_arg $ socket_arg $ ping $ queries $ batch $ inserts $ deletes
-      $ repeat $ shutdown $ trace)
+      $ repeat $ shutdown $ trace $ concurrency)
 
 let trace_cmd =
   let action =

@@ -21,12 +21,22 @@ val run : Pattern.t -> Snapshot.t -> Match_relation.t
 (** Simulation kernel from scratch. *)
 
 val run_constrained :
-  Pattern.t -> Snapshot.t -> initial:Match_relation.t -> mutable_set:Bitset.t option -> Match_relation.t
+  ?domains:int ->
+  Pattern.t ->
+  Snapshot.t ->
+  initial:Match_relation.t ->
+  mutable_set:Bitset.t option ->
+  Match_relation.t
 (** Greatest fixpoint below [initial], removing only pairs whose data
     node lies in [mutable_set] ([None] = all nodes mutable).  Pairs on
     frozen nodes are kept even if their constraints fail — the caller
     guarantees they are consistent (see the incremental module).  The
-    input is not mutated. *)
+    input is not mutated.
+
+    [?domains] (default 1, the sequential oracle) range-partitions the
+    counter-initialisation scan across domains; the worklist phase is
+    sequential and the greatest fixpoint unique, so the result is
+    identical for any domain count. *)
 
 val consistent : Pattern.t -> Snapshot.t -> Match_relation.t -> bool
 (** Check (for tests) that every pair of the relation satisfies the

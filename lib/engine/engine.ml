@@ -5,6 +5,7 @@ open Expfinder_incremental
 open Expfinder_compression
 open Expfinder_storage
 open Expfinder_telemetry
+module Parallel = Expfinder_parallel
 
 let src = Logs.Src.create "expfinder.engine" ~doc:"ExpFinder query engine"
 
@@ -80,41 +81,106 @@ type answer = {
 
 type expert = { node : int; name : string option; rank : Ranking.rank }
 
+(* Concurrency model (multicore serving):
+
+   - [snap] is the epoch-publication cell.  Readers pin one coherent
+     snapshot with a single [Atomic.get] and never block on writers; the
+     writer publishes the post-update epoch with [Atomic.set] once the
+     new snapshot is fully built.
+   - [writer] serializes everything that advances the epoch:
+     [apply_updates] and the rebuild-on-external-mutation path of
+     [snapshot].
+   - [maint] guards the optional structures ([registered] kernels, the
+     [compressed] graph, the [ball_index]).  Readers take it with
+     [Mutex.try_lock] only: under contention they skip the fast path and
+     fall through to containment/planner — every path computes the same
+     kernel (EXPFINDER_CHECK enforces it), only provenance and latency
+     differ. *)
 type t = {
   g : Digraph.t;
-  mutable snap : Snapshot.t;
+  snap : Snapshot.t Atomic.t;
   cache : Cache.t;
+  writer : Mutex.t;
+  maint : Mutex.t;
   mutable compressed : Inc_compress.t option;
   mutable ball_index : Ball_index.t option;
   mutable ball_radius : int;
   mutable registered : (string * Incremental.t) list; (* fingerprint-keyed, in order *)
-  mutable last_profile : profile option;
+  last_profile : profile option Atomic.t;
 }
 
 let create ?cache_capacity g =
   {
     g;
-    snap = Snapshot.of_digraph g;
+    snap = Atomic.make (Snapshot.of_digraph g);
     cache = Cache.create ?capacity:cache_capacity ();
+    writer = Mutex.create ();
+    maint = Mutex.create ();
     compressed = None;
     ball_index = None;
     ball_radius = 0;
     registered = [];
-    last_profile = None;
+    last_profile = Atomic.make None;
   }
 
 let graph t = t.g
 
+(* Maintenance-lock helpers.  [with_maint] blocks (maintenance ops and
+   the writer's sync phase); [with_maint_opt] is the readers' variant:
+   it never blocks, answering [None] when the lock is contended. *)
+let with_maint t f =
+  Mutex.lock t.maint;
+  match f () with
+  | v ->
+    Mutex.unlock t.maint;
+    v
+  | exception e ->
+    Mutex.unlock t.maint;
+    raise e
+
+let with_maint_opt t f =
+  if not (Mutex.try_lock t.maint) then None
+  else
+    match f () with
+    | v ->
+      Mutex.unlock t.maint;
+      v
+    | exception e ->
+      Mutex.unlock t.maint;
+      raise e
+
 (* The one place snapshot/digraph agreement is checked: the memoised
    snapshot is current unless the digraph was mutated behind the
    engine's back (all updates through [apply_updates] keep it in sync
-   copy-on-write), in which case we pay one full rebuild here. *)
-let snapshot t =
-  if Snapshot.epoch t.snap <> Digraph.version t.g then begin
+   copy-on-write), in which case we pay one full rebuild here.
+   Requires [t.writer] held (rebuilding from a digraph another domain is
+   mutating would tear). *)
+let snapshot_locked t =
+  let s = Atomic.get t.snap in
+  if Snapshot.epoch s = Digraph.version t.g then s
+  else begin
     Counter.incr m_snapshot_rebuilds;
-    t.snap <- Snapshot.of_digraph t.g
-  end;
-  t.snap
+    let s = Snapshot.of_digraph t.g in
+    Atomic.set t.snap s;
+    s
+  end
+
+let snapshot t =
+  let s = Atomic.get t.snap in
+  if Snapshot.epoch s = Digraph.version t.g then s
+  else if Mutex.try_lock t.writer then (
+    match snapshot_locked t with
+    | s ->
+      Mutex.unlock t.writer;
+      s
+    | exception e ->
+      Mutex.unlock t.writer;
+      raise e)
+  else
+    (* An update is in flight (version already bumped, new epoch not yet
+       published): serve the pinned pre-update snapshot rather than
+       block — the update is not "done" from this reader's viewpoint. *)
+    s
 
 (* Direct evaluation goes through the planner: candidate ordering with
    early exit, sink pruning, and strategy selection (§III "optimized
@@ -128,7 +194,7 @@ let run_direct pattern snap = Planner.run pattern snap
    candidate set of the incoming query from above.  Filter it by the
    pattern's own label/predicate specs and refine below it — the exact
    kernel, without scanning the data graph for candidates. *)
-let from_containment t pattern ~snap =
+let from_containment ?(domains = 1) t pattern ~snap =
   let sid = Snapshot.id snap in
   Cache.fold t.cache ~snapshot:sid ~init:None ~f:(fun acc sup relation ->
       match acc with
@@ -157,10 +223,11 @@ let from_containment t pattern ~snap =
            ~attrs:[ ("seed_pairs", string_of_int (Match_relation.total initial)) ]
            (fun () ->
              if Pattern.is_simulation_pattern pattern then
-               Simulation.run_constrained pattern snap ~initial ~mutable_set:None
+               Simulation.run_constrained ~domains pattern snap ~initial
+                 ~mutable_set:None
              else
-               Bounded_sim.run_constrained ~strategy:Bounded_sim.Naive pattern snap
-                 ~initial ~mutable_set:None))
+               Bounded_sim.run_constrained ~strategy:Bounded_sim.Naive ~domains
+                 pattern snap ~initial ~mutable_set:None))
 
 (* The untraced core of [evaluate]: cache -> registered kernel ->
    compressed -> cached superset (containment) -> ball index -> planner,
@@ -176,50 +243,55 @@ let evaluate_inner t pattern =
   with
   | Some relation -> (relation, From_cache, "cache", false)
   | None ->
-    let registered_kernel =
-      match List.assoc_opt (Pattern.fingerprint pattern) t.registered with
-      | Some inc when Incremental.version inc = Snapshot.epoch snap ->
-        Some (Match_relation.copy (Incremental.kernel inc))
-      | _ -> None
+    let fast =
+      with_maint_opt t (fun () ->
+          match List.assoc_opt (Pattern.fingerprint pattern) t.registered with
+          | Some inc when Incremental.version inc = Snapshot.epoch snap ->
+            Some (Match_relation.copy (Incremental.kernel inc), Direct, "registered")
+          | _ -> (
+            match t.compressed with
+            | Some inc
+              when Snapshot.identity_equal (Snapshot.id (Inc_compress.snapshot inc)) sid
+                   && Compress.supports (Inc_compress.current inc) pattern ->
+              Some
+                ( Compress.evaluate (Inc_compress.current inc) pattern,
+                  From_compressed,
+                  "compressed" )
+            | _ -> None))
     in
     let relation, provenance, strategy, via_direct =
-      match registered_kernel with
-      | Some relation -> (relation, Direct, "registered", false)
+      match fast with
+      | Some (relation, provenance, strategy) -> (relation, provenance, strategy, false)
       | None -> (
-        let compressed_answer =
-          match t.compressed with
-          | Some inc
-            when Snapshot.identity_equal (Snapshot.id (Inc_compress.snapshot inc)) sid
-                 && Compress.supports (Inc_compress.current inc) pattern ->
-            Some (Compress.evaluate (Inc_compress.current inc) pattern)
-          | _ -> None
-        in
-        match compressed_answer with
-        | Some relation -> (relation, From_compressed, "compressed", false)
+        match from_containment t pattern ~snap with
+        | Some relation ->
+          Counter.incr m_containment;
+          (relation, From_cache, "containment", false)
         | None -> (
-          match from_containment t pattern ~snap with
-          | Some relation ->
-            Counter.incr m_containment;
-            (relation, From_cache, "containment", false)
-          | None -> (
-            (* Rebuild the opt-in ball index lazily after updates. *)
-            (match t.ball_index with
-            | Some idx
-              when not (Snapshot.identity_equal (Ball_index.source idx) sid) ->
-              t.ball_index <-
-                Some
-                  (with_span "ball_index.rebuild" (fun () ->
-                       Ball_index.build snap ~radius:t.ball_radius))
-            | _ -> ());
-            match t.ball_index with
-            | Some idx when Ball_index.supports idx pattern ->
-              (Ball_index.evaluate idx pattern snap, From_index, "ball-index", false)
-            | _ ->
-              let relation, plan = Planner.run_with_plan pattern snap in
-              ( relation,
-                Direct,
-                "direct/" ^ Planner.strategy_name plan.Planner.strategy,
-                true ))))
+          let indexed =
+            with_maint_opt t (fun () ->
+                (* Rebuild the opt-in ball index lazily after updates. *)
+                (match t.ball_index with
+                | Some idx
+                  when not (Snapshot.identity_equal (Ball_index.source idx) sid) ->
+                  t.ball_index <-
+                    Some
+                      (with_span "ball_index.rebuild" (fun () ->
+                           Ball_index.build snap ~radius:t.ball_radius))
+                | _ -> ());
+                match t.ball_index with
+                | Some idx when Ball_index.supports idx pattern ->
+                  Some (Ball_index.evaluate idx pattern snap)
+                | _ -> None)
+          in
+          match indexed with
+          | Some relation -> (relation, From_index, "ball-index", false)
+          | None ->
+            let relation, plan = Planner.run_with_plan pattern snap in
+            ( relation,
+              Direct,
+              "direct/" ^ Planner.strategy_name plan.Planner.strategy,
+              true )))
     in
     Cache.store t.cache pattern ~snapshot:sid relation;
     (relation, provenance, strategy, via_direct)
@@ -268,7 +340,7 @@ let profiled ?(trace = Trace.ambient) t ~root ~attrs ~query f =
       Histogram.observe h_query_ms (Span.duration_ms span);
       let counters = Metrics.delta ~before ~after:(Metrics.counters_snapshot ()) in
       let p = { query; provenance; span; counters; trace_id = trace.Trace.trace_id } in
-      t.last_profile <- Some p;
+      Atomic.set t.last_profile (Some p);
       Some p
   in
   (result, profile)
@@ -278,9 +350,11 @@ let profiled ?(trace = Trace.ambient) t ~root ~attrs ~query f =
    pays nothing beyond the [Qlog.enabled] check. *)
 let qlog_emit t ~kind ~query ~strategy ~duration_ms ~counters ~pairs ~digest ?(trace_id = "")
     ?error ?payload () =
-  if Qlog.enabled () then
-    Qlog.emit ~kind ~graph_id:(Snapshot.graph_id t.snap) ~epoch:(Snapshot.epoch t.snap)
+  if Qlog.enabled () then begin
+    let snap = Atomic.get t.snap in
+    Qlog.emit ~kind ~graph_id:(Snapshot.graph_id snap) ~epoch:(Snapshot.epoch snap)
       ~query ~strategy ~duration_ms ~counters ~pairs ~digest ~trace_id ?error ?payload ()
+  end
 
 (* Finished-request bookkeeping shared by the three op classes: offer
    the request to the trace store (head + tail sampling) and record the
@@ -380,8 +454,14 @@ let evaluate ?trace t pattern =
    Answers are identical to per-query {!evaluate}: candidate sets are
    supersets of the planner's (which additionally prunes sinks), and the
    maximal kernel below any initial superset of it is the same
-   fixpoint. *)
-let evaluate_batch_unlabelled ?(trace = Trace.ambient) t patterns =
+   fixpoint.
+
+   [?domains] (default [EXPFINDER_DOMAINS] or 1) fans the candidate
+   scan and each query's refinement across domains; every parallel
+   region merges deterministically, so answers (and counter totals) are
+   digest-equal to [~domains:1]. *)
+let evaluate_batch_unlabelled ?(trace = Trace.ambient)
+    ?(domains = Parallel.default_domains ()) t patterns =
   Counter.incr m_batches;
   let rec_before = Metrics.counters_snapshot () in
   let rec_start = now_us () in
@@ -429,9 +509,10 @@ let evaluate_batch_unlabelled ?(trace = Trace.ambient) t patterns =
           arr;
         let reps = Array.of_list (List.rev !reps) in
         (* 3. One shared candidate scan for every distinct miss. *)
+        annotate_int "domains" domains;
         let initials =
           with_span "batch_candidates" (fun () ->
-              Candidates.compute_batch (Array.map (fun i -> arr.(i)) reps) snap)
+              Candidates.compute_batch ~domains (Array.map (fun i -> arr.(i)) reps) snap)
         in
         (* 4. Supersets first: [contains q1 q2] is transitive, so the
            count of batch members a query contains increases strictly
@@ -456,7 +537,7 @@ let evaluate_batch_unlabelled ?(trace = Trace.ambient) t patterns =
               if Pattern_analysis.statically_empty pattern then
                 (empty_for pattern, Direct)
               else
-                match from_containment t pattern ~snap with
+                match from_containment ~domains t pattern ~snap with
                 | Some relation ->
                   Counter.incr m_containment;
                   incr containment_hits;
@@ -473,11 +554,11 @@ let evaluate_batch_unlabelled ?(trace = Trace.ambient) t patterns =
                         ~attrs:[ ("query", Pattern.fingerprint pattern) ]
                         (fun () ->
                           if Pattern.is_simulation_pattern pattern then
-                            Simulation.run_constrained pattern snap ~initial
-                              ~mutable_set:None
+                            Simulation.run_constrained ~domains pattern snap
+                              ~initial ~mutable_set:None
                           else
-                            Bounded_sim.run_constrained pattern snap ~initial
-                              ~mutable_set:None)
+                            Bounded_sim.run_constrained ~domains pattern snap
+                              ~initial ~mutable_set:None)
                     in
                     (relation, Direct)
             in
@@ -540,8 +621,9 @@ let evaluate_batch_unlabelled ?(trace = Trace.ambient) t patterns =
         | None -> assert false)
       patterns
 
-let evaluate_batch ?trace t patterns =
-  Alloc.with_label "batch" (fun () -> evaluate_batch_unlabelled ?trace t patterns)
+let evaluate_batch ?trace ?domains t patterns =
+  Alloc.with_label "batch" (fun () ->
+      evaluate_batch_unlabelled ?trace ?domains t patterns)
 
 let result_graph t pattern =
   let answer = evaluate t pattern in
@@ -586,7 +668,7 @@ let top_k t pattern ~k =
         (experts, answer.provenance)
       end)
 
-let last_profile t = t.last_profile
+let last_profile t = Atomic.get t.last_profile
 
 let pp_profile ppf p =
   Format.fprintf ppf "profile: query %s, answered via %s@." p.query
@@ -613,40 +695,55 @@ let profile_json (p : profile) =
     ]
 
 let enable_ball_index ?(radius = 3) t =
-  t.ball_radius <- radius;
-  t.ball_index <- Some (Ball_index.build (snapshot t) ~radius)
+  let idx = Ball_index.build (snapshot t) ~radius in
+  with_maint t (fun () ->
+      t.ball_radius <- radius;
+      t.ball_index <- Some idx)
 
-let disable_ball_index t = t.ball_index <- None
+let disable_ball_index t = with_maint t (fun () -> t.ball_index <- None)
 
 let enable_compression ?atoms t =
-  t.compressed <- Some (Inc_compress.create ?atoms t.g)
+  let inc = Inc_compress.create ?atoms t.g in
+  with_maint t (fun () -> t.compressed <- Some inc)
 
-let disable_compression t = t.compressed <- None
+let disable_compression t = with_maint t (fun () -> t.compressed <- None)
 
-let compression t = Option.map Inc_compress.current t.compressed
+let compression t =
+  with_maint t (fun () -> Option.map Inc_compress.current t.compressed)
 
 let register t pattern =
   let fp = Pattern.fingerprint pattern in
-  if not (List.mem_assoc fp t.registered) then
-    t.registered <- t.registered @ [ (fp, Incremental.create pattern t.g) ]
+  if not (with_maint t (fun () -> List.mem_assoc fp t.registered)) then begin
+    (* Evaluate the query outside the lock; publish under it. *)
+    let inc = Incremental.create pattern t.g in
+    with_maint t (fun () ->
+        if not (List.mem_assoc fp t.registered) then
+          t.registered <- t.registered @ [ (fp, inc) ])
+  end
 
 let unregister t pattern =
   let fp = Pattern.fingerprint pattern in
-  t.registered <- List.filter (fun (fp', _) -> fp' <> fp) t.registered
+  with_maint t (fun () ->
+      t.registered <- List.filter (fun (fp', _) -> fp' <> fp) t.registered)
 
-let registered t = List.map (fun (_, inc) -> Incremental.pattern inc) t.registered
+let registered t =
+  with_maint t (fun () ->
+      List.map (fun (_, inc) -> Incremental.pattern inc) t.registered)
 
 (* Beyond this fraction of the edge count, rebuilding adjacency from the
    digraph beats patching it (and [Insert_node] changes the node table,
    which the COW advance shares by design). *)
 let cow_delta_limit snap = 16 + (Snapshot.edge_count snap / 4)
 
-let apply_updates_inner t updates =
+(* Runs with [t.writer] held: one update batch at a time mutates the
+   digraph and publishes the next epoch; concurrent readers keep serving
+   their pinned snapshots throughout. *)
+let apply_updates_locked t updates =
   Counter.incr m_update_batches;
   (* Pin (and, if the digraph was mutated externally, resync) the
      pre-update epoch before applying ΔG: readers holding it keep a
      coherent view, and the COW advance patches it. *)
-  let before = snapshot t in
+  let before = snapshot_locked t in
   let effective = Update.apply_batch_filtered t.g updates in
   Counter.add m_updates_effective (List.length effective);
   if effective <> [] then begin
@@ -664,30 +761,48 @@ let apply_updates_inner t updates =
                  Snapshot.advance before ~version:(Digraph.version t.g) ~added ~removed))
       end
     in
+    (* The epoch publication point: the new snapshot is complete before
+       this store, so any reader that picks it up sees a coherent
+       post-update view. *)
     (match next with
     | Some snap ->
       Counter.incr m_snapshot_advances;
-      t.snap <- snap
+      Atomic.set t.snap snap
     | None ->
       Counter.incr m_snapshot_rebuilds;
-      t.snap <- Snapshot.of_digraph t.g)
+      Atomic.set t.snap (Snapshot.of_digraph t.g))
   end;
   (* Results for old epochs are unreachable (keys include the identity),
      but drop them eagerly to keep the cache useful. *)
   Cache.clear t.cache;
-  Option.iter
-    (fun inc ->
-      ignore
-        (Inc_compress.sync inc ~snapshot:t.snap ~effective:(List.length effective)
-           effective
-          : Inc_compress.report))
-    t.compressed;
-  Log.debug (fun m ->
-      m "apply_updates: %d effective -> %a, %d registered queries, compression %s"
-        (List.length effective) Snapshot.pp_id t.snap (List.length t.registered)
-        (if t.compressed = None then "off" else "maintained"));
-  (List.map (fun (_, inc) -> Incremental.sync_applied inc ~effective) t.registered,
-   List.length effective)
+  let published = Atomic.get t.snap in
+  (* Sync the maintained structures under the maintenance lock; readers
+     mid-fast-path are waited for, later readers skip the fast path
+     until the lock frees. *)
+  with_maint t (fun () ->
+      Option.iter
+        (fun inc ->
+          ignore
+            (Inc_compress.sync inc ~snapshot:published
+               ~effective:(List.length effective) effective
+              : Inc_compress.report))
+        t.compressed;
+      Log.debug (fun m ->
+          m "apply_updates: %d effective -> %a, %d registered queries, compression %s"
+            (List.length effective) Snapshot.pp_id published (List.length t.registered)
+            (if t.compressed = None then "off" else "maintained"));
+      ( List.map (fun (_, inc) -> Incremental.sync_applied inc ~effective) t.registered,
+        List.length effective ))
+
+let apply_updates_inner t updates =
+  Mutex.lock t.writer;
+  match apply_updates_locked t updates with
+  | r ->
+    Mutex.unlock t.writer;
+    r
+  | exception e ->
+    Mutex.unlock t.writer;
+    raise e
 
 let apply_updates_unlabelled ?(trace = Trace.ambient) t updates =
   let rec_before = Metrics.counters_snapshot () in

@@ -89,7 +89,13 @@ val snapshot : t -> Snapshot.t
     digraph's version disagrees (i.e. it was mutated outside
     {!apply_updates}, the single place that check lives).  All
     evaluation paths read this snapshot — queries in flight on an older
-    epoch keep their pinned value untouched. *)
+    epoch keep their pinned value untouched.
+
+    The snapshot lives in an atomic epoch-publication cell: readers pin
+    one coherent epoch with a single atomic load and never block on a
+    concurrent {!apply_updates} (they serve the pre-update epoch until
+    the writer publishes the next one).  The rebuild-on-external-
+    mutation path is serialized with the writer. *)
 
 val evaluate : ?trace:Trace.ctx -> t -> Pattern.t -> answer
 (** Cache → compressed → cached superset (containment) → ball index →
@@ -105,7 +111,8 @@ val evaluate : ?trace:Trace.ctx -> t -> Pattern.t -> answer
     The same contract applies to {!evaluate_batch} and
     {!apply_updates}. *)
 
-val evaluate_batch : ?trace:Trace.ctx -> t -> Pattern.t list -> answer list
+val evaluate_batch :
+  ?trace:Trace.ctx -> ?domains:int -> t -> Pattern.t list -> answer list
 (** Evaluate a batch of queries against {e one} pinned snapshot.
     Answers equal per-query {!evaluate} (same relations, same [total]),
     but the batch: serves exact cache hits first, dedupes repeated
@@ -116,7 +123,15 @@ val evaluate_batch : ?trace:Trace.ctx -> t -> Pattern.t list -> answer list
     answered by seeded refinement without any scan.  Answers are
     returned in input order; [profile] is [None] on each answer — the
     whole batch's profile (root span ["evaluate_batch"]) is available
-    via {!last_profile}. *)
+    via {!last_profile}.
+
+    [?domains] (default [EXPFINDER_DOMAINS], or 1 — the sequential
+    oracle) fans the shared candidate scan and each query's refinement
+    across that many domains ({!Expfinder_core.Candidates.compute_batch},
+    {!Expfinder_core.Simulation.run_constrained},
+    {!Expfinder_core.Bounded_sim.run_constrained}).  Every parallel
+    region partitions its work with a deterministic merge, so answers
+    {e and} counter totals are digest-equal to [~domains:1]. *)
 
 val top_k : t -> Pattern.t -> k:int -> expert list
 (** Evaluate, build the result graph and rank the output node's matches

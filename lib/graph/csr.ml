@@ -10,7 +10,12 @@ type t = {
   labels : Label.t array;
   attr_table : Attrs.t array;
   source_version : int;
-  mutable by_label : (Label.t, node list) Hashtbl.t option;
+  (* Lazily-built label-bucket memo.  Atomic because readers on any
+     domain may force it concurrently: losers of the publication race
+     adopt the winner's table, so at most one build is ever visible and
+     the table is safely published (the Atomic store/load pair is the
+     release/acquire edge the plain mutable field lacked). *)
+  by_label : (Label.t, node list) Hashtbl.t option Atomic.t;
 }
 
 let of_digraph g =
@@ -43,7 +48,7 @@ let of_digraph g =
     labels;
     attr_table;
     source_version = Digraph.version g;
-    by_label = None;
+    by_label = Atomic.make None;
   }
 
 let node_count t = t.n
@@ -118,7 +123,7 @@ let iter_edges t f = iter_nodes t (fun u -> iter_succ t u (fun v -> f u v))
 
 let nodes_with_label t l =
   let table =
-    match t.by_label with
+    match Atomic.get t.by_label with
     | Some table -> table
     | None ->
       let table = Hashtbl.create 16 in
@@ -128,8 +133,12 @@ let nodes_with_label t l =
         let bucket = Option.value ~default:[] (Hashtbl.find_opt table l) in
         Hashtbl.replace table l (v :: bucket)
       done;
-      t.by_label <- Some table;
-      table
+      (* Concurrent forcers may both build (the content is identical
+         either way); the CAS loser adopts the winner's table so all
+         domains share one memo from then on. *)
+      if Atomic.compare_and_set t.by_label None (Some table) then table
+      else (
+        match Atomic.get t.by_label with Some t' -> t' | None -> table)
   in
   Option.value ~default:[] (Hashtbl.find_opt table l)
 
@@ -226,7 +235,8 @@ let patched t ~source_version ~added ~removed =
     rev_sources;
     (* Node tables are physically shared: edge deltas cannot change
        labels or attributes, and the label-bucket memo only depends on
-       the (shared) label array. *)
+       the (shared) label array — the memo cell itself is shared, so a
+       bucket table built under any epoch serves them all. *)
     labels = t.labels;
     attr_table = t.attr_table;
     source_version;

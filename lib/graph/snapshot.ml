@@ -12,31 +12,28 @@ let pp_identity ppf id = Format.fprintf ppf "g%d@%d" id.graph_id id.epoch
 type t = {
   csr : Csr.t;
   graph_id : int;
-  (* Label histogram: shared across epochs of the same graph by
-     [advance] (edge deltas cannot change labels), forced on first
-     planner estimate. *)
-  label_counts : (Label.t, int) Hashtbl.t Lazy.t;
-  (* Degree statistics depend on edges, so each epoch gets its own. *)
-  mutable max_out : int option;
+  (* Label histogram: the memo cell is shared across epochs of the same
+     graph by [advance] (edge deltas cannot change labels), built on
+     first planner estimate.  An Atomic option rather than [Lazy.t]:
+     [Lazy.force] is not safe across domains, while the
+     race-then-adopt-the-winner protocol is (both builders produce the
+     identical table). *)
+  label_counts : (Label.t, int) Hashtbl.t option Atomic.t;
+  (* Degree statistics depend on edges, so each epoch gets its own
+     cell.  Atomic for safe cross-domain publication; a duplicate
+     computation under a race is benign and identical. *)
+  max_out : int option Atomic.t;
 }
-
-let count_labels csr =
-  lazy
-    (let table = Hashtbl.create 16 in
-     Csr.iter_nodes csr (fun v ->
-         let l = Csr.label csr v in
-         Hashtbl.replace table l (1 + Option.value ~default:0 (Hashtbl.find_opt table l)));
-     table)
 
 let of_csr ?graph_id csr =
   let graph_id = match graph_id with Some id -> id | None -> Graph_id.fresh () in
-  { csr; graph_id; label_counts = count_labels csr; max_out = None }
+  { csr; graph_id; label_counts = Atomic.make None; max_out = Atomic.make None }
 
 let of_digraph g = of_csr ~graph_id:(Digraph.graph_id g) (Csr.of_digraph g)
 
 let advance t ~version ~added ~removed =
   let csr = Csr.patched t.csr ~source_version:version ~added ~removed in
-  { csr; graph_id = t.graph_id; label_counts = t.label_counts; max_out = None }
+  { csr; graph_id = t.graph_id; label_counts = t.label_counts; max_out = Atomic.make None }
 
 let csr t = t.csr
 
@@ -82,14 +79,28 @@ let succ_array t v = Csr.succ_array t.csr v
 
 let nodes_with_label t l = Csr.nodes_with_label t.csr l
 
-let label_count t l = Option.value ~default:0 (Hashtbl.find_opt (Lazy.force t.label_counts) l)
+let label_count t l =
+  let table =
+    match Atomic.get t.label_counts with
+    | Some table -> table
+    | None ->
+      let table = Hashtbl.create 16 in
+      Csr.iter_nodes t.csr (fun v ->
+          let l = Csr.label t.csr v in
+          Hashtbl.replace table l
+            (1 + Option.value ~default:0 (Hashtbl.find_opt table l)));
+      if Atomic.compare_and_set t.label_counts None (Some table) then table
+      else (
+        match Atomic.get t.label_counts with Some t' -> t' | None -> table)
+  in
+  Option.value ~default:0 (Hashtbl.find_opt table l)
 
 let max_out_degree t =
-  match t.max_out with
+  match Atomic.get t.max_out with
   | Some d -> d
   | None ->
     let d = Csr.max_out_degree t.csr in
-    t.max_out <- Some d;
+    Atomic.set t.max_out (Some d);
     d
 
 let to_digraph t = Csr.to_digraph t.csr

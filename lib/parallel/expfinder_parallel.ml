@@ -1,0 +1,215 @@
+(* Multicore primitives for the ExpFinder execution model.
+
+   Everything here is deliberately small: the engine's parallelism is
+   fork/join over an immutable snapshot (workers never communicate
+   mid-flight), the server's is a bounded work queue feeding a fixed
+   pool of domains, and writes are funnelled through one dedicated
+   writer domain.  Three shapes, three modules — no scheduler, no
+   effects, no task graph. *)
+
+let env_name = "EXPFINDER_DOMAINS"
+
+let env_domains () =
+  match Sys.getenv_opt env_name with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | Some _ | None -> None)
+
+let default_domains () = match env_domains () with Some n -> n | None -> 1
+
+let default_pool_domains () =
+  match env_domains () with
+  | Some n -> n
+  | None -> max 1 (Domain.recommended_domain_count () - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Fork/join                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let ranges ~domains n =
+  let domains = max 1 (min domains (max 1 n)) in
+  let base = n / domains and extra = n mod domains in
+  Array.init domains (fun i ->
+      let lo = (i * base) + min i extra in
+      let hi = lo + base + if i < extra then 1 else 0 in
+      (lo, hi))
+
+(* Chunk 0 runs on the calling domain, so [run ~domains:1 f] never
+   spawns and is byte-identical to a plain call — that is what keeps
+   the sequential path the oracle.  All workers are joined before the
+   first exception (in chunk order) is re-raised, so no domain leaks
+   even when a chunk fails. *)
+let run ~domains f =
+  let domains = max 1 domains in
+  if domains = 1 then [| f 0 |]
+  else
+    let capture g = match g () with v -> Ok v | exception e -> Error e in
+    let workers =
+      Array.init (domains - 1) (fun i ->
+          Domain.spawn (fun () -> capture (fun () -> f (i + 1))))
+    in
+    let first = capture (fun () -> f 0) in
+    let results = Array.append [| first |] (Array.map Domain.join workers) in
+    Array.map (function Ok v -> v | Error e -> raise e) results
+
+(* ------------------------------------------------------------------ *)
+(* Bounded channel                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Chan = struct
+  type 'a t = {
+    q : 'a Queue.t;
+    capacity : int;
+    m : Mutex.t;
+    nonempty : Condition.t;
+    nonfull : Condition.t;
+    mutable closed : bool;
+  }
+
+  let create ~capacity =
+    {
+      q = Queue.create ();
+      capacity = max 1 capacity;
+      m = Mutex.create ();
+      nonempty = Condition.create ();
+      nonfull = Condition.create ();
+      closed = false;
+    }
+
+  let push t v =
+    Mutex.lock t.m;
+    let rec attempt () =
+      if t.closed then (
+        Mutex.unlock t.m;
+        invalid_arg "Expfinder_parallel.Chan.push: channel closed")
+      else if Queue.length t.q >= t.capacity then (
+        Condition.wait t.nonfull t.m;
+        attempt ())
+      else (
+        Queue.push v t.q;
+        Condition.signal t.nonempty;
+        Mutex.unlock t.m)
+    in
+    attempt ()
+
+  let pop t =
+    Mutex.lock t.m;
+    let rec attempt () =
+      if not (Queue.is_empty t.q) then (
+        let v = Queue.pop t.q in
+        Condition.signal t.nonfull;
+        Mutex.unlock t.m;
+        Some v)
+      else if t.closed then (
+        Mutex.unlock t.m;
+        None)
+      else (
+        Condition.wait t.nonempty t.m;
+        attempt ())
+    in
+    attempt ()
+
+  let close t =
+    Mutex.lock t.m;
+    t.closed <- true;
+    Condition.broadcast t.nonempty;
+    Condition.broadcast t.nonfull;
+    Mutex.unlock t.m
+
+  let length t =
+    Mutex.lock t.m;
+    let n = Queue.length t.q in
+    Mutex.unlock t.m;
+    n
+end
+
+(* ------------------------------------------------------------------ *)
+(* Worker pool                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Pool = struct
+  type t = {
+    jobs : (unit -> unit) Chan.t;
+    workers : unit Domain.t array;
+    on_error : exn -> unit;
+  }
+
+  let create ?(capacity = 64) ?(on_error = fun _ -> ()) ~domains () =
+    let domains = max 1 domains in
+    let jobs = Chan.create ~capacity in
+    let on_error e = try on_error e with _ -> () in
+    let worker () =
+      let rec loop () =
+        match Chan.pop jobs with
+        | None -> ()
+        | Some job ->
+            (try job () with e -> on_error e);
+            loop ()
+      in
+      loop ()
+    in
+    { jobs; workers = Array.init domains (fun _ -> Domain.spawn worker); on_error }
+
+  let size t = Array.length t.workers
+  let submit t job = Chan.push t.jobs job
+
+  let shutdown t =
+    Chan.close t.jobs;
+    Array.iter Domain.join t.workers
+end
+
+(* ------------------------------------------------------------------ *)
+(* Serial executor (dedicated writer domain)                            *)
+(* ------------------------------------------------------------------ *)
+
+module Serial = struct
+  type t = { jobs : (unit -> unit) Chan.t; worker : unit Domain.t }
+
+  let create () =
+    let jobs = Chan.create ~capacity:64 in
+    let worker =
+      Domain.spawn (fun () ->
+          let rec loop () =
+            match Chan.pop jobs with
+            | None -> ()
+            | Some job ->
+                job ();
+                loop ()
+          in
+          loop ())
+    in
+    { jobs; worker }
+
+  (* The submitted closure runs on the writer domain; the caller blocks
+     on a private condition cell until the result (or the exception,
+     re-raised here) comes back.  The cell is per-call, so concurrent
+     submitters only contend on the channel, never on each other's
+     results. *)
+  let submit t f =
+    let m = Mutex.create () in
+    let c = Condition.create () in
+    let cell = ref None in
+    Chan.push t.jobs (fun () ->
+        let r = match f () with v -> Ok v | exception e -> Error e in
+        Mutex.lock m;
+        cell := Some r;
+        Condition.signal c;
+        Mutex.unlock m);
+    Mutex.lock m;
+    let rec await () =
+      match !cell with
+      | Some r -> r
+      | None ->
+          Condition.wait c m;
+          await ()
+    in
+    let r = await () in
+    Mutex.unlock m;
+    match r with Ok v -> v | Error e -> raise e
+
+  let shutdown t =
+    Chan.close t.jobs;
+    Domain.join t.worker
+end

@@ -1,0 +1,129 @@
+(** Multicore primitives for the ExpFinder execution model.
+
+    Three shapes cover every use of OCaml 5 domains in this codebase:
+
+    - {e fork/join} ({!run}): evaluation fans a pure chunk function out
+      across domains and joins before returning — used by the core
+      [?domains] parameters ([Candidates.compute_batch], the refinement
+      fixpoints).  Workers share nothing but the immutable snapshot.
+    - {e worker pool} ({!Pool}): the server's accept loop dispatches
+      connection handlers to a fixed set of domains over a bounded
+      channel ({!Chan}).
+    - {e serial executor} ({!Serial}): updates are funnelled through a
+      single dedicated writer domain, which serializes [apply_updates]
+      and publishes new epochs; readers never block on it.
+
+    Domain counts come from the [EXPFINDER_DOMAINS] environment
+    variable so the whole test suite can be re-run parallel without
+    touching call sites (see {!default_domains}). *)
+
+val env_name : string
+(** Name of the controlling environment variable, ["EXPFINDER_DOMAINS"]. *)
+
+val env_domains : unit -> int option
+(** [env_domains ()] is the parsed value of [EXPFINDER_DOMAINS]: [Some n]
+    for a well-formed positive integer, [None] when unset or malformed
+    (malformed values are ignored rather than fatal, matching the other
+    [EXPFINDER_*] knobs). *)
+
+val default_domains : unit -> int
+(** Default domain count for {e evaluation} ([?domains] parameters):
+    [EXPFINDER_DOMAINS] when set, else [1] — the sequential oracle.
+    Parallel evaluation is strictly opt-in so that single-threaded
+    callers never pay spawn overhead. *)
+
+val default_pool_domains : unit -> int
+(** Default domain count for the {e serving} pool: [EXPFINDER_DOMAINS]
+    when set, else [max 1 (Domain.recommended_domain_count () - 1)]
+    (one domain is reserved for the accept loop / writer). *)
+
+val ranges : domains:int -> int -> (int * int) array
+(** [ranges ~domains n] partitions the index space [0..n-1] into at
+    most [domains] contiguous [(lo, hi)] half-open ranges of
+    near-equal size (earlier ranges get the remainder).  Deterministic
+    in [domains] and [n]; at least one (possibly empty) range is
+    always returned. *)
+
+val run : domains:int -> (int -> 'a) -> 'a array
+(** [run ~domains f] evaluates [f 0 .. f (domains-1)] concurrently and
+    returns the results in chunk order.  Chunk [0] runs on the calling
+    domain, so [run ~domains:1 f] spawns nothing and is equivalent to
+    [[| f 0 |]] — the sequential path stays the oracle.  All spawned
+    domains are joined before returning; if any chunk raised, the
+    exception of the lowest-numbered failing chunk is re-raised. *)
+
+(** Bounded multi-producer / multi-consumer channel (mutex +
+    condition variables).  [push] blocks while the channel is at
+    capacity; [pop] blocks while it is empty and returns [None] once
+    the channel is closed {e and} drained, so consumers terminate
+    deterministically. *)
+module Chan : sig
+  type 'a t
+
+  val create : capacity:int -> 'a t
+  (** [create ~capacity] is an empty channel holding at most
+      [max 1 capacity] elements. *)
+
+  val push : 'a t -> 'a -> unit
+  (** Blocks until there is room.  @raise Invalid_argument if the
+      channel is closed. *)
+
+  val pop : 'a t -> 'a option
+  (** Blocks until an element is available; [None] after {!close} once
+      the backlog is drained. *)
+
+  val close : 'a t -> unit
+  (** Close the channel: wakes all blocked producers and consumers.
+      Idempotent. *)
+
+  val length : 'a t -> int
+  (** Current backlog (a snapshot; may be stale by the time it
+      returns). *)
+end
+
+(** Fixed pool of worker domains fed from a bounded channel.  Jobs are
+    [unit -> unit] thunks; a job that raises does not kill its worker
+    (the exception goes to [on_error], default ignore). *)
+module Pool : sig
+  type t
+
+  val create :
+    ?capacity:int -> ?on_error:(exn -> unit) -> domains:int -> unit -> t
+  (** [create ~domains ()] spawns [max 1 domains] workers over a
+      channel bounded at [capacity] (default [64]) jobs — the bound is
+      the server's backpressure: when all workers are busy and the
+      queue is full, {!submit} (the accept loop) blocks instead of
+      accumulating unserved connections. *)
+
+  val size : t -> int
+  (** Number of worker domains. *)
+
+  val submit : t -> (unit -> unit) -> unit
+  (** Enqueue a job; blocks when the queue is full.
+      @raise Invalid_argument after {!shutdown}. *)
+
+  val shutdown : t -> unit
+  (** Close the queue, let the workers drain the backlog, and join
+      them all.  Returns only when every worker has exited. *)
+end
+
+(** Dedicated writer domain: a one-domain executor whose {!Serial.submit}
+    blocks the caller until the closure has run on the writer, then
+    returns its result (or re-raises its exception) — the mechanism by
+    which the server serializes [apply_updates] while readers keep
+    evaluating on their pinned snapshots. *)
+module Serial : sig
+  type t
+
+  val create : unit -> t
+  (** Spawn the writer domain. *)
+
+  val submit : t -> (unit -> 'a) -> 'a
+  (** [submit t f] runs [f ()] on the writer domain, in submission
+      order relative to other [submit]s, and blocks until it
+      completes.  Exceptions raised by [f] are re-raised in the
+      caller. *)
+
+  val shutdown : t -> unit
+  (** Drain pending jobs and join the writer domain. *)
+end

@@ -4,6 +4,7 @@ open Expfinder_core
 open Expfinder_incremental
 open Expfinder_engine
 open Expfinder_telemetry
+module Parallel = Expfinder_parallel
 
 let src = Logs.Src.create "expfinder.server" ~doc:"ExpFinder serving loop"
 
@@ -114,7 +115,11 @@ let answer_fields (a : Engine.answer) =
 
 type reply = Reply of Json.t | Reply_and_stop of Json.t
 
-let handle_request engine line =
+(* [apply] is how update batches reach the engine: the sequential server
+   calls [Engine.apply_updates] in place, the domain-pool server routes
+   them through the dedicated writer domain so exactly one domain ever
+   advances the epoch. *)
+let handle_request engine ~apply line =
   match Json.of_string line with
   | Error e -> Reply (error_response ("bad request: " ^ e))
   | Ok req -> (
@@ -196,7 +201,7 @@ let handle_request engine line =
       | Ok ops -> (
         let ctx = ctx_of_request req in
         let trace_id = ctx.Trace.trace_id in
-        match Engine.apply_updates ~trace:ctx engine ops with
+        match apply ctx ops with
         | reports ->
           Reply
             (Json.Obj
@@ -269,7 +274,7 @@ let write_all fd s =
    anything else starts a JSONL request loop that runs until the client
    closes or sends {"op": "shutdown"}.  Returns [false] when the server
    should stop accepting. *)
-let handle_connection engine fd =
+let handle_connection engine ~apply fd =
   let ic = Unix.in_channel_of_descr fd in
   let continue = ref true in
   Fun.protect
@@ -313,7 +318,7 @@ let handle_connection engine fd =
           | _ ->
             let rec loop line =
               if String.trim line <> "" then begin
-                match handle_request engine line with
+                match handle_request engine ~apply line with
                 | Reply json -> write_all fd (Json.to_string json ^ "\n")
                 | Reply_and_stop json ->
                   write_all fd (Json.to_string json ^ "\n");
@@ -336,7 +341,8 @@ let handle_connection engine fd =
       | Unix.Unix_error _ -> ());
   !continue
 
-let serve ?(max_connections = max_int) ?(sample_period = 1.0) ?on_listen engine endpoint =
+let serve ?(max_connections = max_int) ?(sample_period = 1.0)
+    ?(domains = Parallel.default_pool_domains ()) ?on_listen engine endpoint =
   let sock = Unix.socket (Unix.domain_of_sockaddr (sockaddr endpoint)) Unix.SOCK_STREAM 0 in
   (match endpoint with
   | Unix_socket path -> if Sys.file_exists path then Sys.remove path
@@ -347,41 +353,106 @@ let serve ?(max_connections = max_int) ?(sample_period = 1.0) ?on_listen engine 
      period pulls windows, process gauges, counters and allocation
      attribution into the shared timeseries, then re-evaluates the SLO
      burn rates.  A tick must never take the serving loop down, so it
-     swallows everything. *)
-  let stop_sampler = ref false in
-  if sample_period > 0.0 then
-    ignore
-      (Thread.create
-         (fun () ->
-           while not !stop_sampler do
-             (try
-                ignore (Timeseries.sample Timeseries.shared : (string * float) list);
-                ignore (Slo.evaluate () : Slo.alert list)
-              with _ -> ());
-             Thread.delay sample_period
-           done)
-         ()
-        : Thread.t);
+     swallows everything.  It is joined on shutdown (the stop flag is
+     polled in <= 0.1s slices so the join is prompt even with long
+     sample periods). *)
+  let stop_sampler = Atomic.make false in
+  let sampler =
+    if sample_period <= 0.0 then None
+    else
+      Some
+        (Thread.create
+           (fun () ->
+             while not (Atomic.get stop_sampler) do
+               (try
+                  ignore (Timeseries.sample Timeseries.shared : (string * float) list);
+                  ignore (Slo.evaluate () : Slo.alert list)
+                with _ -> ());
+               let rec nap left =
+                 if left > 0.0 && not (Atomic.get stop_sampler) then begin
+                   let slice = if left < 0.1 then left else 0.1 in
+                   Thread.delay slice;
+                   nap (left -. slice)
+                 end
+               in
+               nap sample_period
+             done)
+           ())
+  in
   (match on_listen with Some f -> f () | None -> ());
-  Log.info (fun m -> m "serving on %s" (endpoint_to_string endpoint));
-  let continue = ref true in
+  Log.info (fun m ->
+      m "serving on %s (%d domain%s)" (endpoint_to_string endpoint) domains
+        (if domains = 1 then "" else "s"));
+  (* [stopping] is the cross-domain stop signal: a worker answering
+     {"op": "shutdown"} sets it and wakes the accept loop with a dummy
+     connection. *)
+  let stopping = Atomic.make false in
   let served = ref 0 in
+  (* With one domain the server behaves exactly as the historical
+     single-threaded loop: connections handled in the accept loop,
+     updates applied in place.  With more, connections are dispatched to
+     a pool of worker domains over a bounded queue, and update batches
+     are routed to one dedicated writer domain — the only domain that
+     ever calls [Engine.apply_updates], publishing each new epoch
+     atomically while readers keep serving their pinned snapshots. *)
+  let writer = if domains > 1 then Some (Parallel.Serial.create ()) else None in
+  let pool =
+    if domains > 1 then
+      Some
+        (Parallel.Pool.create ~domains
+           ~on_error:(fun e ->
+             Log.err (fun m -> m "connection handler: %s" (Printexc.to_string e)))
+           ())
+    else None
+  in
+  let apply ctx ops =
+    match writer with
+    | Some w -> Parallel.Serial.submit w (fun () -> Engine.apply_updates ~trace:ctx engine ops)
+    | None -> Engine.apply_updates ~trace:ctx engine ops
+  in
+  let wake () =
+    match
+      let addr = sockaddr endpoint in
+      let s = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close s with Unix.Unix_error _ -> ())
+        (fun () -> Unix.connect s addr)
+    with
+    | () -> ()
+    | exception _ -> ()
+  in
+  let handle client =
+    if not (handle_connection engine ~apply client) then begin
+      Atomic.set stopping true;
+      if pool <> None then wake ()
+    end
+  in
   Fun.protect
     ~finally:(fun () ->
-      stop_sampler := true;
+      (* Drain in-flight connections before stopping the writer they may
+         still be routing updates to; join the sampler last. *)
+      (match pool with Some p -> Parallel.Pool.shutdown p | None -> ());
+      (match writer with Some w -> Parallel.Serial.shutdown w | None -> ());
+      Atomic.set stop_sampler true;
+      (match sampler with Some th -> Thread.join th | None -> ());
       (try Unix.close sock with Unix.Unix_error _ -> ());
       match endpoint with
       | Unix_socket path -> ( try Sys.remove path with Sys_error _ -> ())
       | Tcp _ -> ())
     (fun () ->
       try
-        while !continue && !served < max_connections do
+        while (not (Atomic.get stopping)) && !served < max_connections do
           match Unix.accept sock with
           | client, _addr ->
             incr served;
-            (* A wedged client must not hang the single-threaded loop forever. *)
+            (* A wedged client must not hang its handler forever. *)
             (try Unix.setsockopt_float client Unix.SO_RCVTIMEO 30.0 with Unix.Unix_error _ -> ());
-            if not (handle_connection engine client) then continue := false
+            if Atomic.get stopping then (
+              try Unix.close client with Unix.Unix_error _ -> ())
+            else (
+              match pool with
+              | Some p -> Parallel.Pool.submit p (fun () -> handle client)
+              | None -> handle client)
           | exception
               Unix.Unix_error
                 ((Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->

@@ -1,10 +1,13 @@
 open Expfinder_engine
 open Expfinder_telemetry
 
-(** The serving path: a single-threaded socket server answering
-    newline-delimited JSON requests against one {!Expfinder_engine}
-    instance, plus a minimal HTTP responder for the observability
-    endpoints.
+(** The serving path: a socket server answering newline-delimited JSON
+    requests against one {!Expfinder_engine} instance, plus a minimal
+    HTTP responder for the observability endpoints.  With one domain
+    (the default on a single-core host without [EXPFINDER_DOMAINS]) it
+    is the historical single-threaded loop; with more it serves
+    connections from a pool of worker domains over a bounded queue (see
+    {!serve}).
 
     Protocol sniffing: the first line of each connection decides how it
     is handled.  [GET]/[HEAD] request lines get a one-shot HTTP answer
@@ -39,9 +42,13 @@ open Expfinder_telemetry
     same way (malformed → fresh mint) and the adopted-or-minted
     context is echoed back as a [traceparent] response header.
 
-    The loop is deliberately single-threaded (one engine, one graph):
-    requests on concurrent connections serialize at [accept], which is
-    the consistency model the snapshot epoch machinery expects. *)
+    Execution model: connections are dispatched to worker domains (one
+    request at a time per connection), reads evaluate against the
+    engine's atomically-published snapshot epoch without ever blocking
+    on writers, and update batches are routed to one dedicated writer
+    domain that serializes {!Engine.apply_updates} and publishes each
+    new epoch.  With [domains = 1] everything runs in the accept loop,
+    which is the historical sequential consistency model. *)
 
 type endpoint = Unix_socket of string | Tcp of string * int
 
@@ -64,25 +71,38 @@ val stats_json : Engine.t -> Json.t
 val serve :
   ?max_connections:int ->
   ?sample_period:float ->
+  ?domains:int ->
   ?on_listen:(unit -> unit) ->
   Engine.t ->
   endpoint ->
   unit
-(** Bind, listen and answer connections sequentially until a client
-    sends [{"op": "shutdown"}] (or [max_connections] connections have
-    been served — a test hook).  [on_listen] runs once the socket is
-    bound and listening, before the first [accept] (the CLI prints its
+(** Bind, listen and answer connections until a client sends
+    [{"op": "shutdown"}] (or [max_connections] connections have been
+    served — a test hook).  [on_listen] runs once the socket is bound
+    and listening, before the first [accept] (the CLI prints its
     readiness line there).  A pre-existing Unix-socket path is removed
     before binding and the path is unlinked on exit; TCP sockets set
     [SO_REUSEADDR].  Per-connection read timeout: 30s.
 
+    [?domains] (default [EXPFINDER_DOMAINS], else
+    [Domain.recommended_domain_count () - 1], floored at 1) selects the
+    execution model.  [1]: the historical single-threaded loop —
+    connections handled inside [accept], updates applied in place.
+    [> 1]: a pool of [domains] worker domains serves connections
+    dispatched over a bounded work queue; update batches are routed to
+    one dedicated writer domain (the only caller of
+    {!Engine.apply_updates}), so readers never block on writers — they
+    evaluate on the snapshot epoch pinned at request start.  On
+    shutdown the pool is drained (in-flight connections finish), then
+    the writer domain and the sampler thread are joined.
+
     A background sampler thread ticks every [sample_period] seconds
     (default 1.0; [<= 0.] disables it): each tick feeds the shared
     {!Timeseries} store (and its JSONL sink, when configured) and
-    re-evaluates the {!Slo} burn-rate alerts.  If an exception escapes
-    the accept loop, a {!Postmortem} artifact is written (when
-    [EXPFINDER_POSTMORTEM_DIR] is set) before the exception
-    propagates. *)
+    re-evaluates the {!Slo} burn-rate alerts.  The thread is joined on
+    shutdown.  If an exception escapes the accept loop, a {!Postmortem}
+    artifact is written (when [EXPFINDER_POSTMORTEM_DIR] is set) before
+    the exception propagates. *)
 
 (** {1 Client helpers} (used by [expfinder client]/[stats --server] and
     the serve tests) *)

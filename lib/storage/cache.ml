@@ -26,6 +26,11 @@ type t = {
   capacity : int;
   table : (string * Snapshot.identity, entry) Hashtbl.t;
   mutable clock : int;
+  (* Serializes every table/clock/stamp access: with the serving pool,
+     any worker domain may probe or store concurrently with the writer
+     domain clearing on update.  Probes copy the relation while holding
+     the lock, so a returned relation is never shared. *)
+  cm : Mutex.t;
   hit_count : Counter.t;
   miss_count : Counter.t;
   eviction_count : Counter.t;
@@ -37,14 +42,25 @@ let create ?(capacity = 64) () =
     capacity;
     table = Hashtbl.create capacity;
     clock = 0;
+    cm = Mutex.create ();
     hit_count = Counter.create ~always:true "cache.hits";
     miss_count = Counter.create ~always:true "cache.misses";
     eviction_count = Counter.create ~always:true "cache.evictions";
   }
 
+let locked t f =
+  Mutex.lock t.cm;
+  match f () with
+  | r ->
+    Mutex.unlock t.cm;
+    r
+  | exception e ->
+    Mutex.unlock t.cm;
+    raise e
+
 let capacity t = t.capacity
 
-let length t = Hashtbl.length t.table
+let length t = locked t (fun () -> Hashtbl.length t.table)
 
 let tick t =
   t.clock <- t.clock + 1;
@@ -53,17 +69,19 @@ let tick t =
 let key_of pattern sid = (Pattern.fingerprint pattern, sid)
 
 let find t pattern ~snapshot =
-  match Hashtbl.find_opt t.table (key_of pattern snapshot) with
-  | Some entry ->
-    entry.stamp <- tick t;
-    Counter.incr t.hit_count;
-    Counter.incr m_hits;
-    Some (Match_relation.copy entry.relation)
-  | None ->
-    Counter.incr t.miss_count;
-    Counter.incr m_misses;
-    None
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table (key_of pattern snapshot) with
+      | Some entry ->
+        entry.stamp <- tick t;
+        Counter.incr t.hit_count;
+        Counter.incr m_hits;
+        Some (Match_relation.copy entry.relation)
+      | None ->
+        Counter.incr t.miss_count;
+        Counter.incr m_misses;
+        None)
 
+(* Callee of [store]; runs under [cm]. *)
 let evict_lru t =
   let victim =
     Hashtbl.fold
@@ -81,33 +99,39 @@ let evict_lru t =
     Counter.incr m_evictions
 
 let store t pattern ~snapshot relation =
-  let key = key_of pattern snapshot in
-  if not (Hashtbl.mem t.table key) && Hashtbl.length t.table >= t.capacity then
-    evict_lru t;
-  Counter.incr m_stores;
-  Hashtbl.replace t.table key
-    { key; pattern; relation = Match_relation.copy relation; stamp = tick t }
+  locked t (fun () ->
+      let key = key_of pattern snapshot in
+      if not (Hashtbl.mem t.table key) && Hashtbl.length t.table >= t.capacity
+      then evict_lru t;
+      Counter.incr m_stores;
+      Hashtbl.replace t.table key
+        { key; pattern; relation = Match_relation.copy relation; stamp = tick t })
 
 let fold t ~snapshot ~init ~f =
-  Hashtbl.fold
-    (fun (_, sid) entry acc ->
-      if Snapshot.identity_equal sid snapshot then f acc entry.pattern entry.relation
-      else acc)
-    t.table init
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun (_, sid) entry acc ->
+          if Snapshot.identity_equal sid snapshot then
+            f acc entry.pattern entry.relation
+          else acc)
+        t.table init)
 
 let invalidate_snapshot t snapshot =
-  let victims =
-    Hashtbl.fold
-      (fun key _ acc ->
-        if Snapshot.identity_equal (snd key) snapshot then key :: acc else acc)
-      t.table []
-  in
-  List.iter (Hashtbl.remove t.table) victims
+  locked t (fun () ->
+      let victims =
+        Hashtbl.fold
+          (fun key _ acc ->
+            if Snapshot.identity_equal (snd key) snapshot then key :: acc
+            else acc)
+          t.table []
+      in
+      List.iter (Hashtbl.remove t.table) victims)
 
 let clear t =
-  Hashtbl.reset t.table;
-  Counter.reset t.hit_count;
-  Counter.reset t.miss_count
+  locked t (fun () ->
+      Hashtbl.reset t.table;
+      Counter.reset t.hit_count;
+      Counter.reset t.miss_count)
 
 let hits t = Counter.value t.hit_count
 

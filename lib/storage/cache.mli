@@ -17,7 +17,13 @@ open Expfinder_core
     {!hits}/{!misses}/{!evictions}), and the same code paths bump the
     registered [cache.hits]/[cache.misses]/[cache.evictions]/
     [cache.stores] counters, so per-instance stats and the process-wide
-    metrics dump cannot drift apart. *)
+    metrics dump cannot drift apart.
+
+    All operations are serialized by an internal mutex: with the
+    domain-pool server, any worker domain probes and stores while the
+    writer domain clears on update, and the LRU clock/stamp updates are
+    read-modify-write.  Probes return defensive copies taken under the
+    lock, so callers never share a relation with the cache. *)
 
 type t
 
@@ -46,7 +52,8 @@ val fold :
     cached {e superset} query when the exact fingerprint misses
     (containment reuse), and batch evaluation uses the same scan to
     share relations across a batch.  The relation is the stored one —
-    do not mutate it. *)
+    do not mutate it.  [f] runs with the cache lock held: it must not
+    call back into this cache. *)
 
 val invalidate_snapshot : t -> Snapshot.identity -> unit
 (** Drop every entry recorded under the given snapshot identity. *)

@@ -308,35 +308,43 @@ end
 (* ------------------------------------------------------------------ *)
 
 module Counter = struct
-  type t = { cname : string; always : bool; mutable v : int }
+  (* Atomic cell: counters are bumped from every worker domain (the
+     parallel evaluation paths tally locally and flush once per region,
+     but the serving pool still increments per-request counters
+     concurrently).  fetch_and_add keeps totals exact — the old plain
+     cell lost increments under concurrency. *)
+  type t = { cname : string; always : bool; v : int Atomic.t }
 
-  let create ?(always = false) cname = { cname; always; v = 0 }
+  let create ?(always = false) cname = { cname; always; v = Atomic.make 0 }
 
   let name c = c.cname
 
   let add c n =
     if c.always || !on then
-      c.v <- (if c.v > max_int - n then max_int else c.v + n)
+      let before = Atomic.fetch_and_add c.v n in
+      (* Saturate instead of wrapping; the set races other adds but any
+         interleaving still lands on max_int. *)
+      if before > max_int - n then Atomic.set c.v max_int
 
   let incr c = add c 1
 
-  let value c = c.v
+  let value c = Atomic.get c.v
 
-  let reset c = c.v <- 0
+  let reset c = Atomic.set c.v 0
 end
 
 module Gauge = struct
-  type t = { gname : string; always : bool; mutable v : int }
+  type t = { gname : string; always : bool; v : int Atomic.t }
 
-  let create ?(always = false) gname = { gname; always; v = 0 }
+  let create ?(always = false) gname = { gname; always; v = Atomic.make 0 }
 
   let name g = g.gname
 
-  let set g n = if g.always || !on then g.v <- n
+  let set g n = if g.always || !on then Atomic.set g.v n
 
-  let value g = g.v
+  let value g = Atomic.get g.v
 
-  let reset g = g.v <- 0
+  let reset g = Atomic.set g.v 0
 end
 
 (* ------------------------------------------------------------------ *)
@@ -361,10 +369,22 @@ module Histogram = struct
     mutable count : int;
     (* sum, min, max — kept in a float array so recording never boxes. *)
     state : float array;
+    (* Guards every field above: observations arrive from all worker
+       domains, and min/max/count updates are read-modify-write, so a
+       lone Atomic would not do.  Readers take the lock too — summaries
+       are scrape-rate, not hot-path. *)
+    hm : Mutex.t;
   }
 
   let create ?(always = false) hname =
-    { hname; always; buckets = Array.make nbuckets 0; count = 0; state = [| 0.0; 0.0; 0.0 |] }
+    {
+      hname;
+      always;
+      buckets = Array.make nbuckets 0;
+      count = 0;
+      state = [| 0.0; 0.0; 0.0 |];
+      hm = Mutex.create ();
+    }
 
   let name h = h.hname
 
@@ -378,20 +398,28 @@ module Histogram = struct
 
   let observe h v =
     if h.always || !on then begin
+      Mutex.lock h.hm;
       h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
       h.state.(0) <- h.state.(0) +. v;
       if h.count = 0 || v < h.state.(1) then h.state.(1) <- v;
       if h.count = 0 || v > h.state.(2) then h.state.(2) <- v;
-      h.count <- h.count + 1
+      h.count <- h.count + 1;
+      Mutex.unlock h.hm
     end
 
-  let count h = h.count
+  let locked h f =
+    Mutex.lock h.hm;
+    let r = f () in
+    Mutex.unlock h.hm;
+    r
 
-  let sum h = h.state.(0)
+  let count h = locked h (fun () -> h.count)
 
-  let min_value h = if h.count = 0 then nan else h.state.(1)
+  let sum h = locked h (fun () -> h.state.(0))
 
-  let max_value h = if h.count = 0 then nan else h.state.(2)
+  let min_value h = locked h (fun () -> if h.count = 0 then nan else h.state.(1))
+
+  let max_value h = locked h (fun () -> if h.count = 0 then nan else h.state.(2))
 
   (* Resolve a rank against an arbitrary log-bucket count array (shared
      with the sliding-window aggregator, which merges several per-second
@@ -405,23 +433,28 @@ module Histogram = struct
     Float.min mx (Float.max mn (upper_bound !i))
 
   let percentile h p =
-    if h.count = 0 then nan
-    else
-      let p = Float.min 1.0 (Float.max 0.0 p) in
-      (* The extremes are tracked exactly; only interior percentiles pay
-         the bucket-resolution error. *)
-      if p = 0.0 then min_value h
-      else if p = 1.0 then max_value h
-      else
-        let rank = Stdlib.max 1 (int_of_float (ceil (p *. float_of_int h.count))) in
-        rank_in_buckets h.buckets ~rank ~mn:(min_value h) ~mx:(max_value h)
+    locked h (fun () ->
+        if h.count = 0 then nan
+        else
+          let p = Float.min 1.0 (Float.max 0.0 p) in
+          let mn = h.state.(1) and mx = h.state.(2) in
+          (* The extremes are tracked exactly; only interior percentiles
+             pay the bucket-resolution error. *)
+          if p = 0.0 then mn
+          else if p = 1.0 then mx
+          else
+            let rank =
+              Stdlib.max 1 (int_of_float (ceil (p *. float_of_int h.count)))
+            in
+            rank_in_buckets h.buckets ~rank ~mn ~mx)
 
   let reset h =
-    Array.fill h.buckets 0 nbuckets 0;
-    h.count <- 0;
-    h.state.(0) <- 0.0;
-    h.state.(1) <- 0.0;
-    h.state.(2) <- 0.0
+    locked h (fun () ->
+        Array.fill h.buckets 0 nbuckets 0;
+        h.count <- 0;
+        h.state.(0) <- 0.0;
+        h.state.(1) <- 0.0;
+        h.state.(2) <- 0.0)
 end
 
 (* ------------------------------------------------------------------ *)
@@ -1506,13 +1539,15 @@ module Window = struct
      the same log-scale bucket layout as {!Histogram}, so merged-window
      percentiles share its resolution (~9% relative error) and its
      exact-min/max clamping. *)
-  (* The stamp is the bucket's synchronisation point: observers CAS it
-     forward to claim a reclaim, and the sampler-side readers load it
-     atomically to decide whether the bucket is inside the window.
-     The payload fields stay plain — each op-class window has a single
-     writer (the handler thread for its op class), so the only
-     cross-thread traffic is reads, and a read torn against an
-     in-flight observation moves a count by at most one. *)
+  (* The stamp is the bucket's synchronisation point for the lock-free
+     readers: they load it atomically to decide whether the bucket is
+     inside the window, and the writer parks it at -1 across a reclaim
+     so a reader never merges a half-reset bucket as current.  Writers
+     are no longer single-threaded — any worker domain in the serving
+     pool may observe into any op-class window — so the payload fields
+     are serialized by the per-window mutex below.  Readers still skip
+     the lock: a read torn against an in-flight observation moves a
+     count by at most one, which the scrape path tolerates. *)
   type bucket = {
     sec : int Atomic.t;  (* unix second this bucket holds; -1 = empty *)
     mutable bcount : int;
@@ -1535,12 +1570,15 @@ module Window = struct
     (* OpenMetrics-style exemplars: one recent trace id per latency
        bucket (the {!Histogram} log-bucket layout), so a scraped
        percentile can be chased down to a concrete stored trace.  Same
-       single-writer discipline as the bucket payload fields; a torn
-       read pairs a trace id with a neighbouring observation's value,
-       which is harmless for a drill-down hint. *)
+       mutex-serialized writer discipline as the bucket payload fields;
+       a torn read pairs a trace id with a neighbouring observation's
+       value, which is harmless for a drill-down hint. *)
     ex_trace : string array;
     ex_ms : float array;
     ex_unix : float array;
+    (* Serializes writers ({!observe}/{!reset}).  Readers stay
+       lock-free, synchronised only through the bucket stamps. *)
+    wm : Mutex.t;
   }
 
   let fresh_bucket () =
@@ -1565,6 +1603,7 @@ module Window = struct
       ex_trace = Array.make Histogram.nbuckets "";
       ex_ms = Array.make Histogram.nbuckets 0.0;
       ex_unix = Array.make Histogram.nbuckets 0.0;
+      wm = Mutex.create ();
     }
 
   let name t = t.wname
@@ -1572,6 +1611,7 @@ module Window = struct
   let seconds t = t.wseconds
 
   let reset t =
+    Mutex.lock t.wm;
     Atomic.set t.total_count 0;
     Atomic.set t.total_errors 0;
     Array.fill t.ex_trace 0 Histogram.nbuckets "";
@@ -1586,30 +1626,30 @@ module Window = struct
         b.bmin <- 0.0;
         b.bmax <- 0.0;
         Array.fill b.bhist 0 Histogram.nbuckets 0)
-      t.ring
+      t.ring;
+    Mutex.unlock t.wm
 
   let wall_seconds () = now_us () /. 1e6
 
   let observe t ?(error = false) ?now ?trace ms =
     let now = match now with Some n -> n | None -> wall_seconds () in
     let sec = int_of_float now in
+    Mutex.lock t.wm;
     let b = t.ring.(sec mod t.wseconds) in
-    let stamp = Atomic.get b.sec in
-    if stamp <> sec then
-      (* CAS claims the reclaim: if two observers cross a second
-         boundary together only the winner zeroes the bucket, the loser
-         just records into it.  Publish the new stamp only after the
-         zeroing so a reader never merges a half-reset bucket as
-         current. *)
-      if Atomic.compare_and_set b.sec stamp (-1) then begin
-        b.bcount <- 0;
-        b.berrors <- 0;
-        b.bsum <- 0.0;
-        b.bmin <- 0.0;
-        b.bmax <- 0.0;
-        Array.fill b.bhist 0 Histogram.nbuckets 0;
-        Atomic.set b.sec sec
-      end;
+    if Atomic.get b.sec <> sec then begin
+      (* Writers are serialized by [wm], so the reclaim needs no CAS;
+         the stamp choreography is for the lock-free readers: park the
+         stamp at -1, zero the payload, then publish, so a reader never
+         merges a half-reset bucket as current. *)
+      Atomic.set b.sec (-1);
+      b.bcount <- 0;
+      b.berrors <- 0;
+      b.bsum <- 0.0;
+      b.bmin <- 0.0;
+      b.bmax <- 0.0;
+      Array.fill b.bhist 0 Histogram.nbuckets 0;
+      Atomic.set b.sec sec
+    end;
     if b.bcount = 0 || ms < b.bmin then b.bmin <- ms;
     if b.bcount = 0 || ms > b.bmax then b.bmax <- ms;
     b.bcount <- b.bcount + 1;
@@ -1619,12 +1659,13 @@ module Window = struct
     if error then Atomic.incr t.total_errors;
     let i = Histogram.bucket_of ms in
     b.bhist.(i) <- b.bhist.(i) + 1;
-    match trace with
+    (match trace with
     | Some tid when tid <> "" ->
       t.ex_trace.(i) <- tid;
       t.ex_ms.(i) <- ms;
       t.ex_unix.(i) <- now
-    | Some _ | None -> ()
+    | Some _ | None -> ());
+    Mutex.unlock t.wm
 
   let totals t = (Atomic.get t.total_count, Atomic.get t.total_errors)
 

@@ -75,7 +75,9 @@ module Counter : sig
   val incr : t -> unit
 
   val add : t -> int -> unit
-  (** Monotonic: saturates at [max_int] instead of wrapping. *)
+  (** Monotonic: saturates at [max_int] instead of wrapping.  The cell
+      is atomic, so concurrent increments from worker domains are never
+      lost and totals stay exact. *)
 
   val value : t -> int
 
@@ -98,7 +100,8 @@ module Histogram : sig
   (** Log-scale histogram: geometric buckets with 8 buckets per doubling
       (~9% relative resolution), covering 1e-9 .. 1e12.  Count, sum, min
       and max are tracked exactly; percentiles are resolved to a bucket
-      upper bound. *)
+      upper bound.  All operations are serialized by a per-histogram
+      mutex, so observations may arrive from any domain. *)
 
   type t
 
@@ -586,11 +589,12 @@ module Window : sig
       {!Tracestore}, so every advertised exemplar resolves.
       Allocation-free without [?trace].
 
-      Each window has a single writer (the handler thread of its op
-      class); bucket stamps and the lifetime totals are atomic, so a
-      concurrent {!summary}/{!totals} reader (the sampler, the SLO
-      evaluator) never merges a half-reclaimed bucket or reads a torn
-      total. *)
+      Writers are serialized by a per-window mutex, so any worker
+      domain of the serving pool may observe into any op-class window;
+      bucket stamps and the lifetime totals are atomic, so a concurrent
+      {!summary}/{!totals} reader (the sampler, the SLO evaluator)
+      stays lock-free and never merges a half-reclaimed bucket or
+      reads a torn total. *)
 
   val totals : t -> int * int
   (** Lifetime [(requests, errors)] since creation (or {!reset}) —

@@ -1,0 +1,347 @@
+(* Multicore execution model: the parallel primitives, the ?domains
+   evaluation paths (digest-equal to the sequential oracle by
+   construction — verified here by property), and the epoch-pinning
+   contract under a concurrent writer. *)
+
+open Expfinder_graph
+open Expfinder_pattern
+open Expfinder_core
+open Expfinder_incremental
+open Expfinder_engine
+module Telemetry = Expfinder_telemetry
+module Parallel = Expfinder_parallel
+module Collab = Expfinder_workload.Collab
+module Queries = Expfinder_workload.Queries
+
+let labels = Array.map Label.of_string [| "A"; "B"; "C" |]
+
+let random_digraph ?(max_n = 25) rng =
+  let n = 2 + Prng.int rng max_n in
+  let m = Prng.int rng (3 * n) in
+  Generators.erdos_renyi rng ~n ~m (fun _ ->
+      (Prng.choose rng labels, Attrs.of_list [ Attrs.int "exp" (Prng.int rng 4) ]))
+
+(* --- primitives -------------------------------------------------------- *)
+
+let prop_ranges_partition seed =
+  let rng = Prng.create seed in
+  let n = Prng.int rng 50 in
+  let domains = 1 + Prng.int rng 8 in
+  let ranges = Parallel.ranges ~domains n in
+  let covered = Array.to_list ranges |> List.concat_map (fun (lo, hi) ->
+      List.init (hi - lo) (fun i -> lo + i))
+  in
+  (* Contiguous, disjoint, covering, clamped to at most one range per
+     item, and balanced to within one item. *)
+  let k = Array.length ranges in
+  covered = List.init n Fun.id
+  && k = (if n = 0 then 1 else min domains n)
+  && Array.for_all
+       (fun (lo, hi) ->
+         let size = hi - lo in
+         size >= n / k && size <= (n / k) + 1)
+       ranges
+
+let test_run_join_order () =
+  let results = Parallel.run ~domains:4 (fun i -> i * i) in
+  Alcotest.(check (list int)) "chunk results in order" [ 0; 1; 4; 9 ]
+    (Array.to_list results)
+
+let test_run_propagates_exception () =
+  match Parallel.run ~domains:3 (fun i -> if i = 1 then failwith "boom" else i) with
+  | _ -> Alcotest.fail "expected the chunk exception to propagate"
+  | exception Failure msg -> Alcotest.(check string) "first error wins" "boom" msg
+
+let test_chan_fifo_and_close () =
+  let c = Parallel.Chan.create ~capacity:8 in
+  List.iter (fun i -> Parallel.Chan.push c i) [ 1; 2; 3 ];
+  Alcotest.(check int) "queued" 3 (Parallel.Chan.length c);
+  Parallel.Chan.close c;
+  (* Close drains: queued items still pop, then None. *)
+  Alcotest.(check (list (option int))) "fifo then end-of-stream"
+    [ Some 1; Some 2; Some 3; None ]
+    (List.init 4 (fun _ -> Parallel.Chan.pop c));
+  match Parallel.Chan.push c 4 with
+  | () -> Alcotest.fail "push on a closed channel must raise"
+  | exception Invalid_argument _ -> ()
+
+let test_chan_bounded_blocks_until_popped () =
+  let c = Parallel.Chan.create ~capacity:1 in
+  Parallel.Chan.push c 1;
+  (* The second push must block until a consumer pops. *)
+  let consumer =
+    Domain.spawn (fun () ->
+        let a = Parallel.Chan.pop c in
+        let b = Parallel.Chan.pop c in
+        (a, b))
+  in
+  Parallel.Chan.push c 2;
+  Parallel.Chan.close c;
+  let a, b = Domain.join consumer in
+  Alcotest.(check (pair (option int) (option int))) "both delivered" (Some 1, Some 2) (a, b)
+
+let test_pool_runs_all_jobs () =
+  let hits = Atomic.make 0 in
+  let errors = Atomic.make 0 in
+  let pool =
+    Parallel.Pool.create ~domains:3 ~on_error:(fun _ -> Atomic.incr errors) ()
+  in
+  Alcotest.(check int) "pool size" 3 (Parallel.Pool.size pool);
+  for _ = 1 to 50 do
+    Parallel.Pool.submit pool (fun () -> Atomic.incr hits)
+  done;
+  Parallel.Pool.submit pool (fun () -> failwith "job error");
+  Parallel.Pool.shutdown pool;
+  Alcotest.(check int) "every job ran before shutdown returned" 50 (Atomic.get hits);
+  Alcotest.(check int) "the failing job hit the error sink" 1 (Atomic.get errors)
+
+let test_serial_orders_and_propagates () =
+  let w = Parallel.Serial.create () in
+  let log = ref [] in
+  let r1 = Parallel.Serial.submit w (fun () -> log := 1 :: !log; "one") in
+  let r2 = Parallel.Serial.submit w (fun () -> log := 2 :: !log; "two") in
+  Alcotest.(check (list string)) "results returned to submitters" [ "one"; "two" ] [ r1; r2 ];
+  Alcotest.(check (list int)) "applied in submission order" [ 2; 1 ] !log;
+  (match Parallel.Serial.submit w (fun () -> failwith "writer boom") with
+  | _ -> Alcotest.fail "expected the writer exception on the submitter"
+  | exception Failure msg -> Alcotest.(check string) "propagated" "writer boom" msg);
+  (* The writer survives a failing job. *)
+  Alcotest.(check string) "writer still alive" "after"
+    (Parallel.Serial.submit w (fun () -> "after"));
+  Parallel.Serial.shutdown w
+
+(* --- parallel evaluation is the sequential oracle ---------------------- *)
+
+let digests relations = List.map Match_relation.digest relations
+
+let prop_compute_batch_oracle seed =
+  let rng = Prng.create seed in
+  let g = random_digraph rng in
+  let snap = Snapshot.of_digraph g in
+  let queries =
+    Queries.workload rng ~count:(1 + Prng.int rng 5) ~simulation:(Prng.bool rng) g
+  in
+  let qs = Array.of_list queries in
+  let before = Telemetry.Metrics.counters_snapshot () in
+  let seq = Candidates.compute_batch ~domains:1 qs snap in
+  let mid = Telemetry.Metrics.counters_snapshot () in
+  let par = Candidates.compute_batch ~domains:(2 + Prng.int rng 3) qs snap in
+  let after = Telemetry.Metrics.counters_snapshot () in
+  let candidate_deltas b a =
+    Telemetry.Metrics.delta ~before:b ~after:a
+    |> List.filter (fun (name, _) -> String.length name >= 10 && String.sub name 0 10 = "candidates")
+    |> List.sort compare
+  in
+  (* Same relations *and* the same counter totals: parallel chunks tally
+     locally and flush once, so observability is domain-count-blind. *)
+  digests (Array.to_list seq) = digests (Array.to_list par)
+  && candidate_deltas before mid = candidate_deltas mid after
+
+let prop_refine_oracle seed =
+  let rng = Prng.create seed in
+  let g = random_digraph rng in
+  let snap = Snapshot.of_digraph g in
+  let simulation = Prng.bool rng in
+  let queries = Queries.workload rng ~count:2 ~simulation g in
+  let domains = 2 + Prng.int rng 3 in
+  List.for_all
+    (fun q ->
+      let initial = Candidates.compute q snap in
+      if Pattern.is_simulation_pattern q then
+        let seq = Simulation.run_constrained ~domains:1 q snap ~initial ~mutable_set:None in
+        let par = Simulation.run_constrained ~domains q snap ~initial ~mutable_set:None in
+        Match_relation.digest seq = Match_relation.digest par
+      else
+        List.for_all
+          (fun strategy ->
+            let seq =
+              Bounded_sim.run_constrained ~strategy ~domains:1 q snap ~initial
+                ~mutable_set:None
+            in
+            let par =
+              Bounded_sim.run_constrained ~strategy ~domains q snap ~initial
+                ~mutable_set:None
+            in
+            Match_relation.digest seq = Match_relation.digest par)
+          [ Bounded_sim.Counters; Bounded_sim.Naive ])
+    queries
+
+let prop_evaluate_batch_oracle seed =
+  let rng = Prng.create seed in
+  let g = random_digraph rng in
+  let queries =
+    Queries.workload rng ~count:(2 + Prng.int rng 6) ~simulation:(Prng.bool rng) g
+  in
+  (* Two fresh engines (digests ignore graph identity): one runs the
+     sequential oracle, the other fans out across domains. *)
+  let seq = Engine.evaluate_batch ~domains:1 (Engine.create g) queries in
+  let par =
+    Engine.evaluate_batch ~domains:(2 + Prng.int rng 3) (Engine.create (Digraph.copy g))
+      queries
+  in
+  List.length seq = List.length par
+  && List.for_all2
+       (fun (a : Engine.answer) (b : Engine.answer) ->
+         Match_relation.digest a.relation = Match_relation.digest b.relation
+         && a.total = b.total)
+       seq par
+
+(* --- epoch pinning under a concurrent writer --------------------------- *)
+
+let test_pinned_snapshot_under_writer () =
+  let rng = Prng.create 7 in
+  let g = Collab.graph () in
+  let engine = Engine.create g in
+  let q =
+    match Queries.workload (Prng.create 11) ~count:1 ~simulation:true g with
+    | [ q ] -> q
+    | _ -> Alcotest.fail "workload did not yield one query"
+  in
+  let snap0 = Engine.snapshot engine in
+  let epoch0 = Snapshot.epoch snap0 in
+  let d0 = Match_relation.digest (Planner.run q snap0) in
+  (* The reader evaluates on its pinned epoch in a loop; the writer
+     advances epochs under it.  Immutable snapshots mean every re-read
+     yields the same digest, however many updates land meanwhile.  The
+     iteration count is fixed (not stop-flag-driven) so the test does
+     not depend on scheduling on single-core hosts. *)
+  let reader =
+    Domain.spawn (fun () ->
+        let stable = ref true in
+        for _ = 1 to 60 do
+          if Match_relation.digest (Planner.run q snap0) <> d0 then stable := false
+        done;
+        !stable)
+  in
+  for _ = 1 to 8 do
+    ignore
+      (Engine.apply_updates engine (Update.random_mixed rng g 3) : Incremental.report list)
+  done;
+  let stable = Domain.join reader in
+  Alcotest.(check bool) "pinned-epoch answers never changed" true stable;
+  Alcotest.(check int) "the pinned snapshot itself is untouched" epoch0
+    (Snapshot.epoch snap0);
+  (* The writer's epochs published: the engine's current snapshot moved
+     on and answers on it match a from-scratch engine over the final
+     graph. *)
+  Alcotest.(check bool) "epoch advanced" true
+    (Snapshot.epoch (Engine.snapshot engine) > epoch0);
+  let fresh = Engine.create (Digraph.copy g) in
+  Alcotest.(check string) "post-update answers match a fresh engine"
+    (Match_relation.digest (Engine.evaluate fresh q).relation)
+    (Match_relation.digest (Engine.evaluate engine q).relation)
+
+let test_concurrent_readers_during_updates () =
+  (* Engine-level interleaving: readers evaluate through the engine (cache,
+     recorder, windows — all shared state) while updates apply.  The
+     assertion is absence of crashes plus every answer digest belonging
+     to some published epoch's answer set. *)
+  let rng = Prng.create 23 in
+  let g = Collab.graph () in
+  let engine = Engine.create g in
+  let q =
+    match Queries.workload (Prng.create 5) ~count:1 ~simulation:true g with
+    | [ q ] -> q
+    | _ -> Alcotest.fail "workload did not yield one query"
+  in
+  (* Collect the answer digest on every epoch the writer will publish. *)
+  let shadow = Digraph.copy g in
+  let batches = List.init 6 (fun _ -> Update.random_mixed rng shadow 2) in
+  let valid = Hashtbl.create 16 in
+  let record_epoch dg =
+    let snap = Snapshot.of_digraph dg in
+    Hashtbl.replace valid (Match_relation.digest (Planner.run q snap)) ()
+  in
+  record_epoch shadow;
+  List.iter
+    (fun batch ->
+      ignore (Update.apply_batch_filtered shadow batch : Update.t list);
+      record_epoch shadow)
+    batches;
+  let reader =
+    Domain.spawn (fun () ->
+        let bad = ref 0 in
+        for _ = 1 to 120 do
+          let answer = Engine.evaluate engine q in
+          if not (Hashtbl.mem valid (Match_relation.digest answer.relation)) then incr bad
+        done;
+        !bad)
+  in
+  List.iter
+    (fun batch ->
+      ignore (Engine.apply_updates engine batch : Incremental.report list))
+    batches;
+  let bad = Domain.join reader in
+  Alcotest.(check int) "every answer matched some published epoch" 0 bad
+
+(* --- per-domain trace roots -------------------------------------------- *)
+
+let test_domain_local_trace_roots () =
+  (* Two domains collect concurrently.  The open-span chain is
+     Domain.DLS, so each root tree must contain exactly its own spans —
+     no interleaving in the exported tree. *)
+  let run tag =
+    let ctx = Telemetry.Trace.make ~sampled:true () in
+    Telemetry.Trace.collect ctx ("root-" ^ tag) (fun () ->
+        for i = 1 to 40 do
+          Telemetry.Trace.with_span ctx
+            (Printf.sprintf "child-%s-%d" tag i)
+            (fun () -> ignore (Sys.opaque_identity i))
+        done)
+  in
+  let other = Domain.spawn (fun () -> run "a") in
+  let (), root_b = run "b" in
+  let (), root_a = Domain.join other in
+  let names = function
+    | None -> Alcotest.fail "collect under a sampled ctx must return a root"
+    | Some root -> Telemetry.Span.preorder_names root
+  in
+  let foreign tag l =
+    List.filter
+      (fun n -> not (String.starts_with ~prefix:("child-" ^ tag ^ "-") n))
+      (List.tl l)
+  in
+  let names_a = names root_a and names_b = names root_b in
+  Alcotest.(check int) "domain a kept all its spans" 41 (List.length names_a);
+  Alcotest.(check int) "domain b kept all its spans" 41 (List.length names_b);
+  Alcotest.(check (list string)) "no b-spans under a's root" [] (foreign "a" names_a);
+  Alcotest.(check (list string)) "no a-spans under b's root" [] (foreign "b" names_b)
+
+(* ----------------------------------------------------------------------- *)
+
+let qtest name count prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count ~name QCheck.small_int (fun s -> prop (s + 1)))
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "primitives",
+        [
+          qtest "ranges partition [0,n)" 120 prop_ranges_partition;
+          Alcotest.test_case "run joins in chunk order" `Quick test_run_join_order;
+          Alcotest.test_case "run propagates chunk errors" `Quick
+            test_run_propagates_exception;
+          Alcotest.test_case "chan fifo/close" `Quick test_chan_fifo_and_close;
+          Alcotest.test_case "chan capacity blocks" `Quick
+            test_chan_bounded_blocks_until_popped;
+          Alcotest.test_case "pool drains on shutdown" `Quick test_pool_runs_all_jobs;
+          Alcotest.test_case "serial writer orders and propagates" `Quick
+            test_serial_orders_and_propagates;
+        ] );
+      ( "oracle",
+        [
+          qtest "compute_batch ~domains = sequential" 40 prop_compute_batch_oracle;
+          qtest "refine ~domains = sequential" 30 prop_refine_oracle;
+          qtest "evaluate_batch ~domains digest-equal" 30 prop_evaluate_batch_oracle;
+        ] );
+      ( "interleaving",
+        [
+          Alcotest.test_case "pinned snapshot stable under writer" `Quick
+            test_pinned_snapshot_under_writer;
+          Alcotest.test_case "engine readers during updates" `Quick
+            test_concurrent_readers_during_updates;
+          Alcotest.test_case "per-domain trace roots" `Quick
+            test_domain_local_trace_roots;
+        ] );
+    ]
