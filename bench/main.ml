@@ -828,6 +828,81 @@ let exp_telemetry_cost ~full =
     (s_tick.Report.median +. s_slo.Report.median < 50.0)
 
 (* ------------------------------------------------------------------ *)
+(* EXP-T2: continuous profiler + domain telemetry overhead              *)
+(* ------------------------------------------------------------------ *)
+
+(* The multicore observability layer adds three always-on costs to the
+   serving path: folding each completed span tree into the collapsed-
+   stack profile, the channel depth gauge + (flag-gated) wait
+   histograms on every pool push/pop, and per-worker busy/idle
+   accounting.  This experiment prices the fold and the channel
+   instrumentation with telemetry off vs on, so the on/off pair can sit
+   in BENCH_baseline.json and the Tukey gate flags any creep. *)
+let exp_profile_cost ~full =
+  header "EXP-T2: continuous profiler + channel instrumentation cost";
+  let module P = Telemetry.Profile in
+  let was_enabled = Telemetry.enabled () in
+  (* Half 1: folding a serving-shaped span tree (root + three stages,
+     each with a few children — comparable to a query's plan trace). *)
+  Telemetry.set_enabled true;
+  let (), root =
+    Telemetry.Trace.collect
+      (Telemetry.Trace.make ~sampled:true ())
+      "bench.query"
+      (fun () ->
+        List.iter
+          (fun stage ->
+            Telemetry.with_span stage (fun () ->
+                for _ = 1 to 3 do
+                  Telemetry.with_span (stage ^ ".step") ignore
+                done))
+          [ "candidates"; "refine"; "rank" ])
+  in
+  let root = Option.get root in
+  let folds = if full then 20_000 else 5_000 in
+  let (), t_fold = time_once (fun () -> for _ = 1 to folds do P.record root done) in
+  let per_fold_us = t_fold *. 1000.0 /. float_of_int folds in
+  record ~id:"EXP-T2.fold"
+    ~params:[ ("folds", Telemetry.Json.Int folds) ]
+    [ per_fold_us ];
+  Printf.printf "  span-tree fold (13 frames): %.3f us/fold over %d folds (%d stacks)\n"
+    per_fold_us folds (List.length (P.rows ()));
+  (* Half 2: instrumented channel traffic, telemetry off vs on.  The
+     depth gauge always fires (it is the /domains.json backbone); the
+     wait histograms only with the flag, which is what the on/off pair
+     prices. *)
+  let ops = if full then 200_000 else 50_000 in
+  let chan_cost () =
+    let c = Parallel.Chan.create ~name:"bench" ~capacity:(ops + 1) () in
+    let (), t =
+      time_once (fun () ->
+          for i = 1 to ops do
+            Parallel.Chan.push c i
+          done;
+          for _ = 1 to ops do
+            ignore (Parallel.Chan.pop c : int option)
+          done)
+    in
+    t *. 1000.0 /. float_of_int (2 * ops)
+  in
+  Telemetry.set_enabled false;
+  let off_us = chan_cost () in
+  Telemetry.set_enabled true;
+  let on_us = chan_cost () in
+  Telemetry.set_enabled was_enabled;
+  record ~id:"EXP-T2.chan.off" ~params:[ ("ops", Telemetry.Json.Int (2 * ops)) ] [ off_us ];
+  record ~id:"EXP-T2.chan.on" ~params:[ ("ops", Telemetry.Json.Int (2 * ops)) ] [ on_us ];
+  Printf.printf
+    "  instrumented chan push+pop: %.3f us/op off, %.3f us/op on (%.2fx)\n" off_us on_us
+    (on_us /. Float.max off_us 0.001);
+  (* Loose absolute guards: the fold must stay far below a query's
+     own cost, and channel traffic must stay micro-scale either way —
+     these catch accidental O(stacks) scans, not scheduler noise. *)
+  check "span-tree fold stays sub-100us" (per_fold_us < 100.0);
+  check "instrumented chan op stays sub-10us (flag on or off)"
+    (off_us < 10.0 && on_us < 10.0)
+
+(* ------------------------------------------------------------------ *)
 (* EXP-P1 / EXP-P2: multicore execution model                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1157,6 +1232,7 @@ let experiments =
     ("EXP-A4", exp_ablation_ball_index);
     ("EXP-A5", exp_ablation_minimise);
     ("EXP-T1", exp_telemetry_cost);
+    ("EXP-T2", exp_profile_cost);
     ("EXP-P1", exp_parallel_serve);
     ("EXP-P2", exp_parallel_compute);
   ]

@@ -185,6 +185,18 @@ let stats_from_server spec json =
         (gauge "process.gc_major_collections")
         (gauge "uptime.seconds")
     | _ -> ());
+    (* Domain-pool summary (absent from pre-pool servers: stay silent;
+       workers=0 means single-domain serving). *)
+    (match member "pool" doc with
+    | Some pool ->
+      let pi name = Option.value ~default:0 (Option.bind (member name pool) int_opt) in
+      if pi "workers" > 0 then
+        Printf.printf
+          "pool: %d worker(s), %d busy, queue %d/%d, %d tasks, writer backlog %d\n"
+          (pi "workers") (pi "busy") (pi "queue_depth") (pi "queue_capacity")
+          (pi "tasks") (pi "writer_backlog")
+      else print_endline "pool: single-domain serving (no worker pool)"
+    | None -> ());
     (* Older servers serve /stats.json without the alerts member; stay
        silent rather than failing the whole summary. *)
     (match member "alerts" doc with
@@ -888,26 +900,38 @@ let fetch_doc endpoint path =
   | exception Unix.Unix_error _ -> None
   | exception Failure _ -> None
 
-let top_run verbose socket_spec interval once width =
+let top_run verbose socket_spec interval once as_json width =
   setup_logs verbose;
   or_die
     (let* endpoint = Server.endpoint_of_string socket_spec in
      let poll () =
        ( fetch_doc endpoint "/stats.json",
          fetch_doc endpoint "/timeseries.json",
-         fetch_doc endpoint "/alerts.json" )
+         fetch_doc endpoint "/alerts.json",
+         fetch_doc endpoint "/domains.json" )
      in
-     let frame (stats, timeseries, alerts) =
-       Dashboard.render ~width ?stats ?timeseries ?alerts ()
+     let frame (stats, timeseries, alerts, domains) =
+       Dashboard.render ~width ?stats ?timeseries ?alerts ?domains ()
      in
      let first = poll () in
      let* () =
        match first with
-       | None, None, None -> err "cannot reach %s (no observability endpoint answered)" socket_spec
+       | None, None, None, None ->
+         err "cannot reach %s (no observability endpoint answered)" socket_spec
        | _ -> Ok ()
      in
      if once then begin
-       print_string (frame first);
+       (if as_json then
+          (* One machine-readable object holding every document the
+             dashboard renders, for CI/soak scraping. *)
+          let stats, timeseries, alerts, domains = first in
+          let field name = function Some d -> [ (name, d) ] | None -> [] in
+          print_endline
+            (Telemetry.Json.to_string ~pretty:true
+               (Telemetry.Json.Obj
+                  (field "stats" stats @ field "timeseries" timeseries
+                  @ field "alerts" alerts @ field "domains" domains)))
+        else print_string (frame first));
        Ok ()
      end
      else
@@ -922,6 +946,44 @@ let top_run verbose socket_spec interval once width =
          loop (poll ())
        in
        loop first)
+
+(* Fetch the continuous profile as collapsed-stack text.  --top parses
+   the lines client-side (the wire format stays pure folded text, so
+   it pipes straight into flamegraph.pl / speedscope). *)
+let profile_run verbose socket_spec reset top_n =
+  setup_logs verbose;
+  or_die
+    (let* endpoint = Server.endpoint_of_string socket_spec in
+     let path = if reset then "/profile.folded?reset=1" else "/profile.folded" in
+     let* status, body = http_get_result socket_spec endpoint path in
+     let* () = if status = 200 then Ok () else err "server answered HTTP %d" status in
+     (match top_n with
+     | None -> print_string body
+     | Some n ->
+       let parse line =
+         match String.rindex_opt line ' ' with
+         | None -> None
+         | Some i ->
+           let stack = String.sub line 0 i in
+           let ns = String.sub line (i + 1) (String.length line - i - 1) in
+           Option.map (fun ns -> (stack, ns)) (float_of_string_opt ns)
+       in
+       let rows =
+         String.split_on_char '\n' body
+         |> List.filter_map (fun l ->
+                let l = String.trim l in
+                if l = "" then None else parse l)
+         |> List.sort (fun (_, a) (_, b) -> compare b a)
+       in
+       if rows = [] then print_endline "profile: no folded stacks yet"
+       else begin
+         Printf.printf "%12s  %s\n" "self" "stack";
+         List.iteri
+           (fun i (stack, ns) ->
+             if i < n then Printf.printf "%10.3fms  %s\n" (ns /. 1e6) stack)
+           rows
+       end);
+     Ok ())
 
 let postmortem_run verbose file json =
   setup_logs verbose;
@@ -1350,6 +1412,15 @@ let top_cmd =
   let once =
     Arg.(value & flag & info [ "once" ] ~doc:"Paint a single frame and exit (no screen clear).")
   in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "With $(b,--once): print one JSON object holding the fetched documents \
+             (stats/timeseries/alerts/domains) instead of the rendered frame, for scripted \
+             scraping in CI and soaks.")
+  in
   let width =
     Arg.(value & opt int 40 & info [ "width" ] ~docv:"COLS" ~doc:"Sparkline width in cells.")
   in
@@ -1360,11 +1431,42 @@ let top_cmd =
          [
            `S Manpage.s_description;
            `P
-             "Polls /stats.json, /timeseries.json and /alerts.json and repaints one frame per \
-              interval: per-op QPS, error rate and p99 latency with QPS sparklines, firing SLO \
-              alerts with burn rates, and RSS / GC-pause trends from the retention rings.";
+             "Polls /stats.json, /timeseries.json, /alerts.json and /domains.json and repaints \
+              one frame per interval: per-op QPS, error rate and p99 latency with QPS \
+              sparklines, firing SLO alerts with burn rates, RSS / GC-pause trends from the \
+              retention rings, and a domains pane (per-worker utilization, queue-depth and \
+              writer-backlog sparklines).";
          ])
-    Term.(const top_run $ verbose_arg $ socket_arg $ interval $ once $ width)
+    Term.(const top_run $ verbose_arg $ socket_arg $ interval $ once $ json $ width)
+
+let profile_cmd =
+  let reset =
+    Arg.(
+      value & flag
+      & info [ "reset" ]
+          ~doc:"Return the accumulated profile, then clear it (interval profiling).")
+  in
+  let top_n =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "top" ] ~docv:"N"
+          ~doc:"Print the N hottest stacks by self time instead of raw folded text.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Fetch the continuous folded-stack profile from a running expfinder serve"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Scrapes /profile.folded: every served request's span tree is folded into \
+              collapsed-stack lines ($(i,domain-N;frame;frame self-ns)) compatible with \
+              flamegraph.pl and speedscope.  Raw output pipes straight into those tools; \
+              $(b,--top) summarizes the hottest stacks inline and $(b,--reset) makes \
+              consecutive scrapes cover disjoint intervals.";
+         ])
+    Term.(const profile_run $ verbose_arg $ socket_arg $ reset $ top_n)
 
 let postmortem_cmd =
   let file =
@@ -1453,6 +1555,7 @@ let main_cmd =
       trace_cmd;
       get_cmd;
       top_cmd;
+      profile_cmd;
       postmortem_cmd;
       timeseries_cmd;
       replay_cmd;

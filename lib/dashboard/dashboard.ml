@@ -124,7 +124,53 @@ let alert_lines alerts =
             (Option.value ~default:nan (float_at [ "burn_slow" ] a)))
         fs)
 
-let render ?(width = 40) ?stats ?timeseries ?alerts () =
+(* One row per pool worker from a parsed /domains.json: utilization is
+   busy/(busy+idle) over the worker's whole life, tasks its throughput. *)
+let domain_lines ~width ~timeseries domains =
+  match domains with
+  | None -> []
+  | Some doc ->
+    let pool field = int_at [ "pool"; field ] doc in
+    let header =
+      Printf.sprintf "  domains: %s worker(s)  busy %s  queue %s/%s  writer backlog %s"
+        (fmt_opt string_of_int (pool "workers"))
+        (fmt_opt string_of_int (pool "busy"))
+        (fmt_opt string_of_int (pool "queue_depth"))
+        (fmt_opt string_of_int (pool "queue_capacity"))
+        (fmt_opt string_of_int (pool "writer_backlog"))
+    in
+    let workers =
+      match Option.bind (Json.member "workers" doc) Json.list_opt with
+      | None -> []
+      | Some ws ->
+        List.map
+          (fun w ->
+            Printf.sprintf "    worker %s  domain %s  tasks %-7s util %s"
+              (fmt_opt string_of_int (int_at [ "worker" ] w))
+              (fmt_opt string_of_int (int_at [ "domain_id" ] w))
+              (fmt_opt string_of_int (int_at [ "tasks" ] w))
+              (fmt_opt
+                 (fun u -> Printf.sprintf "%.0f%%" (100.0 *. u))
+                 (float_at [ "utilization" ] w)))
+          ws
+    in
+    let trends =
+      match timeseries with
+      | None -> []
+      | Some ts ->
+        List.filter_map
+          (fun (label, series) ->
+            match sparkline ~width (series_tail ts series) with
+            | "" -> None
+            | s -> Some (Printf.sprintf "    %-14s %s" label s))
+          [
+            ("queue depth", "m.chan.pool.jobs.depth");
+            ("writer backlog", "m.chan.serial.jobs.depth");
+          ]
+    in
+    (header :: workers) @ trends
+
+let render ?(width = 40) ?stats ?timeseries ?alerts ?domains () =
   let b = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
   let proc field = Option.bind stats (float_at [ "process"; field ]) in
@@ -152,4 +198,9 @@ let render ?(width = 40) ?stats ?timeseries ?alerts () =
     let pause_trend = sparkline ~width (series_tail ts "process.gc_pause_us_max") in
     if rss_trend <> "" then line "  rss trend      %s" rss_trend;
     if pause_trend <> "" then line "  gc pause trend %s" pause_trend);
+  (match domain_lines ~width ~timeseries domains with
+  | [] -> ()
+  | ls ->
+    line "";
+    List.iter (line "%s") ls);
   Buffer.contents b

@@ -24,10 +24,18 @@ val firing_alerts : Json.t -> Json.t list
     [/alerts.json] (or the [alerts] member of [/stats.json]). *)
 
 val render :
-  ?width:int -> ?stats:Json.t -> ?timeseries:Json.t -> ?alerts:Json.t -> unit -> string
+  ?width:int ->
+  ?stats:Json.t ->
+  ?timeseries:Json.t ->
+  ?alerts:Json.t ->
+  ?domains:Json.t ->
+  unit ->
+  string
 (** Compose the full dashboard frame: header (graph/epoch/uptime),
     alert status lines, a per-op-class table (qps, error rate, p99 and
-    a qps sparkline) and memory/GC gauges with trends.  Every input is
-    optional; missing documents degrade to ["-"] placeholders so the
-    dashboard still paints while the server is warming up or an
-    endpoint is unavailable. *)
+    a qps sparkline), memory/GC gauges with trends and — when a parsed
+    [/domains.json] is supplied — a domains pane (pool summary,
+    per-worker utilization, queue-depth and writer-backlog
+    sparklines).  Every input is optional; missing documents degrade
+    to ["-"] placeholders so the dashboard still paints while the
+    server is warming up or an endpoint is unavailable. *)

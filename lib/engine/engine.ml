@@ -96,6 +96,24 @@ type expert = { node : int; name : string option; rank : Ranking.rank }
      fall through to containment/planner — every path computes the same
      kernel (EXPFINDER_CHECK enforces it), only provenance and latency
      differ. *)
+(* Contention observability for the model above, always-on (registry
+   cells are internally atomic/guarded):
+     [engine.maint_skips.*]          try-lock losses per structure
+     [engine.snapshot.stale_reads]   reads served the pinned pre-update
+                                     snapshot because a write was in
+                                     flight
+     [engine.snapshot.staleness]     epochs behind (version - epoch) at
+                                     the last stale read; 0 once the
+                                     writer publishes
+     [engine.epoch.publish_lag_ms]   apply-to-publication latency *)
+type contention_metrics = {
+  m_maint_skip_fast : Counter.t;
+  m_maint_skip_ball : Counter.t;
+  m_stale_reads : Counter.t;
+  g_staleness : Gauge.t;
+  h_publish_lag : Histogram.t;
+}
+
 type t = {
   g : Digraph.t;
   snap : Snapshot.t Atomic.t;
@@ -107,6 +125,7 @@ type t = {
   mutable ball_radius : int;
   mutable registered : (string * Incremental.t) list; (* fingerprint-keyed, in order *)
   last_profile : profile option Atomic.t;
+  cm : contention_metrics;
 }
 
 let create ?cache_capacity g =
@@ -121,6 +140,17 @@ let create ?cache_capacity g =
     ball_radius = 0;
     registered = [];
     last_profile = Atomic.make None;
+    cm =
+      {
+        m_maint_skip_fast =
+          Metrics.counter ~always:true "engine.maint_skips.fastpath";
+        m_maint_skip_ball =
+          Metrics.counter ~always:true "engine.maint_skips.ball_index";
+        m_stale_reads = Metrics.counter ~always:true "engine.snapshot.stale_reads";
+        g_staleness = Metrics.gauge ~always:true "engine.snapshot.staleness";
+        h_publish_lag =
+          Metrics.histogram ~always:true "engine.epoch.publish_lag_ms";
+      };
   }
 
 let graph t = t.g
@@ -138,8 +168,11 @@ let with_maint t f =
     Mutex.unlock t.maint;
     raise e
 
-let with_maint_opt t f =
-  if not (Mutex.try_lock t.maint) then None
+let with_maint_opt t ~skip f =
+  if not (Mutex.try_lock t.maint) then begin
+    Counter.incr skip;
+    None
+  end
   else
     match f () with
     | v ->
@@ -176,11 +209,14 @@ let snapshot t =
     | exception e ->
       Mutex.unlock t.writer;
       raise e)
-  else
+  else begin
     (* An update is in flight (version already bumped, new epoch not yet
        published): serve the pinned pre-update snapshot rather than
        block — the update is not "done" from this reader's viewpoint. *)
+    Counter.incr t.cm.m_stale_reads;
+    Gauge.set t.cm.g_staleness (max 0 (Digraph.version t.g - Snapshot.epoch s));
     s
+  end
 
 (* Direct evaluation goes through the planner: candidate ordering with
    early exit, sink pruning, and strategy selection (§III "optimized
@@ -244,7 +280,7 @@ let evaluate_inner t pattern =
   | Some relation -> (relation, From_cache, "cache", false)
   | None ->
     let fast =
-      with_maint_opt t (fun () ->
+      with_maint_opt t ~skip:t.cm.m_maint_skip_fast (fun () ->
           match List.assoc_opt (Pattern.fingerprint pattern) t.registered with
           | Some inc when Incremental.version inc = Snapshot.epoch snap ->
             Some (Match_relation.copy (Incremental.kernel inc), Direct, "registered")
@@ -269,7 +305,7 @@ let evaluate_inner t pattern =
           (relation, From_cache, "containment", false)
         | None -> (
           let indexed =
-            with_maint_opt t (fun () ->
+            with_maint_opt t ~skip:t.cm.m_maint_skip_ball (fun () ->
                 (* Rebuild the opt-in ball index lazily after updates. *)
                 (match t.ball_index with
                 | Some idx
@@ -366,6 +402,9 @@ let observe_traced ~trace ~window ~op ~query ~duration_ms ~error ?root () =
     Tracestore.record ~trace_id:trace.Trace.trace_id ~span_id:trace.Trace.span_id ~op ~query
       ~duration_ms ~error ?root ()
   in
+  (* Every completed span tree also feeds the continuous folded-stack
+     profile — the single fold point for the query/batch/update ops. *)
+  Option.iter Profile.record root;
   Window.observe window ~error
     ?trace:(if kept then Some trace.Trace.trace_id else None)
     duration_ms
@@ -744,6 +783,7 @@ let apply_updates_locked t updates =
      pre-update epoch before applying ΔG: readers holding it keep a
      coherent view, and the COW advance patches it. *)
   let before = snapshot_locked t in
+  let t_apply = now_us () in
   let effective = Update.apply_batch_filtered t.g updates in
   Counter.add m_updates_effective (List.length effective);
   if effective <> [] then begin
@@ -770,7 +810,11 @@ let apply_updates_locked t updates =
       Atomic.set t.snap snap
     | None ->
       Counter.incr m_snapshot_rebuilds;
-      Atomic.set t.snap (Snapshot.of_digraph t.g))
+      Atomic.set t.snap (Snapshot.of_digraph t.g));
+    (* Publication lag: how long readers were pinned to the stale
+       snapshot, from ΔG application to the epoch store above. *)
+    Histogram.observe t.cm.h_publish_lag ((now_us () -. t_apply) /. 1000.0);
+    Gauge.set t.cm.g_staleness 0
   end;
   (* Results for old epochs are unreachable (keys include the identity),
      but drop them eagerly to keep the cache useful. *)

@@ -5,7 +5,15 @@
    mid-flight), the server's is a bounded work queue feeding a fixed
    pool of domains, and writes are funnelled through one dedicated
    writer domain.  Three shapes, three modules — no scheduler, no
-   effects, no task graph. *)
+   effects, no task graph.
+
+   Each shape is instrumented through the telemetry registry: channel
+   depth gauges and wait histograms, per-worker busy/idle accounting,
+   writer submit latency.  All metric state lives in per-instance
+   records (registry cells are internally Atomic/mutex-guarded), so
+   this module adds no module-level mutable bindings of its own. *)
+
+module T = Expfinder_telemetry
 
 let env_name = "EXPFINDER_DOMAINS"
 
@@ -59,6 +67,17 @@ let run ~domains f =
 (* ------------------------------------------------------------------ *)
 
 module Chan = struct
+  (* A named channel publishes an always-on depth gauge
+     [chan.<name>.depth] (updated inside the lock, so it is exact) and
+     flag-gated wait histograms [chan.<name>.push_wait_us] /
+     [chan.<name>.pop_wait_us] pricing backpressure stalls.  Anonymous
+     channels carry no metrics and pay nothing. *)
+  type 'a metrics = {
+    g_depth : T.Gauge.t;
+    h_push_wait : T.Histogram.t;
+    h_pop_wait : T.Histogram.t;
+  }
+
   type 'a t = {
     q : 'a Queue.t;
     capacity : int;
@@ -66,9 +85,20 @@ module Chan = struct
     nonempty : Condition.t;
     nonfull : Condition.t;
     mutable closed : bool;
+    metrics : 'a metrics option;
   }
 
-  let create ~capacity =
+  let create ?name ~capacity () =
+    let metrics =
+      Option.map
+        (fun name ->
+          {
+            g_depth = T.Metrics.gauge ~always:true ("chan." ^ name ^ ".depth");
+            h_push_wait = T.Metrics.histogram ("chan." ^ name ^ ".push_wait_us");
+            h_pop_wait = T.Metrics.histogram ("chan." ^ name ^ ".pop_wait_us");
+          })
+        name
+    in
     {
       q = Queue.create ();
       capacity = max 1 capacity;
@@ -76,9 +106,25 @@ module Chan = struct
       nonempty = Condition.create ();
       nonfull = Condition.create ();
       closed = false;
+      metrics;
     }
 
+  (* Wait-time measurement is armed only when the channel is named and
+     telemetry is on: a [nan] start means "don't observe", keeping the
+     uninstrumented fast path at two clock reads of zero. *)
+  let arm t = match t.metrics with Some _ when T.enabled () -> T.now_us () | _ -> nan
+
+  let observe_wait h t0 =
+    if Float.is_finite t0 then T.Histogram.observe h (T.now_us () -. t0)
+
+  let set_depth t =
+    (* Called with [t.m] held. *)
+    match t.metrics with
+    | Some m -> T.Gauge.set m.g_depth (Queue.length t.q)
+    | None -> ()
+
   let push t v =
+    let t0 = arm t in
     Mutex.lock t.m;
     let rec attempt () =
       if t.closed then (
@@ -89,18 +135,27 @@ module Chan = struct
         attempt ())
       else (
         Queue.push v t.q;
+        set_depth t;
         Condition.signal t.nonempty;
-        Mutex.unlock t.m)
+        Mutex.unlock t.m;
+        match t.metrics with
+        | Some m -> observe_wait m.h_push_wait t0
+        | None -> ())
     in
     attempt ()
 
   let pop t =
+    let t0 = arm t in
     Mutex.lock t.m;
     let rec attempt () =
       if not (Queue.is_empty t.q) then (
         let v = Queue.pop t.q in
+        set_depth t;
         Condition.signal t.nonfull;
         Mutex.unlock t.m;
+        (match t.metrics with
+        | Some m -> observe_wait m.h_pop_wait t0
+        | None -> ());
         Some v)
       else if t.closed then (
         Mutex.unlock t.m;
@@ -130,34 +185,98 @@ end
 (* ------------------------------------------------------------------ *)
 
 module Pool = struct
+  (* Per-pool accounting, all always-on so [/domains.json] works in
+     production with the telemetry flag off:
+       [<name>.workers] / [<name>.queue_capacity]  static gauges
+       [<name>.busy]                               workers mid-job now
+       [<name>.tasks]                              jobs executed
+       [<name>.worker<i>.tasks|busy_us|idle_us]    per-worker split
+       [<name>.worker<i>.domain_id]                Domain.self of worker
+       [<name>.drain_ms]                           shutdown drain span *)
+  type metrics = {
+    busy : int Atomic.t;
+    g_busy : T.Gauge.t;
+    m_tasks : T.Counter.t;
+    h_drain : T.Histogram.t;
+  }
+
   type t = {
     jobs : (unit -> unit) Chan.t;
     workers : unit Domain.t array;
     on_error : exn -> unit;
+    metrics : metrics;
   }
 
-  let create ?(capacity = 64) ?(on_error = fun _ -> ()) ~domains () =
+  let create ?(name = "pool") ?(capacity = 64) ?(on_error = fun _ -> ()) ~domains
+      () =
     let domains = max 1 domains in
-    let jobs = Chan.create ~capacity in
+    let jobs = Chan.create ~name:(name ^ ".jobs") ~capacity () in
     let on_error e = try on_error e with _ -> () in
-    let worker () =
-      let rec loop () =
-        match Chan.pop jobs with
-        | None -> ()
-        | Some job ->
-            (try job () with e -> on_error e);
-            loop ()
-      in
-      loop ()
+    T.Gauge.set (T.Metrics.gauge ~always:true (name ^ ".workers")) domains;
+    T.Gauge.set
+      (T.Metrics.gauge ~always:true (name ^ ".queue_capacity"))
+      (max 1 capacity);
+    let metrics =
+      {
+        busy = Atomic.make 0;
+        g_busy = T.Metrics.gauge ~always:true (name ^ ".busy");
+        m_tasks = T.Metrics.counter ~always:true (name ^ ".tasks");
+        h_drain = T.Metrics.histogram ~always:true (name ^ ".drain_ms");
+      }
     in
-    { jobs; workers = Array.init domains (fun _ -> Domain.spawn worker); on_error }
+    let worker i () =
+      let prefix = Printf.sprintf "%s.worker%d" name i in
+      T.Gauge.set
+        (T.Metrics.gauge ~always:true (prefix ^ ".domain_id"))
+        (Domain.self () :> int);
+      let m_worker_tasks = T.Metrics.counter ~always:true (prefix ^ ".tasks") in
+      let m_busy_us = T.Metrics.counter ~always:true (prefix ^ ".busy_us") in
+      let m_idle_us = T.Metrics.counter ~always:true (prefix ^ ".idle_us") in
+      let rec loop idle_from =
+        match Chan.pop jobs with
+        | None -> T.Counter.add m_idle_us (int_of_float (T.now_us () -. idle_from))
+        | Some job ->
+            let t0 = T.now_us () in
+            T.Counter.add m_idle_us (int_of_float (t0 -. idle_from));
+            T.Gauge.set metrics.g_busy (1 + Atomic.fetch_and_add metrics.busy 1);
+            (try job () with e -> on_error e);
+            ignore (Atomic.fetch_and_add metrics.busy (-1) : int);
+            T.Gauge.set metrics.g_busy (Atomic.get metrics.busy);
+            let t1 = T.now_us () in
+            T.Counter.add m_busy_us (int_of_float (t1 -. t0));
+            T.Counter.incr m_worker_tasks;
+            T.Counter.incr metrics.m_tasks;
+            loop t1
+      in
+      loop (T.now_us ())
+    in
+    {
+      jobs;
+      workers = Array.init domains (fun i -> Domain.spawn (worker i));
+      on_error;
+      metrics;
+    }
 
   let size t = Array.length t.workers
   let submit t job = Chan.push t.jobs job
 
+  (* The drain (close + join, i.e. every queued job finishing) is
+     recorded both as a histogram sample and as a span tree folded into
+     the continuous profile, so slow shutdowns show up in
+     [/profile.folded] under [pool.drain]. *)
   let shutdown t =
     Chan.close t.jobs;
-    Array.iter Domain.join t.workers
+    let (), root =
+      T.Trace.collect
+        (T.Trace.make ~sampled:true ())
+        "pool.drain"
+        (fun () -> Array.iter Domain.join t.workers)
+    in
+    match root with
+    | None -> ()
+    | Some span ->
+        T.Histogram.observe t.metrics.h_drain (T.Span.duration_ms span);
+        T.Profile.record span
 end
 
 (* ------------------------------------------------------------------ *)
@@ -165,10 +284,20 @@ end
 (* ------------------------------------------------------------------ *)
 
 module Serial = struct
-  type t = { jobs : (unit -> unit) Chan.t; worker : unit Domain.t }
+  (* The writer's backlog is the depth gauge of its named channel
+     ([chan.serial.jobs.depth]); each submit is counted and priced
+     end-to-end (enqueue wait + execution + wakeup) in
+     [serial.submit_ms].  Submits are one per update batch, so the
+     accounting is always-on. *)
+  type t = {
+    jobs : (unit -> unit) Chan.t;
+    worker : unit Domain.t;
+    m_submitted : T.Counter.t;
+    h_submit : T.Histogram.t;
+  }
 
   let create () =
-    let jobs = Chan.create ~capacity:64 in
+    let jobs = Chan.create ~name:"serial.jobs" ~capacity:64 () in
     let worker =
       Domain.spawn (fun () ->
           let rec loop () =
@@ -180,7 +309,12 @@ module Serial = struct
           in
           loop ())
     in
-    { jobs; worker }
+    {
+      jobs;
+      worker;
+      m_submitted = T.Metrics.counter ~always:true "serial.submitted";
+      h_submit = T.Metrics.histogram ~always:true "serial.submit_ms";
+    }
 
   (* The submitted closure runs on the writer domain; the caller blocks
      on a private condition cell until the result (or the exception,
@@ -188,6 +322,7 @@ module Serial = struct
      submitters only contend on the channel, never on each other's
      results. *)
   let submit t f =
+    let t0 = T.now_us () in
     let m = Mutex.create () in
     let c = Condition.create () in
     let cell = ref None in
@@ -207,6 +342,8 @@ module Serial = struct
     in
     let r = await () in
     Mutex.unlock m;
+    T.Counter.incr t.m_submitted;
+    T.Histogram.observe t.h_submit ((T.now_us () -. t0) /. 1000.0);
     match r with Ok v -> v | Error e -> raise e
 
   let shutdown t =

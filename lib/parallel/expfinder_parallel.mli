@@ -15,7 +15,14 @@
 
     Domain counts come from the [EXPFINDER_DOMAINS] environment
     variable so the whole test suite can be re-run parallel without
-    touching call sites (see {!default_domains}). *)
+    touching call sites (see {!default_domains}).
+
+    All three shapes are instrumented through the telemetry registry
+    (channel depth gauges, enqueue/dequeue wait histograms, per-worker
+    busy/idle accounting, writer submit latency); metric names are
+    documented on each module.  Depth gauges and pool/writer counters
+    are always-on; wait histograms only record while telemetry is
+    enabled. *)
 
 val env_name : string
 (** Name of the controlling environment variable, ["EXPFINDER_DOMAINS"]. *)
@@ -60,9 +67,14 @@ val run : domains:int -> (int -> 'a) -> 'a array
 module Chan : sig
   type 'a t
 
-  val create : capacity:int -> 'a t
-  (** [create ~capacity] is an empty channel holding at most
-      [max 1 capacity] elements. *)
+  val create : ?name:string -> capacity:int -> unit -> 'a t
+  (** [create ~capacity ()] is an empty channel holding at most
+      [max 1 capacity] elements.  A [?name]d channel publishes an
+      always-on exact depth gauge [chan.<name>.depth] plus wait
+      histograms [chan.<name>.push_wait_us] / [chan.<name>.pop_wait_us]
+      (microseconds blocked on capacity/emptiness; recorded only while
+      telemetry is enabled).  Anonymous channels carry no metrics and
+      pay no instrumentation cost. *)
 
   val push : 'a t -> 'a -> unit
   (** Blocks until there is room.  @raise Invalid_argument if the
@@ -88,12 +100,25 @@ module Pool : sig
   type t
 
   val create :
-    ?capacity:int -> ?on_error:(exn -> unit) -> domains:int -> unit -> t
+    ?name:string ->
+    ?capacity:int ->
+    ?on_error:(exn -> unit) ->
+    domains:int ->
+    unit ->
+    t
   (** [create ~domains ()] spawns [max 1 domains] workers over a
       channel bounded at [capacity] (default [64]) jobs — the bound is
       the server's backpressure: when all workers are busy and the
       queue is full, {!submit} (the accept loop) blocks instead of
-      accumulating unserved connections. *)
+      accumulating unserved connections.
+
+      The pool registers always-on metrics under [?name] (default
+      ["pool"]): gauges [<name>.workers], [<name>.queue_capacity] and
+      [<name>.busy] (workers mid-job right now), counter
+      [<name>.tasks], per-worker counters
+      [<name>.worker<i>.tasks|busy_us|idle_us] and gauge
+      [<name>.worker<i>.domain_id], histogram [<name>.drain_ms], plus
+      the job channel's [chan.<name>.jobs.*] metrics. *)
 
   val size : t -> int
   (** Number of worker domains. *)
@@ -104,7 +129,9 @@ module Pool : sig
 
   val shutdown : t -> unit
   (** Close the queue, let the workers drain the backlog, and join
-      them all.  Returns only when every worker has exited. *)
+      them all.  Returns only when every worker has exited.  The drain
+      is recorded in [<name>.drain_ms] and folded into the continuous
+      profile under [pool.drain]. *)
 end
 
 (** Dedicated writer domain: a one-domain executor whose {!Serial.submit}
@@ -116,7 +143,10 @@ module Serial : sig
   type t
 
   val create : unit -> t
-  (** Spawn the writer domain. *)
+  (** Spawn the writer domain.  Always-on accounting: the backlog is
+      the [chan.serial.jobs.depth] gauge, submits are counted in
+      [serial.submitted] and priced end-to-end (enqueue wait +
+      execution + wakeup, milliseconds) in [serial.submit_ms]. *)
 
   val submit : t -> (unit -> 'a) -> 'a
   (** [submit t f] runs [f ()] on the writer domain, in submission

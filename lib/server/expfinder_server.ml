@@ -60,6 +60,26 @@ let sockaddr = function
 (* ------------------------------------------------------------------ *)
 (* Stats document *)
 
+(* Pool / writer summary read back from the always-on registry cells
+   the parallel primitives publish.  Reading through [Metrics.gauge]
+   mints a zero cell when the pool was never started (single-domain
+   serving), which reads as the honest "no workers" answer. *)
+let reg_gauge name = Gauge.value (Metrics.gauge ~always:true name)
+
+let reg_counter name = Counter.value (Metrics.counter ~always:true name)
+
+let pool_json () =
+  Json.Obj
+    [
+      ("workers", Json.Int (reg_gauge "pool.workers"));
+      ("busy", Json.Int (reg_gauge "pool.busy"));
+      ("queue_depth", Json.Int (reg_gauge "chan.pool.jobs.depth"));
+      ("queue_capacity", Json.Int (reg_gauge "pool.queue_capacity"));
+      ("tasks", Json.Int (reg_counter "pool.tasks"));
+      ("writer_backlog", Json.Int (reg_gauge "chan.serial.jobs.depth"));
+      ("writer_submitted", Json.Int (reg_counter "serial.submitted"));
+    ]
+
 let stats_json engine =
   let snap = Engine.snapshot engine in
   let windows =
@@ -70,10 +90,68 @@ let stats_json engine =
       ("graph_id", Json.Int (Snapshot.graph_id snap));
       ("epoch", Json.Int (Snapshot.epoch snap));
       ("windows", Json.Obj windows);
+      ("pool", pool_json ());
       ("process", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (process_stats ())));
       ("alerts", Slo.to_json ());
       ("metrics", Metrics.to_json ());
       ("recorder", Recorder.to_json ());
+    ]
+
+(* Per-domain document behind [/domains.json]: worker utilization
+   split per pool domain, per-domain GC pause totals, the engine's
+   contention counters, and the continuous profiler's health. *)
+let domains_json engine =
+  let snap = Engine.snapshot engine in
+  let worker i =
+    let p field = Printf.sprintf "pool.worker%d.%s" i field in
+    let busy = reg_counter (p "busy_us") and idle = reg_counter (p "idle_us") in
+    let util =
+      if busy + idle <= 0 then 0.0
+      else float_of_int busy /. float_of_int (busy + idle)
+    in
+    Json.Obj
+      [
+        ("worker", Json.Int i);
+        ("domain_id", Json.Int (reg_gauge (p "domain_id")));
+        ("tasks", Json.Int (reg_counter (p "tasks")));
+        ("busy_us", Json.Int busy);
+        ("idle_us", Json.Int idle);
+        ("utilization", Json.Float util);
+      ]
+  in
+  let gc_domain (d : Gcpause.domain_totals) =
+    Json.Obj
+      [
+        ("domain", Json.Int d.Gcpause.domain);
+        ("pause_us_total", Json.Int d.Gcpause.pause_us_total);
+        ("pause_us_max", Json.Int d.Gcpause.pause_us_max);
+        ("slices", Json.Int d.Gcpause.slices);
+      ]
+  in
+  Json.Obj
+    [
+      ("graph_id", Json.Int (Snapshot.graph_id snap));
+      ("epoch", Json.Int (Snapshot.epoch snap));
+      ("pool", pool_json ());
+      ("workers", Json.Arr (List.init (max 0 (reg_gauge "pool.workers")) worker));
+      ( "gc",
+        Json.Obj
+          [
+            ("domain_spawns", Json.Int (Gcpause.domain_spawns ()));
+            ("domain_stops", Json.Int (Gcpause.domain_stops ()));
+            ("by_domain", Json.Arr (List.map gc_domain (Gcpause.by_domain ())));
+          ] );
+      ( "engine",
+        Json.Obj
+          [
+            ("stale_reads", Json.Int (reg_counter "engine.snapshot.stale_reads"));
+            ("staleness", Json.Int (reg_gauge "engine.snapshot.staleness"));
+            ( "maint_skips_fastpath",
+              Json.Int (reg_counter "engine.maint_skips.fastpath") );
+            ( "maint_skips_ball_index",
+              Json.Int (reg_counter "engine.maint_skips.ball_index") );
+          ] );
+      ("profile", Profile.to_json ());
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -231,6 +309,20 @@ let http_response ~status ~content_type ?(headers = []) body =
     body
 
 let http_reply engine ~meth ~path ~ctx =
+  (* Split off a query string: only /profile.folded?reset=1 uses one
+     today, but every path tolerates it. *)
+  let path, query =
+    match String.index_opt path '?' with
+    | Some i ->
+      ( String.sub path 0 i,
+        String.sub path (i + 1) (String.length path - i - 1) )
+    | None -> (path, "")
+  in
+  let query_flag name =
+    List.exists
+      (fun kv -> kv = name || kv = name ^ "=1" || kv = name ^ "=true")
+      (String.split_on_char '&' query)
+  in
   let status, content_type, body =
     match path with
     | "/metrics" -> (200, "text/plain; version=0.0.4; charset=utf-8", Prometheus.render ())
@@ -250,6 +342,17 @@ let http_reply engine ~meth ~path ~ctx =
         Json.to_string ~pretty:true (Timeseries.to_json ~max_points:120 Timeseries.shared) )
     | "/alerts.json" ->
       (200, "application/json; charset=utf-8", Json.to_string ~pretty:true (Slo.to_json ()))
+    | "/domains.json" ->
+      ( 200,
+        "application/json; charset=utf-8",
+        Json.to_string ~pretty:true (domains_json engine) )
+    | "/profile.folded" ->
+      (* Collapsed-stack text for flamegraph.pl / speedscope.  With
+         ?reset=1 the accumulated profile is returned, then cleared —
+         so a scraper gets interval profiles without losing data. *)
+      let body = Profile.to_folded () in
+      if query_flag "reset" then Profile.reset ();
+      (200, "text/plain; charset=utf-8", body)
     | _ -> (404, "text/plain; charset=utf-8", Printf.sprintf "no such path: %s\n" path)
   in
   let body = if meth = "HEAD" then "" else body in

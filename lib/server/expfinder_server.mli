@@ -64,9 +64,18 @@ val endpoint_to_string : endpoint -> string
 val stats_json : Engine.t -> Json.t
 (** The live stats document served at [/stats.json]: snapshot identity
     ([graph_id]/[epoch]), one {!Window.to_json} per operation class
-    under [windows] (summary plus exemplars), process gauges, the
-    current SLO alert document under [alerts], the metric registry and
-    the flight-recorder ring. *)
+    under [windows] (summary plus exemplars), the domain-pool summary
+    under [pool] (workers, busy, queue depth/capacity, tasks, writer
+    backlog), process gauges, the current SLO alert document under
+    [alerts], the metric registry and the flight-recorder ring. *)
+
+val domains_json : Engine.t -> Json.t
+(** The per-domain document served at [/domains.json]: the pool
+    summary, one row per pool worker (domain id, tasks, busy/idle
+    microseconds, utilization), per-domain GC pause totals with domain
+    spawn/stop counts, the engine's contention counters (stale reads,
+    snapshot staleness, maintenance-lock skips) and the continuous
+    profiler's health block. *)
 
 val serve :
   ?max_connections:int ->
@@ -102,7 +111,12 @@ val serve :
     re-evaluates the {!Slo} burn-rate alerts.  The thread is joined on
     shutdown.  If an exception escapes the accept loop, a {!Postmortem}
     artifact is written (when [EXPFINDER_POSTMORTEM_DIR] is set) before
-    the exception propagates. *)
+    the exception propagates.
+
+    HTTP paths: [/metrics], [/healthz], [/stats.json], [/traces.json],
+    [/timeseries.json], [/alerts.json], [/domains.json] and
+    [/profile.folded] (collapsed-stack text; [?reset=1] returns the
+    accumulated profile and then clears it). *)
 
 (** {1 Client helpers} (used by [expfinder client]/[stats --server] and
     the serve tests) *)

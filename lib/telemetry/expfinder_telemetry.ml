@@ -930,6 +930,139 @@ let annotate_int = Trace.annotate_int
 let collect ?attrs name f = Trace.collect Trace.ambient ?attrs name f
 
 (* ------------------------------------------------------------------ *)
+(* Continuous folded-stack profiler                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Always-on aggregation of completed span trees into collapsed-stack
+   lines ("frame;frame;frame <self-ns>", the flamegraph.pl/speedscope
+   input format).  Unlike the flight recorder this never stores whole
+   spans: each finished root is folded immediately into a bounded table
+   of stack -> {count, inclusive ns, self ns}, so memory is O(distinct
+   stacks) regardless of traffic volume.  Stacks are prefixed with the
+   recording domain so cross-domain time splits are visible. *)
+module Profile = struct
+  type entry = {
+    mutable p_count : int;
+    mutable p_incl_ns : float;
+    mutable p_self_ns : float;
+  }
+
+  type row = { stack : string; count : int; incl_ns : float; self_ns : float }
+
+  let default_max_stacks =
+    match Sys.getenv_opt "EXPFINDER_PROFILE_STACKS" with
+    | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 4096)
+    | None -> 4096
+
+  (* All profiler state behind one lock: the fold table plus fold/drop
+     counters.  Folds are rare (one per completed root span) and each
+     holds the lock for O(tree) small hash operations, so a plain
+     mutex is cheap; readers (exporters, /profile.folded) snapshot
+     under the same lock. *)
+  type profile_state = {
+    plock : Mutex.t;
+    tbl : (string, entry) Hashtbl.t;
+    mutable max_stacks : int;
+    mutable folded : int;
+    mutable dropped : int;
+  }
+
+  let state =
+    {
+      plock = Mutex.create ();
+      tbl = Hashtbl.create 256;
+      max_stacks = default_max_stacks;
+      folded = 0;
+      dropped = 0;
+    }
+
+  (* Frames may contain user-chosen span names; ';' and ' ' are the
+     folded format's structural characters, so they are rewritten. *)
+  let sanitize name =
+    String.map (fun c -> if c = ';' || c = ' ' then '_' else c) name
+
+  (* Called with [plock] held. *)
+  let touch stack ~incl_ns ~self_ns =
+    match Hashtbl.find_opt state.tbl stack with
+    | Some e ->
+      e.p_count <- e.p_count + 1;
+      e.p_incl_ns <- e.p_incl_ns +. incl_ns;
+      e.p_self_ns <- e.p_self_ns +. self_ns
+    | None ->
+      if Hashtbl.length state.tbl >= state.max_stacks then
+        state.dropped <- state.dropped + 1
+      else
+        Hashtbl.replace state.tbl stack
+          { p_count = 1; p_incl_ns = incl_ns; p_self_ns = self_ns }
+
+  let record (root : Span.t) =
+    let domain = (Domain.self () :> int) in
+    let prefix0 = Printf.sprintf "domain-%d" domain in
+    Mutex.protect state.plock (fun () ->
+        state.folded <- state.folded + 1;
+        let rec walk prefix (s : Span.t) =
+          let stack = prefix ^ ";" ^ sanitize s.Span.sname in
+          touch stack
+            ~incl_ns:(s.Span.dur_us *. 1000.0)
+            ~self_ns:(Span.self_ms s *. 1e6);
+          List.iter (walk stack) (Span.children s)
+        in
+        walk prefix0 root)
+
+  let rows () =
+    Mutex.protect state.plock (fun () ->
+        Hashtbl.fold
+          (fun stack e acc ->
+            { stack; count = e.p_count; incl_ns = e.p_incl_ns; self_ns = e.p_self_ns }
+            :: acc)
+          state.tbl [])
+    |> List.sort (fun a b -> compare a.stack b.stack)
+
+  let top ?(n = 10) () =
+    rows ()
+    |> List.sort (fun a b -> compare b.self_ns a.self_ns)
+    |> List.filteri (fun i _ -> i < n)
+
+  (* Values are self-nanoseconds: summing a frame's own lines and its
+     descendants' reconstructs inclusive time, which is exactly the
+     contract flamegraph.pl and speedscope expect. *)
+  let to_folded () =
+    let b = Buffer.create 4096 in
+    List.iter
+      (fun r -> Buffer.add_string b (Printf.sprintf "%s %.0f\n" r.stack r.self_ns))
+      (rows ());
+    Buffer.contents b
+
+  let reset () =
+    Mutex.protect state.plock (fun () ->
+        Hashtbl.reset state.tbl;
+        state.folded <- 0;
+        state.dropped <- 0)
+
+  let folds () = Mutex.protect state.plock (fun () -> state.folded)
+
+  let dropped () = Mutex.protect state.plock (fun () -> state.dropped)
+
+  let max_stacks () = Mutex.protect state.plock (fun () -> state.max_stacks)
+
+  let set_max_stacks n =
+    if n > 0 then Mutex.protect state.plock (fun () -> state.max_stacks <- n)
+
+  let to_json () =
+    let stacks, folded, dropped =
+      Mutex.protect state.plock (fun () ->
+          (Hashtbl.length state.tbl, state.folded, state.dropped))
+    in
+    Json.Obj
+      [
+        ("stacks", Json.Int stacks);
+        ("max_stacks", Json.Int (max_stacks ()));
+        ("folded", Json.Int folded);
+        ("dropped", Json.Int dropped);
+      ]
+end
+
+(* ------------------------------------------------------------------ *)
 (* Structured performance reports                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -1287,14 +1420,43 @@ module Gcpause = struct
 
   let session : session option ref = ref None
 
-  (* Both the sampler thread and the /stats handler poll; the gauges
-     are read from yet another interleaving.  Totals are atomic so a
-     reader never sees a torn sum. *)
-  let total_ns = Atomic.make 0
+  (* Per-ring (= per-domain slot) accounting: the runtime's begin/end
+     pairs carry the ring index, so each domain's pauses are attributed
+     separately in addition to the process aggregate.  Each slot also
+     feeds an always-on registry histogram ([gc.domain<i>.pause_us]),
+     which is what the exporters and /domains.json read. *)
+  type domain_stats = {
+    d_total_ns : int Atomic.t;
+    d_max_ns : int Atomic.t;
+    d_slices : int Atomic.t;
+    d_hist : Histogram.t;
+  }
 
-  let max_ns = Atomic.make 0
+  (* Every mutable accounting cell in one record: the aggregate totals
+     stay atomic (the sampler thread and the /stats handler poll, and
+     the gauges are read from yet another interleaving, so a reader
+     must never see a torn sum), the per-domain table and the domain
+     lifecycle counters ride along.  The table itself is written only
+     from the poll callbacks (under [poll_lock]); readers snapshot it
+     under the same lock. *)
+  type totals = {
+    total_ns : int Atomic.t;
+    max_ns : int Atomic.t;
+    slices : int Atomic.t;
+    spawns : int Atomic.t;
+    stops : int Atomic.t;
+    per_domain : (int, domain_stats) Hashtbl.t;
+  }
 
-  let slices = Atomic.make 0
+  let stats =
+    {
+      total_ns = Atomic.make 0;
+      max_ns = Atomic.make 0;
+      slices = Atomic.make 0;
+      spawns = Atomic.make 0;
+      stops = Atomic.make 0;
+      per_domain = Hashtbl.create 8;
+    }
 
   (* Open begin-events keyed by (domain, phase): minor and major slices
      can interleave across domains, so each pair is matched separately.
@@ -1315,9 +1477,28 @@ module Gcpause = struct
     if interesting phase then
       Hashtbl.replace opens (domain, phase) (Runtime_events.Timestamp.to_int64 ts)
 
-  let rec record_max dur =
-    let cur = Atomic.get max_ns in
-    if dur > cur && not (Atomic.compare_and_set max_ns cur dur) then record_max dur
+  let rec record_max cell dur =
+    let cur = Atomic.get cell in
+    if dur > cur && not (Atomic.compare_and_set cell cur dur) then record_max cell dur
+
+  (* Runs under [poll_lock] (poll callbacks only), so lookup-or-create
+     never races itself; the registry call takes only registry_mutex,
+     which never waits on poll_lock. *)
+  let domain_stats_for domain =
+    match Hashtbl.find_opt stats.per_domain domain with
+    | Some d -> d
+    | None ->
+      let d =
+        {
+          d_total_ns = Atomic.make 0;
+          d_max_ns = Atomic.make 0;
+          d_slices = Atomic.make 0;
+          d_hist =
+            Metrics.histogram ~always:true (Printf.sprintf "gc.domain%d.pause_us" domain);
+        }
+      in
+      Hashtbl.replace stats.per_domain domain d;
+      d
 
   let on_end domain ts phase =
     if interesting phase then
@@ -1327,10 +1508,21 @@ module Gcpause = struct
         Hashtbl.remove opens (domain, phase);
         let dur = Int64.to_int (Int64.sub (Runtime_events.Timestamp.to_int64 ts) t0) in
         if dur > 0 then begin
-          ignore (Atomic.fetch_and_add total_ns dur : int);
-          record_max dur;
-          Atomic.incr slices
+          ignore (Atomic.fetch_and_add stats.total_ns dur : int);
+          record_max stats.max_ns dur;
+          Atomic.incr stats.slices;
+          let d = domain_stats_for domain in
+          ignore (Atomic.fetch_and_add d.d_total_ns dur : int);
+          record_max d.d_max_ns dur;
+          Atomic.incr d.d_slices;
+          Histogram.observe d.d_hist (float_of_int dur /. 1000.0)
         end
+
+  let on_lifecycle _ring _ts (ev : Runtime_events.lifecycle) _arg =
+    match ev with
+    | Runtime_events.EV_DOMAIN_SPAWN -> Atomic.incr stats.spawns
+    | Runtime_events.EV_DOMAIN_TERMINATE -> Atomic.incr stats.stops
+    | _ -> ()
 
   let start () =
     Mutex.protect poll_lock (fun () ->
@@ -1345,7 +1537,8 @@ module Gcpause = struct
             Runtime_events.start ();
             let cursor = Runtime_events.create_cursor None in
             let callbacks =
-              Runtime_events.Callbacks.create ~runtime_begin:on_begin ~runtime_end:on_end ()
+              Runtime_events.Callbacks.create ~runtime_begin:on_begin ~runtime_end:on_end
+                ~lifecycle:on_lifecycle ()
             in
             session := Some { cursor; callbacks };
             true
@@ -1363,11 +1556,39 @@ module Gcpause = struct
           | Some s -> (
             try ignore (Runtime_events.read_poll s.cursor s.callbacks None : int) with _ -> ()))
 
-  let pause_us_total () = Atomic.get total_ns / 1000
+  let pause_us_total () = Atomic.get stats.total_ns / 1000
 
-  let pause_us_max () = Atomic.get max_ns / 1000
+  let pause_us_max () = Atomic.get stats.max_ns / 1000
 
-  let observed_slices () = Atomic.get slices
+  let observed_slices () = Atomic.get stats.slices
+
+  let domain_spawns () = Atomic.get stats.spawns
+
+  let domain_stops () = Atomic.get stats.stops
+
+  type domain_totals = {
+    domain : int;
+    pause_us_total : int;
+    pause_us_max : int;
+    slices : int;
+  }
+
+  (* Snapshot under [poll_lock] so a concurrent poll never resizes the
+     table mid-fold; the per-cell Atomics make each field itself
+     untearable. *)
+  let by_domain () =
+    Mutex.protect poll_lock (fun () ->
+        Hashtbl.fold
+          (fun domain d acc ->
+            {
+              domain;
+              pause_us_total = Atomic.get d.d_total_ns / 1000;
+              pause_us_max = Atomic.get d.d_max_ns / 1000;
+              slices = Atomic.get d.d_slices;
+            }
+            :: acc)
+          stats.per_domain [])
+    |> List.sort (fun a b -> compare a.domain b.domain)
 end
 
 (* ------------------------------------------------------------------ *)
@@ -2619,7 +2840,22 @@ module Timeseries = struct
     |> List.iter (fun (name, m) ->
            match m with
            | Metrics.M_counter c -> cum ("m." ^ name) (float_of_int (Counter.value c))
-           | Metrics.M_gauge _ | Metrics.M_histogram _ -> ());
+           | Metrics.M_gauge g ->
+             (* Gauges fold as levels so queue depths / backlogs get
+                sparkline history.  process.* / uptime.* are already
+                sampled above under their own names, and a gauge that
+                has never left zero is suppressed (same policy as
+                [cum]'s priming) to avoid dead series. *)
+             if
+               not
+                 (String.length name >= 8 && String.sub name 0 8 = "process."
+                 || String.length name >= 7 && String.sub name 0 7 = "uptime.")
+             then begin
+               let v = float_of_int (Gauge.value g) in
+               let key = "m." ^ name in
+               if v <> 0.0 || Hashtbl.mem t.kinds key then put Level key v
+             end
+           | Metrics.M_histogram _ -> ());
     List.iter
       (fun (label, bytes) -> cum ("alloc." ^ label) (float_of_int bytes))
       (Alloc.bytes_by_label ());

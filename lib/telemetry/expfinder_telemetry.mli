@@ -321,6 +321,65 @@ val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f] and returns its result with the elapsed wall time
     in milliseconds (the benchmark harness's timer). *)
 
+(** {1 Continuous folded-stack profiler}
+
+    Always-on aggregation of completed span trees into collapsed-stack
+    lines (["frame;frame;frame <self-ns>"], the flamegraph.pl /
+    speedscope input format).  Each finished root span is folded
+    immediately into a bounded table of
+    [stack -> (count, inclusive ns, self ns)], so memory stays
+    O(distinct stacks) regardless of traffic volume.  Stacks are
+    prefixed with [domain-<i>] (the recording domain), making
+    cross-domain time splits visible.  Serves [GET /profile.folded]
+    and [expfinder profile]. *)
+
+module Profile : sig
+  type row = {
+    stack : string;  (** [;]-joined frames, [domain-<i>] first *)
+    count : int;  (** times this exact stack completed *)
+    incl_ns : float;  (** total inclusive nanoseconds *)
+    self_ns : float;  (** total self nanoseconds (excl. children) *)
+  }
+
+  val record : Span.t -> unit
+  (** Fold one completed root span tree into the profile.  Mutex-guarded
+      and cheap (O(tree) hash updates); safe from any domain. *)
+
+  val rows : unit -> row list
+  (** All accumulated stacks, sorted lexicographically. *)
+
+  val top : ?n:int -> unit -> row list
+  (** The [n] (default 10) stacks with the most self time, hottest
+      first. *)
+
+  val to_folded : unit -> string
+  (** Collapsed-stack text: one ["stack <self-ns>\n"] line per row.
+      Summing a frame's own lines with its descendants' reconstructs
+      inclusive time — the contract flamegraph renderers expect. *)
+
+  val reset : unit -> unit
+  (** Drop all accumulated stacks and counters (the bound is kept). *)
+
+  val folds : unit -> int
+  (** Root span trees folded since start/reset. *)
+
+  val dropped : unit -> int
+  (** Stacks discarded because the table was at [max_stacks]; a nonzero
+      value means the profile under-reports tail stacks. *)
+
+  val max_stacks : unit -> int
+  (** Current bound on distinct stacks (default 4096, or
+      [EXPFINDER_PROFILE_STACKS]). *)
+
+  val set_max_stacks : int -> unit
+  (** Raise or lower the bound (ignored unless positive); existing
+      entries are kept even if now over the bound. *)
+
+  val to_json : unit -> Json.t
+  (** Profiler health: [{stacks; max_stacks; folded; dropped}] — the
+      stats block of [/domains.json]. *)
+end
+
 (** {1 Structured performance reports}
 
     Machine-readable benchmark reports ([BENCH_<tag>.json]): one record
@@ -491,12 +550,33 @@ module Gcpause : sig
       read from any thread. *)
 
   val pause_us_total : unit -> int
-  (** Cumulative microseconds spent in observed minor/major GC slices. *)
+  (** Cumulative microseconds spent in observed minor/major GC slices,
+      summed over all domains. *)
 
   val pause_us_max : unit -> int
-  (** Longest single observed slice, in microseconds. *)
+  (** Longest single observed slice across all domains, in
+      microseconds. *)
 
   val observed_slices : unit -> int
+
+  val domain_spawns : unit -> int
+  (** [EV_DOMAIN_SPAWN] lifecycle events observed since start. *)
+
+  val domain_stops : unit -> int
+  (** [EV_DOMAIN_TERMINATE] lifecycle events observed since start. *)
+
+  type domain_totals = {
+    domain : int;  (** runtime ring index (= domain slot; slots are
+                       reused after a domain terminates) *)
+    pause_us_total : int;
+    pause_us_max : int;
+    slices : int;
+  }
+
+  val by_domain : unit -> domain_totals list
+  (** Per-domain pause totals, sorted by domain slot.  Each domain also
+      feeds an always-on registry histogram
+      [gc.domain<i>.pause_us]. *)
 end
 
 (** {1 Allocation attribution}

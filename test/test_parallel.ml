@@ -53,7 +53,7 @@ let test_run_propagates_exception () =
   | exception Failure msg -> Alcotest.(check string) "first error wins" "boom" msg
 
 let test_chan_fifo_and_close () =
-  let c = Parallel.Chan.create ~capacity:8 in
+  let c = Parallel.Chan.create ~capacity:8 () in
   List.iter (fun i -> Parallel.Chan.push c i) [ 1; 2; 3 ];
   Alcotest.(check int) "queued" 3 (Parallel.Chan.length c);
   Parallel.Chan.close c;
@@ -66,7 +66,7 @@ let test_chan_fifo_and_close () =
   | exception Invalid_argument _ -> ()
 
 let test_chan_bounded_blocks_until_popped () =
-  let c = Parallel.Chan.create ~capacity:1 in
+  let c = Parallel.Chan.create ~capacity:1 () in
   Parallel.Chan.push c 1;
   (* The second push must block until a consumer pops. *)
   let consumer =
@@ -109,6 +109,85 @@ let test_serial_orders_and_propagates () =
   Alcotest.(check string) "writer still alive" "after"
     (Parallel.Serial.submit w (fun () -> "after"));
   Parallel.Serial.shutdown w
+
+(* --- pool/channel metrics under contention ----------------------------- *)
+
+let test_pool_metrics_under_contention () =
+  (* Saturate a 2-worker, capacity-2 pool: both workers block on a gate,
+     two more jobs fill the bounded queue, and a fifth submit must wait
+     for capacity.  The depth gauge, wait histograms and per-worker
+     accounting all have to move. *)
+  let was = Telemetry.enabled () in
+  Telemetry.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Telemetry.set_enabled was)
+    (fun () ->
+      let depth = Telemetry.Metrics.gauge ~always:true "chan.tpool.jobs.depth" in
+      let busy = Telemetry.Metrics.gauge ~always:true "tpool.busy" in
+      let h_push = Telemetry.Metrics.histogram "chan.tpool.jobs.push_wait_us" in
+      let h_pop = Telemetry.Metrics.histogram "chan.tpool.jobs.pop_wait_us" in
+      let base_push = Telemetry.Histogram.count h_push in
+      let base_pop = Telemetry.Histogram.count h_pop in
+      let gate_m = Mutex.create () in
+      let gate_c = Condition.create () in
+      let gate_open = ref false in
+      let wait_gate () =
+        Mutex.lock gate_m;
+        while not !gate_open do
+          Condition.wait gate_c gate_m
+        done;
+        Mutex.unlock gate_m
+      in
+      let ran = Atomic.make 0 in
+      let pool = Parallel.Pool.create ~name:"tpool" ~capacity:2 ~domains:2 () in
+      for _ = 1 to 4 do
+        Parallel.Pool.submit pool (fun () ->
+            wait_gate ();
+            Atomic.incr ran)
+      done;
+      (* Wait for both workers to hold a job, so the two remaining jobs
+         sit in the queue and the gauge reads the true backlog. *)
+      let rec await_busy tries =
+        if Telemetry.Gauge.value busy < 2 && tries > 0 then begin
+          Unix.sleepf 0.01;
+          await_busy (tries - 1)
+        end
+      in
+      await_busy 500;
+      Alcotest.(check int) "both workers mid-job" 2 (Telemetry.Gauge.value busy);
+      let depth_during = Telemetry.Gauge.value depth in
+      (* The fifth submit blocks on the full queue, from a helper domain
+         so this test can open the gate underneath it. *)
+      let submitter =
+        Domain.spawn (fun () -> Parallel.Pool.submit pool (fun () -> Atomic.incr ran))
+      in
+      Unix.sleepf 0.02;
+      Mutex.lock gate_m;
+      gate_open := true;
+      Condition.broadcast gate_c;
+      Mutex.unlock gate_m;
+      Domain.join submitter;
+      Parallel.Pool.shutdown pool;
+      Alcotest.(check int) "every job ran" 5 (Atomic.get ran);
+      Alcotest.(check bool) "depth gauge saw the backlog"
+        true (depth_during >= 2);
+      Alcotest.(check int) "depth gauge drained to zero" 0
+        (Telemetry.Gauge.value depth);
+      Alcotest.(check int) "busy gauge returned to zero" 0
+        (Telemetry.Gauge.value busy);
+      Alcotest.(check bool) "push-wait histogram moved" true
+        (Telemetry.Histogram.count h_push > base_push);
+      Alcotest.(check bool) "pop-wait histogram moved" true
+        (Telemetry.Histogram.count h_pop > base_pop);
+      let counter name =
+        Telemetry.Counter.value (Telemetry.Metrics.counter ~always:true name)
+      in
+      Alcotest.(check int) "per-worker task counters account for every job" 5
+        (counter "tpool.worker0.tasks" + counter "tpool.worker1.tasks");
+      Alcotest.(check int) "aggregate task counter agrees" 5 (counter "tpool.tasks");
+      Alcotest.(check bool) "busy/idle accounting accumulated" true
+        (counter "tpool.worker0.busy_us" + counter "tpool.worker1.busy_us" >= 0
+        && counter "tpool.worker0.idle_us" + counter "tpool.worker1.idle_us" > 0))
 
 (* --- parallel evaluation is the sequential oracle ---------------------- *)
 
@@ -328,6 +407,8 @@ let () =
           Alcotest.test_case "pool drains on shutdown" `Quick test_pool_runs_all_jobs;
           Alcotest.test_case "serial writer orders and propagates" `Quick
             test_serial_orders_and_propagates;
+          Alcotest.test_case "pool metrics move under contention" `Quick
+            test_pool_metrics_under_contention;
         ] );
       ( "oracle",
         [
